@@ -1,0 +1,538 @@
+(* Benchmark harness: regenerates every table and figure of
+   "Majority-Inverter Graph: A Novel Data-Structure and Algorithms for
+   Efficient Logic Optimization" (DAC'14).
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table1-top table1-bottom fig1 fig2 \
+                                  fig3 fig4 compress ablation bechamel
+
+   Environment:
+     MIG_BENCH_FULL=1   run the compression benchmark at paper scale
+                        (~0.3 M nodes) instead of the scaled default. *)
+
+module N = Network.Graph
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Table I (top): logic optimization                                   *)
+(* ------------------------------------------------------------------ *)
+
+type top_row = {
+  bname : string;
+  io : int * int;
+  mig : Flow.opt_result;
+  aig : Flow.opt_result;
+  bdd : Flow.opt_result option;
+  checks_ok : bool;
+}
+
+let table1_top_rows =
+  lazy
+    (List.map
+       (fun e ->
+         let net = e.Benchmarks.Suite.build () in
+         let flat = N.flatten_aoig net in
+         let mig_g, mig = Flow.mig_opt net in
+         let aig_g, aig = Flow.aig_opt net in
+         let bdd_res = Flow.bds_opt ~seed:0xbd5 net in
+         let mig_ok = Mig.Equiv.to_network_equiv ~seed:11 mig_g flat in
+         let aig_ok =
+           Network.Simulate.equivalent ~seed:12
+             (Aig.Convert.to_network aig_g)
+             flat
+         in
+         let bdd_ok =
+           match bdd_res with
+           | None -> true
+           | Some (d, _) -> Network.Simulate.equivalent ~seed:13 d flat
+         in
+         {
+           bname = e.Benchmarks.Suite.name;
+           io = e.Benchmarks.Suite.paper_io;
+           mig;
+           aig;
+           bdd = Option.map snd bdd_res;
+           checks_ok = mig_ok && aig_ok && bdd_ok;
+         })
+       Benchmarks.Suite.all)
+
+let avg f rows =
+  List.fold_left (fun a r -> a +. f r) 0.0 rows /. float_of_int (List.length rows)
+
+let print_table1_top () =
+  section "Table I (top) - Logic optimization: MIG vs AIG vs BDD decomposition";
+  Printf.printf
+    "%-9s %-9s | %6s %5s %9s %6s | %6s %5s %9s %6s | %6s %5s %9s %6s\n"
+    "Bench" "I/O" "MIGsz" "MIGd" "MIGact" "t(s)" "AIGsz" "AIGd" "AIGact"
+    "t(s)" "BDDsz" "BDDd" "BDDact" "t(s)";
+  let rows = Lazy.force table1_top_rows in
+  List.iter
+    (fun r ->
+      let pi, po = r.io in
+      Printf.printf
+        "%-9s %4d/%-4d | %6d %5d %9.2f %6.2f | %6d %5d %9.2f %6.2f | "
+        r.bname pi po r.mig.Flow.size r.mig.Flow.depth r.mig.Flow.activity
+        r.mig.Flow.time r.aig.Flow.size r.aig.Flow.depth r.aig.Flow.activity
+        r.aig.Flow.time;
+      (match r.bdd with
+      | Some b ->
+          Printf.printf "%6d %5d %9.2f %6.2f" b.Flow.size b.Flow.depth
+            b.Flow.activity b.Flow.time
+      | None -> Printf.printf "%6s %5s %9s %6s" "N.A." "N.A." "N.A." "N.A.");
+      if not r.checks_ok then Printf.printf "  [EQUIVALENCE FAILURE]";
+      Printf.printf "\n%!")
+    rows;
+  let m f = avg f rows in
+  Printf.printf
+    "%-9s %9s | %6.0f %5.1f %9.2f %6.2f | %6.0f %5.1f %9.2f %6.2f |"
+    "Average" ""
+    (m (fun r -> float_of_int r.mig.Flow.size))
+    (m (fun r -> float_of_int r.mig.Flow.depth))
+    (m (fun r -> r.mig.Flow.activity))
+    (m (fun r -> r.mig.Flow.time))
+    (m (fun r -> float_of_int r.aig.Flow.size))
+    (m (fun r -> float_of_int r.aig.Flow.depth))
+    (m (fun r -> r.aig.Flow.activity))
+    (m (fun r -> r.aig.Flow.time));
+  let bdd_rows = List.filter_map (fun r -> r.bdd) rows in
+  if bdd_rows <> [] then begin
+    let mb f = avg f bdd_rows in
+    Printf.printf " %6.0f %5.1f %9.2f %6.2f (over %d benchmarks)"
+      (mb (fun (b : Flow.opt_result) -> float_of_int b.Flow.size))
+      (mb (fun b -> float_of_int b.Flow.depth))
+      (mb (fun b -> b.Flow.activity))
+      (mb (fun b -> b.Flow.time))
+      (List.length bdd_rows)
+  end;
+  Printf.printf "\n\n";
+  let depth_ratio =
+    m (fun r -> float_of_int r.mig.Flow.depth /. float_of_int r.aig.Flow.depth)
+  in
+  let size_ratio =
+    m (fun r -> float_of_int r.mig.Flow.size /. float_of_int r.aig.Flow.size)
+  in
+  let act_ratio = m (fun r -> r.mig.Flow.activity /. r.aig.Flow.activity) in
+  Printf.printf
+    "MIG vs AIG (mean of per-benchmark ratios): depth %+.1f%%, size %+.1f%%, activity %+.1f%%\n"
+    ((depth_ratio -. 1.0) *. 100.0)
+    ((size_ratio -. 1.0) *. 100.0)
+    ((act_ratio -. 1.0) *. 100.0);
+  Printf.printf "Paper reports: depth -18.6%%, size +0.9%%, activity +0.3%%\n";
+  let with_bdd = List.filter (fun r -> r.bdd <> None) rows in
+  if with_bdd <> [] then begin
+    let dr =
+      avg
+        (fun r ->
+          float_of_int r.mig.Flow.depth
+          /. float_of_int (Option.get r.bdd).Flow.depth)
+        with_bdd
+    in
+    Printf.printf
+      "MIG vs BDD-decomposition: depth %+.1f%% (paper: -23.7%%), over %d benchmarks\n"
+      ((dr -. 1.0) *. 100.0)
+      (List.length with_bdd)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Table I (bottom): synthesis                                         *)
+(* ------------------------------------------------------------------ *)
+
+type bot_row = {
+  sname : string;
+  sio : int * int;
+  smig : Flow.syn_result;
+  saig : Flow.syn_result;
+  scst : Flow.syn_result;
+}
+
+let table1_bottom_rows =
+  lazy
+    (List.map
+       (fun e ->
+         let net = e.Benchmarks.Suite.build () in
+         {
+           sname = e.Benchmarks.Suite.name;
+           sio = e.Benchmarks.Suite.paper_io;
+           smig = Flow.mig_synth net;
+           saig = Flow.aig_synth net;
+           scst = Flow.cst_synth net;
+         })
+       Benchmarks.Suite.all)
+
+let print_table1_bottom () =
+  section
+    "Table I (bottom) - Synthesis: MIG+map vs AIG+map vs commercial proxy";
+  Printf.printf "%-9s %-9s | %9s %7s %9s | %9s %7s %9s | %9s %7s %9s\n"
+    "Bench" "I/O" "MIG A" "D(ns)" "P(uW)" "AIG A" "D(ns)" "P(uW)" "CST A"
+    "D(ns)" "P(uW)";
+  let rows = Lazy.force table1_bottom_rows in
+  List.iter
+    (fun r ->
+      let pi, po = r.sio in
+      Printf.printf
+        "%-9s %4d/%-4d | %9.2f %7.3f %9.2f | %9.2f %7.3f %9.2f | %9.2f %7.3f %9.2f\n%!"
+        r.sname pi po r.smig.Flow.area r.smig.Flow.delay r.smig.Flow.power
+        r.saig.Flow.area r.saig.Flow.delay r.saig.Flow.power r.scst.Flow.area
+        r.scst.Flow.delay r.scst.Flow.power)
+    rows;
+  let m f = avg f rows in
+  Printf.printf
+    "%-9s %9s | %9.2f %7.3f %9.2f | %9.2f %7.3f %9.2f | %9.2f %7.3f %9.2f\n\n"
+    "Average" ""
+    (m (fun r -> r.smig.Flow.area))
+    (m (fun r -> r.smig.Flow.delay))
+    (m (fun r -> r.smig.Flow.power))
+    (m (fun r -> r.saig.Flow.area))
+    (m (fun r -> r.saig.Flow.delay))
+    (m (fun r -> r.saig.Flow.power))
+    (m (fun r -> r.scst.Flow.area))
+    (m (fun r -> r.scst.Flow.delay))
+    (m (fun r -> r.scst.Flow.power));
+  let gain f g h =
+    m (fun r -> f r /. Float.min (g r) (h r))
+  in
+  let d_gain =
+    gain (fun r -> r.smig.Flow.delay) (fun r -> r.saig.Flow.delay)
+      (fun r -> r.scst.Flow.delay)
+  in
+  let a_gain =
+    gain (fun r -> r.smig.Flow.area) (fun r -> r.saig.Flow.area)
+      (fun r -> r.scst.Flow.area)
+  in
+  let p_gain =
+    gain (fun r -> r.smig.Flow.power) (fun r -> r.saig.Flow.power)
+      (fun r -> r.scst.Flow.power)
+  in
+  Printf.printf
+    "MIG flow vs best counterpart (mean of ratios): delay %+.1f%%, area %+.1f%%, power %+.1f%%\n"
+    ((d_gain -. 1.0) *. 100.0)
+    ((a_gain -. 1.0) *. 100.0)
+    ((p_gain -. 1.0) *. 100.0);
+  Printf.printf "Paper reports: delay -22%%, area -14%%, power -11%%\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1: AOIG -> MIG transposition examples                          *)
+(* ------------------------------------------------------------------ *)
+
+let print_fig1 () =
+  section "Fig. 1 - MIG representations derived from optimal AOIGs";
+  let show name net =
+    let flat = N.flatten_aoig net in
+    let m = Mig.Convert.of_network flat in
+    Printf.printf
+      "%-12s AOIG: size=%d depth=%d | transposed MIG: size=%d depth=%d\n" name
+      (N.size flat)
+      (Network.Metrics.depth flat)
+      (Mig.Graph.size m) (Mig.Graph.depth m)
+  in
+  let xor3 = N.create () in
+  let x = N.add_pi xor3 "x" and y = N.add_pi xor3 "y" and z = N.add_pi xor3 "z" in
+  N.add_po xor3 "f" (N.xor_ xor3 (N.xor_ xor3 x y) z);
+  show "f=x^y^z" xor3;
+  let g = N.create () in
+  let x = N.add_pi g "x" and y = N.add_pi g "y" in
+  let u = N.add_pi g "u" and v = N.add_pi g "v" in
+  N.add_po g "g" (N.and_ g x (N.or_ g y (N.and_ g u v)));
+  show "g=x(y+uv)" g;
+  Printf.printf
+    "(Theorem 3.1: every AND/OR node becomes a majority node with a constant\n\
+    \ third input, so the transposed MIG matches the AOIG node-for-node.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2: the four optimization case studies                          *)
+(* ------------------------------------------------------------------ *)
+
+(* apply a function to operand [i] of a majority term *)
+let at3 i f t =
+  match t with
+  | Mig.Algebra.Maj (a, b, c) -> (
+      match i with
+      | 0 -> Mig.Algebra.Maj (f a, b, c)
+      | 1 -> Mig.Algebra.Maj (a, f b, c)
+      | _ -> Mig.Algebra.Maj (a, b, f c))
+  | _ -> t
+
+let print_fig2 () =
+  section "Fig. 2 - MIG optimization examples (size, depth, activity)";
+  let module A = Mig.Algebra in
+  let v s = A.Var s in
+  let show label t =
+    Printf.printf "  %-5s %s\n" label (Format.asprintf "%a" A.pp t)
+  in
+  (* --- (a) size: h = M(x, M(x,z',w), M(x,y,z)) -> x --- *)
+  let h0 =
+    A.Maj
+      (v "x", A.Maj (v "x", A.Not (v "z"), v "w"), A.Maj (v "x", v "y", v "z"))
+  in
+  Printf.printf "(a) h = %s   (size %d)\n" (Format.asprintf "%a" A.pp h0)
+    (A.size h0);
+  (* Ω.C: arrange as M(B, x, M(z', x, w)) so Ω.A applies with shared x *)
+  let t = Option.get (A.commute 0 2 h0) in
+  let t = Option.get (A.commute 1 2 t) in
+  let t = at3 2 (fun inner -> Option.get (A.commute 0 1 inner)) t in
+  assert (A.equivalent h0 t);
+  show "Ω.C" t;
+  (* Ω.A: swap w with B = M(x,y,z) *)
+  let t = Option.get (A.associativity t) in
+  assert (A.equivalent h0 t);
+  show "Ω.A" t;
+  (* Ψ.R on the inner term M(z', x, B): z (as z'') becomes x inside B *)
+  let t = at3 2 (fun inner -> Option.get (A.relevance inner)) t in
+  assert (A.equivalent h0 t);
+  show "Ψ.R" t;
+  let t = A.simplify t in
+  assert (A.equivalent h0 t);
+  Printf.printf "  Ω.M   %s   (size %d; paper reaches x, size 0)\n"
+    (Format.asprintf "%a" A.pp t) (A.size t);
+  (* --- (b) depth: f = x^y^z via Ψ.S --- *)
+  let aoig_xor a b =
+    A.Maj
+      ( A.Maj (a, A.Not b, A.Const false),
+        A.Maj (A.Not a, b, A.Const false),
+        A.Const true )
+  in
+  let f0 = aoig_xor (aoig_xor (v "x") (v "y")) (v "z") in
+  Printf.printf "(b) f = x^y^z as transposed AOIG: size %d, depth %d\n"
+    (A.size f0) (A.depth f0);
+  let f1 = A.substitution ~v:(v "x") ~u:(v "y") f0 in
+  assert (A.equivalent f0 f1);
+  Printf.printf "  Ψ.S(v=x,u=y): size %d, depth %d (temporarily inflated)\n"
+    (A.size f1) (A.depth f1);
+  let f2 = A.simplify f1 in
+  assert (A.equivalent f0 f2);
+  Printf.printf "  Ω.M: %s   size %d, depth %d (paper: 3 nodes, 2 levels)\n"
+    (Format.asprintf "%a" A.pp f2) (A.size f2) (A.depth f2);
+  (* --- (c) depth: g = x(y+uv) through the full optimizer --- *)
+  let g = N.create () in
+  let x = N.add_pi g "x" and y = N.add_pi g "y" in
+  let u = N.add_pi g "u" and vv = N.add_pi g "v" in
+  N.add_po g "g" (N.and_ g x (N.or_ g y (N.and_ g u vv)));
+  let m0 = Mig.Convert.of_network (N.flatten_aoig g) in
+  let m1 = Mig.Opt_depth.run m0 in
+  assert (Mig.Equiv.to_network_equiv ~seed:21 m1 g);
+  Printf.printf
+    "(c) g = x(y+uv): transposed depth %d -> optimized depth %d (paper: 3 -> 2)\n"
+    (Mig.Graph.depth m0) (Mig.Graph.depth m1);
+  (* --- (d) activity: k = M(x,y,M(x',z,w)) with skewed inputs --- *)
+  let probs = function "x" -> 0.5 | _ -> 0.1 in
+  let k0 =
+    let g = Mig.Graph.create () in
+    let x = Mig.Graph.add_pi g "x" in
+    let y = Mig.Graph.add_pi g "y" in
+    let z = Mig.Graph.add_pi g "z" in
+    let w = Mig.Graph.add_pi g "w" in
+    Mig.Graph.add_po g "k"
+      (Mig.Graph.maj g x y (Mig.Graph.maj g (Network.Signal.not_ x) z w));
+    g
+  in
+  let k1 = Mig.Opt_activity.run ~pi_prob:probs k0 in
+  assert (Mig.Equiv.migs ~seed:23 k0 k1);
+  Printf.printf
+    "(d) k = M(x,y,M(x',z,w)), p(x)=0.5, p(y,z,w)=0.1:\n\
+    \    activity %.3f -> %.3f after activity optimization (paper: 0.18 -> 0.09)\n"
+    (Mig.Activity.total ~pi_prob:probs k0)
+    (Mig.Activity.total ~pi_prob:probs k1)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3 / Fig. 4: the 3-D clouds as printed series                   *)
+(* ------------------------------------------------------------------ *)
+
+let print_fig3 () =
+  section "Fig. 3 - Optimization space (size, depth, activity) series";
+  let rows = Lazy.force table1_top_rows in
+  Printf.printf "series MIG:\n";
+  List.iter
+    (fun r ->
+      Printf.printf "  (%d, %d, %.2f)  # %s\n" r.mig.Flow.size r.mig.Flow.depth
+        r.mig.Flow.activity r.bname)
+    rows;
+  Printf.printf "series AIG:\n";
+  List.iter
+    (fun r ->
+      Printf.printf "  (%d, %d, %.2f)  # %s\n" r.aig.Flow.size r.aig.Flow.depth
+        r.aig.Flow.activity r.bname)
+    rows;
+  Printf.printf "series BDD:\n";
+  List.iter
+    (fun r ->
+      match r.bdd with
+      | Some b ->
+          Printf.printf "  (%d, %d, %.2f)  # %s\n" b.Flow.size b.Flow.depth
+            b.Flow.activity r.bname
+      | None -> Printf.printf "  N.A.  # %s\n" r.bname)
+    rows
+
+let print_fig4 () =
+  section "Fig. 4 - Synthesis space (area, delay, power) series";
+  let rows = Lazy.force table1_bottom_rows in
+  let series name f =
+    Printf.printf "series %s:\n" name;
+    List.iter
+      (fun r ->
+        let (s : Flow.syn_result) = f r in
+        Printf.printf "  (%.2f, %.3f, %.2f)  # %s\n" s.Flow.area s.Flow.delay
+          s.Flow.power r.sname)
+      rows
+  in
+  series "MIG" (fun r -> r.smig);
+  series "AIG" (fun r -> r.saig);
+  series "CST" (fun r -> r.scst)
+
+(* ------------------------------------------------------------------ *)
+(* SV.A.2: the large compression circuit                               *)
+(* ------------------------------------------------------------------ *)
+
+let print_compress () =
+  section "Large compression circuit (SV.A.2)";
+  let full = Sys.getenv_opt "MIG_BENCH_FULL" = Some "1" in
+  let window = if full then 110 else 36 in
+  let net = Benchmarks.Suite.compression ~window () in
+  let flat = N.flatten_aoig net in
+  Printf.printf
+    "window=%d: flattened AOIG has %d nodes (paper instance: ~0.3M; set\n\
+     MIG_BENCH_FULL=1 for the full-scale run)\n%!"
+    window (N.size flat);
+  let t0 = Unix.gettimeofday () in
+  let a = Aig.Resyn.run ~effort:1 (Aig.Convert.of_network flat) in
+  let t_aig = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "AIG:  %d nodes, %d levels, %.1fs (paper: 167k nodes, 31 levels, 11.3s)\n%!"
+    (Aig.Graph.size a) (Aig.Graph.depth a) t_aig;
+  let t0 = Unix.gettimeofday () in
+  let m = Mig.Opt_depth.run ~effort:2 (Mig.Convert.of_network flat) in
+  let t_mig = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "MIG:  %d nodes, %d levels, %.1fs (paper: 170k +1.7%%, 28 levels -9.6%%, 21.5s)\n"
+    (Mig.Graph.size m) (Mig.Graph.depth m) t_mig;
+  Printf.printf "delta: size %+.1f%%, levels %+.1f%%, runtime x%.1f\n"
+    ((float_of_int (Mig.Graph.size m) /. float_of_int (Aig.Graph.size a) -. 1.0)
+    *. 100.0)
+    ((float_of_int (Mig.Graph.depth m) /. float_of_int (Aig.Graph.depth a)
+     -. 1.0)
+    *. 100.0)
+    (t_mig /. Float.max 0.001 t_aig)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md SS6)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let print_ablation () =
+  section "Ablations";
+  let net =
+    N.flatten_aoig ((Benchmarks.Suite.find "cla").Benchmarks.Suite.build ())
+  in
+  let m0 = Mig.Convert.of_network net in
+  Printf.printf "cla, depth-optimization effort sweep:\n";
+  List.iter
+    (fun e ->
+      let m = Mig.Opt_depth.run ~effort:e m0 in
+      Printf.printf "  effort=%d: size=%d depth=%d\n%!" e (Mig.Graph.size m)
+        (Mig.Graph.depth m))
+    [ 1; 2; 4 ];
+  Printf.printf "cla, individual passes:\n";
+  let show name g =
+    Printf.printf "  %-22s size=%d depth=%d\n%!" name (Mig.Graph.size g)
+      (Mig.Graph.depth g)
+  in
+  show "initial (transposed)" m0;
+  show "rewrite_patterns" (Mig.Transform.rewrite_patterns m0);
+  show "push_up only" (Mig.Transform.push_up m0);
+  show "eliminate only" (Mig.Transform.eliminate m0);
+  show "relevance only" (Mig.Transform.relevance m0);
+  let madd =
+    N.flatten_aoig
+      ((Benchmarks.Suite.find "my_adder").Benchmarks.Suite.build ())
+  in
+  let opt = Mig.Opt_depth.run (Mig.Convert.of_network madd) in
+  let sub = Mig.Convert.to_network opt in
+  let with_maj = Tech.Mapper.map_network sub in
+  let without = Tech.Mapper.map_network ~lib:Tech.Cells.no_majority sub in
+  Printf.printf
+    "my_adder mapping ablation:\n\
+    \  full library  A=%.2f D=%.3f P=%.2f\n\
+    \  no MAJ cells  A=%.2f D=%.3f P=%.2f\n"
+    with_maj.Tech.Mapper.area with_maj.Tech.Mapper.delay
+    with_maj.Tech.Mapper.power without.Tech.Mapper.area
+    without.Tech.Mapper.delay without.Tech.Mapper.power
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing suites (one per table/figure family)                *)
+(* ------------------------------------------------------------------ *)
+
+let print_bechamel () =
+  section "Bechamel timing (estimated time per flow run, 'count' benchmark)";
+  let open Bechamel in
+  let net =
+    lazy
+      (N.flatten_aoig ((Benchmarks.Suite.find "count").Benchmarks.Suite.build ()))
+  in
+  let tests =
+    [
+      Test.make ~name:"table1_top/mig_opt"
+        (Staged.stage (fun () -> ignore (Flow.mig_opt (Lazy.force net))));
+      Test.make ~name:"table1_top/aig_opt"
+        (Staged.stage (fun () -> ignore (Flow.aig_opt (Lazy.force net))));
+      Test.make ~name:"table1_top/bds_opt"
+        (Staged.stage (fun () -> ignore (Flow.bds_opt ~seed:1 (Lazy.force net))));
+      Test.make ~name:"table1_bottom/mig_synth"
+        (Staged.stage (fun () -> ignore (Flow.mig_synth (Lazy.force net))));
+      Test.make ~name:"table1_bottom/aig_synth"
+        (Staged.stage (fun () -> ignore (Flow.aig_synth (Lazy.force net))));
+      Test.make ~name:"table1_bottom/cst_synth"
+        (Staged.stage (fun () -> ignore (Flow.cst_synth (Lazy.force net))));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:10 ~quota:(Time.second 2.0) ~kde:None () in
+  let witness = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ witness ] elt in
+          let ols =
+            Analyze.one
+              (Analyze.ols ~r_square:false ~bootstrap:0
+                 ~predictors:[| Measure.run |])
+              witness raw
+          in
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) ->
+              Printf.printf "  %-28s %10.3f ms/run\n%!" (Test.Elt.name elt)
+                (t /. 1e6)
+          | _ -> Printf.printf "  %-28s (no estimate)\n%!" (Test.Elt.name elt))
+        (Test.elements test))
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all_sections =
+  [
+    ("table1-top", print_table1_top);
+    ("table1-bottom", print_table1_bottom);
+    ("fig1", print_fig1);
+    ("fig2", print_fig2);
+    ("fig3", print_fig3);
+    ("fig4", print_fig4);
+    ("compress", print_compress);
+    ("ablation", print_ablation);
+    ("bechamel", print_bechamel);
+  ]
+
+let () =
+  let requested =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> List.map fst all_sections
+    | args -> args
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %s (known: %s)\n" name
+            (String.concat ", " (List.map fst all_sections));
+          exit 1)
+    requested

@@ -1,0 +1,166 @@
+(* MIGhty — the command-line tool of the paper (§V.A.1): reads a
+   flattened combinational circuit (BLIF or structural Verilog),
+   optimizes it as an MIG, and writes/reports the result. *)
+
+open Cmdliner
+
+let read_input path =
+  if Filename.check_suffix path ".blif" then Logic_io.Blif.read_file path
+  else if Filename.check_suffix path ".v" then Logic_io.Verilog.read_file path
+  else failwith "mighty: input must be .blif or .v"
+
+let write_output path net =
+  if Filename.check_suffix path ".blif" then Logic_io.Blif.write_file path net
+  else if Filename.check_suffix path ".v" then
+    Logic_io.Verilog.write_file path net
+  else failwith "mighty: output must be .blif or .v"
+
+let input_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"INPUT" ~doc:"Input circuit (.blif or .v, flattened).")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"OUTPUT"
+        ~doc:"Write the optimized circuit to this file (.blif or .v).")
+
+let effort_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "e"; "effort" ] ~docv:"N"
+        ~doc:"Optimization effort (reshape/eliminate cycles).")
+
+let goal_arg =
+  let goals = [ ("size", `Size); ("depth", `Depth); ("activity", `Activity) ] in
+  Arg.(
+    value
+    & opt (enum goals) `Depth
+    & info [ "g"; "goal" ] ~docv:"GOAL"
+        ~doc:"Optimization goal: $(b,size), $(b,depth) or $(b,activity).")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:"Check the optimized MIG against the input by simulation.")
+
+let report g label =
+  Format.printf "%-10s size = %d, depth = %d, activity = %.2f@." label
+    (Mig.Graph.size g) (Mig.Graph.depth g) (Mig.Activity.total g)
+
+let optimize input output effort goal verify =
+  let net = read_input input in
+  Format.printf "read %s: %a@." input Network.Graph.pp_stats net;
+  let m = Mig.Convert.of_network net in
+  report m "initial";
+  let t0 = Unix.gettimeofday () in
+  let opt =
+    match goal with
+    | `Size -> Mig.Opt_size.run ~effort m
+    | `Depth -> Mig.Opt_depth.run ~effort:(max effort 3) m
+    | `Activity -> Mig.Opt_activity.run ~effort m
+  in
+  report opt "optimized";
+  Format.printf "time: %.2fs@." (Unix.gettimeofday () -. t0);
+  if verify then begin
+    let ok = Mig.Equiv.to_network_equiv ~seed:0xda14 opt net in
+    Format.printf "verification: %s@." (if ok then "PASS" else "FAIL");
+    if not ok then exit 2
+  end;
+  match output with
+  | Some path ->
+      write_output path (Mig.Convert.to_network opt);
+      Format.printf "wrote %s@." path
+  | None -> ()
+
+let optimize_cmd =
+  let doc = "optimize a circuit through the MIG flow" in
+  Cmd.v
+    (Cmd.info "optimize" ~doc)
+    Term.(
+      const optimize $ input_arg $ output_arg $ effort_arg $ goal_arg
+      $ verify_arg)
+
+let map_cmd =
+  let doc = "optimize and map onto the 22nm-style cell library" in
+  let run input effort no_maj =
+    let net = read_input input in
+    let m = Mig.Opt_depth.run ~effort:(max effort 3) (Mig.Convert.of_network net) in
+    let lib = if no_maj then Tech.Cells.no_majority else Tech.Cells.full in
+    let r = Tech.Mapper.map_network ~lib (Mig.Convert.to_network m) in
+    Format.printf "%a@." Tech.Mapper.pp_result r;
+    List.iter
+      (fun (cell, count) -> Format.printf "  %-6s x %d@." cell count)
+      r.Tech.Mapper.cell_counts
+  in
+  let no_maj =
+    Arg.(
+      value & flag
+      & info [ "no-majority-cells" ]
+          ~doc:"Map without the MAJ-3/MIN-3 cells (ablation).")
+  in
+  Cmd.v (Cmd.info "map" ~doc)
+    Term.(const run $ input_arg $ effort_arg $ no_maj)
+
+let stats_cmd =
+  let doc = "print size/depth/activity of a circuit" in
+  let run input =
+    let net = read_input input in
+    Format.printf "%a, depth = %d, activity = %.2f@." Network.Graph.pp_stats
+      net
+      (Network.Metrics.depth net)
+      (Network.Metrics.activity net)
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ input_arg)
+
+let bench_cmd =
+  let doc = "emit a named benchmark circuit from the built-in suite" in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "One of: %s, compress"
+               (String.concat ", " Benchmarks.Suite.names)))
+  in
+  let out_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUTPUT" ~doc:"Output file (.blif or .v).")
+  in
+  let run name out =
+    let net =
+      if name = "compress" then Benchmarks.Suite.compression ()
+      else (Benchmarks.Suite.find name).Benchmarks.Suite.build ()
+    in
+    write_output out net;
+    Format.printf "wrote %s: %a@." out Network.Graph.pp_stats net
+  in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ name_arg $ out_arg)
+
+let equiv_cmd =
+  let doc = "check two circuits for functional equivalence" in
+  let a_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"A" ~doc:"First circuit.")
+  in
+  let b_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"B" ~doc:"Second circuit.")
+  in
+  let run a b =
+    let na = read_input a and nb = read_input b in
+    let ok = Network.Simulate.equivalent ~seed:0xe9 na nb in
+    Format.printf "%s@." (if ok then "EQUIVALENT" else "NOT EQUIVALENT");
+    if not ok then exit 1
+  in
+  Cmd.v (Cmd.info "equiv" ~doc) Term.(const run $ a_arg $ b_arg)
+
+let () =
+  let doc = "MIG-based logic optimization (Amaru et al., DAC'14)" in
+  let info = Cmd.info "mighty" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ optimize_cmd; map_cmd; stats_cmd; bench_cmd; equiv_cmd ]))

@@ -1,0 +1,1 @@
+examples/datapath.ml: Aig Benchmarks Flow Format List Mig Network

@@ -1,0 +1,1 @@
+examples/emerging_tech.ml: Benchmarks Format List Mig Network Tech

@@ -1,0 +1,1 @@
+examples/emerging_tech.mli:

@@ -1,0 +1,1 @@
+examples/synthesis_flow.ml: Benchmarks Filename Float Flow Format Logic_io Mig Network Sys

@@ -1,0 +1,1 @@
+lib/aig/balance.ml: Array Graph Hashtbl List Network Option

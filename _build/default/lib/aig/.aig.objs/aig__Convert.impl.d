@@ -1,0 +1,1 @@
+lib/aig/convert.ml: Array Graph List Network

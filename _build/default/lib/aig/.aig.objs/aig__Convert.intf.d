@@ -1,0 +1,1 @@
+lib/aig/convert.mli: Graph Network

@@ -1,0 +1,1 @@
+lib/aig/refactor.ml: Array Cut Graph Hashtbl Int List Network Rewrite Set Sop

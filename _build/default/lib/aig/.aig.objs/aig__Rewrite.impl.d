@@ -1,0 +1,1 @@
+lib/aig/rewrite.ml: Array Cut Graph Hashtbl List Network Option Sop

@@ -1,0 +1,59 @@
+module G = Graph
+module S = Network.Signal
+
+let run g =
+  let fresh = G.create () in
+  let map = Array.make (G.num_nodes g) None in
+  map.(0) <- Some (G.const0 fresh);
+  List.iter (fun id -> map.(id) <- Some (G.add_pi fresh (G.pi_name g id))) (G.pis g);
+  let fanout = G.fanout_counts g in
+  let new_levels = Hashtbl.create 1024 in
+  let level_of s =
+    Option.value ~default:0 (Hashtbl.find_opt new_levels (S.node s))
+  in
+  let rec build s : S.t =
+    let id = S.node s in
+    let mapped =
+      match map.(id) with
+      | Some m -> m
+      | None ->
+          (* Collect the maximal AND-tree rooted here.  Descend through
+             regular edges into single-fanout AND nodes; everything else
+             becomes a leaf. *)
+          let leaves = ref [] in
+          let rec collect s top =
+            let id = S.node s in
+            if
+              (not (S.is_complement s))
+              && G.is_and g id
+              && (top || fanout.(id) = 1)
+            then begin
+              collect (G.fanin0 g id) false;
+              collect (G.fanin1 g id) false
+            end
+            else leaves := build s :: !leaves
+          in
+          collect (S.make id false) true;
+          (* Huffman-style combine: repeatedly AND the two shallowest. *)
+          let cmp a b = compare (level_of a) (level_of b) in
+          let rec combine = function
+            | [] -> G.const1 fresh
+            | [ x ] -> x
+            | xs ->
+                let sorted = List.sort cmp xs in
+                (match sorted with
+                | a :: b :: rest ->
+                    let ab = G.and_ fresh a b in
+                    Hashtbl.replace new_levels (S.node ab)
+                      (1 + max (level_of a) (level_of b));
+                    combine (ab :: rest)
+                | _ -> assert false)
+          in
+          let m = combine !leaves in
+          map.(id) <- Some m;
+          m
+    in
+    S.xor_complement mapped (S.is_complement s)
+  in
+  List.iter (fun (name, s) -> G.add_po fresh name (build s)) (G.pos g);
+  G.cleanup fresh

@@ -1,0 +1,9 @@
+(** Delay-oriented AIG balancing (the [balance] step of the resyn
+    script).
+
+    Maximal AND-trees are collected by descending through regular
+    (non-complemented) edges and rebuilt bottom-up, always combining
+    the two shallowest operands first (Huffman order), which minimizes
+    the depth of each tree. *)
+
+val run : Graph.t -> Graph.t

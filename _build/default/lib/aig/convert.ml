@@ -1,0 +1,28 @@
+module N = Network.Graph
+module S = Network.Signal
+
+let of_network net =
+  let g = Graph.create () in
+  let map = Array.make (N.num_nodes net) (Graph.const0 g) in
+  List.iter (fun id -> map.(id) <- Graph.add_pi g (N.pi_name net id)) (N.pis net);
+  let value s = S.xor_complement map.(S.node s) (S.is_complement s) in
+  N.iter_gates net (fun i fn fs ->
+      let v k = value fs.(k) in
+      map.(i) <-
+        (match fn with
+        | N.And -> Graph.and_ g (v 0) (v 1)
+        | N.Or -> Graph.or_ g (v 0) (v 1)
+        | N.Xor -> Graph.xor_ g (v 0) (v 1)
+        | N.Maj -> Graph.maj g (v 0) (v 1) (v 2)
+        | N.Mux -> Graph.mux g (v 0) (v 1) (v 2)));
+  List.iter (fun (name, s) -> Graph.add_po g name (value s)) (N.pos net);
+  g
+
+let to_network g =
+  let net = N.create () in
+  let map = Array.make (Graph.num_nodes g) (N.const0 net) in
+  List.iter (fun id -> map.(id) <- N.add_pi net (Graph.pi_name g id)) (Graph.pis g);
+  let value s = S.xor_complement map.(S.node s) (S.is_complement s) in
+  Graph.iter_ands g (fun i a b -> map.(i) <- N.and_ net (value a) (value b));
+  List.iter (fun (name, s) -> N.add_po net name (value s)) (Graph.pos g);
+  net

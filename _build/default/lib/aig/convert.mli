@@ -1,0 +1,8 @@
+(** Conversions between the generic network IR and AIGs. *)
+
+val of_network : Network.Graph.t -> Graph.t
+(** Decompose every primitive into AND/INV structure.  XOR costs
+    three ANDs, MAJ four, MUX three. *)
+
+val to_network : Graph.t -> Network.Graph.t
+(** One 2-input AND gate per AIG node. *)

@@ -1,0 +1,168 @@
+module S = Network.Signal
+module Vec = Lsutil.Vec
+
+(* fanin0 = -1 marks a PI; fanin0 = -2 marks the constant node. *)
+type t = {
+  f0 : int Vec.t;
+  f1 : int Vec.t;
+  strash : (int * int, int) Hashtbl.t;
+  names : (int, string) Hashtbl.t;
+  mutable pi_ids : int list; (* reversed *)
+  mutable po_list : (string * S.t) list; (* reversed *)
+}
+
+let create () =
+  let g =
+    {
+      f0 = Vec.create ();
+      f1 = Vec.create ();
+      strash = Hashtbl.create 4096;
+      names = Hashtbl.create 64;
+      pi_ids = [];
+      po_list = [];
+    }
+  in
+  ignore (Vec.push g.f0 (-2));
+  ignore (Vec.push g.f1 (-2));
+  g
+
+let const0 _ = S.make 0 false
+let const1 _ = S.make 0 true
+
+let add_pi g name =
+  let id = Vec.push g.f0 (-1) in
+  ignore (Vec.push g.f1 (-1));
+  g.pi_ids <- id :: g.pi_ids;
+  Hashtbl.replace g.names id name;
+  S.make id false
+
+let add_po g name s = g.po_list <- (name, s) :: g.po_list
+
+let is_c0 s = S.equal s (S.make 0 false)
+let is_c1 s = S.equal s (S.make 0 true)
+
+let key a b =
+  let a = (a : S.t :> int) and b = (b : S.t :> int) in
+  if a <= b then (a, b) else (b, a)
+
+let find_and g a b =
+  if is_c0 a || is_c0 b then Some (const0 g)
+  else if is_c1 a then Some b
+  else if is_c1 b then Some a
+  else if S.equal a b then Some a
+  else if S.equal a (S.not_ b) then Some (const0 g)
+  else
+    match Hashtbl.find_opt g.strash (key a b) with
+    | Some id -> Some (S.make id false)
+    | None -> None
+
+let and_ g a b =
+  match find_and g a b with
+  | Some s -> s
+  | None ->
+      let ka, kb = key a b in
+      let id = Vec.push g.f0 ka in
+      ignore (Vec.push g.f1 kb);
+      Hashtbl.add g.strash (ka, kb) id;
+      S.make id false
+
+let or_ g a b = S.not_ (and_ g (S.not_ a) (S.not_ b))
+
+let xor_ g a b =
+  (* a(+)b = !( !(a!b) * !( !a b) ) *)
+  let p = and_ g a (S.not_ b) in
+  let q = and_ g (S.not_ a) b in
+  S.not_ (and_ g (S.not_ p) (S.not_ q))
+
+let mux g s t e = or_ g (and_ g s t) (and_ g (S.not_ s) e)
+
+let maj g a b c =
+  (* M(a,b,c) = ab + c(a+b): four AND nodes *)
+  or_ g (and_ g a b) (and_ g c (or_ g a b))
+
+let rec tree op g = function
+  | [] -> invalid_arg "Aig: empty tree"
+  | [ x ] -> x
+  | xs ->
+      let rec pair = function
+        | a :: b :: rest -> op g a b :: pair rest
+        | rest -> rest
+      in
+      tree op g (pair xs)
+
+let and_n g = function [] -> const1 g | xs -> tree and_ g xs
+let or_n g = function [] -> const0 g | xs -> tree or_ g xs
+let xor_n g = function [] -> const0 g | xs -> tree xor_ g xs
+
+let num_nodes g = Vec.length g.f0
+let is_pi g i = Vec.get g.f0 i = -1
+let is_and g i = Vec.get g.f0 i >= 0
+let fanin0 g i = S.unsafe_of_int (Vec.get g.f0 i)
+let fanin1 g i = S.unsafe_of_int (Vec.get g.f1 i)
+let pis g = List.rev g.pi_ids
+let num_pis g = List.length g.pi_ids
+let pos g = List.rev g.po_list
+let num_pos g = List.length g.po_list
+
+let pi_name g i =
+  match Hashtbl.find_opt g.names i with
+  | Some n when is_pi g i -> n
+  | _ -> invalid_arg "Aig.pi_name: not a PI"
+
+let iter_ands g f =
+  for i = 0 to num_nodes g - 1 do
+    if is_and g i then f i (fanin0 g i) (fanin1 g i)
+  done
+
+let size g =
+  let c = ref 0 in
+  iter_ands g (fun _ _ _ -> incr c);
+  !c
+
+let fanout_counts g =
+  let counts = Array.make (num_nodes g) 0 in
+  iter_ands g (fun _ a b ->
+      counts.(S.node a) <- counts.(S.node a) + 1;
+      counts.(S.node b) <- counts.(S.node b) + 1);
+  List.iter (fun (_, s) -> counts.(S.node s) <- counts.(S.node s) + 1) (pos g);
+  counts
+
+let levels g =
+  let lv = Array.make (num_nodes g) 0 in
+  iter_ands g (fun i a b ->
+      lv.(i) <- 1 + max lv.(S.node a) lv.(S.node b));
+  lv
+
+let depth g =
+  let lv = levels g in
+  List.fold_left (fun acc (_, s) -> max acc lv.(S.node s)) 0 (pos g)
+
+let cleanup g =
+  let fresh = create () in
+  let map = Array.make (num_nodes g) None in
+  map.(0) <- Some (const0 fresh);
+  List.iter (fun id -> map.(id) <- Some (add_pi fresh (pi_name g id))) (pis g);
+  let lookup s =
+    match map.(S.node s) with
+    | Some s' -> S.xor_complement s' (S.is_complement s)
+    | None -> assert false
+  in
+  let rec build id =
+    match map.(id) with
+    | Some _ -> ()
+    | None ->
+        let a = fanin0 g id and b = fanin1 g id in
+        build (S.node a);
+        build (S.node b);
+        map.(id) <- Some (and_ fresh (lookup a) (lookup b))
+  in
+  List.iter
+    (fun (name, s) ->
+      build (S.node s);
+      add_po fresh name (lookup s))
+    (pos g);
+  fresh
+
+let pp_stats fmt g =
+  Format.fprintf fmt "i/o = %d/%d, ands = %d, depth = %d" (num_pis g)
+    (num_pos g) (size g) (depth g)

@@ -1,0 +1,65 @@
+(** AND-Inverter Graphs.
+
+    The baseline representation the paper compares against (ABC's
+    data structure): a DAG of two-input AND nodes with complementable
+    edges.  Node 0 is the constant 0; primary inputs are nodes without
+    fanins.  Structural hashing keeps the graph canonical up to local
+    commutativity.  Signals are {!Network.Signal.t} values. *)
+
+type t
+
+module S := Network.Signal
+
+val create : unit -> t
+
+(** {1 Construction} *)
+
+val const0 : t -> S.t
+val const1 : t -> S.t
+val add_pi : t -> string -> S.t
+val add_po : t -> string -> S.t -> unit
+
+val and_ : t -> S.t -> S.t -> S.t
+val or_ : t -> S.t -> S.t -> S.t
+val xor_ : t -> S.t -> S.t -> S.t
+val mux : t -> S.t -> S.t -> S.t -> S.t
+val maj : t -> S.t -> S.t -> S.t -> S.t
+val and_n : t -> S.t list -> S.t
+val or_n : t -> S.t list -> S.t
+val xor_n : t -> S.t list -> S.t
+
+val find_and : t -> S.t -> S.t -> S.t option
+(** Structural-hash lookup without insertion. *)
+
+(** {1 Access} *)
+
+val num_nodes : t -> int
+val size : t -> int
+(** Number of AND nodes. *)
+
+val is_pi : t -> int -> bool
+val is_and : t -> int -> bool
+val fanin0 : t -> int -> S.t
+val fanin1 : t -> int -> S.t
+val pis : t -> int list
+val num_pis : t -> int
+val pos : t -> (string * S.t) list
+val num_pos : t -> int
+val pi_name : t -> int -> string
+
+val iter_ands : t -> (int -> S.t -> S.t -> unit) -> unit
+(** Iterate AND nodes in topological order. *)
+
+val fanout_counts : t -> int array
+
+(** {1 Metrics} *)
+
+val levels : t -> int array
+val depth : t -> int
+
+(** {1 Transformation} *)
+
+val cleanup : t -> t
+(** Reachable-only copy; all PIs preserved in order. *)
+
+val pp_stats : Format.formatter -> t -> unit

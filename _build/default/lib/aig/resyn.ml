@@ -1,0 +1,18 @@
+let run ?(effort = 2) g =
+  let step g =
+    let g = Balance.run g in
+    let g = Rewrite.run g in
+    let g = Refactor.run g in
+    let g = Balance.run g in
+    let g = Rewrite.run g in
+    Balance.run g
+  in
+  let rec go n g = if n = 0 then g else go (n - 1) (step g) in
+  go effort g
+
+let balance_only g = Balance.run g
+
+let size_only ?(effort = 2) g =
+  let step g = Refactor.run (Rewrite.run g) in
+  let rec go n g = if n = 0 then g else go (n - 1) (step g) in
+  go effort g

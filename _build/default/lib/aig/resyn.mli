@@ -1,0 +1,14 @@
+(** The [resyn2]-style optimization script for AIGs.
+
+    Stands in for ABC's `resyn2` in the paper's evaluation: an
+    alternation of balancing (depth) and rewriting/refactoring (size)
+    passes. *)
+
+val run : ?effort:int -> Graph.t -> Graph.t
+(** [run ?effort g] applies [effort] rounds (default 2) of
+    balance; rewrite; refactor; balance; rewrite; balance. *)
+
+val balance_only : Graph.t -> Graph.t
+val size_only : ?effort:int -> Graph.t -> Graph.t
+(** Rewriting/refactoring without balancing (area-oriented script,
+    used by the commercial-synthesis-tool proxy). *)

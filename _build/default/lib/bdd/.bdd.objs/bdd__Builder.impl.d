@@ -1,0 +1,1 @@
+lib/bdd/builder.ml: Array Hashtbl List Network Robdd

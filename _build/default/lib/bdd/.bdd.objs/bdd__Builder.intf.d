@@ -1,0 +1,1 @@
+lib/bdd/builder.mli: Network Robdd

@@ -1,0 +1,1 @@
+lib/bdd/decompose.ml: Array Builder Hashtbl List Network Reorder Robdd

@@ -1,0 +1,1 @@
+lib/bdd/decompose.mli: Network Robdd

@@ -1,0 +1,1 @@
+lib/bdd/robdd.ml: Hashtbl List Lsutil Truthtable

@@ -1,0 +1,41 @@
+module G = Network.Graph
+module S = Network.Signal
+
+let dfs_order n =
+  let visited = Array.make (G.num_nodes n) false in
+  let order = ref [] in
+  let rec go id =
+    if not visited.(id) then begin
+      visited.(id) <- true;
+      match G.node n id with
+      | G.Const0 -> ()
+      | G.Pi _ -> order := id :: !order
+      | G.Gate (_, fanins) -> Array.iter (fun s -> go (S.node s)) fanins
+    end
+  in
+  List.iter (fun (_, s) -> go (S.node s)) (G.pos n);
+  (* dangling PIs at the end, in declaration order *)
+  List.iter (fun id -> if not visited.(id) then order := id :: !order) (G.pis n);
+  Array.of_list (List.rev !order)
+
+let of_network man ~order n =
+  let var_of_pi = Hashtbl.create 64 in
+  Array.iteri (fun level id -> Hashtbl.add var_of_pi id level) order;
+  let bdds = Array.make (G.num_nodes n) Robdd.zero in
+  List.iter
+    (fun id -> bdds.(id) <- Robdd.var man (Hashtbl.find var_of_pi id))
+    (G.pis n);
+  let value s =
+    let b = bdds.(S.node s) in
+    if S.is_complement s then Robdd.not_ man b else b
+  in
+  G.iter_gates n (fun i fn fs ->
+      let v k = value fs.(k) in
+      bdds.(i) <-
+        (match fn with
+        | G.And -> Robdd.and_ man (v 0) (v 1)
+        | G.Or -> Robdd.or_ man (v 0) (v 1)
+        | G.Xor -> Robdd.xor_ man (v 0) (v 1)
+        | G.Maj -> Robdd.maj man (v 0) (v 1) (v 2)
+        | G.Mux -> Robdd.ite man (v 0) (v 1) (v 2)));
+  List.map (fun (name, s) -> (name, value s)) (G.pos n)

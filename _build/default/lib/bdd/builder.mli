@@ -1,0 +1,15 @@
+(** Building BDDs from logic networks. *)
+
+val dfs_order : Network.Graph.t -> int array
+(** Variable order produced by a depth-first traversal from the
+    outputs: element [i] is the PI node id placed at BDD level [i].
+    PIs never visited (dangling) are appended at the end. *)
+
+val of_network :
+  Robdd.man ->
+  order:int array ->
+  Network.Graph.t ->
+  (string * Robdd.t) list
+(** Build one BDD per primary output, sharing nodes across outputs.
+    [order] is as returned by {!dfs_order}.
+    @raise Robdd.Node_limit_exceeded when the manager budget is hit. *)

@@ -1,0 +1,55 @@
+module G = Network.Graph
+module S = Network.Signal
+
+let to_network man ~pi_names outs =
+  let net = G.create () in
+  let levels =
+    List.fold_left
+      (fun acc (_, b) ->
+        List.fold_left (fun acc v -> max acc (v + 1)) acc (Robdd.support man b))
+      0 outs
+  in
+  let pi_sigs = Array.init levels (fun l -> G.add_pi net (pi_names l)) in
+  let memo = Hashtbl.create 1024 in
+  let rec build f =
+    if f = Robdd.zero then G.const0 net
+    else if f = Robdd.one then G.const1 net
+    else
+      match Hashtbl.find_opt memo f with
+      | Some s -> s
+      | None ->
+          let v = pi_sigs.(Robdd.topvar man f) in
+          let lo = Robdd.low man f and hi = Robdd.high man f in
+          let s =
+            if lo = Robdd.zero then G.and_ net v (build hi)
+            else if hi = Robdd.zero then G.and_ net (S.not_ v) (build lo)
+            else if lo = Robdd.one then G.or_ net (S.not_ v) (build hi)
+            else if hi = Robdd.one then G.or_ net v (build lo)
+            else if Robdd.not_ man lo = hi then G.xor_ net v (build lo)
+            else G.mux net v (build hi) (build lo)
+          in
+          Hashtbl.replace memo f s;
+          s
+  in
+  List.iter (fun (name, b) -> G.add_po net name (build b)) outs;
+  net
+
+let run ?(node_limit = 2_000_000) ?(reorder = true) ~seed n =
+  match
+    let order =
+      if reorder then Reorder.best_order ~node_limit ~seed n
+      else Builder.dfs_order n
+    in
+    let man = Robdd.manager ~node_limit () in
+    let outs = Builder.of_network man ~order n in
+    let pi_names level = G.pi_name n order.(level) in
+    (* Dangling PIs must survive so the interface stays intact. *)
+    let net = to_network man ~pi_names outs in
+    let declared = G.num_pis net in
+    Array.iteri
+      (fun l id -> if l >= declared then ignore (G.add_pi net (G.pi_name n id)))
+      order;
+    net
+  with
+  | net -> Some (G.cleanup net)
+  | exception Robdd.Node_limit_exceeded -> None

@@ -1,0 +1,28 @@
+(** BDS-style decomposition of BDDs into multi-level networks.
+
+    Mirrors the role of the BDS tool in the paper's evaluation: each
+    BDD node is turned into network logic, extracting simple AND/OR
+    dominators (a child is a constant) and XOR dominators (the two
+    children are complements) before falling back to a MUX.  Shared
+    BDD nodes become shared network nodes. *)
+
+val to_network :
+  Robdd.man ->
+  pi_names:(int -> string) ->
+  (string * Robdd.t) list ->
+  Network.Graph.t
+(** [to_network man ~pi_names outs] builds a network computing every
+    [(name, bdd)] output.  [pi_names level] is the PI name to use for
+    the BDD variable at [level] (the inverse of the build order).
+    PIs are declared in level order. *)
+
+val run :
+  ?node_limit:int ->
+  ?reorder:bool ->
+  seed:int ->
+  Network.Graph.t ->
+  Network.Graph.t option
+(** Full BDS-like flow: pick a variable order (searched when
+    [reorder], default true), build the BDDs, decompose back to a
+    network and sweep it.  [None] when the node budget was exceeded —
+    the situation the paper reports as "N.A.". *)

@@ -1,0 +1,98 @@
+module G = Network.Graph
+
+let shuffle rng a =
+  let a = Array.copy a in
+  for i = Array.length a - 1 downto 1 do
+    let j = Lsutil.Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let cost_of ~node_limit n order =
+  let man = Robdd.manager ~node_limit () in
+  match Builder.of_network man ~order n with
+  | roots -> Some (Robdd.size man (List.map snd roots))
+  | exception Robdd.Node_limit_exceeded -> None
+
+let best_order ?(tries = 2) ?(node_limit = 1_000_000) ~seed n =
+  (* probing an order does not need the full budget: an order that
+     exceeds a few hundred thousand nodes will not be chosen anyway *)
+  let node_limit = min node_limit 300_000 in
+  let dfs = Builder.dfs_order n in
+  let rev =
+    let a = Array.copy dfs in
+    let len = Array.length a in
+    Array.init len (fun i -> a.(len - 1 - i))
+  in
+  let decl = Array.of_list (G.pis n) in
+  let rng = Lsutil.Rng.create seed in
+  let candidates =
+    dfs :: rev :: decl :: List.init tries (fun _ -> shuffle rng dfs)
+  in
+  let best =
+    List.fold_left
+      (fun acc order ->
+        match cost_of ~node_limit n order with
+        | None -> acc
+        | Some c -> (
+            match acc with
+            | Some (bc, _) when bc <= c -> acc
+            | _ -> Some (c, order)))
+      None candidates
+  in
+  match best with
+  | Some (_, order) -> order
+  | None -> dfs
+
+let order_cost ~node_limit n order =
+  cost_of ~node_limit n order
+
+(* Sliding-window refinement: try all permutations of each window of
+   [width] adjacent levels, keep the best, sweep until a full pass
+   makes no improvement (classic window reordering, the practical
+   little sibling of sifting). *)
+let window_refine ?(width = 3) ?(node_limit = 300_000) ?(max_sweeps = 3) n
+    order =
+  let permutations xs =
+    let rec go = function
+      | [] -> [ [] ]
+      | xs ->
+          List.concat_map
+            (fun x ->
+              List.map
+                (fun rest -> x :: rest)
+                (go (List.filter (fun y -> y <> x) xs)))
+            xs
+    in
+    go xs
+  in
+  let best = ref (Array.copy order) in
+  let best_cost = ref (order_cost ~node_limit n !best) in
+  if !best_cost = None then !best
+  else begin
+    let improved = ref true in
+    let sweeps = ref 0 in
+    while !improved && !sweeps < max_sweeps do
+      improved := false;
+      incr sweeps;
+      for pos = 0 to Array.length !best - width do
+        let window = Array.to_list (Array.sub !best pos width) in
+        List.iter
+          (fun perm ->
+            if perm <> window then begin
+              let cand = Array.copy !best in
+              List.iteri (fun i v -> cand.(pos + i) <- v) perm;
+              match (order_cost ~node_limit n cand, !best_cost) with
+              | Some c, Some bc when c < bc ->
+                  best := cand;
+                  best_cost := Some c;
+                  improved := true
+              | _ -> ()
+            end)
+          (permutations window)
+      done
+    done;
+    !best
+  end

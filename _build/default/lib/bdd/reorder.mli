@@ -1,0 +1,29 @@
+(** Variable-order search.
+
+    A lightweight stand-in for dynamic reordering (sifting): several
+    candidate orders — the DFS order, its reverse, the declaration
+    order and a few seeded shuffles — are evaluated by building the
+    diagrams under a node budget, and the smallest result wins. *)
+
+val best_order :
+  ?tries:int ->
+  ?node_limit:int ->
+  seed:int ->
+  Network.Graph.t ->
+  int array
+(** Best variable order found (element [i] = PI node id at level [i]).
+    [tries] seeded shuffles are evaluated in addition to the three
+    deterministic candidates (default 2). *)
+
+val window_refine :
+  ?width:int ->
+  ?node_limit:int ->
+  ?max_sweeps:int ->
+  Network.Graph.t ->
+  int array ->
+  int array
+(** Sliding-window reordering: every window of [width] adjacent levels
+    (default 3) is tried in all permutations and the cheapest kept,
+    sweeping until a pass yields no improvement (or [max_sweeps]).
+    A practical refinement step on top of {!best_order}; the input
+    order is returned unchanged if it already exceeds [node_limit]. *)

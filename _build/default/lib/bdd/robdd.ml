@@ -1,0 +1,165 @@
+module Vec = Lsutil.Vec
+
+type man = {
+  (* per node: variable, low child, high child.  Slots 0 and 1 are the
+     constants and hold a sentinel variable larger than any real one. *)
+  vars : int Vec.t;
+  lows : int Vec.t;
+  highs : int Vec.t;
+  unique : (int * int * int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+  node_limit : int;
+}
+
+type t = int
+
+exception Node_limit_exceeded
+
+let terminal_var = max_int
+
+let manager ?(node_limit = 8_000_000) () =
+  let m =
+    {
+      vars = Vec.create ();
+      lows = Vec.create ();
+      highs = Vec.create ();
+      unique = Hashtbl.create 4096;
+      ite_cache = Hashtbl.create 4096;
+      node_limit;
+    }
+  in
+  (* constants *)
+  ignore (Vec.push m.vars terminal_var);
+  ignore (Vec.push m.lows 0);
+  ignore (Vec.push m.highs 0);
+  ignore (Vec.push m.vars terminal_var);
+  ignore (Vec.push m.lows 1);
+  ignore (Vec.push m.highs 1);
+  m
+
+let zero = 0
+let one = 1
+let is_const f = f < 2
+let var_of m f = Vec.get m.vars f
+let low m f = Vec.get m.lows f
+let high m f = Vec.get m.highs f
+
+let topvar m f =
+  if is_const f then invalid_arg "Robdd.topvar: constant";
+  var_of m f
+
+let num_allocated m = Vec.length m.vars - 2
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else
+    let key = (v, lo, hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some id -> id
+    | None ->
+        if Vec.length m.vars - 2 >= m.node_limit then raise Node_limit_exceeded;
+        let id = Vec.push m.vars v in
+        ignore (Vec.push m.lows lo);
+        ignore (Vec.push m.highs hi);
+        Hashtbl.add m.unique key id;
+        id
+
+let var m i =
+  if i < 0 || i >= terminal_var then invalid_arg "Robdd.var";
+  mk m i zero one
+
+let rec ite m f g h =
+  if f = one then g
+  else if f = zero then h
+  else if g = h then g
+  else if g = one && h = zero then f
+  else begin
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+        let v =
+          min (var_of m f) (min (var_of m g) (var_of m h))
+        in
+        let cof x = if is_const x || var_of m x <> v then (x, x) else (low m x, high m x) in
+        let f0, f1 = cof f and g0, g1 = cof g and h0, h1 = cof h in
+        let r0 = ite m f0 g0 h0 in
+        let r1 = ite m f1 g1 h1 in
+        let r = mk m v r0 r1 in
+        Hashtbl.replace m.ite_cache key r;
+        r
+  end
+
+let not_ m f = ite m f zero one
+let and_ m f g = ite m f g zero
+let or_ m f g = ite m f one g
+let xor_ m f g = ite m f (not_ m g) g
+let maj m a b c = ite m a (or_ m b c) (and_ m b c)
+
+let size m roots =
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  let rec go f =
+    if (not (is_const f)) && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      incr count;
+      go (low m f);
+      go (high m f)
+    end
+  in
+  List.iter go roots;
+  !count
+
+let support m f =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go f =
+    if (not (is_const f)) && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      Hashtbl.replace vars (var_of m f) ();
+      go (low m f);
+      go (high m f)
+    end
+  in
+  go f;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let rec eval m f env =
+  if f = zero then false
+  else if f = one then true
+  else if env (var_of m f) then eval m (high m f) env
+  else eval m (low m f) env
+
+let to_truthtable m ~nvars f =
+  let module T = Truthtable in
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    if f = zero then T.const0 nvars
+    else if f = one then T.const1 nvars
+    else
+      match Hashtbl.find_opt memo f with
+      | Some t -> t
+      | None ->
+          let v = var_of m f in
+          if v >= nvars then invalid_arg "Robdd.to_truthtable: variable out of range";
+          let t = T.mux (T.var nvars v) (go (high m f)) (go (low m f)) in
+          Hashtbl.replace memo f t;
+          t
+  in
+  go f
+
+let count_minterms m ~nvars f =
+  let memo = Hashtbl.create 64 in
+  (* fraction of the space where f holds *)
+  let rec frac f =
+    if f = zero then 0.0
+    else if f = one then 1.0
+    else
+      match Hashtbl.find_opt memo f with
+      | Some x -> x
+      | None ->
+          let x = 0.5 *. (frac (low m f) +. frac (high m f)) in
+          Hashtbl.replace memo f x;
+          x
+  in
+  frac f *. (2.0 ** float_of_int nvars)

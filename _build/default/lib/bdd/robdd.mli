@@ -1,0 +1,57 @@
+(** Reduced Ordered Binary Decision Diagrams.
+
+    A manager owns the unique table and operation caches.  BDD nodes
+    are plain integers ([0] = constant false, [1] = constant true);
+    variables are integers ordered by their index ([0] is the top of
+    every diagram).  The manager enforces an optional node budget so
+    that callers can detect blow-up (as the paper reports "N.A." when
+    BDS failed on large circuits). *)
+
+type man
+type t = int
+(** A BDD root handle, only meaningful together with its manager. *)
+
+exception Node_limit_exceeded
+
+val manager : ?node_limit:int -> unit -> man
+(** Fresh manager.  [node_limit] bounds the total number of nodes ever
+    allocated; exceeding it raises {!Node_limit_exceeded}. *)
+
+val zero : t
+val one : t
+val var : man -> int -> t
+(** [var m i] is the function of variable [i]. *)
+
+val num_allocated : man -> int
+
+(** {1 Operations} *)
+
+val ite : man -> t -> t -> t -> t
+val not_ : man -> t -> t
+val and_ : man -> t -> t -> t
+val or_ : man -> t -> t -> t
+val xor_ : man -> t -> t -> t
+val maj : man -> t -> t -> t -> t
+
+(** {1 Structure} *)
+
+val is_const : t -> bool
+val topvar : man -> t -> int
+(** Variable at the root.  Raises on constants. *)
+
+val low : man -> t -> t
+val high : man -> t -> t
+
+val size : man -> t list -> int
+(** Number of distinct internal nodes reachable from the given roots
+    (shared nodes counted once; constants not counted). *)
+
+val support : man -> t -> int list
+(** Variables the function depends on, ascending. *)
+
+val eval : man -> t -> (int -> bool) -> bool
+val to_truthtable : man -> nvars:int -> t -> Truthtable.t
+(** Expand to a truth table; BDD variable [i] becomes table variable
+    [i].  Intended for small [nvars]. *)
+
+val count_minterms : man -> nvars:int -> t -> float

@@ -1,0 +1,1 @@
+lib/benchmarks/arith.ml: Array List Network Printf

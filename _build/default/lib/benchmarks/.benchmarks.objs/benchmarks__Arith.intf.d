@@ -1,0 +1,1 @@
+lib/benchmarks/arith.mli: Network

@@ -1,0 +1,1 @@
+lib/benchmarks/compress.ml: Array Network Printf

@@ -1,0 +1,1 @@
+lib/benchmarks/control.ml: Array List Lsutil Network Printf

@@ -1,0 +1,1 @@
+lib/benchmarks/control.mli: Network

@@ -1,0 +1,1 @@
+lib/benchmarks/ecc.ml: Array Network Printf

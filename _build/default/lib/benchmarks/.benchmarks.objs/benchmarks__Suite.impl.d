@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: Arith Compress Control Ecc List Network

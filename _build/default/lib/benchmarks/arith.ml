@@ -1,0 +1,216 @@
+module N = Network.Graph
+module S = Network.Signal
+
+let bus n net prefix = Array.init n (fun i -> N.add_pi net (Printf.sprintf "%s%d" prefix i))
+
+let out_bus net prefix sigs =
+  Array.iteri (fun i s -> N.add_po net (Printf.sprintf "%s%d" prefix i) s) sigs
+
+let full_adder net a b c =
+  let sum = N.xor_ net (N.xor_ net a b) c in
+  let carry = N.maj net a b c in
+  (sum, carry)
+
+let ripple_adder ?(name_prefix = "") n =
+  let net = N.create () in
+  let a = bus n net (name_prefix ^ "a") in
+  let b = bus n net (name_prefix ^ "b") in
+  let c = ref (N.add_pi net (name_prefix ^ "cin")) in
+  let sums =
+    Array.init n (fun i ->
+        let s, c' = full_adder net a.(i) b.(i) !c in
+        c := c';
+        s)
+  in
+  out_bus net (name_prefix ^ "s") sums;
+  N.add_po net (name_prefix ^ "cout") !c;
+  net
+
+let cla_adder n =
+  let net = N.create () in
+  let a = bus n net "a" and b = bus n net "b" in
+  let cin = N.add_pi net "cin" in
+  (* bit-level generate/propagate *)
+  let g0 = Array.init n (fun i -> N.and_ net a.(i) b.(i)) in
+  let p0 = Array.init n (fun i -> N.xor_ net a.(i) b.(i)) in
+  (* recursive 4-ary lookahead: given (g, p) pairs and an incoming
+     carry, produce the carry entering each position *)
+  let rec lookahead gs ps c0 =
+    let m = Array.length gs in
+    if m <= 4 then begin
+      (* flat lookahead within a small block *)
+      let carries = Array.make (m + 1) c0 in
+      for k = 0 to m - 1 do
+        let terms = ref [ gs.(k) ] in
+        for j = 0 to k - 1 do
+          terms :=
+            N.and_n net (gs.(j) :: List.init (k - j) (fun t -> ps.(j + 1 + t)))
+            :: !terms
+        done;
+        terms :=
+          N.and_n net (c0 :: List.init (k + 1) (fun t -> ps.(t))) :: !terms;
+        carries.(k + 1) <- N.or_n net !terms
+      done;
+      carries
+    end
+    else begin
+      (* group into blocks of 4, compute block G/P, recurse *)
+      let nblk = (m + 3) / 4 in
+      let blk_g = Array.make nblk (N.const0 net) in
+      let blk_p = Array.make nblk (N.const1 net) in
+      for b = 0 to nblk - 1 do
+        let lo = b * 4 and hi = min (m - 1) ((b * 4) + 3) in
+        let w = hi - lo + 1 in
+        (* block generate: g_hi + p_hi g_{hi-1} + ... *)
+        let terms = ref [ gs.(hi) ] in
+        for j = lo to hi - 1 do
+          terms :=
+            N.and_n net (gs.(j) :: List.init (hi - j) (fun t -> ps.(j + 1 + t)))
+            :: !terms
+        done;
+        blk_g.(b) <- N.or_n net !terms;
+        blk_p.(b) <- N.and_n net (List.init w (fun t -> ps.(lo + t)))
+      done;
+      let blk_carry = lookahead blk_g blk_p c0 in
+      (* expand within each block from its incoming carry *)
+      let carries = Array.make (m + 1) c0 in
+      for b = 0 to nblk - 1 do
+        let lo = b * 4 and hi = min (m - 1) ((b * 4) + 3) in
+        let w = hi - lo + 1 in
+        let inner =
+          lookahead (Array.sub gs lo w) (Array.sub ps lo w) blk_carry.(b)
+        in
+        Array.blit inner 0 carries lo (w + 1)
+      done;
+      carries.(m) <- blk_carry.(nblk);
+      carries
+    end
+  in
+  let carries = lookahead g0 p0 cin in
+  let sums = Array.init n (fun i -> N.xor_ net p0.(i) carries.(i)) in
+  out_bus net "s" sums;
+  N.add_po net "cout" carries.(n);
+  net
+
+let array_multiplier n =
+  let net = N.create () in
+  let a = bus n net "a" and b = bus n net "b" in
+  (* partial products *)
+  let pp = Array.init n (fun i -> Array.init n (fun j -> N.and_ net a.(j) b.(i))) in
+  (* row-by-row carry-save accumulation, final ripple *)
+  let acc = Array.make (2 * n) (N.const0 net) in
+  for j = 0 to n - 1 do
+    acc.(j) <- pp.(0).(j)
+  done;
+  for i = 1 to n - 1 do
+    let carry = ref (N.const0 net) in
+    for j = 0 to n - 1 do
+      let pos = i + j in
+      let s, c = full_adder net acc.(pos) pp.(i).(j) !carry in
+      acc.(pos) <- s;
+      carry := c
+    done;
+    (* propagate the final carry of this row *)
+    let pos = ref (i + n) in
+    while not (S.equal !carry (N.const0 net)) && !pos < 2 * n do
+      let s = N.xor_ net acc.(!pos) !carry in
+      let c = N.and_ net acc.(!pos) !carry in
+      acc.(!pos) <- s;
+      carry := c;
+      incr pos
+    done
+  done;
+  out_bus net "p" (Array.sub acc 0 (2 * n));
+  net
+
+let counter_next n =
+  let net = N.create () in
+  let q = bus n net "q" in
+  let d = bus n net "d" in
+  let load = N.add_pi net "load" in
+  let enable = N.add_pi net "enable" in
+  let clear = N.add_pi net "clear" in
+  (* increment: half-adder ripple *)
+  let carry = ref enable in
+  let inc =
+    Array.init n (fun i ->
+        let s = N.xor_ net q.(i) !carry in
+        carry := N.and_ net q.(i) !carry;
+        s)
+  in
+  let next =
+    Array.init n (fun i ->
+        let v = N.mux net load d.(i) inc.(i) in
+        N.and_ net v (S.not_ clear))
+  in
+  out_bus net "n" next;
+  net
+
+(* unsigned a < b as a ripple from MSB *)
+let less_than net a b =
+  let n = Array.length a in
+  let lt = ref (N.const0 net) in
+  let eq = ref (N.const1 net) in
+  for i = n - 1 downto 0 do
+    let bit_lt = N.and_ net (S.not_ a.(i)) b.(i) in
+    lt := N.or_ net !lt (N.and_ net !eq bit_lt);
+    eq := N.and_ net !eq (S.not_ (N.xor_ net a.(i) b.(i)))
+  done;
+  !lt
+
+let select net c x y = Array.map2 (fun xi yi -> N.mux net c xi yi) x y
+
+let minmax ~width ~words =
+  assert (words >= 2);
+  let net = N.create () in
+  let ws =
+    Array.init words (fun w -> bus width net (Printf.sprintf "w%d_" w))
+  in
+  let sel = Array.init words (fun w -> N.add_pi net (Printf.sprintf "sel%d" w)) in
+  let mn = ref ws.(0) and mx = ref ws.(0) in
+  for w = 1 to words - 1 do
+    let lt = less_than net ws.(w) !mn in
+    mn := select net lt ws.(w) !mn;
+    let gt = less_than net !mx ws.(w) in
+    mx := select net gt ws.(w) !mx
+  done;
+  out_bus net "min" !mn;
+  out_bus net "max" !mx;
+  (* pass-throughs gated by the select inputs *)
+  for w = 0 to words - 3 do
+    let gated = Array.map (fun s -> N.and_ net s sel.(w)) ws.(w) in
+    out_bus net (Printf.sprintf "t%d_" w) gated
+  done;
+  (* consume remaining selects so the interface is stable *)
+  ignore sel;
+  net
+
+let dedicated_alu () =
+  let net = N.create () in
+  let a = bus 32 net "a" and b = bus 32 net "b" in
+  let op = bus 3 net "op" in
+  let mask = bus 8 net "m" in
+  (* add *)
+  let carry = ref (N.const0 net) in
+  let add =
+    Array.init 32 (fun i ->
+        let s, c = full_adder net a.(i) b.(i) !carry in
+        carry := c;
+        s)
+  in
+  let and_v = Array.init 32 (fun i -> N.and_ net a.(i) b.(i)) in
+  let or_v = Array.init 32 (fun i -> N.or_ net a.(i) b.(i)) in
+  let xor_v = Array.init 32 (fun i -> N.xor_ net a.(i) b.(i)) in
+  let pick i =
+    let t0 = N.mux net op.(0) add.(i) and_v.(i) in
+    let t1 = N.mux net op.(0) or_v.(i) xor_v.(i) in
+    N.mux net op.(1) t0 t1
+  in
+  (* 16 outputs: the low half folded with the high half, so the whole
+     datapath stays observable (the paper's dalu is 75/16) *)
+  for i = 0 to 15 do
+    let v = N.xor_ net (pick i) (pick (i + 16)) in
+    let v = N.xor_ net v (N.and_ net op.(2) mask.(i mod 8)) in
+    N.add_po net (Printf.sprintf "r%d" i) v
+  done;
+  net

@@ -1,0 +1,35 @@
+(** Structural generators for the arithmetic benchmarks of Table I.
+
+    These circuits' functions are public knowledge, so the real
+    structure is built: the paper's headline wins (my_adder, cla,
+    count, C6288, mm30a) are all datapath circuits where majority
+    logic dominates. *)
+
+val ripple_adder : ?name_prefix:string -> int -> Network.Graph.t
+(** [ripple_adder n]: the [my_adder] proxy — n-bit ripple-carry adder
+    with carry-in; I/O = 2n+1 / n+1. *)
+
+val cla_adder : int -> Network.Graph.t
+(** [cla_adder n]: the [cla] proxy — carry-lookahead adder built from
+    4-bit lookahead groups; I/O = 2n+1 / n+1. *)
+
+val array_multiplier : int -> Network.Graph.t
+(** [array_multiplier n]: the C6288 proxy — n×n array multiplier of
+    AND partial products and full-adder rows; I/O = 2n / 2n. *)
+
+val counter_next : int -> Network.Graph.t
+(** [counter_next n]: the [count] proxy — next-state logic of an
+    n-bit loadable counter: inputs are the current value, a load
+    value, and load/enable/clear controls (2n+3); outputs the next
+    value (n). *)
+
+val minmax : width:int -> words:int -> Network.Graph.t
+(** [minmax ~width ~words]: the [mm30a] proxy — comparator ladder
+    computing the minimum and maximum of [words] unsigned values plus
+    selectable pass-throughs; I/O = width*words + words /
+    width*(words-2) + 2*width with words=4, width=30 giving 124/120. *)
+
+val dedicated_alu : unit -> Network.Graph.t
+(** The [dalu] proxy — a dedicated ALU with two 32-bit operands and
+    11 control bits (75 inputs) computing a masked combination of
+    add/and/or/xor, truncated to a 16-bit result (16 outputs). *)

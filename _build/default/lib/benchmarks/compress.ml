@@ -1,0 +1,85 @@
+module N = Network.Graph
+module S = Network.Signal
+
+let clog2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let byte net name = Array.init 8 (fun b -> N.add_pi net (Printf.sprintf "%s_%d" name b))
+
+let eq8 net a b =
+  let diffs = Array.to_list (Array.map2 (fun x y -> N.xor_ net x y) a b) in
+  S.not_ (N.or_n net diffs)
+
+(* add a 1-bit condition into a small accumulator (ripple increment) *)
+let add_bit net acc cond =
+  let carry = ref cond in
+  Array.map
+    (fun a ->
+      let s = N.xor_ net a !carry in
+      carry := N.and_ net a !carry;
+      s)
+    acc
+
+let create ~window =
+  let net = N.create () in
+  let syms = Array.init window (fun i -> byte net (Printf.sprintf "s%d" i)) in
+  let dict = Array.init 16 (fun i -> N.add_pi net (Printf.sprintf "dk%d" i)) in
+  let score_bits = clog2 (window + 1) in
+  (* per offset: score = number of positions where the window matches
+     itself shifted by the offset (run-length flavour) *)
+  let scores =
+    Array.init (window - 1) (fun off ->
+        let off = off + 1 in
+        let acc = ref (Array.make score_bits (N.const0 net)) in
+        for i = 0 to window - 1 - off do
+          let m = eq8 net syms.(i) syms.(i + off) in
+          (* dictionary gating: offsets hash against the dictionary key *)
+          let g = N.and_ net m (S.xor_complement dict.((i + off) mod 16) (off land 1 = 0)) in
+          acc := add_bit net !acc g
+        done;
+        !acc)
+  in
+  (* best score: tournament of unsigned comparisons *)
+  let greater_eq a b =
+    (* a >= b, MSB-first ripple *)
+    let ge = ref (N.const1 net) in
+    for i = 0 to Array.length a - 1 do
+      let agtb = N.and_ net a.(i) (S.not_ b.(i)) in
+      let eq = S.not_ (N.xor_ net a.(i) b.(i)) in
+      ge := N.or_ net agtb (N.and_ net eq !ge)
+    done;
+    !ge
+  in
+  let best = ref scores.(0) in
+  let best_flags =
+    Array.init (window - 1) (fun _ -> ref (N.const0 net))
+  in
+  best_flags.(0) := N.const1 net;
+  for o = 1 to window - 2 do
+    let better = greater_eq scores.(o) !best in
+    best := Array.map2 (fun n o -> N.mux net better n o) scores.(o) !best;
+    for p = 0 to o - 1 do
+      best_flags.(p) := N.and_ net !(best_flags.(p)) (S.not_ better)
+    done;
+    best_flags.(o) := better
+  done;
+  (* outputs: best score, a literal mask, and the per-offset flags *)
+  Array.iteri (fun i s -> N.add_po net (Printf.sprintf "score%d" i) s) !best;
+  let mask =
+    Array.init 8 (fun b ->
+        let bits =
+          Array.to_list (Array.init window (fun i -> syms.(i).(b)))
+        in
+        N.xor_n net bits)
+  in
+  Array.iteri (fun b s -> N.add_po net (Printf.sprintf "mask%d" b) s) mask;
+  Array.iteri
+    (fun o f -> N.add_po net (Printf.sprintf "off%d" o) !f)
+    best_flags;
+  N.cleanup net
+
+let approx_nodes ~window =
+  (* eq8 ~ 23 gates per pair; accumulator ~ 2*score_bits per pair *)
+  let pairs = window * (window - 1) / 2 in
+  pairs * (23 + (2 * clog2 (window + 1)))

@@ -1,0 +1,15 @@
+(** The large "logic compression circuit" of §V.A.2.
+
+    An LZ-style match-finding datapath: a window of 8-bit symbols is
+    compared all-against-all, match runs are scored with small adders
+    and the best offset is priority-encoded into the output mask.
+    The node count grows quadratically with the window, so the
+    paper's ~0.3 M-node instance is [create ~window:110] while the
+    default benchmark run uses a scaled window. *)
+
+val create : window:int -> Network.Graph.t
+(** [create ~window] has [8*window + 16] inputs and [8 + clog2 window
+    + window] outputs. *)
+
+val approx_nodes : window:int -> int
+(** Rough pre-optimization node-count estimate, to pick a window. *)

@@ -1,0 +1,142 @@
+module N = Network.Graph
+module S = Network.Signal
+module Rng = Lsutil.Rng
+
+let bus n net prefix = Array.init n (fun i -> N.add_pi net (Printf.sprintf "%s%d" prefix i))
+
+let random_logic ~seed ~inputs ~outputs ~gates ?(locality = 64) () =
+  let rng = Rng.create seed in
+  let net = N.create () in
+  let pool : S.t Lsutil.Vec.t = Lsutil.Vec.create () in
+  Array.iter (fun s -> ignore (Lsutil.Vec.push pool s)) (bus inputs net "x");
+  let pick () =
+    let n = Lsutil.Vec.length pool in
+    (* mostly uniform (keeps the DAG shallow), with a mild bias
+       towards the most recent [locality] signals for reconvergence *)
+    let window = min locality n in
+    let idx =
+      if Rng.int rng 4 = 0 then n - 1 - Rng.int rng window
+      else Rng.int rng n
+    in
+    let s = Lsutil.Vec.get pool idx in
+    if Rng.bool rng then S.not_ s else s
+  in
+  for _g = 1 to gates do
+    let a = pick () and b = pick () in
+    let s =
+      match Rng.int rng 8 with
+      | 0 | 1 | 2 -> N.and_ net a b
+      | 3 | 4 | 5 -> N.or_ net a b
+      | 6 -> N.xor_ net a b
+      | _ -> N.mux net a b (pick ())
+    in
+    ignore (Lsutil.Vec.push pool s)
+  done;
+  (* outputs: the freshest signals, spread across the pool's tail *)
+  let n = Lsutil.Vec.length pool in
+  let stride = max 1 (n / (2 * outputs)) in
+  for o = 0 to outputs - 1 do
+    let idx = max 0 (n - 1 - (o * stride)) in
+    N.add_po net (Printf.sprintf "y%d" o) (Lsutil.Vec.get pool idx)
+  done;
+  N.cleanup net
+
+let pla_like ~seed ~inputs ~outputs ~cubes ~max_lits =
+  let rng = Rng.create seed in
+  let net = N.create () in
+  let x = bus inputs net "x" in
+  let cube () =
+    let nlits = 2 + Rng.int rng (max 1 (max_lits - 1)) in
+    let lits =
+      List.init nlits (fun _ ->
+          let v = x.(Rng.int rng inputs) in
+          if Rng.bool rng then v else S.not_ v)
+    in
+    N.and_n net lits
+  in
+  let all_cubes = Array.init cubes (fun _ -> cube ()) in
+  for o = 0 to outputs - 1 do
+    let share = 3 + Rng.int rng (max 1 (cubes / 2)) in
+    let mine = List.init share (fun _ -> all_cubes.(Rng.int rng cubes)) in
+    N.add_po net (Printf.sprintf "y%d" o) (N.or_n net mine)
+  done;
+  N.cleanup net
+
+(* A seeded 4-bit substitution computed as two-level logic. *)
+let sbox net rng (v : S.t array) =
+  Array.init 4 (fun _ ->
+      let cube () =
+        let lits =
+          List.init 3 (fun _ ->
+              let s = v.(Rng.int rng 4) in
+              if Rng.bool rng then s else S.not_ s)
+        in
+        N.and_n net lits
+      in
+      N.or_n net (List.init 3 (fun _ -> cube ())))
+
+let key_mixer ~seed ~data ~key ~rounds =
+  let rng = Rng.create seed in
+  let net = N.create () in
+  let d = bus data net "d" in
+  let k = bus key net "k" in
+  let state = ref (Array.copy d) in
+  for _r = 1 to rounds do
+    (* xor with a key-derived mask *)
+    let mixed =
+      Array.mapi
+        (fun i s ->
+          let k1 = k.(Rng.int rng key) and k2 = k.(Rng.int rng key) in
+          N.xor_ net s (N.and_ net k1 (S.xor_complement k2 (i land 1 = 0))))
+        !state
+    in
+    (* 4-bit substitution layer *)
+    let next = Array.copy mixed in
+    let i = ref 0 in
+    while !i + 3 < data do
+      let nib = [| mixed.(!i); mixed.(!i + 1); mixed.(!i + 2); mixed.(!i + 3) |] in
+      let sub = sbox net rng nib in
+      Array.blit sub 0 next !i 4;
+      i := !i + 4
+    done;
+    (* lightweight permutation *)
+    let p = Array.length next in
+    state := Array.init p (fun i -> next.((i * 7 + 3) mod p))
+  done;
+  Array.iteri (fun i s -> N.add_po net (Printf.sprintf "y%d" i) s) !state;
+  N.cleanup net
+
+let blocks ?limit_outputs ~seed ~block_inputs ~block_outputs ~block_gates ~count () =
+  let rng = Rng.create seed in
+  let net = N.create () in
+  for b = 0 to count - 1 do
+    let x = bus block_inputs net (Printf.sprintf "b%d_x" b) in
+    let pool : S.t Lsutil.Vec.t = Lsutil.Vec.create () in
+    Array.iter (fun s -> ignore (Lsutil.Vec.push pool s)) x;
+    let pick () =
+      let s = Lsutil.Vec.get pool (Rng.int rng (Lsutil.Vec.length pool)) in
+      if Rng.bool rng then S.not_ s else s
+    in
+    for _g = 1 to block_gates do
+      let s =
+        match Rng.int rng 7 with
+        | 0 | 1 | 2 -> N.and_ net (pick ()) (pick ())
+        | 3 | 4 -> N.or_ net (pick ()) (pick ())
+        | 5 -> N.xor_ net (pick ()) (pick ())
+        | _ -> N.mux net (pick ()) (pick ()) (pick ())
+      in
+      ignore (Lsutil.Vec.push pool s)
+    done;
+    let n = Lsutil.Vec.length pool in
+    for o = 0 to block_outputs - 1 do
+      let total = (b * block_outputs) + o in
+      let within =
+        match limit_outputs with None -> true | Some l -> total < l
+      in
+      if within then
+        N.add_po net
+          (Printf.sprintf "b%d_y%d" b o)
+          (Lsutil.Vec.get pool (n - 1 - (o mod n)))
+    done
+  done;
+  N.cleanup net

@@ -1,0 +1,46 @@
+(** Seeded generators for the control-dominated benchmarks.
+
+    The MCNC control benchmarks (b9, misex3, alu4, bigkey, clma,
+    s38417) are not redistributable; these deterministic generators
+    produce circuits with the paper's I/O counts and comparable sizes
+    and flavour (see DESIGN.md §2).  Identical seeds give
+    byte-identical circuits. *)
+
+val random_logic :
+  seed:int ->
+  inputs:int ->
+  outputs:int ->
+  gates:int ->
+  ?locality:int ->
+  unit ->
+  Network.Graph.t
+(** Layered random multi-level logic.  Operand choice is biased to
+    recently created signals ([locality], default 64), keeping cone
+    supports bounded so that the BDS flow stays feasible. *)
+
+val pla_like :
+  seed:int ->
+  inputs:int ->
+  outputs:int ->
+  cubes:int ->
+  max_lits:int ->
+  Network.Graph.t
+(** Two-level PLA-style function (the misex3/alu4 proxies): each
+    output is a seeded OR of AND cubes. *)
+
+val key_mixer :
+  seed:int -> data:int -> key:int -> rounds:int -> Network.Graph.t
+(** XOR/MUX key-mixing rounds with 4-bit substitution boxes — the
+    bigkey proxy: [data + key] inputs, [data] outputs. *)
+
+val blocks :
+  ?limit_outputs:int ->
+  seed:int ->
+  block_inputs:int ->
+  block_outputs:int ->
+  block_gates:int ->
+  count:int ->
+  unit ->
+  Network.Graph.t
+(** [count] independent random blocks side by side — the s38417
+    proxy (a flattened sequential circuit's combinational clouds). *)

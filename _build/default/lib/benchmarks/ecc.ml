@@ -1,0 +1,79 @@
+module N = Network.Graph
+module S = Network.Signal
+
+let clog2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let bus n net prefix = Array.init n (fun i -> N.add_pi net (Printf.sprintf "%s%d" prefix i))
+
+(* Hamming check bit c_j covers the data positions whose (position+1)
+   has bit j set. *)
+let syndrome net data checks =
+  let nchecks = Array.length checks in
+  Array.init nchecks (fun j ->
+      let covered = ref [] in
+      Array.iteri
+        (fun i d -> if (i + 1) land (1 lsl j) <> 0 then covered := d :: !covered)
+        data;
+      N.xor_n net (checks.(j) :: !covered))
+
+let single_error_corrector ~data =
+  let net = N.create () in
+  let nchecks = clog2 (data + 1) + 2 in
+  let d = bus data net "d" in
+  let c = bus nchecks net "c" in
+  let enable = N.add_pi net "en" in
+  let syn = syndrome net d (Array.sub c 0 nchecks) in
+  (* decode: data bit i flips when the syndrome equals i+1 *)
+  Array.iteri
+    (fun i di ->
+      let matches =
+        Array.to_list
+          (Array.mapi
+             (fun j s ->
+               if (i + 1) land (1 lsl j) <> 0 then s else S.not_ s)
+             syn)
+      in
+      let flip = N.and_ net (N.and_n net matches) enable in
+      N.add_po net (Printf.sprintf "o%d" i) (N.xor_ net di flip))
+    d;
+  net
+
+let secded_codec ~data =
+  let net = N.create () in
+  let d = bus data net "d" in
+  let r = bus data net "r" in
+  let en = N.add_pi net "en" in
+  let nchecks = clog2 (data + 1) in
+  (* encoder: check bits of the sent word *)
+  let sent = syndrome net d (Array.make nchecks (N.const0 net)) in
+  (* receiver side recomputes over the received word *)
+  let recv = syndrome net r (Array.make nchecks (N.const0 net)) in
+  let syn = Array.map2 (fun a b -> N.xor_ net a b) sent recv in
+  let overall =
+    N.xor_ net
+      (N.xor_n net (Array.to_list d))
+      (N.xor_n net (Array.to_list r))
+  in
+  Array.iteri
+    (fun i ri ->
+      let matches =
+        Array.to_list
+          (Array.mapi
+             (fun j s -> if (i + 1) land (1 lsl j) <> 0 then s else S.not_ s)
+             syn)
+      in
+      let flip = N.and_ net (N.and_n net matches) en in
+      N.add_po net (Printf.sprintf "o%d" i) (N.xor_ net ri flip))
+    r;
+  Array.iteri (fun j s -> N.add_po net (Printf.sprintf "syn%d" j) s) syn;
+  (* pad the syndrome outputs to 8 with parity combinations *)
+  for j = nchecks to 7 do
+    N.add_po net
+      (Printf.sprintf "syn%d" j)
+      (N.xor_ net syn.(j mod nchecks) overall)
+  done;
+  N.add_po net "derr"
+    (N.and_ net (S.not_ overall) (N.or_n net (Array.to_list syn)));
+  net

@@ -1,0 +1,12 @@
+(** XOR-dominated error-correcting-code circuits: proxies for the
+    ISCAS'85 C1355 and C1908 benchmarks (both ECC circuits). *)
+
+val single_error_corrector : data:int -> Network.Graph.t
+(** Hamming-style corrector: [data] data bits plus [ceil(log2 (data+1)) + 2]
+    check bits and an enable come in; the corrected data bits come
+    out.  With [data = 32]: 41 inputs, 32 outputs — the C1355 proxy. *)
+
+val secded_codec : data:int -> Network.Graph.t
+(** Encoder/corrector pair with double-error detection.  With
+    [data = 16]: 16 data + 16 received + 1 = 33 inputs; 16 corrected +
+    8 syndrome/flags + 1 error flag = 25 outputs — the C1908 proxy. *)

@@ -1,0 +1,97 @@
+type entry = {
+  name : string;
+  paper_io : int * int;
+  build : unit -> Network.Graph.t;
+}
+
+let all =
+  [
+    {
+      name = "C1355";
+      paper_io = (41, 32);
+      build = (fun () -> Ecc.single_error_corrector ~data:32);
+    };
+    {
+      name = "C1908";
+      paper_io = (33, 25);
+      build = (fun () -> Ecc.secded_codec ~data:16);
+    };
+    {
+      name = "C6288";
+      paper_io = (32, 32);
+      build = (fun () -> Arith.array_multiplier 16);
+    };
+    {
+      name = "bigkey";
+      paper_io = (487, 421);
+      build = (fun () -> Control.key_mixer ~seed:0xb16 ~data:421 ~key:66 ~rounds:2);
+    };
+    {
+      name = "my_adder";
+      paper_io = (33, 17);
+      build = (fun () -> Arith.ripple_adder 16);
+    };
+    {
+      name = "cla";
+      paper_io = (129, 65);
+      build = (fun () -> Arith.cla_adder 64);
+    };
+    {
+      name = "dalu";
+      paper_io = (75, 16);
+      build = (fun () -> Arith.dedicated_alu ());
+    };
+    {
+      name = "b9";
+      paper_io = (41, 21);
+      build =
+        (fun () ->
+          Control.random_logic ~seed:0xb9 ~inputs:41 ~outputs:21 ~gates:300 ());
+    };
+    {
+      name = "count";
+      paper_io = (35, 16);
+      build = (fun () -> Arith.counter_next 16);
+    };
+    {
+      name = "alu4";
+      paper_io = (14, 8);
+      build =
+        (fun () ->
+          Control.pla_like ~seed:0xa14 ~inputs:14 ~outputs:8 ~cubes:260
+            ~max_lits:10);
+    };
+    {
+      name = "clma";
+      paper_io = (416, 115);
+      build =
+        (fun () ->
+          Control.random_logic ~seed:0xc1a ~inputs:416 ~outputs:115
+            ~gates:52000 ());
+    };
+    {
+      name = "mm30a";
+      paper_io = (124, 120);
+      build = (fun () -> Arith.minmax ~width:30 ~words:4);
+    };
+    {
+      name = "s38417";
+      paper_io = (1494, 1571);
+      build =
+        (fun () ->
+          Control.blocks ~seed:0x38417 ~block_inputs:18 ~block_outputs:19
+            ~block_gates:110 ~count:83 ~limit_outputs:1571 ());
+    };
+    {
+      name = "misex3";
+      paper_io = (14, 14);
+      build =
+        (fun () ->
+          Control.pla_like ~seed:0x3e3 ~inputs:14 ~outputs:14 ~cubes:230
+            ~max_lits:8);
+    };
+  ]
+
+let names = List.map (fun e -> e.name) all
+let find name = List.find (fun e -> e.name = name) all
+let compression ?(window = 36) () = Compress.create ~window

@@ -1,0 +1,25 @@
+(** The benchmark suite of Table I.
+
+    Fourteen deterministic circuits with the paper's I/O counts —
+    real structures for the public arithmetic/ECC circuits, seeded
+    generators for the control-dominated MCNC circuits (DESIGN.md §2
+    documents each substitution). *)
+
+type entry = {
+  name : string;
+  paper_io : int * int;  (** I/O reported in Table I *)
+  build : unit -> Network.Graph.t;
+}
+
+val all : entry list
+(** The 14 Table I rows, in the paper's order. *)
+
+val find : string -> entry
+(** Raises [Not_found] on unknown names. *)
+
+val names : string list
+
+val compression : ?window:int -> unit -> Network.Graph.t
+(** The large compression circuit (§V.A.2); default window is scaled
+    to tens of thousands of nodes, [~window:110] reaches the paper's
+    ~0.3 M. *)

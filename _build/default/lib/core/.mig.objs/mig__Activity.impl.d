@@ -1,0 +1,1 @@
+lib/core/activity.ml: Array Graph Network

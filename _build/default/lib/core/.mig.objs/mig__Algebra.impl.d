@@ -1,0 +1,1 @@
+lib/core/algebra.ml: Array Format Graph Hashtbl List Network Truthtable

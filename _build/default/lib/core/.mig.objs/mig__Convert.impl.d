@@ -1,0 +1,1 @@
+lib/core/convert.ml: Aig Array Graph List Network

@@ -1,0 +1,1 @@
+lib/core/cut.ml: Array Graph Hashtbl List Network Option Truthtable

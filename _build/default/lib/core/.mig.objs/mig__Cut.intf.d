@@ -1,0 +1,1 @@
+lib/core/cut.mli: Graph Truthtable

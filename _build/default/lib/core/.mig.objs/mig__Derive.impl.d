@@ -1,0 +1,1 @@
+lib/core/derive.ml: Algebra Format List Option

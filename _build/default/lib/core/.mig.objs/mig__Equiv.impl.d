@@ -1,0 +1,1 @@
+lib/core/equiv.ml: Array Bdd Convert Hashtbl List Network

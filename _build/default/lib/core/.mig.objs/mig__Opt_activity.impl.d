@@ -1,0 +1,1 @@
+lib/core/opt_activity.ml: Activity Graph Opt_size Transform

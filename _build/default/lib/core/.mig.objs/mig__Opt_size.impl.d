@@ -1,0 +1,1 @@
+lib/core/opt_size.ml: Graph Transform

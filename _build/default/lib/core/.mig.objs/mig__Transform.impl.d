@@ -1,0 +1,1 @@
+lib/core/transform.ml: Aig Array Cut Graph Hashtbl Int Lazy List Network Option Seq Set Sop Truthtable

@@ -1,0 +1,26 @@
+module S = Network.Signal
+module G = Graph
+
+let probabilities ?(pi_prob = fun _ -> 0.5) g =
+  let p = Array.make (G.num_nodes g) 0.0 in
+  let value s =
+    let v = p.(S.node s) in
+    if S.is_complement s then 1.0 -. v else v
+  in
+  for i = 0 to G.num_nodes g - 1 do
+    if G.is_pi g i then p.(i) <- pi_prob (G.pi_name g i)
+    else if G.is_maj g i then begin
+      let fs = G.fanins g i in
+      let a = value fs.(0) and b = value fs.(1) and c = value fs.(2) in
+      p.(i) <- (a *. b) +. (a *. c) +. (b *. c) -. (2.0 *. a *. b *. c)
+    end
+  done;
+  p
+
+let node_activity p = p *. (1.0 -. p)
+
+let total ?pi_prob g =
+  let p = probabilities ?pi_prob g in
+  let acc = ref 0.0 in
+  G.iter_majs g (fun i _ -> acc := !acc +. node_activity p.(i));
+  !acc

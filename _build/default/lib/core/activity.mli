@@ -1,0 +1,17 @@
+(** Signal probabilities and switching activity of an MIG (§IV.C).
+
+    Under the standard temporal-independence model, a node whose
+    probability of being logic 1 is [p] has switching activity
+    [p (1-p)] (the SW values of Fig. 2(d)); the activity of the MIG is the sum over its majority
+    nodes.  Input probabilities default to 0.5 and can be set per PI
+    name, as in the example of Fig. 2(d). *)
+
+val probabilities : ?pi_prob:(string -> float) -> Graph.t -> float array
+(** Per-node probability of evaluating to 1, assuming independent
+    fanins. *)
+
+val node_activity : float -> float
+(** [node_activity p = p (1-p)]. *)
+
+val total : ?pi_prob:(string -> float) -> Graph.t -> float
+(** Total switching activity of the MIG. *)

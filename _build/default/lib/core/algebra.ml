@@ -1,0 +1,243 @@
+type term =
+  | Const of bool
+  | Var of string
+  | Not of term
+  | Maj of term * term * term
+
+let rec eval t env =
+  match t with
+  | Const b -> b
+  | Var v -> env v
+  | Not t -> not (eval t env)
+  | Maj (a, b, c) ->
+      let a = eval a env and b = eval b env and c = eval c env in
+      (a && b) || (a && c) || (b && c)
+
+let vars t =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Const _ -> ()
+    | Var v ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          out := v :: !out
+        end
+    | Not t -> go t
+    | Maj (a, b, c) ->
+        go a;
+        go b;
+        go c
+  in
+  go t;
+  List.rev !out
+
+let to_truthtable t =
+  let vs = vars t in
+  let n = List.length vs in
+  let index = Hashtbl.create 8 in
+  List.iteri (fun i v -> Hashtbl.replace index v i) vs;
+  let tt =
+    Truthtable.of_bits n (fun m ->
+        eval t (fun v -> m land (1 lsl Hashtbl.find index v) <> 0))
+  in
+  (vs, tt)
+
+let equivalent a b =
+  let vs =
+    List.sort_uniq compare (vars a @ vars b)
+  in
+  let n = List.length vs in
+  let index = Hashtbl.create 8 in
+  List.iteri (fun i v -> Hashtbl.replace index v i) vs;
+  let tt t =
+    Truthtable.of_bits n (fun m ->
+        eval t (fun v -> m land (1 lsl Hashtbl.find index v) <> 0))
+  in
+  Truthtable.equal (tt a) (tt b)
+
+let rec size = function
+  | Const _ | Var _ -> 0
+  | Not t -> size t
+  | Maj (a, b, c) -> 1 + size a + size b + size c
+
+let rec depth = function
+  | Const _ | Var _ -> 0
+  | Not t -> depth t
+  | Maj (a, b, c) -> 1 + max (depth a) (max (depth b) (depth c))
+
+(* Structural equality modulo double negation and constant folding. *)
+let rec strip = function
+  | Not (Not t) -> strip t
+  | Not (Const b) -> Const (not b)
+  | Not t -> (
+      match strip t with
+      | Const b -> Const (not b)
+      | t' when t' == t -> Not t
+      | t' -> strip (Not t'))
+  | t -> t
+
+let rec norm t =
+  match strip t with
+  | Const b -> Const b
+  | Var v -> Var v
+  | Not t -> Not (norm t)
+  | Maj (a, b, c) -> Maj (norm a, norm b, norm c)
+
+let same a b = norm a = norm b
+let complement_of a b = same (Not a) b || same a (Not b)
+
+let not_ t = match strip t with Not t -> t | t -> Not t
+
+let rec simplify t =
+  match strip t with
+  | Const b -> Const b
+  | Var v -> Var v
+  | Not t -> (
+      match simplify t with
+      | Const b -> Const (not b)
+      | t -> not_ t)
+  | Maj (a, b, c) -> (
+      let a = simplify a and b = simplify b and c = simplify c in
+      let fold x y z =
+        if same x y then Some x
+        else if complement_of x y then Some z
+        else if same x (Const true) && same y (Const false) then Some z
+        else None
+      in
+      match fold a b c with
+      | Some t -> t
+      | None -> (
+          match fold a c b with
+          | Some t -> t
+          | None -> (
+              match fold b c a with
+              | Some t -> t
+              | None -> Maj (a, b, c))))
+
+let rec pp fmt = function
+  | Const b -> Format.pp_print_string fmt (if b then "1" else "0")
+  | Var v -> Format.pp_print_string fmt v
+  | Not t -> Format.fprintf fmt "%a'" pp_atom t
+  | Maj (a, b, c) -> Format.fprintf fmt "M(%a,%a,%a)" pp a pp b pp c
+
+and pp_atom fmt t =
+  match t with
+  | Const _ | Var _ | Maj _ -> pp fmt t
+  | Not _ -> Format.fprintf fmt "(%a)" pp t
+
+(* ----- Ω ----- *)
+
+let commute i j t =
+  match t with
+  | Maj (a, b, c) ->
+      let arr = [| a; b; c |] in
+      if i < 0 || i > 2 || j < 0 || j > 2 then None
+      else begin
+        let tmp = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- tmp;
+        Some (Maj (arr.(0), arr.(1), arr.(2)))
+      end
+  | _ -> None
+
+let majority t =
+  match t with
+  | Maj (x, y, z) ->
+      if same x y then Some x
+      else if complement_of x y then Some z
+      else None
+  | _ -> None
+
+let associativity t =
+  match t with
+  | Maj (x, u, Maj (y, u', z)) when same u u' ->
+      Some (Maj (z, u, Maj (y, u', x)))
+  | _ -> None
+
+let distributivity_lr t =
+  match t with
+  | Maj (x, y, Maj (u, v, z)) ->
+      Some (Maj (Maj (x, y, u), Maj (x, y, v), z))
+  | _ -> None
+
+let distributivity_rl t =
+  match t with
+  | Maj (Maj (x, y, u), Maj (x', y', v), z) when same x x' && same y y' ->
+      Some (Maj (x, y, Maj (u, v, z)))
+  | _ -> None
+
+let inverter_propagation t =
+  match strip t with
+  | Not t -> (
+      match strip t with
+      | Maj (x, y, z) -> Some (Maj (not_ x, not_ y, not_ z))
+      | _ -> None)
+  | _ -> None
+
+(* ----- Ψ ----- *)
+
+let rec replace t ~old_ ~by =
+  if same t old_ then by
+  else if same t (Not old_) then not_ by
+  else
+    match t with
+    | Const _ | Var _ -> t
+    | Not t' -> not_ (replace t' ~old_ ~by)
+    | Maj (a, b, c) ->
+        Maj (replace a ~old_ ~by, replace b ~old_ ~by, replace c ~old_ ~by)
+
+let relevance t =
+  match t with
+  | Maj (x, y, z) -> Some (Maj (x, y, replace z ~old_:x ~by:(not_ y)))
+  | _ -> None
+
+let complementary_associativity t =
+  match t with
+  | Maj (x, u, Maj (y, u', z)) when complement_of u u' ->
+      Some (Maj (x, u, Maj (y, x, z)))
+  | _ -> None
+
+let substitution ~v ~u k =
+  let k_vu = replace k ~old_:v ~by:u in
+  let k_vu' = replace k ~old_:v ~by:(not_ u) in
+  Maj (v, Maj (not_ v, k_vu, u), Maj (not_ v, k_vu', not_ u))
+
+(* ----- MIG interop ----- *)
+
+module S = Network.Signal
+module G = Graph
+
+let of_signal g s =
+  let memo = Hashtbl.create 64 in
+  let rec node id =
+    match Hashtbl.find_opt memo id with
+    | Some t -> t
+    | None ->
+        let t =
+          if id = 0 then Const false
+          else if G.is_pi g id then Var (G.pi_name g id)
+          else begin
+            let fs = G.fanins g id in
+            let edge e =
+              let t = node (S.node e) in
+              if S.is_complement e then not_ t else t
+            in
+            Maj (edge fs.(0), edge fs.(1), edge fs.(2))
+          end
+        in
+        Hashtbl.replace memo id t;
+        t
+  in
+  let t = node (S.node s) in
+  if S.is_complement s then not_ t else t
+
+let build g pi t =
+  let rec go = function
+    | Const false -> G.const0 g
+    | Const true -> G.const1 g
+    | Var v -> pi v
+    | Not t -> S.not_ (go t)
+    | Maj (a, b, c) -> G.maj g (go a) (go b) (go c)
+  in
+  go t

@@ -1,0 +1,94 @@
+(** The MIG Boolean algebra (B, M, ', 0, 1) on symbolic terms (§III.B).
+
+    This module is the paper's axiomatic system made executable: the
+    five primitive rules Ω (eq. 1) and the three derived rules Ψ
+    (eq. 2) as term rewrites.  Each function returns [None] when the
+    term is not of the rule's shape; applications never change the
+    represented Boolean function (Theorems 3.4–3.7).
+
+    The rewrites match the written form of each axiom literally; use
+    {!commute} to bring operands into position first, exactly as the
+    paper's derivations do. *)
+
+type term =
+  | Const of bool
+  | Var of string
+  | Not of term
+  | Maj of term * term * term
+
+(** {1 Semantics} *)
+
+val eval : term -> (string -> bool) -> bool
+val vars : term -> string list
+(** Free variables, each once, in first-occurrence order. *)
+
+val to_truthtable : term -> string list * Truthtable.t
+(** Truth table over [vars], variable [i] = [List.nth (vars t) i]. *)
+
+val equivalent : term -> term -> bool
+(** Semantic equality (truth tables over the union of variables). *)
+
+val size : term -> int
+(** Number of majority operators. *)
+
+val depth : term -> int
+(** Nesting depth of majority operators. *)
+
+val simplify : term -> term
+(** Normalize by applying Ω.M and inverter cancellation bottom-up. *)
+
+val pp : Format.formatter -> term -> unit
+
+(** {1 The primitive rules Ω (eq. 1)} *)
+
+val commute : int -> int -> term -> term option
+(** [commute i j t] swaps operands [i] and [j] (0-based) of a
+    majority root: Ω.C. *)
+
+val majority : term -> term option
+(** Ω.M left-to-right: [M(x,x,z) = x] and [M(x,x',z) = z].
+    Operands are compared structurally after inverter cancellation. *)
+
+val associativity : term -> term option
+(** Ω.A: [M(x,u,M(y,u,z)) -> M(z,u,M(y,u,x))].  The shared operand
+    must be the second of both the outer and inner majority. *)
+
+val distributivity_lr : term -> term option
+(** Ω.D left-to-right:
+    [M(x,y,M(u,v,z)) -> M(M(x,y,u),M(x,y,v),z)]. *)
+
+val distributivity_rl : term -> term option
+(** Ω.D right-to-left:
+    [M(M(x,y,u),M(x,y,v),z) -> M(x,y,M(u,v,z))].  The first two
+    operands of the two inner majorities must match structurally. *)
+
+val inverter_propagation : term -> term option
+(** Ω.I: [M'(x,y,z) -> M(x',y',z')]. *)
+
+(** {1 The derived rules Ψ (eq. 2)} *)
+
+val relevance : term -> term option
+(** Ψ.R: [M(x,y,z) -> M(x,y,z_{x/y'})]: replaces every occurrence of
+    the first operand inside the third by the complement of the
+    second. *)
+
+val complementary_associativity : term -> term option
+(** Ψ.C: [M(x,u,M(y,u',z)) -> M(x,u,M(y,x,z))]. *)
+
+val substitution : v:term -> u:term -> term -> term
+(** Ψ.S: [k -> M(v, M(v',k_{v/u},u), M(v',k_{v/u'},u'))], the
+    variable-replacement rule that temporarily inflates the
+    representation. *)
+
+val replace : term -> old_:term -> by:term -> term
+(** [replace t ~old_ ~by] substitutes every structural occurrence
+    (the [z_{x/y}] notation); complemented occurrences are replaced by
+    the complement of [by]. *)
+
+(** {1 MIG interop} *)
+
+val of_signal : Graph.t -> Network.Signal.t -> term
+(** Expand the cone of a signal into a term (PIs become variables). *)
+
+val build : Graph.t -> (string -> Network.Signal.t) -> term -> Network.Signal.t
+(** Build a term into an MIG; [pi] resolves variable names. *)

@@ -1,0 +1,51 @@
+module N = Network.Graph
+module S = Network.Signal
+module G = Graph
+
+let of_network net =
+  let g = G.create () in
+  let map = Array.make (N.num_nodes net) (G.const0 g) in
+  List.iter (fun id -> map.(id) <- G.add_pi g (N.pi_name net id)) (N.pis net);
+  let value s = S.xor_complement map.(S.node s) (S.is_complement s) in
+  N.iter_gates net (fun i fn fs ->
+      let v k = value fs.(k) in
+      map.(i) <-
+        (match fn with
+        | N.And -> G.and_ g (v 0) (v 1)
+        | N.Or -> G.or_ g (v 0) (v 1)
+        | N.Xor -> G.xor_ g (v 0) (v 1)
+        | N.Maj -> G.maj g (v 0) (v 1) (v 2)
+        | N.Mux -> G.mux g (v 0) (v 1) (v 2)));
+  List.iter (fun (name, s) -> G.add_po g name (value s)) (N.pos net);
+  g
+
+let to_network g =
+  let net = N.create () in
+  let map = Array.make (G.num_nodes g) (N.const0 net) in
+  List.iter (fun id -> map.(id) <- N.add_pi net (G.pi_name g id)) (G.pis g);
+  let value s = S.xor_complement map.(S.node s) (S.is_complement s) in
+  G.iter_majs g (fun i fs ->
+      map.(i) <- N.maj net (value fs.(0)) (value fs.(1)) (value fs.(2)));
+  List.iter (fun (name, s) -> N.add_po net name (value s)) (G.pos g);
+  net
+
+let of_aig a =
+  let g = G.create () in
+  let map = Array.make (Aig.Graph.num_nodes a) (G.const0 g) in
+  List.iter
+    (fun id -> map.(id) <- G.add_pi g (Aig.Graph.pi_name a id))
+    (Aig.Graph.pis a);
+  let value s = S.xor_complement map.(S.node s) (S.is_complement s) in
+  Aig.Graph.iter_ands a (fun i x y -> map.(i) <- G.and_ g (value x) (value y));
+  List.iter (fun (name, s) -> G.add_po g name (value s)) (Aig.Graph.pos a);
+  g
+
+let to_aig g =
+  let a = Aig.Graph.create () in
+  let map = Array.make (G.num_nodes g) (Aig.Graph.const0 a) in
+  List.iter (fun id -> map.(id) <- Aig.Graph.add_pi a (G.pi_name g id)) (G.pis g);
+  let value s = S.xor_complement map.(S.node s) (S.is_complement s) in
+  G.iter_majs g (fun i fs ->
+      map.(i) <- Aig.Graph.maj a (value fs.(0)) (value fs.(1)) (value fs.(2)));
+  List.iter (fun (name, s) -> Aig.Graph.add_po a name (value s)) (G.pos g);
+  a

@@ -1,0 +1,17 @@
+(** Conversions between MIGs and the other representations. *)
+
+type mig := Graph.t
+
+val of_network : Network.Graph.t -> mig
+(** Transpose a primitive network into an MIG: AND/OR become majority
+    nodes with a constant third input (Theorem 3.1), XOR uses the
+    two-level three-node form, MUX three nodes. *)
+
+val to_network : mig -> Network.Graph.t
+(** One MAJ gate per node. *)
+
+val of_aig : Aig.Graph.t -> mig
+(** Corollary 3.2: every AIG transposes node-for-node. *)
+
+val to_aig : mig -> Aig.Graph.t
+(** Each majority node expands to four AND nodes. *)

@@ -1,0 +1,80 @@
+module A = Algebra
+
+type rule =
+  | Commute of int * int
+  | Majority
+  | Associativity
+  | Distributivity_lr
+  | Distributivity_rl
+  | Inverter
+  | Relevance
+  | Complementary_associativity
+  | Substitution of string * string
+  | Simplify
+
+type step = { path : int list; rule : rule }
+
+exception Step_failed of step * string
+
+let pp_rule fmt = function
+  | Commute (i, j) -> Format.fprintf fmt "Ω.C(%d,%d)" i j
+  | Majority -> Format.pp_print_string fmt "Ω.M"
+  | Associativity -> Format.pp_print_string fmt "Ω.A"
+  | Distributivity_lr -> Format.pp_print_string fmt "Ω.D(L→R)"
+  | Distributivity_rl -> Format.pp_print_string fmt "Ω.D(R→L)"
+  | Inverter -> Format.pp_print_string fmt "Ω.I"
+  | Relevance -> Format.pp_print_string fmt "Ψ.R"
+  | Complementary_associativity -> Format.pp_print_string fmt "Ψ.C"
+  | Substitution (v, u) -> Format.fprintf fmt "Ψ.S(%s/%s)" v u
+  | Simplify -> Format.pp_print_string fmt "simplify"
+
+let rule_fn = function
+  | Commute (i, j) -> A.commute i j
+  | Majority -> A.majority
+  | Associativity -> A.associativity
+  | Distributivity_lr -> A.distributivity_lr
+  | Distributivity_rl -> A.distributivity_rl
+  | Inverter -> A.inverter_propagation
+  | Relevance -> A.relevance
+  | Complementary_associativity -> A.complementary_associativity
+  | Substitution (v, u) ->
+      fun t -> Some (A.substitution ~v:(A.Var v) ~u:(A.Var u) t)
+  | Simplify -> fun t -> Some (A.simplify t)
+
+(* rewrite at a path, descending through Not transparently *)
+let rec at_path path f t =
+  match (path, t) with
+  | [], _ -> f t
+  | _, A.Not t' -> Option.map (fun r -> A.Not r) (at_path path f t')
+  | i :: rest, A.Maj (a, b, c) -> (
+      let sub x = at_path rest f x in
+      match i with
+      | 0 -> Option.map (fun a' -> A.Maj (a', b, c)) (sub a)
+      | 1 -> Option.map (fun b' -> A.Maj (a, b', c)) (sub b)
+      | 2 -> Option.map (fun c' -> A.Maj (a, b, c')) (sub c)
+      | _ -> None)
+  | _ -> None
+
+let apply t step =
+  match at_path step.path (rule_fn step.rule) t with
+  | None ->
+      raise
+        (Step_failed
+           (step, Format.asprintf "%a does not match at position" pp_rule step.rule))
+  | Some t' ->
+      if not (A.equivalent t t') then
+        raise (Step_failed (step, "step changed the function (unsound)"));
+      t'
+
+let run ?trace t steps =
+  List.fold_left
+    (fun t step ->
+      let t' = apply t step in
+      (match trace with
+      | Some fmt ->
+          Format.fprintf fmt "  %-10s %a@."
+            (Format.asprintf "%a" pp_rule step.rule)
+            A.pp t'
+      | None -> ());
+      t')
+    t steps

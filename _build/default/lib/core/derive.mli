@@ -1,0 +1,39 @@
+(** Checked derivations in the MIG algebra.
+
+    Theorem 3.6 says any two equivalent MIGs are connected by a
+    sequence of Ω transformations.  This module makes such sequences
+    first-class: a {!step} names a rule and a position (a path into
+    the term), {!apply} executes it, and {!run} executes a whole
+    script, verifying after every step that the function is unchanged
+    — a proof trace in the paper's own notation.  The Fig. 2(a)
+    derivation in the benchmark harness is expressed this way. *)
+
+type rule =
+  | Commute of int * int  (** Ω.C: swap operands i and j *)
+  | Majority  (** Ω.M left-to-right *)
+  | Associativity  (** Ω.A *)
+  | Distributivity_lr  (** Ω.D, left to right *)
+  | Distributivity_rl  (** Ω.D, right to left *)
+  | Inverter  (** Ω.I *)
+  | Relevance  (** Ψ.R *)
+  | Complementary_associativity  (** Ψ.C *)
+  | Substitution of string * string  (** Ψ.S with variables (v, u) *)
+  | Simplify  (** exhaustive Ω.M / inverter cancellation *)
+
+type step = { path : int list; rule : rule }
+(** [path] walks into majority operands: [[]] is the root, [[2]] the
+    third operand, [[2; 0]] its first operand, and so on. *)
+
+exception Step_failed of step * string
+(** Raised when a rule does not match at its position, or — the case
+    that must never happen — when a step changes the function. *)
+
+val apply : Algebra.term -> step -> Algebra.term
+(** Apply one step; checks equivalence of the result.
+    @raise Step_failed *)
+
+val run : ?trace:Format.formatter -> Algebra.term -> step list -> Algebra.term
+(** Apply a script in order, optionally printing each intermediate
+    term.  The result is guaranteed equivalent to the input. *)
+
+val pp_rule : Format.formatter -> rule -> unit

@@ -1,0 +1,32 @@
+let to_network_equiv ~seed g net =
+  Network.Simulate.equivalent ~seed (Convert.to_network g) net
+
+let migs ~seed a b =
+  Network.Simulate.equivalent ~seed (Convert.to_network a)
+    (Convert.to_network b)
+
+let by_bdd ?(node_limit = 2_000_000) a b =
+  let na = Convert.to_network a and nb = Convert.to_network b in
+  let man = Bdd.Robdd.manager ~node_limit () in
+  let order = Bdd.Builder.dfs_order na in
+  (* align b's PIs by name to a's order *)
+  let name_at = Array.map (Network.Graph.pi_name na) order in
+  let order_b =
+    let by_name = Hashtbl.create 64 in
+    List.iter
+      (fun id -> Hashtbl.replace by_name (Network.Graph.pi_name nb id) id)
+      (Network.Graph.pis nb);
+    Array.map
+      (fun name ->
+        match Hashtbl.find_opt by_name name with
+        | Some id -> id
+        | None -> invalid_arg "Equiv.by_bdd: PI mismatch")
+      name_at
+  in
+  let roots_a = Bdd.Builder.of_network man ~order na in
+  let roots_b = Bdd.Builder.of_network man ~order:order_b nb in
+  let sort = List.sort compare in
+  List.length roots_a = List.length roots_b
+  && List.for_all2
+       (fun (na, ba) (nb, bb) -> na = nb && ba = bb)
+       (sort roots_a) (sort roots_b)

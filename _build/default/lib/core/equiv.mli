@@ -1,0 +1,17 @@
+(** Equivalence checking for MIGs.
+
+    Used throughout the test-suite and the benchmark harness to
+    assert that every optimization preserves the represented Boolean
+    function (Theorem 3.6 guarantees the rules do; this verifies the
+    implementation). *)
+
+val to_network_equiv : seed:int -> Graph.t -> Network.Graph.t -> bool
+(** MIG vs network: exact truth tables for small PI counts, random
+    bit-parallel simulation otherwise. *)
+
+val migs : seed:int -> Graph.t -> Graph.t -> bool
+(** MIG vs MIG. *)
+
+val by_bdd : ?node_limit:int -> Graph.t -> Graph.t -> bool
+(** Exact check through a shared BDD manager; raises
+    {!Bdd.Robdd.Node_limit_exceeded} on blow-up. *)

@@ -1,0 +1,208 @@
+module S = Network.Signal
+module Vec = Lsutil.Vec
+
+(* f0 = -1 marks a PI; f0 = -2 the constant node. *)
+type t = {
+  f0 : int Vec.t;
+  f1 : int Vec.t;
+  f2 : int Vec.t;
+  strash : (int * int * int, int) Hashtbl.t;
+  names : (int, string) Hashtbl.t;
+  mutable pi_ids : int list; (* reversed *)
+  mutable po_list : (string * S.t) list; (* reversed *)
+}
+
+let create () =
+  let g =
+    {
+      f0 = Vec.create ();
+      f1 = Vec.create ();
+      f2 = Vec.create ();
+      strash = Hashtbl.create 4096;
+      names = Hashtbl.create 64;
+      pi_ids = [];
+      po_list = [];
+    }
+  in
+  ignore (Vec.push g.f0 (-2));
+  ignore (Vec.push g.f1 (-2));
+  ignore (Vec.push g.f2 (-2));
+  g
+
+let const0 _ = S.make 0 false
+let const1 _ = S.make 0 true
+
+let add_pi g name =
+  let id = Vec.push g.f0 (-1) in
+  ignore (Vec.push g.f1 (-1));
+  ignore (Vec.push g.f2 (-1));
+  g.pi_ids <- id :: g.pi_ids;
+  Hashtbl.replace g.names id name;
+  S.make id false
+
+let add_po g name s = g.po_list <- (name, s) :: g.po_list
+
+(* Ω.M folding: returns [Some s] when the majority collapses. *)
+let fold_m a b c =
+  if S.equal a b then Some a
+  else if S.equal a c then Some a
+  else if S.equal b c then Some b
+  else if S.equal a (S.not_ b) then Some c
+  else if S.equal a (S.not_ c) then Some b
+  else if S.equal b (S.not_ c) then Some a
+  else None
+
+(* Normalize fanins: Ω.I pulls the complement out when two or more
+   fanins are complemented; Ω.C sorts.  Returns (fanins, output_inv). *)
+let normalize a b c =
+  let ninv =
+    (if S.is_complement a then 1 else 0)
+    + (if S.is_complement b then 1 else 0)
+    + if S.is_complement c then 1 else 0
+  in
+  let a, b, c, inv =
+    if ninv >= 2 then (S.not_ a, S.not_ b, S.not_ c, true) else (a, b, c, false)
+  in
+  let l = List.sort S.compare [ a; b; c ] in
+  match l with [ a; b; c ] -> (a, b, c, inv) | _ -> assert false
+
+let lookup g a b c =
+  let a, b, c, inv = normalize a b c in
+  let key = ((a : S.t :> int), (b : S.t :> int), (c : S.t :> int)) in
+  match Hashtbl.find_opt g.strash key with
+  | Some id -> Some (S.make id inv)
+  | None -> None
+
+let find_maj g a b c =
+  match fold_m a b c with Some s -> Some s | None -> lookup g a b c
+
+let maj g a b c =
+  match fold_m a b c with
+  | Some s -> s
+  | None ->
+      let a, b, c, inv = normalize a b c in
+      let key = ((a : S.t :> int), (b : S.t :> int), (c : S.t :> int)) in
+      let id =
+        match Hashtbl.find_opt g.strash key with
+        | Some id -> id
+        | None ->
+            let id = Vec.push g.f0 (a : S.t :> int) in
+            ignore (Vec.push g.f1 (b : S.t :> int));
+            ignore (Vec.push g.f2 (c : S.t :> int));
+            Hashtbl.add g.strash key id;
+            id
+      in
+      S.make id inv
+
+let and_ g a b = maj g a b (const0 g)
+let or_ g a b = maj g a b (const1 g)
+
+let xor_ g a b =
+  (* (a+b) * !(a*b), two levels *)
+  maj g (or_ g a b) (S.not_ (and_ g a b)) (const0 g)
+
+let xor3 g x y z =
+  let m = maj g x y z in
+  let w = maj g x y (S.not_ z) in
+  maj g (S.not_ m) w z
+
+let mux g s t e = or_ g (and_ g s t) (and_ g (S.not_ s) e)
+
+let rec tree op g = function
+  | [] -> invalid_arg "Mig: empty tree"
+  | [ x ] -> x
+  | xs ->
+      let rec pair = function
+        | a :: b :: rest -> op g a b :: pair rest
+        | rest -> rest
+      in
+      tree op g (pair xs)
+
+let and_n g = function [] -> const1 g | xs -> tree and_ g xs
+let or_n g = function [] -> const0 g | xs -> tree or_ g xs
+let xor_n g = function [] -> const0 g | xs -> tree xor_ g xs
+
+let num_nodes g = Vec.length g.f0
+let is_pi g i = Vec.get g.f0 i = -1
+let is_maj g i = Vec.get g.f0 i >= 0
+
+let fanins g i =
+  [|
+    S.unsafe_of_int (Vec.get g.f0 i);
+    S.unsafe_of_int (Vec.get g.f1 i);
+    S.unsafe_of_int (Vec.get g.f2 i);
+  |]
+
+let fanins_of g s =
+  let id = S.node s in
+  if not (is_maj g id) then None
+  else begin
+    let fs = fanins g id in
+    if S.is_complement s then Some (Array.map S.not_ fs) else Some fs
+  end
+
+let pis g = List.rev g.pi_ids
+let num_pis g = List.length g.pi_ids
+let pos g = List.rev g.po_list
+let num_pos g = List.length g.po_list
+
+let pi_name g i =
+  match Hashtbl.find_opt g.names i with
+  | Some n when is_pi g i -> n
+  | _ -> invalid_arg "Mig.pi_name: not a PI"
+
+let iter_majs g f =
+  for i = 0 to num_nodes g - 1 do
+    if is_maj g i then f i (fanins g i)
+  done
+
+let size g =
+  let c = ref 0 in
+  iter_majs g (fun _ _ -> incr c);
+  !c
+
+let fanout_counts g =
+  let counts = Array.make (num_nodes g) 0 in
+  iter_majs g (fun _ fs ->
+      Array.iter (fun s -> counts.(S.node s) <- counts.(S.node s) + 1) fs);
+  List.iter (fun (_, s) -> counts.(S.node s) <- counts.(S.node s) + 1) (pos g);
+  counts
+
+let levels g =
+  let lv = Array.make (num_nodes g) 0 in
+  iter_majs g (fun i fs ->
+      lv.(i) <- 1 + Array.fold_left (fun acc s -> max acc lv.(S.node s)) 0 fs);
+  lv
+
+let depth g =
+  let lv = levels g in
+  List.fold_left (fun acc (_, s) -> max acc lv.(S.node s)) 0 (pos g)
+
+let cleanup g =
+  let fresh = create () in
+  let map = Array.make (num_nodes g) None in
+  map.(0) <- Some (const0 fresh);
+  List.iter (fun id -> map.(id) <- Some (add_pi fresh (pi_name g id))) (pis g);
+  let lookup s =
+    match map.(S.node s) with
+    | Some s' -> S.xor_complement s' (S.is_complement s)
+    | None -> assert false
+  in
+  let rec build id =
+    match map.(id) with
+    | Some _ -> ()
+    | None ->
+        let fs = fanins g id in
+        Array.iter (fun s -> build (S.node s)) fs;
+        map.(id) <- Some (maj fresh (lookup fs.(0)) (lookup fs.(1)) (lookup fs.(2)))
+  in
+  List.iter
+    (fun (name, s) ->
+      build (S.node s);
+      add_po fresh name (lookup s))
+    (pos g);
+  fresh
+
+let pp_stats fmt g =
+  Format.fprintf fmt "i/o = %d/%d, majs = %d, depth = %d" (num_pis g)
+    (num_pos g) (size g) (depth g)

@@ -1,0 +1,87 @@
+(** Majority-Inverter Graphs.
+
+    The paper's data structure: a homogeneous DAG whose every node is
+    the three-input majority function, with regular/complemented
+    edges (§III.A).  Node 0 is the constant 0; AND and OR are majority
+    nodes with one constant input (Theorem 3.1).
+
+    Node creation is normalized:
+    - the trivial cases of the majority axiom Ω.M fold away
+      ([M(x,x,z) = x], [M(x,x',z) = z]);
+    - inverter propagation Ω.I keeps at most one complemented fanin
+      per node, pushing parity to the output edge;
+    - fanins are sorted (Ω.C), and structural hashing shares equal
+      nodes.
+
+    Signals are {!Network.Signal.t} values. *)
+
+type t
+
+module S := Network.Signal
+
+val create : unit -> t
+
+(** {1 Construction} *)
+
+val const0 : t -> S.t
+val const1 : t -> S.t
+val add_pi : t -> string -> S.t
+val add_po : t -> string -> S.t -> unit
+
+val maj : t -> S.t -> S.t -> S.t -> S.t
+val and_ : t -> S.t -> S.t -> S.t
+(** [and_ g a b = maj g a b 0] (Theorem 3.1). *)
+
+val or_ : t -> S.t -> S.t -> S.t
+(** [or_ g a b = maj g a b 1]. *)
+
+val xor_ : t -> S.t -> S.t -> S.t
+(** Three majority nodes, two levels. *)
+
+val xor3 : t -> S.t -> S.t -> S.t -> S.t
+(** [xor3 g x y z = M(M(x,y,z)', M(x,y,z'), z)]: three nodes, two
+    levels — the optimized representation of Fig. 2(b). *)
+
+val mux : t -> S.t -> S.t -> S.t -> S.t
+val and_n : t -> S.t list -> S.t
+val or_n : t -> S.t list -> S.t
+val xor_n : t -> S.t list -> S.t
+
+val find_maj : t -> S.t -> S.t -> S.t -> S.t option
+(** Structural-hash lookup (after normalization) without insertion. *)
+
+(** {1 Access} *)
+
+val num_nodes : t -> int
+val size : t -> int
+(** Number of majority nodes. *)
+
+val is_pi : t -> int -> bool
+val is_maj : t -> int -> bool
+val fanins : t -> int -> S.t array
+(** The three fanins of a majority node. *)
+
+val fanins_of : t -> S.t -> S.t array option
+(** Fanins seen through a signal: for a complemented signal onto a
+    majority node, the fanins are returned complemented (Ω.I view:
+    [M'(x,y,z) = M(x',y',z')]).  [None] on PIs and constants. *)
+
+val pis : t -> int list
+val num_pis : t -> int
+val pos : t -> (string * S.t) list
+val num_pos : t -> int
+val pi_name : t -> int -> string
+val iter_majs : t -> (int -> S.t array -> unit) -> unit
+val fanout_counts : t -> int array
+
+(** {1 Metrics} *)
+
+val levels : t -> int array
+val depth : t -> int
+
+(** {1 Transformation} *)
+
+val cleanup : t -> t
+(** Reachable-only copy; all PIs preserved in order. *)
+
+val pp_stats : Format.formatter -> t -> unit

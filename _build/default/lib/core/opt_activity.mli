@@ -1,0 +1,10 @@
+(** MIG switching-activity optimization (§IV.C).
+
+    Reduces (i) size, via Algorithm 1, and (ii) the switching
+    probability of nodes, by accepting relevance/substitution
+    reshapes only when the total activity decreases — the Fig. 2(d)
+    move of trading a [p ≈ 0.5] variable for a reconvergent one with
+    skewed probability. *)
+
+val run :
+  ?effort:int -> ?pi_prob:(string -> float) -> Graph.t -> Graph.t

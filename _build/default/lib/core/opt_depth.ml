@@ -1,0 +1,75 @@
+module G = Graph
+
+let cost g = (G.depth g, G.size g)
+
+let better a b = cost a < cost b
+
+(* Iterate a pass to a fixpoint on depth, bounded. *)
+let saturate pass g ~max_iter =
+  let cur = ref g in
+  let continue_ = ref true in
+  let iter = ref 0 in
+  while !continue_ && !iter < max_iter do
+    incr iter;
+    let next = pass !cur in
+    if G.depth next < G.depth !cur then cur := next else continue_ := false
+  done;
+  !cur
+
+let run ?(effort = 4) ?(size_recovery = true) g =
+  let best = ref (G.cleanup g) in
+  let original_depth = G.depth !best in
+  let cur = ref !best in
+  for _cycle = 1 to effort do
+    (* derived-identity rewriting: transpose AOIG structures into
+       native majority/parity forms before pushing up *)
+    cur := Transform.rewrite_patterns !cur;
+    cur := Transform.rewrite_patterns !cur;
+    if better !cur !best then best := !cur;
+    (* push-up *)
+    cur := saturate Transform.push_up !cur ~max_iter:8;
+    if better !cur !best then best := !cur;
+    (* reshape *)
+    cur := Transform.relevance !cur;
+    cur := Transform.substitution ~on_critical:true !cur;
+    (* push-up again *)
+    cur := saturate Transform.push_up !cur ~max_iter:8;
+    (* light size recovery every cycle: elimination keeps the depth
+       gains and trims what push-up duplicated *)
+    let trimmed = Transform.eliminate !cur in
+    if G.depth trimmed <= G.depth !cur then cur := trimmed;
+    if better !cur !best then best := !cur else cur := !best
+  done;
+  (* final size-recovery phase ("interlaced with size recovery",
+     SV.A.1): Boolean refactoring may trade at most one level for a
+     clearly smaller graph *)
+  if size_recovery then begin
+    let keep_depth pass g =
+      let t = pass g in
+      if G.depth t <= G.depth g then t else g
+    in
+    cur := keep_depth (Transform.rewrite_patterns ~mode:`Size) !best;
+    cur := keep_depth Transform.eliminate !cur;
+    let refactored = Transform.eliminate (Transform.refactor !cur) in
+    if
+      G.depth refactored <= G.depth !cur
+      || (G.depth refactored <= G.depth !cur + 1
+         && float_of_int (G.size refactored)
+            <= 0.9 *. float_of_int (G.size !cur))
+      || (G.depth refactored <= G.depth !cur + 2
+         && float_of_int (G.size refactored)
+            <= 0.75 *. float_of_int (G.size !cur))
+    then cur := refactored;
+    (* then keep compressing as long as depth holds *)
+    for _i = 1 to 3 do
+      cur := keep_depth (Transform.rewrite_patterns ~mode:`Size) !cur;
+      cur := keep_depth Transform.refactor !cur;
+      cur := keep_depth Transform.eliminate !cur
+    done;
+    if
+      cost !cur < cost !best
+      || (G.depth !cur <= min original_depth (G.depth !best + 1)
+         && G.size !cur < G.size !best)
+    then best := !cur
+  end;
+  !best

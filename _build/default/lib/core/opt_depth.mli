@@ -1,0 +1,11 @@
+(** MIG depth optimization — Algorithm 2 of the paper.
+
+    Each effort cycle pushes critical variables towards the outputs
+    (Ω.M, Ω.D left-to-right, Ω.A, Ψ.C), reshapes away from local
+    minima (Ψ.R, Ψ.S on critical nodes) and pushes up again.  The
+    paper's §V flow interlaces size recovery; [run] does so with an
+    {!Opt_size} elimination pass per cycle.  The best graph seen
+    (smallest depth, size as tie-break) is returned. *)
+
+val run : ?effort:int -> ?size_recovery:bool -> Graph.t -> Graph.t
+(** [run ?effort g] (default effort 4, size recovery on). *)

@@ -1,0 +1,33 @@
+module G = Graph
+
+let cost g = (G.size g, G.depth g)
+
+let better a b = cost a < cost b
+
+let run ?(effort = 2) g =
+  let best = ref (G.cleanup g) in
+  let cur = ref !best in
+  for _cycle = 1 to effort do
+    (* collapse AOIG patterns into majority nodes, then eliminate *)
+    cur := Transform.rewrite_patterns ~mode:`Size !cur;
+    if better !cur !best then best := !cur;
+    (* eliminate *)
+    cur := Transform.eliminate !cur;
+    if better !cur !best then best := !cur;
+    (* reshape *)
+    cur := Transform.reshape_assoc !cur;
+    cur := Transform.relevance !cur;
+    cur := Transform.substitution ~on_critical:false !cur;
+    (* eliminate *)
+    cur := Transform.eliminate !cur;
+    cur := Transform.eliminate !cur;
+    if better !cur !best then best := !cur;
+    (* Boolean size recovery *)
+    cur := Transform.refactor !cur;
+    cur := Transform.eliminate !cur;
+    if better !cur !best then best := !cur
+    else
+      (* restart the next cycle from the best known point *)
+      cur := !best
+  done;
+  !best

@@ -1,0 +1,10 @@
+(** MIG size optimization — Algorithm 1 of the paper.
+
+    Each effort cycle runs elimination (Ω.M left-to-right and Ω.D
+    right-to-left), then reshaping (Ω.A/Ψ.C inside the push-up pass,
+    relevance Ψ.R, substitution Ψ.S), then elimination again.  The
+    best graph seen (fewest nodes, depth as tie-break) is returned, so
+    the result is never worse than the input. *)
+
+val run : ?effort:int -> Graph.t -> Graph.t
+(** [run ?effort g] (default effort 2). *)

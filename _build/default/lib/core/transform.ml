@@ -1,0 +1,703 @@
+module S = Network.Signal
+module G = Graph
+
+(* ----- shared helpers ----- *)
+
+(* Memoized level function over a (growing) fresh graph. *)
+let make_level_fn fresh =
+  let tbl = Hashtbl.create 1024 in
+  let rec node_level id =
+    match Hashtbl.find_opt tbl id with
+    | Some l -> l
+    | None ->
+        let l =
+          if G.is_maj fresh id then
+            1
+            + Array.fold_left
+                (fun acc s -> max acc (node_level (S.node s)))
+                0 (G.fanins fresh id)
+          else 0
+        in
+        Hashtbl.replace tbl id l;
+        l
+  in
+  fun s -> node_level (S.node s)
+
+(* Multiset intersection of two 3-signal views.  Returns
+   [Some (c1, c2, u, v)] when exactly two signals are common: [c1,c2]
+   common, [u] left-over of [fa], [v] left-over of [fb]. *)
+let common2 fa fb =
+  let used = Array.make 3 false in
+  let commons = ref [] and rest_a = ref [] in
+  Array.iter
+    (fun sa ->
+      let matched = ref false in
+      Array.iteri
+        (fun j sb ->
+          if (not !matched) && (not used.(j)) && S.equal sa sb then begin
+            used.(j) <- true;
+            matched := true;
+            commons := sa :: !commons
+          end)
+        fb;
+      if not !matched then rest_a := sa :: !rest_a)
+    fa;
+  match (!commons, !rest_a) with
+  | [ c1; c2 ], [ u ] ->
+      let v = ref None in
+      Array.iteri (fun j sb -> if not used.(j) then v := Some sb) fb;
+      Option.map (fun v -> (c1, c2, u, v)) !v
+  | _ -> None
+
+(* Demand-driven rebuild skeleton.  [init fresh] may set up
+   per-rebuild state and returns the node constructor, which receives
+   a [value] function resolving old signals to fresh ones, the old
+   node id and its old fanins, and must return the fresh signal for
+   the node's regular polarity. *)
+let rebuild_with g init =
+  let fresh = G.create () in
+  let construct = init fresh in
+  let map = Array.make (G.num_nodes g) None in
+  map.(0) <- Some (G.const0 fresh);
+  List.iter (fun id -> map.(id) <- Some (G.add_pi fresh (G.pi_name g id))) (G.pis g);
+  let rec build id =
+    match map.(id) with
+    | Some s -> s
+    | None ->
+        let s = construct value id (G.fanins g id) in
+        map.(id) <- Some s;
+        s
+  and value s = S.xor_complement (build (S.node s)) (S.is_complement s) in
+  List.iter (fun (name, s) -> G.add_po fresh name (value s)) (G.pos g);
+  G.cleanup fresh
+
+(* All ways of singling out one element of a 3-array:
+   (other1, other2, chosen). *)
+let rotations (fs : S.t array) =
+  [
+    (fs.(0), fs.(1), fs.(2));
+    (fs.(0), fs.(2), fs.(1));
+    (fs.(1), fs.(2), fs.(0));
+  ]
+
+(* ----- eliminate: Ω.M (L→R) + Ω.D (R→L) ----- *)
+
+let eliminate g =
+  let fanout = G.fanout_counts g in
+  rebuild_with g (fun fresh ->
+      fun value _id old_fs ->
+        let m = Array.map value old_fs in
+        let dying s = fanout.(S.node s) <= 1 in
+        (* a fanin pair of majority nodes sharing two operands collapses:
+           M(M(x,y,u),M(x,y,v),z) = M(x,y,M(u,v,z)) *)
+        let candidate =
+          List.find_map
+            (fun (x, y, z) ->
+              match (G.fanins_of fresh x, G.fanins_of fresh y) with
+              | Some fx, Some fy -> (
+                  match common2 fx fy with
+                  | Some (c1, c2, u, v) ->
+                      let old_of fnew =
+                        Array.to_seq old_fs
+                        |> Seq.filter (fun o -> S.equal (value o) fnew)
+                        |> Seq.uncons
+                        |> Option.map fst
+                      in
+                      let both_dying =
+                        match (old_of x, old_of y) with
+                        | Some ox, Some oy -> dying ox && dying oy
+                        | _ -> false
+                      in
+                      let inner_exists = G.find_maj fresh u v z <> None in
+                      if both_dying || inner_exists then Some (c1, c2, u, v, z)
+                      else None
+                  | None -> None)
+              | _ -> None)
+            (rotations m)
+        in
+        match candidate with
+        | Some (c1, c2, u, v, z) -> G.maj fresh c1 c2 (G.maj fresh u v z)
+        | None -> G.maj fresh m.(0) m.(1) m.(2))
+
+(* ----- push_up: depth-oriented Ω.D (L→R), Ω.A, Ψ.C ----- *)
+
+(* Slack of every node in [g]: level minus required time.  Only
+   zero-slack (critical) nodes are worth restructuring for depth; the
+   rest would trade size for nothing (cf. the paper's "critical
+   variables" wording in SIV.B). *)
+let criticality g =
+  let n = G.num_nodes g in
+  let lv = G.levels g in
+  let d = G.depth g in
+  let req = Array.make n max_int in
+  List.iter (fun (_, s) -> req.(S.node s) <- d) (G.pos g);
+  for id = n - 1 downto 1 do
+    if G.is_maj g id && req.(id) < max_int then
+      Array.iter
+        (fun s ->
+          let f = S.node s in
+          req.(f) <- min req.(f) (req.(id) - 1))
+        (G.fanins g id)
+  done;
+  Array.init n (fun i -> req.(i) < max_int && lv.(i) >= req.(i))
+
+let push_up g =
+  let critical = criticality g in
+  rebuild_with g (fun fresh ->
+      let level = make_level_fn fresh in
+      fun value _id old_fs ->
+        let m = Array.map value old_fs in
+        if not critical.(_id) then G.maj fresh m.(0) m.(1) m.(2)
+        else begin
+        let copy_level =
+          1 + Array.fold_left (fun acc s -> max acc (level s)) 0 m
+        in
+        (* Enumerate restructurings that pull the critical grandchild
+           up; each candidate is (resulting level, size penalty, build
+           thunk). *)
+        let candidates = ref [] in
+        let add lvl pen thunk = candidates := (lvl, pen, thunk) :: !candidates in
+        List.iter
+          (fun (x, y, w) ->
+            match G.fanins_of fresh w with
+            | None -> ()
+            | Some inner ->
+                let lw = level w in
+                if lw >= level x && lw >= level y then
+                  List.iter
+                    (fun (u, v, z) ->
+                      let lx = level x and ly = level y in
+                      let lu = level u and lv = level v and lz = level z in
+                      (* Ω.D L→R: M(x,y,M(u,v,z)) =
+                         M(M(x,y,u),M(x,y,v),z) *)
+                      let d_lvl =
+                        1 + max (max (1 + max (max lx ly) lu)
+                                   (1 + max (max lx ly) lv))
+                              lz
+                      in
+                      add d_lvl 1 (fun () ->
+                          G.maj fresh
+                            (G.maj fresh x y u)
+                            (G.maj fresh x y v)
+                            z);
+                      (* Ω.A: M(x,u,M(y,u,z)) = M(z,u,M(y,u,x)) — needs
+                         a shared operand between outer and inner. *)
+                      List.iter
+                        (fun (outer_other, shared) ->
+                          List.iter
+                            (fun (inner_other, inner_shared) ->
+                              if S.equal shared inner_shared then begin
+                                let a_lvl =
+                                  1
+                                  + max (max lz (level shared))
+                                      (1
+                                      + max
+                                          (max (level inner_other)
+                                             (level shared))
+                                          (level outer_other))
+                                in
+                                add a_lvl 0 (fun () ->
+                                    G.maj fresh z shared
+                                      (G.maj fresh inner_other shared
+                                         outer_other))
+                              end;
+                              (* Ψ.C: M(x,u,M(y,u',z)) = M(x,u,M(y,x,z)) *)
+                              if S.equal shared (S.not_ inner_shared) then begin
+                                let c_lvl =
+                                  1
+                                  + max
+                                      (max (level outer_other) (level shared))
+                                      (1
+                                      + max
+                                          (max (level inner_other)
+                                             (level outer_other))
+                                          lz)
+                                in
+                                add c_lvl 0 (fun () ->
+                                    G.maj fresh outer_other shared
+                                      (G.maj fresh inner_other outer_other z))
+                              end)
+                            [ (u, v); (v, u) ])
+                        [ (x, y); (y, x) ])
+                    (rotations inner))
+          (rotations m);
+        let best =
+          List.fold_left
+            (fun acc ((lvl, pen, _) as c) ->
+              match acc with
+              | Some (bl, bp, _) when (bl, bp) <= (lvl, pen) -> acc
+              | _ -> Some c)
+            None !candidates
+        in
+        match best with
+        | Some (lvl, _, thunk) when lvl < copy_level -> thunk ()
+        | _ -> G.maj fresh m.(0) m.(1) m.(2)
+        end)
+
+(* ----- relevance: Ψ.R ----- *)
+
+exception Out_of_budget
+
+(* Does the cone of [root] depend on node [target]?  Visits at most
+   [limit] majority nodes; [None] when the budget is exceeded. *)
+let depends_within g ~limit root target =
+  let memo = Hashtbl.create 32 in
+  let budget = ref limit in
+  let rec depends id =
+    if id = target then true
+    else
+      match Hashtbl.find_opt memo id with
+      | Some d -> d
+      | None ->
+          if not (G.is_maj g id) then begin
+            Hashtbl.replace memo id false;
+            false
+          end
+          else begin
+            decr budget;
+            if !budget < 0 then raise Out_of_budget;
+            let d = Array.exists (fun s -> depends (S.node s)) (G.fanins g id) in
+            Hashtbl.replace memo id d;
+            d
+          end
+  in
+  match depends root with exception Out_of_budget -> None | d -> Some d
+
+let relevance_rebuild g plan =
+  rebuild_with g (fun fresh ->
+      fun value id old_fs ->
+        match Hashtbl.find_opt plan id with
+        | None ->
+            let m = Array.map value old_fs in
+            G.maj fresh m.(0) m.(1) m.(2)
+        | Some (x, y, z) ->
+            let xv = value x and yv = value y in
+            (* Rebuild the cone of z, replacing edges onto node(x):
+               an edge equal to x becomes y', its complement becomes y. *)
+            let target = S.node x in
+            let memo = Hashtbl.create 32 in
+            let rec subst nid =
+              (* fresh signal for old node [nid] under the substitution *)
+              match Hashtbl.find_opt memo nid with
+              | Some s -> s
+              | None ->
+                  let s =
+                    if not (G.is_maj g nid) then value (S.make nid false)
+                    else begin
+                      let fs = G.fanins g nid in
+                      let resolve e =
+                        if S.node e = target then
+                          (* e = x  ->  y' ; e = x' -> y *)
+                          if S.is_complement e = S.is_complement x then
+                            S.not_ yv
+                          else yv
+                        else
+                          S.xor_complement (subst (S.node e))
+                            (S.is_complement e)
+                      in
+                      G.maj fresh (resolve fs.(0)) (resolve fs.(1))
+                        (resolve fs.(2))
+                    end
+                  in
+                  Hashtbl.replace memo nid s;
+                  s
+            in
+            let zv = S.xor_complement (subst (S.node z)) (S.is_complement z) in
+            G.maj fresh xv yv zv)
+
+let relevance ?(cone_limit = 16) g =
+  (* Plan on the old graph: node id -> (x, y, z) old fanin signals,
+     meaning "rebuild the cone of z with x replaced by y'". *)
+  let plan = Hashtbl.create 64 in
+  G.iter_majs g (fun id fs ->
+      let found =
+        List.find_map
+          (fun (x, y, z) ->
+            if G.is_maj g (S.node z) && S.node x <> 0 && S.node z <> S.node x
+            then
+              match
+                depends_within g ~limit:cone_limit (S.node z) (S.node x)
+              with
+              | Some true -> Some (x, y, z)
+              | _ -> None
+            else None)
+          (rotations fs)
+      in
+      match found with Some p -> Hashtbl.replace plan id p | None -> ());
+  relevance_rebuild g plan
+
+(* ----- substitution: Ψ.S ----- *)
+
+(* Two most frequently referenced PIs in the bounded cone of [root];
+   the first must re-converge (appear at least twice). *)
+let reconvergent_pi_pair g ~limit root =
+  let counts = Hashtbl.create 16 in
+  let seen = Hashtbl.create 16 in
+  let budget = ref limit in
+  let rec go id =
+    if (not (Hashtbl.mem seen id)) && G.is_maj g id && !budget >= 0 then begin
+      Hashtbl.replace seen id ();
+      decr budget;
+      Array.iter
+        (fun e ->
+          let n = S.node e in
+          if G.is_pi g n then
+            Hashtbl.replace counts n
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts n))
+          else go n)
+        (G.fanins g id)
+    end
+  in
+  go root;
+  if !budget < 0 then None
+  else
+    let ranked =
+      Hashtbl.fold (fun pi c acc -> (c, pi) :: acc) counts []
+      |> List.sort (fun a b -> compare b a)
+    in
+    match ranked with
+    | (c1, v) :: (_, u) :: _ when c1 >= 2 -> Some (v, u)
+    | _ -> None
+
+let substitution ?(max_candidates = 8) ~on_critical g =
+  let lv = G.levels g in
+  let d = G.depth g in
+  let nodes = ref [] in
+  G.iter_majs g (fun id _ -> nodes := id :: !nodes);
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let chosen =
+    !nodes
+    |> List.filter (fun id -> (not on_critical) || lv.(id) >= d - 1)
+    |> List.sort (fun a b -> compare (lv.(b), b) (lv.(a), a))
+    |> take max_candidates
+  in
+  let plan = Hashtbl.create 8 in
+  List.iter
+    (fun id ->
+      match reconvergent_pi_pair g ~limit:24 id with
+      | Some (v, u) -> Hashtbl.replace plan id (v, u)
+      | None -> ())
+    chosen;
+  rebuild_with g (fun fresh ->
+      let level = make_level_fn fresh in
+      fun value id old_fs ->
+        let m = Array.map value old_fs in
+        let copy = G.maj fresh m.(0) m.(1) m.(2) in
+        match Hashtbl.find_opt plan id with
+        | None -> copy
+        | Some (v, u) ->
+            let vv = value (S.make v false) and uv = value (S.make u false) in
+            (* k with every edge onto v redirected to [repl] *)
+            let subst_build repl =
+              let memo = Hashtbl.create 32 in
+              let rec go nid =
+                match Hashtbl.find_opt memo nid with
+                | Some s -> s
+                | None ->
+                    let s =
+                      if not (G.is_maj g nid) then value (S.make nid false)
+                      else begin
+                        let fs = G.fanins g nid in
+                        let resolve e =
+                          if S.node e = v then
+                            S.xor_complement repl (S.is_complement e)
+                          else
+                            S.xor_complement (go (S.node e)) (S.is_complement e)
+                        in
+                        G.maj fresh (resolve fs.(0)) (resolve fs.(1))
+                          (resolve fs.(2))
+                      end
+                    in
+                    Hashtbl.replace memo nid s;
+                    s
+              in
+              go id
+            in
+            let k_vu = subst_build uv in
+            let k_vu' = subst_build (S.not_ uv) in
+            (* Ψ.S: M(x,y,z) =
+               M(v, M(v',k_{v/u},u), M(v',k_{v/u'},u')) *)
+            let cand =
+              G.maj fresh vv
+                (G.maj fresh (S.not_ vv) k_vu uv)
+                (G.maj fresh (S.not_ vv) k_vu' (S.not_ uv))
+            in
+            if level cand < level copy then cand else copy)
+
+(* ----- derived-identity rewriting: collapse AOIG patterns ----- *)
+
+module T = Truthtable
+
+type pattern = {
+  cost : int;  (* majority nodes the replacement costs *)
+  needs : int;  (* how many leaves the pattern touches *)
+  build_p : G.t -> S.t array -> S.t;
+}
+
+let tt_int tt =
+  let v = ref 0 in
+  for m = 0 to 7 do
+    if T.get_bit tt m then v := !v lor (1 lsl m)
+  done;
+  !v
+
+(* Precomputed table: 3-variable function -> cheapest known MIG
+   structure.  Everything here is derivable from Ω (Theorem 3.6); the
+   table is how the package reaches those derivations in practice. *)
+let pattern_table =
+  lazy
+    (let tbl : (int, pattern) Hashtbl.t = Hashtbl.create 128 in
+     let v = Array.init 3 (fun i -> T.var 3 i) in
+     let needs_of tt =
+       let n = ref 0 in
+       for i = 0 to 2 do
+         if T.depends_on tt i then n := i + 1
+       done;
+       !n
+     in
+     let add tt p =
+       let key = tt_int tt in
+       match Hashtbl.find_opt tbl key with
+       | Some old when old.cost <= p.cost -> ()
+       | _ -> Hashtbl.replace tbl key { p with needs = needs_of tt }
+     in
+     let lit tt inv = if inv then T.not_ tt else tt in
+     let sig_lit s inv = if inv then S.not_ s else s in
+     (* majority of three literals *)
+     for mask = 0 to 7 do
+       for out = 0 to 1 do
+         let l i = lit v.(i) (mask land (1 lsl i) <> 0) in
+         let tt = lit (T.maj (l 0) (l 1) (l 2)) (out = 1) in
+         add tt
+           {
+             cost = 1;
+             needs = 3;
+             build_p =
+               (fun g leaves ->
+                 let li i = sig_lit leaves.(i) (mask land (1 lsl i) <> 0) in
+                 sig_lit (G.maj g (li 0) (li 1) (li 2)) (out = 1));
+           }
+       done
+     done;
+     (* three-input parity: two levels, three nodes (Fig. 2(b)) *)
+     for out = 0 to 1 do
+       let tt = lit (T.xor_ (T.xor_ v.(0) v.(1)) v.(2)) (out = 1) in
+       add tt
+         {
+           cost = 3;
+           needs = 3;
+           build_p =
+             (fun g leaves ->
+               sig_lit (G.xor3 g leaves.(0) leaves.(1) leaves.(2)) (out = 1));
+         }
+     done;
+     (* two-input parity over each leaf pair *)
+     List.iter
+       (fun (i, j) ->
+         for out = 0 to 1 do
+           let tt = lit (T.xor_ v.(i) v.(j)) (out = 1) in
+           add tt
+             {
+               cost = 3;
+               needs = max i j + 1;
+               build_p =
+                 (fun g leaves ->
+                   sig_lit (G.xor_ g leaves.(i) leaves.(j)) (out = 1));
+             }
+         done)
+       [ (0, 1); (0, 2); (1, 2) ];
+     (* multiplexers *)
+     List.iter
+       (fun (s, t, e) ->
+         for mask = 0 to 7 do
+           for out = 0 to 1 do
+             let l k inv_bit = lit v.(k) (mask land inv_bit <> 0) in
+             let tt =
+               lit (T.mux (l s 1) (l t 2) (l e 4)) (out = 1)
+             in
+             add tt
+               {
+                 cost = 3;
+                 needs = 3;
+                 build_p =
+                   (fun g leaves ->
+                     let li k inv_bit =
+                       sig_lit leaves.(k) (mask land inv_bit <> 0)
+                     in
+                     sig_lit
+                       (G.mux g (li s 1) (li t 2) (li e 4))
+                       (out = 1));
+               }
+           done
+         done)
+       [ (0, 1, 2); (1, 0, 2); (2, 0, 1) ];
+     tbl)
+
+let rewrite_patterns ?(k = 3) ?(max_cuts = 8) ?(mode = `Depth) g =
+  let tbl = Lazy.force pattern_table in
+  let cuts = Cut.enumerate ~k ~max_cuts g in
+  let fanout = G.fanout_counts g in
+  rebuild_with g (fun fresh ->
+      let level = make_level_fn fresh in
+      fun value id old_fs ->
+        let m = Array.map value old_fs in
+        let copy = G.maj fresh m.(0) m.(1) m.(2) in
+        let copy_level = level copy in
+        let best = ref None in
+        List.iter
+          (fun cut ->
+            let nleaves = Array.length cut in
+            if nleaves >= 2 && not (nleaves = 1 && cut.(0) = id) then
+              match Hashtbl.find_opt tbl (tt_int (Cut.cut_function g id cut)) with
+              | Some p when p.needs <= nleaves ->
+                  (* nodes freed by re-expressing the cone on the leaves *)
+                  let freed = Cut.mffc_size g ~fanout id cut in
+                  let accept lvl =
+                    match mode with
+                    | `Depth -> lvl < copy_level && p.cost <= freed + 1
+                    | `Size ->
+                        p.cost < freed
+                        || (p.cost = freed && lvl < copy_level)
+                  in
+                  let leaves = Array.map (fun l -> value (S.make l false)) cut in
+                  let s = p.build_p fresh leaves in
+                  let key = (level s, p.cost) in
+                  (match !best with
+                  | Some (bk, _) when bk <= key -> ()
+                  | _ -> if accept (level s) then best := Some (key, s))
+              | _ -> ())
+          cuts.(id);
+        match !best with Some (_, s) -> s | None -> copy)
+
+(* ----- refactoring: cone resynthesis through ISOP + factoring ----- *)
+
+(* Greedy reconvergence-driven cone, as in the AIG refactor pass:
+   absorb single-fanout fanins first, stop at [max_leaves]. *)
+let collect_cone g ~fanout ~max_leaves root =
+  let module IS = Set.Make (Int) in
+  let expandable id = G.is_maj g id in
+  let fanins id =
+    G.fanins g id |> Array.to_list |> List.map S.node
+    |> List.filter (fun i -> i <> 0)
+  in
+  let leaves = ref (IS.of_list (fanins root)) in
+  let continue_ = ref true in
+  while !continue_ do
+    let candidates =
+      IS.elements !leaves
+      |> List.filter expandable
+      |> List.map (fun id ->
+             (id, IS.union (IS.remove id !leaves) (IS.of_list (fanins id))))
+      |> List.filter (fun (_, after) -> IS.cardinal after <= max_leaves)
+    in
+    let score (id, after) =
+      ((if fanout.(id) = 1 then 0 else 1), IS.cardinal after)
+    in
+    match List.sort (fun a b -> compare (score a) (score b)) candidates with
+    | [] -> continue_ := false
+    | (_, after) :: _ -> leaves := after
+  done;
+  Array.of_list (IS.elements !leaves)
+
+let build_factored fresh leaves form =
+  let module F = Sop.Factor in
+  let rec go = function
+    | F.Const b -> if b then G.const1 fresh else G.const0 fresh
+    | F.Lit (i, pos) -> S.xor_complement leaves.(i) (not pos)
+    | F.And fs -> (
+        match List.map go fs with
+        | [] -> G.const1 fresh
+        | xs -> G.and_n fresh xs)
+    | F.Or fs -> (
+        match List.map go fs with
+        | [] -> G.const0 fresh
+        | xs -> G.or_n fresh xs)
+  in
+  go form
+
+let refactor ?(max_leaves = 10) g =
+  let fanout = G.fanout_counts g in
+  let plan = Hashtbl.create 64 in
+  G.iter_majs g (fun id _ ->
+      let cut = collect_cone g ~fanout ~max_leaves id in
+      let nleaves = Array.length cut in
+      if nleaves >= 2 && nleaves <= max_leaves then begin
+        let tt = Cut.cut_function g id cut in
+        let form = Sop.Factor.factor (Sop.Isop.compute tt) in
+        let cost = Aig.Rewrite.form_cost form in
+        let freed = Cut.mffc_size g ~fanout id cut in
+        if freed > cost then Hashtbl.replace plan id (cut, form)
+      end);
+  let result =
+    rebuild_with g (fun fresh ->
+        fun value id old_fs ->
+          match Hashtbl.find_opt plan id with
+          | None ->
+              let m = Array.map value old_fs in
+              G.maj fresh m.(0) m.(1) m.(2)
+          | Some (cut, form) ->
+              let leaves = Array.map (fun l -> value (S.make l false)) cut in
+              build_factored fresh leaves form)
+  in
+  if G.size result <= G.size g then result else G.cleanup g
+
+(* ----- associativity reshape: Ω.A / Ψ.C driven sharing ----- *)
+
+(* The §IV.A reshape rationale: "locally increase the number of common
+   inputs/variables to MIG nodes".  For each node of the shape
+   M(x, u, M(y, u, z)) (or with u' inside, via Ψ.C) we try the swaps
+   the axioms allow and keep one whose inner node *already exists* in
+   the graph being built — turning a private node into a shared one
+   for free. *)
+let reshape_assoc g =
+  rebuild_with g (fun fresh ->
+      fun value _id old_fs ->
+        let m = Array.map value old_fs in
+        let copy () = G.maj fresh m.(0) m.(1) m.(2) in
+        let candidate =
+          List.find_map
+            (fun (x, y, w) ->
+              match G.fanins_of fresh w with
+              | None -> None
+              | Some inner ->
+                  List.find_map
+                    (fun (u, v, z) ->
+                      (* treat z as the inner element to swap out *)
+                      List.find_map
+                        (fun (outer_other, shared) ->
+                          List.find_map
+                            (fun (inner_other, inner_shared) ->
+                              if S.equal shared inner_shared then
+                                (* Ω.A: M(x,u,M(y,u,z)) = M(z,u,M(y,u,x)) *)
+                                match
+                                  G.find_maj fresh inner_other shared
+                                    outer_other
+                                with
+                                | Some existing ->
+                                    Some
+                                      (fun () ->
+                                        G.maj fresh z shared existing)
+                                | None -> None
+                              else if S.equal shared (S.not_ inner_shared)
+                              then
+                                (* Ψ.C: M(x,u,M(y,u',z)) = M(x,u,M(y,x,z)) *)
+                                match
+                                  G.find_maj fresh inner_other outer_other z
+                                with
+                                | Some existing ->
+                                    Some
+                                      (fun () ->
+                                        G.maj fresh outer_other shared
+                                          existing)
+                                | None -> None
+                              else None)
+                            [ (u, v); (v, u) ])
+                        [ (x, y); (y, x) ])
+                    (rotations inner))
+            (rotations m)
+        in
+        match candidate with Some build -> build () | None -> copy ())

@@ -1,0 +1,94 @@
+type opt_result = { size : int; depth : int; activity : float; time : float }
+type syn_result = { area : float; delay : float; power : float; time : float }
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+(* All flows receive the same flattened AND/OR/INV input, as in the
+   paper's methodology (§V.A.1). *)
+let flatten = Network.Graph.flatten_aoig
+
+let mig_opt ?(effort = 3) net =
+  let net = flatten net in
+  let m = Mig.Convert.of_network net in
+  let opt, time = timed (fun () -> Mig.Opt_depth.run ~effort m) in
+  ( opt,
+    {
+      size = Mig.Graph.size opt;
+      depth = Mig.Graph.depth opt;
+      activity = Mig.Activity.total opt;
+      time;
+    } )
+
+let aig_opt ?(effort = 2) net =
+  let net = flatten net in
+  let a = Aig.Convert.of_network net in
+  let opt, time = timed (fun () -> Aig.Resyn.run ~effort a) in
+  let as_net = Aig.Convert.to_network opt in
+  ( opt,
+    {
+      size = Aig.Graph.size opt;
+      depth = Aig.Graph.depth opt;
+      activity = Network.Metrics.activity as_net;
+      time;
+    } )
+
+let bds_opt ?(node_limit = 1_500_000) ~seed net =
+  let net = flatten net in
+  let result, time = timed (fun () -> Bdd.Decompose.run ~node_limit ~seed net) in
+  Option.map
+    (fun d ->
+      ( d,
+        {
+          size = Network.Graph.size d;
+          depth = Network.Metrics.depth d;
+          activity = Network.Metrics.activity d;
+          time;
+        } ))
+    result
+
+let mig_synth ?effort net =
+  let (opt, _), time =
+    timed (fun () ->
+        let opt, r = mig_opt ?effort net in
+        (opt, r))
+  in
+  let mapped = Tech.Mapper.map_network (Mig.Convert.to_network opt) in
+  {
+    area = mapped.Tech.Mapper.area;
+    delay = mapped.Tech.Mapper.delay;
+    power = mapped.Tech.Mapper.power;
+    time;
+  }
+
+let aig_synth ?effort net =
+  let (opt, _), time =
+    timed (fun () ->
+        let opt, r = aig_opt ?effort net in
+        (opt, r))
+  in
+  let mapped = Tech.Mapper.map_network (Aig.Convert.to_network opt) in
+  {
+    area = mapped.Tech.Mapper.area;
+    delay = mapped.Tech.Mapper.delay;
+    power = mapped.Tech.Mapper.power;
+    time;
+  }
+
+let cst_synth ?(effort = 2) net =
+  let mapped, time =
+    timed (fun () ->
+        let a = Aig.Convert.of_network (flatten net) in
+        let a = Aig.Resyn.size_only ~effort a in
+        let a = Aig.Balance.run a in
+        Tech.Mapper.map_network ~lib:Tech.Cells.no_majority
+          (Aig.Convert.to_network a))
+  in
+  {
+    area = mapped.Tech.Mapper.area;
+    delay = mapped.Tech.Mapper.delay;
+    power = mapped.Tech.Mapper.power;
+    time;
+  }

@@ -1,0 +1,50 @@
+(** End-to-end flows reproduced from §V.
+
+    Logic-optimization flows (Table I top) return the optimized
+    object's native metrics; synthesis flows (Table I bottom) map the
+    optimized logic onto the standard-cell library and return the
+    estimated {delay, area, power}. *)
+
+type opt_result = {
+  size : int;
+  depth : int;
+  activity : float;
+  time : float;  (** seconds *)
+}
+
+type syn_result = {
+  area : float;
+  delay : float;
+  power : float;
+  time : float;  (** seconds *)
+}
+
+(** {1 Logic optimization (Table I top)} *)
+
+val mig_opt : ?effort:int -> Network.Graph.t -> Mig.Graph.t * opt_result
+(** MIGhty: depth optimization interlaced with size and activity
+    recovery (the flow of §V.A.1). *)
+
+val aig_opt : ?effort:int -> Network.Graph.t -> Aig.Graph.t * opt_result
+(** ABC stand-in: the resyn2-style script. *)
+
+val bds_opt :
+  ?node_limit:int ->
+  seed:int ->
+  Network.Graph.t ->
+  (Network.Graph.t * opt_result) option
+(** BDS stand-in: BDD construction with order search, then
+    decomposition.  [None] models the "N.A." rows of Table I (BDD
+    blow-up). *)
+
+(** {1 Synthesis (Table I bottom)} *)
+
+val mig_synth : ?effort:int -> Network.Graph.t -> syn_result
+(** MIG optimization + technology mapping on the full library. *)
+
+val aig_synth : ?effort:int -> Network.Graph.t -> syn_result
+(** AIG optimization + the same mapper and library. *)
+
+val cst_synth : ?effort:int -> Network.Graph.t -> syn_result
+(** Commercial-synthesis-tool proxy: area-oriented AIG script and a
+    library without MAJ-3/MIN-3 cells (see DESIGN.md §2). *)

@@ -1,0 +1,1 @@
+lib/logic_io/blif.mli: Format Network

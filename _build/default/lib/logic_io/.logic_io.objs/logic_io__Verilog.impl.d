@@ -1,0 +1,1 @@
+lib/logic_io/verilog.ml: Array Format Hashtbl List Network Printf String

@@ -1,0 +1,1 @@
+lib/logic_io/verilog.mli: Format Network

@@ -1,0 +1,184 @@
+module N = Network.Graph
+module S = Network.Signal
+
+(* ----- writing ----- *)
+
+let gate_cover fn =
+  (* cover rows over the gate's regular inputs *)
+  match fn with
+  | N.And -> [ "11" ]
+  | N.Or -> [ "1-"; "-1" ]
+  | N.Xor -> [ "10"; "01" ]
+  | N.Maj -> [ "11-"; "1-1"; "-11" ]
+  | N.Mux -> [ "11-"; "0-1" ]
+
+let flip_row row fanins =
+  String.mapi
+    (fun i c ->
+      if S.is_complement fanins.(i) then
+        match c with '1' -> '0' | '0' -> '1' | c -> c
+      else c)
+    row
+
+let write fmt ?(model = "network") net =
+  let net = N.cleanup net in
+  let name_of = Hashtbl.create 256 in
+  Hashtbl.replace name_of 0 "$false";
+  List.iter (fun id -> Hashtbl.replace name_of id (N.pi_name net id)) (N.pis net);
+  N.iter_gates net (fun id _ _ ->
+      Hashtbl.replace name_of id (Printf.sprintf "n%d" id));
+  let node_name id = Hashtbl.find name_of id in
+  Format.fprintf fmt ".model %s@." model;
+  Format.fprintf fmt ".inputs%t@." (fun fmt ->
+      List.iter (fun id -> Format.fprintf fmt " %s" (N.pi_name net id)) (N.pis net));
+  Format.fprintf fmt ".outputs%t@." (fun fmt ->
+      List.iter (fun (name, _) -> Format.fprintf fmt " %s" name) (N.pos net));
+  (* constant node, in case it is referenced *)
+  Format.fprintf fmt ".names $false@.";
+  N.iter_gates net (fun id fn fanins ->
+      Format.fprintf fmt ".names";
+      Array.iter (fun s -> Format.fprintf fmt " %s" (node_name (S.node s))) fanins;
+      Format.fprintf fmt " %s@." (node_name id);
+      List.iter
+        (fun row -> Format.fprintf fmt "%s 1@." (flip_row row fanins))
+        (gate_cover fn));
+  (* outputs: buffers/inverters from their drivers *)
+  List.iter
+    (fun (name, s) ->
+      let src = node_name (S.node s) in
+      if S.is_complement s then
+        Format.fprintf fmt ".names %s %s@.0 1@." src name
+      else Format.fprintf fmt ".names %s %s@.1 1@." src name)
+    (N.pos net);
+  Format.fprintf fmt ".end@."
+
+let write_file path ?model net =
+  let oc = open_out path in
+  let fmt = Format.formatter_of_out_channel oc in
+  write fmt ?model net;
+  Format.pp_print_flush fmt ();
+  close_out oc
+
+(* ----- reading ----- *)
+
+type names_block = { inputs : string list; output : string; rows : (string * char) list }
+
+let tokenize_lines text =
+  (* join continuation lines, strip comments *)
+  let lines = String.split_on_char '\n' text in
+  let rec join acc = function
+    | [] -> List.rev acc
+    | line :: rest ->
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        if String.length line > 0 && line.[String.length line - 1] = '\\' then
+          match rest with
+          | next :: rest' ->
+              join acc ((String.sub line 0 (String.length line - 1) ^ " " ^ next) :: rest')
+          | [] -> List.rev (line :: acc)
+        else join (line :: acc) rest
+  in
+  join [] lines |> List.filter (fun l -> l <> "")
+
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let read text =
+  let lines = tokenize_lines text in
+  let inputs = ref [] and outputs = ref [] in
+  let blocks = Hashtbl.create 256 in
+  let rec parse = function
+    | [] -> ()
+    | line :: rest when String.length line > 0 && line.[0] = '.' -> (
+        match words line with
+        | ".model" :: _ -> parse rest
+        | ".inputs" :: ins ->
+            inputs := !inputs @ ins;
+            parse rest
+        | ".outputs" :: outs ->
+            outputs := !outputs @ outs;
+            parse rest
+        | ".end" :: _ -> ()
+        | ".names" :: signals when signals <> [] ->
+            let rec split_last = function
+              | [ x ] -> ([], x)
+              | x :: rest ->
+                  let init, last = split_last rest in
+                  (x :: init, last)
+              | [] -> assert false
+            in
+            let ins, out = split_last signals in
+            let rows, rest' = collect_rows [] rest in
+            Hashtbl.replace blocks out { inputs = ins; output = out; rows };
+            parse rest'
+        | ".latch" :: _ -> failwith "Blif.read: latches not supported"
+        | d :: _ -> failwith ("Blif.read: unsupported directive " ^ d)
+        | [] -> parse rest)
+    | _ :: rest -> parse rest
+  and collect_rows acc = function
+    | line :: rest when String.length line > 0 && line.[0] <> '.' -> (
+        match words line with
+        | [ plane; out ] when String.length out = 1 ->
+            collect_rows ((plane, out.[0]) :: acc) rest
+        | [ out ] when String.length out = 1 ->
+            collect_rows (("", out.[0]) :: acc) rest
+        | _ -> failwith ("Blif.read: bad cover row: " ^ line))
+    | rest -> (List.rev acc, rest)
+  in
+  parse lines;
+  let net = N.create () in
+  let signals = Hashtbl.create 256 in
+  List.iter
+    (fun name -> Hashtbl.replace signals name (N.add_pi net name))
+    !inputs;
+  let rec resolve name =
+    match Hashtbl.find_opt signals name with
+    | Some s -> s
+    | None -> (
+        match Hashtbl.find_opt blocks name with
+        | None -> failwith ("Blif.read: undriven signal " ^ name)
+        | Some blk ->
+            let ins = List.map resolve blk.inputs in
+            let value =
+              match blk.rows with
+              | [] -> N.const0 net (* .names with no rows = constant 0 *)
+              | ("", '1') :: _ -> N.const1 net
+              | ("", '0') :: _ -> N.const0 net
+              | rows ->
+                  let polarity = snd (List.hd rows) in
+                  let cube plane =
+                    let lits = ref [] in
+                    String.iteri
+                      (fun i c ->
+                        let s = List.nth ins i in
+                        match c with
+                        | '1' -> lits := s :: !lits
+                        | '0' -> lits := S.not_ s :: !lits
+                        | '-' -> ()
+                        | c ->
+                            failwith
+                              (Printf.sprintf "Blif.read: bad plane char %c" c))
+                      plane;
+                    N.and_n net !lits
+                  in
+                  let sum =
+                    N.or_n net (List.map (fun (p, _) -> cube p) rows)
+                  in
+                  if polarity = '1' then sum else S.not_ sum
+            in
+            Hashtbl.replace signals name value;
+            value)
+  in
+  List.iter (fun name -> N.add_po net name (resolve name)) !outputs;
+  net
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  read text

@@ -1,0 +1,14 @@
+(** BLIF reader/writer for combinational networks.
+
+    Supports the combinational subset: [.model], [.inputs],
+    [.outputs], [.names] with 1/0/- cover rows (both on-set and
+    off-set covers), and [.end].  Complemented edges are materialized
+    by flipping cover columns, so written files round-trip. *)
+
+val write : Format.formatter -> ?model:string -> Network.Graph.t -> unit
+val write_file : string -> ?model:string -> Network.Graph.t -> unit
+
+val read : string -> Network.Graph.t
+(** Parse BLIF text.  @raise Failure on syntax errors or latches. *)
+
+val read_file : string -> Network.Graph.t

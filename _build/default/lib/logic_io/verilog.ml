@@ -1,0 +1,303 @@
+module N = Network.Graph
+module S = Network.Signal
+
+(* ----- writing ----- *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let write fmt ?(module_name = "circuit") net =
+  let net = N.cleanup net in
+  let name_of = Hashtbl.create 256 in
+  List.iter
+    (fun id -> Hashtbl.replace name_of id (sanitize (N.pi_name net id)))
+    (N.pis net);
+  N.iter_gates net (fun id _ _ ->
+      Hashtbl.replace name_of id (Printf.sprintf "n%d" id));
+  let ref_of s =
+    if S.node s = 0 then if S.is_complement s then "1'b1" else "1'b0"
+    else
+      let base = Hashtbl.find name_of (S.node s) in
+      if S.is_complement s then "~" ^ base else base
+  in
+  let pis = List.map (N.pi_name net) (N.pis net) in
+  let pos = List.map fst (N.pos net) in
+  Format.fprintf fmt "module %s(%s);@." module_name
+    (String.concat ", " (List.map sanitize (pis @ pos)));
+  List.iter (fun p -> Format.fprintf fmt "  input %s;@." (sanitize p)) pis;
+  List.iter (fun p -> Format.fprintf fmt "  output %s;@." (sanitize p)) pos;
+  N.iter_gates net (fun id _ _ ->
+      Format.fprintf fmt "  wire n%d;@." id);
+  N.iter_gates net (fun id fn fs ->
+      let v k = ref_of fs.(k) in
+      let rhs =
+        match fn with
+        | N.And -> Printf.sprintf "%s & %s" (v 0) (v 1)
+        | N.Or -> Printf.sprintf "%s | %s" (v 0) (v 1)
+        | N.Xor -> Printf.sprintf "%s ^ %s" (v 0) (v 1)
+        | N.Maj ->
+            Printf.sprintf "(%s & %s) | (%s & %s) | (%s & %s)" (v 0) (v 1)
+              (v 0) (v 2) (v 1) (v 2)
+        | N.Mux -> Printf.sprintf "%s ? %s : %s" (v 0) (v 1) (v 2)
+      in
+      Format.fprintf fmt "  assign n%d = %s;@." id rhs);
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf fmt "  assign %s = %s;@." (sanitize name) (ref_of s))
+    (N.pos net);
+  Format.fprintf fmt "endmodule@."
+
+let write_file path ?module_name net =
+  let oc = open_out path in
+  let fmt = Format.formatter_of_out_channel oc in
+  write fmt ?module_name net;
+  Format.pp_print_flush fmt ();
+  close_out oc
+
+(* ----- reading ----- *)
+
+type token =
+  | Ident of string
+  | Const of bool
+  | Kw of string
+  | Sym of char
+
+let keywords = [ "module"; "endmodule"; "input"; "output"; "wire"; "assign" ]
+
+let lex text =
+  let n = String.length text in
+  let toks = ref [] in
+  let i = ref 0 in
+  let peek () = if !i < n then Some text.[!i] else None in
+  while !i < n do
+    match text.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '/' when !i + 1 < n && text.[!i + 1] = '/' ->
+        while !i < n && text.[!i] <> '\n' do incr i done
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let start = !i in
+        while
+          !i < n
+          && match text.[!i] with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true
+             | _ -> false
+        do
+          incr i
+        done;
+        let word = String.sub text start (!i - start) in
+        toks :=
+          (if List.mem word keywords then Kw word else Ident word) :: !toks
+    | '1' when !i + 3 < n && String.sub text !i 4 = "1'b0" ->
+        toks := Const false :: !toks;
+        i := !i + 4
+    | '1' when !i + 3 < n && String.sub text !i 4 = "1'b1" ->
+        toks := Const true :: !toks;
+        i := !i + 4
+    | ('(' | ')' | ',' | ';' | '=' | '&' | '|' | '^' | '~' | '?' | ':') as c ->
+        toks := Sym c :: !toks;
+        incr i
+    | c ->
+        ignore (peek ());
+        failwith (Printf.sprintf "Verilog.read: unexpected character %c" c)
+  done;
+  List.rev !toks
+
+(* Recursive-descent expression parser.
+   Precedence: ?: lowest, then |, ^, &, then unary ~ (Verilog order).
+   Assign statements may appear in any order: each right-hand side is
+   kept as a token slice and elaborated on demand, with combinational
+   cycles detected. *)
+let read text =
+  let toks = ref (lex text) in
+  let peek () = match !toks with t :: _ -> Some t | [] -> None in
+  let next () =
+    match !toks with
+    | t :: rest ->
+        toks := rest;
+        t
+    | [] -> failwith "Verilog.read: unexpected end of input"
+  in
+  let expect t =
+    let got = next () in
+    if got <> t then failwith "Verilog.read: syntax error"
+  in
+  let ident () =
+    match next () with
+    | Ident s -> s
+    | _ -> failwith "Verilog.read: identifier expected"
+  in
+  let net = N.create () in
+  let env : (string, S.t) Hashtbl.t = Hashtbl.create 256 in
+  let pending : (string, token list) Hashtbl.t = Hashtbl.create 256 in
+  let resolving = Hashtbl.create 16 in
+  (* expression evaluation over an explicit token cursor *)
+  let eval_expr cursor lookup =
+    let peek () = match !cursor with t :: _ -> Some t | [] -> None in
+    let next () =
+      match !cursor with
+      | t :: rest ->
+          cursor := rest;
+          t
+      | [] -> failwith "Verilog.read: truncated expression"
+    in
+    let expect t =
+      if next () <> t then failwith "Verilog.read: expression syntax error"
+    in
+    let rec expr () = ternary ()
+    and ternary () =
+      let c = or_expr () in
+      match peek () with
+      | Some (Sym '?') ->
+          ignore (next ());
+          let t = expr () in
+          expect (Sym ':');
+          let e = expr () in
+          N.mux net c t e
+      | _ -> c
+    and or_expr () =
+      let l = ref (xor_expr ()) in
+      let rec loop () =
+        match peek () with
+        | Some (Sym '|') ->
+            ignore (next ());
+            l := N.or_ net !l (xor_expr ());
+            loop ()
+        | _ -> ()
+      in
+      loop ();
+      !l
+    and xor_expr () =
+      let l = ref (and_expr ()) in
+      let rec loop () =
+        match peek () with
+        | Some (Sym '^') ->
+            ignore (next ());
+            l := N.xor_ net !l (and_expr ());
+            loop ()
+        | _ -> ()
+      in
+      loop ();
+      !l
+    and and_expr () =
+      let l = ref (unary ()) in
+      let rec loop () =
+        match peek () with
+        | Some (Sym '&') ->
+            ignore (next ());
+            l := N.and_ net !l (unary ());
+            loop ()
+        | _ -> ()
+      in
+      loop ();
+      !l
+    and unary () =
+      match next () with
+      | Sym '~' -> S.not_ (unary ())
+      | Sym '(' ->
+          let e = expr () in
+          expect (Sym ')');
+          e
+      | Const b -> if b then N.const1 net else N.const0 net
+      | Ident name -> lookup name
+      | _ -> failwith "Verilog.read: expression syntax error"
+    in
+    expr ()
+  in
+  let rec lookup name =
+    match Hashtbl.find_opt env name with
+    | Some s -> s
+    | None -> (
+        match Hashtbl.find_opt pending name with
+        | Some slice ->
+            if Hashtbl.mem resolving name then
+              failwith ("Verilog.read: combinational cycle through " ^ name);
+            Hashtbl.replace resolving name ();
+            let cursor = ref slice in
+            let s = eval_expr cursor lookup in
+            Hashtbl.remove resolving name;
+            Hashtbl.replace env name s;
+            s
+        | None -> failwith ("Verilog.read: use of undefined signal " ^ name))
+  in
+  (* module header *)
+  expect (Kw "module");
+  ignore (ident ());
+  expect (Sym '(');
+  let rec skip_ports () =
+    match next () with Sym ')' -> () | _ -> skip_ports ()
+  in
+  skip_ports ();
+  expect (Sym ';');
+  let outputs = ref [] in
+  let rec statements () =
+    match peek () with
+    | Some (Kw "endmodule") -> ()
+    | Some (Kw "input") ->
+        ignore (next ());
+        let rec names () =
+          let n = ident () in
+          Hashtbl.replace env n (N.add_pi net n);
+          match next () with
+          | Sym ',' -> names ()
+          | Sym ';' -> ()
+          | _ -> failwith "Verilog.read: declaration syntax"
+        in
+        names ();
+        statements ()
+    | Some (Kw "output") ->
+        ignore (next ());
+        let rec names () =
+          let n = ident () in
+          outputs := n :: !outputs;
+          match next () with
+          | Sym ',' -> names ()
+          | Sym ';' -> ()
+          | _ -> failwith "Verilog.read: declaration syntax"
+        in
+        names ();
+        statements ()
+    | Some (Kw "wire") ->
+        ignore (next ());
+        let rec names () =
+          ignore (ident ());
+          match next () with
+          | Sym ',' -> names ()
+          | Sym ';' -> ()
+          | _ -> failwith "Verilog.read: declaration syntax"
+        in
+        names ();
+        statements ()
+    | Some (Kw "assign") ->
+        ignore (next ());
+        let name = ident () in
+        expect (Sym '=');
+        (* capture the right-hand side tokens up to the ';' *)
+        let slice = ref [] in
+        let rec collect () =
+          match next () with
+          | Sym ';' -> ()
+          | t ->
+              slice := t :: !slice;
+              collect ()
+        in
+        collect ();
+        Hashtbl.replace pending name (List.rev !slice);
+        statements ()
+    | Some _ -> failwith "Verilog.read: statement syntax error"
+    | None -> failwith "Verilog.read: missing endmodule"
+  in
+  statements ();
+  List.iter (fun name -> N.add_po net name (lookup name)) (List.rev !outputs);
+  net
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  read text

@@ -1,0 +1,19 @@
+(** Structural Verilog for flattened combinational circuits.
+
+    The paper's MIGhty "reads a Verilog description of a combinational
+    logic circuit, flattened into Boolean primitives, and writes back
+    a Verilog description of the optimized MIG".  The writer emits
+    one [assign] per gate using [& | ^ ~ ?:] plus a [maj]-expansion;
+    the reader accepts the same flattened subset: a single module,
+    scalar [input]/[output]/[wire] declarations, and [assign]
+    statements over identifiers, [1'b0]/[1'b1], parentheses and the
+    operators [~ & | ^ ?:].  Assignments may appear in any order;
+    combinational cycles are rejected. *)
+
+val write : Format.formatter -> ?module_name:string -> Network.Graph.t -> unit
+val write_file : string -> ?module_name:string -> Network.Graph.t -> unit
+
+val read : string -> Network.Graph.t
+(** @raise Failure on anything outside the subset. *)
+
+val read_file : string -> Network.Graph.t

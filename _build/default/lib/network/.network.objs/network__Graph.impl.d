@@ -1,0 +1,1 @@
+lib/network/graph.ml: Array Format Hashtbl List Lsutil Signal

@@ -1,0 +1,1 @@
+lib/network/metrics.ml: Array Graph List Signal

@@ -1,0 +1,1 @@
+lib/network/metrics.mli: Graph

@@ -1,0 +1,1 @@
+lib/network/signal.mli: Format

@@ -1,0 +1,1 @@
+lib/network/simulate.ml: Array Graph Hashtbl Int64 List Lsutil Signal Truthtable

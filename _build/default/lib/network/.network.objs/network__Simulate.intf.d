@@ -1,0 +1,1 @@
+lib/network/simulate.mli: Graph Truthtable

@@ -1,0 +1,228 @@
+module S = Signal
+module Vec = Lsutil.Vec
+
+type fn = And | Or | Xor | Maj | Mux
+
+type node =
+  | Const0
+  | Pi of string
+  | Gate of fn * S.t array
+
+type key = { kfn : fn; kfanins : int array }
+
+type t = {
+  nodes : node Vec.t;
+  strash : (key, int) Hashtbl.t;
+  mutable pi_ids : int list; (* reversed *)
+  mutable po_list : (string * S.t) list; (* reversed *)
+}
+
+let create () =
+  let nodes = Vec.create () in
+  ignore (Vec.push nodes Const0);
+  { nodes; strash = Hashtbl.create 1024; pi_ids = []; po_list = [] }
+
+let const0 _n = S.make 0 false
+let const1 _n = S.make 0 true
+
+let add_pi n name =
+  let id = Vec.push n.nodes (Pi name) in
+  n.pi_ids <- id :: n.pi_ids;
+  S.make id false
+
+let add_po n name s = n.po_list <- (name, s) :: n.po_list
+
+let not_ = S.not_
+
+let new_gate n fn fanins =
+  let key = { kfn = fn; kfanins = Array.map (fun s -> (s : S.t :> int)) fanins } in
+  match Hashtbl.find_opt n.strash key with
+  | Some id -> S.make id false
+  | None ->
+      let id = Vec.push n.nodes (Gate (fn, fanins)) in
+      Hashtbl.add n.strash key id;
+      S.make id false
+
+let is_const0 s = S.equal s (S.make 0 false)
+let is_const1 s = S.equal s (S.make 0 true)
+
+let sort2 a b = if S.compare a b <= 0 then (a, b) else (b, a)
+
+let and_ n a b =
+  if is_const0 a || is_const0 b then const0 n
+  else if is_const1 a then b
+  else if is_const1 b then a
+  else if S.equal a b then a
+  else if S.equal a (S.not_ b) then const0 n
+  else
+    let a, b = sort2 a b in
+    new_gate n And [| a; b |]
+
+let or_ n a b =
+  if is_const1 a || is_const1 b then const1 n
+  else if is_const0 a then b
+  else if is_const0 b then a
+  else if S.equal a b then a
+  else if S.equal a (S.not_ b) then const1 n
+  else
+    let a, b = sort2 a b in
+    new_gate n Or [| a; b |]
+
+let xor_ n a b =
+  if is_const0 a then b
+  else if is_const0 b then a
+  else if is_const1 a then S.not_ b
+  else if is_const1 b then S.not_ a
+  else if S.equal a b then const0 n
+  else if S.equal a (S.not_ b) then const1 n
+  else begin
+    (* Normalize: both fanins regular, complement pulled to output. *)
+    let inv = S.is_complement a <> S.is_complement b in
+    let a = S.regular a and b = S.regular b in
+    let a, b = sort2 a b in
+    S.xor_complement (new_gate n Xor [| a; b |]) inv
+  end
+
+let maj n a b c =
+  (* Ω.M folding *)
+  if S.equal a b then a
+  else if S.equal a c then a
+  else if S.equal b c then b
+  else if S.equal a (S.not_ b) then c
+  else if S.equal a (S.not_ c) then b
+  else if S.equal b (S.not_ c) then a
+  else if is_const0 a then and_ n b c
+  else if is_const1 a then or_ n b c
+  else if is_const0 b then and_ n a c
+  else if is_const1 b then or_ n a c
+  else if is_const0 c then and_ n a b
+  else if is_const1 c then or_ n a b
+  else begin
+    let l = List.sort S.compare [ a; b; c ] in
+    match l with
+    | [ a; b; c ] -> new_gate n Maj [| a; b; c |]
+    | _ -> assert false
+  end
+
+let mux n s t e =
+  if is_const1 s then t
+  else if is_const0 s then e
+  else if S.equal t e then t
+  else if S.equal t (S.not_ e) then xor_ n s e
+  else if is_const0 t then and_ n (S.not_ s) e
+  else if is_const1 t then or_ n s e
+  else if is_const0 e then and_ n s t
+  else if is_const1 e then or_ n (S.not_ s) t
+  else new_gate n Mux [| s; t; e |]
+
+let rec tree op n = function
+  | [] -> invalid_arg "Graph: empty tree"
+  | [ x ] -> x
+  | xs ->
+      let rec pair = function
+        | a :: b :: rest -> op n a b :: pair rest
+        | rest -> rest
+      in
+      tree op n (pair xs)
+
+let and_n n = function [] -> const1 n | xs -> tree and_ n xs
+let or_n n = function [] -> const0 n | xs -> tree or_ n xs
+let xor_n n = function [] -> const0 n | xs -> tree xor_ n xs
+
+let num_nodes n = Vec.length n.nodes
+let node n i = Vec.get n.nodes i
+let pis n = List.rev n.pi_ids
+let num_pis n = List.length n.pi_ids
+let pos n = List.rev n.po_list
+let num_pos n = List.length n.po_list
+
+let pi_name n i =
+  match node n i with
+  | Pi name -> name
+  | _ -> invalid_arg "Graph.pi_name: not a PI"
+
+let iter_nodes n f = Vec.iteri f n.nodes
+
+let iter_gates n f =
+  Vec.iteri
+    (fun i nd -> match nd with Gate (fn, fanins) -> f i fn fanins | _ -> ())
+    n.nodes
+
+let size n =
+  let c = ref 0 in
+  iter_gates n (fun _ _ _ -> incr c);
+  !c
+
+let fanout_counts n =
+  let counts = Array.make (num_nodes n) 0 in
+  iter_gates n (fun _ _ fanins ->
+      Array.iter (fun s -> counts.(S.node s) <- counts.(S.node s) + 1) fanins);
+  List.iter (fun (_, s) -> counts.(S.node s) <- counts.(S.node s) + 1) (pos n);
+  counts
+
+let cleanup n =
+  let fresh = create () in
+  let map = Array.make (num_nodes n) None in
+  map.(0) <- Some (const0 fresh);
+  (* keep all PIs, in order, to preserve the interface *)
+  List.iter (fun id -> map.(id) <- Some (add_pi fresh (pi_name n id))) (pis n);
+  let lookup s =
+    match map.(S.node s) with
+    | Some s' -> S.xor_complement s' (S.is_complement s)
+    | None -> assert false
+  in
+  let rec build id =
+    match map.(id) with
+    | Some _ -> ()
+    | None -> (
+        match node n id with
+        | Const0 | Pi _ -> assert false
+        | Gate (fn, fanins) ->
+            Array.iter (fun s -> build (S.node s)) fanins;
+            let fs = Array.map lookup fanins in
+            let s =
+              match (fn, fs) with
+              | And, [| a; b |] -> and_ fresh a b
+              | Or, [| a; b |] -> or_ fresh a b
+              | Xor, [| a; b |] -> xor_ fresh a b
+              | Maj, [| a; b; c |] -> maj fresh a b c
+              | Mux, [| s; t; e |] -> mux fresh s t e
+              | _ -> assert false
+            in
+            map.(id) <- Some s)
+  in
+  List.iter
+    (fun (name, s) ->
+      build (S.node s);
+      add_po fresh name (lookup s))
+    (pos n);
+  fresh
+
+let pp_stats fmt n =
+  Format.fprintf fmt "i/o = %d/%d, gates = %d" (num_pis n) (num_pos n) (size n)
+
+let flatten_aoig n =
+  let fresh = create () in
+  let map = Array.make (num_nodes n) (const0 fresh) in
+  List.iter (fun id -> map.(id) <- add_pi fresh (pi_name n id)) (pis n);
+  let value s = S.xor_complement map.(S.node s) (S.is_complement s) in
+  iter_gates n (fun i fn fs ->
+      let v k = value fs.(k) in
+      map.(i) <-
+        (match fn with
+        | And -> and_ fresh (v 0) (v 1)
+        | Or -> or_ fresh (v 0) (v 1)
+        | Xor ->
+            or_ fresh
+              (and_ fresh (v 0) (S.not_ (v 1)))
+              (and_ fresh (S.not_ (v 0)) (v 1))
+        | Maj ->
+            or_ fresh
+              (and_ fresh (v 0) (v 1))
+              (and_ fresh (v 2) (or_ fresh (v 0) (v 1)))
+        | Mux ->
+            or_ fresh
+              (and_ fresh (v 0) (v 1))
+              (and_ fresh (S.not_ (v 0)) (v 2))));
+  List.iter (fun (name, s) -> add_po fresh name (value s)) (pos n);
+  fresh

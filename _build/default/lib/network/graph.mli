@@ -1,0 +1,83 @@
+(** Generic multi-level logic network.
+
+    A network is a DAG of primitive gates (2-input AND/OR/XOR, 3-input
+    MAJ and MUX) over complementable signals, with named primary
+    inputs and outputs.  Node 0 is the constant 0.  Builders perform
+    local constant folding and structural hashing, so the network is
+    always reduced and shared.  Nodes are stored in topological
+    order. *)
+
+type fn = And | Or | Xor | Maj | Mux
+
+type node =
+  | Const0
+  | Pi of string
+  | Gate of fn * Signal.t array
+
+type t
+
+val create : unit -> t
+
+(** {1 Construction} *)
+
+val const0 : t -> Signal.t
+val const1 : t -> Signal.t
+val add_pi : t -> string -> Signal.t
+val add_po : t -> string -> Signal.t -> unit
+
+val not_ : Signal.t -> Signal.t
+val and_ : t -> Signal.t -> Signal.t -> Signal.t
+val or_ : t -> Signal.t -> Signal.t -> Signal.t
+val xor_ : t -> Signal.t -> Signal.t -> Signal.t
+val maj : t -> Signal.t -> Signal.t -> Signal.t -> Signal.t
+val mux : t -> Signal.t -> Signal.t -> Signal.t -> Signal.t
+(** [mux n s t e] is [if s then t else e]. *)
+
+val and_n : t -> Signal.t list -> Signal.t
+(** Balanced conjunction tree; [and_n n []] is constant 1. *)
+
+val or_n : t -> Signal.t list -> Signal.t
+val xor_n : t -> Signal.t list -> Signal.t
+
+(** {1 Access} *)
+
+val size : t -> int
+(** Number of gate nodes (constants and PIs excluded). *)
+
+val num_nodes : t -> int
+(** Total node count including constant and PIs. *)
+
+val node : t -> int -> node
+val num_pis : t -> int
+val num_pos : t -> int
+val pis : t -> int list
+(** PI node indices, in insertion order. *)
+
+val pos : t -> (string * Signal.t) list
+(** Named outputs, in insertion order. *)
+
+val pi_name : t -> int -> string
+(** Name of a PI node.  Raises if the node is not a PI. *)
+
+val iter_nodes : t -> (int -> node -> unit) -> unit
+(** Iterate all nodes in topological order. *)
+
+val iter_gates : t -> (int -> fn -> Signal.t array -> unit) -> unit
+(** Iterate only gate nodes, topological order. *)
+
+val fanout_counts : t -> int array
+(** Per-node fanout counts, counting PO references. *)
+
+(** {1 Transformation} *)
+
+val flatten_aoig : t -> t
+(** Rewrite into AND/OR/INV primitives only (the "flattened into
+    Boolean primitives" input form of the paper's §V.A.1): XOR, MAJ
+    and MUX gates are expanded into their AOIG decompositions. *)
+
+val cleanup : t -> t
+(** Copy of the network containing only nodes reachable from its POs.
+    All PIs are preserved (with their names) even when dangling, so
+    I/O counts are stable. *)
+
+val pp_stats : Format.formatter -> t -> unit

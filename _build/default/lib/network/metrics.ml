@@ -1,0 +1,44 @@
+module S = Signal
+module G = Graph
+
+let size = G.size
+
+let levels ?(cost = fun _ -> 1) n =
+  let lv = Array.make (G.num_nodes n) 0 in
+  G.iter_gates n (fun i fn fanins ->
+      let m = Array.fold_left (fun acc s -> max acc lv.(S.node s)) 0 fanins in
+      lv.(i) <- m + cost fn);
+  lv
+
+let depth ?cost n =
+  let lv = levels ?cost n in
+  List.fold_left (fun acc (_, s) -> max acc lv.(S.node s)) 0 (G.pos n)
+
+let probabilities ?(pi_prob = fun _ -> 0.5) n =
+  let p = Array.make (G.num_nodes n) 0.0 in
+  let value s =
+    let v = p.(S.node s) in
+    if S.is_complement s then 1.0 -. v else v
+  in
+  G.iter_nodes n (fun i nd ->
+      match nd with
+      | G.Const0 -> p.(i) <- 0.0
+      | G.Pi name -> p.(i) <- pi_prob name
+      | G.Gate (fn, fs) ->
+          let v k = value fs.(k) in
+          p.(i) <-
+            (match fn with
+            | G.And -> v 0 *. v 1
+            | G.Or -> v 0 +. v 1 -. (v 0 *. v 1)
+            | G.Xor -> (v 0 *. (1.0 -. v 1)) +. (v 1 *. (1.0 -. v 0))
+            | G.Maj ->
+                (v 0 *. v 1) +. (v 0 *. v 2) +. (v 1 *. v 2)
+                -. (2.0 *. v 0 *. v 1 *. v 2)
+            | G.Mux -> (v 0 *. v 1) +. ((1.0 -. v 0) *. v 2)));
+  p
+
+let activity ?pi_prob n =
+  let p = probabilities ?pi_prob n in
+  let acc = ref 0.0 in
+  G.iter_gates n (fun i _ _ -> acc := !acc +. (p.(i) *. (1.0 -. p.(i))));
+  !acc

@@ -1,0 +1,21 @@
+(** Size, depth and switching-activity metrics on logic networks. *)
+
+val size : Graph.t -> int
+(** Gate count (alias of {!Graph.size}). *)
+
+val levels : ?cost:(Graph.fn -> int) -> Graph.t -> int array
+(** Per-node depth.  PIs and constants are at level 0; a gate's level
+    is its cost (default 1 for every primitive) plus the maximum fanin
+    level. *)
+
+val depth : ?cost:(Graph.fn -> int) -> Graph.t -> int
+(** Depth of the network: maximum PO level. *)
+
+val probabilities : ?pi_prob:(string -> float) -> Graph.t -> float array
+(** Per-node probability of evaluating to 1 under the usual
+    independence approximation.  [pi_prob] gives the probability of
+    each named input (default 0.5). *)
+
+val activity : ?pi_prob:(string -> float) -> Graph.t -> float
+(** Total switching activity: sum over gate nodes of [p (1-p)],
+    matching the SW convention of the paper's Fig. 2(d). *)

@@ -1,0 +1,17 @@
+type t = int
+
+let make id inv =
+  assert (id >= 0);
+  (id lsl 1) lor (if inv then 1 else 0)
+
+let unsafe_of_int (i : int) : t = i
+let node s = s lsr 1
+let is_complement s = s land 1 = 1
+let not_ s = s lxor 1
+let with_complement s b = (s land lnot 1) lor (if b then 1 else 0)
+let xor_complement s b = if b then s lxor 1 else s
+let regular s = s land lnot 1
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let hash (s : t) = s
+let pp fmt s = Format.fprintf fmt "%s%d" (if is_complement s then "~" else "") (node s)

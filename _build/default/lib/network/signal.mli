@@ -1,0 +1,29 @@
+(** Signals: references to a network node with an optional complement.
+
+    A signal packs a node index and an inversion flag into one
+    immediate integer, so signal-heavy code allocates nothing. *)
+
+type t = private int
+
+val make : int -> bool -> t
+(** [make id inv] refers to node [id], complemented when [inv]. *)
+
+val unsafe_of_int : int -> t
+(** Reinterpret a packed integer as a signal (no validation). *)
+
+val node : t -> int
+val is_complement : t -> bool
+val not_ : t -> t
+val with_complement : t -> bool -> t
+(** [with_complement s b] forces the complement flag to [b]. *)
+
+val xor_complement : t -> bool -> t
+(** [xor_complement s b] complements [s] when [b]. *)
+
+val regular : t -> t
+(** The signal with the complement flag cleared. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

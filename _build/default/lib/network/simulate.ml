@@ -1,0 +1,103 @@
+module S = Signal
+module G = Graph
+
+let eval_gates_i64 n values =
+  let value s =
+    let v = values.(S.node s) in
+    if S.is_complement s then Int64.lognot v else v
+  in
+  G.iter_gates n (fun i fn fs ->
+      let v k = value fs.(k) in
+      values.(i) <-
+        (match fn with
+        | G.And -> Int64.logand (v 0) (v 1)
+        | G.Or -> Int64.logor (v 0) (v 1)
+        | G.Xor -> Int64.logxor (v 0) (v 1)
+        | G.Maj ->
+            Int64.logor
+              (Int64.logor
+                 (Int64.logand (v 0) (v 1))
+                 (Int64.logand (v 0) (v 2)))
+              (Int64.logand (v 1) (v 2))
+        | G.Mux ->
+            Int64.logor
+              (Int64.logand (v 0) (v 1))
+              (Int64.logand (Int64.lognot (v 0)) (v 2))));
+  value
+
+let run n stim =
+  let values = Array.make (G.num_nodes n) 0L in
+  List.iter (fun id -> values.(id) <- stim (G.pi_name n id)) (G.pis n);
+  let value = eval_gates_i64 n values in
+  List.map (fun (name, s) -> (name, value s)) (G.pos n)
+
+let truthtables n =
+  let npis = G.num_pis n in
+  if npis > 20 then invalid_arg "Simulate.truthtables: too many PIs";
+  let module T = Truthtable in
+  let values = Array.make (G.num_nodes n) (T.const0 npis) in
+  List.iteri (fun k id -> values.(id) <- T.var npis k) (G.pis n);
+  let value s =
+    let v = values.(S.node s) in
+    if S.is_complement s then T.not_ v else v
+  in
+  G.iter_gates n (fun i fn fs ->
+      let v k = value fs.(k) in
+      values.(i) <-
+        (match fn with
+        | G.And -> T.and_ (v 0) (v 1)
+        | G.Or -> T.or_ (v 0) (v 1)
+        | G.Xor -> T.xor_ (v 0) (v 1)
+        | G.Maj -> T.maj (v 0) (v 1) (v 2)
+        | G.Mux -> T.mux (v 0) (v 1) (v 2)));
+  List.map (fun (name, s) -> (name, value s)) (G.pos n)
+
+let same_interface a b =
+  let names_pi g = List.map (G.pi_name g) (G.pis g) in
+  let names_po g = List.map fst (G.pos g) in
+  List.sort compare (names_pi a) = List.sort compare (names_pi b)
+  && List.sort compare (names_po a) = List.sort compare (names_po b)
+
+let equivalent_random ?(rounds = 64) ~seed a b =
+  same_interface a b
+  &&
+  let rng = Lsutil.Rng.create seed in
+  let ok = ref true in
+  for _ = 1 to rounds do
+    if !ok then begin
+      let tbl = Hashtbl.create 64 in
+      let stim name =
+        match Hashtbl.find_opt tbl name with
+        | Some v -> v
+        | None ->
+            let v =
+              Int64.logor
+                (Int64.of_int (Lsutil.Rng.int rng 0x40000000))
+                (Int64.shift_left
+                   (Int64.of_int (Lsutil.Rng.int rng 0x40000000))
+                   34)
+            in
+            Hashtbl.add tbl name v;
+            v
+      in
+      let ra = run a stim and rb = run b stim in
+      let sort = List.sort compare in
+      if sort ra <> sort rb then ok := false
+    end
+  done;
+  !ok
+
+let equivalent ?(max_exact_pis = 14) ~seed a b =
+  if not (same_interface a b) then false
+  else if G.num_pis a <= max_exact_pis then begin
+    (* align PI order of [b] to [a]'s by name *)
+    let order g = List.map (G.pi_name g) (G.pis g) in
+    if order a <> order b then equivalent_random ~seed a b
+    else
+      let sort = List.sort compare in
+      let ta = sort (truthtables a) and tb = sort (truthtables b) in
+      List.for_all2
+        (fun (na, va) (nb, vb) -> na = nb && Truthtable.equal va vb)
+        ta tb
+  end
+  else equivalent_random ~seed a b

@@ -1,0 +1,21 @@
+(** Bit-parallel simulation and exact truth tables for networks. *)
+
+val run : Graph.t -> (string -> int64) -> (string * int64) list
+(** [run n stim] evaluates the network on 64 parallel patterns.
+    [stim] gives the 64 input bits per named PI; the result lists the
+    64 output bits per named PO. *)
+
+val truthtables : Graph.t -> (string * Truthtable.t) list
+(** Exact truth table per PO, over the PIs in declaration order
+    (PI [k] is truth-table variable [k]).  Only usable when the
+    network has at most 20 PIs. *)
+
+val equivalent_random : ?rounds:int -> seed:int -> Graph.t -> Graph.t -> bool
+(** Probabilistic equivalence check: both networks must have the same
+    PI and PO names; they are driven with the same random patterns and
+    compared.  [rounds] batches of 64 patterns (default 64). *)
+
+val equivalent : ?max_exact_pis:int -> seed:int -> Graph.t -> Graph.t -> bool
+(** Exact truth-table comparison when the PI count is at most
+    [max_exact_pis] (default 14), otherwise falls back to
+    {!equivalent_random}. *)

@@ -1,0 +1,1 @@
+lib/sop/cover.ml: Cube Format List Truthtable

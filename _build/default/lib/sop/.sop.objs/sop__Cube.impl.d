@@ -1,0 +1,1 @@
+lib/sop/cube.ml: Format List Stdlib Truthtable

@@ -1,0 +1,1 @@
+lib/sop/factor.ml: Cover Cube Format Hashtbl List Option Truthtable

@@ -1,0 +1,1 @@
+lib/sop/factor.mli: Cover Format Truthtable

@@ -1,0 +1,1 @@
+lib/sop/isop.ml: Cover Cube List Truthtable

@@ -1,0 +1,1 @@
+lib/sop/isop.mli: Cover Truthtable

@@ -1,0 +1,1 @@
+lib/sop/minimize.ml: Cover Cube List Truthtable

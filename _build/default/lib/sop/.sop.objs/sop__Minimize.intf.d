@@ -1,0 +1,1 @@
+lib/sop/minimize.mli: Cover Cube Truthtable

@@ -1,0 +1,51 @@
+type t = { nvars : int; cubes : Cube.t list }
+
+let const0 n = { nvars = n; cubes = [] }
+let const1 n = { nvars = n; cubes = [ Cube.universal ] }
+let of_cubes n cubes = { nvars = n; cubes }
+
+let num_cubes c = List.length c.cubes
+
+let num_literals c =
+  List.fold_left (fun acc cb -> acc + Cube.size cb) 0 c.cubes
+
+let eval c env = List.exists (fun cb -> Cube.eval cb env) c.cubes
+
+let to_truthtable c =
+  List.fold_left
+    (fun acc cb -> Truthtable.or_ acc (Cube.to_truthtable c.nvars cb))
+    (Truthtable.const0 c.nvars)
+    c.cubes
+
+let single_cube_containment c =
+  let rec keep seen = function
+    | [] -> List.rev seen
+    | cb :: rest ->
+        let covered =
+          List.exists (fun o -> Cube.contains o cb) seen
+          || List.exists (fun o -> Cube.contains o cb && not (Cube.equal o cb)) rest
+        in
+        if covered then keep seen rest else keep (cb :: seen) rest
+  in
+  { c with cubes = keep [] c.cubes }
+
+let irredundant c =
+  let full = to_truthtable c in
+  let rec go kept = function
+    | [] -> List.rev kept
+    | cb :: rest ->
+        let others =
+          to_truthtable { c with cubes = List.rev_append kept rest }
+        in
+        if Truthtable.equal others full then go kept rest
+        else go (cb :: kept) rest
+  in
+  { c with cubes = go [] (single_cube_containment c).cubes }
+
+let pp ~vars fmt c =
+  match c.cubes with
+  | [] -> Format.pp_print_string fmt "0"
+  | cubes ->
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " + ")
+        (Cube.pp ~vars) fmt cubes

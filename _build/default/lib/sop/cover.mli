@@ -1,0 +1,22 @@
+(** Sum-of-products covers: a disjunction of {!Cube.t}. *)
+
+type t = { nvars : int; cubes : Cube.t list }
+
+val const0 : int -> t
+val const1 : int -> t
+val of_cubes : int -> Cube.t list -> t
+
+val num_cubes : t -> int
+val num_literals : t -> int
+
+val eval : t -> (int -> bool) -> bool
+val to_truthtable : t -> Truthtable.t
+
+val single_cube_containment : t -> t
+(** Remove cubes covered by another single cube of the cover. *)
+
+val irredundant : t -> t
+(** Remove cubes covered by the disjunction of the remaining ones
+    (checked by truth table; intended for small variable counts). *)
+
+val pp : vars:(int -> string) -> Format.formatter -> t -> unit

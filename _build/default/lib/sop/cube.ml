@@ -1,0 +1,69 @@
+(* A cube is a pair of bit sets: [mask] marks present variables, [pol]
+   their polarity (bit set = positive).  Bits of [pol] outside [mask]
+   are kept at zero so that structural equality is semantic. *)
+type t = { mask : int; pol : int }
+
+let universal = { mask = 0; pol = 0 }
+
+let check_var v =
+  if v < 0 || v >= 62 then invalid_arg "Cube: variable out of range"
+
+let add_literal c v pos =
+  check_var v;
+  let bit = 1 lsl v in
+  if c.mask land bit <> 0 then begin
+    let cur = c.pol land bit <> 0 in
+    if cur <> pos then invalid_arg "Cube.add_literal: polarity conflict";
+    c
+  end
+  else { mask = c.mask lor bit; pol = (if pos then c.pol lor bit else c.pol) }
+
+let of_literals lits =
+  List.fold_left (fun c (v, pos) -> add_literal c v pos) universal lits
+
+let has_var c v = c.mask land (1 lsl v) <> 0
+
+let polarity c v =
+  if has_var c v then Some (c.pol land (1 lsl v) <> 0) else None
+
+let drop_var c v =
+  let bit = 1 lsl v in
+  { mask = c.mask land lnot bit; pol = c.pol land lnot bit }
+
+let size c =
+  let rec pop acc x = if x = 0 then acc else pop (acc + 1) (x land (x - 1)) in
+  pop 0 c.mask
+
+let literals c =
+  let rec go v =
+    if 1 lsl v > c.mask then []
+    else if has_var c v then (v, c.pol land (1 lsl v) <> 0) :: go (v + 1)
+    else go (v + 1)
+  in
+  go 0
+
+let contains a b =
+  (* every literal of [a] must appear identically in [b] *)
+  a.mask land b.mask = a.mask && a.pol = b.pol land a.mask
+
+let equal a b = a.mask = b.mask && a.pol = b.pol
+let compare a b = Stdlib.compare (a.mask, a.pol) (b.mask, b.pol)
+
+let eval c env =
+  List.for_all (fun (v, pos) -> env v = pos) (literals c)
+
+let to_truthtable n c =
+  List.fold_left
+    (fun acc (v, pos) ->
+      let tv = Truthtable.var n v in
+      Truthtable.and_ acc (if pos then tv else Truthtable.not_ tv))
+    (Truthtable.const1 n) (literals c)
+
+let pp ~vars fmt c =
+  match literals c with
+  | [] -> Format.pp_print_string fmt "1"
+  | lits ->
+      List.iter
+        (fun (v, pos) ->
+          Format.fprintf fmt "%s%s" (vars v) (if pos then "" else "'"))
+        lits

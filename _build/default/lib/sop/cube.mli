@@ -1,0 +1,43 @@
+(** Cubes (products of literals) over a fixed variable set.
+
+    A cube stores, per variable, whether the variable appears and with
+    which polarity.  Cubes are immutable. *)
+
+type t
+
+val universal : t
+(** The cube with no literals (constant true). *)
+
+val of_literals : (int * bool) list -> t
+(** [of_literals lits] builds a cube from [(var, positive?)] pairs.
+    Raises [Invalid_argument] if a variable appears with both
+    polarities. *)
+
+val literals : t -> (int * bool) list
+(** Literals in ascending variable order. *)
+
+val add_literal : t -> int -> bool -> t
+(** [add_literal c v pos] conjoins literal [v]/[v'] to [c].  Raises
+    [Invalid_argument] on polarity conflict. *)
+
+val has_var : t -> int -> bool
+val polarity : t -> int -> bool option
+(** [polarity c v] is [Some true]/[Some false] when [v] appears
+    positively/negatively, [None] when absent. *)
+
+val drop_var : t -> int -> t
+val size : t -> int
+(** Number of literals. *)
+
+val contains : t -> t -> bool
+(** [contains a b] is true when cube [a] covers cube [b], i.e. every
+    literal of [a] appears in [b]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val eval : t -> (int -> bool) -> bool
+(** Evaluate under an assignment. *)
+
+val to_truthtable : int -> t -> Truthtable.t
+val pp : vars:(int -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+module T = Truthtable
+
+(* Minato-Morreale recursion.  Returns the cube list together with the
+   truth table of the cover built so far. *)
+let rec isop lower upper n vs =
+  if T.is_const0 lower then ([], T.const0 n)
+  else if T.is_const1 upper then ([ Cube.universal ], T.const1 n)
+  else begin
+    match vs with
+    | [] ->
+        (* [lower] nonzero but no splitting variable left: the residual
+           function is constant over the remaining space. *)
+        ([ Cube.universal ], T.const1 n)
+    | x :: vs' ->
+        if not (T.depends_on lower x || T.depends_on upper x) then
+          isop lower upper n vs'
+        else begin
+          let l0 = T.cofactor0 lower x and l1 = T.cofactor1 lower x in
+          let u0 = T.cofactor0 upper x and u1 = T.cofactor1 upper x in
+          let c0, f0 = isop (T.and_ l0 (T.not_ u1)) u0 n vs' in
+          let c1, f1 = isop (T.and_ l1 (T.not_ u0)) u1 n vs' in
+          let lnew =
+            T.or_ (T.and_ l0 (T.not_ f0)) (T.and_ l1 (T.not_ f1))
+          in
+          let cs, fs = isop lnew (T.and_ u0 u1) n vs' in
+          let xv = T.var n x in
+          let cover =
+            T.or_ fs
+              (T.or_ (T.and_ (T.not_ xv) f0) (T.and_ xv f1))
+          in
+          let cubes =
+            List.map (fun c -> Cube.add_literal c x false) c0
+            @ List.map (fun c -> Cube.add_literal c x true) c1
+            @ cs
+          in
+          (cubes, cover)
+        end
+  end
+
+let compute_interval ~lower ~upper =
+  let n = T.nvars lower in
+  if T.nvars upper <> n then invalid_arg "Isop: arity mismatch";
+  let vs = List.init n (fun i -> i) in
+  let cubes, cover = isop lower upper n vs in
+  assert (T.is_const0 (T.and_ lower (T.not_ cover)));
+  assert (T.is_const0 (T.and_ cover (T.not_ upper)));
+  Cover.of_cubes n cubes
+
+let compute f = compute_interval ~lower:f ~upper:f

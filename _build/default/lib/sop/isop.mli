@@ -1,0 +1,11 @@
+(** Irredundant sum-of-products computation (Minato–Morreale).
+
+    Produces an irredundant cover of a completely- or
+    incompletely-specified function given as truth tables. *)
+
+val compute : Truthtable.t -> Cover.t
+(** [compute f] is an irredundant SOP cover of [f]. *)
+
+val compute_interval : lower:Truthtable.t -> upper:Truthtable.t -> Cover.t
+(** [compute_interval ~lower ~upper] is an irredundant cover [g] with
+    [lower <= g <= upper]; requires [lower <= upper]. *)

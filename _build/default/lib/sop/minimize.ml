@@ -1,0 +1,38 @@
+module T = Truthtable
+
+let expand_cube ~offset cube =
+  let n = T.nvars offset in
+  (* try dropping literals one at a time, most-binate last would be
+     better; simple ascending order works well at small arities *)
+  List.fold_left
+    (fun cube (v, _) ->
+      let candidate = Cube.drop_var cube v in
+      let tt = Cube.to_truthtable n candidate in
+      if T.is_const0 (T.and_ tt offset) then candidate else cube)
+    cube (Cube.literals cube)
+
+let minimize ?(max_iters = 4) cover =
+  let n = cover.Cover.nvars in
+  let onset = Cover.to_truthtable cover in
+  let offset = T.not_ onset in
+  let cost c = (Cover.num_cubes c, Cover.num_literals c) in
+  let rec loop i best =
+    if i >= max_iters then best
+    else begin
+      (* EXPAND every cube against the off-set *)
+      let expanded =
+        List.map (expand_cube ~offset) best.Cover.cubes
+      in
+      (* drop cubes contained in another expanded cube, then make the
+         cover irredundant *)
+      let c =
+        Cover.of_cubes n expanded
+        |> Cover.single_cube_containment
+        |> Cover.irredundant
+      in
+      assert (T.equal (Cover.to_truthtable c) onset);
+      if cost c < cost best then loop (i + 1) c else best
+    end
+  in
+  let result = loop 0 (Cover.single_cube_containment cover) in
+  if cost result <= cost cover then result else cover

@@ -1,0 +1,18 @@
+(** Espresso-style heuristic two-level minimization.
+
+    A light version of the classic loop: EXPAND each cube against the
+    off-set (drop literals while no off-set minterm is covered),
+    remove cubes covered by the expansion, make the result
+    IRREDUNDANT, and iterate while it improves.  Exact containment is
+    checked through truth tables, so this operates on functions of a
+    bounded variable count (like the cut/cone functions it is used
+    on). *)
+
+val expand_cube : offset:Truthtable.t -> Cube.t -> Cube.t
+(** Greedily drop literals from the cube as long as it stays disjoint
+    from [offset].  The result covers at least the original cube. *)
+
+val minimize : ?max_iters:int -> Cover.t -> Cover.t
+(** Heuristic minimization preserving the function exactly.  The
+    result never has more cubes than the input; literals usually
+    shrink substantially on unminimized covers. *)

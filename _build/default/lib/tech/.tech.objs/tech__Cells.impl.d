@@ -1,0 +1,1 @@
+lib/tech/cells.ml: List Truthtable

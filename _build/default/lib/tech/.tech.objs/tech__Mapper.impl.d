@@ -1,0 +1,1 @@
+lib/tech/mapper.ml: Array Cells Float Format Hashtbl List Netcut Network Option Truthtable

@@ -1,0 +1,1 @@
+lib/tech/mapper.mli: Cells Format Network

@@ -1,0 +1,1 @@
+lib/tech/netcut.ml: Array Hashtbl List Network Truthtable

@@ -1,0 +1,1 @@
+lib/tech/netcut.mli: Network Truthtable

@@ -1,0 +1,92 @@
+type t = {
+  name : string;
+  arity : int;
+  tt : Truthtable.t;
+  area : float;
+  delay : float;
+  energy : float;
+}
+
+type library = t list
+
+let module_tt n f = Truthtable.of_bits n f
+
+let inv =
+  {
+    name = "INV";
+    arity = 1;
+    tt = module_tt 1 (fun m -> m land 1 = 0);
+    area = 0.10;
+    delay = 0.010;
+    energy = 0.30;
+  }
+
+let nand2 =
+  {
+    name = "NAND2";
+    arity = 2;
+    tt = module_tt 2 (fun m -> not (m land 1 <> 0 && m land 2 <> 0));
+    area = 0.15;
+    delay = 0.016;
+    energy = 0.50;
+  }
+
+let nor2 =
+  {
+    name = "NOR2";
+    arity = 2;
+    tt = module_tt 2 (fun m -> not (m land 1 <> 0 || m land 2 <> 0));
+    area = 0.15;
+    delay = 0.018;
+    energy = 0.50;
+  }
+
+let xor2 =
+  {
+    name = "XOR2";
+    arity = 2;
+    tt = module_tt 2 (fun m -> (m land 1 <> 0) <> (m land 2 <> 0));
+    area = 0.26;
+    delay = 0.030;
+    energy = 0.85;
+  }
+
+let xnor2 =
+  {
+    name = "XNOR2";
+    arity = 2;
+    tt = module_tt 2 (fun m -> (m land 1 <> 0) = (m land 2 <> 0));
+    area = 0.26;
+    delay = 0.030;
+    energy = 0.85;
+  }
+
+let count_bits m = (m land 1) + ((m lsr 1) land 1) + ((m lsr 2) land 1)
+
+let maj3 =
+  {
+    name = "MAJ3";
+    arity = 3;
+    tt = module_tt 3 (fun m -> count_bits m >= 2);
+    area = 0.26;
+    delay = 0.031;
+    energy = 0.90;
+  }
+
+let min3 =
+  {
+    name = "MIN3";
+    arity = 3;
+    tt = module_tt 3 (fun m -> count_bits m < 2);
+    area = 0.26;
+    delay = 0.033;
+    energy = 0.90;
+  }
+
+let full = [ inv; nand2; nor2; xor2; xnor2; maj3; min3 ]
+let no_majority = [ inv; nand2; nor2; xor2; xnor2 ]
+
+let find lib name =
+  match List.find_opt (fun c -> c.name = name) lib with
+  | Some c -> c
+  | None -> invalid_arg ("Cells.find: " ^ name)

@@ -1,0 +1,37 @@
+(** Standard-cell library (§V.B methodology).
+
+    The paper characterizes a library of MIN-3, MAJ-3, XOR-2, XNOR-2,
+    NAND-2, NOR-2 and INV gates for CMOS 22 nm.  The real
+    characterization is proprietary (PTM-based); the constants here
+    are plausible stand-ins of the right relative magnitudes — the
+    reproduction targets relative flow quality, not absolute µm²/ns/µW
+    (see DESIGN.md §2). *)
+
+type t = {
+  name : string;
+  arity : int;
+  tt : Truthtable.t;  (** over [arity] variables *)
+  area : float;  (** µm² *)
+  delay : float;  (** ns, pin-to-output *)
+  energy : float;  (** µW of dynamic power per unit switching activity
+                       at the nominal clock *)
+}
+
+type library = t list
+
+val inv : t
+val nand2 : t
+val nor2 : t
+val xor2 : t
+val xnor2 : t
+val maj3 : t
+val min3 : t
+
+val full : library
+(** The paper's library: all seven cells. *)
+
+val no_majority : library
+(** The library stripped of MAJ-3/MIN-3 — used by the
+    commercial-synthesis-tool proxy and by the mapping ablation. *)
+
+val find : library -> string -> t

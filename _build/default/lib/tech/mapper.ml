@@ -1,0 +1,251 @@
+module G = Network.Graph
+module S = Network.Signal
+
+type result = {
+  area : float;
+  delay : float;
+  power : float;
+  cell_counts : (string * int) list;
+}
+
+type entry = {
+  cell : Cells.t;
+  pins : int array;  (* leaf slot driving each cell pin *)
+  phases : bool array;  (* pin polarity: true = inverted leaf *)
+}
+
+(* Key: the 8-bit truth table over three leaf slots. *)
+let tt_to_int tt =
+  let v = ref 0 in
+  for m = 0 to 7 do
+    if Truthtable.get_bit tt m then v := !v lor (1 lsl m)
+  done;
+  !v
+
+(* All injective assignments of [arity] cell pins to the 3 leaf slots. *)
+let pin_assignments arity =
+  let slots = [ 0; 1; 2 ] in
+  let rec pick n avail =
+    if n = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun s ->
+          List.map (fun rest -> s :: rest)
+            (pick (n - 1) (List.filter (( <> ) s) avail)))
+        avail
+  in
+  List.map Array.of_list (pick arity slots)
+
+let match_table lib =
+  let tbl : (int, entry list) Hashtbl.t = Hashtbl.create 256 in
+  let add key e =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key (e :: cur)
+  in
+  List.iter
+    (fun (cell : Cells.t) ->
+      List.iter
+        (fun pins ->
+          for mask = 0 to (1 lsl cell.arity) - 1 do
+            let phases =
+              Array.init cell.arity (fun p -> mask land (1 lsl p) <> 0)
+            in
+            (* truth table over the 3 slots *)
+            let key = ref 0 in
+            for m = 0 to 7 do
+              let pin_minterm = ref 0 in
+              for p = 0 to cell.arity - 1 do
+                let v = m land (1 lsl pins.(p)) <> 0 in
+                let v = if phases.(p) then not v else v in
+                if v then pin_minterm := !pin_minterm lor (1 lsl p)
+              done;
+              if Truthtable.get_bit cell.tt !pin_minterm then
+                key := !key lor (1 lsl m)
+            done;
+            add !key { cell; pins; phases }
+          done)
+        (pin_assignments cell.arity))
+    lib;
+  tbl
+
+type choice =
+  | Source  (* PI or constant: free *)
+  | Inverter  (* INV from the opposite phase *)
+  | Match of Netcut.t * entry
+
+let map_network_internal ?(lib = Cells.full) ?pi_prob net =
+  (* decompose the subject graph into 2-input primitives: cut matching
+     can then cover majority/parity structures with MAJ-3/XOR-2 cells
+     when the library has them, and with NAND/NOR logic when not *)
+  let net = G.cleanup (G.flatten_aoig net) in
+  let inv = Cells.find lib "INV" in
+  let tbl = match_table lib in
+  let n = G.num_nodes net in
+  let cuts = Netcut.enumerate ~k:3 ~max_cuts:10 net in
+  let fanout = G.fanout_counts net in
+  let arrival = Array.make_matrix n 2 infinity in
+  (* area flow: estimated area of the cone divided among fanouts —
+     the usual overlap-aware tie-breaker for DAG covering *)
+  let aflow = Array.make_matrix n 2 infinity in
+  let chosen = Array.make_matrix n 2 Source in
+  let relax id ph arr af ch =
+    if
+      arr < arrival.(id).(ph) -. 1e-12
+      || (arr < arrival.(id).(ph) +. 1e-12 && af < aflow.(id).(ph) -. 1e-12)
+    then begin
+      arrival.(id).(ph) <- arr;
+      aflow.(id).(ph) <- af;
+      chosen.(id).(ph) <- ch
+    end
+  in
+  G.iter_nodes net (fun id nd ->
+      match nd with
+      | G.Const0 | G.Pi _ ->
+          relax id 0 0.0 0.0 Source;
+          relax id 1 inv.delay inv.area Inverter
+      | G.Gate (_, _) ->
+          List.iter
+            (fun cut ->
+              if not (Array.length cut = 1 && cut.(0) = id) then begin
+                let f = tt_to_int (Netcut.cut_function net id cut) in
+                List.iter
+                  (fun (ph, key) ->
+                    List.iter
+                      (fun e ->
+                        (* all pins must address existing leaves *)
+                        let ok =
+                          Array.for_all
+                            (fun slot -> slot < Array.length cut)
+                            e.pins
+                        in
+                        if ok then begin
+                          let arr = ref 0.0 and af = ref e.cell.Cells.area in
+                          Array.iteri
+                            (fun p slot ->
+                              let leaf = cut.(slot) in
+                              let lph = if e.phases.(p) then 1 else 0 in
+                              arr := Float.max !arr arrival.(leaf).(lph);
+                              af :=
+                                !af
+                                +. aflow.(leaf).(lph)
+                                   /. float_of_int (max 1 fanout.(leaf)))
+                            e.pins;
+                          relax id ph (!arr +. e.cell.delay) !af
+                            (Match (cut, e))
+                        end)
+                      (Option.value ~default:[] (Hashtbl.find_opt tbl key))
+                  )
+                  [ (0, f); (1, f lxor 0xff) ]
+              end)
+            cuts.(id);
+          (* polarity fix-up through an inverter *)
+          relax id 0 (arrival.(id).(1) +. inv.delay)
+            (aflow.(id).(1) +. inv.area) Inverter;
+          relax id 1 (arrival.(id).(0) +. inv.delay)
+            (aflow.(id).(0) +. inv.area) Inverter);
+  (* --- cover extraction --- *)
+  let probs = Network.Metrics.probabilities ?pi_prob net in
+  let needed = Hashtbl.create 256 in
+  let area = ref 0.0 and power = ref 0.0 in
+  let counts = Hashtbl.create 16 in
+  let instantiate (cell : Cells.t) node_id =
+    area := !area +. cell.area;
+    let p = probs.(node_id) in
+    power := !power +. (cell.energy *. p *. (1.0 -. p) *. 2.0);
+    Hashtbl.replace counts cell.name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts cell.name))
+  in
+  let rec require id ph =
+    if not (Hashtbl.mem needed (id, ph)) then begin
+      Hashtbl.replace needed (id, ph) ();
+      match chosen.(id).(ph) with
+      | Source -> ()
+      | Inverter ->
+          instantiate inv id;
+          require id (1 - ph)
+      | Match (cut, e) ->
+          instantiate e.cell id;
+          Array.iteri
+            (fun p slot ->
+              require cut.(slot) (if e.phases.(p) then 1 else 0))
+            e.pins
+    end
+  in
+  let delay = ref 0.0 in
+  List.iter
+    (fun (_, s) ->
+      let id = S.node s and ph = if S.is_complement s then 1 else 0 in
+      require id ph;
+      if arrival.(id).(ph) > !delay && Float.is_finite arrival.(id).(ph) then
+        delay := arrival.(id).(ph))
+    (G.pos net);
+  let result =
+    {
+      area = !area;
+      delay = !delay;
+      power = !power;
+      cell_counts =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+        |> List.sort compare;
+    }
+  in
+  (result, net, chosen)
+
+(* Rebuild the mapped circuit as a primitive network (each cell
+   instance becomes its defining logic), used to verify that the
+   cover computes the original function. *)
+let cover_to_network net chosen =
+  let out = G.create () in
+  let map = Hashtbl.create 256 in
+  List.iter
+    (fun id -> Hashtbl.replace map (id, 0) (G.add_pi out (G.pi_name net id)))
+    (G.pis net);
+  Hashtbl.replace map (0, 0) (G.const0 out);
+  let rec value id ph =
+    match Hashtbl.find_opt map (id, ph) with
+    | Some s -> s
+    | None ->
+        let s =
+          match chosen.(id).(ph) with
+          | Source -> assert false (* PIs/constants pre-seeded *)
+          | Inverter -> S.not_ (value id (1 - ph))
+          | Match (cut, e) ->
+              let pin p =
+                let slot = e.pins.(p) in
+                let leaf = cut.(slot) in
+                let lph = if e.phases.(p) then 1 else 0 in
+                value leaf lph
+              in
+              let cell = e.cell.Cells.name in
+              (match cell with
+              | "INV" -> S.not_ (pin 0)
+              | "NAND2" -> S.not_ (G.and_ out (pin 0) (pin 1))
+              | "NOR2" -> S.not_ (G.or_ out (pin 0) (pin 1))
+              | "XOR2" -> G.xor_ out (pin 0) (pin 1)
+              | "XNOR2" -> S.not_ (G.xor_ out (pin 0) (pin 1))
+              | "MAJ3" -> G.maj out (pin 0) (pin 1) (pin 2)
+              | "MIN3" -> S.not_ (G.maj out (pin 0) (pin 1) (pin 2))
+              | _ -> invalid_arg ("Mapper: unknown cell " ^ cell))
+        in
+        Hashtbl.replace map (id, ph) s;
+        s
+  in
+  List.iter
+    (fun (name, s) ->
+      let id = S.node s and ph = if S.is_complement s then 1 else 0 in
+      G.add_po out name (value id ph))
+    (G.pos net);
+  out
+
+let pp_result fmt r =
+  Format.fprintf fmt "area = %.2f um2, delay = %.3f ns, power = %.2f uW"
+    r.area r.delay r.power
+
+let map_network ?lib ?pi_prob net =
+  let result, _, _ = map_network_internal ?lib ?pi_prob net in
+  result
+
+let map_and_verify ?lib ?pi_prob ~seed net =
+  let result, cleaned, chosen = map_network_internal ?lib ?pi_prob net in
+  let mapped = cover_to_network cleaned chosen in
+  (result, Network.Simulate.equivalent ~seed cleaned mapped)

@@ -1,0 +1,37 @@
+(** Cut-based technology mapping (the proprietary mapper of §V.B).
+
+    The subject network is first decomposed into 2-input AND/OR
+    primitives, so any library can cover it.
+    Phase-aware delay-oriented DAG covering: every node is given a
+    best implementation for both output polarities from matches of
+    its 3-feasible cuts against the cell library (inverters are only
+    inserted when a polarity has no native match).  Estimated
+    {delay, area, power} are reported from the selected cover, power
+    being cell energy weighted by the static switching activity of
+    the driven signal — the paper's "estimated metrics before
+    physical design". *)
+
+type result = {
+  area : float;  (** µm² *)
+  delay : float;  (** ns, critical path *)
+  power : float;  (** µW *)
+  cell_counts : (string * int) list;  (** instances per cell type *)
+}
+
+val map_network :
+  ?lib:Cells.library ->
+  ?pi_prob:(string -> float) ->
+  Network.Graph.t ->
+  result
+
+val map_and_verify :
+  ?lib:Cells.library ->
+  ?pi_prob:(string -> float) ->
+  seed:int ->
+  Network.Graph.t ->
+  result * bool
+(** Map, then rebuild the chosen cover as primitive logic and check it
+    against the subject network by simulation.  The boolean is the
+    verification verdict. *)
+
+val pp_result : Format.formatter -> result -> unit

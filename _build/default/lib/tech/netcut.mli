@@ -1,0 +1,13 @@
+(** K-feasible cut enumeration on the generic network IR (the
+    mapper's subject graph). *)
+
+type t = int array
+(** Sorted array of leaf node ids. *)
+
+val enumerate : k:int -> max_cuts:int -> Network.Graph.t -> t list array
+(** Per-node cuts, the trivial cut included; constants excluded from
+    leaf sets. *)
+
+val cut_function : Network.Graph.t -> int -> t -> Truthtable.t
+(** Function of a node over the cut leaves, padded to 3 variables
+    (leaf [i] = variable [i]).  Cuts must have at most 3 leaves. *)

@@ -1,0 +1,205 @@
+type t = { nvars : int; words : int64 array }
+
+let nvars t = t.nvars
+
+(* Number of 64-bit words needed for [n] variables. *)
+let word_count n = if n <= 6 then 1 else 1 lsl (n - 6)
+
+(* Mask for the valid bits of the (single) word when [n <= 6]. *)
+let tail_mask n =
+  if n >= 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl n)) 1L
+
+let normalize t =
+  if t.nvars < 6 then begin
+    let m = tail_mask t.nvars in
+    { t with words = [| Int64.logand t.words.(0) m |] }
+  end
+  else t
+
+let const0 n =
+  assert (n >= 0 && n <= 24);
+  { nvars = n; words = Array.make (word_count n) 0L }
+
+let const1 n =
+  assert (n >= 0 && n <= 24);
+  normalize { nvars = n; words = Array.make (word_count n) (-1L) }
+
+(* Periodic masks for variables living inside a single word. *)
+let var_masks =
+  [|
+    0xAAAAAAAAAAAAAAAAL;
+    0xCCCCCCCCCCCCCCCCL;
+    0xF0F0F0F0F0F0F0F0L;
+    0xFF00FF00FF00FF00L;
+    0xFFFF0000FFFF0000L;
+    0xFFFFFFFF00000000L;
+  |]
+
+let var n i =
+  if i < 0 || i >= n then invalid_arg "Truthtable.var";
+  let words = Array.make (word_count n) 0L in
+  if i < 6 then Array.fill words 0 (Array.length words) var_masks.(i)
+  else begin
+    let period = 1 lsl (i - 6) in
+    for w = 0 to Array.length words - 1 do
+      if w land period <> 0 then words.(w) <- -1L
+    done
+  end;
+  normalize { nvars = n; words }
+
+let get_bit t m =
+  let w = m lsr 6 and b = m land 63 in
+  Int64.logand (Int64.shift_right_logical t.words.(w) b) 1L <> 0L
+
+let of_bits n f =
+  let words = Array.make (word_count n) 0L in
+  for m = 0 to (1 lsl n) - 1 do
+    if f m then
+      words.(m lsr 6) <-
+        Int64.logor words.(m lsr 6) (Int64.shift_left 1L (m land 63))
+  done;
+  { nvars = n; words }
+
+let map2 op a b =
+  if a.nvars <> b.nvars then invalid_arg "Truthtable: arity mismatch";
+  { nvars = a.nvars; words = Array.map2 op a.words b.words }
+
+let not_ t = normalize { t with words = Array.map Int64.lognot t.words }
+let and_ = map2 Int64.logand
+let or_ = map2 Int64.logor
+let xor_ = map2 Int64.logxor
+let nand_ a b = not_ (and_ a b)
+let nor_ a b = not_ (or_ a b)
+let xnor_ a b = not_ (xor_ a b)
+
+let maj a b c = or_ (or_ (and_ a b) (and_ a c)) (and_ b c)
+let mux s t e = or_ (and_ s t) (and_ (not_ s) e)
+
+let equal a b = a.nvars = b.nvars && a.words = b.words
+let is_const0 t = equal t (const0 t.nvars)
+let is_const1 t = equal t (const1 t.nvars)
+
+let popcount64 x =
+  let x = Int64.sub x (Int64.logand (Int64.shift_right_logical x 1) 0x5555555555555555L) in
+  let x =
+    Int64.add
+      (Int64.logand x 0x3333333333333333L)
+      (Int64.logand (Int64.shift_right_logical x 2) 0x3333333333333333L)
+  in
+  let x = Int64.logand (Int64.add x (Int64.shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x0101010101010101L) 56)
+
+let count_ones t = Array.fold_left (fun acc w -> acc + popcount64 w) 0 t.words
+
+let cofactor_gen keep_hi t i =
+  if i < 0 || i >= t.nvars then invalid_arg "Truthtable.cofactor";
+  if i < 6 then begin
+    let mask = var_masks.(i) and shift = 1 lsl i in
+    let words =
+      Array.map
+        (fun w ->
+          if keep_hi then
+            let hi = Int64.logand w mask in
+            Int64.logor hi (Int64.shift_right_logical hi shift)
+          else
+            let lo = Int64.logand w (Int64.lognot mask) in
+            Int64.logor lo (Int64.shift_left lo shift))
+        t.words
+    in
+    normalize { t with words }
+  end
+  else begin
+    let period = 1 lsl (i - 6) in
+    let words =
+      Array.mapi
+        (fun w _ ->
+          let src = if keep_hi then w lor period else w land lnot period in
+          t.words.(src))
+        t.words
+    in
+    { t with words }
+  end
+
+let cofactor0 t i = cofactor_gen false t i
+let cofactor1 t i = cofactor_gen true t i
+
+let depends_on t i = not (equal (cofactor0 t i) (cofactor1 t i))
+
+let support t =
+  let rec go i = if i >= t.nvars then [] else if depends_on t i then i :: go (i + 1) else go (i + 1) in
+  go 0
+
+let to_binary t =
+  let n = 1 lsl t.nvars in
+  String.init n (fun k -> if get_bit t (n - 1 - k) then '1' else '0')
+
+let to_hex t =
+  let digits = max 1 ((1 lsl t.nvars) / 4) in
+  let buf = Buffer.create digits in
+  for d = digits - 1 downto 0 do
+    let v = ref 0 in
+    for b = 3 downto 0 do
+      let m = (d * 4) + b in
+      if m < 1 lsl t.nvars && get_bit t m then v := !v lor (1 lsl b)
+    done;
+    Buffer.add_char buf "0123456789abcdef".[!v]
+  done;
+  Buffer.contents buf
+
+let of_hex n s =
+  let digits = max 1 ((1 lsl n) / 4) in
+  if String.length s <> digits then invalid_arg "Truthtable.of_hex: length";
+  let nibble c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Truthtable.of_hex: digit"
+  in
+  of_bits n (fun m ->
+      let d = m / 4 in
+      let v = nibble s.[digits - 1 - d] in
+      v land (1 lsl (m land 3)) <> 0)
+
+let pp fmt t = Format.fprintf fmt "0x%s" (to_hex t)
+
+let swap_adjacent t i =
+  (* exchange variables i and i+1 *)
+  if i < 0 || i + 1 >= t.nvars then invalid_arg "Truthtable.swap_adjacent";
+  of_bits t.nvars (fun m ->
+      let bi = (m lsr i) land 1 and bj = (m lsr (i + 1)) land 1 in
+      let m' =
+        m land lnot ((1 lsl i) lor (1 lsl (i + 1)))
+        lor (bj lsl i) lor (bi lsl (i + 1))
+      in
+      get_bit t m')
+
+let permute t perm =
+  if Array.length perm <> t.nvars then invalid_arg "Truthtable.permute";
+  of_bits t.nvars (fun m ->
+      (* old variable j reads the new minterm's bit perm.(j) *)
+      let src = ref 0 in
+      for j = 0 to t.nvars - 1 do
+        if (m lsr perm.(j)) land 1 = 1 then src := !src lor (1 lsl j)
+      done;
+      get_bit t !src)
+
+let flip_var t i =
+  if i < 0 || i >= t.nvars then invalid_arg "Truthtable.flip_var";
+  of_bits t.nvars (fun m -> get_bit t (m lxor (1 lsl i)))
+
+let npn_semiclass t =
+  (* cheapest representative under input negation and output negation
+     with identity permutation (a light canonization used for table
+     keying; full NPN would also permute) *)
+  let best = ref (to_hex t) in
+  let consider c = if c < !best then best := c in
+  for mask = 0 to (1 lsl t.nvars) - 1 do
+    let flipped = ref t in
+    for i = 0 to t.nvars - 1 do
+      if mask land (1 lsl i) <> 0 then flipped := flip_var !flipped i
+    done;
+    consider (to_hex !flipped);
+    consider (to_hex (not_ !flipped))
+  done;
+  !best

@@ -1,0 +1,99 @@
+(** Bit-packed truth tables.
+
+    A truth table over [n] variables stores [2^n] bits, packed into
+    64-bit words.  Variable [0] is the fastest-toggling input column.
+    Truth tables are immutable values; all operators return fresh
+    tables.  Two tables can only be combined when they are declared
+    over the same number of variables. *)
+
+type t
+
+(** {1 Construction} *)
+
+val nvars : t -> int
+(** Number of variables the table is declared over. *)
+
+val const0 : int -> t
+(** [const0 n] is the all-false function on [n] variables. *)
+
+val const1 : int -> t
+(** [const1 n] is the all-true function on [n] variables. *)
+
+val var : int -> int -> t
+(** [var n i] is the projection of variable [i] on [n] variables.
+    Raises [Invalid_argument] unless [0 <= i < n]. *)
+
+val of_bits : int -> (int -> bool) -> t
+(** [of_bits n f] builds the table whose minterm [m] is [f m]. *)
+
+val of_hex : int -> string -> t
+(** [of_hex n s] parses a hexadecimal function encoding, most
+    significant minterm first (as printed by {!to_hex}). *)
+
+(** {1 Boolean operators} *)
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val xor_ : t -> t -> t
+val nand_ : t -> t -> t
+val nor_ : t -> t -> t
+val xnor_ : t -> t -> t
+val maj : t -> t -> t -> t
+(** [maj a b c] is the three-input majority [ab + ac + bc]. *)
+
+val mux : t -> t -> t -> t
+(** [mux s t e] is [if s then t else e]. *)
+
+(** {1 Queries} *)
+
+val equal : t -> t -> bool
+val is_const0 : t -> bool
+val is_const1 : t -> bool
+val get_bit : t -> int -> bool
+(** [get_bit tt m] is the value of minterm [m]. *)
+
+val count_ones : t -> int
+(** Number of true minterms. *)
+
+val depends_on : t -> int -> bool
+(** [depends_on tt i] is [true] iff variable [i] is in the true
+    support of the function. *)
+
+val support : t -> int list
+(** Variables in the true support, ascending. *)
+
+(** {1 Cofactors and decomposition} *)
+
+val cofactor0 : t -> int -> t
+(** [cofactor0 tt i] is the negative cofactor with respect to
+    variable [i]; the result still ranges over [nvars tt] variables. *)
+
+val cofactor1 : t -> int -> t
+
+(** {1 Variable manipulation} *)
+
+val swap_adjacent : t -> int -> t
+(** [swap_adjacent t i] exchanges the roles of variables [i] and
+    [i+1]. *)
+
+val permute : t -> int array -> t
+(** [permute t p] relabels variables: old variable [j] becomes new
+    variable [p.(j)].  [p] must be a permutation of [0..n-1]. *)
+
+val flip_var : t -> int -> t
+(** [flip_var t i] composes with the negation of input [i]. *)
+
+val npn_semiclass : t -> string
+(** Canonical hex key under input and output negations (identity
+    permutation) — a lightweight NPN-style class identifier. *)
+
+(** {1 Printing} *)
+
+val to_hex : t -> string
+(** Hexadecimal encoding, most significant minterm first. *)
+
+val to_binary : t -> string
+(** Binary encoding, minterm [2^n - 1] first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next rng =
+  rng.state <- Int64.add rng.state golden;
+  let z = rng.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int rng bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next rng) 1) (Int64.of_int bound))
+
+let bool rng = Int64.logand (next rng) 1L = 1L
+
+let float rng =
+  Int64.to_float (Int64.shift_right_logical (next rng) 11)
+  /. 9007199254740992.0 (* 2^53 *)
+
+let split rng = { state = next rng }

@@ -1,0 +1,20 @@
+(** Deterministic pseudo-random generator (splitmix64-based).
+
+    Used by the benchmark generators so that every run of the suite
+    produces byte-identical circuits, independent of the global
+    [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. *)
+
+val int : t -> int -> int
+(** [int rng bound] draws uniformly from [0, bound).  [bound > 0]. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val split : t -> t
+(** Derive an independent generator (for nested structures). *)

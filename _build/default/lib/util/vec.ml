@@ -1,0 +1,51 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create ?(capacity = 16) () = { data = Array.make (max capacity 1) (Obj.magic 0); len = 0 }
+
+let length v = v.len
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let grow v =
+  let cap = Array.length v.data in
+  let data = Array.make (cap * 2) v.data.(0) in
+  Array.blit v.data 0 data 0 v.len;
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    if v.len = 0 then v.data <- Array.make 16 x else grow v
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1;
+  v.len - 1
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_array v = Array.sub v.data 0 v.len
+let of_array a = { data = (if Array.length a = 0 then Array.make 1 (Obj.magic 0) else Array.copy a); len = Array.length a }
+let clear v = v.len <- 0

@@ -1,0 +1,17 @@
+(** Growable arrays (OCaml 5.1 lacks [Dynarray]). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> int
+(** Append an element; returns its index. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_array : 'a t -> 'a array
+val of_array : 'a array -> 'a t
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Benchmarks Hashtbl Int64 List Lsutil Mig Network Printf QCheck2 QCheck_alcotest Truthtable

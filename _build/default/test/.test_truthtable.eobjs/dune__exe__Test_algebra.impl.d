@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Helpers List Mig Network QCheck2 Truthtable

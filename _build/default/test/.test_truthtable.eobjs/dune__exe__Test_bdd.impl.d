@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Benchmarks Helpers List Mig Network Printf QCheck2 Truthtable

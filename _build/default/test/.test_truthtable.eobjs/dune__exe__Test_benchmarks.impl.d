@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Benchmarks Int64 List Network Printf String

@@ -1,0 +1,1 @@
+test/test_crosscheck.ml: Aig Alcotest Array Bdd Format Hashtbl Helpers List Logic_io Mig Network Printf

@@ -1,0 +1,1 @@
+test/test_derive.ml: Alcotest Helpers Mig QCheck2 String

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Flow Format Logic_io Mig Network Tech

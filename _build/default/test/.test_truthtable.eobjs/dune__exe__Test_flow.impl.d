@@ -1,0 +1,1 @@
+test/test_flow.ml: Aig Alcotest Benchmarks Flow List Mig Network

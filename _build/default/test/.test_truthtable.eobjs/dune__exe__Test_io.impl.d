@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Benchmarks Format List Logic_io Network String Truthtable

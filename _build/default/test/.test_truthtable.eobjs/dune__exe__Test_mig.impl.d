@@ -1,0 +1,1 @@
+test/test_mig.ml: Aig Alcotest Array Helpers List Mig Network QCheck2 Truthtable

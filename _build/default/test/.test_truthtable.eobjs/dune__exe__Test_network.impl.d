@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Helpers Int64 List Mig Network Printf Truthtable

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Benchmarks Flow Helpers List Mig Network Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_sop.ml: Alcotest Helpers List QCheck2 Sop Truthtable

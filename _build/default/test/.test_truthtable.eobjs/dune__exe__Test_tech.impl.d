@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Array Benchmarks Flow Helpers List Network Tech Truthtable

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Helpers Mig Network Printf QCheck2

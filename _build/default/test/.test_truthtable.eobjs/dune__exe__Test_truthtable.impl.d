@@ -1,0 +1,1 @@
+test/test_truthtable.ml: Alcotest Helpers List Printf QCheck2 Truthtable

@@ -1,0 +1,178 @@
+module A = Aig.Graph
+module N = Network.Graph
+module S = Network.Signal
+
+
+let equiv_nets a b seed = Network.Simulate.equivalent ~seed a b
+
+let test_builders () =
+  let g = A.create () in
+  let a = A.add_pi g "a" and b = A.add_pi g "b" in
+  Alcotest.(check bool) "a&a = a" true (S.equal a (A.and_ g a a));
+  Alcotest.(check bool) "a&a' = 0" true
+    (S.equal (A.const0 g) (A.and_ g a (S.not_ a)));
+  Alcotest.(check bool) "a&1 = a" true (S.equal a (A.and_ g a (A.const1 g)));
+  Alcotest.(check bool) "a&0 = 0" true
+    (S.equal (A.const0 g) (A.and_ g a (A.const0 g)));
+  let x = A.and_ g a b and y = A.and_ g b a in
+  Alcotest.(check bool) "strash commutative" true (S.equal x y);
+  Alcotest.(check int) "xor costs three ands" 4
+    (let _ = A.xor_ g a b in
+     A.size g);
+  Alcotest.(check (option (module struct
+                            type t = S.t
+
+                            let equal = S.equal
+                            let pp = S.pp
+                          end)))
+    "find_and hit" (Some x) (A.find_and g a b)
+
+let test_levels () =
+  let g = A.create () in
+  let a = A.add_pi g "a" and b = A.add_pi g "b" and c = A.add_pi g "c" in
+  let ab = A.and_ g a b in
+  let abc = A.and_ g ab c in
+  A.add_po g "y" abc;
+  Alcotest.(check int) "depth 2" 2 (A.depth g);
+  let lv = A.levels g in
+  Alcotest.(check int) "pi level 0" 0 lv.(S.node a);
+  Alcotest.(check int) "inner level" 1 lv.(S.node ab)
+
+let test_cleanup_aig () =
+  let g = A.create () in
+  let a = A.add_pi g "a" and b = A.add_pi g "b" in
+  let keep = A.and_ g a b in
+  let _dead = A.and_ g a (S.not_ b) in
+  A.add_po g "y" keep;
+  let g' = A.cleanup g in
+  Alcotest.(check int) "dead removed" 1 (A.size g');
+  Alcotest.(check int) "pis kept" 2 (A.num_pis g')
+
+let test_convert_roundtrip () =
+  let net = Helpers.random_network ~seed:42 ~inputs:9 ~gates:70 ~outputs:4 in
+  let g = Aig.Convert.of_network net in
+  let back = Aig.Convert.to_network g in
+  Alcotest.(check bool) "roundtrip equivalence" true (equiv_nets net back 7)
+
+let test_balance () =
+  (* a long AND chain balances to logarithmic depth *)
+  let g = A.create () in
+  let xs = List.init 16 (fun i -> A.add_pi g (Printf.sprintf "x%d" i)) in
+  let chain = List.fold_left (fun acc x -> A.and_ g acc x) (List.hd xs) (List.tl xs) in
+  A.add_po g "y" chain;
+  Alcotest.(check int) "chain depth" 15 (A.depth g);
+  let b = Aig.Balance.run g in
+  Alcotest.(check int) "balanced depth" 4 (A.depth b);
+  Alcotest.(check bool) "function preserved" true
+    (equiv_nets (Aig.Convert.to_network g) (Aig.Convert.to_network b) 8)
+
+let test_balance_never_deepens () =
+  List.iter
+    (fun seed ->
+      let net = Helpers.random_network ~seed ~inputs:10 ~gates:90 ~outputs:5 in
+      let g = Aig.Convert.of_network net in
+      let b = Aig.Balance.run g in
+      Alcotest.(check bool)
+        (Printf.sprintf "balance no deeper (seed %d)" seed)
+        true
+        (A.depth b <= A.depth g);
+      Alcotest.(check bool)
+        (Printf.sprintf "balance equivalent (seed %d)" seed)
+        true
+        (equiv_nets (Aig.Convert.to_network g) (Aig.Convert.to_network b) seed))
+    [ 1; 2; 3; 4 ]
+
+let test_cut_enumeration () =
+  let g = A.create () in
+  let a = A.add_pi g "a" and b = A.add_pi g "b" and c = A.add_pi g "c" in
+  let ab = A.and_ g a b in
+  let abc = A.and_ g ab c in
+  A.add_po g "y" abc;
+  let cuts = Aig.Cut.enumerate ~k:4 ~max_cuts:8 g in
+  let root = S.node abc in
+  (* the cut {a,b,c} must exist and its function is the conjunction *)
+  let full_cut =
+    List.find_opt
+      (fun cut -> Array.to_list cut = List.sort compare [ S.node a; S.node b; S.node c ])
+      cuts.(root)
+  in
+  (match full_cut with
+  | None -> Alcotest.fail "missing 3-leaf cut"
+  | Some cut ->
+      let tt = Aig.Cut.cut_function g root cut in
+      Alcotest.check Helpers.check_tt "cut function = and3"
+        (Truthtable.and_
+           (Truthtable.and_ (Truthtable.var 3 0) (Truthtable.var 3 1))
+           (Truthtable.var 3 2))
+        tt);
+  (* MFFC of the root over that cut frees both AND nodes *)
+  let fanout = A.fanout_counts g in
+  Alcotest.(check int) "mffc size" 2
+    (Aig.Cut.mffc_size g ~fanout root [| S.node a; S.node b; S.node c |])
+
+let test_rewrite_refactor_preserve () =
+  List.iter
+    (fun seed ->
+      let net = Helpers.random_network ~seed ~inputs:10 ~gates:120 ~outputs:6 in
+      let g = Aig.Convert.of_network net in
+      let r = Aig.Rewrite.run g in
+      Alcotest.(check bool)
+        (Printf.sprintf "rewrite no bigger (seed %d)" seed)
+        true (A.size r <= A.size g);
+      Alcotest.(check bool)
+        (Printf.sprintf "rewrite equivalent (seed %d)" seed)
+        true
+        (equiv_nets (Aig.Convert.to_network g) (Aig.Convert.to_network r) seed);
+      let f = Aig.Refactor.run g in
+      Alcotest.(check bool)
+        (Printf.sprintf "refactor no bigger (seed %d)" seed)
+        true (A.size f <= A.size g);
+      Alcotest.(check bool)
+        (Printf.sprintf "refactor equivalent (seed %d)" seed)
+        true
+        (equiv_nets (Aig.Convert.to_network g) (Aig.Convert.to_network f) seed))
+    [ 11; 22; 33 ]
+
+let test_resyn_adder () =
+  let net = N.flatten_aoig (Benchmarks.Arith.ripple_adder 8) in
+  let g = Aig.Convert.of_network net in
+  let opt = Aig.Resyn.run g in
+  Alcotest.(check bool) "resyn equivalent" true
+    (equiv_nets net (Aig.Convert.to_network opt) 55);
+  Alcotest.(check bool) "resyn no bigger" true (A.size opt <= A.size g);
+  Alcotest.(check bool) "resyn no deeper" true (A.depth opt <= A.depth g)
+
+let test_size_only_script () =
+  let net = Benchmarks.Control.pla_like ~seed:3 ~inputs:10 ~outputs:6 ~cubes:60 ~max_lits:6 in
+  let flat = N.flatten_aoig net in
+  let g = Aig.Convert.of_network flat in
+  let opt = Aig.Resyn.size_only g in
+  Alcotest.(check bool) "size_only equivalent" true
+    (equiv_nets flat (Aig.Convert.to_network opt) 77);
+  Alcotest.(check bool) "size_only smaller" true (A.size opt <= A.size g)
+
+let () =
+  Alcotest.run "aig"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "builders and strash" `Quick test_builders;
+          Alcotest.test_case "levels" `Quick test_levels;
+          Alcotest.test_case "cleanup" `Quick test_cleanup_aig;
+          Alcotest.test_case "network roundtrip" `Quick test_convert_roundtrip;
+        ] );
+      ( "balance",
+        [
+          Alcotest.test_case "chain balancing" `Quick test_balance;
+          Alcotest.test_case "monotone and sound" `Quick test_balance_never_deepens;
+        ] );
+      ( "cuts",
+        [ Alcotest.test_case "enumeration and mffc" `Quick test_cut_enumeration ] );
+      ( "optimization",
+        [
+          Alcotest.test_case "rewrite/refactor sound" `Quick
+            test_rewrite_refactor_preserve;
+          Alcotest.test_case "resyn on adder" `Quick test_resyn_adder;
+          Alcotest.test_case "area script" `Quick test_size_only_script;
+        ] );
+    ]

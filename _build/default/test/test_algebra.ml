@@ -1,0 +1,178 @@
+module A = Mig.Algebra
+
+let vars = [ "x"; "y"; "z"; "u"; "v" ]
+let gen = Helpers.gen_term ~vars ~depth:4
+
+(* Apply a rule everywhere it matches in a term, recursively, and
+   check that every successful application preserves the function. *)
+let rule_sound rule t =
+  let ok = ref true in
+  let rec go t =
+    (match rule t with
+    | Some t' -> if not (A.equivalent t t') then ok := false
+    | None -> ());
+    match t with
+    | A.Const _ | A.Var _ -> ()
+    | A.Not t -> go t
+    | A.Maj (a, b, c) ->
+        go a;
+        go b;
+        go c
+  in
+  go t;
+  !ok
+
+let prop name rule = Helpers.qtest ~count:300 name gen (rule_sound rule)
+
+let prop_commute =
+  Helpers.qtest ~count:300 "qcheck: Ω.C sound"
+    QCheck2.Gen.(triple gen (int_bound 2) (int_bound 2))
+    (fun (t, i, j) ->
+      match A.commute i j t with
+      | Some t' -> A.equivalent t t'
+      | None -> true)
+
+let prop_substitution =
+  Helpers.qtest ~count:200 "qcheck: Ψ.S sound"
+    QCheck2.Gen.(
+      triple gen (int_bound (List.length vars - 1)) (int_bound (List.length vars - 1)))
+    (fun (t, vi, ui) ->
+      let v = A.Var (List.nth vars vi) and u = A.Var (List.nth vars ui) in
+      if vi = ui then true
+      else A.equivalent t (A.substitution ~v ~u t))
+
+let prop_simplify =
+  Helpers.qtest ~count:400 "qcheck: simplify sound and no bigger" gen
+    (fun t -> A.equivalent t (A.simplify t) && A.size (A.simplify t) <= A.size t)
+
+let prop_replace_self =
+  Helpers.qtest ~count:200 "qcheck: replace x by x is identity" gen (fun t ->
+      A.replace t ~old_:(A.Var "x") ~by:(A.Var "x") = t
+      || A.equivalent t (A.replace t ~old_:(A.Var "x") ~by:(A.Var "x")))
+
+let prop_eval_tt_agree =
+  Helpers.qtest ~count:200 "qcheck: eval agrees with truth table" gen
+    (fun t ->
+      let vs, tt = A.to_truthtable t in
+      let n = List.length vs in
+      let ok = ref true in
+      for m = 0 to (1 lsl n) - 1 do
+        let env v =
+          let rec idx i = function
+            | [] -> assert false
+            | x :: _ when x = v -> i
+            | _ :: r -> idx (i + 1) r
+          in
+          m land (1 lsl idx 0 vs) <> 0
+        in
+        if A.eval t env <> Truthtable.get_bit tt m then ok := false
+      done;
+      !ok)
+
+(* specific written-form checks, matching eq. (1) and (2) *)
+
+let x = A.Var "x"
+let y = A.Var "y"
+let z = A.Var "z"
+let u = A.Var "u"
+let v = A.Var "v"
+
+let term = Alcotest.testable A.pp (fun a b -> a = b)
+
+let test_majority_rule () =
+  Alcotest.(check (option term)) "M(x,x,z) = x" (Some x)
+    (A.majority (A.Maj (x, x, z)));
+  Alcotest.(check (option term)) "M(x,x',z) = z" (Some z)
+    (A.majority (A.Maj (x, A.Not x, z)));
+  Alcotest.(check (option term)) "no match" None (A.majority (A.Maj (x, y, z)))
+
+let test_associativity_rule () =
+  let t = A.Maj (x, u, A.Maj (y, u, z)) in
+  Alcotest.(check (option term)) "Ω.A written form"
+    (Some (A.Maj (z, u, A.Maj (y, u, x))))
+    (A.associativity t);
+  Alcotest.(check (option term)) "Ω.A needs shared operand" None
+    (A.associativity (A.Maj (x, u, A.Maj (y, v, z))))
+
+let test_distributivity_rules () =
+  let t = A.Maj (x, y, A.Maj (u, v, z)) in
+  let d = A.Maj (A.Maj (x, y, u), A.Maj (x, y, v), z) in
+  Alcotest.(check (option term)) "Ω.D L->R" (Some d) (A.distributivity_lr t);
+  Alcotest.(check (option term)) "Ω.D R->L" (Some t) (A.distributivity_rl d);
+  Alcotest.(check bool) "roundtrip equivalence" true (A.equivalent t d)
+
+let test_inverter_propagation_rule () =
+  let t = A.Not (A.Maj (x, y, z)) in
+  Alcotest.(check (option term)) "Ω.I"
+    (Some (A.Maj (A.Not x, A.Not y, A.Not z)))
+    (A.inverter_propagation t)
+
+let test_relevance_rule () =
+  (* M(x, y, M(x, u, v)) -> x replaced by y' in the third operand *)
+  let t = A.Maj (x, y, A.Maj (x, u, v)) in
+  Alcotest.(check (option term)) "Ψ.R"
+    (Some (A.Maj (x, y, A.Maj (A.Not y, u, v))))
+    (A.relevance t);
+  (* complemented occurrences are substituted with the complement *)
+  let t2 = A.Maj (x, y, A.Maj (A.Not x, u, v)) in
+  Alcotest.(check (option term)) "Ψ.R complement occurrence"
+    (Some (A.Maj (x, y, A.Maj (y, u, v))))
+    (A.relevance t2)
+
+let test_compl_assoc_rule () =
+  let t = A.Maj (x, u, A.Maj (y, A.Not u, z)) in
+  Alcotest.(check (option term)) "Ψ.C"
+    (Some (A.Maj (x, u, A.Maj (y, x, z))))
+    (A.complementary_associativity t)
+
+let test_substitution_shape () =
+  let k = A.Maj (x, y, z) in
+  let s = A.substitution ~v:x ~u:y k in
+  Alcotest.(check bool) "Ψ.S equivalent" true (A.equivalent k s);
+  Alcotest.(check bool) "Ψ.S inflates" true (A.size s > A.size k)
+
+let test_interop () =
+  let g = Mig.Graph.create () in
+  let pa = Mig.Graph.add_pi g "a" and pb = Mig.Graph.add_pi g "b" in
+  let pc = Mig.Graph.add_pi g "c" in
+  let s = Mig.Graph.maj g pa (Network.Signal.not_ pb) pc in
+  let t = A.of_signal g s in
+  Alcotest.(check bool) "term matches MIG cone" true
+    (A.equivalent t (A.Maj (A.Var "a", A.Not (A.Var "b"), A.Var "c")));
+  (* build back *)
+  let pi = function "a" -> pa | "b" -> pb | _ -> pc in
+  let s2 = A.build g pi t in
+  Alcotest.(check bool) "rebuild shares the node" true
+    (Network.Signal.equal s s2)
+
+let () =
+  Alcotest.run "algebra"
+    [
+      ( "written forms",
+        [
+          Alcotest.test_case "Ω.M" `Quick test_majority_rule;
+          Alcotest.test_case "Ω.A" `Quick test_associativity_rule;
+          Alcotest.test_case "Ω.D both directions" `Quick test_distributivity_rules;
+          Alcotest.test_case "Ω.I" `Quick test_inverter_propagation_rule;
+          Alcotest.test_case "Ψ.R" `Quick test_relevance_rule;
+          Alcotest.test_case "Ψ.C" `Quick test_compl_assoc_rule;
+          Alcotest.test_case "Ψ.S" `Quick test_substitution_shape;
+        ] );
+      ( "soundness (Theorems 3.4/3.7)",
+        [
+          prop_commute;
+          prop "qcheck: Ω.M sound" A.majority;
+          prop "qcheck: Ω.A sound" A.associativity;
+          prop "qcheck: Ω.D L->R sound" A.distributivity_lr;
+          prop "qcheck: Ω.D R->L sound" A.distributivity_rl;
+          prop "qcheck: Ω.I sound" A.inverter_propagation;
+          prop "qcheck: Ψ.R sound" A.relevance;
+          prop "qcheck: Ψ.C sound" A.complementary_associativity;
+          prop_substitution;
+          prop_simplify;
+          prop_replace_self;
+          prop_eval_tt_agree;
+        ] );
+      ( "interop",
+        [ Alcotest.test_case "term <-> MIG" `Quick test_interop ] );
+    ]

@@ -1,0 +1,220 @@
+module B = Bdd.Robdd
+module N = Network.Graph
+module T = Truthtable
+
+let tt = Helpers.check_tt
+
+let test_constants () =
+  let m = B.manager () in
+  Alcotest.(check bool) "zero const" true (B.is_const B.zero);
+  Alcotest.(check bool) "one const" true (B.is_const B.one);
+  Alcotest.(check int) "not zero = one" B.one (B.not_ m B.zero);
+  Alcotest.(check int) "nothing allocated" 0 (B.num_allocated m)
+
+let test_var_structure () =
+  let m = B.manager () in
+  let x = B.var m 3 in
+  Alcotest.(check int) "topvar" 3 (B.topvar m x);
+  Alcotest.(check int) "low" B.zero (B.low m x);
+  Alcotest.(check int) "high" B.one (B.high m x);
+  Alcotest.(check int) "var is hash-consed" x (B.var m 3)
+
+let test_canonicity () =
+  let m = B.manager () in
+  let x = B.var m 0 and y = B.var m 1 and z = B.var m 2 in
+  (* same function built two ways yields the same node *)
+  let f1 = B.or_ m (B.and_ m x y) (B.and_ m x z) in
+  let f2 = B.and_ m x (B.or_ m y z) in
+  Alcotest.(check int) "x(y+z) canonical" f1 f2;
+  let g1 = B.xor_ m x (B.xor_ m y z) in
+  let g2 = B.xor_ m (B.xor_ m x y) z in
+  Alcotest.(check int) "xor associativity canonical" g1 g2
+
+let test_ite_terminal_cases () =
+  let m = B.manager () in
+  let x = B.var m 0 and y = B.var m 1 in
+  Alcotest.(check int) "ite(1,g,h)=g" x (B.ite m B.one x y);
+  Alcotest.(check int) "ite(0,g,h)=h" y (B.ite m B.zero x y);
+  Alcotest.(check int) "ite(f,g,g)=g" y (B.ite m x y y);
+  Alcotest.(check int) "ite(f,1,0)=f" x (B.ite m x B.one B.zero)
+
+let test_to_truthtable () =
+  let m = B.manager () in
+  let x = B.var m 0 and y = B.var m 1 and z = B.var m 2 in
+  Alcotest.check tt "maj tt" (T.of_hex 3 "e8")
+    (B.to_truthtable m ~nvars:3 (B.maj m x y z))
+
+let prop_ops_match_tt =
+  Helpers.qtest ~count:200 "qcheck: BDD ops agree with truth tables"
+    QCheck2.Gen.(pair (Helpers.gen_term ~vars:["a";"b";"c";"d";"e"] ~depth:4) unit)
+    (fun (term, ()) ->
+      let m = B.manager () in
+      let vars = [ "a"; "b"; "c"; "d"; "e" ] in
+      let index v =
+        let rec go i = function
+          | [] -> assert false
+          | x :: _ when x = v -> i
+          | _ :: r -> go (i + 1) r
+        in
+        go 0 vars
+      in
+      let rec build t =
+        match t with
+        | Mig.Algebra.Const false -> B.zero
+        | Mig.Algebra.Const true -> B.one
+        | Mig.Algebra.Var v -> B.var m (index v)
+        | Mig.Algebra.Not t -> B.not_ m (build t)
+        | Mig.Algebra.Maj (a, b, c) -> B.maj m (build a) (build b) (build c)
+      in
+      let bdd = build term in
+      let direct =
+        T.of_bits 5 (fun mt ->
+            Mig.Algebra.eval term (fun v -> mt land (1 lsl index v) <> 0))
+      in
+      T.equal direct (B.to_truthtable m ~nvars:5 bdd))
+
+let prop_canonicity_random =
+  Helpers.qtest ~count:150 "qcheck: equivalent terms share BDD nodes"
+    QCheck2.Gen.(
+      pair
+        (Helpers.gen_term ~vars:["a";"b";"c"] ~depth:3)
+        (Helpers.gen_term ~vars:["a";"b";"c"] ~depth:3))
+    (fun (t1, t2) ->
+      let m = B.manager () in
+      let index = function "a" -> 0 | "b" -> 1 | _ -> 2 in
+      let rec build t =
+        match t with
+        | Mig.Algebra.Const false -> B.zero
+        | Mig.Algebra.Const true -> B.one
+        | Mig.Algebra.Var v -> B.var m (index v)
+        | Mig.Algebra.Not t -> B.not_ m (build t)
+        | Mig.Algebra.Maj (a, b, c) -> B.maj m (build a) (build b) (build c)
+      in
+      let b1 = build t1 and b2 = build t2 in
+      Mig.Algebra.equivalent t1 t2 = (b1 = b2)
+      || (* equivalent requires shared variable universe; recheck *)
+      let u1 = B.to_truthtable m ~nvars:3 b1 in
+      let u2 = B.to_truthtable m ~nvars:3 b2 in
+      T.equal u1 u2 = (b1 = b2))
+
+let test_support_size () =
+  let m = B.manager () in
+  let x = B.var m 0 and z = B.var m 2 in
+  let f = B.xor_ m x z in
+  Alcotest.(check (list int)) "support" [ 0; 2 ] (B.support m f);
+  Alcotest.(check int) "xor of 2 vars has 3 nodes" 3 (B.size m [ f ])
+
+let test_count_minterms () =
+  let m = B.manager () in
+  let x = B.var m 0 and y = B.var m 1 and z = B.var m 2 in
+  Alcotest.(check (float 1e-9)) "maj has 4 minterms" 4.0
+    (B.count_minterms m ~nvars:3 (B.maj m x y z))
+
+let test_node_limit () =
+  let m = B.manager ~node_limit:4 () in
+  Alcotest.check_raises "limit raises" B.Node_limit_exceeded (fun () ->
+      let xs = List.init 6 (B.var m) in
+      ignore (List.fold_left (B.xor_ m) B.zero xs))
+
+let test_builder_and_eval () =
+  let net = Benchmarks.Arith.ripple_adder 4 in
+  let m = B.manager () in
+  let order = Bdd.Builder.dfs_order net in
+  let outs = Bdd.Builder.of_network m ~order net in
+  (* evaluate 2 + 3 + 1 = 6 through the BDDs *)
+  let env =
+    let assignments =
+      [ ("a1", true); ("b0", true); ("b1", true); ("cin", true) ]
+    in
+    fun level ->
+      let pi = order.(level) in
+      let name = N.pi_name net pi in
+      List.mem_assoc name assignments
+  in
+  let value name = B.eval m (List.assoc name outs) env in
+  Alcotest.(check bool) "s0 of 2+3+1" false (value "s0");
+  Alcotest.(check bool) "s1 of 2+3+1" true (value "s1");
+  Alcotest.(check bool) "s2 of 2+3+1" true (value "s2");
+  Alcotest.(check bool) "s3" false (value "s3");
+  Alcotest.(check bool) "cout" false (value "cout")
+
+let test_decompose_equivalence () =
+  List.iter
+    (fun seed ->
+      let net = Helpers.random_network ~seed ~inputs:12 ~gates:120 ~outputs:6 in
+      match Bdd.Decompose.run ~seed net with
+      | Some d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "decompose equivalent (seed %d)" seed)
+            true
+            (Network.Simulate.equivalent ~seed:(seed + 1) net d);
+          Alcotest.(check int)
+            (Printf.sprintf "interface preserved (seed %d)" seed)
+            (N.num_pis net) (N.num_pis d)
+      | None -> Alcotest.fail "unexpected node-limit blowup")
+    [ 101; 202; 303 ]
+
+let test_decompose_blowup_returns_none () =
+  let net = N.flatten_aoig (Benchmarks.Arith.array_multiplier 12) in
+  match Bdd.Decompose.run ~node_limit:5_000 ~seed:1 net with
+  | None -> ()
+  | Some _ -> Alcotest.fail "multiplier should exceed a 5k node budget"
+
+let test_window_refine () =
+  (* a deliberately interleaving-hostile order on an adder improves *)
+  let net = Benchmarks.Arith.ripple_adder 8 in
+  let module NG = Network.Graph in
+  (* worst-case static order: all of a, then all of b *)
+  let bad = Array.of_list (NG.pis net) in
+  let cost order =
+    let man = B.manager ~node_limit:2_000_000 () in
+    let roots = Bdd.Builder.of_network man ~order net in
+    B.size man (List.map snd roots)
+  in
+  let refined = Bdd.Reorder.window_refine ~max_sweeps:2 net bad in
+  Alcotest.(check bool) "refinement does not hurt" true
+    (cost refined <= cost bad);
+  (* still a permutation *)
+  Alcotest.(check (list int)) "permutation"
+    (List.sort compare (NG.pis net))
+    (List.sort compare (Array.to_list refined))
+
+let test_reorder_picks_feasible () =
+  let net = Benchmarks.Arith.ripple_adder 8 in
+  let order = Bdd.Reorder.best_order ~seed:5 net in
+  Alcotest.(check int) "order covers all PIs" (N.num_pis net)
+    (Array.length order);
+  (* a valid permutation of PI ids *)
+  let sorted = List.sort compare (Array.to_list order) in
+  Alcotest.(check (list int)) "permutation" (N.pis net) sorted
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "variables" `Quick test_var_structure;
+          Alcotest.test_case "canonicity" `Quick test_canonicity;
+          Alcotest.test_case "ite terminal cases" `Quick test_ite_terminal_cases;
+          Alcotest.test_case "to_truthtable" `Quick test_to_truthtable;
+          Alcotest.test_case "support and size" `Quick test_support_size;
+          Alcotest.test_case "count_minterms" `Quick test_count_minterms;
+          Alcotest.test_case "node limit" `Quick test_node_limit;
+          prop_ops_match_tt;
+          prop_canonicity_random;
+        ] );
+      ( "builder",
+        [ Alcotest.test_case "network to BDD eval" `Quick test_builder_and_eval ] );
+      ( "decompose",
+        [
+          Alcotest.test_case "equivalence" `Quick test_decompose_equivalence;
+          Alcotest.test_case "blow-up returns N.A." `Quick
+            test_decompose_blowup_returns_none;
+        ] );
+      ( "reorder",
+        [
+          Alcotest.test_case "valid orders" `Quick test_reorder_picks_feasible;
+          Alcotest.test_case "window refinement" `Quick test_window_refine;
+        ] );
+    ]

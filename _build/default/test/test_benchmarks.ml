@@ -1,0 +1,193 @@
+module N = Network.Graph
+
+(* drive a network with integer operand values and read integer buses *)
+let run_ints net (ins : (string * int) list) =
+  let stim name =
+    (* bus-style names: prefix + index; also plain names *)
+    if List.mem_assoc name ins then
+      if List.assoc name ins <> 0 then -1L else 0L
+    else
+      let matches (prefix, value) =
+        let pl = String.length prefix in
+        if
+          String.length name > pl
+          && String.sub name 0 pl = prefix
+          && String.for_all
+               (fun c -> c >= '0' && c <= '9')
+               (String.sub name pl (String.length name - pl))
+        then
+          let bit = int_of_string (String.sub name pl (String.length name - pl)) in
+          Some (if value land (1 lsl bit) <> 0 then -1L else 0L)
+        else None
+      in
+      match List.find_map matches ins with
+      | Some v -> v
+      | None -> 0L
+  in
+  let outs = Network.Simulate.run net stim in
+  fun prefix width ->
+    match List.assoc_opt prefix outs with
+    | Some bits when width = 1 -> Int64.to_int (Int64.logand bits 1L)
+    | _ ->
+        let v = ref 0 in
+        for bit = 0 to width - 1 do
+          let name = Printf.sprintf "%s%d" prefix bit in
+          match List.assoc_opt name outs with
+          | Some bits ->
+              if Int64.logand bits 1L <> 0L then v := !v lor (1 lsl bit)
+          | None -> ()
+        done;
+        !v
+
+let test_ripple_adder () =
+  let net = Benchmarks.Arith.ripple_adder 8 in
+  List.iter
+    (fun (a, b, cin) ->
+      let read = run_ints net [ ("a", a); ("b", b); ("cin", cin) ] in
+      let sum = read "s" 8 and cout = read "cout" 1 in
+      let expect = a + b + cin in
+      Alcotest.(check int)
+        (Printf.sprintf "%d+%d+%d sum" a b cin)
+        (expect land 0xff) sum;
+      Alcotest.(check int) "carry" (expect lsr 8) cout)
+    [ (0, 0, 0); (1, 1, 0); (255, 1, 0); (200, 100, 1); (127, 128, 1) ]
+
+let test_cla_matches_ripple () =
+  let cla = Benchmarks.Arith.cla_adder 32 in
+  let rca = Benchmarks.Arith.ripple_adder 32 in
+  Alcotest.(check bool) "cla == ripple (random sim)" true
+    (Network.Simulate.equivalent_random ~seed:0x61 cla rca)
+
+let test_multiplier () =
+  let net = Benchmarks.Arith.array_multiplier 8 in
+  List.iter
+    (fun (a, b) ->
+      let read = run_ints net [ ("a", a); ("b", b) ] in
+      Alcotest.(check int) (Printf.sprintf "%d*%d" a b) (a * b) (read "p" 16))
+    [ (0, 0); (1, 1); (3, 5); (255, 255); (100, 200); (17, 19) ]
+
+let test_counter () =
+  let net = Benchmarks.Arith.counter_next 8 in
+  (* enable=1: increments *)
+  let read = run_ints net [ ("q", 41); ("enable", 1) ] in
+  Alcotest.(check int) "increment" 42 (read "n" 8);
+  (* load wins *)
+  let read = run_ints net [ ("q", 41); ("d", 7); ("load", 1); ("enable", 1) ] in
+  Alcotest.(check int) "load" 7 (read "n" 8);
+  (* clear wins over everything *)
+  let read =
+    run_ints net [ ("q", 41); ("d", 7); ("load", 1); ("enable", 1); ("clear", 1) ]
+  in
+  Alcotest.(check int) "clear" 0 (read "n" 8);
+  (* wrap-around *)
+  let read = run_ints net [ ("q", 255); ("enable", 1) ] in
+  Alcotest.(check int) "wrap" 0 (read "n" 8)
+
+let test_minmax () =
+  let net = Benchmarks.Arith.minmax ~width:8 ~words:4 in
+  let read =
+    run_ints net
+      [ ("w0_", 12); ("w1_", 200); ("w2_", 1); ("w3_", 77) ]
+  in
+  Alcotest.(check int) "min" 1 (read "min" 8);
+  Alcotest.(check int) "max" 200 (read "max" 8)
+
+let test_dalu_ops () =
+  let net = Benchmarks.Arith.dedicated_alu () in
+  let a = 1000 and b = 234 in
+  let fold v = (v land 0xffff) lxor ((v lsr 16) land 0xffff) in
+  (* op1=0, op0=0 selects XOR *)
+  let read = run_ints net [ ("a", a); ("b", b) ] in
+  Alcotest.(check int) "dalu xor" (fold (a lxor b)) (read "r" 16);
+  (* op1=1, op0=1 selects ADD *)
+  let read = run_ints net [ ("a", a); ("b", b); ("op", 3) ] in
+  Alcotest.(check int) "dalu add" (fold (a + b)) (read "r" 16);
+  (* op1=1, op0=0 selects AND *)
+  let read = run_ints net [ ("a", a); ("b", b); ("op", 2) ] in
+  Alcotest.(check int) "dalu and" (fold (a land b)) (read "r" 16)
+
+let test_ecc_corrects () =
+  (* The corrector flips the data bit selected by the syndrome: with
+     received data equal to sent data and an injected check-bit
+     difference, outputs must equal inputs when enable=0. *)
+  let net = Benchmarks.Ecc.single_error_corrector ~data:32 in
+  let read = run_ints net [ ("d", 0xDEAD); ("en", 0) ] in
+  Alcotest.(check int) "disabled corrector passes data" 0xDEAD (read "o" 32);
+  (* single-bit error injection: flipping data bit k with the matching
+     syndrome restores the original word *)
+  let k = 5 in
+  let sent = 0xDEAD in
+  let received = sent lxor (1 lsl k) in
+  (* check bits of received word differ from stored ones in exactly
+     the bits of (k+1); we drive the check inputs with the syndrome of
+     the *sent* word by computing parity over covered positions *)
+  let parity j w =
+    let p = ref 0 in
+    for i = 0 to 31 do
+      if (i + 1) land (1 lsl j) <> 0 && w land (1 lsl i) <> 0 then p := !p lxor 1
+    done;
+    !p
+  in
+  let checks = List.init 8 (fun j -> (Printf.sprintf "c%d" j, parity j sent)) in
+  let read = run_ints net ((("d", received) :: ("en", 1) :: checks)) in
+  Alcotest.(check int) "single-bit error corrected" sent (read "o" 32)
+
+let test_determinism () =
+  let a = Benchmarks.Control.random_logic ~seed:123 ~inputs:20 ~outputs:8 ~gates:200 () in
+  let b = Benchmarks.Control.random_logic ~seed:123 ~inputs:20 ~outputs:8 ~gates:200 () in
+  Alcotest.(check int) "same size" (N.size a) (N.size b);
+  Alcotest.(check bool) "same function" true
+    (Network.Simulate.equivalent ~seed:1 a b);
+  let c = Benchmarks.Control.random_logic ~seed:124 ~inputs:20 ~outputs:8 ~gates:200 () in
+  Alcotest.(check bool) "different seed differs" false
+    (Network.Simulate.equivalent ~seed:2 a c)
+
+let test_suite_io_counts () =
+  List.iter
+    (fun e ->
+      let net = e.Benchmarks.Suite.build () in
+      let pi, po = e.Benchmarks.Suite.paper_io in
+      Alcotest.(check int) (e.Benchmarks.Suite.name ^ " PIs") pi (N.num_pis net);
+      Alcotest.(check int) (e.Benchmarks.Suite.name ^ " POs") po (N.num_pos net))
+    Benchmarks.Suite.all
+
+let test_compress_scales () =
+  let small = Benchmarks.Compress.create ~window:8 in
+  let big = Benchmarks.Compress.create ~window:16 in
+  Alcotest.(check bool) "bigger window, more logic" true
+    (N.size big > N.size small);
+  Alcotest.(check bool) "estimate within 3x" true
+    (let est = Benchmarks.Compress.approx_nodes ~window:16 in
+     let real = N.size big in
+     real < 3 * est && est < 3 * real)
+
+let test_pla_like_two_level () =
+  let net =
+    Benchmarks.Control.pla_like ~seed:9 ~inputs:8 ~outputs:4 ~cubes:20 ~max_lits:4
+  in
+  Alcotest.(check int) "io" 8 (N.num_pis net);
+  (* depth of a two-level PLA with balanced trees stays small *)
+  Alcotest.(check bool) "shallow" true (Network.Metrics.depth net <= 8)
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ( "arithmetic",
+        [
+          Alcotest.test_case "ripple adder adds" `Quick test_ripple_adder;
+          Alcotest.test_case "cla == ripple" `Quick test_cla_matches_ripple;
+          Alcotest.test_case "multiplier multiplies" `Quick test_multiplier;
+          Alcotest.test_case "counter increments" `Quick test_counter;
+          Alcotest.test_case "minmax" `Quick test_minmax;
+          Alcotest.test_case "dedicated ALU" `Quick test_dalu_ops;
+        ] );
+      ( "ecc",
+        [ Alcotest.test_case "single-error correction" `Quick test_ecc_corrects ] );
+      ( "generators",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "paper I/O counts" `Quick test_suite_io_counts;
+          Alcotest.test_case "compression scaling" `Quick test_compress_scales;
+          Alcotest.test_case "pla shape" `Quick test_pla_like_two_level;
+        ] );
+    ]

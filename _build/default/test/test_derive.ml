@@ -1,0 +1,116 @@
+module A = Mig.Algebra
+module D = Mig.Derive
+
+let x = A.Var "x"
+let y = A.Var "y"
+let z = A.Var "z"
+let w = A.Var "w"
+
+let term = Alcotest.testable A.pp (fun a b -> a = b)
+
+let test_fig2a_script () =
+  (* h = M(x, M(x,z',w), M(x,y,z)) derives to x, as in Fig. 2(a) *)
+  let h =
+    A.Maj (x, A.Maj (x, A.Not z, w), A.Maj (x, y, z))
+  in
+  let script =
+    [
+      (* bring the shared x into Ω.A position *)
+      { D.path = []; rule = D.Commute (0, 2) };
+      { D.path = []; rule = D.Commute (1, 2) };
+      { D.path = [ 2 ]; rule = D.Commute (0, 1) };
+      { D.path = []; rule = D.Associativity };
+      (* Ψ.R inside the third operand *)
+      { D.path = [ 2 ]; rule = D.Relevance };
+      { D.path = []; rule = D.Simplify };
+    ]
+  in
+  let result = D.run h script in
+  Alcotest.check term "derives to x" x result
+
+let test_fig2b_script () =
+  let aoig_xor a b =
+    A.Maj
+      ( A.Maj (a, A.Not b, A.Const false),
+        A.Maj (A.Not a, b, A.Const false),
+        A.Const true )
+  in
+  let f = aoig_xor (aoig_xor x y) z in
+  let result =
+    D.run f
+      [
+        { D.path = []; rule = D.Substitution ("x", "y") };
+        { D.path = []; rule = D.Simplify };
+      ]
+  in
+  Alcotest.(check int) "three nodes" 3 (A.size result);
+  Alcotest.(check int) "two levels" 2 (A.depth result);
+  Alcotest.(check bool) "still the parity" true (A.equivalent f result)
+
+let test_step_mismatch () =
+  let t = A.Maj (x, y, z) in
+  Alcotest.(check bool) "Ω.A cannot apply to flat majority" true
+    (try
+       ignore (D.apply t { D.path = []; rule = D.Associativity });
+       false
+     with D.Step_failed _ -> true)
+
+let test_bad_path () =
+  let t = A.Maj (x, y, z) in
+  Alcotest.(check bool) "path into a leaf fails" true
+    (try
+       ignore (D.apply t { D.path = [ 0; 1 ]; rule = D.Majority });
+       false
+     with D.Step_failed _ -> true)
+
+let test_distributivity_roundtrip_script () =
+  let t = A.Maj (x, y, A.Maj (w, z, A.Maj (x, y, z))) in
+  let there = D.apply t { D.path = []; rule = D.Distributivity_lr } in
+  let back = D.apply there { D.path = []; rule = D.Distributivity_rl } in
+  Alcotest.check term "L->R then R->L is identity" t back
+
+let prop_random_scripts =
+  (* random steps on random terms either fail cleanly or preserve the
+     function — Derive.apply re-checks equivalence itself, so this
+     exercises the checker on many shapes *)
+  Helpers.qtest ~count:300 "qcheck: every applicable step is sound"
+    QCheck2.Gen.(
+      pair
+        (Helpers.gen_term ~vars:[ "x"; "y"; "z"; "u" ] ~depth:3)
+        (int_bound 8))
+    (fun (t, pick) ->
+      let rule =
+        match pick with
+        | 0 -> D.Commute (0, 2)
+        | 1 -> D.Majority
+        | 2 -> D.Associativity
+        | 3 -> D.Distributivity_lr
+        | 4 -> D.Distributivity_rl
+        | 5 -> D.Inverter
+        | 6 -> D.Relevance
+        | 7 -> D.Complementary_associativity
+        | _ -> D.Substitution ("x", "y")
+      in
+      match D.apply t { D.path = []; rule } with
+      | t' -> A.equivalent t t'
+      | exception D.Step_failed (_, msg) ->
+          (* a rule mismatch is fine; an unsoundness report is not *)
+          not (String.length msg > 0 && msg.[0] = 's'))
+
+let () =
+  Alcotest.run "derive"
+    [
+      ( "scripts",
+        [
+          Alcotest.test_case "Fig. 2(a) derivation" `Quick test_fig2a_script;
+          Alcotest.test_case "Fig. 2(b) derivation" `Quick test_fig2b_script;
+          Alcotest.test_case "distributivity roundtrip" `Quick
+            test_distributivity_roundtrip_script;
+        ] );
+      ( "checking",
+        [
+          Alcotest.test_case "rule mismatch reported" `Quick test_step_mismatch;
+          Alcotest.test_case "bad path reported" `Quick test_bad_path;
+          prop_random_scripts;
+        ] );
+    ]

@@ -1,0 +1,65 @@
+module N = Network.Graph
+
+let flat name = N.flatten_aoig ((Benchmarks.Suite.find name).Benchmarks.Suite.build ())
+
+let test_mig_flow () =
+  let e = Benchmarks.Suite.find "my_adder" in
+  let net = e.Benchmarks.Suite.build () in
+  let g, r = Flow.mig_opt net in
+  Alcotest.(check int) "reported size matches" (Mig.Graph.size g) r.Flow.size;
+  Alcotest.(check int) "reported depth matches" (Mig.Graph.depth g) r.Flow.depth;
+  Alcotest.(check bool) "time recorded" true (r.Flow.time >= 0.0);
+  Alcotest.(check bool) "equivalent to flattened input" true
+    (Mig.Equiv.to_network_equiv ~seed:1 g (flat "my_adder"))
+
+let test_aig_flow () =
+  let net = (Benchmarks.Suite.find "count").Benchmarks.Suite.build () in
+  let g, r = Flow.aig_opt net in
+  Alcotest.(check int) "size" (Aig.Graph.size g) r.Flow.size;
+  Alcotest.(check bool) "equivalent" true
+    (Network.Simulate.equivalent ~seed:2 (Aig.Convert.to_network g)
+       (flat "count"))
+
+let test_bds_flow () =
+  let net = (Benchmarks.Suite.find "b9").Benchmarks.Suite.build () in
+  match Flow.bds_opt ~seed:3 net with
+  | Some (d, r) ->
+      Alcotest.(check int) "size" (N.size d) r.Flow.size;
+      Alcotest.(check bool) "equivalent" true
+        (Network.Simulate.equivalent ~seed:4 d (flat "b9"))
+  | None -> Alcotest.fail "b9 should not blow up"
+
+let test_bds_na () =
+  (* the multiplier is the canonical BDD blow-up: a small budget must
+     produce the paper's N.A. outcome *)
+  let net = (Benchmarks.Suite.find "C6288").Benchmarks.Suite.build () in
+  Alcotest.(check bool) "N.A. on multiplier" true
+    (Flow.bds_opt ~node_limit:10_000 ~seed:5 net = None)
+
+let test_synth_flows () =
+  let net = (Benchmarks.Suite.find "my_adder").Benchmarks.Suite.build () in
+  let mig = Flow.mig_synth net in
+  let aig = Flow.aig_synth net in
+  let cst = Flow.cst_synth net in
+  List.iter
+    (fun (name, (r : Flow.syn_result)) ->
+      Alcotest.(check bool) (name ^ " sane") true
+        (r.Flow.area > 0.0 && r.Flow.delay > 0.0 && r.Flow.power > 0.0))
+    [ ("mig", mig); ("aig", aig); ("cst", cst) ];
+  (* headline direction on a datapath circuit *)
+  Alcotest.(check bool) "MIG flow delay wins" true
+    (mig.Flow.delay < aig.Flow.delay && mig.Flow.delay < cst.Flow.delay)
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "optimization",
+        [
+          Alcotest.test_case "mig" `Quick test_mig_flow;
+          Alcotest.test_case "aig" `Quick test_aig_flow;
+          Alcotest.test_case "bds" `Quick test_bds_flow;
+          Alcotest.test_case "bds N.A." `Quick test_bds_na;
+        ] );
+      ( "synthesis",
+        [ Alcotest.test_case "three flows" `Slow test_synth_flows ] );
+    ]

@@ -1,0 +1,177 @@
+module N = Network.Graph
+
+let roundtrip_blif net =
+  let text = Format.asprintf "%a" (fun fmt n -> Logic_io.Blif.write fmt n) net in
+  Logic_io.Blif.read text
+
+let roundtrip_verilog net =
+  let text =
+    Format.asprintf "%a" (fun fmt n -> Logic_io.Verilog.write fmt n) net
+  in
+  Logic_io.Verilog.read text
+
+let test_blif_roundtrip_simple () =
+  let net = N.create () in
+  let a = N.add_pi net "a" and b = N.add_pi net "b" and c = N.add_pi net "c" in
+  N.add_po net "y" (N.maj net a (Network.Signal.not_ b) c);
+  N.add_po net "z" (Network.Signal.not_ (N.xor_ net a c));
+  let back = roundtrip_blif net in
+  Alcotest.(check bool) "equivalent" true
+    (Network.Simulate.equivalent ~seed:1 net back);
+  Alcotest.(check int) "pis" 3 (N.num_pis back);
+  Alcotest.(check int) "pos" 2 (N.num_pos back)
+
+let test_blif_roundtrip_suite () =
+  List.iter
+    (fun name ->
+      let net = (Benchmarks.Suite.find name).Benchmarks.Suite.build () in
+      let back = roundtrip_blif net in
+      Alcotest.(check bool) (name ^ " roundtrip") true
+        (Network.Simulate.equivalent ~seed:2 net back))
+    [ "my_adder"; "count"; "b9"; "C1908" ]
+
+let test_blif_offset_cover () =
+  let text =
+    ".model t\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n"
+  in
+  let net = Logic_io.Blif.read text in
+  (* y = NAND(a,b) *)
+  let expect = N.create () in
+  let a = N.add_pi expect "a" and b = N.add_pi expect "b" in
+  N.add_po expect "y" (Network.Signal.not_ (N.and_ expect a b));
+  Alcotest.(check bool) "offset semantics" true
+    (Network.Simulate.equivalent ~seed:3 net expect)
+
+let test_blif_constants () =
+  let text = ".model t\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n" in
+  let net = Logic_io.Blif.read text in
+  let tts = Network.Simulate.truthtables net in
+  Alcotest.(check bool) "constant one" true
+    (Truthtable.is_const1 (List.assoc "one" tts));
+  Alcotest.(check bool) "constant zero" true
+    (Truthtable.is_const0 (List.assoc "zero" tts))
+
+let test_blif_rejects_latches () =
+  Alcotest.check_raises "latch" (Failure "Blif.read: latches not supported")
+    (fun () ->
+      ignore
+        (Logic_io.Blif.read ".model t\n.inputs a\n.outputs q\n.latch a q\n.end"))
+
+let test_verilog_roundtrip_simple () =
+  let net = N.create () in
+  let a = N.add_pi net "a" and b = N.add_pi net "b" and s = N.add_pi net "s" in
+  N.add_po net "y" (N.mux net s a (Network.Signal.not_ b));
+  N.add_po net "w" (N.xor_ net a b);
+  let back = roundtrip_verilog net in
+  Alcotest.(check bool) "equivalent" true
+    (Network.Simulate.equivalent ~seed:4 net back)
+
+let test_verilog_roundtrip_suite () =
+  List.iter
+    (fun name ->
+      let net = (Benchmarks.Suite.find name).Benchmarks.Suite.build () in
+      let back = roundtrip_verilog net in
+      Alcotest.(check bool) (name ^ " roundtrip") true
+        (Network.Simulate.equivalent ~seed:5 net back))
+    [ "my_adder"; "count"; "C1355" ]
+
+let test_verilog_expressions () =
+  let text =
+    "module t(a, b, c, y);\n\
+    \  input a; input b; input c;\n\
+    \  output y;\n\
+    \  wire w;\n\
+    \  assign w = (a & ~b) | (1'b1 & c) ^ a;\n\
+    \  assign y = w ? a : ~c;\n\
+     endmodule\n"
+  in
+  let net = Logic_io.Verilog.read text in
+  Alcotest.(check int) "one output" 1 (N.num_pos net);
+  (* compare against directly-built reference *)
+  let r = N.create () in
+  let a = N.add_pi r "a" and b = N.add_pi r "b" and c = N.add_pi r "c" in
+  let w =
+    N.or_ r
+      (N.and_ r a (Network.Signal.not_ b))
+      (N.xor_ r c a)
+  in
+  N.add_po r "y" (N.mux r w a (Network.Signal.not_ c));
+  Alcotest.(check bool) "expression semantics" true
+    (Network.Simulate.equivalent ~seed:6 net r)
+
+let test_verilog_out_of_order () =
+  (* assigns referencing later assigns must elaborate lazily *)
+  let text =
+    "module t(a, b, y);\n\
+    \  input a; input b;\n\
+    \  output y;\n\
+    \  wire u; wire v;\n\
+    \  assign y = u ^ v;\n\
+    \  assign u = a & b;\n\
+    \  assign v = a | b;\n\
+     endmodule\n"
+  in
+  let net = Logic_io.Verilog.read text in
+  let r = N.create () in
+  let a = N.add_pi r "a" and b = N.add_pi r "b" in
+  N.add_po r "y" (N.xor_ r (N.and_ r a b) (N.or_ r a b));
+  Alcotest.(check bool) "out-of-order assigns" true
+    (Network.Simulate.equivalent ~seed:8 net r)
+
+let test_verilog_cycle_detected () =
+  let text =
+    "module t(a, y);\n  input a;\n  output y;\n  wire u;\n\
+    \  assign y = u;\n  assign u = y & a;\nendmodule\n"
+  in
+  Alcotest.(check bool) "cycle rejected" true
+    (try
+       ignore (Logic_io.Verilog.read text);
+       false
+     with Failure msg ->
+       String.length msg > 0
+       && (let has_sub s sub =
+             let n = String.length s and m = String.length sub in
+             let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+             go 0
+           in
+           has_sub msg "cycle"))
+
+let test_verilog_rejects_garbage () =
+  Alcotest.(check bool) "bad input raises" true
+    (try
+       ignore (Logic_io.Verilog.read "module t(a); input a; banana; endmodule");
+       false
+     with Failure _ -> true)
+
+let test_cross_format () =
+  (* blif -> network -> verilog -> network stays equivalent *)
+  let net = (Benchmarks.Suite.find "count").Benchmarks.Suite.build () in
+  let through = roundtrip_verilog (roundtrip_blif net) in
+  Alcotest.(check bool) "cross-format" true
+    (Network.Simulate.equivalent ~seed:7 net through)
+
+let () =
+  Alcotest.run "logic_io"
+    [
+      ( "blif",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_blif_roundtrip_simple;
+          Alcotest.test_case "suite roundtrips" `Quick test_blif_roundtrip_suite;
+          Alcotest.test_case "offset covers" `Quick test_blif_offset_cover;
+          Alcotest.test_case "constants" `Quick test_blif_constants;
+          Alcotest.test_case "latches rejected" `Quick test_blif_rejects_latches;
+        ] );
+      ( "verilog",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_verilog_roundtrip_simple;
+          Alcotest.test_case "suite roundtrips" `Quick
+            test_verilog_roundtrip_suite;
+          Alcotest.test_case "expression parsing" `Quick test_verilog_expressions;
+          Alcotest.test_case "out-of-order assigns" `Quick
+            test_verilog_out_of_order;
+          Alcotest.test_case "cycle detection" `Quick test_verilog_cycle_detected;
+          Alcotest.test_case "errors rejected" `Quick test_verilog_rejects_garbage;
+        ] );
+      ( "cross",
+        [ Alcotest.test_case "blif to verilog" `Quick test_cross_format ] );
+    ]

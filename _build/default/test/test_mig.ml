@@ -1,0 +1,213 @@
+module M = Mig.Graph
+module N = Network.Graph
+module S = Network.Signal
+module T = Truthtable
+
+let test_constants_pis () =
+  let g = M.create () in
+  Alcotest.(check bool) "const1 = not const0" true
+    (S.equal (M.const1 g) (S.not_ (M.const0 g)));
+  let a = M.add_pi g "a" in
+  Alcotest.(check string) "pi name" "a" (M.pi_name g (S.node a));
+  Alcotest.(check int) "no majority nodes yet" 0 (M.size g)
+
+let test_omega_m_folding () =
+  let g = M.create () in
+  let a = M.add_pi g "a" and b = M.add_pi g "b" and c = M.add_pi g "c" in
+  (* the Ω.M cases fold at construction *)
+  Alcotest.(check bool) "M(x,x,z) = x" true (S.equal a (M.maj g a a c));
+  Alcotest.(check bool) "M(x,x',z) = z" true
+    (S.equal c (M.maj g a (S.not_ a) c));
+  Alcotest.(check bool) "M(0,x,1) = x" true
+    (S.equal b (M.maj g (M.const0 g) b (M.const1 g)));
+  Alcotest.(check int) "nothing allocated" 0 (M.size g);
+  ignore (M.maj g a b c);
+  Alcotest.(check int) "one node" 1 (M.size g)
+
+let test_normal_form () =
+  let g = M.create () in
+  let a = M.add_pi g "a" and b = M.add_pi g "b" and c = M.add_pi g "c" in
+  (* Ω.I: at most one complemented fanin after normalization *)
+  let s = M.maj g (S.not_ a) (S.not_ b) c in
+  Alcotest.(check bool) "two complements push to output" true
+    (S.is_complement s);
+  let fs = M.fanins g (S.node s) in
+  let ninv =
+    Array.fold_left (fun n f -> if S.is_complement f then n + 1 else n) 0 fs
+  in
+  Alcotest.(check bool) "at most one complemented fanin" true (ninv <= 1);
+  (* Ω.C: orderings share the same node *)
+  let t = M.maj g c (S.not_ b) (S.not_ a) in
+  Alcotest.(check bool) "commutative strash" true (S.equal s t);
+  Alcotest.(check int) "single node for all orderings" 1 (M.size g)
+
+let test_fanins_of_view () =
+  let g = M.create () in
+  let a = M.add_pi g "a" and b = M.add_pi g "b" and c = M.add_pi g "c" in
+  let s = M.maj g a b c in
+  (match M.fanins_of g (S.not_ s) with
+  | Some fs ->
+      Array.iter
+        (fun f ->
+          Alcotest.(check bool) "Ω.I view complements fanins" true
+            (S.is_complement f))
+        fs
+  | None -> Alcotest.fail "expected fanins");
+  Alcotest.(check bool) "PI has no fanins" true (M.fanins_of g a = None)
+
+let test_and_or_as_maj () =
+  let g = M.create () in
+  let a = M.add_pi g "a" and b = M.add_pi g "b" in
+  let conj = M.and_ g a b in
+  (* Theorem 3.1: AND is a majority node with constant third input *)
+  (match M.fanins_of g conj with
+  | Some fs ->
+      Alcotest.(check bool) "third input constant" true
+        (Array.exists (fun f -> S.node f = 0) fs)
+  | None -> Alcotest.fail "expected a node");
+  N.iter_gates (Mig.Convert.to_network g) (fun _ _ _ -> ())
+
+let test_xor_forms () =
+  let g = M.create () in
+  let a = M.add_pi g "a" and b = M.add_pi g "b" and c = M.add_pi g "c" in
+  M.add_po g "x2" (M.xor_ g a b);
+  M.add_po g "x3" (M.xor3 g a b c);
+  Alcotest.(check int) "depth-2 parity forms" 2 (M.depth g);
+  let tts = Network.Simulate.truthtables (Mig.Convert.to_network g) in
+  let va = T.var 3 0 and vb = T.var 3 1 and vc = T.var 3 2 in
+  Alcotest.check Helpers.check_tt "xor2 function" (T.xor_ va vb)
+    (List.assoc "x2" tts);
+  Alcotest.check Helpers.check_tt "xor3 function"
+    (T.xor_ (T.xor_ va vb) vc)
+    (List.assoc "x3" tts)
+
+let test_cleanup_mig () =
+  let g = M.create () in
+  let a = M.add_pi g "a" and b = M.add_pi g "b" and c = M.add_pi g "c" in
+  let keep = M.maj g a b c in
+  let _dead = M.maj g a b (S.not_ c) in
+  M.add_po g "y" keep;
+  let g' = M.cleanup g in
+  Alcotest.(check int) "dead removed" 1 (M.size g');
+  Alcotest.(check bool) "equivalent" true (Mig.Equiv.migs ~seed:3 g g')
+
+let test_conversions () =
+  let net = Helpers.random_network ~seed:99 ~inputs:9 ~gates:70 ~outputs:5 in
+  let m = Mig.Convert.of_network net in
+  Alcotest.(check bool) "network -> MIG" true
+    (Mig.Equiv.to_network_equiv ~seed:4 m net);
+  let a = Mig.Convert.to_aig m in
+  Alcotest.(check bool) "MIG -> AIG" true
+    (Network.Simulate.equivalent ~seed:5 net (Aig.Convert.to_network a));
+  let m2 = Mig.Convert.of_aig a in
+  Alcotest.(check bool) "AIG -> MIG" true (Mig.Equiv.migs ~seed:6 m m2)
+
+let test_aig_transposition_size () =
+  (* Corollary 3.2: AIG nodes transpose one-for-one *)
+  let net =
+    N.flatten_aoig (Helpers.random_network ~seed:7 ~inputs:8 ~gates:50 ~outputs:4)
+  in
+  let a = Aig.Convert.of_network net in
+  let m = Mig.Convert.of_aig a in
+  Alcotest.(check bool) "MIG size <= AIG size" true
+    (M.size m <= Aig.Graph.size a)
+
+let test_levels_mig () =
+  let g = M.create () in
+  let a = M.add_pi g "a" and b = M.add_pi g "b" and c = M.add_pi g "c" in
+  let inner = M.maj g a b c in
+  let outer = M.maj g inner a b in
+  M.add_po g "y" outer;
+  Alcotest.(check int) "depth" 2 (M.depth g);
+  let lv = M.levels g in
+  Alcotest.(check int) "inner level" 1 lv.(S.node inner)
+
+let test_equiv_by_bdd () =
+  let net = Helpers.random_network ~seed:12 ~inputs:8 ~gates:60 ~outputs:4 in
+  let m = Mig.Convert.of_network net in
+  let opt = Mig.Opt_size.run m in
+  Alcotest.(check bool) "BDD equivalence" true (Mig.Equiv.by_bdd m opt)
+
+let test_activity_formula () =
+  let g = M.create () in
+  let a = M.add_pi g "a" and b = M.add_pi g "b" and c = M.add_pi g "c" in
+  M.add_po g "y" (M.maj g a b c);
+  (* p(maj of three independent 0.5 inputs) = 0.5, SW = 0.25 *)
+  Alcotest.(check (float 1e-9)) "balanced maj activity" 0.25
+    (Mig.Activity.total g);
+  let skew = Mig.Activity.total ~pi_prob:(fun _ -> 0.1) g in
+  (* p = 3*0.01 - 2*0.001 = 0.028; SW = 0.028*0.972 *)
+  Alcotest.(check (float 1e-9)) "skewed maj activity" (0.028 *. 0.972) skew
+
+(* structural invariant: every node is in the Ω.I/Ω.C/Ω.M normal form *)
+let normal_form_ok g =
+  let ok = ref true in
+  M.iter_majs g (fun _ fs ->
+      let ninv =
+        Array.fold_left (fun n f -> if S.is_complement f then n + 1 else n) 0 fs
+      in
+      if ninv > 1 then ok := false;
+      (* sorted, and no foldable pair survived *)
+      if not (S.compare fs.(0) fs.(1) <= 0 && S.compare fs.(1) fs.(2) <= 0)
+      then ok := false;
+      for i = 0 to 2 do
+        for j = i + 1 to 2 do
+          if S.equal fs.(i) fs.(j) || S.equal fs.(i) (S.not_ fs.(j)) then
+            ok := false
+        done
+      done);
+  !ok
+
+let prop_normal_form_after_opt =
+  Helpers.qtest ~count:80 "qcheck: optimizers preserve the normal form"
+    QCheck2.Gen.(
+      list_size (int_range 1 3)
+        (Helpers.gen_term ~vars:[ "a"; "b"; "c"; "d"; "e" ] ~depth:4))
+    (fun terms ->
+      let net =
+        Helpers.network_of_terms ~vars:[ "a"; "b"; "c"; "d"; "e" ] terms
+      in
+      let m = Mig.Convert.of_network net in
+      normal_form_ok m
+      && normal_form_ok (Mig.Opt_depth.run ~effort:1 m)
+      && normal_form_ok (Mig.Opt_size.run ~effort:1 m))
+
+let prop_activity_matches_network =
+  Helpers.qtest ~count:100 "qcheck: MIG activity equals converted-network activity"
+    (Helpers.gen_term ~vars:[ "a"; "b"; "c"; "d" ] ~depth:4)
+    (fun t ->
+      let net = Helpers.network_of_terms ~vars:[ "a"; "b"; "c"; "d" ] [ t ] in
+      let m = Mig.Convert.of_network net in
+      (* the converted network has exactly one gate per majority node,
+         so the two activity sums must agree *)
+      let a_mig = Mig.Activity.total m in
+      let a_net = Network.Metrics.activity (Mig.Convert.to_network m) in
+      abs_float (a_mig -. a_net) < 1e-9)
+
+let () =
+  Alcotest.run "mig"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "constants and PIs" `Quick test_constants_pis;
+          Alcotest.test_case "Ω.M folding" `Quick test_omega_m_folding;
+          Alcotest.test_case "normal form (Ω.I, Ω.C)" `Quick test_normal_form;
+          Alcotest.test_case "Ω.I fanin view" `Quick test_fanins_of_view;
+          Alcotest.test_case "AND/OR are majorities" `Quick test_and_or_as_maj;
+          Alcotest.test_case "parity forms" `Quick test_xor_forms;
+          Alcotest.test_case "cleanup" `Quick test_cleanup_mig;
+          Alcotest.test_case "levels" `Quick test_levels_mig;
+        ] );
+      ( "convert",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_conversions;
+          Alcotest.test_case "AIG transposition (Cor. 3.2)" `Quick
+            test_aig_transposition_size;
+        ] );
+      ( "equiv",
+        [ Alcotest.test_case "BDD-based check" `Quick test_equiv_by_bdd ] );
+      ( "activity",
+        [ Alcotest.test_case "probability formula" `Quick test_activity_formula ] );
+      ( "invariants",
+        [ prop_normal_form_after_opt; prop_activity_matches_network ] );
+    ]

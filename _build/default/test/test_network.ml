@@ -1,0 +1,179 @@
+module N = Network.Graph
+module S = Network.Signal
+module T = Truthtable
+
+let tt = Helpers.check_tt
+
+(* ----- signals ----- *)
+
+let test_signal () =
+  let s = S.make 5 true in
+  Alcotest.(check int) "node" 5 (S.node s);
+  Alcotest.(check bool) "complement" true (S.is_complement s);
+  Alcotest.(check bool) "not flips" false (S.is_complement (S.not_ s));
+  Alcotest.(check int) "not keeps node" 5 (S.node (S.not_ s));
+  Alcotest.(check bool) "regular" false (S.is_complement (S.regular s));
+  Alcotest.(check bool) "xor_complement true" true
+    (S.is_complement (S.xor_complement (S.make 3 false) true));
+  Alcotest.(check bool) "equal" true (S.equal s (S.make 5 true))
+
+(* ----- builder folding ----- *)
+
+let test_folding () =
+  let n = N.create () in
+  let a = N.add_pi n "a" and b = N.add_pi n "b" in
+  Alcotest.(check bool) "a&a = a" true (S.equal a (N.and_ n a a));
+  Alcotest.(check bool) "a&a' = 0" true (S.equal (N.const0 n) (N.and_ n a (S.not_ a)));
+  Alcotest.(check bool) "a&1 = a" true (S.equal a (N.and_ n a (N.const1 n)));
+  Alcotest.(check bool) "a|0 = a" true (S.equal a (N.or_ n a (N.const0 n)));
+  Alcotest.(check bool) "a^a = 0" true (S.equal (N.const0 n) (N.xor_ n a a));
+  Alcotest.(check bool) "a^1 = a'" true (S.equal (S.not_ a) (N.xor_ n a (N.const1 n)));
+  Alcotest.(check bool) "maj(a,a,b) = a" true (S.equal a (N.maj n a a b));
+  Alcotest.(check bool) "maj(a,a',b) = b" true (S.equal b (N.maj n a (S.not_ a) b));
+  Alcotest.(check bool) "maj(a,b,0) = a&b" true
+    (S.equal (N.and_ n a b) (N.maj n a b (N.const0 n)));
+  Alcotest.(check bool) "maj(a,b,1) = a|b" true
+    (S.equal (N.or_ n a b) (N.maj n a b (N.const1 n)));
+  Alcotest.(check bool) "mux(1,t,e) = t" true (S.equal a (N.mux n (N.const1 n) a b));
+  Alcotest.(check bool) "mux(s,t,t) = t" true (S.equal b (N.mux n a b b));
+  Alcotest.(check bool) "mux(s,e',e) = s^e" true
+    (S.equal (N.xor_ n a b) (N.mux n a (S.not_ b) b))
+
+let test_strash () =
+  let n = N.create () in
+  let a = N.add_pi n "a" and b = N.add_pi n "b" in
+  let x = N.and_ n a b and y = N.and_ n b a in
+  Alcotest.(check bool) "commutative sharing" true (S.equal x y);
+  Alcotest.(check int) "one gate" 1 (N.size n);
+  let p = N.xor_ n a (S.not_ b) and q = N.xor_ n (S.not_ a) b in
+  Alcotest.(check bool) "xor complement normalization" true (S.equal p q)
+
+let test_nary () =
+  let n = N.create () in
+  let xs = List.init 7 (fun i -> N.add_pi n (Printf.sprintf "x%d" i)) in
+  N.add_po n "and" (N.and_n n xs);
+  N.add_po n "or" (N.or_n n xs);
+  N.add_po n "xor" (N.xor_n n xs);
+  Alcotest.(check bool) "and_n [] = 1" true (S.equal (N.const1 n) (N.and_n n []));
+  Alcotest.(check bool) "or_n [] = 0" true (S.equal (N.const0 n) (N.or_n n []));
+  let tts = Network.Simulate.truthtables n in
+  let expect_and =
+    List.fold_left T.and_ (T.const1 7) (List.init 7 (T.var 7))
+  in
+  Alcotest.check tt "and_n function" expect_and (List.assoc "and" tts);
+  let expect_xor =
+    List.fold_left T.xor_ (T.const0 7) (List.init 7 (T.var 7))
+  in
+  Alcotest.check tt "xor_n function" expect_xor (List.assoc "xor" tts);
+  (* balanced: depth is log-ish *)
+  Alcotest.(check bool) "and_n balanced" true (Network.Metrics.depth n <= 6)
+
+let test_cleanup () =
+  let n = N.create () in
+  let a = N.add_pi n "a" and b = N.add_pi n "b" and c = N.add_pi n "c" in
+  let used = N.and_ n a b in
+  let _dead = N.xor_ n b c in
+  N.add_po n "y" used;
+  let n' = N.cleanup n in
+  Alcotest.(check int) "dead gate removed" 1 (N.size n');
+  Alcotest.(check int) "PIs preserved" 3 (N.num_pis n');
+  Alcotest.(check bool) "function preserved" true
+    (Network.Simulate.equivalent ~seed:1 n n')
+
+let test_flatten_aoig () =
+  let n = Helpers.random_network ~seed:77 ~inputs:8 ~gates:60 ~outputs:4 in
+  let flat = N.flatten_aoig n in
+  (* only And/Or gates remain *)
+  let ok = ref true in
+  N.iter_gates flat (fun _ fn _ ->
+      match fn with N.And | N.Or -> () | _ -> ok := false);
+  Alcotest.(check bool) "only AND/OR gates" true !ok;
+  Alcotest.(check bool) "function preserved" true
+    (Network.Simulate.equivalent ~seed:2 n flat)
+
+(* ----- metrics ----- *)
+
+let test_depth () =
+  let n = N.create () in
+  let a = N.add_pi n "a" and b = N.add_pi n "b" and c = N.add_pi n "c" in
+  N.add_po n "y" (N.and_ n (N.and_ n a b) c);
+  Alcotest.(check int) "chain depth" 2 (Network.Metrics.depth n);
+  Alcotest.(check int) "custom cost" 4
+    (Network.Metrics.depth ~cost:(fun _ -> 2) n)
+
+let test_probabilities () =
+  let n = N.create () in
+  let a = N.add_pi n "a" and b = N.add_pi n "b" in
+  let x = N.and_ n a b in
+  N.add_po n "y" x;
+  let p = Network.Metrics.probabilities n in
+  Alcotest.(check (float 1e-9)) "p(and) = 1/4" 0.25 p.(S.node x);
+  let p' = Network.Metrics.probabilities ~pi_prob:(fun _ -> 0.1) n in
+  Alcotest.(check (float 1e-9)) "p(and) skewed" 0.01 p'.(S.node x);
+  (* complement handling through a PO on a complemented edge *)
+  let act = Network.Metrics.activity n in
+  Alcotest.(check (float 1e-9)) "activity of one AND" (0.25 *. 0.75) act
+
+let test_maj_probability () =
+  let n = N.create () in
+  let a = N.add_pi n "a" and b = N.add_pi n "b" and c = N.add_pi n "c" in
+  let m = N.maj n a b c in
+  N.add_po n "y" m;
+  let p = Network.Metrics.probabilities n in
+  Alcotest.(check (float 1e-9)) "p(maj) = 1/2" 0.5 p.(S.node m)
+
+(* ----- simulation ----- *)
+
+let test_simulate_exact_vs_random () =
+  let n = Helpers.random_network ~seed:5 ~inputs:10 ~gates:80 ~outputs:5 in
+  Alcotest.(check bool) "network equivalent to itself" true
+    (Network.Simulate.equivalent ~seed:3 n n);
+  let n2 = Helpers.random_network ~seed:6 ~inputs:10 ~gates:80 ~outputs:5 in
+  Alcotest.(check bool) "different seeds differ" false
+    (Network.Simulate.equivalent ~seed:4 n n2)
+
+let test_simulate_stim () =
+  let n = N.create () in
+  let a = N.add_pi n "a" and b = N.add_pi n "b" in
+  N.add_po n "y" (N.xor_ n a b);
+  let out = Network.Simulate.run n (function "a" -> 0xF0L | _ -> 0xCCL) in
+  Alcotest.(check int64) "bitwise xor" (Int64.of_int 0x3C)
+    (List.assoc "y" out)
+
+let prop_maj_gate_semantics =
+  Helpers.qtest ~count:100 "qcheck: network gates match truth tables"
+    (Helpers.gen_term ~vars:[ "a"; "b"; "c"; "d" ] ~depth:4)
+    (fun t ->
+      let net = Helpers.network_of_terms ~vars:[ "a"; "b"; "c"; "d" ] [ t ] in
+      Helpers.net_matches_fn net (fun env ->
+          [ ("y0", Mig.Algebra.eval t env) ]))
+
+let () =
+  Alcotest.run "network"
+    [
+      ( "signal",
+        [ Alcotest.test_case "packing" `Quick test_signal ] );
+      ( "builders",
+        [
+          Alcotest.test_case "constant folding" `Quick test_folding;
+          Alcotest.test_case "structural hashing" `Quick test_strash;
+          Alcotest.test_case "n-ary trees" `Quick test_nary;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "cleanup" `Quick test_cleanup;
+          Alcotest.test_case "flatten to AOIG" `Quick test_flatten_aoig;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "depth" `Quick test_depth;
+          Alcotest.test_case "probabilities/activity" `Quick test_probabilities;
+          Alcotest.test_case "majority probability" `Quick test_maj_probability;
+        ] );
+      ( "simulate",
+        [
+          Alcotest.test_case "equivalence checks" `Quick test_simulate_exact_vs_random;
+          Alcotest.test_case "bit-parallel stimulus" `Quick test_simulate_stim;
+          prop_maj_gate_semantics;
+        ] );
+    ]

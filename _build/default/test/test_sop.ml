@@ -1,0 +1,232 @@
+module T = Truthtable
+module C = Sop.Cube
+module Cov = Sop.Cover
+module F = Sop.Factor
+
+let tt = Helpers.check_tt
+
+(* ----- cubes ----- *)
+
+let test_cube_basic () =
+  let c = C.of_literals [ (0, true); (2, false) ] in
+  Alcotest.(check int) "size" 2 (C.size c);
+  Alcotest.(check bool) "has 0" true (C.has_var c 0);
+  Alcotest.(check bool) "has 1" false (C.has_var c 1);
+  Alcotest.(check (option bool)) "pol 0" (Some true) (C.polarity c 0);
+  Alcotest.(check (option bool)) "pol 2" (Some false) (C.polarity c 2);
+  Alcotest.(check (option bool)) "pol absent" None (C.polarity c 1);
+  let lits = C.literals c in
+  Alcotest.(check int) "two literals" 2 (List.length lits)
+
+let test_cube_conflict () =
+  Alcotest.check_raises "polarity conflict"
+    (Invalid_argument "Cube.add_literal: polarity conflict") (fun () ->
+      ignore (C.of_literals [ (1, true); (1, false) ]))
+
+let test_cube_containment () =
+  let big = C.of_literals [ (0, true) ] in
+  let small = C.of_literals [ (0, true); (1, false) ] in
+  Alcotest.(check bool) "x contains xy'" true (C.contains big small);
+  Alcotest.(check bool) "xy' not contains x" false (C.contains small big);
+  Alcotest.(check bool) "universal contains all" true (C.contains C.universal small);
+  let other = C.of_literals [ (0, false); (1, false) ] in
+  Alcotest.(check bool) "wrong polarity" false (C.contains big other)
+
+let test_cube_eval_tt () =
+  let c = C.of_literals [ (0, true); (1, false) ] in
+  Alcotest.(check bool) "eval sat" true (C.eval c (fun v -> v = 0));
+  Alcotest.(check bool) "eval unsat" false (C.eval c (fun _ -> true));
+  Alcotest.check tt "tt of x0 x1'" (T.and_ (T.var 2 0) (T.not_ (T.var 2 1)))
+    (C.to_truthtable 2 c)
+
+let test_cube_drop () =
+  let c = C.of_literals [ (0, true); (1, false) ] in
+  let d = C.drop_var c 1 in
+  Alcotest.(check int) "size after drop" 1 (C.size d);
+  Alcotest.(check bool) "var gone" false (C.has_var d 1)
+
+(* ----- covers ----- *)
+
+let test_cover_metrics () =
+  let c =
+    Cov.of_cubes 3
+      [ C.of_literals [ (0, true) ]; C.of_literals [ (1, true); (2, false) ] ]
+  in
+  Alcotest.(check int) "cubes" 2 (Cov.num_cubes c);
+  Alcotest.(check int) "literals" 3 (Cov.num_literals c)
+
+let test_cover_scc () =
+  let c =
+    Cov.of_cubes 2
+      [ C.of_literals [ (0, true) ]; C.of_literals [ (0, true); (1, true) ] ]
+  in
+  let r = Cov.single_cube_containment c in
+  Alcotest.(check int) "contained cube removed" 1 (Cov.num_cubes r);
+  Alcotest.check tt "function preserved" (Cov.to_truthtable c)
+    (Cov.to_truthtable r)
+
+let test_cover_irredundant () =
+  (* x + x'y + y : the middle cube is redundant *)
+  let c =
+    Cov.of_cubes 2
+      [
+        C.of_literals [ (0, true) ];
+        C.of_literals [ (0, false); (1, true) ];
+        C.of_literals [ (1, true) ];
+      ]
+  in
+  let r = Cov.irredundant c in
+  Alcotest.(check bool) "fewer cubes" true (Cov.num_cubes r < 3);
+  Alcotest.check tt "function preserved" (Cov.to_truthtable c)
+    (Cov.to_truthtable r)
+
+(* ----- isop ----- *)
+
+let prop_isop_exact =
+  Helpers.qtest ~count:300 "qcheck: ISOP computes the function"
+    (Helpers.gen_tt 6)
+    (fun f -> T.equal f (Cov.to_truthtable (Sop.Isop.compute f)))
+
+let prop_isop_interval =
+  Helpers.qtest ~count:200 "qcheck: ISOP respects don't-care intervals"
+    QCheck2.Gen.(pair (Helpers.gen_tt 5) (Helpers.gen_tt 5))
+    (fun (a, b) ->
+      let lower = T.and_ a b and upper = T.or_ a b in
+      let g = Cov.to_truthtable (Sop.Isop.compute_interval ~lower ~upper) in
+      T.is_const0 (T.and_ lower (T.not_ g))
+      && T.is_const0 (T.and_ g (T.not_ upper)))
+
+let prop_isop_irredundant =
+  Helpers.qtest ~count:100 "qcheck: ISOP cover is irredundant"
+    (Helpers.gen_tt 5)
+    (fun f ->
+      let cov = Sop.Isop.compute f in
+      Cov.num_cubes (Cov.irredundant cov) = Cov.num_cubes cov)
+
+let test_isop_corner () =
+  Alcotest.(check int) "const0 has no cubes" 0
+    (Cov.num_cubes (Sop.Isop.compute (T.const0 4)));
+  let one = Sop.Isop.compute (T.const1 4) in
+  Alcotest.(check int) "const1 is one cube" 1 (Cov.num_cubes one);
+  Alcotest.(check int) "tautology cube empty" 0 (Cov.num_literals one);
+  let maj = Sop.Isop.compute (T.of_hex 3 "e8") in
+  Alcotest.(check int) "maj has 3 cubes" 3 (Cov.num_cubes maj)
+
+(* ----- factoring ----- *)
+
+let prop_factor_exact =
+  Helpers.qtest ~count:300 "qcheck: factoring preserves the function"
+    (Helpers.gen_tt 6)
+    (fun f ->
+      let form = F.factor (Sop.Isop.compute f) in
+      T.equal f (F.to_truthtable 6 form))
+
+let prop_factor_no_worse =
+  Helpers.qtest ~count:200 "qcheck: factored literals <= SOP literals"
+    (Helpers.gen_tt 5)
+    (fun f ->
+      let cov = Sop.Isop.compute f in
+      F.literal_count (F.factor cov) <= max 1 (Cov.num_literals cov))
+
+let test_factor_shares () =
+  (* xy + xz factors into x(y+z): 3 literals instead of 4 *)
+  let cov =
+    Cov.of_cubes 3
+      [
+        C.of_literals [ (0, true); (1, true) ];
+        C.of_literals [ (0, true); (2, true) ];
+      ]
+  in
+  let form = F.factor cov in
+  Alcotest.(check int) "3 literals" 3 (F.literal_count form);
+  Alcotest.check tt "function kept" (Cov.to_truthtable cov)
+    (F.to_truthtable 3 form)
+
+(* ----- minimize (espresso-lite) ----- *)
+
+let prop_minimize_exact =
+  Helpers.qtest ~count:200 "qcheck: minimize preserves the function"
+    (Helpers.gen_tt 6)
+    (fun f ->
+      let cov = Sop.Isop.compute f in
+      T.equal f (Cov.to_truthtable (Sop.Minimize.minimize cov)))
+
+let prop_minimize_no_worse =
+  Helpers.qtest ~count:200 "qcheck: minimize never adds cubes or literals"
+    (Helpers.gen_tt 5)
+    (fun f ->
+      let cov = Sop.Isop.compute f in
+      let m = Sop.Minimize.minimize cov in
+      Cov.num_cubes m <= Cov.num_cubes cov
+      && Cov.num_literals m <= Cov.num_literals cov)
+
+let test_minimize_shrinks_redundant () =
+  (* xy + xy' + x'y = x + y : three 2-literal cubes to two 1-literal *)
+  let cov =
+    Cov.of_cubes 2
+      [
+        C.of_literals [ (0, true); (1, true) ];
+        C.of_literals [ (0, true); (1, false) ];
+        C.of_literals [ (0, false); (1, true) ];
+      ]
+  in
+  let m = Sop.Minimize.minimize cov in
+  Alcotest.(check int) "two cubes" 2 (Cov.num_cubes m);
+  Alcotest.(check int) "two literals" 2 (Cov.num_literals m);
+  Alcotest.check tt "function kept" (Cov.to_truthtable cov)
+    (Cov.to_truthtable m)
+
+let test_expand_cube () =
+  (* f = x: the cube xy expands to x against the off-set x' *)
+  let offset = T.not_ (T.var 2 0) in
+  let c = C.of_literals [ (0, true); (1, true) ] in
+  let e = Sop.Minimize.expand_cube ~offset c in
+  Alcotest.(check int) "one literal left" 1 (C.size e);
+  Alcotest.(check (option bool)) "kept x" (Some true) (C.polarity e 0)
+
+let test_factor_depth_eval () =
+  let form = F.And [ F.Lit (0, true); F.Or [ F.Lit (1, true); F.Lit (2, false) ] ] in
+  Alcotest.(check int) "depth" 2 (F.depth form);
+  Alcotest.(check bool) "eval" true (F.eval form (fun v -> v = 0 || v = 1));
+  Alcotest.(check bool) "eval f" false (F.eval form (fun v -> v = 1))
+
+let () =
+  Alcotest.run "sop"
+    [
+      ( "cube",
+        [
+          Alcotest.test_case "basics" `Quick test_cube_basic;
+          Alcotest.test_case "conflict" `Quick test_cube_conflict;
+          Alcotest.test_case "containment" `Quick test_cube_containment;
+          Alcotest.test_case "eval and tt" `Quick test_cube_eval_tt;
+          Alcotest.test_case "drop_var" `Quick test_cube_drop;
+        ] );
+      ( "cover",
+        [
+          Alcotest.test_case "metrics" `Quick test_cover_metrics;
+          Alcotest.test_case "single-cube containment" `Quick test_cover_scc;
+          Alcotest.test_case "irredundant" `Quick test_cover_irredundant;
+        ] );
+      ( "isop",
+        [
+          Alcotest.test_case "corner cases" `Quick test_isop_corner;
+          prop_isop_exact;
+          prop_isop_interval;
+          prop_isop_irredundant;
+        ] );
+      ( "minimize",
+        [
+          Alcotest.test_case "expand" `Quick test_expand_cube;
+          Alcotest.test_case "redundant cover" `Quick
+            test_minimize_shrinks_redundant;
+          prop_minimize_exact;
+          prop_minimize_no_worse;
+        ] );
+      ( "factor",
+        [
+          Alcotest.test_case "sharing" `Quick test_factor_shares;
+          Alcotest.test_case "depth and eval" `Quick test_factor_depth_eval;
+          prop_factor_exact;
+          prop_factor_no_worse;
+        ] );
+    ]

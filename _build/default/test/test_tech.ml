@@ -1,0 +1,116 @@
+module N = Network.Graph
+module C = Tech.Cells
+
+let test_cell_functions () =
+  let module T = Truthtable in
+  Alcotest.check Helpers.check_tt "INV" (T.not_ (T.var 1 0)) C.inv.C.tt;
+  Alcotest.check Helpers.check_tt "NAND2"
+    (T.nand_ (T.var 2 0) (T.var 2 1))
+    C.nand2.C.tt;
+  Alcotest.check Helpers.check_tt "XOR2"
+    (T.xor_ (T.var 2 0) (T.var 2 1))
+    C.xor2.C.tt;
+  Alcotest.check Helpers.check_tt "MAJ3"
+    (T.maj (T.var 3 0) (T.var 3 1) (T.var 3 2))
+    C.maj3.C.tt;
+  Alcotest.check Helpers.check_tt "MIN3"
+    (T.not_ (T.maj (T.var 3 0) (T.var 3 1) (T.var 3 2)))
+    C.min3.C.tt
+
+let test_library_contents () =
+  Alcotest.(check int) "seven cells" 7 (List.length C.full);
+  Alcotest.(check int) "five without majority" 5 (List.length C.no_majority);
+  Alcotest.(check bool) "find works" true (C.find C.full "MAJ3" == C.maj3);
+  Alcotest.check_raises "find unknown"
+    (Invalid_argument "Cells.find: FOO") (fun () -> ignore (C.find C.full "FOO"))
+
+let test_netcut () =
+  let net = N.create () in
+  let a = N.add_pi net "a" and b = N.add_pi net "b" and c = N.add_pi net "c" in
+  let ab = N.and_ net a b in
+  let y = N.xor_ net ab c in
+  N.add_po net "y" y;
+  let cuts = Tech.Netcut.enumerate ~k:3 ~max_cuts:8 net in
+  let root = Network.Signal.node y in
+  let full =
+    List.find_opt
+      (fun cut ->
+        Array.to_list cut
+        = List.sort compare
+            [ Network.Signal.node a; Network.Signal.node b; Network.Signal.node c ])
+      cuts.(root)
+  in
+  match full with
+  | None -> Alcotest.fail "missing full cut"
+  | Some cut ->
+      let module T = Truthtable in
+      Alcotest.check Helpers.check_tt "(a&b)^c over leaves"
+        (T.xor_ (T.and_ (T.var 3 0) (T.var 3 1)) (T.var 3 2))
+        (Tech.Netcut.cut_function net root cut)
+
+let map_verified ?lib name =
+  let net =
+    N.flatten_aoig ((Benchmarks.Suite.find name).Benchmarks.Suite.build ())
+  in
+  Tech.Mapper.map_and_verify ?lib ~seed:0x71 net
+
+let test_mapper_verifies () =
+  List.iter
+    (fun name ->
+      let r, ok = map_verified name in
+      Alcotest.(check bool) (name ^ " cover correct") true ok;
+      Alcotest.(check bool) (name ^ " positive metrics") true
+        (r.Tech.Mapper.area > 0.0 && r.Tech.Mapper.delay > 0.0
+       && r.Tech.Mapper.power > 0.0))
+    [ "my_adder"; "count"; "b9"; "C1908" ]
+
+let test_mapper_no_majority_lib () =
+  let r_full, ok1 = map_verified "my_adder" in
+  let r_nomaj, ok2 = map_verified ~lib:C.no_majority "my_adder" in
+  Alcotest.(check bool) "both covers correct" true (ok1 && ok2);
+  (* without MAJ cells no MAJ instances may appear *)
+  Alcotest.(check bool) "no MAJ3/MIN3 instances" true
+    (List.for_all
+       (fun (n, _) -> n <> "MAJ3" && n <> "MIN3")
+       r_nomaj.Tech.Mapper.cell_counts);
+  Alcotest.(check bool) "full library present somewhere" true
+    (List.exists
+       (fun (n, _) -> n = "MAJ3" || n = "MIN3")
+       r_full.Tech.Mapper.cell_counts)
+
+let test_mapped_mig_flow_beats_aig_on_adder () =
+  let net = (Benchmarks.Suite.find "my_adder").Benchmarks.Suite.build () in
+  let mig = Flow.mig_synth net in
+  let aig = Flow.aig_synth net in
+  Alcotest.(check bool) "MIG flow faster" true (mig.Flow.delay < aig.Flow.delay)
+
+let test_pi_prob_affects_power () =
+  let net =
+    N.flatten_aoig ((Benchmarks.Suite.find "count").Benchmarks.Suite.build ())
+  in
+  let base = Tech.Mapper.map_network net in
+  let skew = Tech.Mapper.map_network ~pi_prob:(fun _ -> 0.02) net in
+  Alcotest.(check bool) "skewed inputs lower power" true
+    (skew.Tech.Mapper.power < base.Tech.Mapper.power);
+  Alcotest.(check (float 1e-9)) "area unchanged" base.Tech.Mapper.area
+    skew.Tech.Mapper.area
+
+let () =
+  Alcotest.run "tech"
+    [
+      ( "cells",
+        [
+          Alcotest.test_case "functions" `Quick test_cell_functions;
+          Alcotest.test_case "libraries" `Quick test_library_contents;
+        ] );
+      ( "cuts", [ Alcotest.test_case "enumeration" `Quick test_netcut ] );
+      ( "mapper",
+        [
+          Alcotest.test_case "covers verified" `Quick test_mapper_verifies;
+          Alcotest.test_case "restricted library" `Quick
+            test_mapper_no_majority_lib;
+          Alcotest.test_case "MIG flow wins delay" `Slow
+            test_mapped_mig_flow_beats_aig_on_adder;
+          Alcotest.test_case "power model" `Quick test_pi_prob_affects_power;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+module T = Truthtable
+
+let tt = Helpers.check_tt
+
+let test_consts () =
+  Alcotest.(check bool) "const0 is_const0" true (T.is_const0 (T.const0 4));
+  Alcotest.(check bool) "const1 is_const1" true (T.is_const1 (T.const1 4));
+  Alcotest.(check int) "const0 ones" 0 (T.count_ones (T.const0 5));
+  Alcotest.(check int) "const1 ones" 32 (T.count_ones (T.const1 5));
+  Alcotest.check tt "not const0 = const1" (T.const1 7) (T.not_ (T.const0 7));
+  (* large tables spanning several words *)
+  Alcotest.(check int) "const1 ones 8 vars" 256 (T.count_ones (T.const1 8));
+  Alcotest.check tt "not involutive large" (T.const0 9) (T.not_ (T.not_ (T.const0 9)))
+
+let test_vars () =
+  for n = 1 to 8 do
+    for i = 0 to n - 1 do
+      let v = T.var n i in
+      Alcotest.(check int)
+        (Printf.sprintf "var %d/%d balanced" i n)
+        (1 lsl (n - 1))
+        (T.count_ones v);
+      Alcotest.(check bool)
+        "depends only on itself" true
+        (List.for_all
+           (fun j -> T.depends_on v j = (i = j))
+           (List.init n (fun j -> j)))
+    done
+  done
+
+let test_var_bits () =
+  let v = T.var 3 1 in
+  List.iteri
+    (fun m expect ->
+      Alcotest.(check bool) (Printf.sprintf "bit %d" m) expect (T.get_bit v m))
+    [ false; false; true; true; false; false; true; true ]
+
+let test_ops_small () =
+  let a = T.var 2 0 and b = T.var 2 1 in
+  Alcotest.check tt "and" (T.of_hex 2 "8") (T.and_ a b);
+  Alcotest.check tt "or" (T.of_hex 2 "e") (T.or_ a b);
+  Alcotest.check tt "xor" (T.of_hex 2 "6") (T.xor_ a b);
+  Alcotest.check tt "nand" (T.of_hex 2 "7") (T.nand_ a b);
+  Alcotest.check tt "nor" (T.of_hex 2 "1") (T.nor_ a b);
+  Alcotest.check tt "xnor" (T.of_hex 2 "9") (T.xnor_ a b)
+
+let test_maj_mux () =
+  let a = T.var 3 0 and b = T.var 3 1 and c = T.var 3 2 in
+  Alcotest.check tt "maj tt" (T.of_hex 3 "e8") (T.maj a b c);
+  Alcotest.check tt "mux s=1 gives t"
+    (T.maj a b c)
+    (T.mux (T.const1 3) (T.maj a b c) (T.const0 3));
+  Alcotest.check tt "mux decomposition"
+    (T.mux c a b)
+    (T.or_ (T.and_ c a) (T.and_ (T.not_ c) b))
+
+let test_hex_roundtrip () =
+  List.iter
+    (fun (n, s) -> Alcotest.(check string) ("hex " ^ s) s (T.to_hex (T.of_hex n s)))
+    [ (2, "6"); (3, "e8"); (4, "dead"); (5, "deadbeef"); (6, "0123456789abcdef") ]
+
+let test_binary () =
+  Alcotest.(check string) "maj binary" "11101000" (T.to_binary (T.of_hex 3 "e8"))
+
+let test_cofactors () =
+  let a = T.var 3 0 and b = T.var 3 1 and c = T.var 3 2 in
+  let m = T.maj a b c in
+  Alcotest.check tt "maj|c=0 = and" (T.and_ a b) (T.cofactor0 m 2);
+  Alcotest.check tt "maj|c=1 = or" (T.or_ a b) (T.cofactor1 m 2);
+  (* cofactors erase dependence *)
+  Alcotest.(check bool) "cof0 independent" false (T.depends_on (T.cofactor0 m 2) 2);
+  (* high-index variable (word-level cofactor) *)
+  let x = T.var 7 6 and y = T.var 7 0 in
+  let f = T.and_ x y in
+  Alcotest.check tt "word cofactor1" y (T.cofactor1 f 6);
+  Alcotest.check tt "word cofactor0" (T.const0 7) (T.cofactor0 f 6)
+
+let test_support () =
+  let a = T.var 5 0 and c = T.var 5 2 in
+  Alcotest.(check (list int)) "support" [ 0; 2 ] (T.support (T.xor_ a c))
+
+let prop_demorgan =
+  Helpers.qtest "qcheck: De Morgan"
+    QCheck2.Gen.(pair (Helpers.gen_tt 5) (Helpers.gen_tt 5))
+    (fun (a, b) ->
+      T.equal (T.not_ (T.and_ a b)) (T.or_ (T.not_ a) (T.not_ b)))
+
+let prop_shannon =
+  Helpers.qtest "qcheck: Shannon expansion"
+    QCheck2.Gen.(pair (Helpers.gen_tt 6) (int_bound 5))
+    (fun (f, i) ->
+      T.equal f
+        (T.mux (T.var 6 i) (T.cofactor1 f i) (T.cofactor0 f i)))
+
+let prop_maj_selfdual =
+  Helpers.qtest "qcheck: majority is self-dual"
+    QCheck2.Gen.(triple (Helpers.gen_tt 4) (Helpers.gen_tt 4) (Helpers.gen_tt 4))
+    (fun (a, b, c) ->
+      T.equal
+        (T.not_ (T.maj a b c))
+        (T.maj (T.not_ a) (T.not_ b) (T.not_ c)))
+
+let prop_xor_assoc =
+  Helpers.qtest "qcheck: xor associativity"
+    QCheck2.Gen.(triple (Helpers.gen_tt 5) (Helpers.gen_tt 5) (Helpers.gen_tt 5))
+    (fun (a, b, c) ->
+      T.equal (T.xor_ (T.xor_ a b) c) (T.xor_ a (T.xor_ b c)))
+
+let prop_count_ones =
+  Helpers.qtest "qcheck: count_ones of or"
+    QCheck2.Gen.(pair (Helpers.gen_tt 6) (Helpers.gen_tt 6))
+    (fun (a, b) ->
+      T.count_ones (T.or_ a b) + T.count_ones (T.and_ a b)
+      = T.count_ones a + T.count_ones b)
+
+let prop_of_bits =
+  Helpers.qtest "qcheck: of_bits/get_bit roundtrip" (Helpers.gen_tt 7)
+    (fun f ->
+      let g = T.of_bits 7 (fun m -> T.get_bit f m) in
+      T.equal f g)
+
+let var_cases =
+  let module T = Truthtable in
+  let run name f = Alcotest.test_case name `Quick f in
+  [
+    run "swap_adjacent" (fun () ->
+        let f = T.and_ (T.var 3 0) (T.not_ (T.var 3 1)) in
+        let g = T.swap_adjacent f 0 in
+        Alcotest.check tt "x0 x1' swapped"
+          (T.and_ (T.var 3 1) (T.not_ (T.var 3 0)))
+          g;
+        Alcotest.check tt "involution" f (T.swap_adjacent g 0));
+    run "permute" (fun () ->
+        let f = T.maj (T.var 3 0) (T.var 3 1) (T.var 3 2) in
+        Alcotest.check tt "maj symmetric" f (T.permute f [| 2; 0; 1 |]);
+        let g = T.and_ (T.var 3 0) (T.var 3 2) in
+        (* old 0 -> new 2, old 2 -> new 1 *)
+        Alcotest.check tt "rotate and"
+          (T.and_ (T.var 3 2) (T.var 3 1))
+          (T.permute g [| 2; 0; 1 |]));
+    run "flip_var" (fun () ->
+        let f = T.var 4 2 in
+        Alcotest.check tt "flip projection" (T.not_ f) (T.flip_var f 2);
+        Alcotest.check tt "double flip" f (T.flip_var (T.flip_var f 2) 2));
+    run "npn_semiclass" (fun () ->
+        let a = T.and_ (T.var 2 0) (T.var 2 1) in
+        let b = T.nor_ (T.var 2 0) (T.var 2 1) in
+        Alcotest.(check string) "AND ~ NOR under negations"
+          (T.npn_semiclass a) (T.npn_semiclass b));
+  ]
+
+let () =
+  Alcotest.run "truthtable"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "constants" `Quick test_consts;
+          Alcotest.test_case "projections" `Quick test_vars;
+          Alcotest.test_case "var bit pattern" `Quick test_var_bits;
+          Alcotest.test_case "binary ops" `Quick test_ops_small;
+          Alcotest.test_case "maj and mux" `Quick test_maj_mux;
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "binary printing" `Quick test_binary;
+          Alcotest.test_case "cofactors" `Quick test_cofactors;
+          Alcotest.test_case "support" `Quick test_support;
+        ] );
+      ( "properties",
+        [
+          prop_demorgan;
+          prop_shannon;
+          prop_maj_selfdual;
+          prop_xor_assoc;
+          prop_count_ones;
+          prop_of_bits;
+        ] );
+      ("variable manipulation", var_cases);
+    ]
+

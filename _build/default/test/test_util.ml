@@ -1,0 +1,92 @@
+module V = Lsutil.Vec
+module R = Lsutil.Rng
+
+let test_vec_push_get () =
+  let v = V.create () in
+  Alcotest.(check int) "empty" 0 (V.length v);
+  for i = 0 to 99 do
+    Alcotest.(check int) "push returns index" i (V.push v (i * 2))
+  done;
+  Alcotest.(check int) "length" 100 (V.length v);
+  Alcotest.(check int) "get" 84 (V.get v 42);
+  V.set v 42 7;
+  Alcotest.(check int) "set" 7 (V.get v 42)
+
+let test_vec_bounds () =
+  let v = V.create () in
+  ignore (V.push v 1);
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (V.get v 1));
+  Alcotest.check_raises "negative" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (V.get v (-1)))
+
+let test_vec_iter_fold () =
+  let v = V.of_array [| 1; 2; 3; 4 |] in
+  Alcotest.(check int) "fold sum" 10 (V.fold_left ( + ) 0 v);
+  let acc = ref [] in
+  V.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check int) "iteri count" 4 (List.length !acc);
+  Alcotest.(check (array int)) "to_array" [| 1; 2; 3; 4 |] (V.to_array v);
+  V.clear v;
+  Alcotest.(check int) "clear" 0 (V.length v)
+
+let test_rng_determinism () =
+  let a = R.create 7 and b = R.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (R.int a 1000) (R.int b 1000)
+  done;
+  let c = R.create 8 in
+  let diff = ref false in
+  for _ = 1 to 20 do
+    if R.int a 1000 <> R.int c 1000 then diff := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !diff
+
+let test_rng_bounds () =
+  let r = R.create 3 in
+  for _ = 1 to 1000 do
+    let v = R.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int") (fun () ->
+      ignore (R.int r 0))
+
+let test_rng_float_uniform () =
+  let r = R.create 11 in
+  let n = 10_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let f = R.float r in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0);
+    sum := !sum +. f
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_rng_split () =
+  let r = R.create 5 in
+  let s = R.split r in
+  (* the split stream must differ from the parent's continuation *)
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if R.int r 1_000_000 <> R.int s 1_000_000 then differs := true
+  done;
+  Alcotest.(check bool) "split independent" true !differs
+
+let () =
+  Alcotest.run "lsutil"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "push/get/set" `Quick test_vec_push_get;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "iterate/fold" `Quick test_vec_iter_fold;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "uniformity" `Quick test_rng_float_uniform;
+          Alcotest.test_case "split" `Quick test_rng_split;
+        ] );
+    ]

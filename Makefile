@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-full examples clean
+.PHONY: all build test check bench bench-full examples clean
 
 all: build
 
@@ -7,6 +7,10 @@ build:
 
 test:
 	dune runtest
+
+# full build + structural linter smoke run + test-suite (CI entry point)
+check:
+	dune build @check && dune runtest
 
 # regenerate every table and figure of the paper
 bench:

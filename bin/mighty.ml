@@ -144,6 +144,78 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ name_arg $ out_arg)
 
+let check_cmd =
+  let doc =
+    "lint a circuit against the structural invariants (MIG/AIG/NET rules)"
+  in
+  let list_rules =
+    Arg.(
+      value & flag
+      & info [ "list-rules" ] ~doc:"Print the rule catalog and exit.")
+  in
+  let guard =
+    Arg.(
+      value & flag
+      & info [ "guard" ]
+          ~doc:
+            "Also run a guarded depth optimization on the MIG: pre/post \
+             lint plus a simulation miter with counterexample reporting.")
+  in
+  let input =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"INPUT" ~doc:"Input circuit (.blif or .v, flattened).")
+  in
+  let run list_rules guard input =
+    if list_rules then begin
+      Format.printf "%a@." Check.Rules.pp_catalog ();
+      exit 0
+    end;
+    match input with
+    | None ->
+        prerr_endline "mighty check: INPUT argument required";
+        exit 2
+    | Some path ->
+        let net =
+          try read_input path
+          with e ->
+            Format.eprintf "mighty check: cannot read %s: %s@." path
+              (Printexc.to_string e);
+            exit 2
+        in
+        let m = Mig.Convert.of_network net in
+        let a = Aig.Convert.of_network net in
+        let reports =
+          [
+            Network.Check.lint ~subject:"network" net;
+            Mig.Check.lint ~subject:"mig" m;
+            Aig.Check.lint ~subject:"aig" a;
+          ]
+        in
+        List.iter (fun r -> Format.printf "%a@." Check.Report.pp r) reports;
+        (if guard then
+           match
+             Mig.Check.guarded ~enabled:true ~name:"opt_depth"
+               (Mig.Opt_depth.run ~check:false ~effort:2)
+               m
+           with
+           | _ -> Format.printf "guard: opt_depth PASS@."
+           | exception Check.Guard.Failed f ->
+               Format.printf "%a@." Check.Guard.pp_failure f;
+               exit 1);
+        let nerr =
+          List.fold_left
+            (fun acc r -> acc + List.length (Check.Report.errors r))
+            0 reports
+        in
+        if nerr > 0 then begin
+          Format.printf "%d error(s)@." nerr;
+          exit 1
+        end
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ list_rules $ guard $ input)
+
 let equiv_cmd =
   let doc = "check two circuits for functional equivalence" in
   let a_arg =
@@ -163,4 +235,7 @@ let equiv_cmd =
 let () =
   let doc = "MIG-based logic optimization (Amaru et al., DAC'14)" in
   let info = Cmd.info "mighty" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ optimize_cmd; map_cmd; stats_cmd; bench_cmd; equiv_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ optimize_cmd; map_cmd; stats_cmd; bench_cmd; check_cmd; equiv_cmd ]))

@@ -1,0 +1,147 @@
+module S = Network.Signal
+module G = Graph
+module R = Check_report
+
+let lint ?(subject = "aig") g =
+  let r = R.create ~subject in
+  let nn = G.num_nodes g in
+  let in_range id = id >= 0 && id < nn in
+  (* node 0 is the constant *)
+  (if nn = 0 then R.error r ~rule:"AIG005" "empty graph: no constant node"
+   else
+     let f0, f1 = G.raw_fanins g 0 in
+     if f0 <> -2 || f1 <> -2 then
+       R.error r ~node:0 ~rule:"AIG005" "node 0 is not the constant");
+  let and_count = ref 0 in
+  for id = 1 to nn - 1 do
+    let f0, f1 = G.raw_fanins g id in
+    if f0 = -2 || f1 = -2 then
+      R.error r ~node:id ~rule:"AIG005" "extra constant node"
+    else if f0 = -1 || f1 = -1 then begin
+      if f0 <> -1 || f1 <> -1 then
+        R.error r ~node:id ~rule:"AIG002" "inconsistent PI slot markers"
+    end
+    else begin
+      incr and_count;
+      let a = S.unsafe_of_int f0 and b = S.unsafe_of_int f1 in
+      let ok = ref true in
+      List.iter
+        (fun s ->
+          let f = S.node s in
+          if not (in_range f) then begin
+            ok := false;
+            R.error r ~node:id ~rule:"AIG002" "dangling fanin id %d" f
+          end
+          else if f >= id then begin
+            ok := false;
+            R.error r ~node:id ~rule:"AIG001"
+              "fanin %d not topologically before the node" f
+          end)
+        [ a; b ];
+      if !ok then begin
+        let foldable =
+          if S.node a = 0 || S.node b = 0 then Some "constant fanin"
+          else if S.equal a b then Some "equal fanins"
+          else if S.equal a (S.not_ b) then Some "complementary fanins"
+          else None
+        in
+        (match foldable with
+        | Some why -> R.error r ~node:id ~rule:"AIG004" "collapsible AND: %s" why
+        | None ->
+            if f0 > f1 then
+              R.error r ~node:id ~rule:"AIG004" "fanins not in key order");
+        if foldable = None then
+          match G.find_and g a b with
+          | Some s when S.node s = id && not (S.is_complement s) -> ()
+          | Some s ->
+              R.error r ~node:id ~rule:"AIG003"
+                "strash key maps to node %d (structural duplicate)" (S.node s)
+          | None -> R.error r ~node:id ~rule:"AIG003" "node missing from strash"
+      end
+    end
+  done;
+  if G.strash_count g <> !and_count then
+    R.error r ~rule:"AIG003" "strash has %d entries for %d AND nodes (stale keys)"
+      (G.strash_count g) !and_count;
+  (* PI integrity *)
+  let seen_names = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      if not (in_range id) then
+        R.error r ~node:id ~rule:"AIG005" "PI list entry out of range"
+      else if not (G.is_pi g id) then
+        R.error r ~node:id ~rule:"AIG005" "PI list entry is not a PI"
+      else
+        match G.pi_name g id with
+        | name ->
+            if Hashtbl.mem seen_names name then
+              R.error r ~node:id ~rule:"AIG005" "duplicate PI name %S" name
+            else Hashtbl.add seen_names name ()
+        | exception Invalid_argument _ ->
+            R.error r ~node:id ~rule:"AIG005" "PI without a name")
+    (G.pis g);
+  let pi_nodes = ref 0 in
+  for id = 1 to nn - 1 do
+    if G.is_pi g id then incr pi_nodes
+  done;
+  if !pi_nodes <> G.num_pis g then
+    R.error r ~rule:"AIG005" "%d PI nodes but %d PI list entries" !pi_nodes
+      (G.num_pis g);
+  (* PO integrity *)
+  let seen_pos = Hashtbl.create 16 in
+  List.iter
+    (fun (name, s) ->
+      if not (in_range (S.node s)) then
+        R.error r ~rule:"AIG002" "PO %S drives dangling id %d" name (S.node s);
+      if Hashtbl.mem seen_pos name then
+        R.error r ~rule:"AIG005" "duplicate PO name %S" name
+      else Hashtbl.add seen_pos name ())
+    (G.pos g);
+  (* dead-node accounting *)
+  let reachable = Array.make (max nn 1) false in
+  let rec visit id =
+    if in_range id && not reachable.(id) then begin
+      reachable.(id) <- true;
+      if G.is_and g id then begin
+        visit (S.node (G.fanin0 g id));
+        visit (S.node (G.fanin1 g id))
+      end
+    end
+  in
+  List.iter (fun (_, s) -> visit (S.node s)) (G.pos g);
+  let dead = ref 0 in
+  for id = 1 to nn - 1 do
+    if G.is_and g id && not reachable.(id) then incr dead
+  done;
+  if !dead > 0 then
+    R.warning r ~rule:"AIG006" "%d dead AND node(s); cleanup would remove them"
+      !dead;
+  r
+
+let guarded ?enabled ?(seed = 0xa16c) ?(rounds = 64) ~name pass g =
+  if not (Check_env.resolve enabled) then pass g
+  else begin
+    let module Gd = Check_guard in
+    let pre = lint ~subject:(Printf.sprintf "aig:pre %s" name) g in
+    if not (R.is_clean pre) then
+      Gd.fail { name; stage = Gd.Pre_lint; report = Some pre; cex = None };
+    let out = pass g in
+    let post = lint ~subject:(Printf.sprintf "aig:post %s" name) out in
+    if not (R.is_clean post) then
+      Gd.fail { name; stage = Gd.Post_lint; report = Some post; cex = None };
+    let na = Convert.to_network g and nb = Convert.to_network out in
+    if not (Network.Simulate.same_interface na nb) then begin
+      let r = R.create ~subject:(Printf.sprintf "aig:post %s" name) in
+      R.error r ~rule:"AIG005" "pass changed the PI/PO interface";
+      Gd.fail { name; stage = Gd.Equivalence; report = Some r; cex = None }
+    end;
+    if not (Network.Simulate.equivalent ~seed na nb) then
+      Gd.fail
+        {
+          name;
+          stage = Gd.Equivalence;
+          report = None;
+          cex = Network.Simulate.counterexample ~rounds ~seed na nb;
+        };
+    out
+  end

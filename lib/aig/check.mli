@@ -1,0 +1,28 @@
+(** Structural linter and transform guard for {!Graph} — the AIG0xx
+    rules of {!Check_rules}.
+
+    Mirrors [Mig.Check] for the baseline representation: {!lint}
+    audits the stored graph against the invariants the constructors
+    maintain (topological fanins, strash canonicity, folded trivial
+    ANDs), and {!guarded} wraps an AIG pass with pre/post lint plus a
+    random-simulation miter. *)
+
+val lint : ?subject:string -> Graph.t -> Check_report.t
+(** Run every AIG rule; clean iff no [Error] finding.  Dead nodes are
+    [AIG006] warnings. *)
+
+val guarded :
+  ?enabled:bool ->
+  ?seed:int ->
+  ?rounds:int ->
+  name:string ->
+  (Graph.t -> Graph.t) ->
+  Graph.t ->
+  Graph.t
+(** [guarded ~name pass g] runs [pass g] under the checker: the input
+    and output are linted and miter-compared by simulation; on any
+    violation {!Check_guard.Failed} is raised with the failing stage,
+    lint report and (for equivalence failures) the failing PO plus a
+    counterexample input vector.  [enabled] defaults to
+    {!Check_env.enabled} ([MIG_CHECK=1]); when false the pass runs
+    bare, with zero overhead. *)

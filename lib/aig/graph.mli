@@ -63,3 +63,22 @@ val cleanup : t -> t
 (** Reachable-only copy; all PIs preserved in order. *)
 
 val pp_stats : Format.formatter -> t -> unit
+
+(** {1 Checker support} *)
+
+val strash_count : t -> int
+(** Number of strash entries; equal to {!size} on a well-formed
+    graph. *)
+
+val raw_fanins : t -> int -> int * int
+(** Raw fanin slots: signal integers for AND nodes, [-1] markers for
+    PIs, [-2] for the constant node. *)
+
+module Unsafe : sig
+  (** Invariant-bypassing mutators for the checker's test-suite; see
+      {!Mig.Graph.Unsafe} for the contract. *)
+
+  val push_node : t -> S.t -> S.t -> int
+  val push_raw : t -> int -> int -> int
+  val strash_add : t -> S.t * S.t -> int -> unit
+end

@@ -1,4 +1,4 @@
-let run ?(effort = 2) g =
+let optimize ~effort g =
   let step g =
     let g = Balance.run g in
     let g = Rewrite.run g in
@@ -10,9 +10,12 @@ let run ?(effort = 2) g =
   let rec go n g = if n = 0 then g else go (n - 1) (step g) in
   go effort g
 
+let run ?check ?(effort = 2) g =
+  Check.guarded ?enabled:check ~name:"resyn" (optimize ~effort) g
+
 let balance_only g = Balance.run g
 
-let size_only ?(effort = 2) g =
+let size_only ?check ?(effort = 2) g =
   let step g = Refactor.run (Rewrite.run g) in
   let rec go n g = if n = 0 then g else go (n - 1) (step g) in
-  go effort g
+  Check.guarded ?enabled:check ~name:"resyn:size_only" (go effort) g

@@ -4,11 +4,13 @@
     alternation of balancing (depth) and rewriting/refactoring (size)
     passes. *)
 
-val run : ?effort:int -> Graph.t -> Graph.t
+val run : ?check:bool -> ?effort:int -> Graph.t -> Graph.t
 (** [run ?effort g] applies [effort] rounds (default 2) of
-    balance; rewrite; refactor; balance; rewrite; balance. *)
+    balance; rewrite; refactor; balance; rewrite; balance.  [check]
+    runs the script under {!Check.guarded} (pre/post lint + simulation
+    miter); it defaults to the [MIG_CHECK] environment variable. *)
 
 val balance_only : Graph.t -> Graph.t
-val size_only : ?effort:int -> Graph.t -> Graph.t
+val size_only : ?check:bool -> ?effort:int -> Graph.t -> Graph.t
 (** Rewriting/refactoring without balancing (area-oriented script,
     used by the commercial-synthesis-tool proxy). *)

@@ -1,0 +1,8 @@
+(* Umbrella module: [Check.Report], [Check.Rules], [Check.Env].  The
+   per-graph rule implementations live with their graphs — see
+   [Mig.Check], [Aig.Check] and [Network.Check]. *)
+
+module Report = Check_report
+module Rules = Check_rules
+module Env = Check_env
+module Guard = Check_guard

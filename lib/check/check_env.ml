@@ -1,0 +1,9 @@
+let enabled () =
+  match Sys.getenv_opt "MIG_CHECK" with
+  | None -> false
+  | Some v -> (
+      match String.lowercase_ascii (String.trim v) with
+      | "1" | "true" | "on" | "yes" -> true
+      | _ -> false)
+
+let resolve = function Some b -> b | None -> enabled ()

@@ -1,0 +1,16 @@
+(** Environment-driven defaults for the checker.
+
+    Every [?check] flag on an optimization pass defaults to
+    [enabled ()], so exporting [MIG_CHECK=1] turns the whole code base
+    into its self-verifying variant (pre/post lint plus a
+    random-simulation miter around each pass) without touching call
+    sites. *)
+
+val enabled : unit -> bool
+(** [true] iff [MIG_CHECK] is set to [1], [true], [on] or [yes]
+    (case-insensitive).  Read afresh on every call, so tests can
+    toggle it with [Unix.putenv]. *)
+
+val resolve : bool option -> bool
+(** [resolve flag] is [flag] when given, [enabled ()] otherwise — the
+    one-liner every [?check] parameter goes through. *)

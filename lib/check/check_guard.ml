@@ -1,0 +1,42 @@
+type stage = Pre_lint | Post_lint | Equivalence | Bdd_crosscheck
+type cex = { po : string; inputs : (string * bool) list }
+
+type failure = {
+  name : string;
+  stage : stage;
+  report : Check_report.t option;
+  cex : cex option;
+}
+
+exception Failed of failure
+
+let fail f = raise (Failed f)
+
+let stage_name = function
+  | Pre_lint -> "pre-lint"
+  | Post_lint -> "post-lint"
+  | Equivalence -> "equivalence"
+  | Bdd_crosscheck -> "BDD crosscheck"
+
+let pp_cex fmt c =
+  Format.fprintf fmt "@[<hov 2>PO %s differs under" c.po;
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "@ %s=%d" name (if v then 1 else 0))
+    c.inputs;
+  Format.fprintf fmt "@]"
+
+let pp_failure fmt f =
+  Format.fprintf fmt "@[<v>check failed: pass %S, stage %s" f.name
+    (stage_name f.stage);
+  (match f.report with
+  | Some r -> Format.fprintf fmt "@,%a" Check_report.pp r
+  | None -> ());
+  (match f.cex with
+  | Some c -> Format.fprintf fmt "@,%a" pp_cex c
+  | None -> ());
+  Format.fprintf fmt "@]"
+
+let () =
+  Printexc.register_printer (function
+    | Failed f -> Some (Format.asprintf "%a" pp_failure f)
+    | _ -> None)

@@ -1,0 +1,28 @@
+(** Shared vocabulary of the transform guards.
+
+    [Mig.Check.guarded] and [Aig.Check.guarded] wrap a graph-to-graph
+    pass with pre/post lint and an equivalence miter; when anything
+    fires they raise {!Failed} carrying the stage, the lint report
+    and/or the distinguishing input vector.  The types live here so
+    that both guards (and {!Network.Simulate.counterexample}) agree on
+    them. *)
+
+type stage = Pre_lint | Post_lint | Equivalence | Bdd_crosscheck
+
+type cex = { po : string; inputs : (string * bool) list }
+(** A distinguishing input assignment: the named PO evaluates
+    differently before and after the pass under [inputs]. *)
+
+type failure = {
+  name : string;  (** the [~name] of the guarded pass *)
+  stage : stage;
+  report : Check_report.t option;  (** present on lint failures *)
+  cex : cex option;  (** present on equivalence failures, when found *)
+}
+
+exception Failed of failure
+
+val fail : failure -> 'a
+val stage_name : stage -> string
+val pp_cex : Format.formatter -> cex -> unit
+val pp_failure : Format.formatter -> failure -> unit

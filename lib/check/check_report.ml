@@ -1,0 +1,51 @@
+type severity = Error | Warning
+
+type finding = {
+  rule : string;
+  severity : severity;
+  node : int option;
+  detail : string;
+}
+
+type t = { subj : string; mutable rev_findings : finding list }
+
+let create ~subject = { subj = subject; rev_findings = [] }
+let subject r = r.subj
+
+let record r severity ?node ~rule fmt =
+  Format.kasprintf
+    (fun detail ->
+      r.rev_findings <- { rule; severity; node; detail } :: r.rev_findings)
+    fmt
+
+let error r ?node ~rule fmt = record r Error ?node ~rule fmt
+let warning r ?node ~rule fmt = record r Warning ?node ~rule fmt
+let findings r = List.rev r.rev_findings
+let errors r = List.filter (fun f -> f.severity = Error) (findings r)
+let is_clean r = List.for_all (fun f -> f.severity <> Error) r.rev_findings
+let has_rule r rule = List.exists (fun f -> f.rule = rule) r.rev_findings
+
+let merge reports ~subject =
+  {
+    subj = subject;
+    rev_findings = List.concat_map (fun r -> r.rev_findings) (List.rev reports);
+  }
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s [%s]%t %s" f.rule
+    (match f.severity with Error -> "error" | Warning -> "warning")
+    (fun fmt ->
+      match f.node with
+      | Some id -> Format.fprintf fmt " node %d:" id
+      | None -> Format.fprintf fmt ":")
+    f.detail
+
+let pp fmt r =
+  match findings r with
+  | [] -> Format.fprintf fmt "%s: clean" r.subj
+  | fs ->
+      Format.fprintf fmt "@[<v>%s: %d finding(s)" r.subj (List.length fs);
+      List.iter (fun f -> Format.fprintf fmt "@,  %a" pp_finding f) fs;
+      Format.fprintf fmt "@]"
+
+let to_string r = Format.asprintf "%a" pp r

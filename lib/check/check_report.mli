@@ -1,0 +1,48 @@
+(** Structured lint reports.
+
+    Every structural rule (see {!Check_rules}) reports its findings
+    through this module: a finding carries the stable rule code, a
+    severity, the offending node id when there is one, and a
+    human-readable detail line.  A report is clean when it contains no
+    [Error]-severity finding; [Warning]s (e.g. dead-node accounting)
+    never fail a check. *)
+
+type severity = Error | Warning
+
+type finding = {
+  rule : string;  (** stable rule code, e.g. ["MIG003"] *)
+  severity : severity;
+  node : int option;  (** offending node id, when the rule is local *)
+  detail : string;
+}
+
+type t
+
+val create : subject:string -> t
+(** [create ~subject] starts an empty report; [subject] names the
+    checked object (e.g. ["mig"], ["aig:post opt_size"]). *)
+
+val subject : t -> string
+
+val error : t -> ?node:int -> rule:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Record an [Error]-severity finding, [Format]-style. *)
+
+val warning : t -> ?node:int -> rule:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val findings : t -> finding list
+(** All findings, in the order they were recorded. *)
+
+val errors : t -> finding list
+(** Only the [Error]-severity findings. *)
+
+val is_clean : t -> bool
+(** [true] iff the report has no [Error] finding. *)
+
+val has_rule : t -> string -> bool
+(** Did any finding (of either severity) fire for this rule code? *)
+
+val merge : t list -> subject:string -> t
+(** Concatenate several reports under one subject. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,19 @@
+(** The registry of structural lint rules.
+
+    Each rule has a stable code used in {!Check_report.finding.rule};
+    DESIGN.md ("Invariants and the checker") catalogues the paper
+    justification per rule.  The registry is data only — the rule
+    implementations live next to the graph they check
+    ([Mig.Check], [Aig.Check], [Network.Check]). *)
+
+val all : (string * string) list
+(** [(code, one-line description)] for every known rule, in order. *)
+
+val describe : string -> string option
+(** Description of a rule code, [None] when unknown. *)
+
+val mem : string -> bool
+
+val pp_catalog : Format.formatter -> unit -> unit
+(** The full rule catalog, one rule per line (for [mighty check
+    --list-rules]). *)

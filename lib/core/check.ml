@@ -1,0 +1,169 @@
+module S = Network.Signal
+module G = Graph
+module R = Check_report
+
+let lint ?(subject = "mig") g =
+  let r = R.create ~subject in
+  let nn = G.num_nodes g in
+  let in_range id = id >= 0 && id < nn in
+  (* node 0 is the constant *)
+  (if nn = 0 then R.error r ~rule:"MIG005" "empty graph: no constant node"
+   else
+     let f0, f1, f2 = G.raw_fanins g 0 in
+     if f0 <> -2 || f1 <> -2 || f2 <> -2 then
+       R.error r ~node:0 ~rule:"MIG005" "node 0 is not the constant");
+  let maj_count = ref 0 in
+  for id = 1 to nn - 1 do
+    let f0, f1, f2 = G.raw_fanins g id in
+    if f0 = -2 || f1 = -2 || f2 = -2 then
+      R.error r ~node:id ~rule:"MIG005" "extra constant node"
+    else if f0 = -1 || f1 = -1 || f2 = -1 then begin
+      if not (f0 = -1 && f1 = -1 && f2 = -1) then
+        R.error r ~node:id ~rule:"MIG002" "inconsistent PI slot markers"
+    end
+    else begin
+      incr maj_count;
+      let fs = [| S.unsafe_of_int f0; S.unsafe_of_int f1; S.unsafe_of_int f2 |] in
+      let ok = ref true in
+      Array.iter
+        (fun s ->
+          let f = S.node s in
+          if not (in_range f) then begin
+            ok := false;
+            R.error r ~node:id ~rule:"MIG002" "dangling fanin id %d" f
+          end
+          else if f >= id then begin
+            ok := false;
+            R.error r ~node:id ~rule:"MIG001"
+              "fanin %d not topologically before the node" f
+          end)
+        fs;
+      if !ok then begin
+        let normalized = ref true in
+        (match G.fold_m fs.(0) fs.(1) fs.(2) with
+        | Some _ ->
+            normalized := false;
+            R.error r ~node:id ~rule:"MIG004"
+              "collapsible node: the majority axiom Omega.M folds it away"
+        | None -> ());
+        let ninv =
+          Array.fold_left
+            (fun acc s -> if S.is_complement s then acc + 1 else acc)
+            0 fs
+        in
+        if ninv > 1 then begin
+          normalized := false;
+          R.error r ~node:id ~rule:"MIG004"
+            "%d complemented fanins stored (Omega.I keeps at most one)" ninv
+        end;
+        if not (S.compare fs.(0) fs.(1) <= 0 && S.compare fs.(1) fs.(2) <= 0)
+        then begin
+          normalized := false;
+          R.error r ~node:id ~rule:"MIG004"
+            "fanins not sorted by Signal.compare (Omega.C)"
+        end;
+        if !normalized then
+          match G.find_maj g fs.(0) fs.(1) fs.(2) with
+          | Some s when S.node s = id && not (S.is_complement s) -> ()
+          | Some s ->
+              R.error r ~node:id ~rule:"MIG003"
+                "strash key maps to node %d (structural duplicate)" (S.node s)
+          | None ->
+              R.error r ~node:id ~rule:"MIG003" "node missing from strash"
+      end
+    end
+  done;
+  if G.strash_count g <> !maj_count then
+    R.error r ~rule:"MIG003"
+      "strash has %d entries for %d majority nodes (stale keys)"
+      (G.strash_count g) !maj_count;
+  (* PI integrity *)
+  let seen_names = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      if not (in_range id) then
+        R.error r ~node:id ~rule:"MIG005" "PI list entry out of range"
+      else if not (G.is_pi g id) then
+        R.error r ~node:id ~rule:"MIG005" "PI list entry is not a PI"
+      else
+        match G.pi_name g id with
+        | name ->
+            if Hashtbl.mem seen_names name then
+              R.error r ~node:id ~rule:"MIG005" "duplicate PI name %S" name
+            else Hashtbl.add seen_names name ()
+        | exception Invalid_argument _ ->
+            R.error r ~node:id ~rule:"MIG005" "PI without a name")
+    (G.pis g);
+  let pi_nodes = ref 0 in
+  for id = 1 to nn - 1 do
+    if G.is_pi g id then incr pi_nodes
+  done;
+  if !pi_nodes <> G.num_pis g then
+    R.error r ~rule:"MIG005" "%d PI nodes but %d PI list entries" !pi_nodes
+      (G.num_pis g);
+  (* PO integrity *)
+  let seen_pos = Hashtbl.create 16 in
+  List.iter
+    (fun (name, s) ->
+      if not (in_range (S.node s)) then
+        R.error r ~rule:"MIG002" "PO %S drives dangling id %d" name (S.node s);
+      if Hashtbl.mem seen_pos name then
+        R.error r ~rule:"MIG005" "duplicate PO name %S" name
+      else Hashtbl.add seen_pos name ())
+    (G.pos g);
+  (* dead-node accounting vs cleanup *)
+  let reachable = Array.make (max nn 1) false in
+  let rec visit id =
+    if in_range id && not reachable.(id) then begin
+      reachable.(id) <- true;
+      if G.is_maj g id then
+        Array.iter (fun s -> visit (S.node s)) (G.fanins g id)
+    end
+  in
+  List.iter (fun (_, s) -> visit (S.node s)) (G.pos g);
+  let dead = ref 0 in
+  for id = 1 to nn - 1 do
+    if G.is_maj g id && not reachable.(id) then incr dead
+  done;
+  if !dead > 0 then
+    R.warning r ~rule:"MIG006"
+      "%d dead majority node(s); cleanup would remove them" !dead;
+  r
+
+let guarded ?enabled ?(bdd = false) ?(bdd_pi_limit = 24) ?(seed = 0x3c8)
+    ?(rounds = 64) ~name pass g =
+  if not (Check_env.resolve enabled) then pass g
+  else begin
+    let module Gd = Check_guard in
+    let pre = lint ~subject:(Printf.sprintf "mig:pre %s" name) g in
+    if not (R.is_clean pre) then
+      Gd.fail { name; stage = Gd.Pre_lint; report = Some pre; cex = None };
+    let out = pass g in
+    let post = lint ~subject:(Printf.sprintf "mig:post %s" name) out in
+    if not (R.is_clean post) then
+      Gd.fail { name; stage = Gd.Post_lint; report = Some post; cex = None };
+    let na = Convert.to_network g and nb = Convert.to_network out in
+    if not (Network.Simulate.same_interface na nb) then begin
+      let r = R.create ~subject:(Printf.sprintf "mig:post %s" name) in
+      R.error r ~rule:"MIG005" "pass changed the PI/PO interface";
+      Gd.fail { name; stage = Gd.Equivalence; report = Some r; cex = None }
+    end;
+    if not (Network.Simulate.equivalent ~seed na nb) then
+      Gd.fail
+        {
+          name;
+          stage = Gd.Equivalence;
+          report = None;
+          cex = Network.Simulate.counterexample ~rounds ~seed na nb;
+        };
+    if bdd && G.num_pis g <= bdd_pi_limit then begin
+      match Equiv.by_bdd g out with
+      | true -> ()
+      | false ->
+          Gd.fail { name; stage = Gd.Bdd_crosscheck; report = None; cex = None }
+      | exception Bdd.Robdd.Node_limit_exceeded ->
+          (* blow-up: the simulation miter above already ran *)
+          ()
+    end;
+    out
+  end

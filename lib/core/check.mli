@@ -1,0 +1,47 @@
+(** Static analysis and invariant verification for MIGs.
+
+    The soundness story of the paper rests on every Ω/Ψ
+    transformation preserving both the represented function and the
+    structural invariants of {!Graph} (§III.A: normalized fanins,
+    canonical strash, acyclicity).  This module re-derives those
+    invariants from the stored representation — the MIG0xx rules of
+    {!Check_rules} — and wraps whole passes in {!guarded}, the
+    combinator every optimizer exposes behind its [?check] flag
+    (default: the [MIG_CHECK] environment variable, see
+    {!Check_env}). *)
+
+val lint : ?subject:string -> Graph.t -> Check_report.t
+(** Run every MIG rule:
+    - [MIG001] fanins topologically ordered (acyclicity);
+    - [MIG002] no dangling signal ids, consistent PI/constant slots;
+    - [MIG003] strash consistency — every stored node's normalized key
+      maps back to itself, no structural duplicates, no stale entries;
+    - [MIG004] normalization — fanins sorted by [Signal.compare], at
+      most one complemented fanin (Ω.I), not Ω.M-collapsible;
+    - [MIG005] PI/PO integrity and unique names;
+    - [MIG006] dead-node accounting vs {!Graph.cleanup} (warning).
+
+    Clean iff no [Error]-severity finding. *)
+
+val guarded :
+  ?enabled:bool ->
+  ?bdd:bool ->
+  ?bdd_pi_limit:int ->
+  ?seed:int ->
+  ?rounds:int ->
+  name:string ->
+  (Graph.t -> Graph.t) ->
+  Graph.t ->
+  Graph.t
+(** [guarded ~name pass g] runs [pass g] under the checker: input and
+    output are linted, then miter-compared through {!Equiv} (exact
+    truth tables on small PI counts, random bit-parallel simulation
+    otherwise).  With [~bdd:true] an exact BDD equivalence crosscheck
+    is added when the graph has at most [bdd_pi_limit] (default 24)
+    PIs; a BDD blow-up silently skips the crosscheck rather than
+    failing the pass.
+
+    On any violation {!Check_guard.Failed} is raised, carrying the
+    stage, the lint report and — for equivalence failures — the
+    failing PO with a counterexample input vector.  [enabled] defaults
+    to {!Check_env.enabled}; when false the pass runs bare. *)

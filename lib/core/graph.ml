@@ -206,3 +206,27 @@ let cleanup g =
 let pp_stats fmt g =
   Format.fprintf fmt "i/o = %d/%d, majs = %d, depth = %d" (num_pis g)
     (num_pos g) (size g) (depth g)
+
+(* ----- checker support ----- *)
+
+let strash_count g = Hashtbl.length g.strash
+let raw_fanins g i = (Vec.get g.f0 i, Vec.get g.f1 i, Vec.get g.f2 i)
+
+module Unsafe = struct
+  let push_node g a b c =
+    let id = Vec.push g.f0 (a : S.t :> int) in
+    ignore (Vec.push g.f1 (b : S.t :> int));
+    ignore (Vec.push g.f2 (c : S.t :> int));
+    id
+
+  let push_raw g f0 f1 f2 =
+    let id = Vec.push g.f0 f0 in
+    ignore (Vec.push g.f1 f1);
+    ignore (Vec.push g.f2 f2);
+    id
+
+  let strash_add g (a, b, c) id =
+    Hashtbl.add g.strash
+      ((a : S.t :> int), (b : S.t :> int), (c : S.t :> int))
+      id
+end

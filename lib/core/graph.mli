@@ -85,3 +85,38 @@ val cleanup : t -> t
 (** Reachable-only copy; all PIs preserved in order. *)
 
 val pp_stats : Format.formatter -> t -> unit
+
+(** {1 Checker support}
+
+    Raw introspection for {!Check}: enough visibility to audit the
+    representation without widening the ordinary construction API. *)
+
+val fold_m : S.t -> S.t -> S.t -> S.t option
+(** The trivial cases of the majority axiom Ω.M: [Some s] when
+    [M(a,b,c)] collapses to an existing signal. *)
+
+val strash_count : t -> int
+(** Number of entries in the structural-hashing table.  Equal to
+    {!size} on a well-formed graph. *)
+
+val raw_fanins : t -> int -> int * int * int
+(** The three raw fanin slots of a node: signal integers for majority
+    nodes, [-1] markers for PIs, [-2] for the constant node. *)
+
+module Unsafe : sig
+  (** Invariant-bypassing mutators, for the checker's test-suite (to
+      inject deliberately malformed graphs) and low-level importers.
+      None of them fold, normalize or hash — a graph touched by this
+      module is only trustworthy again once {!Check.lint} passes. *)
+
+  val push_node : t -> S.t -> S.t -> S.t -> int
+  (** Append a majority node with exactly these fanins; no strash
+      entry is created. *)
+
+  val push_raw : t -> int -> int -> int -> int
+  (** Append a node with raw slot values (e.g. inconsistent PI
+      markers). *)
+
+  val strash_add : t -> S.t * S.t * S.t -> int -> unit
+  (** Add a strash binding for an arbitrary key/node pair. *)
+end

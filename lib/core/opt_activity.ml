@@ -1,12 +1,13 @@
 module G = Graph
 
-let run ?(effort = 2) ?pi_prob g =
+let optimize ~effort ~pi_prob g =
   let act g = Activity.total ?pi_prob g in
   let cost g = (act g, G.size g) in
   (* size optimization is only a starting point: keep it only when it
      does not increase the activity being minimized *)
   let g0 = G.cleanup g in
-  let sized = Opt_size.run ~effort g0 in
+  (* the outer guard (when on) already covers this nested run *)
+  let sized = Opt_size.run ~check:false ~effort g0 in
   let best = ref (if cost sized < cost g0 then sized else g0) in
   let cur = ref !best in
   for _cycle = 1 to effort do
@@ -18,3 +19,6 @@ let run ?(effort = 2) ?pi_prob g =
     if cost !cur < cost !best then best := !cur else cur := !best
   done;
   !best
+
+let run ?check ?(effort = 2) ?pi_prob g =
+  Check.guarded ?enabled:check ~name:"opt_activity" (optimize ~effort ~pi_prob) g

@@ -7,4 +7,6 @@
     skewed probability. *)
 
 val run :
-  ?effort:int -> ?pi_prob:(string -> float) -> Graph.t -> Graph.t
+  ?check:bool -> ?effort:int -> ?pi_prob:(string -> float) -> Graph.t -> Graph.t
+(** [check] runs the pass under {!Check.guarded}; defaults to the
+    [MIG_CHECK] environment variable. *)

@@ -16,7 +16,7 @@ let saturate pass g ~max_iter =
   done;
   !cur
 
-let run ?(effort = 4) ?(size_recovery = true) g =
+let optimize ~effort ~size_recovery g =
   let best = ref (G.cleanup g) in
   let original_depth = G.depth !best in
   let cur = ref !best in
@@ -73,3 +73,6 @@ let run ?(effort = 4) ?(size_recovery = true) g =
     then best := !cur
   end;
   !best
+
+let run ?check ?(effort = 4) ?(size_recovery = true) g =
+  Check.guarded ?enabled:check ~name:"opt_depth" (optimize ~effort ~size_recovery) g

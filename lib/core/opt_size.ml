@@ -4,7 +4,7 @@ let cost g = (G.size g, G.depth g)
 
 let better a b = cost a < cost b
 
-let run ?(effort = 2) g =
+let optimize ~effort g =
   let best = ref (G.cleanup g) in
   let cur = ref !best in
   for _cycle = 1 to effort do
@@ -31,3 +31,6 @@ let run ?(effort = 2) g =
       cur := !best
   done;
   !best
+
+let run ?check ?(effort = 2) g =
+  Check.guarded ?enabled:check ~name:"opt_size" (optimize ~effort) g

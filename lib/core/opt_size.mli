@@ -6,5 +6,7 @@
     best graph seen (fewest nodes, depth as tie-break) is returned, so
     the result is never worse than the input. *)
 
-val run : ?effort:int -> Graph.t -> Graph.t
-(** [run ?effort g] (default effort 2). *)
+val run : ?check:bool -> ?effort:int -> Graph.t -> Graph.t
+(** [run ?effort g] (default effort 2).  [check] runs the pass under
+    {!Check.guarded} (pre/post lint + simulation miter); it defaults
+    to the [MIG_CHECK] environment variable. *)

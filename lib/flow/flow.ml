@@ -10,10 +10,10 @@ let timed f =
    paper's methodology (§V.A.1). *)
 let flatten = Network.Graph.flatten_aoig
 
-let mig_opt ?(effort = 3) net =
+let mig_opt ?check ?(effort = 3) net =
   let net = flatten net in
   let m = Mig.Convert.of_network net in
-  let opt, time = timed (fun () -> Mig.Opt_depth.run ~effort m) in
+  let opt, time = timed (fun () -> Mig.Opt_depth.run ?check ~effort m) in
   ( opt,
     {
       size = Mig.Graph.size opt;
@@ -22,10 +22,10 @@ let mig_opt ?(effort = 3) net =
       time;
     } )
 
-let aig_opt ?(effort = 2) net =
+let aig_opt ?check ?(effort = 2) net =
   let net = flatten net in
   let a = Aig.Convert.of_network net in
-  let opt, time = timed (fun () -> Aig.Resyn.run ~effort a) in
+  let opt, time = timed (fun () -> Aig.Resyn.run ?check ~effort a) in
   let as_net = Aig.Convert.to_network opt in
   ( opt,
     {
@@ -49,10 +49,10 @@ let bds_opt ?(node_limit = 1_500_000) ~seed net =
         } ))
     result
 
-let mig_synth ?effort net =
+let mig_synth ?check ?effort net =
   let (opt, _), time =
     timed (fun () ->
-        let opt, r = mig_opt ?effort net in
+        let opt, r = mig_opt ?check ?effort net in
         (opt, r))
   in
   let mapped = Tech.Mapper.map_network (Mig.Convert.to_network opt) in
@@ -63,10 +63,10 @@ let mig_synth ?effort net =
     time;
   }
 
-let aig_synth ?effort net =
+let aig_synth ?check ?effort net =
   let (opt, _), time =
     timed (fun () ->
-        let opt, r = aig_opt ?effort net in
+        let opt, r = aig_opt ?check ?effort net in
         (opt, r))
   in
   let mapped = Tech.Mapper.map_network (Aig.Convert.to_network opt) in
@@ -77,11 +77,11 @@ let aig_synth ?effort net =
     time;
   }
 
-let cst_synth ?(effort = 2) net =
+let cst_synth ?check ?(effort = 2) net =
   let mapped, time =
     timed (fun () ->
         let a = Aig.Convert.of_network (flatten net) in
-        let a = Aig.Resyn.size_only ~effort a in
+        let a = Aig.Resyn.size_only ?check ~effort a in
         let a = Aig.Balance.run a in
         Tech.Mapper.map_network ~lib:Tech.Cells.no_majority
           (Aig.Convert.to_network a))

@@ -21,11 +21,16 @@ type syn_result = {
 
 (** {1 Logic optimization (Table I top)} *)
 
-val mig_opt : ?effort:int -> Network.Graph.t -> Mig.Graph.t * opt_result
+val mig_opt :
+  ?check:bool -> ?effort:int -> Network.Graph.t -> Mig.Graph.t * opt_result
 (** MIGhty: depth optimization interlaced with size and activity
-    recovery (the flow of §V.A.1). *)
+    recovery (the flow of §V.A.1).  On every flow, [check] runs the
+    underlying optimization under its transform guard
+    ([Mig.Check.guarded] / [Aig.Check.guarded]); it defaults to the
+    [MIG_CHECK] environment variable. *)
 
-val aig_opt : ?effort:int -> Network.Graph.t -> Aig.Graph.t * opt_result
+val aig_opt :
+  ?check:bool -> ?effort:int -> Network.Graph.t -> Aig.Graph.t * opt_result
 (** ABC stand-in: the resyn2-style script. *)
 
 val bds_opt :
@@ -39,12 +44,12 @@ val bds_opt :
 
 (** {1 Synthesis (Table I bottom)} *)
 
-val mig_synth : ?effort:int -> Network.Graph.t -> syn_result
+val mig_synth : ?check:bool -> ?effort:int -> Network.Graph.t -> syn_result
 (** MIG optimization + technology mapping on the full library. *)
 
-val aig_synth : ?effort:int -> Network.Graph.t -> syn_result
+val aig_synth : ?check:bool -> ?effort:int -> Network.Graph.t -> syn_result
 (** AIG optimization + the same mapper and library. *)
 
-val cst_synth : ?effort:int -> Network.Graph.t -> syn_result
+val cst_synth : ?check:bool -> ?effort:int -> Network.Graph.t -> syn_result
 (** Commercial-synthesis-tool proxy: area-oriented AIG script and a
     library without MAJ-3/MIN-3 cells (see DESIGN.md §2). *)

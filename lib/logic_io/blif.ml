@@ -130,6 +130,19 @@ let read text =
     | rest -> (List.rev acc, rest)
   in
   parse lines;
+  (* duplicate declarations would create dangling twin PIs / ambiguous
+     POs — exactly the NET005/MIG005 lint violations (see Check) *)
+  let check_dups kind names =
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun n ->
+        if Hashtbl.mem seen n then
+          failwith ("Blif.read: duplicate " ^ kind ^ " " ^ n)
+        else Hashtbl.add seen n ())
+      names
+  in
+  check_dups ".inputs name" !inputs;
+  check_dups ".outputs name" !outputs;
   let net = N.create () in
   let signals = Hashtbl.create 256 in
   List.iter

@@ -241,6 +241,10 @@ let read text =
         ignore (next ());
         let rec names () =
           let n = ident () in
+          (* a second [input n] would add a dangling twin PI with a
+             duplicated name (NET005/MIG005 lint violation) *)
+          if Hashtbl.mem env n then
+            failwith ("Verilog.read: duplicate input " ^ n);
           Hashtbl.replace env n (N.add_pi net n);
           match next () with
           | Sym ',' -> names ()
@@ -253,6 +257,8 @@ let read text =
         ignore (next ());
         let rec names () =
           let n = ident () in
+          if List.mem n !outputs then
+            failwith ("Verilog.read: duplicate output " ^ n);
           outputs := n :: !outputs;
           match next () with
           | Sym ',' -> names ()

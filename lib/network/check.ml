@@ -1,0 +1,156 @@
+module S = Signal
+module G = Graph
+module R = Check_report
+
+let fn_name = function
+  | G.And -> "And"
+  | G.Or -> "Or"
+  | G.Xor -> "Xor"
+  | G.Maj -> "Maj"
+  | G.Mux -> "Mux"
+
+let arity = function G.And | G.Or | G.Xor -> 2 | G.Maj | G.Mux -> 3
+
+let is_const s = S.node s = 0
+
+(* Would the matching constructor have folded or reordered these
+   operands?  Mirrors the normalizations of [Graph.and_] .. [mux]. *)
+let canonical_violation fn (fs : S.t array) =
+  let sorted a b = S.compare a b <= 0 in
+  match fn with
+  | G.And | G.Or ->
+      if is_const fs.(0) || is_const fs.(1) then Some "constant operand"
+      else if S.equal fs.(0) fs.(1) then Some "equal operands"
+      else if S.equal fs.(0) (S.not_ fs.(1)) then Some "complementary operands"
+      else if not (sorted fs.(0) fs.(1)) then Some "operands not sorted"
+      else None
+  | G.Xor ->
+      if is_const fs.(0) || is_const fs.(1) then Some "constant operand"
+      else if S.is_complement fs.(0) || S.is_complement fs.(1) then
+        Some "complement not pulled to the output"
+      else if S.equal fs.(0) fs.(1) then Some "equal operands"
+      else if not (sorted fs.(0) fs.(1)) then Some "operands not sorted"
+      else None
+  | G.Maj ->
+      if Array.exists is_const fs then Some "constant operand"
+      else if
+        S.equal fs.(0) fs.(1) || S.equal fs.(0) fs.(2) || S.equal fs.(1) fs.(2)
+      then Some "equal operands (Omega.M collapsible)"
+      else if
+        S.equal fs.(0) (S.not_ fs.(1))
+        || S.equal fs.(0) (S.not_ fs.(2))
+        || S.equal fs.(1) (S.not_ fs.(2))
+      then Some "complementary operands (Omega.M collapsible)"
+      else if not (sorted fs.(0) fs.(1) && sorted fs.(1) fs.(2)) then
+        Some "operands not sorted"
+      else None
+  | G.Mux ->
+      if Array.exists is_const fs then Some "constant operand"
+      else if S.equal fs.(1) fs.(2) then Some "equal branches"
+      else if S.equal fs.(1) (S.not_ fs.(2)) then
+        Some "complementary branches (XOR form)"
+      else None
+
+let lint ?(subject = "network") n =
+  let r = R.create ~subject in
+  let nn = G.num_nodes n in
+  let in_range id = id >= 0 && id < nn in
+  (* node 0 is the constant *)
+  if nn = 0 then R.error r ~rule:"NET005" "empty network: no constant node"
+  else if G.node n 0 <> G.Const0 then
+    R.error r ~node:0 ~rule:"NET005" "node 0 is not the constant";
+  let gate_count = ref 0 in
+  G.iter_nodes n (fun id nd ->
+      match nd with
+      | G.Const0 ->
+          if id <> 0 then
+            R.error r ~node:id ~rule:"NET005" "extra constant node"
+      | G.Pi _ -> ()
+      | G.Gate (fn, fs) ->
+          incr gate_count;
+          let name = fn_name fn in
+          if Array.length fs <> arity fn then
+            R.error r ~node:id ~rule:"NET004" "%s gate with %d fanins" name
+              (Array.length fs)
+          else begin
+            let ok = ref true in
+            Array.iter
+              (fun s ->
+                let f = S.node s in
+                if not (in_range f) then begin
+                  ok := false;
+                  R.error r ~node:id ~rule:"NET002" "dangling fanin id %d" f
+                end
+                else if f >= id then begin
+                  ok := false;
+                  R.error r ~node:id ~rule:"NET001"
+                    "fanin %d not topologically before the node" f
+                end)
+              fs;
+            if !ok then begin
+              (match canonical_violation fn fs with
+              | Some why ->
+                  R.error r ~node:id ~rule:"NET004" "%s gate: %s" name why
+              | None -> ());
+              match G.find_gate n fn fs with
+              | Some id' when id' = id -> ()
+              | Some id' ->
+                  R.error r ~node:id ~rule:"NET003"
+                    "strash key maps to node %d (structural duplicate)" id'
+              | None ->
+                  R.error r ~node:id ~rule:"NET003" "node missing from strash"
+            end
+          end);
+  if G.strash_count n <> !gate_count then
+    R.error r ~rule:"NET003" "strash has %d entries for %d gates (stale keys)"
+      (G.strash_count n) !gate_count;
+  (* PI integrity *)
+  let seen_names = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      if not (in_range id) then
+        R.error r ~node:id ~rule:"NET005" "PI list entry out of range"
+      else
+        match G.node n id with
+        | G.Pi name ->
+            if Hashtbl.mem seen_names name then
+              R.error r ~node:id ~rule:"NET005" "duplicate PI name %S" name
+            else Hashtbl.add seen_names name ()
+        | _ -> R.error r ~node:id ~rule:"NET005" "PI list entry is not a PI")
+    (G.pis n);
+  let pi_list_size = G.num_pis n in
+  let pi_nodes = ref 0 in
+  G.iter_nodes n (fun _ nd -> match nd with G.Pi _ -> incr pi_nodes | _ -> ());
+  if !pi_nodes <> pi_list_size then
+    R.error r ~rule:"NET005" "%d PI nodes but %d PI list entries" !pi_nodes
+      pi_list_size;
+  (* PO integrity *)
+  let seen_pos = Hashtbl.create 16 in
+  List.iter
+    (fun (name, s) ->
+      if not (in_range (S.node s)) then
+        R.error r ~rule:"NET002" "PO %S drives dangling id %d" name (S.node s);
+      if Hashtbl.mem seen_pos name then
+        R.error r ~rule:"NET005" "duplicate PO name %S" name
+      else Hashtbl.add seen_pos name ())
+    (G.pos n);
+  (* dead-node accounting *)
+  let reachable = Array.make (max nn 1) false in
+  let rec visit id =
+    if in_range id && not (reachable.(id)) then begin
+      reachable.(id) <- true;
+      match G.node n id with
+      | G.Gate (_, fs) -> Array.iter (fun s -> visit (S.node s)) fs
+      | _ -> ()
+    end
+  in
+  List.iter (fun (_, s) -> visit (S.node s)) (G.pos n);
+  let dead = ref 0 in
+  G.iter_nodes n (fun id nd ->
+      match nd with
+      | G.Gate _ when not reachable.(id) -> incr dead
+      | _ -> ());
+  if !dead > 0 then
+    R.warning r ~rule:"NET006" "%d dead gate(s); cleanup would remove them"
+      !dead;
+  r

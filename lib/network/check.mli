@@ -1,0 +1,13 @@
+(** Structural linter for {!Network.Graph} — the NET0xx rules of
+    {!Check_rules}.
+
+    The network builders fold constants, deduplicate through the
+    strash table and canonicalize symmetric operand lists; this module
+    re-derives those invariants from the stored representation, so a
+    network produced by any path (builders, readers, importers) can be
+    audited after the fact. *)
+
+val lint : ?subject:string -> Graph.t -> Check_report.t
+(** Run every NET rule; the report is clean iff no [Error]-severity
+    finding fired.  Dead (unreachable) gates are reported as
+    [NET006] warnings and never fail the lint. *)

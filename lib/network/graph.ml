@@ -201,6 +201,23 @@ let cleanup n =
 let pp_stats fmt n =
   Format.fprintf fmt "i/o = %d/%d, gates = %d" (num_pis n) (num_pos n) (size n)
 
+(* ----- checker support ----- *)
+
+let strash_count n = Hashtbl.length n.strash
+
+let find_gate n fn fanins =
+  Hashtbl.find_opt n.strash
+    { kfn = fn; kfanins = Array.map (fun s -> (s : S.t :> int)) fanins }
+
+module Unsafe = struct
+  let push_gate n fn fanins = Vec.push n.nodes (Gate (fn, fanins))
+
+  let strash_add n fn fanins id =
+    Hashtbl.add n.strash
+      { kfn = fn; kfanins = Array.map (fun s -> (s : S.t :> int)) fanins }
+      id
+end
+
 let flatten_aoig n =
   let fresh = create () in
   let map = Array.make (num_nodes n) (const0 fresh) in

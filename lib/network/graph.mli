@@ -81,3 +81,20 @@ val cleanup : t -> t
     I/O counts are stable. *)
 
 val pp_stats : Format.formatter -> t -> unit
+
+(** {1 Checker support} *)
+
+val strash_count : t -> int
+(** Number of strash entries; equal to {!size} on a well-formed
+    network. *)
+
+val find_gate : t -> fn -> Signal.t array -> int option
+(** Exact structural-hash lookup (no operand normalization). *)
+
+module Unsafe : sig
+  (** Invariant-bypassing mutators for the checker's test-suite; see
+      {!Mig.Graph.Unsafe} for the contract. *)
+
+  val push_gate : t -> fn -> Signal.t array -> int
+  val strash_add : t -> fn -> Signal.t array -> int -> unit
+end

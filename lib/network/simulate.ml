@@ -87,6 +87,99 @@ let equivalent_random ?(rounds = 64) ~seed a b =
   done;
   !ok
 
+(* ----- counterexample extraction ----- *)
+
+type cex = Check_guard.cex = { po : string; inputs : (string * bool) list }
+
+let pp_cex = Check_guard.pp_cex
+
+(* Exact path: compare truth tables (PI orders must already agree) and
+   decode the first differing minterm into an input assignment. *)
+let cex_exact a b =
+  let names = List.map (G.pi_name a) (G.pis a) in
+  let nv = List.length names in
+  let tb = truthtables b in
+  List.find_map
+    (fun (name, va) ->
+      match List.assoc_opt name tb with
+      | None -> None
+      | Some vb ->
+          let rec go m =
+            if m >= 1 lsl nv then None
+            else if Truthtable.get_bit va m <> Truthtable.get_bit vb m then
+              Some
+                {
+                  po = name;
+                  inputs =
+                    List.mapi (fun k n -> (n, m land (1 lsl k) <> 0)) names;
+                }
+            else go (m + 1)
+          in
+          go 0)
+    (truthtables a)
+
+let bit_index diff =
+  let rec go i =
+    if i >= 64 then 0
+    else if Int64.logand (Int64.shift_right_logical diff i) 1L = 1L then i
+    else go (i + 1)
+  in
+  go 0
+
+let cex_random ~rounds ~seed a b =
+  let rng = Lsutil.Rng.create seed in
+  let found = ref None in
+  for _ = 1 to rounds do
+    if !found = None then begin
+      let tbl = Hashtbl.create 64 in
+      let stim name =
+        match Hashtbl.find_opt tbl name with
+        | Some v -> v
+        | None ->
+            let v =
+              Int64.logor
+                (Int64.of_int (Lsutil.Rng.int rng 0x40000000))
+                (Int64.shift_left
+                   (Int64.of_int (Lsutil.Rng.int rng 0x40000000))
+                   34)
+            in
+            Hashtbl.add tbl name v;
+            v
+      in
+      let ra = run a stim and rb = run b stim in
+      List.iter
+        (fun (name, va) ->
+          if !found = None then
+            match List.assoc_opt name rb with
+            | Some vb when not (Int64.equal va vb) ->
+                let bit = bit_index (Int64.logxor va vb) in
+                let inputs =
+                  List.map
+                    (fun id ->
+                      let n = G.pi_name a id in
+                      ( n,
+                        Int64.logand
+                          (Int64.shift_right_logical (stim n) bit)
+                          1L
+                        = 1L ))
+                    (G.pis a)
+                in
+                found := Some { po = name; inputs }
+            | _ -> ())
+        ra
+    end
+  done;
+  !found
+
+let counterexample ?(rounds = 64) ?(max_exact_pis = 14) ~seed a b =
+  if not (same_interface a b) then
+    invalid_arg "Simulate.counterexample: interface mismatch";
+  let exact =
+    G.num_pis a <= max_exact_pis
+    && List.map (G.pi_name a) (G.pis a) = List.map (G.pi_name b) (G.pis b)
+  in
+  if exact then cex_exact a b else cex_random ~rounds ~seed a b
+
 let equivalent ?(max_exact_pis = 14) ~seed a b =
   if not (same_interface a b) then false
   else if G.num_pis a <= max_exact_pis then begin

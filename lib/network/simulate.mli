@@ -19,3 +19,28 @@ val equivalent : ?max_exact_pis:int -> seed:int -> Graph.t -> Graph.t -> bool
 (** Exact truth-table comparison when the PI count is at most
     [max_exact_pis] (default 14), otherwise falls back to
     {!equivalent_random}. *)
+
+val same_interface : Graph.t -> Graph.t -> bool
+(** Same PI and PO name sets (order-insensitive). *)
+
+(** {1 Counterexample extraction}
+
+    Used by the transform guards ([Mig.Check.guarded],
+    [Aig.Check.guarded]) to report not just that a pass broke
+    equivalence but on which output and under which input
+    assignment. *)
+
+type cex = Check_guard.cex = { po : string; inputs : (string * bool) list }
+(** A distinguishing input assignment: the named PO evaluates
+    differently on the two networks under [inputs]. *)
+
+val pp_cex : Format.formatter -> cex -> unit
+
+val counterexample :
+  ?rounds:int -> ?max_exact_pis:int -> seed:int -> Graph.t -> Graph.t -> cex option
+(** A concrete input vector separating the two networks, or [None]
+    when none was found (which is a proof of equivalence only on the
+    exact truth-table path, taken when the PI count is at most
+    [max_exact_pis] and the PI orders agree; otherwise [rounds]
+    batches of 64 random patterns are tried).  Raises
+    [Invalid_argument] when the interfaces differ. *)

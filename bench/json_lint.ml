@@ -1,0 +1,136 @@
+(* Validator for the BENCH_*.json documents written by
+   [bench/main.exe --json PATH] (schema "mighty-bench/1").  Exits
+   non-zero with a diagnostic on the first violation, so CI can gate
+   on the artifact staying machine-readable. *)
+
+module J = Lsutil.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("json_lint: " ^ s);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error e -> fail "%s" e in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* field accessors over a record, with record index for diagnostics *)
+let get i r key =
+  match J.member key r with
+  | Some v -> v
+  | None -> fail "record %d: missing field %S" i key
+
+let str i r key =
+  match get i r key with
+  | J.String s -> s
+  | _ -> fail "record %d: field %S is not a string" i key
+
+let num i r key ctx =
+  match J.member key r with
+  | Some (J.Int _ | J.Float _) -> ()
+  | _ -> fail "record %d (%s): %s is not a number" i ctx key
+
+let metrics_obj i r key ~ints ~floats =
+  let o = get i r key in
+  (match o with
+  | J.Obj _ -> ()
+  | _ -> fail "record %d: field %S is not an object" i key);
+  List.iter
+    (fun f ->
+      match J.member f o with
+      | Some (J.Int _) -> ()
+      | _ -> fail "record %d: %s.%s is not an int" i key f)
+    ints;
+  List.iter (fun f -> num i o f key) floats
+
+let opt_result i r key =
+  metrics_obj i r key ~ints:[ "size"; "depth" ]
+    ~floats:[ "activity"; "time_s"; "guard_time_s" ]
+
+let syn_result i r key =
+  metrics_obj i r key ~ints:[]
+    ~floats:[ "area"; "delay_ns"; "power_uw"; "time_s" ]
+
+(* A span tree is either Null (recording was off) or a telemetry
+   node: name/elapsed_s plus recursively well-formed children. *)
+let rec span_tree i ctx = function
+  | J.Null -> ()
+  | J.Obj _ as o ->
+      (match J.member "name" o with
+      | Some (J.String _) -> ()
+      | _ -> fail "record %d (%s): span without a name" i ctx);
+      (match J.member "elapsed_s" o with
+      | Some (J.Int _ | J.Float _) -> ()
+      | _ -> fail "record %d (%s): span without elapsed_s" i ctx);
+      (match J.member "children" o with
+      | Some (J.List l) -> List.iter (span_tree i ctx) l
+      | None -> ()
+      | Some _ -> fail "record %d (%s): span children not a list" i ctx)
+  | _ -> fail "record %d (%s): span is neither null nor an object" i ctx
+
+let spans i r =
+  match J.member "spans" r with
+  | None -> fail "record %d: missing field \"spans\"" i
+  | Some (J.Obj fields) -> List.iter (fun (k, v) -> span_tree i k v) fields
+  | Some _ -> fail "record %d: field \"spans\" is not an object" i
+
+let check_record i r =
+  let sec = str i r "section" in
+  let _name = str i r "name" in
+  (match sec with
+  | "table1-top" ->
+      opt_result i r "mig";
+      opt_result i r "aig";
+      (match get i r "bdd" with
+      | J.Null -> ()
+      | J.Obj _ -> opt_result i r "bdd"
+      | _ -> fail "record %d: bdd is neither null nor an object" i);
+      spans i r
+  | "table1-bottom" ->
+      syn_result i r "mig";
+      syn_result i r "aig";
+      syn_result i r "cst"
+  | "compress" ->
+      metrics_obj i r "mig" ~ints:[ "size"; "depth" ] ~floats:[ "time_s" ];
+      metrics_obj i r "aig" ~ints:[ "size"; "depth" ] ~floats:[ "time_s" ];
+      spans i r
+  | "bechamel" -> (
+      match get i r "ms_per_run" with
+      | J.Null | J.Int _ | J.Float _ -> ()
+      | _ -> fail "record %d: ms_per_run is not a number or null" i)
+  | "smoke" ->
+      opt_result i r "mig";
+      opt_result i r "aig";
+      spans i r
+  | s -> fail "record %d: unknown section %S" i s);
+  sec
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ -> fail "usage: json_lint BENCH_file.json"
+  in
+  match J.of_string (read_file path) with
+  | Error e -> fail "%s: parse error: %s" path e
+  | Ok doc ->
+      (match J.member "schema" doc with
+      | Some (J.String "mighty-bench/1") -> ()
+      | Some (J.String s) -> fail "%s: unknown schema %S" path s
+      | _ -> fail "%s: missing \"schema\" field" path);
+      let records =
+        match J.member "records" doc with
+        | Some (J.List l) -> l
+        | _ -> fail "%s: \"records\" is not a list" path
+      in
+      if records = [] then fail "%s: no records" path;
+      let sections = List.mapi check_record records in
+      let uniq = List.sort_uniq compare sections in
+      Printf.printf "json_lint: %s OK (%d records: %s)\n" path
+        (List.length records)
+        (String.concat ", " uniq)

@@ -5,16 +5,48 @@
    Usage:
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- table1-top table1-bottom fig1 fig2 \
-                                  fig3 fig4 compress ablation bechamel
+                                  fig3 fig4 compress ablation bechamel smoke
+     dune exec bench/main.exe -- --json BENCH_run.json table1-top ...
 
    Environment:
      MIG_BENCH_FULL=1   run the compression benchmark at paper scale
                         (~0.3 M nodes) instead of the scaled default. *)
 
 module N = Network.Graph
+module J = Lsutil.Json
+module T = Lsutil.Telemetry
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* --json PATH: machine-readable records (schema "mighty-bench/1")     *)
+(* ------------------------------------------------------------------ *)
+
+(* Sections append records as they print; the main driver writes the
+   collected document at exit.  Validated by bench/json_lint.exe. *)
+let json_records : J.t list ref = ref []
+let emit r = json_records := r :: !json_records
+let span_json = function None -> J.Null | Some node -> T.to_json node
+
+let opt_json (r : Flow.opt_result) =
+  J.Obj
+    [
+      ("size", J.Int r.Flow.size);
+      ("depth", J.Int r.Flow.depth);
+      ("activity", J.Float r.Flow.activity);
+      ("time_s", J.Float r.Flow.time);
+      ("guard_time_s", J.Float r.Flow.guard_time);
+    ]
+
+let syn_json (s : Flow.syn_result) =
+  J.Obj
+    [
+      ("area", J.Float s.Flow.area);
+      ("delay_ns", J.Float s.Flow.delay);
+      ("power_uw", J.Float s.Flow.power);
+      ("time_s", J.Float s.Flow.time);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Table I (top): logic optimization                                   *)
@@ -27,6 +59,7 @@ type top_row = {
   aig : Flow.opt_result;
   bdd : Flow.opt_result option;
   checks_ok : bool;
+  spans : J.t;  (** per-pass telemetry trees, [Null] unless recording *)
 }
 
 let table1_top_rows =
@@ -35,9 +68,15 @@ let table1_top_rows =
        (fun e ->
          let net = e.Benchmarks.Suite.build () in
          let flat = N.flatten_aoig net in
-         let mig_g, mig = Flow.mig_opt net in
-         let aig_g, aig = Flow.aig_opt net in
-         let bdd_res = Flow.bds_opt ~seed:0xbd5 net in
+         let (mig_g, mig), mig_span =
+           T.capture "mig_opt" (fun () -> Flow.mig_opt net)
+         in
+         let (aig_g, aig), aig_span =
+           T.capture "aig_opt" (fun () -> Flow.aig_opt net)
+         in
+         let bdd_res, bdd_span =
+           T.capture "bds_opt" (fun () -> Flow.bds_opt ~seed:0xbd5 net)
+         in
          let mig_ok = Mig.Equiv.to_network_equiv ~seed:11 mig_g flat in
          let aig_ok =
            Network.Simulate.equivalent ~seed:12
@@ -56,8 +95,31 @@ let table1_top_rows =
            aig;
            bdd = Option.map snd bdd_res;
            checks_ok = mig_ok && aig_ok && bdd_ok;
+           spans =
+             J.Obj
+               [
+                 ("mig", span_json mig_span);
+                 ("aig", span_json aig_span);
+                 ("bdd", span_json bdd_span);
+               ];
          })
        Benchmarks.Suite.all)
+
+let emit_top_row r =
+  let pi, po = r.io in
+  emit
+    (J.Obj
+       [
+         ("section", J.String "table1-top");
+         ("name", J.String r.bname);
+         ("pi", J.Int pi);
+         ("po", J.Int po);
+         ("mig", opt_json r.mig);
+         ("aig", opt_json r.aig);
+         ("bdd", match r.bdd with Some b -> opt_json b | None -> J.Null);
+         ("checks_ok", J.Bool r.checks_ok);
+         ("spans", r.spans);
+       ])
 
 let avg f rows =
   List.fold_left (fun a r -> a +. f r) 0.0 rows /. float_of_int (List.length rows)
@@ -83,7 +145,8 @@ let print_table1_top () =
             b.Flow.activity b.Flow.time
       | None -> Printf.printf "%6s %5s %9s %6s" "N.A." "N.A." "N.A." "N.A.");
       if not r.checks_ok then Printf.printf "  [EQUIVALENCE FAILURE]";
-      Printf.printf "\n%!")
+      Printf.printf "\n%!";
+      emit_top_row r)
     rows;
   let m f = avg f rows in
   Printf.printf
@@ -176,7 +239,18 @@ let print_table1_bottom () =
         "%-9s %4d/%-4d | %9.2f %7.3f %9.2f | %9.2f %7.3f %9.2f | %9.2f %7.3f %9.2f\n%!"
         r.sname pi po r.smig.Flow.area r.smig.Flow.delay r.smig.Flow.power
         r.saig.Flow.area r.saig.Flow.delay r.saig.Flow.power r.scst.Flow.area
-        r.scst.Flow.delay r.scst.Flow.power)
+        r.scst.Flow.delay r.scst.Flow.power;
+      emit
+        (J.Obj
+           [
+             ("section", J.String "table1-bottom");
+             ("name", J.String r.sname);
+             ("pi", J.Int pi);
+             ("po", J.Int po);
+             ("mig", syn_json r.smig);
+             ("aig", syn_json r.saig);
+             ("cst", syn_json r.scst);
+           ]))
     rows;
   let m f = avg f rows in
   Printf.printf
@@ -395,15 +469,17 @@ let print_compress () =
     "window=%d: flattened AOIG has %d nodes (paper instance: ~0.3M; set\n\
      MIG_BENCH_FULL=1 for the full-scale run)\n%!"
     window (N.size flat);
-  let t0 = Unix.gettimeofday () in
-  let a = Aig.Resyn.run ~effort:1 (Aig.Convert.of_network flat) in
-  let t_aig = Unix.gettimeofday () -. t0 in
+  let (a, t_aig), aig_span =
+    T.capture "compress:aig" (fun () ->
+        T.time (fun () -> Aig.Resyn.run ~effort:1 (Aig.Convert.of_network flat)))
+  in
   Printf.printf
     "AIG:  %d nodes, %d levels, %.1fs (paper: 167k nodes, 31 levels, 11.3s)\n%!"
     (Aig.Graph.size a) (Aig.Graph.depth a) t_aig;
-  let t0 = Unix.gettimeofday () in
-  let m = Mig.Opt_depth.run ~effort:2 (Mig.Convert.of_network flat) in
-  let t_mig = Unix.gettimeofday () -. t0 in
+  let (m, t_mig), mig_span =
+    T.capture "compress:mig" (fun () ->
+        T.time (fun () -> Mig.Opt_depth.run ~effort:2 (Mig.Convert.of_network flat)))
+  in
   Printf.printf
     "MIG:  %d nodes, %d levels, %.1fs (paper: 170k +1.7%%, 28 levels -9.6%%, 21.5s)\n"
     (Mig.Graph.size m) (Mig.Graph.depth m) t_mig;
@@ -413,7 +489,31 @@ let print_compress () =
     ((float_of_int (Mig.Graph.depth m) /. float_of_int (Aig.Graph.depth a)
      -. 1.0)
     *. 100.0)
-    (t_mig /. Float.max 0.001 t_aig)
+    (t_mig /. Float.max 0.001 t_aig);
+  emit
+    (J.Obj
+       [
+         ("section", J.String "compress");
+         ("name", J.String "compression");
+         ("window", J.Int window);
+         ("aoig_nodes", J.Int (N.size flat));
+         ( "aig",
+           J.Obj
+             [
+               ("size", J.Int (Aig.Graph.size a));
+               ("depth", J.Int (Aig.Graph.depth a));
+               ("time_s", J.Float t_aig);
+             ] );
+         ( "mig",
+           J.Obj
+             [
+               ("size", J.Int (Mig.Graph.size m));
+               ("depth", J.Int (Mig.Graph.depth m));
+               ("time_s", J.Float t_mig);
+             ] );
+         ( "spans",
+           J.Obj [ ("aig", span_json aig_span); ("mig", span_json mig_span) ] );
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md SS6)                                           *)
@@ -498,13 +598,65 @@ let print_bechamel () =
                  ~predictors:[| Measure.run |])
               witness raw
           in
+          let record est =
+            emit
+              (J.Obj
+                 [
+                   ("section", J.String "bechamel");
+                   ("name", J.String (Test.Elt.name elt));
+                   ("ms_per_run", est);
+                 ])
+          in
           match Analyze.OLS.estimates ols with
           | Some (t :: _) ->
               Printf.printf "  %-28s %10.3f ms/run\n%!" (Test.Elt.name elt)
-                (t /. 1e6)
-          | _ -> Printf.printf "  %-28s (no estimate)\n%!" (Test.Elt.name elt))
+                (t /. 1e6);
+              record (J.Float (t /. 1e6))
+          | _ ->
+              Printf.printf "  %-28s (no estimate)\n%!" (Test.Elt.name elt);
+              record J.Null)
         (Test.elements test))
     tests
+
+(* ------------------------------------------------------------------ *)
+(* Smoke: one small benchmark with telemetry forced on.  Fast enough   *)
+(* for CI, yet exercises the full record schema including spans.       *)
+(* ------------------------------------------------------------------ *)
+
+let print_smoke () =
+  section "Smoke - 'count' benchmark with per-pass telemetry";
+  let e = Benchmarks.Suite.find "count" in
+  let net = e.Benchmarks.Suite.build () in
+  let was = T.enabled () in
+  T.set_enabled true;
+  let (mig_g, mig), mig_span =
+    T.capture "mig_opt" (fun () -> Flow.mig_opt ~effort:1 net)
+  in
+  let (aig_g, aig), aig_span =
+    T.capture "aig_opt" (fun () -> Flow.aig_opt ~effort:1 net)
+  in
+  T.set_enabled was;
+  let flat = N.flatten_aoig net in
+  let checks_ok =
+    Mig.Equiv.to_network_equiv ~seed:31 mig_g flat
+    && Network.Simulate.equivalent ~seed:32 (Aig.Convert.to_network aig_g) flat
+  in
+  Printf.printf "MIG: size=%d depth=%d t=%.3fs | AIG: size=%d depth=%d t=%.3fs%s\n"
+    mig.Flow.size mig.Flow.depth mig.Flow.time aig.Flow.size aig.Flow.depth
+    aig.Flow.time
+    (if checks_ok then "" else "  [EQUIVALENCE FAILURE]");
+  Option.iter (Format.printf "%a@." T.pp) mig_span;
+  emit
+    (J.Obj
+       [
+         ("section", J.String "smoke");
+         ("name", J.String e.Benchmarks.Suite.name);
+         ("mig", opt_json mig);
+         ("aig", opt_json aig);
+         ("checks_ok", J.Bool checks_ok);
+         ( "spans",
+           J.Obj [ ("mig", span_json mig_span); ("aig", span_json aig_span) ] );
+       ])
 
 (* ------------------------------------------------------------------ *)
 
@@ -519,13 +671,38 @@ let all_sections =
     ("compress", print_compress);
     ("ablation", print_ablation);
     ("bechamel", print_bechamel);
+    ("smoke", print_smoke);
   ]
 
+let write_json path =
+  let doc =
+    J.Obj
+      [
+        ("schema", J.String "mighty-bench/1");
+        ("generator", J.String "bench/main.exe");
+        ("records", J.List (List.rev !json_records));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d records)\n" path (List.length !json_records)
+
 let () =
+  let rec split_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | "--json" :: [] ->
+        prerr_endline "bench: --json requires a PATH argument";
+        exit 1
+    | x :: rest -> split_json (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_path, args = split_json [] (List.tl (Array.to_list Sys.argv)) in
+  (* Span trees inside the records need recording on. *)
+  if json_path <> None then T.set_enabled true;
   let requested =
-    match List.tl (Array.to_list Sys.argv) with
-    | [] -> List.map fst all_sections
-    | args -> args
+    match args with [] -> List.map fst all_sections | args -> args
   in
   List.iter
     (fun name ->
@@ -535,4 +712,5 @@ let () =
           Printf.eprintf "unknown section %s (known: %s)\n" name
             (String.concat ", " (List.map fst all_sections));
           exit 1)
-    requested
+    requested;
+  Option.iter write_json json_path

@@ -48,24 +48,36 @@ let verify_arg =
     & info [ "verify" ]
         ~doc:"Check the optimized MIG against the input by simulation.")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Collect and print per-pass telemetry (wall-clock, nodes/depth in \
+           and out, rewrites, strash hits).  Equivalent to setting \
+           $(b,MIG_STATS=1).")
+
 let report g label =
   Format.printf "%-10s size = %d, depth = %d, activity = %.2f@." label
     (Mig.Graph.size g) (Mig.Graph.depth g) (Mig.Activity.total g)
 
-let optimize input output effort goal verify =
+let optimize input output effort goal verify stats =
+  if stats then Lsutil.Telemetry.set_enabled true;
   let net = read_input input in
   Format.printf "read %s: %a@." input Network.Graph.pp_stats net;
   let m = Mig.Convert.of_network net in
   report m "initial";
   let t0 = Unix.gettimeofday () in
-  let opt =
-    match goal with
-    | `Size -> Mig.Opt_size.run ~effort m
-    | `Depth -> Mig.Opt_depth.run ~effort:(max effort 3) m
-    | `Activity -> Mig.Opt_activity.run ~effort m
+  let opt, span =
+    Lsutil.Telemetry.capture "optimize" (fun () ->
+        match goal with
+        | `Size -> Mig.Opt_size.run ~effort m
+        | `Depth -> Mig.Opt_depth.run ~effort:(max effort 3) m
+        | `Activity -> Mig.Opt_activity.run ~effort m)
   in
   report opt "optimized";
   Format.printf "time: %.2fs@." (Unix.gettimeofday () -. t0);
+  Option.iter (Format.printf "%a@." Lsutil.Telemetry.pp) span;
   if verify then begin
     let ok = Mig.Equiv.to_network_equiv ~seed:0xda14 opt net in
     Format.printf "verification: %s@." (if ok then "PASS" else "FAIL");
@@ -83,7 +95,7 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc)
     Term.(
       const optimize $ input_arg $ output_arg $ effort_arg $ goal_arg
-      $ verify_arg)
+      $ verify_arg $ stats_arg)
 
 let map_cmd =
   let doc = "optimize and map onto the 22nm-style cell library" in

@@ -118,30 +118,51 @@ let lint ?(subject = "aig") g =
       !dead;
   r
 
-let guarded ?enabled ?(seed = 0xa16c) ?(rounds = 64) ~name pass g =
+module T = Lsutil.Telemetry
+
+let verify_pre ~name g =
+  T.span "guard:pre_lint" (fun () ->
+      let module Gd = Check_guard in
+      let pre = lint ~subject:(Printf.sprintf "aig:pre %s" name) g in
+      if not (R.is_clean pre) then begin
+        T.count "guard.fail";
+        Gd.fail { name; stage = Gd.Pre_lint; report = Some pre; cex = None }
+      end)
+
+let verify_post ?(seed = 0xa16c) ?(rounds = 64) ~name g out =
+  T.span "guard:post" (fun () ->
+      let module Gd = Check_guard in
+      T.span "guard:post_lint" (fun () ->
+          let post = lint ~subject:(Printf.sprintf "aig:post %s" name) out in
+          if not (R.is_clean post) then begin
+            T.count "guard.fail";
+            Gd.fail { name; stage = Gd.Post_lint; report = Some post; cex = None }
+          end);
+      T.span "guard:miter" (fun () ->
+          let na = Convert.to_network g and nb = Convert.to_network out in
+          if not (Network.Simulate.same_interface na nb) then begin
+            let r = R.create ~subject:(Printf.sprintf "aig:post %s" name) in
+            R.error r ~rule:"AIG005" "pass changed the PI/PO interface";
+            T.count "guard.fail";
+            Gd.fail { name; stage = Gd.Equivalence; report = Some r; cex = None }
+          end;
+          if not (Network.Simulate.equivalent ~seed na nb) then begin
+            T.count "guard.fail";
+            Gd.fail
+              {
+                name;
+                stage = Gd.Equivalence;
+                report = None;
+                cex = Network.Simulate.counterexample ~rounds ~seed na nb;
+              }
+          end);
+      T.count "guard.pass")
+
+let guarded ?enabled ?seed ?rounds ~name pass g =
   if not (Check_env.resolve enabled) then pass g
   else begin
-    let module Gd = Check_guard in
-    let pre = lint ~subject:(Printf.sprintf "aig:pre %s" name) g in
-    if not (R.is_clean pre) then
-      Gd.fail { name; stage = Gd.Pre_lint; report = Some pre; cex = None };
+    verify_pre ~name g;
     let out = pass g in
-    let post = lint ~subject:(Printf.sprintf "aig:post %s" name) out in
-    if not (R.is_clean post) then
-      Gd.fail { name; stage = Gd.Post_lint; report = Some post; cex = None };
-    let na = Convert.to_network g and nb = Convert.to_network out in
-    if not (Network.Simulate.same_interface na nb) then begin
-      let r = R.create ~subject:(Printf.sprintf "aig:post %s" name) in
-      R.error r ~rule:"AIG005" "pass changed the PI/PO interface";
-      Gd.fail { name; stage = Gd.Equivalence; report = Some r; cex = None }
-    end;
-    if not (Network.Simulate.equivalent ~seed na nb) then
-      Gd.fail
-        {
-          name;
-          stage = Gd.Equivalence;
-          report = None;
-          cex = Network.Simulate.counterexample ~rounds ~seed na nb;
-        };
+    verify_post ?seed ?rounds ~name g out;
     out
   end

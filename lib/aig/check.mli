@@ -11,6 +11,16 @@ val lint : ?subject:string -> Graph.t -> Check_report.t
 (** Run every AIG rule; clean iff no [Error] finding.  Dead nodes are
     [AIG006] warnings. *)
 
+val verify_pre : name:string -> Graph.t -> unit
+(** The input-side half of {!guarded}: lint the graph, raising
+    {!Check_guard.Failed} on violations.  Exposed so callers timing a
+    pass can keep guard overhead out of the reported runtime. *)
+
+val verify_post :
+  ?seed:int -> ?rounds:int -> name:string -> Graph.t -> Graph.t -> unit
+(** The output-side half of {!guarded}: lint [out] and miter-compare
+    it against the input graph. *)
+
 val guarded :
   ?enabled:bool ->
   ?seed:int ->

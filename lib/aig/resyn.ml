@@ -1,21 +1,44 @@
+module T = Lsutil.Telemetry
+
+(* Per-pass telemetry span: wall-clock plus nodes/depth in → out. *)
+let traced name pass g =
+  T.span name (fun () ->
+      if T.enabled () then begin
+        T.record_int "nodes_in" (Graph.size g);
+        T.record_int "depth_in" (Graph.depth g)
+      end;
+      let out = pass g in
+      if T.enabled () then begin
+        T.record_int "nodes_out" (Graph.size out);
+        T.record_int "depth_out" (Graph.depth out)
+      end;
+      out)
+
+let balance = traced "aig:balance" Balance.run
+let rewrite = traced "aig:rewrite" Rewrite.run
+let refactor = traced "aig:refactor" Refactor.run
+
 let optimize ~effort g =
+  T.record_int "effort" effort;
   let step g =
-    let g = Balance.run g in
-    let g = Rewrite.run g in
-    let g = Refactor.run g in
-    let g = Balance.run g in
-    let g = Rewrite.run g in
-    Balance.run g
+    let g = balance g in
+    let g = rewrite g in
+    let g = refactor g in
+    let g = balance g in
+    let g = rewrite g in
+    balance g
   in
   let rec go n g = if n = 0 then g else go (n - 1) (step g) in
   go effort g
 
 let run ?check ?(effort = 2) g =
-  Check.guarded ?enabled:check ~name:"resyn" (optimize ~effort) g
+  Check.guarded ?enabled:check ~name:"resyn" (traced "resyn" (optimize ~effort)) g
 
-let balance_only g = Balance.run g
+let balance_only g = balance g
 
 let size_only ?check ?(effort = 2) g =
-  let step g = Refactor.run (Rewrite.run g) in
+  let step g = refactor (rewrite g) in
   let rec go n g = if n = 0 then g else go (n - 1) (step g) in
-  Check.guarded ?enabled:check ~name:"resyn:size_only" (go effort) g
+  Check.guarded ?enabled:check ~name:"resyn:size_only"
+    (traced "resyn:size_only" (go effort))
+    g

@@ -35,21 +35,35 @@ let to_network man ~pi_names outs =
   net
 
 let run ?(node_limit = 2_000_000) ?(reorder = true) ~seed n =
-  match
-    let order =
-      if reorder then Reorder.best_order ~node_limit ~seed n
-      else Builder.dfs_order n
-    in
-    let man = Robdd.manager ~node_limit () in
-    let outs = Builder.of_network man ~order n in
-    let pi_names level = G.pi_name n order.(level) in
-    (* Dangling PIs must survive so the interface stays intact. *)
-    let net = to_network man ~pi_names outs in
-    let declared = G.num_pis net in
-    Array.iteri
-      (fun l id -> if l >= declared then ignore (G.add_pi net (G.pi_name n id)))
-      order;
-    net
-  with
-  | net -> Some (G.cleanup net)
-  | exception Robdd.Node_limit_exceeded -> None
+  let module T = Lsutil.Telemetry in
+  T.span "bdd:decompose" (fun () ->
+      if T.enabled () then T.record_int "nodes_in" (G.size n);
+      match
+        let order =
+          T.span "bdd:reorder" (fun () ->
+              if reorder then Reorder.best_order ~node_limit ~seed n
+              else Builder.dfs_order n)
+        in
+        let man = Robdd.manager ~node_limit () in
+        let outs =
+          T.span "bdd:build" (fun () -> Builder.of_network man ~order n)
+        in
+        let pi_names level = G.pi_name n order.(level) in
+        (* Dangling PIs must survive so the interface stays intact. *)
+        let net =
+          T.span "bdd:to_network" (fun () -> to_network man ~pi_names outs)
+        in
+        let declared = G.num_pis net in
+        Array.iteri
+          (fun l id ->
+            if l >= declared then ignore (G.add_pi net (G.pi_name n id)))
+          order;
+        net
+      with
+      | net ->
+          let out = G.cleanup net in
+          if T.enabled () then T.record_int "nodes_out" (G.size out);
+          Some out
+      | exception Robdd.Node_limit_exceeded ->
+          T.count "bdd.blowup";
+          None)

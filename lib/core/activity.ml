@@ -19,8 +19,11 @@ let probabilities ?(pi_prob = fun _ -> 0.5) g =
 
 let node_activity p = p *. (1.0 -. p)
 
+(* Sum over the PO-reachable cone only: dead majs left behind by
+   construction-time folds never switch a real wire, and counting
+   them skews the activity optimizer's cost comparisons. *)
 let total ?pi_prob g =
   let p = probabilities ?pi_prob g in
   let acc = ref 0.0 in
-  G.iter_majs g (fun i _ -> acc := !acc +. node_activity p.(i));
+  G.iter_live_majs g (fun i _ -> acc := !acc +. node_activity p.(i));
   !acc

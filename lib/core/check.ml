@@ -130,40 +130,63 @@ let lint ?(subject = "mig") g =
       "%d dead majority node(s); cleanup would remove them" !dead;
   r
 
-let guarded ?enabled ?(bdd = false) ?(bdd_pi_limit = 24) ?(seed = 0x3c8)
-    ?(rounds = 64) ~name pass g =
+module T = Lsutil.Telemetry
+
+let verify_pre ~name g =
+  T.span "guard:pre_lint" (fun () ->
+      let module Gd = Check_guard in
+      let pre = lint ~subject:(Printf.sprintf "mig:pre %s" name) g in
+      if not (R.is_clean pre) then begin
+        T.count "guard.fail";
+        Gd.fail { name; stage = Gd.Pre_lint; report = Some pre; cex = None }
+      end)
+
+let verify_post ?(bdd = false) ?(bdd_pi_limit = 24) ?(seed = 0x3c8)
+    ?(rounds = 64) ~name g out =
+  T.span "guard:post" (fun () ->
+      let module Gd = Check_guard in
+      T.span "guard:post_lint" (fun () ->
+          let post = lint ~subject:(Printf.sprintf "mig:post %s" name) out in
+          if not (R.is_clean post) then begin
+            T.count "guard.fail";
+            Gd.fail { name; stage = Gd.Post_lint; report = Some post; cex = None }
+          end);
+      T.span "guard:miter" (fun () ->
+          let na = Convert.to_network g and nb = Convert.to_network out in
+          if not (Network.Simulate.same_interface na nb) then begin
+            let r = R.create ~subject:(Printf.sprintf "mig:post %s" name) in
+            R.error r ~rule:"MIG005" "pass changed the PI/PO interface";
+            T.count "guard.fail";
+            Gd.fail { name; stage = Gd.Equivalence; report = Some r; cex = None }
+          end;
+          if not (Network.Simulate.equivalent ~seed na nb) then begin
+            T.count "guard.fail";
+            Gd.fail
+              {
+                name;
+                stage = Gd.Equivalence;
+                report = None;
+                cex = Network.Simulate.counterexample ~rounds ~seed na nb;
+              }
+          end);
+      if bdd && G.num_pis g <= bdd_pi_limit then
+        T.span "guard:bdd_crosscheck" (fun () ->
+            match Equiv.by_bdd g out with
+            | true -> ()
+            | false ->
+                T.count "guard.fail";
+                Gd.fail
+                  { name; stage = Gd.Bdd_crosscheck; report = None; cex = None }
+            | exception Bdd.Robdd.Node_limit_exceeded ->
+                (* blow-up: the simulation miter above already ran *)
+                ());
+      T.count "guard.pass")
+
+let guarded ?enabled ?bdd ?bdd_pi_limit ?seed ?rounds ~name pass g =
   if not (Check_env.resolve enabled) then pass g
   else begin
-    let module Gd = Check_guard in
-    let pre = lint ~subject:(Printf.sprintf "mig:pre %s" name) g in
-    if not (R.is_clean pre) then
-      Gd.fail { name; stage = Gd.Pre_lint; report = Some pre; cex = None };
+    verify_pre ~name g;
     let out = pass g in
-    let post = lint ~subject:(Printf.sprintf "mig:post %s" name) out in
-    if not (R.is_clean post) then
-      Gd.fail { name; stage = Gd.Post_lint; report = Some post; cex = None };
-    let na = Convert.to_network g and nb = Convert.to_network out in
-    if not (Network.Simulate.same_interface na nb) then begin
-      let r = R.create ~subject:(Printf.sprintf "mig:post %s" name) in
-      R.error r ~rule:"MIG005" "pass changed the PI/PO interface";
-      Gd.fail { name; stage = Gd.Equivalence; report = Some r; cex = None }
-    end;
-    if not (Network.Simulate.equivalent ~seed na nb) then
-      Gd.fail
-        {
-          name;
-          stage = Gd.Equivalence;
-          report = None;
-          cex = Network.Simulate.counterexample ~rounds ~seed na nb;
-        };
-    if bdd && G.num_pis g <= bdd_pi_limit then begin
-      match Equiv.by_bdd g out with
-      | true -> ()
-      | false ->
-          Gd.fail { name; stage = Gd.Bdd_crosscheck; report = None; cex = None }
-      | exception Bdd.Robdd.Node_limit_exceeded ->
-          (* blow-up: the simulation miter above already ran *)
-          ()
-    end;
+    verify_post ?bdd ?bdd_pi_limit ?seed ?rounds ~name g out;
     out
   end

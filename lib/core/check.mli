@@ -23,6 +23,26 @@ val lint : ?subject:string -> Graph.t -> Check_report.t
 
     Clean iff no [Error]-severity finding. *)
 
+val verify_pre : name:string -> Graph.t -> unit
+(** The input-side half of {!guarded}: lint the graph a pass is about
+    to transform, raising {!Check_guard.Failed} on violations.
+    Exposed separately so callers that time the pass (e.g.
+    [Flow]) can keep guard overhead out of the reported transform
+    runtime. *)
+
+val verify_post :
+  ?bdd:bool ->
+  ?bdd_pi_limit:int ->
+  ?seed:int ->
+  ?rounds:int ->
+  name:string ->
+  Graph.t ->
+  Graph.t ->
+  unit
+(** The output-side half of {!guarded}: [verify_post ~name g out]
+    lints [out] and miter-compares it against [g] (plus the optional
+    BDD crosscheck), raising {!Check_guard.Failed} on violations. *)
+
 val guarded :
   ?enabled:bool ->
   ?bdd:bool ->

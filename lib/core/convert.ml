@@ -24,7 +24,9 @@ let to_network g =
   let map = Array.make (G.num_nodes g) (N.const0 net) in
   List.iter (fun id -> map.(id) <- N.add_pi net (G.pi_name g id)) (G.pis g);
   let value s = S.xor_complement map.(S.node s) (S.is_complement s) in
-  G.iter_majs g (fun i fs ->
+  (* export only the PO-reachable cone: dead majs are construction
+     left-overs, not circuit *)
+  G.iter_live_majs g (fun i fs ->
       map.(i) <- N.maj net (value fs.(0)) (value fs.(1)) (value fs.(2)));
   List.iter (fun (name, s) -> N.add_po net name (value s)) (G.pos g);
   net
@@ -45,7 +47,7 @@ let to_aig g =
   let map = Array.make (G.num_nodes g) (Aig.Graph.const0 a) in
   List.iter (fun id -> map.(id) <- Aig.Graph.add_pi a (G.pi_name g id)) (G.pis g);
   let value s = S.xor_complement map.(S.node s) (S.is_complement s) in
-  G.iter_majs g (fun i fs ->
+  G.iter_live_majs g (fun i fs ->
       map.(i) <- Aig.Graph.maj a (value fs.(0)) (value fs.(1)) (value fs.(2)));
   List.iter (fun (name, s) -> Aig.Graph.add_po a name (value s)) (G.pos g);
   a

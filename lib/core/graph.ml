@@ -10,6 +10,10 @@ type t = {
   names : (int, string) Hashtbl.t;
   mutable pi_ids : int list; (* reversed *)
   mutable po_list : (string * S.t) list; (* reversed *)
+  (* PO-reachability cache, keyed on (num_nodes, num_pos): nodes are
+     append-only and fanins immutable once stored, so the cone can
+     only change when a node or PO is added. *)
+  mutable reach : (int * int * bool array) option;
 }
 
 let create () =
@@ -22,6 +26,7 @@ let create () =
       names = Hashtbl.create 64;
       pi_ids = [];
       po_list = [];
+      reach = None;
     }
   in
   ignore (Vec.push g.f0 (-2));
@@ -78,14 +83,19 @@ let find_maj g a b c =
 
 let maj g a b c =
   match fold_m a b c with
-  | Some s -> s
+  | Some s ->
+      Lsutil.Telemetry.count "maj.fold";
+      s
   | None ->
       let a, b, c, inv = normalize a b c in
       let key = ((a : S.t :> int), (b : S.t :> int), (c : S.t :> int)) in
       let id =
         match Hashtbl.find_opt g.strash key with
-        | Some id -> id
+        | Some id ->
+            Lsutil.Telemetry.count "strash.hit";
+            id
         | None ->
+            Lsutil.Telemetry.count "strash.miss";
             let id = Vec.push g.f0 (a : S.t :> int) in
             ignore (Vec.push g.f1 (b : S.t :> int));
             ignore (Vec.push g.f2 (c : S.t :> int));
@@ -156,14 +166,48 @@ let iter_majs g f =
     if is_maj g i then f i (fanins g i)
   done
 
+(* PO-reachable cone.  Dead nodes appear whenever an algebraic fold
+   (Ω.M) collapses a parent after its operands were built, so metrics
+   must not count allocated-but-unreachable majs — they would inflate
+   size and switching activity (and skew the optimizers' cost
+   comparisons mid-cycle). *)
+let reachable g =
+  let nn = num_nodes g in
+  let np = List.length g.po_list in
+  match g.reach with
+  | Some (n, p, r) when n = nn && p = np -> r
+  | _ ->
+      let r = Array.make (max nn 1) false in
+      let rec visit id =
+        if id >= 0 && id < nn && not r.(id) then begin
+          r.(id) <- true;
+          if is_maj g id then
+            Array.iter (fun s -> visit (S.node s)) (fanins g id)
+        end
+      in
+      List.iter (fun (_, s) -> visit (S.node s)) g.po_list;
+      g.reach <- Some (nn, np, r);
+      r
+
+let iter_live_majs g f =
+  let r = reachable g in
+  for i = 0 to num_nodes g - 1 do
+    if r.(i) && is_maj g i then f i (fanins g i)
+  done
+
 let size g =
+  let c = ref 0 in
+  iter_live_majs g (fun _ _ -> incr c);
+  !c
+
+let num_allocated_majs g =
   let c = ref 0 in
   iter_majs g (fun _ _ -> incr c);
   !c
 
 let fanout_counts g =
   let counts = Array.make (num_nodes g) 0 in
-  iter_majs g (fun _ fs ->
+  iter_live_majs g (fun _ fs ->
       Array.iter (fun s -> counts.(S.node s) <- counts.(S.node s) + 1) fs);
   List.iter (fun (_, s) -> counts.(S.node s) <- counts.(S.node s) + 1) (pos g);
   counts

@@ -54,7 +54,18 @@ val find_maj : t -> S.t -> S.t -> S.t -> S.t option
 
 val num_nodes : t -> int
 val size : t -> int
-(** Number of majority nodes. *)
+(** Number of PO-reachable majority nodes.  Allocated-but-dead nodes
+    (left behind by Ω.M folds during construction) are not counted —
+    [size g = size (cleanup g)] always holds. *)
+
+val num_allocated_majs : t -> int
+(** Number of allocated majority nodes, dead ones included (what
+    {!size} reported before reachability-aware metrics). *)
+
+val reachable : t -> bool array
+(** [reachable g] marks the PO-reachable cone, indexed by node id.
+    Cached: recomputed only after a node or PO is added.  Callers must
+    not mutate the returned array. *)
 
 val is_pi : t -> int -> bool
 val is_maj : t -> int -> bool
@@ -72,7 +83,14 @@ val pos : t -> (string * S.t) list
 val num_pos : t -> int
 val pi_name : t -> int -> string
 val iter_majs : t -> (int -> S.t array -> unit) -> unit
+(** Every allocated majority node, reachable or not. *)
+
+val iter_live_majs : t -> (int -> S.t array -> unit) -> unit
+(** Only the PO-reachable majority nodes. *)
+
 val fanout_counts : t -> int array
+(** Fanout per node, counting edges from PO-reachable majority nodes
+    and the POs themselves; edges out of dead nodes do not count. *)
 
 (** {1 Metrics} *)
 
@@ -97,7 +115,7 @@ val fold_m : S.t -> S.t -> S.t -> S.t option
 
 val strash_count : t -> int
 (** Number of entries in the structural-hashing table.  Equal to
-    {!size} on a well-formed graph. *)
+    {!num_allocated_majs} on a well-formed graph. *)
 
 val raw_fanins : t -> int -> int * int * int
 (** The three raw fanin slots of a node: signal integers for majority

@@ -1,6 +1,7 @@
 module G = Graph
 
 let optimize ~effort ~pi_prob g =
+  Lsutil.Telemetry.record_int "effort" effort;
   let act g = Activity.total ?pi_prob g in
   let cost g = (act g, G.size g) in
   (* size optimization is only a starting point: keep it only when it
@@ -21,4 +22,6 @@ let optimize ~effort ~pi_prob g =
   !best
 
 let run ?check ?(effort = 2) ?pi_prob g =
-  Check.guarded ?enabled:check ~name:"opt_activity" (optimize ~effort ~pi_prob) g
+  Check.guarded ?enabled:check ~name:"opt_activity"
+    (Transform.traced "opt_activity" (optimize ~effort ~pi_prob))
+    g

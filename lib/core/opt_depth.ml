@@ -17,6 +17,7 @@ let saturate pass g ~max_iter =
   !cur
 
 let optimize ~effort ~size_recovery g =
+  Lsutil.Telemetry.record_int "effort" effort;
   let best = ref (G.cleanup g) in
   let original_depth = G.depth !best in
   let cur = ref !best in
@@ -75,4 +76,6 @@ let optimize ~effort ~size_recovery g =
   !best
 
 let run ?check ?(effort = 4) ?(size_recovery = true) g =
-  Check.guarded ?enabled:check ~name:"opt_depth" (optimize ~effort ~size_recovery) g
+  Check.guarded ?enabled:check ~name:"opt_depth"
+    (Transform.traced "opt_depth" (optimize ~effort ~size_recovery))
+    g

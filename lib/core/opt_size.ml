@@ -5,6 +5,7 @@ let cost g = (G.size g, G.depth g)
 let better a b = cost a < cost b
 
 let optimize ~effort g =
+  Lsutil.Telemetry.record_int "effort" effort;
   let best = ref (G.cleanup g) in
   let cur = ref !best in
   for _cycle = 1 to effort do
@@ -33,4 +34,6 @@ let optimize ~effort g =
   !best
 
 let run ?check ?(effort = 2) g =
-  Check.guarded ?enabled:check ~name:"opt_size" (optimize ~effort) g
+  Check.guarded ?enabled:check ~name:"opt_size"
+    (Transform.traced "opt_size" (optimize ~effort))
+    g

@@ -1,5 +1,6 @@
 module S = Network.Signal
 module G = Graph
+module Tel = Lsutil.Telemetry
 
 (* ----- shared helpers ----- *)
 
@@ -116,7 +117,9 @@ let eliminate g =
             (rotations m)
         in
         match candidate with
-        | Some (c1, c2, u, v, z) -> G.maj fresh c1 c2 (G.maj fresh u v z)
+        | Some (c1, c2, u, v, z) ->
+            Tel.count "rewrites";
+            G.maj fresh c1 c2 (G.maj fresh u v z)
         | None -> G.maj fresh m.(0) m.(1) m.(2))
 
 (* ----- push_up: depth-oriented Ω.D (L→R), Ω.A, Ψ.C ----- *)
@@ -230,7 +233,9 @@ let push_up g =
             None !candidates
         in
         match best with
-        | Some (lvl, _, thunk) when lvl < copy_level -> thunk ()
+        | Some (lvl, _, thunk) when lvl < copy_level ->
+            Tel.count "rewrites";
+            thunk ()
         | _ -> G.maj fresh m.(0) m.(1) m.(2)
         end)
 
@@ -271,6 +276,7 @@ let relevance_rebuild g plan =
             let m = Array.map value old_fs in
             G.maj fresh m.(0) m.(1) m.(2)
         | Some (x, y, z) ->
+            Tel.count "rewrites";
             let xv = value x and yv = value y in
             (* Rebuild the cone of z, replacing edges onto node(x):
                an edge equal to x becomes y', its complement becomes y. *)
@@ -426,7 +432,11 @@ let substitution ?(max_candidates = 8) ~on_critical g =
                 (G.maj fresh (S.not_ vv) k_vu uv)
                 (G.maj fresh (S.not_ vv) k_vu' (S.not_ uv))
             in
-            if level cand < level copy then cand else copy)
+            if level cand < level copy then begin
+              Tel.count "rewrites";
+              cand
+            end
+            else copy)
 
 (* ----- derived-identity rewriting: collapse AOIG patterns ----- *)
 
@@ -571,7 +581,11 @@ let rewrite_patterns ?(k = 3) ?(max_cuts = 8) ?(mode = `Depth) g =
                   | _ -> if accept (level s) then best := Some (key, s))
               | _ -> ())
           cuts.(id);
-        match !best with Some (_, s) -> s | None -> copy)
+        match !best with
+        | Some (_, s) ->
+            Tel.count "rewrites";
+            s
+        | None -> copy)
 
 (* ----- refactoring: cone resynthesis through ISOP + factoring ----- *)
 
@@ -640,6 +654,7 @@ let refactor ?(max_leaves = 10) g =
               let m = Array.map value old_fs in
               G.maj fresh m.(0) m.(1) m.(2)
           | Some (cut, form) ->
+              Tel.count "rewrites";
               let leaves = Array.map (fun l -> value (S.make l false)) cut in
               build_factored fresh leaves form)
   in
@@ -700,4 +715,40 @@ let reshape_assoc g =
                     (rotations inner))
             (rotations m)
         in
-        match candidate with Some build -> build () | None -> copy ())
+        match candidate with
+        | Some build ->
+            Tel.count "rewrites";
+            build ()
+        | None -> copy ())
+
+(* ----- telemetry wrappers -----
+
+   Every pass reports wall-clock, nodes/depth in and out, and the
+   number of rewrites it applied, as one span per invocation.  When
+   [MIG_STATS] is off the wrappers reduce to a load-and-branch. *)
+
+let traced name pass g =
+  Tel.span name (fun () ->
+      if Tel.enabled () then begin
+        Tel.record_int "nodes_in" (G.size g);
+        Tel.record_int "depth_in" (G.depth g)
+      end;
+      let out = pass g in
+      if Tel.enabled () then begin
+        Tel.record_int "nodes_out" (G.size out);
+        Tel.record_int "depth_out" (G.depth out)
+      end;
+      out)
+
+let eliminate g = traced "transform:eliminate" eliminate g
+let push_up g = traced "transform:push_up" push_up g
+let relevance ?cone_limit g = traced "transform:relevance" (relevance ?cone_limit) g
+
+let substitution ?max_candidates ~on_critical g =
+  traced "transform:substitution" (substitution ?max_candidates ~on_critical) g
+
+let rewrite_patterns ?k ?max_cuts ?mode g =
+  traced "transform:rewrite_patterns" (rewrite_patterns ?k ?max_cuts ?mode) g
+
+let refactor ?max_leaves g = traced "transform:refactor" (refactor ?max_leaves) g
+let reshape_assoc g = traced "transform:reshape_assoc" reshape_assoc g

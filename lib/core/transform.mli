@@ -69,3 +69,9 @@ val reshape_assoc : mig -> mig
     applied only when the rewritten inner node already exists, so a
     private node is replaced by a shared one.  Never increases size
     after sweeping. *)
+
+val traced : string -> (mig -> mig) -> mig -> mig
+(** [traced name pass g] runs [pass g] inside a telemetry span that
+    records nodes/depth in → out (the instrumentation every pass
+    above already carries; exposed for the optimization loops and
+    external passes). *)

@@ -1,94 +1,143 @@
-type opt_result = { size : int; depth : int; activity : float; time : float }
+module T = Lsutil.Telemetry
+
+type opt_result = {
+  size : int;
+  depth : int;
+  activity : float;
+  time : float;
+  guard_time : float;
+}
+
 type syn_result = { area : float; delay : float; power : float; time : float }
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let x = f () in
-  (x, Unix.gettimeofday () -. t0)
+let timed = T.time
 
 (* All flows receive the same flattened AND/OR/INV input, as in the
    paper's methodology (§V.A.1). *)
-let flatten = Network.Graph.flatten_aoig
+let flatten net = T.span "flow:flatten" (fun () -> Network.Graph.flatten_aoig net)
+
+(* Run [pass] with the transform guard around — not inside — the
+   timed region: the reported [time] is the transform alone, and the
+   lint + simulation-miter overhead of [MIG_CHECK=1] lands in
+   [guard_time] (and in the [guard:*] telemetry spans) instead of
+   corrupting the Table-I runtime column. *)
+let guarded_timed ~enabled ~verify_pre ~verify_post pass g =
+  if not enabled then begin
+    let out, t = timed (fun () -> pass g) in
+    (out, t, 0.0)
+  end
+  else begin
+    let (), t_pre = timed (fun () -> verify_pre g) in
+    let out, t = timed (fun () -> pass g) in
+    let (), t_post = timed (fun () -> verify_post g out) in
+    (out, t, t_pre +. t_post)
+  end
 
 let mig_opt ?check ?(effort = 3) net =
-  let net = flatten net in
-  let m = Mig.Convert.of_network net in
-  let opt, time = timed (fun () -> Mig.Opt_depth.run ?check ~effort m) in
-  ( opt,
-    {
-      size = Mig.Graph.size opt;
-      depth = Mig.Graph.depth opt;
-      activity = Mig.Activity.total opt;
-      time;
-    } )
+  T.span "flow:mig_opt" (fun () ->
+      let net = flatten net in
+      let m = T.span "flow:of_network" (fun () -> Mig.Convert.of_network net) in
+      let opt, time, guard_time =
+        guarded_timed
+          ~enabled:(Check.Env.resolve check)
+          ~verify_pre:(Mig.Check.verify_pre ~name:"opt_depth")
+          ~verify_post:(Mig.Check.verify_post ~name:"opt_depth")
+          (Mig.Opt_depth.run ~check:false ~effort)
+          m
+      in
+      ( opt,
+        {
+          size = Mig.Graph.size opt;
+          depth = Mig.Graph.depth opt;
+          activity = Mig.Activity.total opt;
+          time;
+          guard_time;
+        } ))
 
 let aig_opt ?check ?(effort = 2) net =
-  let net = flatten net in
-  let a = Aig.Convert.of_network net in
-  let opt, time = timed (fun () -> Aig.Resyn.run ?check ~effort a) in
-  let as_net = Aig.Convert.to_network opt in
-  ( opt,
-    {
-      size = Aig.Graph.size opt;
-      depth = Aig.Graph.depth opt;
-      activity = Network.Metrics.activity as_net;
-      time;
-    } )
+  T.span "flow:aig_opt" (fun () ->
+      let net = flatten net in
+      let a = T.span "flow:of_network" (fun () -> Aig.Convert.of_network net) in
+      let opt, time, guard_time =
+        guarded_timed
+          ~enabled:(Check.Env.resolve check)
+          ~verify_pre:(Aig.Check.verify_pre ~name:"resyn")
+          ~verify_post:(Aig.Check.verify_post ~name:"resyn")
+          (Aig.Resyn.run ~check:false ~effort)
+          a
+      in
+      let as_net = Aig.Convert.to_network opt in
+      ( opt,
+        {
+          size = Aig.Graph.size opt;
+          depth = Aig.Graph.depth opt;
+          activity = Network.Metrics.activity as_net;
+          time;
+          guard_time;
+        } ))
 
 let bds_opt ?(node_limit = 1_500_000) ~seed net =
-  let net = flatten net in
-  let result, time = timed (fun () -> Bdd.Decompose.run ~node_limit ~seed net) in
-  Option.map
-    (fun d ->
-      ( d,
-        {
-          size = Network.Graph.size d;
-          depth = Network.Metrics.depth d;
-          activity = Network.Metrics.activity d;
-          time;
-        } ))
-    result
+  T.span "flow:bds_opt" (fun () ->
+      let net = flatten net in
+      let result, time = timed (fun () -> Bdd.Decompose.run ~node_limit ~seed net) in
+      Option.map
+        (fun d ->
+          ( d,
+            {
+              size = Network.Graph.size d;
+              depth = Network.Metrics.depth d;
+              activity = Network.Metrics.activity d;
+              time;
+              guard_time = 0.0;
+            } ))
+        result)
+
+(* Synthesis runtimes are optimization + mapping; guard overhead is
+   excluded the same way as in the optimization flows. *)
+
+let map_timed ?lib net =
+  T.span "flow:map" (fun () ->
+      timed (fun () -> Tech.Mapper.map_network ?lib net))
 
 let mig_synth ?check ?effort net =
-  let (opt, _), time =
-    timed (fun () ->
-        let opt, r = mig_opt ?check ?effort net in
-        (opt, r))
-  in
-  let mapped = Tech.Mapper.map_network (Mig.Convert.to_network opt) in
-  {
-    area = mapped.Tech.Mapper.area;
-    delay = mapped.Tech.Mapper.delay;
-    power = mapped.Tech.Mapper.power;
-    time;
-  }
+  T.span "flow:mig_synth" (fun () ->
+      let opt, r = mig_opt ?check ?effort net in
+      let mapped, t_map = map_timed (Mig.Convert.to_network opt) in
+      {
+        area = mapped.Tech.Mapper.area;
+        delay = mapped.Tech.Mapper.delay;
+        power = mapped.Tech.Mapper.power;
+        time = r.time +. t_map;
+      })
 
 let aig_synth ?check ?effort net =
-  let (opt, _), time =
-    timed (fun () ->
-        let opt, r = aig_opt ?check ?effort net in
-        (opt, r))
-  in
-  let mapped = Tech.Mapper.map_network (Aig.Convert.to_network opt) in
-  {
-    area = mapped.Tech.Mapper.area;
-    delay = mapped.Tech.Mapper.delay;
-    power = mapped.Tech.Mapper.power;
-    time;
-  }
+  T.span "flow:aig_synth" (fun () ->
+      let opt, r = aig_opt ?check ?effort net in
+      let mapped, t_map = map_timed (Aig.Convert.to_network opt) in
+      {
+        area = mapped.Tech.Mapper.area;
+        delay = mapped.Tech.Mapper.delay;
+        power = mapped.Tech.Mapper.power;
+        time = r.time +. t_map;
+      })
 
 let cst_synth ?check ?(effort = 2) net =
-  let mapped, time =
-    timed (fun () ->
-        let a = Aig.Convert.of_network (flatten net) in
-        let a = Aig.Resyn.size_only ?check ~effort a in
-        let a = Aig.Balance.run a in
-        Tech.Mapper.map_network ~lib:Tech.Cells.no_majority
-          (Aig.Convert.to_network a))
-  in
-  {
-    area = mapped.Tech.Mapper.area;
-    delay = mapped.Tech.Mapper.delay;
-    power = mapped.Tech.Mapper.power;
-    time;
-  }
+  T.span "flow:cst_synth" (fun () ->
+      let a = Aig.Convert.of_network (flatten net) in
+      let opt, t_opt, _guard =
+        guarded_timed
+          ~enabled:(Check.Env.resolve check)
+          ~verify_pre:(Aig.Check.verify_pre ~name:"resyn:size_only")
+          ~verify_post:(Aig.Check.verify_post ~name:"resyn:size_only")
+          (fun a -> Aig.Balance.run (Aig.Resyn.size_only ~check:false ~effort a))
+          a
+      in
+      let mapped, t_map =
+        map_timed ~lib:Tech.Cells.no_majority (Aig.Convert.to_network opt)
+      in
+      {
+        area = mapped.Tech.Mapper.area;
+        delay = mapped.Tech.Mapper.delay;
+        power = mapped.Tech.Mapper.power;
+        time = t_opt +. t_map;
+      })

@@ -9,7 +9,13 @@ type opt_result = {
   size : int;
   depth : int;
   activity : float;
-  time : float;  (** seconds *)
+  time : float;
+      (** Transform wall-clock in seconds — the guard (when enabled)
+          runs and is timed outside this, so Table-I runtimes are
+          comparable whether or not [MIG_CHECK=1] is set. *)
+  guard_time : float;
+      (** Seconds spent in [verify_pre]/[verify_post] around the
+          transform; [0.] when the guard is disabled. *)
 }
 
 type syn_result = {

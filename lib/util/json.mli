@@ -1,0 +1,38 @@
+(** Minimal JSON tree, printer and parser (no external deps).
+
+    Just enough for the benchmark harness to emit schema-stable
+    records ([BENCH_*.json]) and for the tooling to validate them.
+    Printing escapes strings per RFC 8259; non-finite floats are
+    emitted as [null].  The parser accepts the full JSON grammar,
+    including [\uXXXX] escapes (decoded to UTF-8; surrogate pairs
+    supported). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val pp : Format.formatter -> t -> unit
+(** Compact, single-line rendering. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error.
+    The error string carries a character offset. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on absent field or non-object. *)
+
+val to_list : t -> t list option
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int] values. *)
+
+val to_str : t -> string option

@@ -1,0 +1,177 @@
+type value = Int of int | Float of float | Bool of bool | String of string
+
+type node = {
+  name : string;
+  elapsed : float;
+  meta : (string * value) list;
+  counters : (string * int) list;
+  children : node list;
+}
+
+let env_enabled =
+  match Sys.getenv_opt "MIG_STATS" with
+  | None -> false
+  | Some v -> (
+      match String.lowercase_ascii (String.trim v) with
+      | "1" | "true" | "on" | "yes" -> true
+      | _ -> false)
+
+let on = ref env_enabled
+let enabled () = !on
+let set_enabled b = on := b
+
+let now = Unix.gettimeofday
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)
+
+(* ----- live spans ----- *)
+
+(* Counters are [int ref]s so the hot path ([count] on an existing
+   key, e.g. one strash probe per [maj] call) is a single lookup plus
+   an in-place increment. *)
+type live = {
+  l_name : string;
+  l_start : float;
+  l_counters : (string, int ref) Hashtbl.t;
+  mutable l_meta : (string * value) list;
+  mutable l_children : node list; (* reversed *)
+}
+
+(* The innermost open span is the head.  Recording only happens
+   between [capture] and its return, so with stats on but no capture
+   in progress the stack stays empty and [span]/[count]/[record] are
+   still no-ops. *)
+let stack : live list ref = ref []
+
+let open_span name =
+  let l =
+    {
+      l_name = name;
+      l_start = now ();
+      l_counters = Hashtbl.create 8;
+      l_meta = [];
+      l_children = [];
+    }
+  in
+  stack := l :: !stack;
+  l
+
+let close_span l =
+  (match !stack with
+  | x :: rest when x == l -> stack := rest
+  | _ ->
+      (* a child span leaked past its parent (exception paths); drop
+         everything down to and including [l] *)
+      let rec pop = function
+        | [] -> []
+        | x :: rest -> if x == l then rest else pop rest
+      in
+      stack := pop !stack);
+  let sorted_assoc l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  {
+    name = l.l_name;
+    elapsed = now () -. l.l_start;
+    meta = sorted_assoc l.l_meta;
+    counters =
+      sorted_assoc (Hashtbl.fold (fun k v acc -> (k, !v) :: acc) l.l_counters []);
+    children = List.rev l.l_children;
+  }
+
+let attach n =
+  match !stack with
+  | parent :: _ -> parent.l_children <- n :: parent.l_children
+  | [] -> ()
+
+let span name f =
+  if (not !on) || !stack = [] then f ()
+  else begin
+    let l = open_span name in
+    match f () with
+    | x ->
+        attach (close_span l);
+        x
+    | exception e ->
+        attach (close_span l);
+        raise e
+  end
+
+let count ?(n = 1) name =
+  if !on then
+    match !stack with
+    | [] -> ()
+    | l :: _ -> (
+        match Hashtbl.find_opt l.l_counters name with
+        | Some r -> r := !r + n
+        | None -> Hashtbl.add l.l_counters name (ref n))
+
+let record name v =
+  if !on then
+    match !stack with
+    | [] -> ()
+    | l :: _ -> l.l_meta <- (name, v) :: List.remove_assoc name l.l_meta
+
+let record_int name i = record name (Int i)
+let record_float name f = record name (Float f)
+
+let capture name f =
+  if not !on then (f (), None)
+  else begin
+    let l = open_span name in
+    match f () with
+    | x ->
+        let n = close_span l in
+        attach n;
+        (x, Some n)
+    | exception e ->
+        attach (close_span l);
+        raise e
+  end
+
+(* ----- reporting ----- *)
+
+let pp_value fmt = function
+  | Int i -> Format.pp_print_int fmt i
+  | Float f -> Format.fprintf fmt "%.4g" f
+  | Bool b -> Format.pp_print_bool fmt b
+  | String s -> Format.pp_print_string fmt s
+
+let pp fmt root =
+  let rec go indent n =
+    Format.fprintf fmt "%s%-*s %8.3f ms" indent
+      (max 1 (32 - String.length indent))
+      n.name (n.elapsed *. 1000.0);
+    List.iter
+      (fun (k, v) -> Format.fprintf fmt "  %s=%a" k pp_value v)
+      n.meta;
+    List.iter (fun (k, c) -> Format.fprintf fmt "  %s=%d" k c) n.counters;
+    Format.pp_print_newline fmt ();
+    List.iter (go (indent ^ "  ")) n.children
+  in
+  go "" root
+
+let rec to_json n =
+  let fields = [ ("name", Json.String n.name); ("elapsed_s", Json.Float n.elapsed) ] in
+  let value_json = function
+    | Int i -> Json.Int i
+    | Float f -> Json.Float f
+    | Bool b -> Json.Bool b
+    | String s -> Json.String s
+  in
+  let fields =
+    if n.meta = [] then fields
+    else fields @ [ ("meta", Json.Obj (List.map (fun (k, v) -> (k, value_json v)) n.meta)) ]
+  in
+  let fields =
+    if n.counters = [] then fields
+    else
+      fields
+      @ [ ("counters", Json.Obj (List.map (fun (k, c) -> (k, Json.Int c)) n.counters)) ]
+  in
+  let fields =
+    if n.children = [] then fields
+    else fields @ [ ("children", Json.List (List.map to_json n.children)) ]
+  in
+  Json.Obj fields

@@ -1,0 +1,64 @@
+(** Pass-level telemetry: hierarchical wall-clock spans and counters.
+
+    Every optimization pass wraps its work in {!span}; inside a span,
+    {!count} accumulates event counters (rewrites applied, strash
+    hits, …) and {!record} attaches metadata (nodes/depth in → out).
+    Disabled by default: every entry point is a single load-and-branch
+    no-op unless [MIG_STATS] is set in the environment ([1], [true],
+    [on], [yes]) or {!set_enabled} was called — so instrumented hot
+    paths cost nothing measurable in ordinary runs.
+
+    Spans form a tree per {!capture} root; the completed tree is a
+    pure {!node} value that can be pretty-printed ({!pp}) or emitted
+    as JSON ({!to_json}, the [BENCH_*.json] span schema). *)
+
+type value = Int of int | Float of float | Bool of bool | String of string
+
+type node = {
+  name : string;
+  elapsed : float;  (** seconds *)
+  meta : (string * value) list;  (** sorted by key *)
+  counters : (string * int) list;  (** sorted by key *)
+  children : node list;  (** in execution order *)
+}
+
+val enabled : unit -> bool
+(** Current recording state (initially from [MIG_STATS]). *)
+
+val set_enabled : bool -> unit
+
+(** {1 Recording} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a child span of the current one.
+    When recording is off, or no {!capture} is active, this is
+    exactly [f ()].  Exceptions propagate; the span is closed with
+    the time accumulated so far. *)
+
+val count : ?n:int -> string -> unit
+(** Add [n] (default 1) to a counter of the innermost open span. *)
+
+val record : string -> value -> unit
+(** Set a metadata field on the innermost open span (last write
+    wins). *)
+
+val record_int : string -> int -> unit
+val record_float : string -> float -> unit
+
+val capture : string -> (unit -> 'a) -> 'a * node option
+(** [capture name f] runs [f] under a fresh root span and returns its
+    completed tree — [None] when recording is off.  Captures nest: an
+    inner capture's tree is also attached to the enclosing span. *)
+
+(** {1 Reporting} *)
+
+val pp : Format.formatter -> node -> unit
+(** Human-readable indented tree: time, meta, counters per span. *)
+
+val to_json : node -> Json.t
+(** [{"name", "elapsed_s", "meta", "counters", "children"}]. *)
+
+(** {1 Clock} *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Wall-clock a thunk (always on; independent of {!enabled}). *)

@@ -1,6 +1,13 @@
-type 'a t = { mutable data : 'a array; mutable len : int }
+(* The backing array only ever holds values that were actually pushed:
+   an empty vector is backed by [| |] (valid at every 'a), and the
+   first push seeds [Array.make] with the pushed element, so the
+   array's runtime representation (flat float array vs boxed) is
+   always the right one.  No [Obj.magic] — a dummy forged from [0]
+   breaks the flat float-array representation and lets immediates
+   masquerade as pointers. *)
+type 'a t = { mutable data : 'a array; mutable len : int; mutable cap : int }
 
-let create ?(capacity = 16) () = { data = Array.make (max capacity 1) (Obj.magic 0); len = 0 }
+let create ?(capacity = 16) () = { data = [||]; len = 0; cap = max capacity 1 }
 
 let length v = v.len
 
@@ -15,16 +22,16 @@ let set v i x =
   check v i;
   v.data.(i) <- x
 
-let grow v =
-  let cap = Array.length v.data in
-  let data = Array.make (cap * 2) v.data.(0) in
+(* Reallocate to [cap] slots, seeding with [x] (a value of the right
+   representation: either the first push or an existing element). *)
+let realloc v cap x =
+  let data = Array.make cap x in
   Array.blit v.data 0 data 0 v.len;
   v.data <- data
 
 let push v x =
-  if v.len = Array.length v.data then begin
-    if v.len = 0 then v.data <- Array.make 16 x else grow v
-  end;
+  if v.len = Array.length v.data then
+    realloc v (if v.len = 0 then v.cap else 2 * v.len) x;
   v.data.(v.len) <- x;
   v.len <- v.len + 1;
   v.len - 1
@@ -47,5 +54,5 @@ let fold_left f acc v =
   !acc
 
 let to_array v = Array.sub v.data 0 v.len
-let of_array a = { data = (if Array.length a = 0 then Array.make 1 (Obj.magic 0) else Array.copy a); len = Array.length a }
+let of_array a = { data = Array.copy a; len = Array.length a; cap = max (Array.length a) 1 }
 let clear v = v.len <- 0

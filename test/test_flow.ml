@@ -36,6 +36,26 @@ let test_bds_na () =
   Alcotest.(check bool) "N.A. on multiplier" true
     (Flow.bds_opt ~node_limit:10_000 ~seed:5 net = None)
 
+let test_guard_time_split () =
+  (* The transform guard (MIG_CHECK=1) must not leak into the
+     reported pass time: [time] is the bare transform either way,
+     guard overhead lands in [guard_time]. *)
+  let net = (Benchmarks.Suite.find "count").Benchmarks.Suite.build () in
+  let _, unguarded = Flow.mig_opt ~check:false net in
+  let g, guarded = Flow.mig_opt ~check:true net in
+  Alcotest.(check bool) "guard ran" true (guarded.Flow.guard_time > 0.0);
+  Alcotest.(check (float 0.0)) "no guard, no guard_time" 0.0
+    unguarded.Flow.guard_time;
+  Alcotest.(check bool) "guarded run still equivalent" true
+    (Mig.Equiv.to_network_equiv ~seed:6 g (flat "count"));
+  (* Loose bound: the two bare-transform times must be comparable —
+     before the split the guarded one also carried lint + miter. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "pass time unpolluted (%.3fs vs %.3fs)" guarded.Flow.time
+       unguarded.Flow.time)
+    true
+    (guarded.Flow.time < (unguarded.Flow.time *. 5.0) +. 0.1)
+
 let test_synth_flows () =
   let net = (Benchmarks.Suite.find "my_adder").Benchmarks.Suite.build () in
   let mig = Flow.mig_synth net in
@@ -59,6 +79,7 @@ let () =
           Alcotest.test_case "aig" `Quick test_aig_flow;
           Alcotest.test_case "bds" `Quick test_bds_flow;
           Alcotest.test_case "bds N.A." `Quick test_bds_na;
+          Alcotest.test_case "guard time split" `Quick test_guard_time_split;
         ] );
       ( "synthesis",
         [ Alcotest.test_case "three flows" `Slow test_synth_flows ] );

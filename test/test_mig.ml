@@ -20,9 +20,9 @@ let test_omega_m_folding () =
     (S.equal c (M.maj g a (S.not_ a) c));
   Alcotest.(check bool) "M(0,x,1) = x" true
     (S.equal b (M.maj g (M.const0 g) b (M.const1 g)));
-  Alcotest.(check int) "nothing allocated" 0 (M.size g);
+  Alcotest.(check int) "nothing allocated" 0 (M.num_allocated_majs g);
   ignore (M.maj g a b c);
-  Alcotest.(check int) "one node" 1 (M.size g)
+  Alcotest.(check int) "one node" 1 (M.num_allocated_majs g)
 
 let test_normal_form () =
   let g = M.create () in
@@ -39,7 +39,7 @@ let test_normal_form () =
   (* Ω.C: orderings share the same node *)
   let t = M.maj g c (S.not_ b) (S.not_ a) in
   Alcotest.(check bool) "commutative strash" true (S.equal s t);
-  Alcotest.(check int) "single node for all orderings" 1 (M.size g)
+  Alcotest.(check int) "single node for all orderings" 1 (M.num_allocated_majs g)
 
 let test_fanins_of_view () =
   let g = M.create () in
@@ -90,6 +90,31 @@ let test_cleanup_mig () =
   let g' = M.cleanup g in
   Alcotest.(check int) "dead removed" 1 (M.size g');
   Alcotest.(check bool) "equivalent" true (Mig.Equiv.migs ~seed:3 g g')
+
+(* metrics must see through dead nodes: a graph with unreachable majs
+   reports the same size/activity as its cleanup *)
+let test_dead_node_metrics () =
+  let g = M.create () in
+  let a = M.add_pi g "a" and b = M.add_pi g "b" and c = M.add_pi g "c" in
+  let keep = M.maj g a b c in
+  (* two dead nodes, one feeding the other *)
+  let d1 = M.maj g a b (S.not_ c) in
+  let _d2 = M.maj g d1 (S.not_ a) c in
+  M.add_po g "y" keep;
+  Alcotest.(check int) "three allocated" 3 (M.num_allocated_majs g);
+  let g' = M.cleanup g in
+  Alcotest.(check int) "size ignores dead nodes" (M.size g') (M.size g);
+  Alcotest.(check int) "depth ignores dead nodes" (M.depth g') (M.depth g);
+  Alcotest.(check (float 1e-12)) "activity ignores dead nodes"
+    (Mig.Activity.total g') (Mig.Activity.total g);
+  (* fanout must not count edges out of dead nodes: only the kept node
+     and the PO reference the PIs *)
+  let fo = M.fanout_counts g in
+  Alcotest.(check int) "fanout of a" 1 fo.(S.node a);
+  Alcotest.(check int) "fanout of kept node" 1 fo.(S.node keep);
+  (* the cache revalidates when the graph grows *)
+  M.add_po g "z" d1;
+  Alcotest.(check int) "size after reviving d1" 2 (M.size g)
 
 let test_conversions () =
   let net = Helpers.random_network ~seed:99 ~inputs:9 ~gates:70 ~outputs:5 in
@@ -196,6 +221,7 @@ let () =
           Alcotest.test_case "AND/OR are majorities" `Quick test_and_or_as_maj;
           Alcotest.test_case "parity forms" `Quick test_xor_forms;
           Alcotest.test_case "cleanup" `Quick test_cleanup_mig;
+          Alcotest.test_case "dead-node metrics" `Quick test_dead_node_metrics;
           Alcotest.test_case "levels" `Quick test_levels_mig;
         ] );
       ( "convert",

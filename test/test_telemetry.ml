@@ -1,0 +1,199 @@
+(* Telemetry spans/counters and the hand-rolled JSON layer. *)
+
+module T = Lsutil.Telemetry
+module J = Lsutil.Json
+module M = Mig.Graph
+
+let with_stats on f =
+  let was = T.enabled () in
+  T.set_enabled on;
+  Fun.protect ~finally:(fun () -> T.set_enabled was) f
+
+let meta_int node key =
+  match List.assoc_opt key node.T.meta with
+  | Some (T.Int i) -> i
+  | _ -> Alcotest.failf "span %s: no int meta %s" node.T.name key
+
+let counter node key =
+  match List.assoc_opt key node.T.counters with Some n -> n | None -> 0
+
+(* ----- enable/disable behaviour ----- *)
+
+let test_disabled () =
+  with_stats false (fun () ->
+      let x, tree =
+        T.capture "root" (fun () ->
+            T.span "child" (fun () ->
+                T.count "events";
+                T.record_int "n" 3;
+                41 + 1))
+      in
+      Alcotest.(check int) "value passes through" 42 x;
+      Alcotest.(check bool) "no tree when disabled" true (tree = None))
+
+let test_span_without_capture () =
+  with_stats true (fun () ->
+      (* No capture root: span must degrade to a plain call. *)
+      let x = T.span "orphan" (fun () -> T.count "ignored"; 7) in
+      Alcotest.(check int) "orphan span runs thunk" 7 x)
+
+(* ----- tree shape ----- *)
+
+let test_nesting () =
+  with_stats true (fun () ->
+      let x, tree =
+        T.capture "root" (fun () ->
+            T.record_int "width" 8;
+            let a =
+              T.span "a" (fun () ->
+                  T.count "hits";
+                  T.count ~n:2 "hits";
+                  T.span "a.inner" (fun () -> 1))
+            in
+            let b = T.span "b" (fun () -> T.count "misses"; 2) in
+            a + b)
+      in
+      Alcotest.(check int) "result" 3 x;
+      match tree with
+      | None -> Alcotest.fail "capture returned no tree while enabled"
+      | Some root ->
+          Alcotest.(check string) "root name" "root" root.T.name;
+          Alcotest.(check int) "root meta" 8 (meta_int root "width");
+          Alcotest.(check (list string))
+            "children in execution order" [ "a"; "b" ]
+            (List.map (fun n -> n.T.name) root.T.children);
+          let a = List.hd root.T.children in
+          Alcotest.(check int) "counter accumulates" 3 (counter a "hits");
+          Alcotest.(check (list string))
+            "grandchild" [ "a.inner" ]
+            (List.map (fun n -> n.T.name) a.T.children);
+          let b = List.nth root.T.children 1 in
+          Alcotest.(check int) "sibling counter" 1 (counter b "misses");
+          Alcotest.(check bool) "elapsed is non-negative" true
+            (root.T.elapsed >= 0.0
+            && List.for_all (fun c -> c.T.elapsed >= 0.0) root.T.children))
+
+let test_exception_closes_spans () =
+  with_stats true (fun () ->
+      (match
+         T.capture "root" (fun () ->
+             T.span "boom" (fun () -> failwith "expected"))
+       with
+      | (_ : unit * T.node option) -> Alcotest.fail "exception swallowed"
+      | exception Failure _ -> ());
+      (* The stack must be clean again: a fresh capture still works. *)
+      let x, tree = T.capture "after" (fun () -> T.span "ok" (fun () -> 5)) in
+      Alcotest.(check int) "recovered" 5 x;
+      match tree with
+      | Some n ->
+          Alcotest.(check (list string))
+            "clean child list" [ "ok" ]
+            (List.map (fun c -> c.T.name) n.T.children)
+      | None -> Alcotest.fail "no tree after recovery")
+
+(* ----- traced passes report reachable sizes ----- *)
+
+let vars = [ "a"; "b"; "c"; "d" ]
+
+let mig_of_terms terms =
+  Mig.Convert.of_network (Helpers.network_of_terms ~vars terms)
+
+let find_span tree name =
+  let rec go n acc =
+    let acc = if n.T.name = name then n :: acc else acc in
+    List.fold_left (fun acc c -> go c acc) acc n.T.children
+  in
+  go tree []
+
+let test_traced_sizes =
+  Helpers.qtest ~count:60 "traced pass records reachable size in/out"
+    QCheck2.Gen.(list_size (int_range 1 3) (Helpers.gen_term ~vars ~depth:3))
+    (fun terms ->
+      let m = mig_of_terms terms in
+      with_stats true (fun () ->
+          let out, tree =
+            T.capture "root" (fun () -> Mig.Transform.eliminate m)
+          in
+          match tree with
+          | None -> QCheck2.Test.fail_report "no tree captured"
+          | Some root -> (
+              match find_span root "transform:eliminate" with
+              | [ sp ] ->
+                  meta_int sp "nodes_in" = M.size m
+                  && meta_int sp "nodes_out" = M.size out
+                  && meta_int sp "nodes_out" = M.size (M.cleanup out)
+                  && meta_int sp "depth_out" = M.depth out
+              | l ->
+                  QCheck2.Test.fail_reportf "%d eliminate spans" (List.length l)
+              )))
+
+(* ----- JSON ----- *)
+
+let test_json_roundtrip () =
+  with_stats true (fun () ->
+      let (), tree =
+        T.capture "r" (fun () ->
+            T.span "s" (fun () ->
+                T.count "k";
+                T.record "label" (T.String "x\"y\n");
+                T.record_float "ratio" 0.5))
+      in
+      let node = Option.get tree in
+      let s = J.to_string (T.to_json node) in
+      match J.of_string s with
+      | Error e -> Alcotest.failf "reparse failed: %s" e
+      | Ok doc ->
+          Alcotest.(check (option string))
+            "name survives" (Some "r")
+            (Option.bind (J.member "name" doc) J.to_str);
+          let child =
+            match Option.bind (J.member "children" doc) J.to_list with
+            | Some [ c ] -> c
+            | _ -> Alcotest.fail "expected one child"
+          in
+          Alcotest.(check (option string))
+            "escaped meta string" (Some "x\"y\n")
+            (Option.bind
+               (Option.bind (J.member "meta" child) (J.member "label"))
+               J.to_str);
+          Alcotest.(check (option int))
+            "counter" (Some 1)
+            (Option.bind
+               (Option.bind (J.member "counters" child) (J.member "k"))
+               J.to_int))
+
+let test_json_parser () =
+  let ok s expect =
+    match J.of_string s with
+    | Ok v -> Alcotest.(check string) s expect (J.to_string v)
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  ok {|{"a":[1,-2.5,true,null],"b":"é\t"}|} {|{"a":[1,-2.5,true,null],"b":"é\t"}|};
+  ok {|"😀"|} {|"😀"|};
+  ok "  [ ]  " "[]";
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed %s" s
+      | Error _ -> ())
+    [ "{"; "[1,]"; "\"unterminated"; "1 2"; "nul"; "{\"a\":}"; "" ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "telemetry",
+        [
+          Alcotest.test_case "disabled capture" `Quick test_disabled;
+          Alcotest.test_case "span without capture" `Quick
+            test_span_without_capture;
+          Alcotest.test_case "nesting" `Quick test_nesting;
+          Alcotest.test_case "exception safety" `Quick
+            test_exception_closes_spans;
+          test_traced_sizes;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parser" `Quick test_json_parser;
+        ] );
+    ]

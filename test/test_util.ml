@@ -30,6 +30,38 @@ let test_vec_iter_fold () =
   V.clear v;
   Alcotest.(check int) "clear" 0 (V.length v)
 
+(* the backing store must be representation-sound: a float Vec goes
+   through OCaml's flat float-array layout, so any [Obj.magic 0] dummy
+   in the backing array corrupts reads/blits *)
+let test_vec_float_payload () =
+  let v = V.create ~capacity:4 () in
+  for i = 0 to 99 do
+    ignore (V.push v (float_of_int i +. 0.5))
+  done;
+  Alcotest.(check (float 0.0)) "get through growth" 42.5 (V.get v 42);
+  Alcotest.(check (float 0.0)) "fold sum" 5000.0 (V.fold_left ( +. ) 0.0 v);
+  V.set v 0 (-1.25);
+  Alcotest.(check (float 0.0)) "set" (-1.25) (V.get v 0);
+  let a = V.to_array v in
+  Alcotest.(check (float 0.0)) "to_array flat access" 99.5 a.(99);
+  let w = V.of_array [| 1.5; 2.5 |] in
+  ignore (V.push w 3.5);
+  Alcotest.(check (float 0.0)) "of_array then push" 3.5 (V.get w 2)
+
+type rec_payload = { tag : string; weight : float }
+
+let test_vec_record_payload () =
+  let v = V.create () in
+  for i = 0 to 49 do
+    ignore (V.push v { tag = string_of_int i; weight = float_of_int i })
+  done;
+  let r = V.get v 17 in
+  Alcotest.(check string) "field access" "17" r.tag;
+  Alcotest.(check (float 0.0)) "float field" 17.0 r.weight;
+  V.iteri (fun i x -> Alcotest.(check string) "iteri" (string_of_int i) x.tag) v;
+  let a = V.to_array v in
+  Alcotest.(check string) "to_array" "49" a.(49).tag
+
 let test_rng_determinism () =
   let a = R.create 7 and b = R.create 7 in
   for _ = 1 to 100 do
@@ -81,6 +113,8 @@ let () =
           Alcotest.test_case "push/get/set" `Quick test_vec_push_get;
           Alcotest.test_case "bounds" `Quick test_vec_bounds;
           Alcotest.test_case "iterate/fold" `Quick test_vec_iter_fold;
+          Alcotest.test_case "float payload" `Quick test_vec_float_payload;
+          Alcotest.test_case "record payload" `Quick test_vec_record_payload;
         ] );
       ( "rng",
         [

@@ -1,0 +1,85 @@
+(* CI regression gate for the core-engine hot path.
+
+   Usage: hotpath_gate BASELINE.json FRESH.json
+
+   Compares the maj-construction throughput of a fresh
+   [bench/main.exe --json FRESH.json hotpath] run against the
+   committed baseline (BENCH_ci.json), and exits non-zero when the
+   fresh run is more than 25% below it.
+
+   The comparison uses [calls_per_op] — maj calls per calibration-loop
+   operation — not raw calls/s: the hotpath section first measures a
+   fixed int-array loop as a machine-speed proxy, so the normalized
+   figure survives CI runners of different speeds.  The 25% tolerance
+   absorbs the remaining noise (cache topology, memory bandwidth and
+   co-tenancy still shift the normalized figure run-to-run); a real
+   regression from reintroducing allocation or a slower probe loop
+   costs well over 25%. *)
+
+module J = Lsutil.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("hotpath_gate: " ^ s);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error e -> fail "%s" e in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let number = function
+  | J.Int i -> float_of_int i
+  | J.Float f -> f
+  | _ -> nan
+
+(* the hotpath/maj_construction record's [field] *)
+let metric path field =
+  match J.of_string (read_file path) with
+  | Error e -> fail "%s: parse error: %s" path e
+  | Ok doc -> (
+      let records =
+        match J.member "records" doc with
+        | Some (J.List l) -> l
+        | _ -> fail "%s: \"records\" is not a list" path
+      in
+      let is_maj_construction r =
+        J.member "section" r = Some (J.String "hotpath")
+        && J.member "name" r = Some (J.String "maj_construction")
+      in
+      match List.find_opt is_maj_construction records with
+      | None -> fail "%s: no hotpath/maj_construction record" path
+      | Some r -> (
+          match J.member field r with
+          | Some v ->
+              let f = number v in
+              if Float.is_nan f || f <= 0.0 then
+                fail "%s: %s is not a positive number" path field;
+              f
+          | None -> fail "%s: maj_construction record lacks %s" path field))
+
+let tolerance = 0.25
+
+let () =
+  let baseline_path, fresh_path =
+    match Sys.argv with
+    | [| _; b; f |] -> (b, f)
+    | _ -> fail "usage: hotpath_gate BASELINE.json FRESH.json"
+  in
+  let base = metric baseline_path "calls_per_op" in
+  let fresh = metric fresh_path "calls_per_op" in
+  let ratio = fresh /. base in
+  Printf.printf
+    "hotpath_gate: maj construction %.4e calls/op vs baseline %.4e (%.0f%%)\n"
+    fresh base (100.0 *. ratio);
+  if ratio < 1.0 -. tolerance then begin
+    Printf.eprintf
+      "hotpath_gate: FAIL - normalized throughput dropped more than %.0f%%\n"
+      (100.0 *. tolerance);
+    exit 1
+  end
+  else print_endline "hotpath_gate: OK"

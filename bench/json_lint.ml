@@ -79,9 +79,40 @@ let spans i r =
   | Some (J.Obj fields) -> List.iter (fun (k, v) -> span_tree i k v) fields
   | Some _ -> fail "record %d: field \"spans\" is not an object" i
 
+let int_field i r key =
+  match J.member key r with
+  | Some (J.Int _) -> ()
+  | _ -> fail "record %d: %s is not an int" i key
+
+(* hotpath records are flat name-dispatched metric objects *)
+let check_hotpath i r name =
+  match name with
+  | "calibration" -> num i r "ops_per_sec" "hotpath"
+  | "maj_construction" ->
+      int_field i r "calls";
+      int_field i r "majs";
+      List.iter
+        (fun f -> num i r f "hotpath")
+        [ "time_s"; "calls_per_sec"; "calls_per_op" ]
+  | "strash_probe" ->
+      int_field i r "probes";
+      List.iter
+        (fun f -> num i r f "hotpath")
+        [ "time_s"; "probes_per_sec"; "probes_per_op" ]
+  | "summary" ->
+      List.iter
+        (fun f -> num i r f "hotpath")
+        [ "opt_size_total_s"; "opt_depth_total_s" ]
+  | _ when String.length name > 8 && String.sub name 0 8 = "rebuild:" ->
+      List.iter (fun f -> num i r f "hotpath") [ "cleanup_s"; "eliminate_s" ]
+  | _ when String.length name > 4 && String.sub name 0 4 = "opt:" ->
+      metrics_obj i r "opt_size" ~ints:[ "size"; "depth" ] ~floats:[ "time_s" ];
+      metrics_obj i r "opt_depth" ~ints:[ "size"; "depth" ] ~floats:[ "time_s" ]
+  | _ -> fail "record %d: unknown hotpath record %S" i name
+
 let check_record i r =
   let sec = str i r "section" in
-  let _name = str i r "name" in
+  let name = str i r "name" in
   (match sec with
   | "table1-top" ->
       opt_result i r "mig";
@@ -107,6 +138,7 @@ let check_record i r =
       opt_result i r "mig";
       opt_result i r "aig";
       spans i r
+  | "hotpath" -> check_hotpath i r name
   | s -> fail "record %d: unknown section %S" i s);
   sec
 

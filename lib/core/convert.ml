@@ -4,6 +4,7 @@ module G = Graph
 
 let of_network net =
   let g = G.create () in
+  G.reserve g (N.num_nodes net);
   let map = Array.make (N.num_nodes net) (G.const0 g) in
   List.iter (fun id -> map.(id) <- G.add_pi g (N.pi_name net id)) (N.pis net);
   let value s = S.xor_complement map.(S.node s) (S.is_complement s) in
@@ -33,6 +34,7 @@ let to_network g =
 
 let of_aig a =
   let g = G.create () in
+  G.reserve g (Aig.Graph.num_nodes a);
   let map = Array.make (Aig.Graph.num_nodes a) (G.const0 g) in
   List.iter
     (fun id -> map.(id) <- G.add_pi g (Aig.Graph.pi_name a id))

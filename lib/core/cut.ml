@@ -23,6 +23,7 @@ let merge2 a b =
 
 let enumerate ~k ~max_cuts g =
   let n = G.num_nodes g in
+  let reach = G.reachable g in
   let cuts : t list array = Array.make n [] in
   let rec take n = function
     | [] -> []
@@ -32,6 +33,11 @@ let enumerate ~k ~max_cuts g =
   for i = 0 to n - 1 do
     if i = 0 then cuts.(i) <- [ [||] ]
     else if G.is_pi g i then cuts.(i) <- [ [| i |] ]
+    else if not reach.(i) then
+      (* dead majs (speculative left-overs of a fused rebuild) keep no
+         cuts: nothing ever asks for them, and the k-feasible merge
+         below is the expensive part of the pass *)
+      cuts.(i) <- []
     else begin
       let fs = G.fanins g i in
       let merged =

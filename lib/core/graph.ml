@@ -1,108 +1,194 @@
 module S = Network.Signal
 module Vec = Lsutil.Vec
+module Ih = Lsutil.Inthash
 
-(* f0 = -1 marks a PI; f0 = -2 the constant node. *)
+(* Fanins live in one flat stride-3 [int array]: node [i]'s packed
+   fanin signals are [fan.(3*i) .. 3*i+2].  A first slot of -1 marks a
+   PI; -2 the constant node.  The statically-typed [int array] keeps
+   every store a plain write (no caml_modify barrier) and one growth
+   check covers all three fanins of a node. *)
 type t = {
-  f0 : int Vec.t;
-  f1 : int Vec.t;
-  f2 : int Vec.t;
-  strash : (int * int * int, int) Hashtbl.t;
+  mutable fan : int array;
+  mutable nn : int; (* number of nodes; 3 * nn ints of [fan] are live *)
+  strash : Ih.t; (* packed (f0, f1, f2) -> id, no boxed keys *)
   names : (int, string) Hashtbl.t;
-  mutable pi_ids : int list; (* reversed *)
-  mutable po_list : (string * S.t) list; (* reversed *)
-  (* PO-reachability cache, keyed on (num_nodes, num_pos): nodes are
-     append-only and fanins immutable once stored, so the cone can
-     only change when a node or PO is added. *)
+  pis_v : int Vec.t; (* PI ids, creation order *)
+  po_names : string Vec.t; (* POs, creation order *)
+  po_sigs : int Vec.t; (* packed signals, same indexing *)
+  (* Derived-data caches, all keyed on (num_nodes, num_pos): nodes are
+     append-only and fanins immutable once stored, so any derived view
+     can only change when a node or PO is added.  Arrays are shared
+     with callers and must not be mutated by them. *)
   mutable reach : (int * int * bool array) option;
+  mutable size_nn : int;
+  mutable size_np : int;
+  mutable size_v : int;
+  mutable levels_nn : int;
+  mutable levels_np : int;
+  mutable levels_v : int array;
+  mutable depth_nn : int;
+  mutable depth_np : int;
+  mutable depth_v : int;
+  mutable fanout_nn : int;
+  mutable fanout_np : int;
+  mutable fanout_v : int array;
 }
+
+(* Grow [fan] so at least [n] nodes fit. *)
+let ensure_fan g n =
+  if 3 * n > Array.length g.fan then begin
+    let cap = max (3 * n) (2 * Array.length g.fan) in
+    let fan = Array.make cap 0 in
+    Array.blit g.fan 0 fan 0 (3 * g.nn);
+    g.fan <- fan
+  end
+
+(* Append a node with fanin slots [x; y; z]; returns its id. *)
+let push_node g x y z =
+  let id = g.nn in
+  if 3 * (id + 1) > Array.length g.fan then ensure_fan g (id + 1);
+  let b = 3 * id in
+  g.fan.(b) <- x;
+  g.fan.(b + 1) <- y;
+  g.fan.(b + 2) <- z;
+  g.nn <- id + 1;
+  id
 
 let create () =
   let g =
     {
-      f0 = Vec.create ();
-      f1 = Vec.create ();
-      f2 = Vec.create ();
-      strash = Hashtbl.create 4096;
+      fan = Array.make 48 0;
+      nn = 0;
+      strash = Ih.create ~capacity:4096 ();
       names = Hashtbl.create 64;
-      pi_ids = [];
-      po_list = [];
+      pis_v = Vec.create ();
+      po_names = Vec.create ();
+      po_sigs = Vec.create ();
       reach = None;
+      size_nn = -1;
+      size_np = -1;
+      size_v = 0;
+      levels_nn = -1;
+      levels_np = -1;
+      levels_v = [||];
+      depth_nn = -1;
+      depth_np = -1;
+      depth_v = 0;
+      fanout_nn = -1;
+      fanout_np = -1;
+      fanout_v = [||];
     }
   in
-  ignore (Vec.push g.f0 (-2));
-  ignore (Vec.push g.f1 (-2));
-  ignore (Vec.push g.f2 (-2));
+  ignore (push_node g (-2) (-2) (-2));
   g
+
+let reserve g n =
+  ensure_fan g n;
+  Ih.reserve g.strash n
 
 let const0 _ = S.make 0 false
 let const1 _ = S.make 0 true
 
 let add_pi g name =
-  let id = Vec.push g.f0 (-1) in
-  ignore (Vec.push g.f1 (-1));
-  ignore (Vec.push g.f2 (-1));
-  g.pi_ids <- id :: g.pi_ids;
+  let id = push_node g (-1) (-1) (-1) in
+  ignore (Vec.push g.pis_v id);
   Hashtbl.replace g.names id name;
   S.make id false
 
-let add_po g name s = g.po_list <- (name, s) :: g.po_list
+let add_po g name s =
+  ignore (Vec.push g.po_names name);
+  ignore (Vec.push g.po_sigs (s : S.t :> int))
 
-(* Ω.M folding: returns [Some s] when the majority collapses. *)
+(* Ω.M folding, allocation-free: the collapsed signal as an int, or
+   [-1] when the majority does not collapse. *)
+let fold_m_int a b c =
+  if S.equal a b then (a : S.t :> int)
+  else if S.equal a c then (a : S.t :> int)
+  else if S.equal b c then (b : S.t :> int)
+  else if S.equal a (S.not_ b) then (c : S.t :> int)
+  else if S.equal a (S.not_ c) then (b : S.t :> int)
+  else if S.equal b (S.not_ c) then (a : S.t :> int)
+  else -1
+
 let fold_m a b c =
-  if S.equal a b then Some a
-  else if S.equal a c then Some a
-  else if S.equal b c then Some b
-  else if S.equal a (S.not_ b) then Some c
-  else if S.equal a (S.not_ c) then Some b
-  else if S.equal b (S.not_ c) then Some a
-  else None
+  match fold_m_int a b c with -1 -> None | s -> Some (S.unsafe_of_int s)
 
 (* Normalize fanins: Ω.I pulls the complement out when two or more
-   fanins are complemented; Ω.C sorts.  Returns (fanins, output_inv). *)
-let normalize a b c =
+   fanins are complemented; Ω.C sorts by a branch-based 3-element
+   sorting network (signal order = int order, no list, no closure).
+   Continuation style so the hot path never boxes the result. *)
+let[@inline] with_normalized a b c k =
   let ninv =
     (if S.is_complement a then 1 else 0)
     + (if S.is_complement b then 1 else 0)
     + if S.is_complement c then 1 else 0
   in
-  let a, b, c, inv =
-    if ninv >= 2 then (S.not_ a, S.not_ b, S.not_ c, true) else (a, b, c, false)
-  in
-  let l = List.sort S.compare [ a; b; c ] in
-  match l with [ a; b; c ] -> (a, b, c, inv) | _ -> assert false
+  let inv = ninv >= 2 in
+  let a = if inv then S.not_ a else a in
+  let b = if inv then S.not_ b else b in
+  let c = if inv then S.not_ c else c in
+  let x = (a : S.t :> int) and y = (b : S.t :> int) and z = (c : S.t :> int) in
+  (* sort (x, y, z) with three compare-exchanges *)
+  let x, y = if x <= y then (x, y) else (y, x) in
+  let y, z = if y <= z then (y, z) else (z, y) in
+  let x, y = if x <= y then (x, y) else (y, x) in
+  k x y z inv
+
+let normalize a b c =
+  with_normalized a b c (fun x y z inv ->
+      (S.unsafe_of_int x, S.unsafe_of_int y, S.unsafe_of_int z, inv))
 
 let lookup g a b c =
-  let a, b, c, inv = normalize a b c in
-  let key = ((a : S.t :> int), (b : S.t :> int), (c : S.t :> int)) in
-  match Hashtbl.find_opt g.strash key with
-  | Some id -> Some (S.make id inv)
-  | None -> None
+  with_normalized a b c (fun x y z inv ->
+      match Ih.find g.strash x y z with
+      | -1 -> None
+      | id -> Some (S.make id inv))
 
 let find_maj g a b c =
-  match fold_m a b c with Some s -> Some s | None -> lookup g a b c
+  match fold_m_int a b c with
+  | -1 -> lookup g a b c
+  | s -> Some (S.unsafe_of_int s)
 
 let maj g a b c =
-  match fold_m a b c with
-  | Some s ->
-      Lsutil.Telemetry.count "maj.fold";
-      s
-  | None ->
-      let a, b, c, inv = normalize a b c in
-      let key = ((a : S.t :> int), (b : S.t :> int), (c : S.t :> int)) in
-      let id =
-        match Hashtbl.find_opt g.strash key with
-        | Some id ->
-            Lsutil.Telemetry.count "strash.hit";
-            id
-        | None ->
-            Lsutil.Telemetry.count "strash.miss";
-            let id = Vec.push g.f0 (a : S.t :> int) in
-            ignore (Vec.push g.f1 (b : S.t :> int));
-            ignore (Vec.push g.f2 (c : S.t :> int));
-            Hashtbl.add g.strash key id;
-            id
-      in
-      S.make id inv
+  let folded = fold_m_int a b c in
+  if folded >= 0 then begin
+    Lsutil.Telemetry.count "maj.fold";
+    S.unsafe_of_int folded
+  end
+  else begin
+    (* normalization inlined: Ω.I complement extraction, then the
+       branch-based Ω.C sort (signal order = int order) *)
+    let ninv =
+      (if S.is_complement a then 1 else 0)
+      + (if S.is_complement b then 1 else 0)
+      + if S.is_complement c then 1 else 0
+    in
+    let inv = ninv >= 2 in
+    let a = if inv then S.not_ a else a in
+    let b = if inv then S.not_ b else b in
+    let c = if inv then S.not_ c else c in
+    let x = (a : S.t :> int) and y = (b : S.t :> int) and z = (c : S.t :> int) in
+    (* three compare-exchanges, written as scalar conditionals so no
+       tuple is allocated on the hot path *)
+    let c1 = x <= y in
+    let x' = if c1 then x else y in
+    let y' = if c1 then y else x in
+    let c2 = y' <= z in
+    let z' = if c2 then z else y' in
+    let y' = if c2 then y' else z in
+    let c3 = x' <= y' in
+    let x = if c3 then x' else y' in
+    let y = if c3 then y' else x' in
+    let z = z' in
+    let fresh_id = g.nn in
+    let id = Ih.find_or_add g.strash x y z fresh_id in
+    if id = fresh_id then begin
+      Lsutil.Telemetry.count "strash.miss";
+      ignore (push_node g x y z)
+    end
+    else Lsutil.Telemetry.count "strash.hit";
+    S.make id inv
+  end
 
 let and_ g a b = maj g a b (const0 g)
 let or_ g a b = maj g a b (const1 g)
@@ -132,15 +218,26 @@ let and_n g = function [] -> const1 g | xs -> tree and_ g xs
 let or_n g = function [] -> const0 g | xs -> tree or_ g xs
 let xor_n g = function [] -> const0 g | xs -> tree xor_ g xs
 
-let num_nodes g = Vec.length g.f0
-let is_pi g i = Vec.get g.f0 i = -1
-let is_maj g i = Vec.get g.f0 i >= 0
+let num_nodes g = g.nn
+
+let check_id g i =
+  if i < 0 || i >= g.nn then invalid_arg "Mig.Graph: node id out of bounds"
+
+let is_pi g i =
+  check_id g i;
+  g.fan.(3 * i) = -1
+
+let is_maj g i =
+  check_id g i;
+  g.fan.(3 * i) >= 0
 
 let fanins g i =
+  check_id g i;
+  let b = 3 * i in
   [|
-    S.unsafe_of_int (Vec.get g.f0 i);
-    S.unsafe_of_int (Vec.get g.f1 i);
-    S.unsafe_of_int (Vec.get g.f2 i);
+    S.unsafe_of_int g.fan.(b);
+    S.unsafe_of_int g.fan.(b + 1);
+    S.unsafe_of_int g.fan.(b + 2);
   |]
 
 let fanins_of g s =
@@ -151,10 +248,21 @@ let fanins_of g s =
     if S.is_complement s then Some (Array.map S.not_ fs) else Some fs
   end
 
-let pis g = List.rev g.pi_ids
-let num_pis g = List.length g.pi_ids
-let pos g = List.rev g.po_list
-let num_pos g = List.length g.po_list
+let pis g = List.rev (Vec.fold_left (fun acc id -> id :: acc) [] g.pis_v)
+let num_pis g = Vec.length g.pis_v
+let num_pos g = Vec.length g.po_sigs
+
+let pos g =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        ((Vec.get g.po_names i, S.unsafe_of_int (Vec.get g.po_sigs i)) :: acc)
+  in
+  go (Vec.length g.po_names - 1) []
+
+let iter_pos g f =
+  Vec.iteri (fun i name -> f name (S.unsafe_of_int (Vec.get g.po_sigs i))) g.po_names
 
 let pi_name g i =
   match Hashtbl.find_opt g.names i with
@@ -173,7 +281,7 @@ let iter_majs g f =
    comparisons mid-cycle). *)
 let reachable g =
   let nn = num_nodes g in
-  let np = List.length g.po_list in
+  let np = num_pos g in
   match g.reach with
   | Some (n, p, r) when n = nn && p = np -> r
   | _ ->
@@ -185,7 +293,7 @@ let reachable g =
             Array.iter (fun s -> visit (S.node s)) (fanins g id)
         end
       in
-      List.iter (fun (_, s) -> visit (S.node s)) g.po_list;
+      iter_pos g (fun _ s -> visit (S.node s));
       g.reach <- Some (nn, np, r);
       r
 
@@ -196,9 +304,19 @@ let iter_live_majs g f =
   done
 
 let size g =
-  let c = ref 0 in
-  iter_live_majs g (fun _ _ -> incr c);
-  !c
+  let nn = num_nodes g and np = num_pos g in
+  if g.size_nn = nn && g.size_np = np then g.size_v
+  else begin
+    let r = reachable g in
+    let c = ref 0 in
+    for i = 0 to nn - 1 do
+      if r.(i) && is_maj g i then incr c
+    done;
+    g.size_nn <- nn;
+    g.size_np <- np;
+    g.size_v <- !c;
+    !c
+  end
 
 let num_allocated_majs g =
   let c = ref 0 in
@@ -206,21 +324,90 @@ let num_allocated_majs g =
   !c
 
 let fanout_counts g =
-  let counts = Array.make (num_nodes g) 0 in
-  iter_live_majs g (fun _ fs ->
-      Array.iter (fun s -> counts.(S.node s) <- counts.(S.node s) + 1) fs);
-  List.iter (fun (_, s) -> counts.(S.node s) <- counts.(S.node s) + 1) (pos g);
-  counts
+  let nn = num_nodes g and np = num_pos g in
+  if g.fanout_nn = nn && g.fanout_np = np then g.fanout_v
+  else begin
+    let counts = Array.make nn 0 in
+    iter_live_majs g (fun _ fs ->
+        Array.iter (fun s -> counts.(S.node s) <- counts.(S.node s) + 1) fs);
+    iter_pos g (fun _ s -> counts.(S.node s) <- counts.(S.node s) + 1);
+    g.fanout_nn <- nn;
+    g.fanout_np <- np;
+    g.fanout_v <- counts;
+    counts
+  end
 
 let levels g =
-  let lv = Array.make (num_nodes g) 0 in
-  iter_majs g (fun i fs ->
-      lv.(i) <- 1 + Array.fold_left (fun acc s -> max acc lv.(S.node s)) 0 fs);
-  lv
+  let nn = num_nodes g and np = num_pos g in
+  if g.levels_nn = nn && g.levels_np = np then g.levels_v
+  else begin
+    let lv = Array.make nn 0 in
+    iter_majs g (fun i fs ->
+        lv.(i) <- 1 + Array.fold_left (fun acc s -> max acc lv.(S.node s)) 0 fs);
+    g.levels_nn <- nn;
+    g.levels_np <- np;
+    g.levels_v <- lv;
+    lv
+  end
 
 let depth g =
-  let lv = levels g in
-  List.fold_left (fun acc (_, s) -> max acc lv.(S.node s)) 0 (pos g)
+  let nn = num_nodes g and np = num_pos g in
+  if g.depth_nn = nn && g.depth_np = np then g.depth_v
+  else begin
+    let lv = levels g in
+    let d = ref 0 in
+    iter_pos g (fun _ s -> if lv.(S.node s) > !d then d := lv.(S.node s));
+    g.depth_nn <- nn;
+    g.depth_np <- np;
+    g.depth_v <- !d;
+    !d
+  end
+
+(* Fast reachable-only copy for well-formed graphs (every node built
+   through [maj]): the PO-DFS renumbering is then an isomorphism —
+   mapped fanin triples can neither fold nor merge, and Ω.I is already
+   settled (complement count is preserved) — so the whole maj/strash
+   machinery reduces to a branch sort of three ints and one pre-sized
+   strash insert per node.  Visits fanins in stored order, exactly
+   like {!cleanup}, so the output is bit-identical to [cleanup g]. *)
+let compact g =
+  let fresh = create () in
+  let nn = num_nodes g in
+  reserve fresh nn;
+  let map = Array.make (max nn 1) (-1) in
+  map.(0) <- 0;
+  List.iter (fun id -> map.(id) <- S.node (add_pi fresh (pi_name g id))) (pis g);
+  let fan = g.fan in
+  (* any unmapped node is a majority node: const and PIs are prefilled *)
+  let rec build id =
+    if Array.unsafe_get map id < 0 then begin
+      let b = 3 * id in
+      let fa = fan.(b) and fb = fan.(b + 1) and fc = fan.(b + 2) in
+      build (fa lsr 1);
+      build (fb lsr 1);
+      build (fc lsr 1);
+      let x = (Array.unsafe_get map (fa lsr 1) lsl 1) lor (fa land 1) in
+      let y = (Array.unsafe_get map (fb lsr 1) lsl 1) lor (fb land 1) in
+      let z = (Array.unsafe_get map (fc lsr 1) lsl 1) lor (fc land 1) in
+      let c1 = x <= y in
+      let x' = if c1 then x else y in
+      let y' = if c1 then y else x in
+      let c2 = y' <= z in
+      let z' = if c2 then z else y' in
+      let y' = if c2 then y' else z in
+      let c3 = x' <= y' in
+      let x = if c3 then x' else y' in
+      let y = if c3 then y' else x' in
+      let z = z' in
+      let id' = push_node fresh x y z in
+      Ih.add fresh.strash x y z id';
+      Array.unsafe_set map id id'
+    end
+  in
+  iter_pos g (fun name s ->
+      build (S.node s);
+      add_po fresh name (S.make map.(S.node s) (S.is_complement s)));
+  fresh
 
 let cleanup g =
   let fresh = create () in
@@ -240,11 +427,9 @@ let cleanup g =
         Array.iter (fun s -> build (S.node s)) fs;
         map.(id) <- Some (maj fresh (lookup fs.(0)) (lookup fs.(1)) (lookup fs.(2)))
   in
-  List.iter
-    (fun (name, s) ->
+  iter_pos g (fun name s ->
       build (S.node s);
-      add_po fresh name (lookup s))
-    (pos g);
+      add_po fresh name (lookup s));
   fresh
 
 let pp_stats fmt g =
@@ -253,24 +438,19 @@ let pp_stats fmt g =
 
 (* ----- checker support ----- *)
 
-let strash_count g = Hashtbl.length g.strash
-let raw_fanins g i = (Vec.get g.f0 i, Vec.get g.f1 i, Vec.get g.f2 i)
+let strash_count g = Ih.length g.strash
+
+let raw_fanins g i =
+  check_id g i;
+  let b = 3 * i in
+  (g.fan.(b), g.fan.(b + 1), g.fan.(b + 2))
 
 module Unsafe = struct
-  let push_node g a b c =
-    let id = Vec.push g.f0 (a : S.t :> int) in
-    ignore (Vec.push g.f1 (b : S.t :> int));
-    ignore (Vec.push g.f2 (c : S.t :> int));
-    id
+  let push_raw g f0 f1 f2 = push_node g f0 f1 f2
 
-  let push_raw g f0 f1 f2 =
-    let id = Vec.push g.f0 f0 in
-    ignore (Vec.push g.f1 f1);
-    ignore (Vec.push g.f2 f2);
-    id
+  let push_node g a b c =
+    push_raw g (a : S.t :> int) (b : S.t :> int) (c : S.t :> int)
 
   let strash_add g (a, b, c) id =
-    Hashtbl.add g.strash
-      ((a : S.t :> int), (b : S.t :> int), (c : S.t :> int))
-      id
+    Ih.add g.strash (a : S.t :> int) (b : S.t :> int) (c : S.t :> int) id
 end

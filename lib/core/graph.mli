@@ -21,6 +21,11 @@ module S := Network.Signal
 
 val create : unit -> t
 
+val reserve : t -> int -> unit
+(** [reserve g n] pre-sizes the node arrays and structural-hash table
+    for [n] nodes, so building up to that many triggers no growth or
+    rehashing.  A hint only: the graph still grows past [n]. *)
+
 (** {1 Construction} *)
 
 val const0 : t -> S.t
@@ -56,7 +61,10 @@ val num_nodes : t -> int
 val size : t -> int
 (** Number of PO-reachable majority nodes.  Allocated-but-dead nodes
     (left behind by Ω.M folds during construction) are not counted —
-    [size g = size (cleanup g)] always holds. *)
+    [size g = size (cleanup g)] always holds.  Cached, like every
+    derived metric here: the graph is append-only, so caches key on
+    [(num_nodes, num_pos)] and recompute only after a node or PO is
+    added. *)
 
 val num_allocated_majs : t -> int
 (** Number of allocated majority nodes, dead ones included (what
@@ -79,8 +87,15 @@ val fanins_of : t -> S.t -> S.t array option
 
 val pis : t -> int list
 val num_pis : t -> int
+(** O(1): counts are maintained on insertion, not recomputed. *)
+
 val pos : t -> (string * S.t) list
 val num_pos : t -> int
+(** O(1). *)
+
+val iter_pos : t -> (string -> S.t -> unit) -> unit
+(** POs in creation order, without building a list. *)
+
 val pi_name : t -> int -> string
 val iter_majs : t -> (int -> S.t array -> unit) -> unit
 (** Every allocated majority node, reachable or not. *)
@@ -90,17 +105,31 @@ val iter_live_majs : t -> (int -> S.t array -> unit) -> unit
 
 val fanout_counts : t -> int array
 (** Fanout per node, counting edges from PO-reachable majority nodes
-    and the POs themselves; edges out of dead nodes do not count. *)
+    and the POs themselves; edges out of dead nodes do not count.
+    Cached and shared — callers must not mutate the returned array. *)
 
-(** {1 Metrics} *)
+(** {1 Metrics}
+
+    All cached on the graph, invalidated by the append-only
+    [(num_nodes, num_pos)] key (see {!size}). *)
 
 val levels : t -> int array
+(** Level per node id (0 for PIs/constant).  Shared — do not
+    mutate. *)
+
 val depth : t -> int
 
 (** {1 Transformation} *)
 
 val cleanup : t -> t
 (** Reachable-only copy; all PIs preserved in order. *)
+
+val compact : t -> t
+(** Fast path for {!cleanup} on well-formed graphs (every node built
+    through {!maj}): the copy is then a pure renumbering, so folding,
+    Ω.I extraction and strash probing are all skipped.  Bit-identical
+    to [cleanup g] on such graphs; on graphs touched by {!Unsafe} use
+    {!cleanup}, which re-normalizes. *)
 
 val pp_stats : Format.formatter -> t -> unit
 
@@ -112,6 +141,11 @@ val pp_stats : Format.formatter -> t -> unit
 val fold_m : S.t -> S.t -> S.t -> S.t option
 (** The trivial cases of the majority axiom Ω.M: [Some s] when
     [M(a,b,c)] collapses to an existing signal. *)
+
+val normalize : S.t -> S.t -> S.t -> S.t * S.t * S.t * bool
+(** The stored form of a fanin triple: Ω.I complement extraction then
+    the branch-based Ω.C sort.  Exposed for differential testing
+    against a reference implementation. *)
 
 val strash_count : t -> int
 (** Number of entries in the structural-hashing table.  Equal to

@@ -4,23 +4,37 @@ module Tel = Lsutil.Telemetry
 
 (* ----- shared helpers ----- *)
 
-(* Memoized level function over a (growing) fresh graph. *)
+(* Memoized level function over a (growing) fresh graph: a flat int
+   array indexed by node id, -1 for "not computed", doubled as the
+   graph outgrows it.  No hashing, no boxing. *)
 let make_level_fn fresh =
-  let tbl = Hashtbl.create 1024 in
+  let memo = ref (Array.make 1024 (-1)) in
+  let ensure id =
+    let m = !memo in
+    let n = Array.length m in
+    if id >= n then begin
+      let m' = Array.make (max (2 * n) (id + 1)) (-1) in
+      Array.blit m 0 m' 0 n;
+      memo := m'
+    end
+  in
   let rec node_level id =
-    match Hashtbl.find_opt tbl id with
-    | Some l -> l
-    | None ->
-        let l =
-          if G.is_maj fresh id then
-            1
-            + Array.fold_left
-                (fun acc s -> max acc (node_level (S.node s)))
-                0 (G.fanins fresh id)
-          else 0
-        in
-        Hashtbl.replace tbl id l;
-        l
+    ensure id;
+    let l = !memo.(id) in
+    if l >= 0 then l
+    else begin
+      let l =
+        if G.is_maj fresh id then
+          1
+          + Array.fold_left
+              (fun acc s -> max acc (node_level (S.node s)))
+              0 (G.fanins fresh id)
+        else 0
+      in
+      ensure id;
+      !memo.(id) <- l;
+      l
+    end
   in
   fun s -> node_level (S.node s)
 
@@ -50,27 +64,65 @@ let common2 fa fb =
       Option.map (fun v -> (c1, c2, u, v)) !v
   | _ -> None
 
+(* Reusable old-id -> fresh-signal scratch for rebuilds.  Every pass
+   needs a [num_nodes]-sized map; allocating it afresh sixteen times
+   per optimization script is pure GC churn, so one arena array is
+   recycled across passes (packed signals with -1 as "unbuilt", no
+   option boxing).  [arena_busy] falls back to a private array if a
+   rebuild ever nests inside another. *)
+let arena = ref [||]
+let arena_busy = ref false
+
+let with_rebuild_map n k =
+  if !arena_busy then k (Array.make n (-1))
+  else begin
+    arena_busy := true;
+    Fun.protect
+      ~finally:(fun () -> arena_busy := false)
+      (fun () ->
+        if Array.length !arena < n then
+          arena := Array.make (max n (2 * Array.length !arena)) (-1)
+        else Array.fill !arena 0 n (-1);
+        k !arena)
+  end
+
 (* Demand-driven rebuild skeleton.  [init fresh] may set up
    per-rebuild state and returns the node constructor, which receives
    a [value] function resolving old signals to fresh ones, the old
    node id and its old fanins, and must return the fresh signal for
-   the node's regular polarity. *)
+   the node's regular polarity.
+
+   Speculative nodes a constructor built and then discarded stay
+   allocated in [fresh] but dead; the trailing {!G.compact} drops them
+   with a cheap renumbering pass instead of the full {!G.cleanup}
+   rebuild (a second maj-by-maj reconstruction) each pass used to end
+   with.  Compaction also keeps results bit-identical to the old
+   cleanup pipeline: stored fanin triples sort by node id, so passes
+   that pick the first profitable rotation are sensitive to the
+   numbering, and skipping the renumbering entirely was observed to
+   drift optimization results on big benchmarks. *)
 let rebuild_with g init =
   let fresh = G.create () in
+  (* the rebuilt graph rarely exceeds the source; pre-sizing its node
+     arrays and strash avoids growth rehashes on every pass *)
+  G.reserve fresh (G.num_nodes g);
   let construct = init fresh in
-  let map = Array.make (G.num_nodes g) None in
-  map.(0) <- Some (G.const0 fresh);
-  List.iter (fun id -> map.(id) <- Some (G.add_pi fresh (G.pi_name g id))) (G.pis g);
+  with_rebuild_map (G.num_nodes g) @@ fun map ->
+  map.(0) <- (G.const0 fresh : S.t :> int);
+  List.iter
+    (fun id -> map.(id) <- (G.add_pi fresh (G.pi_name g id) : S.t :> int))
+    (G.pis g);
   let rec build id =
-    match map.(id) with
-    | Some s -> s
-    | None ->
-        let s = construct value id (G.fanins g id) in
-        map.(id) <- Some s;
-        s
+    let s = map.(id) in
+    if s >= 0 then S.unsafe_of_int s
+    else begin
+      let s = construct value id (G.fanins g id) in
+      map.(id) <- (s : S.t :> int);
+      s
+    end
   and value s = S.xor_complement (build (S.node s)) (S.is_complement s) in
-  List.iter (fun (name, s) -> G.add_po fresh name (value s)) (G.pos g);
-  G.cleanup fresh
+  G.iter_pos g (fun name s -> G.add_po fresh name (value s));
+  G.compact fresh
 
 (* All ways of singling out one element of a 3-array:
    (other1, other2, chosen). *)
@@ -89,6 +141,15 @@ let eliminate g =
       fun value _id old_fs ->
         let m = Array.map value old_fs in
         let dying s = fanout.(S.node s) <= 1 in
+        (* old fanin behind each fresh one, computed once per node —
+           the rotation loop below used to rebuild a Seq.filter chain
+           over [old_fs] for every candidate *)
+        let old_of fnew =
+          if S.equal m.(0) fnew then Some old_fs.(0)
+          else if S.equal m.(1) fnew then Some old_fs.(1)
+          else if S.equal m.(2) fnew then Some old_fs.(2)
+          else None
+        in
         (* a fanin pair of majority nodes sharing two operands collapses:
            M(M(x,y,u),M(x,y,v),z) = M(x,y,M(u,v,z)) *)
         let candidate =
@@ -98,12 +159,6 @@ let eliminate g =
               | Some fx, Some fy -> (
                   match common2 fx fy with
                   | Some (c1, c2, u, v) ->
-                      let old_of fnew =
-                        Array.to_seq old_fs
-                        |> Seq.filter (fun o -> S.equal (value o) fnew)
-                        |> Seq.uncons
-                        |> Option.map fst
-                      in
                       let both_dying =
                         match (old_of x, old_of y) with
                         | Some ox, Some oy -> dying ox && dying oy
@@ -315,7 +370,10 @@ let relevance ?(cone_limit = 16) g =
   (* Plan on the old graph: node id -> (x, y, z) old fanin signals,
      meaning "rebuild the cone of z with x replaced by y'". *)
   let plan = Hashtbl.create 64 in
-  G.iter_majs g (fun id fs ->
+  (* live majs only: with fused rebuilds the input may carry dead
+     speculative nodes, and planning on them would waste cone analyses
+     (and, in passes that rank candidates, could change results) *)
+  G.iter_live_majs g (fun id fs ->
       let found =
         List.find_map
           (fun (x, y, z) ->
@@ -369,7 +427,7 @@ let substitution ?(max_candidates = 8) ~on_critical g =
   let lv = G.levels g in
   let d = G.depth g in
   let nodes = ref [] in
-  G.iter_majs g (fun id _ -> nodes := id :: !nodes);
+  G.iter_live_majs g (fun id _ -> nodes := id :: !nodes);
   let rec take n = function
     | [] -> []
     | _ when n = 0 -> []
@@ -591,31 +649,87 @@ let rewrite_patterns ?(k = 3) ?(max_cuts = 8) ?(mode = `Depth) g =
 
 (* Greedy reconvergence-driven cone, as in the AIG refactor pass:
    absorb single-fanout fanins first, stop at [max_leaves]. *)
+(* Sorted-array set operations over at most [max_leaves + 3] node ids;
+   the greedy selection (expand the leaf minimizing
+   ((fanout = 1 ? 0 : 1), resulting cardinality), ties to the smallest
+   leaf id) is exactly the one the original Set.Make-based version
+   computed, without any per-candidate tree allocation. *)
 let collect_cone g ~fanout ~max_leaves root =
-  let module IS = Set.Make (Int) in
-  let expandable id = G.is_maj g id in
-  let fanins id =
-    G.fanins g id |> Array.to_list |> List.map S.node
-    |> List.filter (fun i -> i <> 0)
+  let slots = max_leaves + 4 in
+  let leaves = Array.make slots 0 in
+  let nl = ref 0 in
+  let cand = Array.make slots 0 in
+  let best = Array.make slots 0 in
+  let ff = Array.make 3 0 in
+  (* the (sorted, dedup'd, nonzero) fanin node ids of [id] into [ff] *)
+  let fanin_ids id =
+    let fs = G.fanins g id in
+    let a = S.node fs.(0) and b = S.node fs.(1) and c = S.node fs.(2) in
+    let a, b = if a <= b then (a, b) else (b, a) in
+    let b, c = if b <= c then (b, c) else (c, b) in
+    let a, b = if a <= b then (a, b) else (b, a) in
+    let n = ref 0 in
+    let push v =
+      if v <> 0 && (!n = 0 || ff.(!n - 1) <> v) then begin
+        ff.(!n) <- v;
+        incr n
+      end
+    in
+    push a;
+    push b;
+    push c;
+    !n
   in
-  let leaves = ref (IS.of_list (fanins root)) in
+  let nf = fanin_ids root in
+  Array.blit ff 0 leaves 0 nf;
+  nl := nf;
   let continue_ = ref true in
   while !continue_ do
-    let candidates =
-      IS.elements !leaves
-      |> List.filter expandable
-      |> List.map (fun id ->
-             (id, IS.union (IS.remove id !leaves) (IS.of_list (fanins id))))
-      |> List.filter (fun (_, after) -> IS.cardinal after <= max_leaves)
-    in
-    let score (id, after) =
-      ((if fanout.(id) = 1 then 0 else 1), IS.cardinal after)
-    in
-    match List.sort (fun a b -> compare (score a) (score b)) candidates with
-    | [] -> continue_ := false
-    | (_, after) :: _ -> leaves := after
+    (* score packed as (fanout flag) * 2^20 + cardinality, so an int
+       compare is the lexicographic compare of the original pair *)
+    let best_score = ref max_int and best_n = ref 0 in
+    for li = 0 to !nl - 1 do
+      let id = leaves.(li) in
+      if G.is_maj g id then begin
+        let nf = fanin_ids id in
+        (* merge (leaves \ {id}) with ff into cand *)
+        let n = ref 0 and j = ref 0 in
+        let push v =
+          cand.(!n) <- v;
+          incr n
+        in
+        for i = 0 to !nl - 1 do
+          if i <> li then begin
+            let v = leaves.(i) in
+            while !j < nf && ff.(!j) < v do
+              push ff.(!j);
+              incr j
+            done;
+            if !j < nf && ff.(!j) = v then incr j;
+            push v
+          end
+        done;
+        while !j < nf do
+          push ff.(!j);
+          incr j
+        done;
+        if !n <= max_leaves then begin
+          let sc = ((if fanout.(id) = 1 then 0 else 1) lsl 20) + !n in
+          if sc < !best_score then begin
+            best_score := sc;
+            best_n := !n;
+            Array.blit cand 0 best 0 !n
+          end
+        end
+      end
+    done;
+    if !best_score < max_int then begin
+      Array.blit best 0 leaves 0 !best_n;
+      nl := !best_n
+    end
+    else continue_ := false
   done;
-  Array.of_list (IS.elements !leaves)
+  Array.sub leaves 0 !nl
 
 let build_factored fresh leaves form =
   let module F = Sop.Factor in
@@ -636,15 +750,35 @@ let build_factored fresh leaves form =
 let refactor ?(max_leaves = 10) g =
   let fanout = G.fanout_counts g in
   let plan = Hashtbl.create 64 in
-  G.iter_majs g (fun id _ ->
+  (* ISOP + factoring + costing is a pure function of the cut's truth
+     table, and cones repeat heavily across a big netlist — memoize on
+     the table (forms refer to leaf indices, so a cached form is valid
+     for any cut of the same function). *)
+  let form_memo = Hashtbl.create 1024 in
+  let form_of tt =
+    match Hashtbl.find_opt form_memo tt with
+    | Some fc -> fc
+    | None ->
+        let form = Sop.Factor.factor (Sop.Isop.compute tt) in
+        let fc = (form, Aig.Rewrite.form_cost form) in
+        Hashtbl.add form_memo tt fc;
+        fc
+  in
+  G.iter_live_majs g (fun id _ ->
       let cut = collect_cone g ~fanout ~max_leaves id in
       let nleaves = Array.length cut in
       if nleaves >= 2 && nleaves <= max_leaves then begin
         let tt = Cut.cut_function g id cut in
-        let form = Sop.Factor.factor (Sop.Isop.compute tt) in
-        let cost = Aig.Rewrite.form_cost form in
         let freed = Cut.mffc_size g ~fanout id cut in
-        if freed > cost then Hashtbl.replace plan id (cut, form)
+        (* a factored form has one 2-input gate per literal leaf
+           minus one, so cost >= |support| - 1: when the MFFC
+           cannot beat that bound, the expensive ISOP + factoring
+           run cannot change the decision and is skipped *)
+        let support = List.length (T.support tt) in
+        if freed > support - 1 then begin
+          let form, cost = form_of tt in
+          if freed > cost then Hashtbl.replace plan id (cut, form)
+        end
       end);
   let result =
     rebuild_with g (fun fresh ->
@@ -658,7 +792,7 @@ let refactor ?(max_leaves = 10) g =
               let leaves = Array.map (fun l -> value (S.make l false)) cut in
               build_factored fresh leaves form)
   in
-  if G.size result <= G.size g then result else G.cleanup g
+  if G.size result <= G.size g then result else G.compact g
 
 (* ----- associativity reshape: Ω.A / Ψ.C driven sharing ----- *)
 

@@ -1,0 +1,146 @@
+(* Open-addressing hash table from triples of non-negative ints to
+   non-negative ints, with linear probing over one flat int array.
+
+   Each slot is four consecutive ints [k0; k1; k2; v] so a probe
+   touches one 32-byte block; an empty slot is marked by [v = -1].
+   Keys and values are immediate ints throughout — no boxed tuples,
+   no option allocation on lookup, no per-entry GC pressure.  There
+   is no deletion (the MIG strash is append-only), so probing never
+   needs tombstones.
+
+   Duplicate keys may be inserted (mirroring [Hashtbl.add] shadowing
+   for the checker's malformed-graph tests); [find] returns the
+   earliest-probed binding and [length] counts every entry. *)
+
+type t = {
+  mutable data : int array; (* 4 * capacity; capacity is a power of 2 *)
+  mutable mask : int; (* capacity - 1 *)
+  mutable count : int;
+}
+
+(* Multiplicative mixing of the three key ints; the final shift folds
+   high bits down so power-of-two masking sees them. *)
+let hash k0 k1 k2 =
+  let h = (k0 + 1) * 0x9e3779b1 in
+  let h = (h lxor k1) * 0x85ebca77 in
+  let h = (h lxor k2) * 0xc2b2ae3d in
+  (h lxor (h lsr 17)) land max_int
+
+let make_data cap =
+  let data = Array.make (4 * cap) 0 in
+  for i = 0 to cap - 1 do
+    data.((4 * i) + 3) <- -1
+  done;
+  data
+
+let rec pow2 n c = if c >= n then c else pow2 n (2 * c)
+
+let create ?(capacity = 16) () =
+  let cap = pow2 (max capacity 16) 16 in
+  { data = make_data cap; mask = cap - 1; count = 0 }
+
+let length t = t.count
+
+(* Insert without growth checks; [data] must have a free slot. *)
+let raw_add data mask k0 k1 k2 v =
+  let i = ref (hash k0 k1 k2 land mask) in
+  while data.((4 * !i) + 3) >= 0 do
+    i := (!i + 1) land mask
+  done;
+  let b = 4 * !i in
+  data.(b) <- k0;
+  data.(b + 1) <- k1;
+  data.(b + 2) <- k2;
+  data.(b + 3) <- v
+
+let grow t cap =
+  let data = make_data cap in
+  let mask = cap - 1 in
+  let old = t.data in
+  for i = 0 to (Array.length old / 4) - 1 do
+    let b = 4 * i in
+    if old.(b + 3) >= 0 then
+      raw_add data mask old.(b) old.(b + 1) old.(b + 2) old.(b + 3)
+  done;
+  t.data <- data;
+  t.mask <- mask
+
+let reserve t n =
+  (* capacity so that [n] entries stay under the 1/2 load factor *)
+  let needed = pow2 (max 16 (2 * n)) 16 in
+  if needed > t.mask + 1 then grow t needed
+
+let add t k0 k1 k2 v =
+  if k0 < 0 || k1 < 0 || k2 < 0 || v < 0 then
+    invalid_arg "Inthash.add: negative key or value";
+  if 2 * (t.count + 1) > t.mask + 1 then grow t (2 * (t.mask + 1));
+  raw_add t.data t.mask k0 k1 k2 v;
+  t.count <- t.count + 1
+
+(* One probe sequence for the find-then-insert pattern: returns the
+   existing binding, or inserts [v] at the empty slot the probe ended
+   on and returns [v].  Growth is checked up front so the probe's
+   endpoint stays valid. *)
+let find_or_add t k0 k1 k2 v =
+  if k0 < 0 || k1 < 0 || k2 < 0 || v < 0 then
+    invalid_arg "Inthash.find_or_add: negative key or value";
+  if 2 * (t.count + 1) > t.mask + 1 then grow t (2 * (t.mask + 1));
+  let data = t.data and mask = t.mask in
+  let i = ref (hash k0 k1 k2 land mask) in
+  let r = ref (-1) in
+  while !r < 0 do
+    let b = 4 * !i in
+    let v' = Array.unsafe_get data (b + 3) in
+    if v' < 0 then begin
+      data.(b) <- k0;
+      data.(b + 1) <- k1;
+      data.(b + 2) <- k2;
+      data.(b + 3) <- v;
+      t.count <- t.count + 1;
+      r := v
+    end
+    else if
+      Array.unsafe_get data b = k0
+      && Array.unsafe_get data (b + 1) = k1
+      && Array.unsafe_get data (b + 2) = k2
+    then r := v'
+    else i := (!i + 1) land mask
+  done;
+  !r
+
+let find t k0 k1 k2 =
+  let data = t.data and mask = t.mask in
+  let i = ref (hash k0 k1 k2 land mask) in
+  let r = ref (-1) in
+  let continue_ = ref true in
+  while !continue_ do
+    let b = 4 * !i in
+    let v = Array.unsafe_get data (b + 3) in
+    if v < 0 then continue_ := false
+    else if
+      Array.unsafe_get data b = k0
+      && Array.unsafe_get data (b + 1) = k1
+      && Array.unsafe_get data (b + 2) = k2
+    then begin
+      r := v;
+      continue_ := false
+    end
+    else i := (!i + 1) land mask
+  done;
+  !r
+
+let mem t k0 k1 k2 = find t k0 k1 k2 >= 0
+
+let clear t =
+  let cap = t.mask + 1 in
+  for i = 0 to cap - 1 do
+    t.data.((4 * i) + 3) <- -1
+  done;
+  t.count <- 0
+
+let iter f t =
+  for i = 0 to t.mask do
+    let b = 4 * i in
+    if t.data.(b + 3) >= 0 then
+      f t.data.(b) t.data.(b + 1) t.data.(b + 2) t.data.(b + 3)
+  done

@@ -1,0 +1,41 @@
+(** Open-addressing hash table from int triples to ints.
+
+    Linear probing over a single flat [int array]; keys and values
+    are immediate ints, so no lookup or insertion allocates.  Built
+    for structural hashing, where the key is a node's three packed
+    fanin signals and the value its id.
+
+    Keys and values must be non-negative; there is no deletion. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is rounded up to a power of two (min 16). *)
+
+val length : t -> int
+(** Number of entries (duplicate-key insertions each count). *)
+
+val find : t -> int -> int -> int -> int
+(** [find t k0 k1 k2] is the bound value, or [-1] when absent.  With
+    duplicate bindings, the earliest-probed one wins. *)
+
+val mem : t -> int -> int -> int -> bool
+
+val add : t -> int -> int -> int -> int -> unit
+(** [add t k0 k1 k2 v] inserts a binding (duplicates allowed, as with
+    [Hashtbl.add]).  Raises [Invalid_argument] on negative inputs. *)
+
+val find_or_add : t -> int -> int -> int -> int -> int
+(** [find_or_add t k0 k1 k2 v] returns the existing binding for the
+    key, or inserts [v] and returns it — one probe sequence for the
+    find-then-insert pattern.  Raises [Invalid_argument] on negative
+    inputs. *)
+
+val reserve : t -> int -> unit
+(** [reserve t n] pre-sizes so [n] entries fit without rehashing. *)
+
+val clear : t -> unit
+(** Drop every entry, keeping the allocated capacity. *)
+
+val iter : (int -> int -> int -> int -> unit) -> t -> unit
+(** [iter f t] applies [f k0 k1 k2 v] to every entry, in slot order. *)

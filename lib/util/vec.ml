@@ -56,3 +56,12 @@ let fold_left f acc v =
 let to_array v = Array.sub v.data 0 v.len
 let of_array a = { data = Array.copy a; len = Array.length a; cap = max (Array.length a) 1 }
 let clear v = v.len <- 0
+
+let reserve v n =
+  if n > Array.length v.data then
+    if v.len = 0 then
+      (* nothing pushed yet: no seed of the right representation
+         exists, so just raise the initial capacity for the first
+         realloc to honour *)
+      v.cap <- max v.cap n
+    else realloc v n v.data.(0)

@@ -15,3 +15,9 @@ val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
 val to_array : 'a t -> 'a array
 val of_array : 'a array -> 'a t
 val clear : 'a t -> unit
+(** Forget every element; capacity is retained. *)
+
+val reserve : 'a t -> int -> unit
+(** [reserve v n] ensures pushes up to length [n] will not
+    reallocate.  On an empty vector the pre-size takes effect at the
+    first push (the backing array needs a representative element). *)

@@ -197,6 +197,138 @@ let prop_normal_form_after_opt =
       && normal_form_ok (Mig.Opt_depth.run ~effort:1 m)
       && normal_form_ok (Mig.Opt_size.run ~effort:1 m))
 
+(* ----- differential check of the packed construction core -----
+
+   A deliberately naive reference implementation of the maj
+   normalization and structural hashing: [List.sort] for Ω.C, boxed
+   (int * int * int) Hashtbl keys for the strash.  Replaying the same
+   random construction stream against both must produce bit-identical
+   graphs — same returned signal at every call, same node count, same
+   stored fanin triples. *)
+
+type ref_strash = {
+  rtbl : (int * int * int, int) Hashtbl.t;
+  rfan : (int, int * int * int) Hashtbl.t;
+  mutable rnext : int;
+}
+
+let ref_not s = s lxor 1
+
+(* mirror of Graph.fold_m's case order *)
+let ref_fold a b c =
+  if a = b then a
+  else if a = c then a
+  else if b = c then b
+  else if a = ref_not b then c
+  else if a = ref_not c then b
+  else if b = ref_not c then a
+  else -1
+
+let ref_maj st a b c =
+  let folded = ref_fold a b c in
+  if folded >= 0 then folded
+  else begin
+    let ninv = (a land 1) + (b land 1) + (c land 1) in
+    let inv = ninv >= 2 in
+    let a = if inv then ref_not a else a
+    and b = if inv then ref_not b else b
+    and c = if inv then ref_not c else c in
+    let key =
+      match List.sort compare [ a; b; c ] with
+      | [ x; y; z ] -> (x, y, z)
+      | _ -> assert false
+    in
+    let id =
+      match Hashtbl.find_opt st.rtbl key with
+      | Some id -> id
+      | None ->
+          let id = st.rnext in
+          st.rnext <- id + 1;
+          Hashtbl.add st.rtbl key id;
+          Hashtbl.add st.rfan id key;
+          id
+    in
+    (id lsl 1) lor if inv then 1 else 0
+  end
+
+let prop_strash_matches_reference =
+  Helpers.qtest ~count:60 "qcheck: packed strash == sort+Hashtbl reference"
+    QCheck2.Gen.(int_bound 0x3fffffff)
+    (fun seed ->
+      let g = M.create () in
+      let n_pis = 6 in
+      let pool = Array.make 256 ((M.const0 g : S.t :> int)) in
+      for i = 0 to n_pis - 1 do
+        pool.(i) <- (M.add_pi g (Printf.sprintf "x%d" i) : S.t :> int)
+      done;
+      let st =
+        { rtbl = Hashtbl.create 64; rfan = Hashtbl.create 64; rnext = n_pis + 1 }
+      in
+      let rng = Lsutil.Rng.create seed in
+      let filled = ref n_pis in
+      let pick () =
+        let s = pool.(Lsutil.Rng.int rng !filled) in
+        if Lsutil.Rng.bool rng then ref_not s else s
+      in
+      let ok = ref true in
+      for _ = 1 to 400 do
+        let a = pick () and b = pick () and c = pick () in
+        let got =
+          (M.maj g (S.unsafe_of_int a) (S.unsafe_of_int b) (S.unsafe_of_int c)
+            : S.t
+            :> int)
+        in
+        let want = ref_maj st a b c in
+        if got <> want then ok := false;
+        if !filled < Array.length pool then begin
+          pool.(!filled) <- got;
+          incr filled
+        end
+      done;
+      (* identical node count and identical stored triples *)
+      if M.num_nodes g <> st.rnext then ok := false;
+      Hashtbl.iter
+        (fun id key -> if M.raw_fanins g id <> key then ok := false)
+        st.rfan;
+      !ok)
+
+(* compact is documented to be bit-identical to cleanup on well-formed
+   graphs, including in the presence of dead nodes *)
+let migs_identical a b =
+  M.num_nodes a = M.num_nodes b
+  && M.pis a = M.pis b
+  && List.for_all (fun id -> M.pi_name a id = M.pi_name b id) (M.pis a)
+  && List.length (M.pos a) = List.length (M.pos b)
+  && List.for_all2
+       (fun (na, sa) (nb, sb) -> na = nb && S.equal sa sb)
+       (M.pos a) (M.pos b)
+  && List.for_all
+       (* sentinel slots included: PI/const markers must line up too *)
+       (fun id -> M.raw_fanins a id = M.raw_fanins b id)
+       (List.init (M.num_nodes a) Fun.id)
+
+let prop_compact_equals_cleanup =
+  Helpers.qtest ~count:80 "qcheck: compact == cleanup bit-for-bit"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 3)
+           (Helpers.gen_term ~vars:[ "a"; "b"; "c"; "d" ] ~depth:4))
+        (int_bound 0x3fffffff))
+    (fun (terms, seed) ->
+      let net = Helpers.network_of_terms ~vars:[ "a"; "b"; "c"; "d" ] terms in
+      let m = Mig.Convert.of_network net in
+      (* grow some junk off the PIs so the PO cone is a strict subset *)
+      let rng = Lsutil.Rng.create seed in
+      let pis = Array.of_list (M.pis m) in
+      let pick () =
+        let s = S.make pis.(Lsutil.Rng.int rng (Array.length pis)) false in
+        if Lsutil.Rng.bool rng then S.not_ s else s
+      in
+      for _ = 1 to 5 do
+        ignore (M.maj m (pick ()) (pick ()) (pick ()))
+      done;
+      migs_identical (M.compact m) (M.cleanup m))
+
 let prop_activity_matches_network =
   Helpers.qtest ~count:100 "qcheck: MIG activity equals converted-network activity"
     (Helpers.gen_term ~vars:[ "a"; "b"; "c"; "d" ] ~depth:4)
@@ -235,5 +367,10 @@ let () =
       ( "activity",
         [ Alcotest.test_case "probability formula" `Quick test_activity_formula ] );
       ( "invariants",
-        [ prop_normal_form_after_opt; prop_activity_matches_network ] );
+        [
+          prop_normal_form_after_opt;
+          prop_activity_matches_network;
+          prop_strash_matches_reference;
+          prop_compact_equals_cleanup;
+        ] );
     ]

@@ -95,6 +95,101 @@ let test_rng_float_uniform () =
   let mean = !sum /. float_of_int n in
   Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
 
+let test_vec_reserve () =
+  (* reserve on an empty vector takes effect at the first push *)
+  let v = V.create () in
+  V.reserve v 1000;
+  for i = 0 to 999 do
+    ignore (V.push v i)
+  done;
+  Alcotest.(check int) "length after reserved pushes" 1000 (V.length v);
+  Alcotest.(check int) "content intact" 742 (V.get v 742);
+  (* reserve on a non-empty vector preserves contents *)
+  let w = V.of_array [| 10; 11; 12 |] in
+  V.reserve w 500;
+  Alcotest.(check (array int)) "contents survive realloc" [| 10; 11; 12 |]
+    (V.to_array w);
+  ignore (V.push w 13);
+  Alcotest.(check int) "push after reserve" 13 (V.get w 3);
+  (* a smaller reserve is a no-op *)
+  V.reserve w 2;
+  Alcotest.(check int) "shrinking reserve keeps elements" 4 (V.length w);
+  (* clear keeps capacity but forgets elements *)
+  V.clear w;
+  Alcotest.(check int) "cleared" 0 (V.length w);
+  ignore (V.push w 99);
+  Alcotest.(check int) "reusable after clear" 99 (V.get w 0)
+
+module Ih = Lsutil.Inthash
+
+let test_inthash_basic () =
+  let t = Ih.create () in
+  Alcotest.(check int) "empty" 0 (Ih.length t);
+  Alcotest.(check int) "miss" (-1) (Ih.find t 1 2 3);
+  Ih.add t 1 2 3 42;
+  Alcotest.(check int) "hit" 42 (Ih.find t 1 2 3);
+  Alcotest.(check bool) "mem" true (Ih.mem t 1 2 3);
+  Alcotest.(check bool) "not mem" false (Ih.mem t 3 2 1);
+  Alcotest.(check int) "length" 1 (Ih.length t);
+  (* duplicate insertion: the earliest-probed binding wins on find *)
+  Ih.add t 1 2 3 7;
+  Alcotest.(check int) "first binding wins" 42 (Ih.find t 1 2 3);
+  Alcotest.(check int) "duplicates counted" 2 (Ih.length t);
+  Ih.clear t;
+  Alcotest.(check int) "cleared" 0 (Ih.length t);
+  Alcotest.(check int) "miss after clear" (-1) (Ih.find t 1 2 3)
+
+let test_inthash_find_or_add () =
+  let t = Ih.create ~capacity:16 () in
+  Alcotest.(check int) "inserts when absent" 5 (Ih.find_or_add t 9 8 7 5);
+  Alcotest.(check int) "returns existing" 5 (Ih.find_or_add t 9 8 7 11);
+  Alcotest.(check int) "single entry" 1 (Ih.length t);
+  Alcotest.(check int) "find agrees" 5 (Ih.find t 9 8 7);
+  Alcotest.check_raises "negative key"
+    (Invalid_argument "Inthash.find_or_add: negative key or value") (fun () ->
+      ignore (Ih.find_or_add t (-1) 0 0 1))
+
+(* Differential check against Hashtbl through growth: random triples
+   with many collisions, mixing add and find_or_add. *)
+let test_inthash_vs_hashtbl () =
+  let t = Ih.create ~capacity:16 () in
+  let h : (int * int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let r = R.create 0xd1ff in
+  for v = 0 to 4999 do
+    let k0 = R.int r 40 and k1 = R.int r 40 and k2 = R.int r 40 in
+    match Hashtbl.find_opt h (k0, k1, k2) with
+    | Some v' ->
+        Alcotest.(check int) "existing binding" v' (Ih.find_or_add t k0 k1 k2 v)
+    | None ->
+        Alcotest.(check int) "fresh binding" v (Ih.find_or_add t k0 k1 k2 v);
+        Hashtbl.add h (k0, k1, k2) v
+  done;
+  Alcotest.(check int) "same cardinality" (Hashtbl.length h) (Ih.length t);
+  Hashtbl.iter
+    (fun (k0, k1, k2) v ->
+      Alcotest.(check int) "lookup agrees" v (Ih.find t k0 k1 k2))
+    h;
+  (* probes for absent keys agree too *)
+  for _ = 1 to 1000 do
+    let k0 = R.int r 60 and k1 = R.int r 60 and k2 = R.int r 60 in
+    let expect =
+      match Hashtbl.find_opt h (k0, k1, k2) with Some v -> v | None -> -1
+    in
+    Alcotest.(check int) "find" expect (Ih.find t k0 k1 k2)
+  done
+
+let test_inthash_reserve () =
+  let t = Ih.create () in
+  Ih.reserve t 10_000;
+  for v = 0 to 9_999 do
+    Ih.add t v (v * 3) (v * 7) v
+  done;
+  Alcotest.(check int) "all inserted" 10_000 (Ih.length t);
+  Alcotest.(check int) "spot check" 1234 (Ih.find t 1234 3702 8638);
+  let seen = ref 0 in
+  Ih.iter (fun _ _ _ _ -> incr seen) t;
+  Alcotest.(check int) "iter visits all" 10_000 !seen
+
 let test_rng_split () =
   let r = R.create 5 in
   let s = R.split r in
@@ -115,6 +210,15 @@ let () =
           Alcotest.test_case "iterate/fold" `Quick test_vec_iter_fold;
           Alcotest.test_case "float payload" `Quick test_vec_float_payload;
           Alcotest.test_case "record payload" `Quick test_vec_record_payload;
+          Alcotest.test_case "reserve/clear" `Quick test_vec_reserve;
+        ] );
+      ( "inthash",
+        [
+          Alcotest.test_case "basic" `Quick test_inthash_basic;
+          Alcotest.test_case "find_or_add" `Quick test_inthash_find_or_add;
+          Alcotest.test_case "differential vs Hashtbl" `Quick
+            test_inthash_vs_hashtbl;
+          Alcotest.test_case "reserve/iter" `Quick test_inthash_reserve;
         ] );
       ( "rng",
         [

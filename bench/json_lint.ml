@@ -110,6 +110,48 @@ let check_hotpath i r name =
       metrics_obj i r "opt_depth" ~ints:[ "size"; "depth" ] ~floats:[ "time_s" ]
   | _ -> fail "record %d: unknown hotpath record %S" i name
 
+let bool_field i r key =
+  match J.member key r with
+  | Some (J.Bool _) -> ()
+  | _ -> fail "record %d: %s is not a bool" i key
+
+let engine_outcomes = [ "completed"; "timed_out"; "failed"; "skipped" ]
+
+(* engine records embed a full Flow.Engine report: a passes array of
+   {pass; outcome; time_s; size; depth; rolled_back} plus the rollup *)
+let check_engine i r =
+  (match get i r "mode" with
+  | J.String ("clean" | "budgeted" | "faulted") -> ()
+  | _ -> fail "record %d: engine mode is not clean/budgeted/faulted" i);
+  (match get i r "timeout_s" with
+  | J.Null | J.Int _ | J.Float _ -> ()
+  | _ -> fail "record %d: timeout_s is not a number or null" i);
+  int_field i r "rollbacks";
+  bool_field i r "degraded";
+  bool_field i r "equivalent";
+  num i r "time_s" "engine";
+  metrics_obj i r "result" ~ints:[ "size"; "depth" ] ~floats:[];
+  let rep = get i r "report" in
+  int_field i rep "rollbacks";
+  bool_field i rep "degraded";
+  bool_field i rep "verified";
+  match J.member "passes" rep with
+  | Some (J.List ps) ->
+      List.iter
+        (fun p ->
+          (match J.member "pass" p with
+          | Some (J.String _) -> ()
+          | _ -> fail "record %d: engine pass without a name" i);
+          (match J.member "outcome" p with
+          | Some (J.String o) when List.mem o engine_outcomes -> ()
+          | _ -> fail "record %d: engine pass with a bad outcome" i);
+          num i p "time_s" "engine.passes";
+          int_field i p "size";
+          int_field i p "depth";
+          bool_field i p "rolled_back")
+        ps
+  | _ -> fail "record %d: report.passes is not a list" i
+
 let check_record i r =
   let sec = str i r "section" in
   let name = str i r "name" in
@@ -139,6 +181,7 @@ let check_record i r =
       opt_result i r "aig";
       spans i r
   | "hotpath" -> check_hotpath i r name
+  | "engine" -> check_engine i r
   | s -> fail "record %d: unknown section %S" i s);
   sec
 

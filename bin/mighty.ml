@@ -5,9 +5,13 @@
 open Cmdliner
 
 let read_input path =
-  if Filename.check_suffix path ".blif" then Logic_io.Blif.read_file path
-  else if Filename.check_suffix path ".v" then Logic_io.Verilog.read_file path
-  else failwith "mighty: input must be .blif or .v"
+  try
+    if Filename.check_suffix path ".blif" then Logic_io.Blif.read_file path
+    else if Filename.check_suffix path ".v" then Logic_io.Verilog.read_file path
+    else failwith "mighty: input must be .blif or .v"
+  with Logic_io.Io_error.Parse_error { line; msg } ->
+    prerr_endline (Logic_io.Io_error.to_string ~filename:path line msg);
+    exit 2
 
 let write_output path net =
   if Filename.check_suffix path ".blif" then Logic_io.Blif.write_file path net
@@ -96,6 +100,116 @@ let optimize_cmd =
     Term.(
       const optimize $ input_arg $ output_arg $ effort_arg $ goal_arg
       $ verify_arg $ stats_arg)
+
+(* The fault-tolerant engine behind a dedicated subcommand: the same
+   scripts as [optimize], but budgeted, checkpointed and isolated pass
+   by pass.  Exit codes: 0 clean, 2 usage/input error, 3 degraded
+   (some pass timed out, failed or was skipped — the output is still a
+   valid best-so-far circuit). *)
+let opt_run input output effort goal stats timeout max_nodes fault json =
+  if stats then Lsutil.Telemetry.set_enabled true;
+  (* the fault plan targets the optimization run: reject a bad spec up
+     front, but arm it only around [Engine.run] so the reader/converter
+     and the output writer stay outside the blast radius *)
+  let plan =
+    let parsed ctx spec =
+      match Lsutil.Fault.parse spec with
+      | Ok sp -> Some sp
+      | Error e ->
+          prerr_endline ("mighty opt: " ^ ctx ^ e);
+          exit 2
+    in
+    match fault with
+    | Some spec -> parsed "" spec
+    | None -> (
+        match Sys.getenv_opt "MIG_FAULT" with
+        | None | Some "" -> None
+        | Some spec -> parsed "MIG_FAULT: " spec)
+  in
+  let net = read_input input in
+  Format.printf "read %s: %a@." input Network.Graph.pp_stats net;
+  let m = Mig.Convert.of_network (Network.Graph.flatten_aoig net) in
+  report m "initial";
+  let t0 = Unix.gettimeofday () in
+  let opt, rep =
+    (match plan with Some sp -> Lsutil.Fault.arm sp | None -> ());
+    Fun.protect ~finally:Lsutil.Fault.disarm (fun () ->
+        Flow.Engine.run ?timeout_s:timeout ?max_nodes
+          ~cost:(Flow.Engine.cost_of_goal goal)
+          ~seed:0xda14
+          ~passes:(Flow.Engine.of_goal ~effort goal)
+          m)
+  in
+  report opt "optimized";
+  Format.printf "time: %.2fs@." (Unix.gettimeofday () -. t0);
+  Format.printf "%a@." Flow.Engine.pp_report rep;
+  (match json with
+  | Some "-" ->
+      Format.printf "%a@." Lsutil.Json.pp (Flow.Engine.report_to_json rep)
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Lsutil.Json.to_string (Flow.Engine.report_to_json rep));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "wrote %s@." path
+  | None -> ());
+  (match output with
+  | Some path ->
+      write_output path (Mig.Convert.to_network opt);
+      Format.printf "wrote %s@." path
+  | None -> ());
+  if rep.Flow.Engine.degraded then exit 3
+
+let opt_cmd =
+  let doc =
+    "optimize under a resource budget with checkpoint/rollback (the \
+     fault-tolerant pass engine)"
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SEC"
+          ~doc:
+            "Wall-clock budget in seconds.  When it expires mid-pass the \
+             engine rolls back to the last verified checkpoint and returns \
+             the best result so far (exit code 3).")
+  in
+  let max_nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:
+            "Node-allocation budget shared by every arena (MIG, AIG, BDD) \
+             used while optimizing.")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"SPEC"
+          ~doc:
+            "Arm deterministic fault injection, e.g. \
+             $(b,seed=7:rate=0.05:kind=any:sites=transform,strash).  \
+             Defaults to the $(b,MIG_FAULT) environment variable; see \
+             DESIGN.md \xc2\xa712 for the grammar.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write the engine report (per-pass outcomes, rollbacks, \
+             verification) as JSON to $(docv), or to stdout for $(b,-).")
+  in
+  Cmd.v
+    (Cmd.info "opt" ~doc)
+    Term.(
+      const opt_run $ input_arg $ output_arg $ effort_arg $ goal_arg
+      $ stats_arg $ timeout $ max_nodes $ fault $ json)
 
 let map_cmd =
   let doc = "optimize and map onto the 22nm-style cell library" in
@@ -250,4 +364,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ optimize_cmd; map_cmd; stats_cmd; bench_cmd; check_cmd; equiv_cmd ]))
+          [
+            optimize_cmd; opt_cmd; map_cmd; stats_cmd; bench_cmd; check_cmd;
+            equiv_cmd;
+          ]))

@@ -60,6 +60,9 @@ let and_ g a b =
   match find_and g a b with
   | Some s -> s
   | None ->
+      (* charge the AIG arena to the ambient budget, like Mig.Graph's
+         push_node (no-op when no budget is installed) *)
+      Lsutil.Budget.note_nodes 1;
       let ka, kb = key a b in
       let id = Vec.push g.f0 ka in
       ignore (Vec.push g.f1 kb);

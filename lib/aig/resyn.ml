@@ -1,13 +1,24 @@
 module T = Lsutil.Telemetry
 
+(* AIG passes share the "transform" fault site with the MIG passes;
+   there is no cheap silent corruption for an AIG, so [Corrupt]
+   degrades to a raise. *)
+let fault_transform () =
+  match Lsutil.Fault.fire "transform" with
+  | None -> ()
+  | Some Lsutil.Fault.Exhaust -> Lsutil.Budget.exhaust ()
+  | Some _ -> raise (Lsutil.Fault.Injected "transform")
+
 (* Per-pass telemetry span: wall-clock plus nodes/depth in → out. *)
 let traced name pass g =
   T.span name (fun () ->
+      Lsutil.Budget.poll ();
       if T.enabled () then begin
         T.record_int "nodes_in" (Graph.size g);
         T.record_int "depth_in" (Graph.depth g)
       end;
       let out = pass g in
+      if Lsutil.Fault.enabled () then fault_transform ();
       if T.enabled () then begin
         T.record_int "nodes_out" (Graph.size out);
         T.record_int "depth_out" (Graph.depth out)

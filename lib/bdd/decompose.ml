@@ -37,6 +37,14 @@ let to_network man ~pi_names outs =
 let run ?(node_limit = 2_000_000) ?(reorder = true) ~seed n =
   let module T = Lsutil.Telemetry in
   T.span "bdd:decompose" (fun () ->
+      (* unified budget API: an ambient node cap tightens the manager's
+         own limit, so one [Budget.with_budget] bounds MIG, AIG and BDD
+         arenas alike *)
+      let node_limit =
+        match Lsutil.Budget.remaining_nodes () with
+        | Some r -> min node_limit r
+        | None -> node_limit
+      in
       if T.enabled () then T.record_int "nodes_in" (G.size n);
       match
         let order =
@@ -62,8 +70,21 @@ let run ?(node_limit = 2_000_000) ?(reorder = true) ~seed n =
       with
       | net ->
           let out = G.cleanup net in
-          if T.enabled () then T.record_int "nodes_out" (G.size out);
+          if T.enabled () then begin
+            T.record_int "nodes_out" (G.size out);
+            T.record "outcome" (T.String "completed")
+          end;
           Some out
       | exception Robdd.Node_limit_exceeded ->
+          (* graceful blowup: the caller gets [None], never an
+             exception; telemetry records a Timed_out-style outcome *)
           T.count "bdd.blowup";
+          T.record "outcome" (T.String "timed_out");
+          None
+      | exception Lsutil.Budget.Exhausted reason ->
+          (* the unified budget (deadline or cross-layer node cap) blew
+             mid-build: same graceful degradation as a local blowup *)
+          T.count "bdd.blowup";
+          T.record "outcome" (T.String "timed_out");
+          T.record "budget" (T.String (Lsutil.Budget.reason_name reason));
           None)

@@ -50,6 +50,17 @@ let topvar m f =
 
 let num_allocated m = Vec.length m.vars - 2
 
+(* BDD-builder fault site.  [Corrupt] returns the low child instead of
+   a fresh node: a structurally valid but functionally wrong BDD that
+   only downstream verification can catch.  Returns [-1] (= no fault)
+   on the hot path so [mk] stays allocation-free. *)
+let fault_bdd lo =
+  match Lsutil.Fault.fire "bdd" with
+  | None -> -1
+  | Some Lsutil.Fault.Corrupt -> lo
+  | Some Lsutil.Fault.Raise -> raise (Lsutil.Fault.Injected "bdd")
+  | Some Lsutil.Fault.Exhaust -> Lsutil.Budget.exhaust ()
+
 let mk m v lo hi =
   if lo = hi then lo
   else
@@ -57,12 +68,21 @@ let mk m v lo hi =
     match Hashtbl.find_opt m.unique key with
     | Some id -> id
     | None ->
-        if Vec.length m.vars - 2 >= m.node_limit then raise Node_limit_exceeded;
-        let id = Vec.push m.vars v in
-        ignore (Vec.push m.lows lo);
-        ignore (Vec.push m.highs hi);
-        Hashtbl.add m.unique key id;
-        id
+        let injected = if Lsutil.Fault.enabled () then fault_bdd lo else -1 in
+        if injected >= 0 then injected
+        else begin
+          if Vec.length m.vars - 2 >= m.node_limit then
+            raise Node_limit_exceeded;
+          (* BDD nodes count against the same ambient budget as MIG and
+             AIG arena nodes; this also keeps long builds
+             deadline-responsive (no-op when no budget is installed) *)
+          Lsutil.Budget.note_nodes 1;
+          let id = Vec.push m.vars v in
+          ignore (Vec.push m.lows lo);
+          ignore (Vec.push m.highs hi);
+          Hashtbl.add m.unique key id;
+          id
+        end
 
 let var m i =
   if i < 0 || i >= terminal_var then invalid_arg "Robdd.var";

@@ -31,6 +31,7 @@ let enumerate ~k ~max_cuts g =
     | x :: rest -> x :: take (n - 1) rest
   in
   for i = 0 to n - 1 do
+    Lsutil.Budget.poll ();
     if i = 0 then cuts.(i) <- [ [||] ]
     else if G.is_pi g i then cuts.(i) <- [ [| i |] ]
     else if not reach.(i) then

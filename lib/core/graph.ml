@@ -43,8 +43,13 @@ let ensure_fan g n =
     g.fan <- fan
   end
 
-(* Append a node with fanin slots [x; y; z]; returns its id. *)
+(* Append a node with fanin slots [x; y; z]; returns its id.  Charges
+   one node to the ambient [Lsutil.Budget] (a no-op load-and-branch
+   when no budget is installed): the arena only ever grows here, so
+   this single site enforces the max-node cap for every construction
+   path. *)
 let push_node g x y z =
+  Lsutil.Budget.note_nodes 1;
   let id = g.nn in
   if 3 * (id + 1) > Array.length g.fan then ensure_fan g (id + 1);
   let b = 3 * id in
@@ -149,7 +154,18 @@ let find_maj g a b c =
   | -1 -> lookup g a b c
   | s -> Some (S.unsafe_of_int s)
 
-let maj g a b c =
+(* Strash-layer fault injection (chaos testing): complement the result
+   (silent corruption, caught by the engine's miter), raise, or blow
+   the ambient budget.  Out of line: the disarmed check in [maj] is a
+   single load and branch. *)
+let fault_strash s =
+  match Lsutil.Fault.fire "strash" with
+  | None -> s
+  | Some Lsutil.Fault.Corrupt -> S.not_ s
+  | Some Lsutil.Fault.Raise -> raise (Lsutil.Fault.Injected "strash")
+  | Some Lsutil.Fault.Exhaust -> Lsutil.Budget.exhaust ()
+
+let maj_core g a b c =
   let folded = fold_m_int a b c in
   if folded >= 0 then begin
     Lsutil.Telemetry.count "maj.fold";
@@ -189,6 +205,10 @@ let maj g a b c =
     else Lsutil.Telemetry.count "strash.hit";
     S.make id inv
   end
+
+let maj g a b c =
+  if Lsutil.Fault.enabled () then fault_strash (maj_core g a b c)
+  else maj_core g a b c
 
 let and_ g a b = maj g a b (const0 g)
 let or_ g a b = maj g a b (const1 g)
@@ -286,14 +306,26 @@ let reachable g =
   | Some (n, p, r) when n = nn && p = np -> r
   | _ ->
       let r = Array.make (max nn 1) false in
-      let rec visit id =
+      (* explicit-stack DFS: chain-shaped cones can be hundreds of
+         thousands of nodes deep, far past the OCaml stack *)
+      let stack = Lsutil.Istack.create () in
+      let mark id =
         if id >= 0 && id < nn && not r.(id) then begin
           r.(id) <- true;
-          if is_maj g id then
-            Array.iter (fun s -> visit (S.node s)) (fanins g id)
+          Lsutil.Istack.push stack id
         end
       in
-      iter_pos g (fun _ s -> visit (S.node s));
+      iter_pos g (fun _ s -> mark (S.node s));
+      while not (Lsutil.Istack.is_empty stack) do
+        let id = Lsutil.Istack.top stack in
+        Lsutil.Istack.pop stack;
+        if is_maj g id then begin
+          let b = 3 * id in
+          mark (g.fan.(b) lsr 1);
+          mark (g.fan.(b + 1) lsr 1);
+          mark (g.fan.(b + 2) lsr 1)
+        end
+      done;
       g.reach <- Some (nn, np, r);
       r
 
@@ -378,30 +410,47 @@ let compact g =
   map.(0) <- 0;
   List.iter (fun id -> map.(id) <- S.node (add_pi fresh (pi_name g id))) (pis g);
   let fan = g.fan in
-  (* any unmapped node is a majority node: const and PIs are prefilled *)
-  let rec build id =
-    if Array.unsafe_get map id < 0 then begin
-      let b = 3 * id in
-      let fa = fan.(b) and fb = fan.(b + 1) and fc = fan.(b + 2) in
-      build (fa lsr 1);
-      build (fb lsr 1);
-      build (fc lsr 1);
-      let x = (Array.unsafe_get map (fa lsr 1) lsl 1) lor (fa land 1) in
-      let y = (Array.unsafe_get map (fb lsr 1) lsl 1) lor (fb land 1) in
-      let z = (Array.unsafe_get map (fc lsr 1) lsl 1) lor (fc land 1) in
-      let c1 = x <= y in
-      let x' = if c1 then x else y in
-      let y' = if c1 then y else x in
-      let c2 = y' <= z in
-      let z' = if c2 then z else y' in
-      let y' = if c2 then y' else z in
-      let c3 = x' <= y' in
-      let x = if c3 then x' else y' in
-      let y = if c3 then y' else x' in
-      let z = z' in
-      let id' = push_node fresh x y z in
-      Ih.add fresh.strash x y z id';
-      Array.unsafe_set map id id'
+  (* Any unmapped node is a majority node: const and PIs are prefilled.
+     Explicit-stack post-order (stack-safe on chain-shaped cones): a
+     node stays on the stack until its first unmapped fanin is pushed
+     and resolved, so subtrees complete left-to-right exactly as the
+     recursive [build fa; build fb; build fc] did — node-creation
+     order, and hence the output, is unchanged. *)
+  let stack = Lsutil.Istack.create () in
+  let build root =
+    if Array.unsafe_get map root < 0 then begin
+      Lsutil.Istack.push stack root;
+      while not (Lsutil.Istack.is_empty stack) do
+        let id = Lsutil.Istack.top stack in
+        if Array.unsafe_get map id >= 0 then Lsutil.Istack.pop stack
+        else begin
+          let b = 3 * id in
+          let fa = fan.(b) and fb = fan.(b + 1) and fc = fan.(b + 2) in
+          let na = fa lsr 1 and nb = fb lsr 1 and nc = fc lsr 1 in
+          if Array.unsafe_get map na < 0 then Lsutil.Istack.push stack na
+          else if Array.unsafe_get map nb < 0 then Lsutil.Istack.push stack nb
+          else if Array.unsafe_get map nc < 0 then Lsutil.Istack.push stack nc
+          else begin
+            let x = (Array.unsafe_get map na lsl 1) lor (fa land 1) in
+            let y = (Array.unsafe_get map nb lsl 1) lor (fb land 1) in
+            let z = (Array.unsafe_get map nc lsl 1) lor (fc land 1) in
+            let c1 = x <= y in
+            let x' = if c1 then x else y in
+            let y' = if c1 then y else x in
+            let c2 = y' <= z in
+            let z' = if c2 then z else y' in
+            let y' = if c2 then y' else z in
+            let c3 = x' <= y' in
+            let x = if c3 then x' else y' in
+            let y = if c3 then y' else x' in
+            let z = z' in
+            let id' = push_node fresh x y z in
+            Ih.add fresh.strash x y z id';
+            Array.unsafe_set map id id';
+            Lsutil.Istack.pop stack
+          end
+        end
+      done
     end
   in
   iter_pos g (fun name s ->
@@ -419,13 +468,29 @@ let cleanup g =
     | Some s' -> S.xor_complement s' (S.is_complement s)
     | None -> assert false
   in
-  let rec build id =
-    match map.(id) with
-    | Some _ -> ()
-    | None ->
-        let fs = fanins g id in
-        Array.iter (fun s -> build (S.node s)) fs;
-        map.(id) <- Some (maj fresh (lookup fs.(0)) (lookup fs.(1)) (lookup fs.(2)))
+  (* explicit-stack post-order; same first-unmapped-fanin scheme as
+     [compact], so the visit order matches the old recursion exactly *)
+  let stack = Lsutil.Istack.create () in
+  let build root =
+    if map.(root) = None then begin
+      Lsutil.Istack.push stack root;
+      while not (Lsutil.Istack.is_empty stack) do
+        let id = Lsutil.Istack.top stack in
+        if map.(id) <> None then Lsutil.Istack.pop stack
+        else begin
+          let fs = fanins g id in
+          let na = S.node fs.(0) and nb = S.node fs.(1) and nc = S.node fs.(2) in
+          if map.(na) = None then Lsutil.Istack.push stack na
+          else if map.(nb) = None then Lsutil.Istack.push stack nb
+          else if map.(nc) = None then Lsutil.Istack.push stack nc
+          else begin
+            map.(id) <-
+              Some (maj fresh (lookup fs.(0)) (lookup fs.(1)) (lookup fs.(2)));
+            Lsutil.Istack.pop stack
+          end
+        end
+      done
+    end
   in
   iter_pos g (fun name s ->
       build (S.node s);
@@ -453,4 +518,8 @@ module Unsafe = struct
 
   let strash_add g (a, b, c) id =
     Ih.add g.strash (a : S.t :> int) (b : S.t :> int) (c : S.t :> int) id
+
+  let flip_po g i =
+    let v = Vec.get g.po_sigs i in
+    Vec.set g.po_sigs i (v lxor 1)
 end

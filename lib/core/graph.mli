@@ -171,4 +171,10 @@ module Unsafe : sig
 
   val strash_add : t -> S.t * S.t * S.t -> int -> unit
   (** Add a strash binding for an arbitrary key/node pair. *)
+
+  val flip_po : t -> int -> unit
+  (** Complement the [i]-th output in place: a structurally legal but
+      functionally wrong graph.  Used by [Lsutil.Fault]'s [Corrupt]
+      kind — such silent corruption must be caught by the engine's
+      miter check, never by structure-only lint. *)
 end

@@ -12,6 +12,7 @@ let optimize ~effort ~pi_prob g =
   let best = ref (if cost sized < cost g0 then sized else g0) in
   let cur = ref !best in
   for _cycle = 1 to effort do
+    Lsutil.Budget.poll ();
     cur := Transform.relevance !cur;
     cur := Transform.eliminate !cur;
     if cost !cur < cost !best then best := !cur else cur := !best;

@@ -10,6 +10,7 @@ let saturate pass g ~max_iter =
   let continue_ = ref true in
   let iter = ref 0 in
   while !continue_ && !iter < max_iter do
+    Lsutil.Budget.poll ();
     incr iter;
     let next = pass !cur in
     if G.depth next < G.depth !cur then cur := next else continue_ := false
@@ -22,6 +23,7 @@ let optimize ~effort ~size_recovery g =
   let original_depth = G.depth !best in
   let cur = ref !best in
   for _cycle = 1 to effort do
+    Lsutil.Budget.poll ();
     (* derived-identity rewriting: transpose AOIG structures into
        native majority/parity forms before pushing up *)
     cur := Transform.rewrite_patterns !cur;

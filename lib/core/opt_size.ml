@@ -9,6 +9,7 @@ let optimize ~effort g =
   let best = ref (G.cleanup g) in
   let cur = ref !best in
   for _cycle = 1 to effort do
+    Lsutil.Budget.poll ();
     (* collapse AOIG patterns into majority nodes, then eliminate *)
     cur := Transform.rewrite_patterns ~mode:`Size !cur;
     if better !cur !best then best := !cur;

@@ -18,22 +18,39 @@ let make_level_fn fresh =
       memo := m'
     end
   in
-  let rec node_level id =
-    ensure id;
-    let l = !memo.(id) in
-    if l >= 0 then l
+  (* explicit-stack post-order: level queries reach arbitrarily deep
+     into the fresh graph, so the call stack is not an option *)
+  let stack = Lsutil.Istack.create () in
+  let node_level root =
+    ensure root;
+    if !memo.(root) >= 0 then !memo.(root)
     else begin
-      let l =
-        if G.is_maj fresh id then
-          1
-          + Array.fold_left
-              (fun acc s -> max acc (node_level (S.node s)))
-              0 (G.fanins fresh id)
-        else 0
-      in
-      ensure id;
-      !memo.(id) <- l;
-      l
+      Lsutil.Istack.push stack root;
+      while not (Lsutil.Istack.is_empty stack) do
+        let id = Lsutil.Istack.top stack in
+        ensure id;
+        if !memo.(id) >= 0 then Lsutil.Istack.pop stack
+        else if not (G.is_maj fresh id) then begin
+          !memo.(id) <- 0;
+          Lsutil.Istack.pop stack
+        end
+        else begin
+          let fs = G.fanins fresh id in
+          let na = S.node fs.(0) and nb = S.node fs.(1) and nc = S.node fs.(2) in
+          ensure na;
+          ensure nb;
+          ensure nc;
+          let m = !memo in
+          if m.(na) < 0 then Lsutil.Istack.push stack na
+          else if m.(nb) < 0 then Lsutil.Istack.push stack nb
+          else if m.(nc) < 0 then Lsutil.Istack.push stack nc
+          else begin
+            m.(id) <- 1 + max (max m.(na) m.(nb)) m.(nc);
+            Lsutil.Istack.pop stack
+          end
+        end
+      done;
+      !memo.(root)
     end
   in
   fun s -> node_level (S.node s)
@@ -101,6 +118,11 @@ let with_rebuild_map n k =
    that pick the first profitable rotation are sensitive to the
    numbering, and skipping the renumbering entirely was observed to
    drift optimization results on big benchmarks. *)
+(* Raised (no-trace) by [value] when a constructor demands a node that
+   is not built yet; the driver pushes that node and retries.  See
+   [rebuild_with]. *)
+exception Need of int
+
 let rebuild_with g init =
   let fresh = G.create () in
   (* the rebuilt graph rarely exceeds the source; pre-sizing its node
@@ -112,16 +134,48 @@ let rebuild_with g init =
   List.iter
     (fun id -> map.(id) <- (G.add_pi fresh (G.pi_name g id) : S.t :> int))
     (G.pis g);
-  let rec build id =
-    let s = map.(id) in
-    if s >= 0 then S.unsafe_of_int s
-    else begin
-      let s = construct value id (G.fanins g id) in
-      map.(id) <- (s : S.t :> int);
-      s
+  let value s =
+    let v = map.(S.node s) in
+    if v >= 0 then S.xor_complement (S.unsafe_of_int v) (S.is_complement s)
+    else raise_notrace (Need (S.node s))
+  in
+  (* Stack-safe retry driver.  The old version recursed through
+     [build]/[value], so a chain-shaped graph overflowed the call
+     stack.  Here [value] aborts the constructor with [Need n] when it
+     hits an unbuilt node; the driver builds [n] (and, recursively,
+     whatever it needs — ids only ever decrease, so this terminates)
+     and re-runs the constructor.  Re-runs are observationally
+     identical to the single recursive run: the constructor re-issues
+     the same [G.maj] calls, which now strash-hit and return the very
+     same signals, and its [value] demands fire in the same
+     (compiler-fixed) evaluation order — so node-creation order, and
+     with it every numbering-sensitive decision downstream, is
+     unchanged.  Constructors must only keep side effects that are
+     idempotent under retry (telemetry counts go after the last
+     [value] call). *)
+  let stack = Lsutil.Istack.create () in
+  let build root =
+    if map.(root) < 0 then begin
+      Lsutil.Istack.push stack root;
+      while not (Lsutil.Istack.is_empty stack) do
+        Lsutil.Budget.poll ();
+        let id = Lsutil.Istack.top stack in
+        if map.(id) >= 0 then Lsutil.Istack.pop stack
+        else
+          match construct value id (G.fanins g id) with
+          | s ->
+              map.(id) <- (s : S.t :> int);
+              Lsutil.Istack.pop stack
+          | exception Need n -> Lsutil.Istack.push stack n
+      done
     end
-  and value s = S.xor_complement (build (S.node s)) (S.is_complement s) in
-  G.iter_pos g (fun name s -> G.add_po fresh name (value s));
+  in
+  G.iter_pos g (fun name s ->
+      build (S.node s);
+      G.add_po fresh name
+        (S.xor_complement
+           (S.unsafe_of_int map.(S.node s))
+           (S.is_complement s)));
   G.compact fresh
 
 (* All ways of singling out one element of a 3-array:
@@ -296,32 +350,114 @@ let push_up g =
 
 (* ----- relevance: Ψ.R ----- *)
 
-exception Out_of_budget
-
 (* Does the cone of [root] depend on node [target]?  Visits at most
-   [limit] majority nodes; [None] when the budget is exceeded. *)
+   [limit] majority nodes; [None] when the budget is exceeded.
+
+   Explicit frames (node id + next fanin index) replace the old
+   recursion.  Although the memoized walk is depth-bounded by the
+   budget in practice, the frame form also replicates the original
+   visit order exactly: the budget decrements, memo writes and
+   left-to-right short-circuit happen at the same points, so the
+   (order-sensitive) budget cut-off cannot move and rewrite plans are
+   unchanged. *)
 let depends_within g ~limit root target =
   let memo = Hashtbl.create 32 in
   let budget = ref limit in
-  let rec depends id =
-    if id = target then true
+  let ids = Lsutil.Istack.create () in
+  let ks = Lsutil.Istack.create () in
+  let res = ref false in
+  let overflow = ref false in
+  (* evaluate [id]: sets [res], or pushes a frame for a fresh maj *)
+  let eval id =
+    if id = target then res := true
     else
       match Hashtbl.find_opt memo id with
-      | Some d -> d
+      | Some d -> res := d
       | None ->
           if not (G.is_maj g id) then begin
             Hashtbl.replace memo id false;
-            false
+            res := false
           end
           else begin
             decr budget;
-            if !budget < 0 then raise Out_of_budget;
-            let d = Array.exists (fun s -> depends (S.node s)) (G.fanins g id) in
-            Hashtbl.replace memo id d;
-            d
+            if !budget < 0 then overflow := true
+            else begin
+              Lsutil.Istack.push ids id;
+              Lsutil.Istack.push ks 0;
+              res := false
+            end
           end
   in
-  match depends root with exception Out_of_budget -> None | d -> Some d
+  eval root;
+  while (not !overflow) && not (Lsutil.Istack.is_empty ids) do
+    let id = Lsutil.Istack.top ids in
+    let k = Lsutil.Istack.top ks in
+    if !res || k = 3 then begin
+      (* short-circuit on the first dependent fanin, or all three seen *)
+      Hashtbl.replace memo id !res;
+      Lsutil.Istack.pop ids;
+      Lsutil.Istack.pop ks
+    end
+    else begin
+      Lsutil.Istack.pop ks;
+      Lsutil.Istack.push ks (k + 1);
+      eval (S.node (G.fanins g id).(k))
+    end
+  done;
+  if !overflow then None else Some !res
+
+(* Iterative cone rebuild with edge redirection, shared by Ψ.R and
+   Ψ.S: rebuild the cone of old node [root] in [fresh], rewriting
+   every edge onto node [target] through [redirect] and resolving all
+   other non-maj leaves through [value].  Returns the fresh signal of
+   [root]'s regular polarity.
+
+   Stack discipline: a node stays on the stack until its first
+   pending child — scanned fanin 2, 1, 0 — is done.  That completes
+   child subtrees right-to-left, which is exactly the order the
+   native-code compiler evaluated the [G.maj fresh (resolve fs.(0))
+   (resolve fs.(1)) (resolve fs.(2))] arguments of the recursive
+   version in, so node-creation order (and every numbering-sensitive
+   decision downstream) is preserved.  When a node is finally built,
+   all its children are memoized and [resolve] allocates nothing. *)
+let subst_cone g fresh ~value ~target ~redirect root =
+  let memo = Hashtbl.create 32 in
+  let stack = Lsutil.Istack.create () in
+  let resolve e =
+    if S.node e = target then redirect e
+    else S.xor_complement (Hashtbl.find memo (S.node e)) (S.is_complement e)
+  in
+  let pending e =
+    let n = S.node e in
+    if n = target || Hashtbl.mem memo n then -1 else n
+  in
+  Lsutil.Istack.push stack root;
+  while not (Lsutil.Istack.is_empty stack) do
+    Lsutil.Budget.poll ();
+    let nid = Lsutil.Istack.top stack in
+    if Hashtbl.mem memo nid then Lsutil.Istack.pop stack
+    else if not (G.is_maj g nid) then begin
+      Hashtbl.replace memo nid (value (S.make nid false));
+      Lsutil.Istack.pop stack
+    end
+    else begin
+      let fs = G.fanins g nid in
+      let p2 = pending fs.(2) in
+      if p2 >= 0 then Lsutil.Istack.push stack p2
+      else
+        let p1 = pending fs.(1) in
+        if p1 >= 0 then Lsutil.Istack.push stack p1
+        else
+          let p0 = pending fs.(0) in
+          if p0 >= 0 then Lsutil.Istack.push stack p0
+          else begin
+            Hashtbl.replace memo nid
+              (G.maj fresh (resolve fs.(0)) (resolve fs.(1)) (resolve fs.(2)));
+            Lsutil.Istack.pop stack
+          end
+    end
+  done;
+  Hashtbl.find memo root
 
 let relevance_rebuild g plan =
   rebuild_with g (fun fresh ->
@@ -331,39 +467,21 @@ let relevance_rebuild g plan =
             let m = Array.map value old_fs in
             G.maj fresh m.(0) m.(1) m.(2)
         | Some (x, y, z) ->
-            Tel.count "rewrites";
             let xv = value x and yv = value y in
+            (* counted only after the [value] demands above: the
+               retry-driver may re-run this constructor *)
+            Tel.count "rewrites";
             (* Rebuild the cone of z, replacing edges onto node(x):
                an edge equal to x becomes y', its complement becomes y. *)
-            let target = S.node x in
-            let memo = Hashtbl.create 32 in
-            let rec subst nid =
-              (* fresh signal for old node [nid] under the substitution *)
-              match Hashtbl.find_opt memo nid with
-              | Some s -> s
-              | None ->
-                  let s =
-                    if not (G.is_maj g nid) then value (S.make nid false)
-                    else begin
-                      let fs = G.fanins g nid in
-                      let resolve e =
-                        if S.node e = target then
-                          (* e = x  ->  y' ; e = x' -> y *)
-                          if S.is_complement e = S.is_complement x then
-                            S.not_ yv
-                          else yv
-                        else
-                          S.xor_complement (subst (S.node e))
-                            (S.is_complement e)
-                      in
-                      G.maj fresh (resolve fs.(0)) (resolve fs.(1))
-                        (resolve fs.(2))
-                    end
-                  in
-                  Hashtbl.replace memo nid s;
-                  s
+            let redirect e =
+              if S.is_complement e = S.is_complement x then S.not_ yv
+              else yv
             in
-            let zv = S.xor_complement (subst (S.node z)) (S.is_complement z) in
+            let zroot =
+              subst_cone g fresh ~value ~target:(S.node x) ~redirect
+                (S.node z)
+            in
+            let zv = S.xor_complement zroot (S.is_complement z) in
             G.maj fresh xv yv zv)
 
 let relevance ?(cone_limit = 16) g =
@@ -457,29 +575,8 @@ let substitution ?(max_candidates = 8) ~on_critical g =
             let vv = value (S.make v false) and uv = value (S.make u false) in
             (* k with every edge onto v redirected to [repl] *)
             let subst_build repl =
-              let memo = Hashtbl.create 32 in
-              let rec go nid =
-                match Hashtbl.find_opt memo nid with
-                | Some s -> s
-                | None ->
-                    let s =
-                      if not (G.is_maj g nid) then value (S.make nid false)
-                      else begin
-                        let fs = G.fanins g nid in
-                        let resolve e =
-                          if S.node e = v then
-                            S.xor_complement repl (S.is_complement e)
-                          else
-                            S.xor_complement (go (S.node e)) (S.is_complement e)
-                        in
-                        G.maj fresh (resolve fs.(0)) (resolve fs.(1))
-                          (resolve fs.(2))
-                      end
-                    in
-                    Hashtbl.replace memo nid s;
-                    s
-              in
-              go id
+              let redirect e = S.xor_complement repl (S.is_complement e) in
+              subst_cone g fresh ~value ~target:v ~redirect id
             in
             let k_vu = subst_build uv in
             let k_vu' = subst_build (S.not_ uv) in
@@ -788,8 +885,9 @@ let refactor ?(max_leaves = 10) g =
               let m = Array.map value old_fs in
               G.maj fresh m.(0) m.(1) m.(2)
           | Some (cut, form) ->
-              Tel.count "rewrites";
               let leaves = Array.map (fun l -> value (S.make l false)) cut in
+              (* counted after the [value] demands: retry-idempotent *)
+              Tel.count "rewrites";
               build_factored fresh leaves form)
   in
   if G.size result <= G.size g then result else G.compact g
@@ -861,13 +959,27 @@ let reshape_assoc g =
    number of rewrites it applied, as one span per invocation.  When
    [MIG_STATS] is off the wrappers reduce to a load-and-branch. *)
 
+(* Pass-level fault injection (chaos testing).  [Corrupt] complements
+   the first output in place — a structurally clean but functionally
+   wrong graph that only the engine's miter can catch. *)
+let fault_transform out =
+  match Lsutil.Fault.fire "transform" with
+  | None -> out
+  | Some Lsutil.Fault.Corrupt ->
+      if G.num_pos out > 0 then G.Unsafe.flip_po out 0;
+      out
+  | Some Lsutil.Fault.Raise -> raise (Lsutil.Fault.Injected "transform")
+  | Some Lsutil.Fault.Exhaust -> Lsutil.Budget.exhaust ()
+
 let traced name pass g =
   Tel.span name (fun () ->
+      Lsutil.Budget.poll ();
       if Tel.enabled () then begin
         Tel.record_int "nodes_in" (G.size g);
         Tel.record_int "depth_in" (G.depth g)
       end;
       let out = pass g in
+      let out = if Lsutil.Fault.enabled () then fault_transform out else out in
       if Tel.enabled () then begin
         Tel.record_int "nodes_out" (G.size out);
         Tel.record_int "depth_out" (G.depth out)

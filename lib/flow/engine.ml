@@ -1,0 +1,311 @@
+module G = Mig.Graph
+module T = Lsutil.Telemetry
+
+type outcome =
+  | Completed
+  | Timed_out of Lsutil.Budget.reason
+  | Failed of string
+  | Skipped
+
+let outcome_name = function
+  | Completed -> "completed"
+  | Timed_out _ -> "timed_out"
+  | Failed _ -> "failed"
+  | Skipped -> "skipped"
+
+let outcome_detail = function
+  | Completed | Skipped -> None
+  | Timed_out r -> Some (Lsutil.Budget.reason_name r)
+  | Failed msg -> Some msg
+
+type pass_report = {
+  pass : string;
+  outcome : outcome;
+  time_s : float;
+  size : int;
+  depth : int;
+  rolled_back : bool;
+}
+
+type report = {
+  passes : pass_report list;
+  rollbacks : int;
+  degraded : bool;
+  verified : bool;
+}
+
+type pass = { name : string; run : G.t -> G.t }
+
+let pass name run = { name; run }
+
+(* Exceptions that must propagate: the engine cannot meaningfully
+   degrade past a broken runtime or a user interrupt. *)
+let fatal = function
+  | Out_of_memory | Sys.Break -> true
+  | _ -> false
+
+let describe = function
+  | Stack_overflow -> "stack_overflow"
+  | Lsutil.Fault.Injected site -> "fault:" ^ site
+  | Check_guard.Failed f -> Format.asprintf "%a" Check_guard.pp_failure f
+  | e -> Printexc.to_string e
+
+let protect ~name f =
+  match f () with
+  | v -> Ok v
+  | exception Lsutil.Budget.Exhausted r ->
+      T.count "engine.timed_out";
+      T.record ("engine." ^ name) (T.String (Lsutil.Budget.reason_name r));
+      Error (Timed_out r)
+  | exception e when not (fatal e) ->
+      T.count "engine.failed";
+      let msg = describe e in
+      T.record ("engine." ^ name) (T.String msg);
+      Error (Failed msg)
+
+(* A candidate is only checkpointed if it survives the checker: lint
+   always (cheap, catches structural corruption); a simulation miter
+   against the ORIGINAL input when [verify] — comparing against the
+   input rather than the previous checkpoint keeps errors from
+   compounding across passes.  Runs with the budget suspended (it must
+   work after the deadline blew) and the fault plan disarmed (the
+   verifier itself must not be faulted). *)
+let candidate_ok ~verify ~seed ~input cand =
+  Lsutil.Budget.suspended (fun () ->
+      Lsutil.Fault.suspended (fun () ->
+          match
+            Check_report.is_clean (Mig.Check.lint ~subject:"engine" cand)
+            && ((not verify) || Mig.Equiv.migs ~seed input cand)
+          with
+          | ok -> ok
+          | exception e when not (fatal e) -> false))
+
+let run ?verify ?timeout_s ?max_nodes ?cost ?size_cap ?(seed = 1)
+    ~passes g =
+  let verify =
+    match verify with
+    | Some v -> v
+    | None -> Check.Env.enabled () || Lsutil.Fault.enabled ()
+  in
+  let cost =
+    match cost with
+    | Some c -> c
+    | None -> fun g -> (float_of_int (G.size g), float_of_int (G.depth g))
+  in
+  let size_cap = match size_cap with Some c -> c | None -> max_int in
+  T.span "engine" (fun () ->
+      (* the input itself is the zeroth checkpoint: whatever happens
+         downstream, the caller gets back something at least as good.
+         The checkpoint must be trustworthy, so when a fault plan is
+         armed the initial cleanup is verified — a corrupt checkpoint
+         would doom every pass to rollback *)
+      let input = g in
+      let initial () =
+        let pristine () =
+          Lsutil.Budget.suspended (fun () ->
+              Lsutil.Fault.suspended (fun () -> G.cleanup g))
+        in
+        if not (Lsutil.Fault.enabled () || Lsutil.Budget.active ()) then
+          G.cleanup g
+        else
+          match protect ~name:"init" (fun () -> G.cleanup g) with
+          | Ok b
+            when (not (Lsutil.Fault.enabled ()))
+                 || candidate_ok ~verify:true ~seed ~input b ->
+              b
+          | _ -> pristine ()
+      in
+      let best = ref (initial ()) in
+      let best_cost = ref (cost !best) in
+      let cur = ref !best in
+      let reports = ref [] in
+      let rollbacks = ref 0 in
+      let finished = ref 0 in
+      let record name outcome time_s rolled_back =
+        (match outcome_detail outcome with
+        | Some d when outcome <> Completed ->
+            T.record ("outcome:" ^ name) (T.String d)
+        | _ -> ());
+        reports :=
+          { pass = name; outcome; time_s; size = G.size !cur;
+            depth = G.depth !cur; rolled_back }
+          :: !reports
+      in
+      let step p =
+        if Lsutil.Budget.expired () then record p.name Skipped 0.0 false
+        else begin
+          let t0 = Unix.gettimeofday () in
+          let res = protect ~name:p.name (fun () -> p.run !cur) in
+          let dt = Unix.gettimeofday () -. t0 in
+          match res with
+          | Ok cand
+            when G.size cand <= size_cap
+                 && candidate_ok ~verify ~seed ~input cand ->
+              incr finished;
+              cur := cand;
+              let c = cost cand in
+              if c < !best_cost then begin
+                best := cand;
+                best_cost := c
+              end;
+              record p.name Completed dt false
+          | Ok _ ->
+              (* the pass returned, but its result is oversized or
+                 fails verification: discard it and restart the
+                 pipeline from the last good checkpoint *)
+              incr rollbacks;
+              cur := !best;
+              record p.name (Failed "verification") dt true
+          | Error outcome ->
+              incr rollbacks;
+              cur := !best;
+              record p.name outcome dt true
+        end
+      in
+      let body () = List.iter step passes in
+      (match timeout_s, max_nodes with
+      | None, None -> body ()
+      | _ ->
+          (* the engine's own Exhausted (raised between passes by a
+             poll inside [cost] etc.) still lands here *)
+          match
+            Lsutil.Budget.with_budget ?deadline_s:timeout_s ?max_nodes body
+          with
+          | () -> ()
+          | exception Lsutil.Budget.Exhausted _ -> ());
+      let out = !best in
+      (* the returned graph is re-verified unconditionally so [report.
+         verified] is meaningful even on all-Completed runs *)
+      let verified = candidate_ok ~verify:true ~seed ~input out in
+      let out, verified =
+        if verified then (out, true)
+        else begin
+          (* last resort: the input, cleaned, with the budget and
+             faults out of the picture *)
+          incr rollbacks;
+          let fallback =
+            Lsutil.Budget.suspended (fun () ->
+                Lsutil.Fault.suspended (fun () -> G.cleanup input))
+          in
+          (fallback, candidate_ok ~verify:true ~seed ~input fallback)
+        end
+      in
+      let passes = List.rev !reports in
+      let degraded =
+        List.exists (fun r -> r.outcome <> Completed) passes
+        || not verified
+      in
+      if T.enabled () then begin
+        T.record_int "engine.rollbacks" !rollbacks;
+        T.record_int "engine.completed" !finished;
+        T.record "engine.degraded" (T.Bool degraded)
+      end;
+      (out, { passes; rollbacks = !rollbacks; degraded; verified }))
+
+(* Goal-directed pipelines: the optimization scripts of [Opt_size],
+   [Opt_depth] and [Opt_activity] unrolled into engine passes, so each
+   transform is individually isolated and checkpointed. *)
+
+let saturate_depth pass ~max_iter g =
+  let cur = ref g in
+  let continue_ = ref true in
+  let iter = ref 0 in
+  while !continue_ && !iter < max_iter do
+    Lsutil.Budget.poll ();
+    incr iter;
+    let next = pass !cur in
+    if G.depth next < G.depth !cur then cur := next else continue_ := false
+  done;
+  !cur
+
+let of_goal ?(effort = 2) goal =
+  let module Tr = Mig.Transform in
+  let cycle i =
+    let n name f = pass (Printf.sprintf "%s#%d" name i) f in
+    match goal with
+    | `Size ->
+        [
+          n "rewrite" (Tr.rewrite_patterns ~mode:`Size);
+          n "eliminate" Tr.eliminate;
+          n "reshape" Tr.reshape_assoc;
+          n "relevance" Tr.relevance;
+          n "substitution" (Tr.substitution ~on_critical:false);
+          n "eliminate'" Tr.eliminate;
+          n "refactor" Tr.refactor;
+          n "eliminate''" Tr.eliminate;
+        ]
+    | `Depth ->
+        [
+          n "rewrite" Tr.rewrite_patterns;
+          n "push_up" (saturate_depth Tr.push_up ~max_iter:8);
+          n "relevance" Tr.relevance;
+          n "substitution" (Tr.substitution ~on_critical:true);
+          n "push_up'" (saturate_depth Tr.push_up ~max_iter:8);
+          n "eliminate" Tr.eliminate;
+        ]
+    | `Activity ->
+        [
+          n "relevance" Tr.relevance;
+          n "eliminate" Tr.eliminate;
+          n "substitution" (Tr.substitution ~on_critical:false);
+          n "eliminate'" Tr.eliminate;
+        ]
+  in
+  let recovery =
+    match goal with
+    | `Depth ->
+        [
+          pass "recover:rewrite" (Tr.rewrite_patterns ~mode:`Size);
+          pass "recover:eliminate" Tr.eliminate;
+          pass "recover:refactor" Tr.refactor;
+        ]
+    | `Size | `Activity -> []
+  in
+  List.concat_map cycle (List.init effort (fun i -> i + 1)) @ recovery
+
+let cost_of_goal = function
+  | `Size -> fun g -> (float_of_int (G.size g), float_of_int (G.depth g))
+  | `Depth -> fun g -> (float_of_int (G.depth g), float_of_int (G.size g))
+  | `Activity ->
+      fun g -> (Mig.Activity.total g, float_of_int (G.size g))
+
+(* ----- reporting ----- *)
+
+module J = Lsutil.Json
+
+let pass_to_json r =
+  J.Obj
+    ([
+       ("pass", J.String r.pass);
+       ("outcome", J.String (outcome_name r.outcome));
+     ]
+    @ (match outcome_detail r.outcome with
+      | Some d -> [ ("detail", J.String d) ]
+      | None -> [])
+    @ [
+        ("time_s", J.Float r.time_s);
+        ("size", J.Int r.size);
+        ("depth", J.Int r.depth);
+        ("rolled_back", J.Bool r.rolled_back);
+      ])
+
+let report_to_json r =
+  J.Obj
+    [
+      ("passes", J.List (List.map pass_to_json r.passes));
+      ("rollbacks", J.Int r.rollbacks);
+      ("degraded", J.Bool r.degraded);
+      ("verified", J.Bool r.verified);
+    ]
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "%-24s %-10s %8.3fs  size %-6d depth %-4d%s@,"
+        p.pass (outcome_name p.outcome) p.time_s p.size p.depth
+        (if p.rolled_back then "  [rolled back]" else ""))
+    r.passes;
+  Format.fprintf fmt "rollbacks: %d, %s, %s@]" r.rollbacks
+    (if r.degraded then "degraded" else "clean")
+    (if r.verified then "verified" else "UNVERIFIED")

@@ -1,0 +1,95 @@
+(** Fault-tolerant pass engine: budgets, checkpoints, rollback.
+
+    The engine runs a declarative list of MIG passes under a shared
+    resource budget.  Each pass is isolated: any failure — deadline or
+    node-cap exhaustion ({!Lsutil.Budget.Exhausted}), a stack
+    overflow, a guard violation, an injected fault — is caught,
+    recorded as a structured {!outcome}, and answered by rolling the
+    working graph back to the last verified checkpoint.  The engine
+    itself never raises (beyond [Out_of_memory]/[Sys.Break]): it
+    always returns a valid, possibly degraded, best-so-far graph plus
+    a {!report} of what happened.
+
+    Checkpoint invariants (see DESIGN.md §12):
+    - a pass result is checkpointed only if it lints clean, its size
+      is within [size_cap], and — when verification is on — it is
+      simulation-equivalent to the {e original} input;
+    - the best checkpoint is monotone under [cost]: it only ever
+      improves;
+    - verification runs with the budget suspended and the fault plan
+      disarmed, so it works after the deadline and cannot itself be
+      faulted. *)
+
+type outcome =
+  | Completed
+  | Timed_out of Lsutil.Budget.reason
+  | Failed of string  (** exception description, or ["verification"] *)
+  | Skipped  (** the budget was already blown when the pass came up *)
+
+type pass_report = {
+  pass : string;
+  outcome : outcome;
+  time_s : float;
+  size : int;  (** of the working graph after this pass settled *)
+  depth : int;
+  rolled_back : bool;  (** result discarded, checkpoint restored *)
+}
+
+type report = {
+  passes : pass_report list;
+  rollbacks : int;
+  degraded : bool;  (** some pass did not complete, or unverified *)
+  verified : bool;  (** final graph lints clean and matches the input *)
+}
+
+type pass
+
+val pass : string -> (Mig.Graph.t -> Mig.Graph.t) -> pass
+
+val run :
+  ?verify:bool ->
+  ?timeout_s:float ->
+  ?max_nodes:int ->
+  ?cost:(Mig.Graph.t -> float * float) ->
+  ?size_cap:int ->
+  ?seed:int ->
+  passes:pass list ->
+  Mig.Graph.t ->
+  Mig.Graph.t * report
+(** [run ~passes g] pushes [g] through [passes] under a
+    [Budget.with_budget ?deadline_s:timeout_s ?max_nodes] budget.
+
+    [verify] adds the simulation miter against the input to every
+    checkpoint decision; it defaults to [MIG_CHECK] ({!Check.Env}) or
+    whenever a fault plan is armed.  [cost] ranks checkpoints
+    (lexicographic on the float pair; default [(size, depth)]).
+    Candidates larger than [size_cap] are never checkpointed (default:
+    unlimited).  [seed] drives the miter simulation (default 1).
+
+    The returned graph is re-verified unconditionally; if even the
+    final checkpoint fails (possible only under injected corruption),
+    the engine falls back to [cleanup] of the input. *)
+
+val protect : name:string -> (unit -> 'a) -> ('a, outcome) result
+(** The engine's exception isolation, exposed for callers that wrap
+    non-MIG work (e.g. the technology mapper in the chaos harness):
+    [Error] on budget exhaustion and non-fatal exceptions,
+    [Out_of_memory]/[Sys.Break] propagate. *)
+
+val of_goal :
+  ?effort:int -> [ `Size | `Depth | `Activity ] -> pass list
+(** The optimization scripts of [Mig.Opt_size] / [Opt_depth] /
+    [Opt_activity] unrolled into individually-checkpointed engine
+    passes, [effort] (default 2) cycles plus the goal's recovery
+    phase. *)
+
+val cost_of_goal :
+  [ `Size | `Depth | `Activity ] -> Mig.Graph.t -> float * float
+(** The checkpoint ranking matching each goal: (size, depth),
+    (depth, size), (activity, size). *)
+
+val outcome_name : outcome -> string
+(** ["completed"] / ["timed_out"] / ["failed"] / ["skipped"]. *)
+
+val report_to_json : report -> Lsutil.Json.t
+val pp_report : Format.formatter -> report -> unit

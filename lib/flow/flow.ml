@@ -1,4 +1,5 @@
 module T = Lsutil.Telemetry
+module Engine = Engine
 
 type opt_result = {
   size : int;
@@ -79,7 +80,45 @@ let aig_opt ?check ?(effort = 2) net =
 let bds_opt ?(node_limit = 1_500_000) ~seed net =
   T.span "flow:bds_opt" (fun () ->
       let net = flatten net in
-      let result, time = timed (fun () -> Bdd.Decompose.run ~node_limit ~seed net) in
+      let result, time =
+        timed (fun () ->
+            (* [Decompose.run] already degrades blowups and budget
+               exhaustion to [None]; injected faults out of the BDD
+               builder get the same treatment here, so this flow never
+               raises on its own behalf *)
+            match Bdd.Decompose.run ~node_limit ~seed net with
+            | r -> r
+            | exception Lsutil.Fault.Injected site ->
+                T.count "bdd.blowup";
+                T.record "outcome" (T.String "failed");
+                T.record "fault" (T.String site);
+                None
+            | exception Lsutil.Budget.Exhausted reason ->
+                T.count "bdd.blowup";
+                T.record "outcome" (T.String "timed_out");
+                T.record "budget"
+                  (T.String (Lsutil.Budget.reason_name reason));
+                None)
+      in
+      let result =
+        match result with
+        | Some d when Lsutil.Fault.enabled () ->
+            (* a [Corrupt] fault in the BDD builder yields a valid but
+               functionally wrong BDD; only a miter can tell, so
+               self-verify whenever a fault plan is armed *)
+            let ok =
+              Lsutil.Budget.suspended (fun () ->
+                  Lsutil.Fault.suspended (fun () ->
+                      Network.Simulate.equivalent ~seed net d))
+            in
+            if ok then Some d
+            else begin
+              T.count "bdd.corrupt";
+              T.record "outcome" (T.String "failed");
+              None
+            end
+        | r -> r
+      in
       Option.map
         (fun d ->
           ( d,

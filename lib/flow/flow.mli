@@ -5,6 +5,10 @@
     optimized logic onto the standard-cell library and return the
     estimated {delay, area, power}. *)
 
+module Engine : module type of Engine
+(** The fault-tolerant pass engine ({!Engine.run}): budgets,
+    checkpoint/rollback, structured per-pass outcomes. *)
+
 type opt_result = {
   size : int;
   depth : int;

@@ -61,31 +61,58 @@ let write_file path ?model net =
 
 (* ----- reading ----- *)
 
-type names_block = { inputs : string list; output : string; rows : (string * char) list }
+(* Every malformed input — lexical, syntactic or semantic — surfaces
+   as [Io_error.Parse_error] with the 1-based source line; see the
+   fuzz test in test_io.ml. *)
+let err line fmt = Io_error.raise_at line fmt
+
+type names_block = {
+  inputs : string list;
+  output : string;
+  rows : (string * char) list;
+  decl_line : int;  (** line of the [.names] directive *)
+}
 
 let tokenize_lines text =
-  (* join continuation lines, strip comments *)
+  (* join continuation lines, strip comments; each logical line keeps
+     the 1-based number of its first physical line *)
+  let strip line =
+    (match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line)
+    |> String.trim
+  in
   let lines = String.split_on_char '\n' text in
-  let rec join acc = function
+  let rec join acc lno = function
     | [] -> List.rev acc
     | line :: rest ->
-        let line =
-          match String.index_opt line '#' with
-          | Some i -> String.sub line 0 i
-          | None -> line
+        let start = lno in
+        let buf = Buffer.create 64 in
+        (* consume '\'-terminated physical lines into one logical line *)
+        let rec consume lno line rest =
+          let line = strip line in
+          let n = String.length line in
+          if n > 0 && line.[n - 1] = '\\' && rest <> [] then begin
+            Buffer.add_string buf (String.sub line 0 (n - 1));
+            Buffer.add_char buf ' ';
+            match rest with
+            | next :: rest' -> consume (lno + 1) next rest'
+            | [] -> assert false
+          end
+          else begin
+            Buffer.add_string buf line;
+            (lno + 1, rest)
+          end
         in
-        let line = String.trim line in
-        if String.length line > 0 && line.[String.length line - 1] = '\\' then
-          match rest with
-          | next :: rest' ->
-              join acc ((String.sub line 0 (String.length line - 1) ^ " " ^ next) :: rest')
-          | [] -> List.rev (line :: acc)
-        else join (line :: acc) rest
+        let lno', rest' = consume lno line rest in
+        join ((start, Buffer.contents buf) :: acc) lno' rest'
   in
-  join [] lines |> List.filter (fun l -> l <> "")
+  join [] 1 lines |> List.filter (fun (_, l) -> l <> "")
 
 let words s =
-  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
 
 let read text =
   let lines = tokenize_lines text in
@@ -93,14 +120,14 @@ let read text =
   let blocks = Hashtbl.create 256 in
   let rec parse = function
     | [] -> ()
-    | line :: rest when String.length line > 0 && line.[0] = '.' -> (
+    | (lno, line) :: rest when String.length line > 0 && line.[0] = '.' -> (
         match words line with
         | ".model" :: _ -> parse rest
         | ".inputs" :: ins ->
-            inputs := !inputs @ ins;
+            inputs := !inputs @ List.map (fun n -> (lno, n)) ins;
             parse rest
         | ".outputs" :: outs ->
-            outputs := !outputs @ outs;
+            outputs := !outputs @ List.map (fun n -> (lno, n)) outs;
             parse rest
         | ".end" :: _ -> ()
         | ".names" :: signals when signals <> [] ->
@@ -113,20 +140,23 @@ let read text =
             in
             let ins, out = split_last signals in
             let rows, rest' = collect_rows [] rest in
-            Hashtbl.replace blocks out { inputs = ins; output = out; rows };
+            Hashtbl.replace blocks out
+              { inputs = ins; output = out; rows; decl_line = lno };
             parse rest'
-        | ".latch" :: _ -> failwith "Blif.read: latches not supported"
-        | d :: _ -> failwith ("Blif.read: unsupported directive " ^ d)
+        | ".names" :: _ -> err lno ".names wants at least an output"
+        | ".latch" :: _ -> err lno "latches not supported"
+        | d :: _ -> err lno "unsupported directive %s" d
         | [] -> parse rest)
     | _ :: rest -> parse rest
   and collect_rows acc = function
-    | line :: rest when String.length line > 0 && line.[0] <> '.' -> (
+    | (lno, line) :: rest when String.length line > 0 && line.[0] <> '.' -> (
         match words line with
-        | [ plane; out ] when String.length out = 1 ->
+        | [ plane; out ] when String.length out = 1 && (out = "0" || out = "1")
+          ->
             collect_rows ((plane, out.[0]) :: acc) rest
-        | [ out ] when String.length out = 1 ->
+        | [ out ] when out = "0" || out = "1" ->
             collect_rows (("", out.[0]) :: acc) rest
-        | _ -> failwith ("Blif.read: bad cover row: " ^ line))
+        | _ -> err lno "bad cover row: %s" line)
     | rest -> (List.rev acc, rest)
   in
   parse lines;
@@ -135,9 +165,8 @@ let read text =
   let check_dups kind names =
     let seen = Hashtbl.create 64 in
     List.iter
-      (fun n ->
-        if Hashtbl.mem seen n then
-          failwith ("Blif.read: duplicate " ^ kind ^ " " ^ n)
+      (fun (lno, n) ->
+        if Hashtbl.mem seen n then err lno "duplicate %s %s" kind n
         else Hashtbl.add seen n ())
       names
   in
@@ -146,16 +175,23 @@ let read text =
   let net = N.create () in
   let signals = Hashtbl.create 256 in
   List.iter
-    (fun name -> Hashtbl.replace signals name (N.add_pi net name))
+    (fun (_, name) -> Hashtbl.replace signals name (N.add_pi net name))
     !inputs;
-  let rec resolve name =
+  let resolving = Hashtbl.create 16 in
+  let rec resolve ~line name =
     match Hashtbl.find_opt signals name with
     | Some s -> s
     | None -> (
         match Hashtbl.find_opt blocks name with
-        | None -> failwith ("Blif.read: undriven signal " ^ name)
+        | None -> err line "undriven signal %s" name
         | Some blk ->
-            let ins = List.map resolve blk.inputs in
+            if Hashtbl.mem resolving name then
+              err blk.decl_line "combinational cycle through %s" name;
+            Hashtbl.replace resolving name ();
+            let lno = blk.decl_line in
+            let ins =
+              List.map (resolve ~line:lno) blk.inputs |> Array.of_list
+            in
             let value =
               match blk.rows with
               | [] -> N.const0 net (* .names with no rows = constant 0 *)
@@ -164,17 +200,19 @@ let read text =
               | rows ->
                   let polarity = snd (List.hd rows) in
                   let cube plane =
+                    if String.length plane <> Array.length ins then
+                      err lno
+                        "cover row %S has %d columns for %d inputs of %s"
+                        plane (String.length plane) (Array.length ins) name;
                     let lits = ref [] in
                     String.iteri
                       (fun i c ->
-                        let s = List.nth ins i in
+                        let s = ins.(i) in
                         match c with
                         | '1' -> lits := s :: !lits
                         | '0' -> lits := S.not_ s :: !lits
                         | '-' -> ()
-                        | c ->
-                            failwith
-                              (Printf.sprintf "Blif.read: bad plane char %c" c))
+                        | c -> err lno "bad plane char %c" c)
                       plane;
                     N.and_n net !lits
                   in
@@ -183,10 +221,17 @@ let read text =
                   in
                   if polarity = '1' then sum else S.not_ sum
             in
+            Hashtbl.remove resolving name;
             Hashtbl.replace signals name value;
             value)
   in
-  List.iter (fun name -> N.add_po net name (resolve name)) !outputs;
+  (match
+     List.iter
+       (fun (lno, name) -> N.add_po net name (resolve ~line:lno name))
+       !outputs
+   with
+  | () -> ()
+  | exception Stack_overflow -> err 0 "nesting too deep");
   net
 
 let read_file path =

@@ -9,6 +9,10 @@ val write : Format.formatter -> ?model:string -> Network.Graph.t -> unit
 val write_file : string -> ?model:string -> Network.Graph.t -> unit
 
 val read : string -> Network.Graph.t
-(** Parse BLIF text.  @raise Failure on syntax errors or latches. *)
+(** Parse BLIF text.
+    @raise Io_error.Parse_error on any malformed input — syntax
+    errors, latches, bad cover rows or plane widths, undriven
+    signals, combinational cycles — with the offending source
+    line.  No other exception escapes. *)
 
 val read_file : string -> Network.Graph.t

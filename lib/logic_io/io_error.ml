@@ -1,0 +1,16 @@
+exception Parse_error of { line : int; msg : string }
+
+let raise_at line fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { line; msg })) fmt
+
+let to_string ~filename line msg =
+  if line > 0 then Printf.sprintf "%s:%d: %s" filename line msg
+  else Printf.sprintf "%s: %s" filename msg
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; msg } ->
+        Some
+          (if line > 0 then Printf.sprintf "Parse error, line %d: %s" line msg
+           else Printf.sprintf "Parse error: %s" msg)
+    | _ -> None)

@@ -1,0 +1,15 @@
+(** Structured reader errors.
+
+    Both readers ({!Blif}, {!Verilog}) report every malformed input —
+    syntax errors, unsupported constructs, semantic problems like
+    undriven signals or combinational cycles — as {!Parse_error} with
+    a 1-based source line ([0] when no position is known).  No other
+    exception escapes a reader on any input. *)
+
+exception Parse_error of { line : int; msg : string }
+
+val raise_at : int -> ('a, unit, string, 'b) format4 -> 'a
+(** [raise_at line fmt ...] raises {!Parse_error} at [line]. *)
+
+val to_string : filename:string -> int -> string -> string
+(** [to_string ~filename line msg] renders ["file:line: msg"]. *)

@@ -61,22 +61,36 @@ let write_file path ?module_name net =
 
 (* ----- reading ----- *)
 
+(* As with [Blif], every malformed input raises
+   [Io_error.Parse_error] with the 1-based source line. *)
+let err line fmt = Io_error.raise_at line fmt
+
 type token =
   | Ident of string
   | Const of bool
   | Kw of string
   | Sym of char
 
+let token_name = function
+  | Ident s -> Printf.sprintf "identifier %s" s
+  | Const b -> if b then "1'b1" else "1'b0"
+  | Kw k -> Printf.sprintf "keyword %s" k
+  | Sym c -> Printf.sprintf "'%c'" c
+
 let keywords = [ "module"; "endmodule"; "input"; "output"; "wire"; "assign" ]
 
+(* Tokens carry the 1-based line they start on. *)
 let lex text =
   let n = String.length text in
   let toks = ref [] in
   let i = ref 0 in
-  let peek () = if !i < n then Some text.[!i] else None in
+  let line = ref 1 in
   while !i < n do
     match text.[!i] with
-    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '\n' ->
+        incr line;
+        incr i
+    | ' ' | '\t' | '\r' -> incr i
     | '/' when !i + 1 < n && text.[!i + 1] = '/' ->
         while !i < n && text.[!i] <> '\n' do incr i done
     | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
@@ -91,19 +105,18 @@ let lex text =
         done;
         let word = String.sub text start (!i - start) in
         toks :=
-          (if List.mem word keywords then Kw word else Ident word) :: !toks
+          ((if List.mem word keywords then Kw word else Ident word), !line)
+          :: !toks
     | '1' when !i + 3 < n && String.sub text !i 4 = "1'b0" ->
-        toks := Const false :: !toks;
+        toks := (Const false, !line) :: !toks;
         i := !i + 4
     | '1' when !i + 3 < n && String.sub text !i 4 = "1'b1" ->
-        toks := Const true :: !toks;
+        toks := (Const true, !line) :: !toks;
         i := !i + 4
     | ('(' | ')' | ',' | ';' | '=' | '&' | '|' | '^' | '~' | '?' | ':') as c ->
-        toks := Sym c :: !toks;
+        toks := (Sym c, !line) :: !toks;
         incr i
-    | c ->
-        ignore (peek ());
-        failwith (Printf.sprintf "Verilog.read: unexpected character %c" c)
+    | c -> err !line "unexpected character %C" c
   done;
   List.rev !toks
 
@@ -114,39 +127,49 @@ let lex text =
    cycles detected. *)
 let read text =
   let toks = ref (lex text) in
-  let peek () = match !toks with t :: _ -> Some t | [] -> None in
+  let last_line = ref 1 in
+  let peek () = match !toks with (t, _) :: _ -> Some t | [] -> None in
+  let here () = match !toks with (_, l) :: _ -> l | [] -> !last_line in
   let next () =
     match !toks with
-    | t :: rest ->
+    | (t, l) :: rest ->
+        last_line := l;
         toks := rest;
         t
-    | [] -> failwith "Verilog.read: unexpected end of input"
+    | [] -> err !last_line "unexpected end of input"
   in
   let expect t =
+    let l = here () in
     let got = next () in
-    if got <> t then failwith "Verilog.read: syntax error"
+    if got <> t then err l "expected %s, got %s" (token_name t) (token_name got)
   in
   let ident () =
+    let l = here () in
     match next () with
     | Ident s -> s
-    | _ -> failwith "Verilog.read: identifier expected"
+    | got -> err l "identifier expected, got %s" (token_name got)
   in
   let net = N.create () in
   let env : (string, S.t) Hashtbl.t = Hashtbl.create 256 in
-  let pending : (string, token list) Hashtbl.t = Hashtbl.create 256 in
+  let pending : (string, (token * int) list) Hashtbl.t = Hashtbl.create 256 in
   let resolving = Hashtbl.create 16 in
   (* expression evaluation over an explicit token cursor *)
   let eval_expr cursor lookup =
-    let peek () = match !cursor with t :: _ -> Some t | [] -> None in
+    let peek () = match !cursor with (t, _) :: _ -> Some t | [] -> None in
+    let here () = match !cursor with (_, l) :: _ -> l | [] -> !last_line in
     let next () =
       match !cursor with
-      | t :: rest ->
+      | (t, l) :: rest ->
+          last_line := l;
           cursor := rest;
           t
-      | [] -> failwith "Verilog.read: truncated expression"
+      | [] -> err !last_line "truncated expression"
     in
     let expect t =
-      if next () <> t then failwith "Verilog.read: expression syntax error"
+      let l = here () in
+      let got = next () in
+      if got <> t then
+        err l "expected %s, got %s" (token_name t) (token_name got)
     in
     let rec expr () = ternary ()
     and ternary () =
@@ -196,6 +219,7 @@ let read text =
       loop ();
       !l
     and unary () =
+      let l = here () in
       match next () with
       | Sym '~' -> S.not_ (unary ())
       | Sym '(' ->
@@ -204,7 +228,7 @@ let read text =
           e
       | Const b -> if b then N.const1 net else N.const0 net
       | Ident name -> lookup name
-      | _ -> failwith "Verilog.read: expression syntax error"
+      | got -> err l "expression syntax error at %s" (token_name got)
     in
     expr ()
   in
@@ -214,15 +238,21 @@ let read text =
     | None -> (
         match Hashtbl.find_opt pending name with
         | Some slice ->
+            let decl_line =
+              match slice with (_, l) :: _ -> l | [] -> !last_line
+            in
             if Hashtbl.mem resolving name then
-              failwith ("Verilog.read: combinational cycle through " ^ name);
+              err decl_line "combinational cycle through %s" name;
             Hashtbl.replace resolving name ();
             let cursor = ref slice in
             let s = eval_expr cursor lookup in
+            (match !cursor with
+            | (t, l) :: _ -> err l "trailing %s after expression" (token_name t)
+            | [] -> ());
             Hashtbl.remove resolving name;
             Hashtbl.replace env name s;
             s
-        | None -> failwith ("Verilog.read: use of undefined signal " ^ name))
+        | None -> err !last_line "use of undefined signal %s" name)
   in
   (* module header *)
   expect (Kw "module");
@@ -240,30 +270,33 @@ let read text =
     | Some (Kw "input") ->
         ignore (next ());
         let rec names () =
+          let l = here () in
           let n = ident () in
           (* a second [input n] would add a dangling twin PI with a
              duplicated name (NET005/MIG005 lint violation) *)
-          if Hashtbl.mem env n then
-            failwith ("Verilog.read: duplicate input " ^ n);
+          if Hashtbl.mem env n then err l "duplicate input %s" n;
           Hashtbl.replace env n (N.add_pi net n);
+          let l = here () in
           match next () with
           | Sym ',' -> names ()
           | Sym ';' -> ()
-          | _ -> failwith "Verilog.read: declaration syntax"
+          | got -> err l "declaration syntax at %s" (token_name got)
         in
         names ();
         statements ()
     | Some (Kw "output") ->
         ignore (next ());
         let rec names () =
+          let l = here () in
           let n = ident () in
-          if List.mem n !outputs then
-            failwith ("Verilog.read: duplicate output " ^ n);
-          outputs := n :: !outputs;
+          if List.exists (fun (_, n') -> n' = n) !outputs then
+            err l "duplicate output %s" n;
+          outputs := (l, n) :: !outputs;
+          let l = here () in
           match next () with
           | Sym ',' -> names ()
           | Sym ';' -> ()
-          | _ -> failwith "Verilog.read: declaration syntax"
+          | got -> err l "declaration syntax at %s" (token_name got)
         in
         names ();
         statements ()
@@ -271,10 +304,11 @@ let read text =
         ignore (next ());
         let rec names () =
           ignore (ident ());
+          let l = here () in
           match next () with
           | Sym ',' -> names ()
           | Sym ';' -> ()
-          | _ -> failwith "Verilog.read: declaration syntax"
+          | got -> err l "declaration syntax at %s" (token_name got)
         in
         names ();
         statements ()
@@ -285,20 +319,29 @@ let read text =
         (* capture the right-hand side tokens up to the ';' *)
         let slice = ref [] in
         let rec collect () =
+          let l = here () in
           match next () with
           | Sym ';' -> ()
           | t ->
-              slice := t :: !slice;
+              slice := (t, l) :: !slice;
               collect ()
         in
         collect ();
         Hashtbl.replace pending name (List.rev !slice);
         statements ()
-    | Some _ -> failwith "Verilog.read: statement syntax error"
-    | None -> failwith "Verilog.read: missing endmodule"
+    | Some got -> err (here ()) "statement syntax error at %s" (token_name got)
+    | None -> err !last_line "missing endmodule"
   in
   statements ();
-  List.iter (fun name -> N.add_po net name (lookup name)) (List.rev !outputs);
+  (match
+     List.iter
+       (fun (lno, name) ->
+         last_line := lno;
+         N.add_po net name (lookup name))
+       (List.rev !outputs)
+   with
+  | () -> ()
+  | exception Stack_overflow -> err 0 "nesting too deep");
   net
 
 let read_file path =

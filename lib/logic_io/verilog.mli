@@ -14,6 +14,7 @@ val write : Format.formatter -> ?module_name:string -> Network.Graph.t -> unit
 val write_file : string -> ?module_name:string -> Network.Graph.t -> unit
 
 val read : string -> Network.Graph.t
-(** @raise Failure on anything outside the subset. *)
+(** @raise Io_error.Parse_error on anything outside the subset, with
+    the offending source line.  No other exception escapes. *)
 
 val read_file : string -> Network.Graph.t

@@ -99,6 +99,14 @@ let map_network_internal ?(lib = Cells.full) ?pi_prob net =
     end
   in
   G.iter_nodes net (fun id nd ->
+      Lsutil.Budget.poll ();
+      (* mapper fault site: matching has no meaningful silent
+         corruption, so [Corrupt] degrades to a raise *)
+      (if Lsutil.Fault.enabled () then
+         match Lsutil.Fault.fire "mapper" with
+         | None -> ()
+         | Some Lsutil.Fault.Exhaust -> Lsutil.Budget.exhaust ()
+         | Some _ -> raise (Lsutil.Fault.Injected "mapper"));
       match nd with
       | G.Const0 | G.Pi _ ->
           relax id 0 0.0 0.0 Source;

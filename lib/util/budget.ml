@@ -1,0 +1,111 @@
+type reason = Deadline | Node_cap
+
+exception Exhausted of reason
+
+let reason_name = function Deadline -> "deadline" | Node_cap -> "node_cap"
+
+type state = {
+  deadline : float;  (** absolute [Unix.gettimeofday] time; [infinity] = none *)
+  max_nodes : int;  (** [max_int] = none *)
+  mutable nodes : int;
+  mutable countdown : int;  (** checks until the next clock read *)
+  mutable blown : reason option;
+}
+
+(* The single mutable root: [None] when no budget is installed, so the
+   disabled-path cost of [poll]/[note_nodes] is one load and branch. *)
+let current : state option ref = ref None
+
+let poll_interval = 256
+
+let active () = !current <> None
+
+let blow st r =
+  st.blown <- Some r;
+  raise (Exhausted r)
+
+let clock_check st =
+  st.countdown <- poll_interval;
+  if Unix.gettimeofday () > st.deadline then blow st Deadline
+
+let poll () =
+  match !current with
+  | None -> ()
+  | Some st ->
+      st.countdown <- st.countdown - 1;
+      if st.countdown <= 0 then clock_check st
+
+let note_nodes n =
+  match !current with
+  | None -> ()
+  | Some st ->
+      st.nodes <- st.nodes + n;
+      if st.nodes > st.max_nodes then blow st Node_cap;
+      st.countdown <- st.countdown - 1;
+      if st.countdown <= 0 then clock_check st
+
+let check () =
+  match !current with
+  | None -> ()
+  | Some st ->
+      (match st.blown with Some r -> raise (Exhausted r) | None -> ());
+      if st.nodes > st.max_nodes then blow st Node_cap;
+      if Unix.gettimeofday () > st.deadline then blow st Deadline
+
+let expired () =
+  match !current with
+  | None -> false
+  | Some st ->
+      st.blown <> None || st.nodes > st.max_nodes
+      || Unix.gettimeofday () > st.deadline
+
+let remaining_nodes () =
+  match !current with
+  | None -> None
+  | Some st ->
+      if st.max_nodes = max_int then None
+      else Some (max 0 (st.max_nodes - st.nodes))
+
+let exhaust () =
+  (match !current with
+  | None -> ()
+  | Some st -> st.blown <- Some Deadline);
+  raise (Exhausted Deadline)
+
+let suspended f =
+  let saved = !current in
+  current := None;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let with_budget ?deadline_s ?max_nodes f =
+  let parent = !current in
+  let deadline =
+    match deadline_s with
+    | Some d -> Unix.gettimeofday () +. d
+    | None -> infinity
+  in
+  let deadline =
+    match parent with
+    | Some p -> Float.min deadline p.deadline
+    | None -> deadline
+  in
+  let cap = match max_nodes with Some n -> n | None -> max_int in
+  let cap =
+    match parent with
+    | Some p when p.max_nodes <> max_int ->
+        min cap (max 0 (p.max_nodes - p.nodes))
+    | _ -> cap
+  in
+  let st =
+    { deadline; max_nodes = cap; nodes = 0; countdown = poll_interval;
+      blown = None }
+  in
+  current := Some st;
+  Fun.protect
+    ~finally:(fun () ->
+      current := parent;
+      (* charge the inner extent's allocations to the outer budget *)
+      match parent with
+      | Some p -> p.nodes <- p.nodes + st.nodes
+      | None -> ())
+    f

@@ -1,0 +1,78 @@
+(** Cooperative resource budgets: wall-clock deadlines and node-arena
+    caps for long-running passes.
+
+    A budget is installed with {!with_budget} and enforced
+    cooperatively: hot loops call {!poll} (cheap, amortized clock
+    check) and allocation sites call {!note_nodes}.  When the deadline
+    passes or the node cap is exceeded, the next check raises
+    {!Exhausted}; the pass unwinds and the caller (typically
+    [Flow.Engine]) falls back to its last checkpoint.
+
+    When no budget is installed every entry point is a single
+    load-and-branch, so instrumented hot paths pay (close to) nothing.
+
+    Budgets nest: an inner {!with_budget} never extends the ambient
+    deadline (the effective deadline is the minimum) and its node cap
+    is clamped to the ambient remaining allowance.  Nodes noted inside
+    the inner extent are charged to the outer budget when the inner
+    one exits. *)
+
+type reason =
+  | Deadline  (** the wall-clock deadline passed *)
+  | Node_cap  (** more nodes were allocated than the cap allows *)
+
+exception Exhausted of reason
+
+val reason_name : reason -> string
+(** ["deadline"] / ["node_cap"]. *)
+
+val with_budget :
+  ?deadline_s:float -> ?max_nodes:int -> (unit -> 'a) -> 'a
+(** [with_budget ?deadline_s ?max_nodes f] runs [f] under a budget of
+    [deadline_s] seconds of wall-clock time and [max_nodes] noted node
+    allocations.  Omitted limits are unconstrained (but an ambient
+    budget, if any, still applies).  The previous budget is restored
+    on exit, normally or exceptionally. *)
+
+val active : unit -> bool
+(** [true] while some budget is installed. *)
+
+val poll : unit -> unit
+(** Deadline poll point.  Amortizes the clock read over
+    {!poll_interval} calls; raises {!Exhausted} when the installed
+    deadline has passed.  No-op without a budget. *)
+
+val note_nodes : int -> unit
+(** [note_nodes n] charges [n] node allocations to the installed
+    budget and raises {!Exhausted} when the cap is exceeded.  Also
+    counts toward the amortized deadline poll, so allocation-heavy
+    loops are deadline-responsive without separate {!poll} calls.
+    No-op without a budget. *)
+
+val check : unit -> unit
+(** Unamortized check of both limits right now.  Raises {!Exhausted}
+    if either is blown.  Use at coarse boundaries (pass entry). *)
+
+val expired : unit -> bool
+(** [true] when the installed budget is already blown (a previous
+    check raised, the deadline has passed, or the cap is exceeded).
+    Never raises; [false] without a budget. *)
+
+val remaining_nodes : unit -> int option
+(** Remaining node allowance of the installed budget, when it has a
+    node cap. *)
+
+val suspended : (unit -> 'a) -> 'a
+(** [suspended f] runs [f] with no budget installed (the ambient one,
+    blown or not, is restored afterwards).  Allocations inside are
+    charged to nobody.  Used by the engine for checkpoint
+    verification, which must run even after the budget is blown. *)
+
+val exhaust : unit -> 'a
+(** Force-blow the installed budget (marking it expired, so
+    {!expired} is [true] afterwards) and raise [Exhausted Deadline].
+    With no budget installed it still raises.  Used by fault
+    injection. *)
+
+val poll_interval : int
+(** Number of {!poll}/{!note_nodes} calls between clock reads. *)

@@ -1,0 +1,133 @@
+type kind = Raise | Exhaust | Corrupt
+
+exception Injected of string
+
+let sites = [ "transform"; "strash"; "bdd"; "mapper" ]
+
+type spec = {
+  seed : int;
+  rate : float;
+  kind : kind option;  (** [None] = any: drawn per fault *)
+  site_filter : string list;  (** [[]] = all sites *)
+  max_faults : int;
+  after : int;  (** matching visits to skip before the plan is live *)
+}
+
+let default_spec =
+  { seed = 0; rate = 1.0; kind = Some Raise; site_filter = [];
+    max_faults = 1; after = 0 }
+
+let kind_name = function
+  | Some Raise -> "raise"
+  | Some Exhaust -> "exhaust"
+  | Some Corrupt -> "corrupt"
+  | None -> "any"
+
+let to_string s =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "seed=%d:rate=%g:kind=%s" s.seed s.rate
+                         (kind_name s.kind));
+  if s.site_filter <> [] then
+    Buffer.add_string b (":sites=" ^ String.concat "," s.site_filter);
+  Buffer.add_string b (Printf.sprintf ":max=%d" s.max_faults);
+  if s.after > 0 then Buffer.add_string b (Printf.sprintf ":after=%d" s.after);
+  Buffer.contents b
+
+let parse str =
+  let ( let* ) = Result.bind in
+  let int_of key v =
+    match int_of_string_opt v with
+    | Some i when i >= 0 -> Ok i
+    | _ -> Error (Printf.sprintf "fault spec: %s wants a non-negative int, got %S" key v)
+  in
+  let pair acc p =
+    let* acc = acc in
+    match String.index_opt p '=' with
+    | None -> Error (Printf.sprintf "fault spec: %S is not key=value" p)
+    | Some i -> (
+        let key = String.sub p 0 i in
+        let v = String.sub p (i + 1) (String.length p - i - 1) in
+        match key with
+        | "seed" ->
+            let* s = int_of key v in
+            Ok { acc with seed = s }
+        | "rate" -> (
+            match float_of_string_opt v with
+            | Some r when r >= 0.0 && r <= 1.0 -> Ok { acc with rate = r }
+            | _ -> Error (Printf.sprintf "fault spec: rate wants a float in [0,1], got %S" v))
+        | "kind" -> (
+            match v with
+            | "raise" -> Ok { acc with kind = Some Raise }
+            | "exhaust" -> Ok { acc with kind = Some Exhaust }
+            | "corrupt" -> Ok { acc with kind = Some Corrupt }
+            | "any" -> Ok { acc with kind = None }
+            | _ -> Error (Printf.sprintf "fault spec: unknown kind %S" v))
+        | "sites" ->
+            let names = String.split_on_char ',' v in
+            let bad = List.filter (fun n -> not (List.mem n sites)) names in
+            if bad <> [] then
+              Error (Printf.sprintf "fault spec: unknown site %S" (List.hd bad))
+            else Ok { acc with site_filter = names }
+        | "max" ->
+            let* m = int_of key v in
+            Ok { acc with max_faults = m }
+        | "after" ->
+            let* a = int_of key v in
+            Ok { acc with after = a }
+        | _ -> Error (Printf.sprintf "fault spec: unknown key %S" key))
+  in
+  let str = String.trim str in
+  if str = "" then Error "fault spec: empty"
+  else
+    List.fold_left pair (Ok default_spec) (String.split_on_char ':' str)
+
+type state = {
+  spec : spec;
+  rng : Rng.t;
+  mutable visits : int;
+  mutable fired : int;
+}
+
+(* [None] when disarmed: each injection point is one load and branch. *)
+let state : state option ref = ref None
+
+let arm spec =
+  state := Some { spec; rng = Rng.create spec.seed; visits = 0; fired = 0 }
+
+let arm_string s = Result.map arm (parse s)
+let disarm () = state := None
+
+let of_env () =
+  match Sys.getenv_opt "MIG_FAULT" with
+  | None | Some "" -> Ok ()
+  | Some s -> arm_string s
+
+let suspended f =
+  let saved = !state in
+  state := None;
+  Fun.protect ~finally:(fun () -> state := saved) f
+
+let enabled () = !state <> None
+let injected () = match !state with None -> 0 | Some st -> st.fired
+
+let any_kinds = [| Raise; Exhaust; Corrupt |]
+
+let fire site =
+  match !state with
+  | None -> None
+  | Some st ->
+      let sp = st.spec in
+      if sp.site_filter <> [] && not (List.mem site sp.site_filter) then None
+      else begin
+        st.visits <- st.visits + 1;
+        if st.fired >= sp.max_faults || st.visits <= sp.after then None
+          (* draw even at rate=1.0 so the stream position (and thus any
+             later [kind=any] draw) depends only on the visit count *)
+        else if Rng.float st.rng >= sp.rate then None
+        else begin
+          st.fired <- st.fired + 1;
+          match sp.kind with
+          | Some k -> Some k
+          | None -> Some any_kinds.(Rng.int st.rng (Array.length any_kinds))
+        end
+      end

@@ -1,0 +1,72 @@
+(** Deterministic fault injection for robustness testing.
+
+    A fault plan is armed from a compact spec string (CLI [--fault] or
+    the [MIG_FAULT] environment variable) and drives seeded,
+    reproducible failures at named injection sites inside the hot
+    layers (MIG transforms, strash, BDD builder, tech mapper).  The
+    facility is off by default and each disarmed injection point costs
+    one load and branch.
+
+    {2 Spec grammar}
+
+    A spec is colon-separated [key=value] pairs:
+
+    {v
+    spec  ::= pair (":" pair)*
+    pair  ::= "seed=" int        deterministic Rng seed      (default 0)
+            | "rate=" float      fire probability per visit  (default 1.0)
+            | "kind=" kind       raise | exhaust | corrupt | any
+                                                             (default raise)
+            | "sites=" name ("," name)*
+                                 transform | strash | bdd | mapper
+                                 (default: all sites)
+            | "max=" int         total faults to inject      (default 1)
+            | "after=" int       visits to skip first        (default 0)
+    v}
+
+    Example: [MIG_FAULT=seed=7:rate=0.05:sites=transform,strash:kind=any]. *)
+
+type kind =
+  | Raise  (** raise {!Injected} out of the site *)
+  | Exhaust  (** force-blow the ambient budget ([Budget.exhaust]) *)
+  | Corrupt  (** return a silently wrong result (site-specific) *)
+
+exception Injected of string
+(** Raised by a firing [Raise] fault; the payload is the site name. *)
+
+type spec
+
+val parse : string -> (spec, string) result
+val to_string : spec -> string
+
+val arm : spec -> unit
+(** Install a plan: resets the visit/fired counters and seeds the Rng
+    from the spec, so equal specs give bit-identical fault streams. *)
+
+val arm_string : string -> (unit, string) result
+val disarm : unit -> unit
+
+val of_env : unit -> (unit, string) result
+(** Arm from [MIG_FAULT] when set and non-empty; [Ok ()] (and no
+    change) when unset. *)
+
+val enabled : unit -> bool
+
+val suspended : (unit -> 'a) -> 'a
+(** [suspended f] runs [f] with the fault plan temporarily disarmed
+    (restored afterwards, normally or exceptionally) — the plan's
+    counters and Rng position are untouched.  Used by the engine so
+    checkpoint verification cannot itself be faulted. *)
+
+val fire : string -> kind option
+(** [fire site] is called at each injection point.  Returns [Some k]
+    when a fault of kind [k] fires at this visit, [None] otherwise
+    (always [None] when disarmed).  Sites without a meaningful
+    corruption should map [Corrupt] to [Raise] themselves. *)
+
+val injected : unit -> int
+(** Faults fired since the last {!arm}. *)
+
+val sites : string list
+(** The known site names, for validation: ["transform"; "strash";
+    ["bdd"]; ["mapper"]]. *)

@@ -1,0 +1,18 @@
+type t = { mutable a : int array; mutable n : int }
+
+let create ?(capacity = 256) () = { a = Array.make (max capacity 1) 0; n = 0 }
+let is_empty s = s.n = 0
+let length s = s.n
+let clear s = s.n <- 0
+
+let[@inline] push s v =
+  if s.n >= Array.length s.a then begin
+    let a = Array.make (2 * Array.length s.a) 0 in
+    Array.blit s.a 0 a 0 s.n;
+    s.a <- a
+  end;
+  Array.unsafe_set s.a s.n v;
+  s.n <- s.n + 1
+
+let[@inline] top s = Array.unsafe_get s.a (s.n - 1)
+let[@inline] pop s = s.n <- s.n - 1

@@ -1,0 +1,21 @@
+(** Growable int stack for explicit-stack DFS walks.
+
+    The deep-recursion hot spots (PO-cone walks in [Mig.Graph] and
+    [Mig.Transform]) use this instead of the OCaml call stack so that
+    chain-shaped graphs of hundreds of thousands of nodes cannot hit
+    [Stack_overflow]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val is_empty : t -> bool
+val push : t -> int -> unit
+
+val top : t -> int
+(** Undefined on an empty stack. *)
+
+val pop : t -> unit
+(** Drops the top element; undefined on an empty stack. *)
+
+val clear : t -> unit
+val length : t -> int

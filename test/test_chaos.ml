@@ -1,0 +1,196 @@
+(* Chaos harness: a seeded fault-injection sweep across the engine,
+   the BDD layer and the tech mapper.  Every scenario is fully
+   deterministic (the spec string embeds the seed), so any failure
+   reported here reproduces with MIG_FAULT set to the printed spec.
+
+   Invariants checked on every engine scenario:
+   - no exception escapes [Flow.Engine.run];
+   - the output lints clean;
+   - the output is simulation-equivalent to the input;
+   - the output is no larger than the input.
+
+   When MIG_CHAOS_LOG is set, a JSON record of every scenario outcome
+   is written there (the CI chaos job uploads it as an artifact). *)
+
+module M = Mig.Graph
+module E = Flow.Engine
+module F = Lsutil.Fault
+module J = Lsutil.Json
+
+let mig_of name =
+  let net = (Benchmarks.Suite.find name).Benchmarks.Suite.build () in
+  Mig.Convert.of_network (Network.Graph.flatten_aoig net)
+
+let scenarios = ref 0
+let log_entries : J.t list ref = ref []
+
+let log_entry ~group ~name ~spec fields =
+  log_entries :=
+    J.Obj
+      ([
+         ("group", J.String group);
+         ("name", J.String name);
+         ("spec", J.String spec);
+       ]
+      @ fields)
+    :: !log_entries
+
+let armed spec f =
+  (match F.arm_string spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "bad fault spec %S: %s" spec e);
+  Fun.protect ~finally:F.disarm f
+
+(* ----- engine sweep ----- *)
+
+let engine_scenario ~bench ~goal ~spec =
+  incr scenarios;
+  let m = mig_of bench in
+  let out, rep =
+    armed spec (fun () ->
+        try
+          E.run ~verify:true ~seed:0xc0de ~size_cap:(M.size m)
+            ~cost:(E.cost_of_goal goal)
+            ~passes:(E.of_goal ~effort:1 goal)
+            m
+        with e ->
+          Alcotest.failf "%s %s: uncaught %s" bench spec
+            (Printexc.to_string e))
+  in
+  if not (Check_report.is_clean (Mig.Check.lint ~subject:"chaos" out)) then
+    Alcotest.failf "%s %s: output fails lint" bench spec;
+  if not (Mig.Equiv.migs ~seed:0x5ca1e m out) then
+    Alcotest.failf "%s %s: output not equivalent" bench spec;
+  if M.size out > M.size m then
+    Alcotest.failf "%s %s: output larger than input (%d > %d)" bench spec
+      (M.size out) (M.size m);
+  log_entry ~group:"engine" ~name:bench ~spec
+    [
+      ("degraded", J.Bool rep.E.degraded);
+      ("rollbacks", J.Int rep.E.rollbacks);
+      ("size_in", J.Int (M.size m));
+      ("size_out", J.Int (M.size out));
+    ]
+
+let test_engine_sweep () =
+  let configs =
+    [
+      ("count", `Size); ("count", `Depth); ("b9", `Size);
+      ("my_adder", `Depth); ("cla", `Size);
+    ]
+  in
+  let kinds = [ "raise"; "exhaust"; "corrupt"; "any" ] in
+  List.iter
+    (fun (bench, goal) ->
+      List.iter
+        (fun kind ->
+          for seed = 1 to 8 do
+            let spec =
+              Printf.sprintf
+                "seed=%d:rate=0.05:kind=%s:sites=transform,strash:max=3:after=%d"
+                seed kind
+                (seed * 7 mod 50)
+            in
+            engine_scenario ~bench ~goal ~spec
+          done)
+        kinds)
+    configs
+
+(* ----- BDD sweep: bds_opt must degrade to None, never raise ----- *)
+
+let bdd_scenario ~bench ~spec =
+  incr scenarios;
+  let net = (Benchmarks.Suite.find bench).Benchmarks.Suite.build () in
+  let res =
+    armed spec (fun () ->
+        try Flow.bds_opt ~node_limit:2000 ~seed:11 net
+        with e ->
+          Alcotest.failf "%s %s: bds_opt raised %s" bench spec
+            (Printexc.to_string e))
+  in
+  (match res with
+  | None -> ()
+  | Some (d, _) ->
+      if not (Network.Simulate.equivalent ~seed:0xbdd net d) then
+        Alcotest.failf "%s %s: corrupt BDD result escaped" bench spec);
+  log_entry ~group:"bdd" ~name:bench ~spec
+    [ ("produced", J.Bool (res <> None)) ]
+
+let test_bdd_sweep () =
+  List.iter
+    (fun bench ->
+      for seed = 1 to 15 do
+        let spec =
+          Printf.sprintf "seed=%d:rate=0.1:kind=any:sites=bdd:max=2:after=%d"
+            seed
+            (seed * 13 mod 100)
+        in
+        bdd_scenario ~bench ~spec
+      done)
+    [ "count"; "b9"; "my_adder" ]
+
+(* ----- mapper sweep: faults contained by Engine.protect ----- *)
+
+let mapper_scenario ~spec =
+  incr scenarios;
+  let net =
+    Network.Graph.flatten_aoig
+      ((Benchmarks.Suite.find "count").Benchmarks.Suite.build ())
+  in
+  let res =
+    armed spec (fun () ->
+        E.protect ~name:"mapper" (fun () -> Tech.Mapper.map_network net))
+  in
+  let outcome =
+    match res with
+    | Ok (_ : Tech.Mapper.result) -> "completed"
+    | Error o -> E.outcome_name o
+  in
+  log_entry ~group:"mapper" ~name:"count" ~spec
+    [ ("outcome", J.String outcome) ]
+
+let test_mapper_sweep () =
+  List.iter
+    (fun kind ->
+      for seed = 1 to 10 do
+        let spec =
+          Printf.sprintf "seed=%d:rate=0.2:kind=%s:sites=mapper:max=1" seed
+            kind
+        in
+        mapper_scenario ~spec
+      done)
+    [ "raise"; "exhaust" ]
+
+(* ----- coverage gate + artifact ----- *)
+
+let test_coverage () =
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 200 scenarios (ran %d)" !scenarios)
+    true (!scenarios >= 200);
+  match Sys.getenv_opt "MIG_CHAOS_LOG" with
+  | None | Some "" -> ()
+  | Some path ->
+      let doc =
+        J.Obj
+          [
+            ("schema", J.String "mighty-chaos/1");
+            ("scenarios", J.Int !scenarios);
+            ("outcomes", J.List (List.rev !log_entries));
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (J.to_string doc);
+      output_char oc '\n';
+      close_out oc
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "engine fault sweep" `Slow test_engine_sweep;
+          Alcotest.test_case "bdd fault sweep" `Slow test_bdd_sweep;
+          Alcotest.test_case "mapper fault sweep" `Slow test_mapper_sweep;
+          Alcotest.test_case "coverage and artifact" `Slow test_coverage;
+        ] );
+    ]

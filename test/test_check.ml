@@ -333,13 +333,13 @@ let test_blif_rejects_duplicate_names () =
   in
   (match Logic_io.Blif.read dup_input with
   | _ -> Alcotest.fail "duplicate .inputs name accepted"
-  | exception Failure _ -> ());
+  | exception Logic_io.Io_error.Parse_error _ -> ());
   let dup_output =
     ".model bad\n.inputs a b\n.outputs f f\n.names a b f\n11 1\n.end\n"
   in
   match Logic_io.Blif.read dup_output with
   | _ -> Alcotest.fail "duplicate .outputs name accepted"
-  | exception Failure _ -> ()
+  | exception Logic_io.Io_error.Parse_error _ -> ()
 
 let test_verilog_rejects_duplicate_names () =
   let dup_input =
@@ -347,13 +347,13 @@ let test_verilog_rejects_duplicate_names () =
   in
   (match Logic_io.Verilog.read dup_input with
   | _ -> Alcotest.fail "duplicate input accepted"
-  | exception Failure _ -> ());
+  | exception Logic_io.Io_error.Parse_error _ -> ());
   let dup_output =
     "module bad(a, b, f);\n  input a, b;\n  output f, f;\n  assign f = a & b;\nendmodule\n"
   in
   match Logic_io.Verilog.read dup_output with
   | _ -> Alcotest.fail "duplicate output accepted"
-  | exception Failure _ -> ()
+  | exception Logic_io.Io_error.Parse_error _ -> ()
 
 (* ----- rule registry ----- *)
 

@@ -52,10 +52,14 @@ let test_blif_constants () =
     (Truthtable.is_const0 (List.assoc "zero" tts))
 
 let test_blif_rejects_latches () =
-  Alcotest.check_raises "latch" (Failure "Blif.read: latches not supported")
-    (fun () ->
-      ignore
-        (Logic_io.Blif.read ".model t\n.inputs a\n.outputs q\n.latch a q\n.end"))
+  match
+    Logic_io.Blif.read ".model t\n.inputs a\n.outputs q\n.latch a q\n.end"
+  with
+  | _ -> Alcotest.fail "latch accepted"
+  | exception Logic_io.Io_error.Parse_error { line; msg } ->
+      Alcotest.(check int) "latch line" 4 line;
+      Alcotest.(check bool) "latch message" true
+        (msg = "latches not supported")
 
 let test_verilog_roundtrip_simple () =
   let net = N.create () in
@@ -127,7 +131,7 @@ let test_verilog_cycle_detected () =
     (try
        ignore (Logic_io.Verilog.read text);
        false
-     with Failure msg ->
+     with Logic_io.Io_error.Parse_error { msg; _ } ->
        String.length msg > 0
        && (let has_sub s sub =
              let n = String.length s and m = String.length sub in
@@ -141,7 +145,58 @@ let test_verilog_rejects_garbage () =
     (try
        ignore (Logic_io.Verilog.read "module t(a); input a; banana; endmodule");
        false
-     with Failure _ -> true)
+     with Logic_io.Io_error.Parse_error _ -> true)
+
+(* ----- fuzzing: the only exception a reader may raise is
+   [Io_error.Parse_error] (satellite of the robustness PR).  Raw bytes
+   exercise the lexers; fragment soups splice plausible keywords and
+   operators so the generator reaches deep into the grammar. *)
+
+let structured read text =
+  match read text with
+  | (_ : N.t) -> true
+  | exception Logic_io.Io_error.Parse_error _ -> true
+  | exception _ -> false
+
+let gen_bytes =
+  QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 160))
+
+let gen_soup frags =
+  QCheck2.Gen.(
+    map (String.concat "") (list_size (int_range 0 14) (oneofl frags)))
+
+let blif_frags =
+  [
+    ".model t\n"; ".inputs a b\n"; ".inputs a\n"; ".outputs f\n";
+    ".names a b f\n"; "11 1\n"; "1- 1\n"; "0 1\n"; "-- 0\n"; " 1\n";
+    ".names f\n"; ".names a a a a\n"; ".latch a q\n"; ".end\n";
+    "0 banana\n"; "\\\n"; "# noise\n"; ".names f a\n"; "1 1\n";
+  ]
+
+let verilog_frags =
+  [
+    "module t(a, y);\n"; "input a;\n"; "input a, a;\n"; "output y;\n";
+    "wire w;\n"; "assign y = a;\n"; "assign y = ~(a & w) | 1'b1;\n";
+    "assign w = y;\n"; "assign y = a ? w : 1'b0;\n"; "endmodule\n";
+    "assign = ;\n"; "banana\n"; "((("; "1'b"; "~~~a\n"; "assign y = a b;\n";
+  ]
+
+let fuzz_blif_bytes =
+  Helpers.qtest ~count:400 "fuzz: blif raw bytes" gen_bytes
+    (structured Logic_io.Blif.read)
+
+let fuzz_blif_soup =
+  Helpers.qtest ~count:400 "fuzz: blif fragment soup" (gen_soup blif_frags)
+    (structured Logic_io.Blif.read)
+
+let fuzz_verilog_bytes =
+  Helpers.qtest ~count:400 "fuzz: verilog raw bytes" gen_bytes
+    (structured Logic_io.Verilog.read)
+
+let fuzz_verilog_soup =
+  Helpers.qtest ~count:400 "fuzz: verilog fragment soup"
+    (gen_soup verilog_frags)
+    (structured Logic_io.Verilog.read)
 
 let test_cross_format () =
   (* blif -> network -> verilog -> network stays equivalent *)
@@ -174,4 +229,9 @@ let () =
         ] );
       ( "cross",
         [ Alcotest.test_case "blif to verilog" `Quick test_cross_format ] );
+      ( "fuzz",
+        [
+          fuzz_blif_bytes; fuzz_blif_soup; fuzz_verilog_bytes;
+          fuzz_verilog_soup;
+        ] );
     ]

@@ -128,6 +128,35 @@ let test_criticality_protects_size () =
   Alcotest.(check bool) "bounded growth" true
     (float_of_int (M.size m') <= (1.25 *. float_of_int (M.size m)) +. 8.0)
 
+(* Deep-recursion regression (robustness PR): a ~500k-node linear maj
+   chain used to blow the OCaml stack in the recursive PO-DFS of
+   cleanup/compact and the transform rebuilds.  With the explicit
+   Istack-based traversals the whole pipeline must survive. *)
+let test_deep_chain () =
+  let n = 500_000 in
+  let g = M.create () in
+  let pis = Array.init 8 (fun i -> M.add_pi g (Printf.sprintf "x%d" i)) in
+  let s = ref pis.(0) in
+  for i = 1 to n do
+    let a = pis.(i mod 8) in
+    let b =
+      let b = pis.((i * 3 + 1) mod 8) in
+      if i land 1 = 0 then Network.Signal.not_ b else b
+    in
+    s := M.maj g a b !s
+  done;
+  M.add_po g "y" !s;
+  let cleaned = M.cleanup g in
+  let compacted = M.compact g in
+  Alcotest.(check int) "compact agrees with cleanup" (M.size cleaned)
+    (M.size compacted);
+  let elim = T.eliminate cleaned in
+  Alcotest.(check bool) "eliminate no bigger" true
+    (M.size elim <= M.size cleaned);
+  let pushed = T.push_up elim in
+  Alcotest.(check bool) "push_up shallower or equal" true
+    (M.depth pushed <= M.depth elim)
+
 let () =
   Alcotest.run "transform"
     [
@@ -162,4 +191,6 @@ let () =
           Alcotest.test_case "Fig. 2(a) reconvergence" `Quick
             test_relevance_simplifies_reconvergence;
         ] );
+      ( "scale",
+        [ Alcotest.test_case "500k-node chain" `Slow test_deep_chain ] );
     ]

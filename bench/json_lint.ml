@@ -119,19 +119,7 @@ let engine_outcomes = [ "completed"; "timed_out"; "failed"; "skipped" ]
 
 (* engine records embed a full Flow.Engine report: a passes array of
    {pass; outcome; time_s; size; depth; rolled_back} plus the rollup *)
-let check_engine i r =
-  (match get i r "mode" with
-  | J.String ("clean" | "budgeted" | "faulted") -> ()
-  | _ -> fail "record %d: engine mode is not clean/budgeted/faulted" i);
-  (match get i r "timeout_s" with
-  | J.Null | J.Int _ | J.Float _ -> ()
-  | _ -> fail "record %d: timeout_s is not a number or null" i);
-  int_field i r "rollbacks";
-  bool_field i r "degraded";
-  bool_field i r "equivalent";
-  num i r "time_s" "engine";
-  metrics_obj i r "result" ~ints:[ "size"; "depth" ] ~floats:[];
-  let rep = get i r "report" in
+let check_report i rep =
   int_field i rep "rollbacks";
   bool_field i rep "degraded";
   bool_field i rep "verified";
@@ -151,6 +139,45 @@ let check_engine i r =
           bool_field i p "rolled_back")
         ps
   | _ -> fail "record %d: report.passes is not a list" i
+
+let check_engine i r =
+  (match get i r "mode" with
+  | J.String ("clean" | "budgeted" | "faulted") -> ()
+  | _ -> fail "record %d: engine mode is not clean/budgeted/faulted" i);
+  (match get i r "timeout_s" with
+  | J.Null | J.Int _ | J.Float _ -> ()
+  | _ -> fail "record %d: timeout_s is not a number or null" i);
+  int_field i r "rollbacks";
+  bool_field i r "degraded";
+  bool_field i r "equivalent";
+  num i r "time_s" "engine";
+  metrics_obj i r "result" ~ints:[ "size"; "depth" ] ~floats:[];
+  check_report i (get i r "report")
+
+(* batch records carry the parallel-vs-sequential rollup plus one
+   embedded outcome (with a full engine report) per circuit *)
+let check_batch i r =
+  List.iter (int_field i r) [ "jobs"; "jobs_effective"; "recommended_domains" ];
+  List.iter (fun f -> num i r f "batch") [ "time_seq_s"; "time_par_s"; "speedup" ];
+  bool_field i r "identical";
+  match J.member "circuits" r with
+  | Some (J.List cs) ->
+      List.iter
+        (fun c ->
+          (match J.member "name" c with
+          | Some (J.String _) -> ()
+          | _ -> fail "record %d: batch circuit without a name" i);
+          List.iter (int_field i c)
+            [ "size_in"; "depth_in"; "size_out"; "depth_out"; "rollbacks" ];
+          num i c "time_s" "batch.circuits";
+          bool_field i c "verified";
+          bool_field i c "degraded";
+          check_report i (get i c "report");
+          match J.member "telemetry" c with
+          | None | Some J.Null -> ()
+          | Some t -> span_tree i "batch.telemetry" t)
+        cs
+  | _ -> fail "record %d: batch circuits is not a list" i
 
 let check_record i r =
   let sec = str i r "section" in
@@ -182,6 +209,7 @@ let check_record i r =
       spans i r
   | "hotpath" -> check_hotpath i r name
   | "engine" -> check_engine i r
+  | "batch" -> check_batch i r
   | s -> fail "record %d: unknown section %S" i s);
   sec
 

@@ -16,6 +16,12 @@ module N = Network.Graph
 module J = Lsutil.Json
 module T = Lsutil.Telemetry
 
+(* One execution context for the whole harness, honouring the MIG_*
+   environment; the [batch] section builds its own per-circuit
+   contexts on top. *)
+let ctx = Lsutil.Ctx.default ()
+let tel = Lsutil.Ctx.stats ctx
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -69,13 +75,13 @@ let table1_top_rows =
          let net = e.Benchmarks.Suite.build () in
          let flat = N.flatten_aoig net in
          let (mig_g, mig), mig_span =
-           T.capture "mig_opt" (fun () -> Flow.mig_opt net)
+           T.capture tel "mig_opt" (fun () -> Flow.mig_opt ctx net)
          in
          let (aig_g, aig), aig_span =
-           T.capture "aig_opt" (fun () -> Flow.aig_opt net)
+           T.capture tel "aig_opt" (fun () -> Flow.aig_opt ctx net)
          in
          let bdd_res, bdd_span =
-           T.capture "bds_opt" (fun () -> Flow.bds_opt ~seed:0xbd5 net)
+           T.capture tel "bds_opt" (fun () -> Flow.bds_opt ~seed:0xbd5 ctx net)
          in
          let mig_ok = Mig.Equiv.to_network_equiv ~seed:11 mig_g flat in
          let aig_ok =
@@ -219,9 +225,9 @@ let table1_bottom_rows =
          {
            sname = e.Benchmarks.Suite.name;
            sio = e.Benchmarks.Suite.paper_io;
-           smig = Flow.mig_synth net;
-           saig = Flow.aig_synth net;
-           scst = Flow.cst_synth net;
+           smig = Flow.mig_synth ctx net;
+           saig = Flow.aig_synth ctx net;
+           scst = Flow.cst_synth ctx net;
          })
        Benchmarks.Suite.all)
 
@@ -470,14 +476,14 @@ let print_compress () =
      MIG_BENCH_FULL=1 for the full-scale run)\n%!"
     window (N.size flat);
   let (a, t_aig), aig_span =
-    T.capture "compress:aig" (fun () ->
+    T.capture tel "compress:aig" (fun () ->
         T.time (fun () -> Aig.Resyn.run ~effort:1 (Aig.Convert.of_network flat)))
   in
   Printf.printf
     "AIG:  %d nodes, %d levels, %.1fs (paper: 167k nodes, 31 levels, 11.3s)\n%!"
     (Aig.Graph.size a) (Aig.Graph.depth a) t_aig;
   let (m, t_mig), mig_span =
-    T.capture "compress:mig" (fun () ->
+    T.capture tel "compress:mig" (fun () ->
         T.time (fun () -> Mig.Opt_depth.run ~effort:2 (Mig.Convert.of_network flat)))
   in
   Printf.printf
@@ -548,8 +554,8 @@ let print_ablation () =
   in
   let opt = Mig.Opt_depth.run (Mig.Convert.of_network madd) in
   let sub = Mig.Convert.to_network opt in
-  let with_maj = Tech.Mapper.map_network sub in
-  let without = Tech.Mapper.map_network ~lib:Tech.Cells.no_majority sub in
+  let with_maj = Tech.Mapper.map_network ~ctx sub in
+  let without = Tech.Mapper.map_network ~ctx ~lib:Tech.Cells.no_majority sub in
   Printf.printf
     "my_adder mapping ablation:\n\
     \  full library  A=%.2f D=%.3f P=%.2f\n\
@@ -572,17 +578,17 @@ let print_bechamel () =
   let tests =
     [
       Test.make ~name:"table1_top/mig_opt"
-        (Staged.stage (fun () -> ignore (Flow.mig_opt (Lazy.force net))));
+        (Staged.stage (fun () -> ignore (Flow.mig_opt ctx (Lazy.force net))));
       Test.make ~name:"table1_top/aig_opt"
-        (Staged.stage (fun () -> ignore (Flow.aig_opt (Lazy.force net))));
+        (Staged.stage (fun () -> ignore (Flow.aig_opt ctx (Lazy.force net))));
       Test.make ~name:"table1_top/bds_opt"
-        (Staged.stage (fun () -> ignore (Flow.bds_opt ~seed:1 (Lazy.force net))));
+        (Staged.stage (fun () -> ignore (Flow.bds_opt ~seed:1 ctx (Lazy.force net))));
       Test.make ~name:"table1_bottom/mig_synth"
-        (Staged.stage (fun () -> ignore (Flow.mig_synth (Lazy.force net))));
+        (Staged.stage (fun () -> ignore (Flow.mig_synth ctx (Lazy.force net))));
       Test.make ~name:"table1_bottom/aig_synth"
-        (Staged.stage (fun () -> ignore (Flow.aig_synth (Lazy.force net))));
+        (Staged.stage (fun () -> ignore (Flow.aig_synth ctx (Lazy.force net))));
       Test.make ~name:"table1_bottom/cst_synth"
-        (Staged.stage (fun () -> ignore (Flow.cst_synth (Lazy.force net))));
+        (Staged.stage (fun () -> ignore (Flow.cst_synth ctx (Lazy.force net))));
     ]
   in
   let cfg = Benchmark.cfg ~limit:10 ~quota:(Time.second 2.0) ~kde:None () in
@@ -627,15 +633,15 @@ let print_smoke () =
   section "Smoke - 'count' benchmark with per-pass telemetry";
   let e = Benchmarks.Suite.find "count" in
   let net = e.Benchmarks.Suite.build () in
-  let was = T.enabled () in
-  T.set_enabled true;
+  let was = T.enabled tel in
+  T.set_enabled tel true;
   let (mig_g, mig), mig_span =
-    T.capture "mig_opt" (fun () -> Flow.mig_opt ~effort:1 net)
+    T.capture tel "mig_opt" (fun () -> Flow.mig_opt ~effort:1 ctx net)
   in
   let (aig_g, aig), aig_span =
-    T.capture "aig_opt" (fun () -> Flow.aig_opt ~effort:1 net)
+    T.capture tel "aig_opt" (fun () -> Flow.aig_opt ~effort:1 ctx net)
   in
-  T.set_enabled was;
+  T.set_enabled tel was;
   let flat = N.flatten_aoig net in
   let checks_ok =
     Mig.Equiv.to_network_equiv ~seed:31 mig_g flat
@@ -762,9 +768,9 @@ let hotpath_table1_mig name =
 let print_hotpath () =
   section "Hotpath - core engine microbenchmarks";
   let module MG = Mig.Graph in
-  let was = T.enabled () in
-  T.set_enabled false;
-  Fun.protect ~finally:(fun () -> T.set_enabled was) @@ fun () ->
+  let was = T.enabled tel in
+  T.set_enabled tel false;
+  Fun.protect ~finally:(fun () -> T.set_enabled tel was) @@ fun () ->
   let cal = hotpath_calibrate () in
   Printf.printf "  %-28s %12.3e ops/s\n%!" "calibration (int loop)" cal;
   emit
@@ -902,7 +908,7 @@ let print_engine () =
     let net =
       N.flatten_aoig ((Benchmarks.Suite.find name).Benchmarks.Suite.build ())
     in
-    let m = Mig.Convert.of_network net in
+    let m = Mig.Convert.of_network ~ctx net in
     let (out, rep), t =
       T.time (fun () ->
           Flow.Engine.run ?timeout_s
@@ -948,6 +954,86 @@ let print_engine () =
   run "C6288" "budgeted" ~timeout_s:0.25 ~goal:`Depth ~effort:2 ()
 
 (* ------------------------------------------------------------------ *)
+(* Batch: the multi-domain parallel driver (Flow.Batch).  The full    *)
+(* Table-I suite is optimized once sequentially and once on a worker  *)
+(* pool; the structural results must agree bit for bit (each circuit  *)
+(* has its own context, so scheduling cannot leak into the output),   *)
+(* and the wall-clock ratio is the recorded speedup.                  *)
+(* ------------------------------------------------------------------ *)
+
+let print_batch () =
+  section "Batch - multi-domain parallel driver (Flow.Batch)";
+  let items =
+    List.map
+      (fun e ->
+        {
+          Flow.Batch.name = e.Benchmarks.Suite.name;
+          build = e.Benchmarks.Suite.build;
+        })
+      Benchmarks.Suite.all
+  in
+  let spec = { Flow.Batch.default_spec with goal = `Depth; effort = 1 } in
+  (* fresh quiet ctx per circuit: determinism regardless of worker
+     scheduling is the whole point *)
+  let make_ctx _ _ = Lsutil.Ctx.create () in
+  let timed jobs =
+    let t0 = Unix.gettimeofday () in
+    let out = Flow.Batch.run ~jobs ~spec ~make_ctx items in
+    (out, Unix.gettimeofday () -. t0)
+  in
+  let hw = Domain.recommended_domain_count () in
+  let jobs_par = max 2 (min 4 hw) in
+  (* [Batch.run] caps at the recommended domain count; record what
+     actually ran so a 1-core host doesn't claim parallel numbers *)
+  let jobs_eff = min jobs_par (max 1 hw) in
+  let seq, t_seq = timed 1 in
+  let par, t_par = timed jobs_par in
+  let structural (o : Flow.Batch.outcome) =
+    ( o.Flow.Batch.name,
+      o.Flow.Batch.size_in,
+      o.Flow.Batch.depth_in,
+      o.Flow.Batch.size_out,
+      o.Flow.Batch.depth_out,
+      o.Flow.Batch.report.Flow.Engine.verified,
+      o.Flow.Batch.report.Flow.Engine.degraded,
+      List.map
+        (fun (p : Flow.Engine.pass_report) ->
+          ( p.Flow.Engine.pass,
+            Flow.Engine.outcome_name p.Flow.Engine.outcome,
+            p.Flow.Engine.size,
+            p.Flow.Engine.depth,
+            p.Flow.Engine.rolled_back ))
+        o.Flow.Batch.report.Flow.Engine.passes )
+  in
+  let identical =
+    List.equal
+      (fun a b -> structural a = structural b)
+      seq par
+  in
+  let speedup = if t_par > 0.0 then t_seq /. t_par else 1.0 in
+  List.iter (Format.printf "  %a@." Flow.Batch.pp_outcome) par;
+  Printf.printf
+    "  jobs %d requested, %d effective (%d recommended): %.3fs sequential, \
+     %.3fs parallel, speedup %.2fx, results %s\n"
+    jobs_par jobs_eff hw t_seq t_par speedup
+    (if identical then "bit-identical" else "DIVERGED");
+  emit
+    (J.Obj
+       [
+         ("section", J.String "batch");
+         ("name", J.String "table1");
+         ("jobs", J.Int jobs_par);
+         ("jobs_effective", J.Int jobs_eff);
+         ("recommended_domains", J.Int hw);
+         ("time_seq_s", J.Float t_seq);
+         ("time_par_s", J.Float t_par);
+         ("speedup", J.Float speedup);
+         ("identical", J.Bool identical);
+         ( "circuits",
+           J.List (List.map Flow.Batch.outcome_to_json par) );
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [
@@ -963,6 +1049,7 @@ let all_sections =
     ("smoke", print_smoke);
     ("hotpath", print_hotpath);
     ("engine", print_engine);
+    ("batch", print_batch);
   ]
 
 let write_json path =
@@ -991,7 +1078,7 @@ let () =
   in
   let json_path, args = split_json [] (List.tl (Array.to_list Sys.argv)) in
   (* Span trees inside the records need recording on. *)
-  if json_path <> None then T.set_enabled true;
+  if json_path <> None then T.set_enabled tel true;
   let requested =
     match args with [] -> List.map fst all_sections | args -> args
   in

@@ -61,19 +61,46 @@ let stats_arg =
            and out, rewrites, strash hits).  Equivalent to setting \
            $(b,MIG_STATS=1).")
 
+(* One context per invocation, built from the environment exactly once
+   and adjusted by CLI flags; a malformed [MIG_FAULT] is a usage error
+   here, not something to drop silently. *)
+let env_or_die () =
+  match Lsutil.Env.load_result () with
+  | Ok e -> e
+  | Error msg ->
+      prerr_endline ("mighty: MIG_FAULT: " ^ msg);
+      exit 2
+
+let ctx_of_cli ?(stats = false) ?(check = false) ?fault () =
+  let e = env_or_die () in
+  let fault = match fault with Some _ as f -> f | None -> e.Lsutil.Env.fault in
+  Lsutil.Ctx.create
+    ~stats:(stats || e.Lsutil.Env.stats)
+    ~check:(check || e.Lsutil.Env.check)
+    ?fault ~seed:e.Lsutil.Env.seed ()
+
+let parse_fault_arg = function
+  | None -> None
+  | Some spec -> (
+      match Lsutil.Fault.parse spec with
+      | Ok sp -> Some sp
+      | Error e ->
+          prerr_endline ("mighty: --fault: " ^ e);
+          exit 2)
+
 let report g label =
   Format.printf "%-10s size = %d, depth = %d, activity = %.2f@." label
     (Mig.Graph.size g) (Mig.Graph.depth g) (Mig.Activity.total g)
 
 let optimize input output effort goal verify stats =
-  if stats then Lsutil.Telemetry.set_enabled true;
+  let ctx = ctx_of_cli ~stats () in
   let net = read_input input in
   Format.printf "read %s: %a@." input Network.Graph.pp_stats net;
-  let m = Mig.Convert.of_network net in
+  let m = Mig.Convert.of_network ~ctx net in
   report m "initial";
   let t0 = Unix.gettimeofday () in
   let opt, span =
-    Lsutil.Telemetry.capture "optimize" (fun () ->
+    Lsutil.Telemetry.capture (Lsutil.Ctx.stats ctx) "optimize" (fun () ->
         match goal with
         | `Size -> Mig.Opt_size.run ~effort m
         | `Depth -> Mig.Opt_depth.run ~effort:(max effort 3) m
@@ -107,33 +134,33 @@ let optimize_cmd =
    (some pass timed out, failed or was skipped — the output is still a
    valid best-so-far circuit). *)
 let opt_run input output effort goal stats timeout max_nodes fault json =
-  if stats then Lsutil.Telemetry.set_enabled true;
   (* the fault plan targets the optimization run: reject a bad spec up
      front, but arm it only around [Engine.run] so the reader/converter
      and the output writer stay outside the blast radius *)
+  let env = env_or_die () in
   let plan =
-    let parsed ctx spec =
-      match Lsutil.Fault.parse spec with
-      | Ok sp -> Some sp
-      | Error e ->
-          prerr_endline ("mighty opt: " ^ ctx ^ e);
-          exit 2
-    in
-    match fault with
-    | Some spec -> parsed "" spec
-    | None -> (
-        match Sys.getenv_opt "MIG_FAULT" with
-        | None | Some "" -> None
-        | Some spec -> parsed "MIG_FAULT: " spec)
+    match parse_fault_arg fault with
+    | Some _ as p -> p
+    | None -> env.Lsutil.Env.fault
   in
+  (* the ctx starts with no fault armed, so the reader/converter and
+     the output writer stay outside the blast radius *)
+  let ctx =
+    Lsutil.Ctx.create
+      ~stats:(stats || env.Lsutil.Env.stats)
+      ~check:env.Lsutil.Env.check ~seed:env.Lsutil.Env.seed ()
+  in
+  let flt = Lsutil.Ctx.fault ctx in
   let net = read_input input in
   Format.printf "read %s: %a@." input Network.Graph.pp_stats net;
-  let m = Mig.Convert.of_network (Network.Graph.flatten_aoig net) in
+  let m = Mig.Convert.of_network ~ctx (Network.Graph.flatten_aoig net) in
   report m "initial";
   let t0 = Unix.gettimeofday () in
   let opt, rep =
-    (match plan with Some sp -> Lsutil.Fault.arm sp | None -> ());
-    Fun.protect ~finally:Lsutil.Fault.disarm (fun () ->
+    (match plan with Some sp -> Lsutil.Fault.arm flt sp | None -> ());
+    Fun.protect
+      ~finally:(fun () -> Lsutil.Fault.disarm flt)
+      (fun () ->
         Flow.Engine.run ?timeout_s:timeout ?max_nodes
           ~cost:(Flow.Engine.cost_of_goal goal)
           ~seed:0xda14
@@ -214,10 +241,14 @@ let opt_cmd =
 let map_cmd =
   let doc = "optimize and map onto the 22nm-style cell library" in
   let run input effort no_maj =
+    let ctx = ctx_of_cli () in
     let net = read_input input in
-    let m = Mig.Opt_depth.run ~effort:(max effort 3) (Mig.Convert.of_network net) in
+    let m =
+      Mig.Opt_depth.run ~effort:(max effort 3)
+        (Mig.Convert.of_network ~ctx net)
+    in
     let lib = if no_maj then Tech.Cells.no_majority else Tech.Cells.full in
-    let r = Tech.Mapper.map_network ~lib (Mig.Convert.to_network m) in
+    let r = Tech.Mapper.map_network ~ctx ~lib (Mig.Convert.to_network m) in
     Format.printf "%a@." Tech.Mapper.pp_result r;
     List.iter
       (fun (cell, count) -> Format.printf "  %-6s x %d@." cell count)
@@ -270,6 +301,142 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ name_arg $ out_arg)
 
+(* Multi-domain batch driver over the built-in suite (or named subset):
+   one worker domain per job, one private execution context per
+   circuit, results merged in input order.  Exit codes as [opt]: 0
+   clean, 3 if any circuit degraded. *)
+let batch_run names jobs goal effort timeout max_nodes fault stats check json
+    =
+  let env = env_or_die () in
+  let plan =
+    match parse_fault_arg fault with
+    | Some _ as p -> p
+    | None -> env.Lsutil.Env.fault
+  in
+  let items =
+    let pick =
+      match names with
+      | [] -> Benchmarks.Suite.all
+      | names ->
+          List.map
+            (fun n ->
+              try Benchmarks.Suite.find n
+              with Not_found ->
+                prerr_endline ("mighty batch: unknown circuit " ^ n);
+                exit 2)
+            names
+    in
+    List.map
+      (fun e ->
+        {
+          Flow.Batch.name = e.Benchmarks.Suite.name;
+          build = e.Benchmarks.Suite.build;
+        })
+      pick
+  in
+  let spec =
+    {
+      Flow.Batch.goal;
+      effort;
+      timeout_s = timeout;
+      max_nodes;
+      verify = None;
+      seed = env.Lsutil.Env.seed;
+    }
+  in
+  let make_ctx _ _ =
+    Lsutil.Ctx.create
+      ~stats:(stats || env.Lsutil.Env.stats)
+      ~check:(check || env.Lsutil.Env.check)
+      ?fault:plan ~seed:env.Lsutil.Env.seed ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Flow.Batch.run ~jobs ~spec ~make_ctx items in
+  let dt = Unix.gettimeofday () -. t0 in
+  List.iter (Format.printf "%a@." Flow.Batch.pp_outcome) outcomes;
+  Format.printf "batch: %d circuit(s), %d job(s), %.3fs@."
+    (List.length outcomes) jobs dt;
+  (match json with
+  | Some "-" ->
+      Format.printf "%a@." Lsutil.Json.pp (Flow.Batch.to_json ~jobs outcomes)
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Lsutil.Json.to_string (Flow.Batch.to_json ~jobs outcomes));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "wrote %s@." path
+  | None -> ());
+  if List.exists (fun o -> o.Flow.Batch.report.Flow.Engine.degraded) outcomes
+  then exit 3
+
+let batch_cmd =
+  let doc =
+    "optimize many circuits concurrently (one engine pipeline per worker \
+     domain, one private context per circuit)"
+  in
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Circuits from the built-in suite (default: all of %s)."
+               (String.concat ", " Benchmarks.Suite.names)))
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains (clamped to the circuit count and the hardware \
+             parallelism).  Results are bit-identical for any value.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SEC"
+          ~doc:"Per-circuit wall-clock budget in seconds.")
+  in
+  let max_nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:"Per-circuit node-allocation budget.")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"SPEC"
+          ~doc:
+            "Arm deterministic fault injection in every circuit's private \
+             context (same grammar as $(b,mighty opt --fault)).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Run every pipeline under the transform guard (equivalent to \
+             $(b,MIG_CHECK=1)).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write per-circuit outcomes (sizes, depths, engine reports, \
+             telemetry when $(b,--stats)) as JSON to $(docv), or stdout for \
+             $(b,-).")
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      const batch_run $ names_arg $ jobs $ goal_arg $ effort_arg $ timeout
+      $ max_nodes $ fault $ stats_arg $ check $ json)
+
 let check_cmd =
   let doc =
     "lint a circuit against the structural invariants (MIG/AIG/NET rules)"
@@ -310,8 +477,9 @@ let check_cmd =
               (Printexc.to_string e);
             exit 2
         in
-        let m = Mig.Convert.of_network net in
-        let a = Aig.Convert.of_network net in
+        let ctx = ctx_of_cli () in
+        let m = Mig.Convert.of_network ~ctx net in
+        let a = Aig.Convert.of_network ~ctx net in
         let reports =
           [
             Network.Check.lint ~subject:"network" net;
@@ -365,6 +533,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            optimize_cmd; opt_cmd; map_cmd; stats_cmd; bench_cmd; check_cmd;
-            equiv_cmd;
+            optimize_cmd; opt_cmd; batch_cmd; map_cmd; stats_cmd; bench_cmd;
+            check_cmd; equiv_cmd;
           ]))

@@ -10,10 +10,13 @@
 
 module N = Network.Graph
 
+(* one explicit execution context for the whole example *)
+let ctx = Lsutil.Ctx.default ()
+
 let compare_flows name net =
   let flat = N.flatten_aoig net in
-  let mig, mr = Flow.mig_opt net in
-  let aig, ar = Flow.aig_opt net in
+  let mig, mr = Flow.mig_opt ctx net in
+  let aig, ar = Flow.aig_opt ctx net in
   assert (Mig.Equiv.to_network_equiv ~seed:7 mig flat);
   assert (
     Network.Simulate.equivalent ~seed:8 (Aig.Convert.to_network aig) flat);

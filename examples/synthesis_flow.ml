@@ -18,10 +18,12 @@ let () =
   let net = Logic_io.Blif.read_file input in
   Format.printf "read: %a@." Network.Graph.pp_stats net;
 
-  (* the three synthesis flows of Table I (bottom) *)
-  let mig = Flow.mig_synth net in
-  let aig = Flow.aig_synth net in
-  let cst = Flow.cst_synth net in
+  (* the three synthesis flows of Table I (bottom), all under one
+     explicit execution context *)
+  let ctx = Lsutil.Ctx.default () in
+  let mig = Flow.mig_synth ctx net in
+  let aig = Flow.aig_synth ctx net in
+  let cst = Flow.cst_synth ctx net in
   Format.printf "@.%-22s %10s %9s %10s@." "flow" "area(um2)" "delay(ns)"
     "power(uW)";
   let row name (r : Flow.syn_result) =
@@ -35,7 +37,7 @@ let () =
     ((mig.Flow.delay /. Float.min aig.Flow.delay cst.Flow.delay -. 1.) *. 100.);
 
   (* write the optimized logic back as flattened Verilog *)
-  let opt, _ = Flow.mig_opt net in
+  let opt, _ = Flow.mig_opt (Lsutil.Ctx.default ()) net in
   Logic_io.Verilog.write_file output (Mig.Convert.to_network opt);
   Format.printf "wrote optimized netlist to %s@." output;
 

@@ -2,7 +2,7 @@ module G = Graph
 module S = Network.Signal
 
 let run g =
-  let fresh = G.create () in
+  let fresh = G.create ~ctx:(G.ctx g) () in
   let map = Array.make (G.num_nodes g) None in
   map.(0) <- Some (G.const0 fresh);
   List.iter (fun id -> map.(id) <- Some (G.add_pi fresh (G.pi_name g id))) (G.pis g);

@@ -120,34 +120,38 @@ let lint ?(subject = "aig") g =
 
 module T = Lsutil.Telemetry
 
+let tel g = Lsutil.Ctx.stats (G.ctx g)
+
 let verify_pre ~name g =
-  T.span "guard:pre_lint" (fun () ->
+  let t = tel g in
+  T.span t "guard:pre_lint" (fun () ->
       let module Gd = Check_guard in
       let pre = lint ~subject:(Printf.sprintf "aig:pre %s" name) g in
       if not (R.is_clean pre) then begin
-        T.count "guard.fail";
+        T.count t "guard.fail";
         Gd.fail { name; stage = Gd.Pre_lint; report = Some pre; cex = None }
       end)
 
 let verify_post ?(seed = 0xa16c) ?(rounds = 64) ~name g out =
-  T.span "guard:post" (fun () ->
+  let t = tel g in
+  T.span t "guard:post" (fun () ->
       let module Gd = Check_guard in
-      T.span "guard:post_lint" (fun () ->
+      T.span t "guard:post_lint" (fun () ->
           let post = lint ~subject:(Printf.sprintf "aig:post %s" name) out in
           if not (R.is_clean post) then begin
-            T.count "guard.fail";
+            T.count t "guard.fail";
             Gd.fail { name; stage = Gd.Post_lint; report = Some post; cex = None }
           end);
-      T.span "guard:miter" (fun () ->
+      T.span t "guard:miter" (fun () ->
           let na = Convert.to_network g and nb = Convert.to_network out in
           if not (Network.Simulate.same_interface na nb) then begin
             let r = R.create ~subject:(Printf.sprintf "aig:post %s" name) in
             R.error r ~rule:"AIG005" "pass changed the PI/PO interface";
-            T.count "guard.fail";
+            T.count t "guard.fail";
             Gd.fail { name; stage = Gd.Equivalence; report = Some r; cex = None }
           end;
           if not (Network.Simulate.equivalent ~seed na nb) then begin
-            T.count "guard.fail";
+            T.count t "guard.fail";
             Gd.fail
               {
                 name;
@@ -156,10 +160,11 @@ let verify_post ?(seed = 0xa16c) ?(rounds = 64) ~name g out =
                 cex = Network.Simulate.counterexample ~rounds ~seed na nb;
               }
           end);
-      T.count "guard.pass")
+      T.count t "guard.pass")
 
 let guarded ?enabled ?seed ?rounds ~name pass g =
-  if not (Check_env.resolve enabled) then pass g
+  if not (Check_env.resolve ~default:(Lsutil.Ctx.check (G.ctx g)) enabled)
+  then pass g
   else begin
     verify_pre ~name g;
     let out = pass g in

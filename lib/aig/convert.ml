@@ -1,8 +1,8 @@
 module N = Network.Graph
 module S = Network.Signal
 
-let of_network net =
-  let g = Graph.create () in
+let of_network ?ctx net =
+  let g = Graph.create ?ctx () in
   let map = Array.make (N.num_nodes net) (Graph.const0 g) in
   List.iter (fun id -> map.(id) <- Graph.add_pi g (N.pi_name net id)) (N.pis net);
   let value s = S.xor_complement map.(S.node s) (S.is_complement s) in

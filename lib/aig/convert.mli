@@ -1,6 +1,6 @@
 (** Conversions between the generic network IR and AIGs. *)
 
-val of_network : Network.Graph.t -> Graph.t
+val of_network : ?ctx:Lsutil.Ctx.t -> Network.Graph.t -> Graph.t
 (** Decompose every primitive into AND/INV structure.  XOR costs
     three ANDs, MAJ four, MUX three. *)
 

@@ -3,6 +3,8 @@ module Vec = Lsutil.Vec
 
 (* fanin0 = -1 marks a PI; fanin0 = -2 marks the constant node. *)
 type t = {
+  ctx : Lsutil.Ctx.t;
+  bud : Lsutil.Budget.t; (* alias into [ctx] for the hot charge site *)
   f0 : int Vec.t;
   f1 : int Vec.t;
   strash : (int * int, int) Hashtbl.t;
@@ -11,9 +13,12 @@ type t = {
   mutable po_list : (string * S.t) list; (* reversed *)
 }
 
-let create () =
+let create ?ctx () =
+  let ctx = match ctx with Some c -> c | None -> Lsutil.Ctx.create () in
   let g =
     {
+      ctx;
+      bud = Lsutil.Ctx.budget ctx;
       f0 = Vec.create ();
       f1 = Vec.create ();
       strash = Hashtbl.create 4096;
@@ -25,6 +30,8 @@ let create () =
   ignore (Vec.push g.f0 (-2));
   ignore (Vec.push g.f1 (-2));
   g
+
+let ctx g = g.ctx
 
 let const0 _ = S.make 0 false
 let const1 _ = S.make 0 true
@@ -60,9 +67,9 @@ let and_ g a b =
   match find_and g a b with
   | Some s -> s
   | None ->
-      (* charge the AIG arena to the ambient budget, like Mig.Graph's
-         push_node (no-op when no budget is installed) *)
-      Lsutil.Budget.note_nodes 1;
+      (* charge the AIG arena to the owning context's budget, like
+         Mig.Graph's push_node (no-op when no budget is installed) *)
+      Lsutil.Budget.note_nodes g.bud 1;
       let ka, kb = key a b in
       let id = Vec.push g.f0 ka in
       ignore (Vec.push g.f1 kb);
@@ -141,7 +148,7 @@ let depth g =
   List.fold_left (fun acc (_, s) -> max acc lv.(S.node s)) 0 (pos g)
 
 let cleanup g =
-  let fresh = create () in
+  let fresh = create ~ctx:g.ctx () in
   let map = Array.make (num_nodes g) None in
   map.(0) <- Some (const0 fresh);
   List.iter (fun id -> map.(id) <- Some (add_pi fresh (pi_name g id))) (pis g);

@@ -10,7 +10,13 @@ type t
 
 module S := Network.Signal
 
-val create : unit -> t
+val create : ?ctx:Lsutil.Ctx.t -> unit -> t
+(** A fresh empty AIG.  Node allocations charge [ctx]'s budget
+    (default: a fresh quiet context). *)
+
+val ctx : t -> Lsutil.Ctx.t
+(** The context the graph was created under; derived graphs
+    ([cleanup], the resyn rebuilds) inherit it. *)
 
 (** {1 Construction} *)
 

@@ -1,27 +1,32 @@
 module T = Lsutil.Telemetry
 
+let tel g = Lsutil.Ctx.stats (Graph.ctx g)
+let bud g = Lsutil.Ctx.budget (Graph.ctx g)
+let flt g = Lsutil.Ctx.fault (Graph.ctx g)
+
 (* AIG passes share the "transform" fault site with the MIG passes;
    there is no cheap silent corruption for an AIG, so [Corrupt]
    degrades to a raise. *)
-let fault_transform () =
-  match Lsutil.Fault.fire "transform" with
+let fault_transform g =
+  match Lsutil.Fault.fire (flt g) "transform" with
   | None -> ()
-  | Some Lsutil.Fault.Exhaust -> Lsutil.Budget.exhaust ()
+  | Some Lsutil.Fault.Exhaust -> Lsutil.Budget.exhaust (bud g)
   | Some _ -> raise (Lsutil.Fault.Injected "transform")
 
 (* Per-pass telemetry span: wall-clock plus nodes/depth in → out. *)
 let traced name pass g =
-  T.span name (fun () ->
-      Lsutil.Budget.poll ();
-      if T.enabled () then begin
-        T.record_int "nodes_in" (Graph.size g);
-        T.record_int "depth_in" (Graph.depth g)
+  let t = tel g in
+  T.span t name (fun () ->
+      Lsutil.Budget.poll (bud g);
+      if T.enabled t then begin
+        T.record_int t "nodes_in" (Graph.size g);
+        T.record_int t "depth_in" (Graph.depth g)
       end;
       let out = pass g in
-      if Lsutil.Fault.enabled () then fault_transform ();
-      if T.enabled () then begin
-        T.record_int "nodes_out" (Graph.size out);
-        T.record_int "depth_out" (Graph.depth out)
+      if Lsutil.Fault.enabled (flt g) then fault_transform g;
+      if T.enabled t then begin
+        T.record_int t "nodes_out" (Graph.size out);
+        T.record_int t "depth_out" (Graph.depth out)
       end;
       out)
 
@@ -30,7 +35,7 @@ let rewrite = traced "aig:rewrite" Rewrite.run
 let refactor = traced "aig:refactor" Refactor.run
 
 let optimize ~effort g =
-  T.record_int "effort" effort;
+  T.record_int (tel g) "effort" effort;
   let step g =
     let g = balance g in
     let g = rewrite g in

@@ -34,32 +34,34 @@ let to_network man ~pi_names outs =
   List.iter (fun (name, b) -> G.add_po net name (build b)) outs;
   net
 
-let run ?(node_limit = 2_000_000) ?(reorder = true) ~seed n =
+let run ?ctx ?(node_limit = 2_000_000) ?(reorder = true) ~seed n =
   let module T = Lsutil.Telemetry in
-  T.span "bdd:decompose" (fun () ->
-      (* unified budget API: an ambient node cap tightens the manager's
-         own limit, so one [Budget.with_budget] bounds MIG, AIG and BDD
-         arenas alike *)
+  let ctx = match ctx with Some c -> c | None -> Lsutil.Ctx.create () in
+  let tel = Lsutil.Ctx.stats ctx in
+  T.span tel "bdd:decompose" (fun () ->
+      (* unified budget API: the context's node cap tightens the
+         manager's own limit, so one [Budget.with_budget] bounds MIG,
+         AIG and BDD arenas alike *)
       let node_limit =
-        match Lsutil.Budget.remaining_nodes () with
+        match Lsutil.Budget.remaining_nodes (Lsutil.Ctx.budget ctx) with
         | Some r -> min node_limit r
         | None -> node_limit
       in
-      if T.enabled () then T.record_int "nodes_in" (G.size n);
+      if T.enabled tel then T.record_int tel "nodes_in" (G.size n);
       match
         let order =
-          T.span "bdd:reorder" (fun () ->
-              if reorder then Reorder.best_order ~node_limit ~seed n
+          T.span tel "bdd:reorder" (fun () ->
+              if reorder then Reorder.best_order ~ctx ~node_limit ~seed n
               else Builder.dfs_order n)
         in
-        let man = Robdd.manager ~node_limit () in
+        let man = Robdd.manager ~ctx ~node_limit () in
         let outs =
-          T.span "bdd:build" (fun () -> Builder.of_network man ~order n)
+          T.span tel "bdd:build" (fun () -> Builder.of_network man ~order n)
         in
         let pi_names level = G.pi_name n order.(level) in
         (* Dangling PIs must survive so the interface stays intact. *)
         let net =
-          T.span "bdd:to_network" (fun () -> to_network man ~pi_names outs)
+          T.span tel "bdd:to_network" (fun () -> to_network man ~pi_names outs)
         in
         let declared = G.num_pis net in
         Array.iteri
@@ -70,21 +72,21 @@ let run ?(node_limit = 2_000_000) ?(reorder = true) ~seed n =
       with
       | net ->
           let out = G.cleanup net in
-          if T.enabled () then begin
-            T.record_int "nodes_out" (G.size out);
-            T.record "outcome" (T.String "completed")
+          if T.enabled tel then begin
+            T.record_int tel "nodes_out" (G.size out);
+            T.record tel "outcome" (T.String "completed")
           end;
           Some out
       | exception Robdd.Node_limit_exceeded ->
           (* graceful blowup: the caller gets [None], never an
              exception; telemetry records a Timed_out-style outcome *)
-          T.count "bdd.blowup";
-          T.record "outcome" (T.String "timed_out");
+          T.count tel "bdd.blowup";
+          T.record tel "outcome" (T.String "timed_out");
           None
       | exception Lsutil.Budget.Exhausted reason ->
           (* the unified budget (deadline or cross-layer node cap) blew
              mid-build: same graceful degradation as a local blowup *)
-          T.count "bdd.blowup";
-          T.record "outcome" (T.String "timed_out");
-          T.record "budget" (T.String (Lsutil.Budget.reason_name reason));
+          T.count tel "bdd.blowup";
+          T.record tel "outcome" (T.String "timed_out");
+          T.record tel "budget" (T.String (Lsutil.Budget.reason_name reason));
           None)

@@ -17,6 +17,7 @@ val to_network :
     PIs are declared in level order. *)
 
 val run :
+  ?ctx:Lsutil.Ctx.t ->
   ?node_limit:int ->
   ?reorder:bool ->
   seed:int ->

@@ -10,13 +10,13 @@ let shuffle rng a =
   done;
   a
 
-let cost_of ~node_limit n order =
-  let man = Robdd.manager ~node_limit () in
+let cost_of ?ctx ~node_limit n order =
+  let man = Robdd.manager ?ctx ~node_limit () in
   match Builder.of_network man ~order n with
   | roots -> Some (Robdd.size man (List.map snd roots))
   | exception Robdd.Node_limit_exceeded -> None
 
-let best_order ?(tries = 2) ?(node_limit = 1_000_000) ~seed n =
+let best_order ?ctx ?(tries = 2) ?(node_limit = 1_000_000) ~seed n =
   (* probing an order does not need the full budget: an order that
      exceeds a few hundred thousand nodes will not be chosen anyway *)
   let node_limit = min node_limit 300_000 in
@@ -34,7 +34,7 @@ let best_order ?(tries = 2) ?(node_limit = 1_000_000) ~seed n =
   let best =
     List.fold_left
       (fun acc order ->
-        match cost_of ~node_limit n order with
+        match cost_of ?ctx ~node_limit n order with
         | None -> acc
         | Some c -> (
             match acc with
@@ -46,14 +46,14 @@ let best_order ?(tries = 2) ?(node_limit = 1_000_000) ~seed n =
   | Some (_, order) -> order
   | None -> dfs
 
-let order_cost ~node_limit n order =
-  cost_of ~node_limit n order
+let order_cost ?ctx ~node_limit n order =
+  cost_of ?ctx ~node_limit n order
 
 (* Sliding-window refinement: try all permutations of each window of
    [width] adjacent levels, keep the best, sweep until a full pass
    makes no improvement (classic window reordering, the practical
    little sibling of sifting). *)
-let window_refine ?(width = 3) ?(node_limit = 300_000) ?(max_sweeps = 3) n
+let window_refine ?ctx ?(width = 3) ?(node_limit = 300_000) ?(max_sweeps = 3) n
     order =
   let permutations xs =
     let rec go = function
@@ -69,7 +69,7 @@ let window_refine ?(width = 3) ?(node_limit = 300_000) ?(max_sweeps = 3) n
     go xs
   in
   let best = ref (Array.copy order) in
-  let best_cost = ref (order_cost ~node_limit n !best) in
+  let best_cost = ref (order_cost ?ctx ~node_limit n !best) in
   if !best_cost = None then !best
   else begin
     let improved = ref true in
@@ -84,7 +84,7 @@ let window_refine ?(width = 3) ?(node_limit = 300_000) ?(max_sweeps = 3) n
             if perm <> window then begin
               let cand = Array.copy !best in
               List.iteri (fun i v -> cand.(pos + i) <- v) perm;
-              match (order_cost ~node_limit n cand, !best_cost) with
+              match (order_cost ?ctx ~node_limit n cand, !best_cost) with
               | Some c, Some bc when c < bc ->
                   best := cand;
                   best_cost := Some c;

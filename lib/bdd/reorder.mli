@@ -6,6 +6,7 @@
     diagrams under a node budget, and the smallest result wins. *)
 
 val best_order :
+  ?ctx:Lsutil.Ctx.t ->
   ?tries:int ->
   ?node_limit:int ->
   seed:int ->
@@ -16,6 +17,7 @@ val best_order :
     deterministic candidates (default 2). *)
 
 val window_refine :
+  ?ctx:Lsutil.Ctx.t ->
   ?width:int ->
   ?node_limit:int ->
   ?max_sweeps:int ->

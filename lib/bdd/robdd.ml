@@ -9,6 +9,9 @@ type man = {
   unique : (int * int * int, int) Hashtbl.t;
   ite_cache : (int * int * int, int) Hashtbl.t;
   node_limit : int;
+  ctx : Lsutil.Ctx.t;
+  bud : Lsutil.Budget.t; (* alias into [ctx] for the hot charge site *)
+  flt : Lsutil.Fault.t;
 }
 
 type t = int
@@ -17,7 +20,8 @@ exception Node_limit_exceeded
 
 let terminal_var = max_int
 
-let manager ?(node_limit = 8_000_000) () =
+let manager ?ctx ?(node_limit = 8_000_000) () =
+  let ctx = match ctx with Some c -> c | None -> Lsutil.Ctx.create () in
   let m =
     {
       vars = Vec.create ();
@@ -26,6 +30,9 @@ let manager ?(node_limit = 8_000_000) () =
       unique = Hashtbl.create 4096;
       ite_cache = Hashtbl.create 4096;
       node_limit;
+      ctx;
+      bud = Lsutil.Ctx.budget ctx;
+      flt = Lsutil.Ctx.fault ctx;
     }
   in
   (* constants *)
@@ -54,12 +61,12 @@ let num_allocated m = Vec.length m.vars - 2
    a fresh node: a structurally valid but functionally wrong BDD that
    only downstream verification can catch.  Returns [-1] (= no fault)
    on the hot path so [mk] stays allocation-free. *)
-let fault_bdd lo =
-  match Lsutil.Fault.fire "bdd" with
+let fault_bdd m lo =
+  match Lsutil.Fault.fire m.flt "bdd" with
   | None -> -1
   | Some Lsutil.Fault.Corrupt -> lo
   | Some Lsutil.Fault.Raise -> raise (Lsutil.Fault.Injected "bdd")
-  | Some Lsutil.Fault.Exhaust -> Lsutil.Budget.exhaust ()
+  | Some Lsutil.Fault.Exhaust -> Lsutil.Budget.exhaust m.bud
 
 let mk m v lo hi =
   if lo = hi then lo
@@ -68,15 +75,15 @@ let mk m v lo hi =
     match Hashtbl.find_opt m.unique key with
     | Some id -> id
     | None ->
-        let injected = if Lsutil.Fault.enabled () then fault_bdd lo else -1 in
+        let injected = if Lsutil.Fault.enabled m.flt then fault_bdd m lo else -1 in
         if injected >= 0 then injected
         else begin
           if Vec.length m.vars - 2 >= m.node_limit then
             raise Node_limit_exceeded;
-          (* BDD nodes count against the same ambient budget as MIG and
+          (* BDD nodes count against the same context budget as MIG and
              AIG arena nodes; this also keeps long builds
              deadline-responsive (no-op when no budget is installed) *)
-          Lsutil.Budget.note_nodes 1;
+          Lsutil.Budget.note_nodes m.bud 1;
           let id = Vec.push m.vars v in
           ignore (Vec.push m.lows lo);
           ignore (Vec.push m.highs hi);

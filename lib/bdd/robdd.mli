@@ -13,7 +13,7 @@ type t = int
 
 exception Node_limit_exceeded
 
-val manager : ?node_limit:int -> unit -> man
+val manager : ?ctx:Lsutil.Ctx.t -> ?node_limit:int -> unit -> man
 (** Fresh manager.  [node_limit] bounds the total number of nodes ever
     allocated; exceeding it raises {!Node_limit_exceeded}. *)
 

@@ -1,9 +1,6 @@
-let enabled () =
-  match Sys.getenv_opt "MIG_CHECK" with
-  | None -> false
-  | Some v -> (
-      match String.lowercase_ascii (String.trim v) with
-      | "1" | "true" | "on" | "yes" -> true
-      | _ -> false)
+(* The checker's policy is carried by the execution context
+   ([Lsutil.Ctx.check]); this module is just the resolution one-liner
+   every [?check] parameter goes through.  The [MIG_CHECK] environment
+   variable is parsed once, in [Lsutil.Env]. *)
 
-let resolve = function Some b -> b | None -> enabled ()
+let resolve ~default = function Some b -> b | None -> default

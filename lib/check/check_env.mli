@@ -1,16 +1,15 @@
-(** Environment-driven defaults for the checker.
+(** Check-policy resolution.
 
-    Every [?check] flag on an optimization pass defaults to
-    [enabled ()], so exporting [MIG_CHECK=1] turns the whole code base
-    into its self-verifying variant (pre/post lint plus a
-    random-simulation miter around each pass) without touching call
-    sites. *)
+    Every [?check] flag on an optimization pass resolves against the
+    policy of the execution context the pass runs under
+    ([Lsutil.Ctx.check]), so building a context with [~check:true] —
+    or exporting [MIG_CHECK=1], which [Ctx.default] parses via
+    [Lsutil.Env] — turns the whole code base into its self-verifying
+    variant (pre/post lint plus a random-simulation miter around each
+    pass) without touching call sites.  There is no hidden
+    environment read here. *)
 
-val enabled : unit -> bool
-(** [true] iff [MIG_CHECK] is set to [1], [true], [on] or [yes]
-    (case-insensitive).  Read afresh on every call, so tests can
-    toggle it with [Unix.putenv]. *)
-
-val resolve : bool option -> bool
-(** [resolve flag] is [flag] when given, [enabled ()] otherwise — the
-    one-liner every [?check] parameter goes through. *)
+val resolve : default:bool -> bool option -> bool
+(** [resolve ~default flag] is [flag] when given, [default] (the ctx
+    policy) otherwise — the one-liner every [?check] parameter goes
+    through. *)

@@ -2,8 +2,8 @@ module N = Network.Graph
 module S = Network.Signal
 module G = Graph
 
-let of_network net =
-  let g = G.create () in
+let of_network ?ctx net =
+  let g = G.create ?ctx () in
   G.reserve g (N.num_nodes net);
   let map = Array.make (N.num_nodes net) (G.const0 g) in
   List.iter (fun id -> map.(id) <- G.add_pi g (N.pi_name net id)) (N.pis net);
@@ -32,8 +32,8 @@ let to_network g =
   List.iter (fun (name, s) -> N.add_po net name (value s)) (G.pos g);
   net
 
-let of_aig a =
-  let g = G.create () in
+let of_aig ?ctx a =
+  let g = G.create ?ctx () in
   G.reserve g (Aig.Graph.num_nodes a);
   let map = Array.make (Aig.Graph.num_nodes a) (G.const0 g) in
   List.iter
@@ -45,7 +45,7 @@ let of_aig a =
   g
 
 let to_aig g =
-  let a = Aig.Graph.create () in
+  let a = Aig.Graph.create ~ctx:(G.ctx g) () in
   let map = Array.make (G.num_nodes g) (Aig.Graph.const0 a) in
   List.iter (fun id -> map.(id) <- Aig.Graph.add_pi a (G.pi_name g id)) (G.pis g);
   let value s = S.xor_complement map.(S.node s) (S.is_complement s) in

@@ -2,16 +2,18 @@
 
 type mig := Graph.t
 
-val of_network : Network.Graph.t -> mig
+val of_network : ?ctx:Lsutil.Ctx.t -> Network.Graph.t -> mig
 (** Transpose a primitive network into an MIG: AND/OR become majority
     nodes with a constant third input (Theorem 3.1), XOR uses the
-    two-level three-node form, MUX three nodes. *)
+    two-level three-node form, MUX three nodes.  The MIG is created
+    under [ctx] (default: a fresh quiet context). *)
 
 val to_network : mig -> Network.Graph.t
 (** One MAJ gate per node. *)
 
-val of_aig : Aig.Graph.t -> mig
+val of_aig : ?ctx:Lsutil.Ctx.t -> Aig.Graph.t -> mig
 (** Corollary 3.2: every AIG transposes node-for-node. *)
 
 val to_aig : mig -> Aig.Graph.t
-(** Each majority node expands to four AND nodes. *)
+(** Each majority node expands to four AND nodes; the AIG inherits
+    the MIG's context. *)

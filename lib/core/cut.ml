@@ -23,6 +23,7 @@ let merge2 a b =
 
 let enumerate ~k ~max_cuts g =
   let n = G.num_nodes g in
+  let budget = Lsutil.Ctx.budget (G.ctx g) in
   let reach = G.reachable g in
   let cuts : t list array = Array.make n [] in
   let rec take n = function
@@ -31,7 +32,7 @@ let enumerate ~k ~max_cuts g =
     | x :: rest -> x :: take (n - 1) rest
   in
   for i = 0 to n - 1 do
-    Lsutil.Budget.poll ();
+    Lsutil.Budget.poll budget;
     if i = 0 then cuts.(i) <- [ [||] ]
     else if G.is_pi g i then cuts.(i) <- [ [| i |] ]
     else if not reach.(i) then

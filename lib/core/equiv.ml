@@ -7,7 +7,7 @@ let migs ~seed a b =
 
 let by_bdd ?(node_limit = 2_000_000) a b =
   let na = Convert.to_network a and nb = Convert.to_network b in
-  let man = Bdd.Robdd.manager ~node_limit () in
+  let man = Bdd.Robdd.manager ~ctx:(Graph.ctx a) ~node_limit () in
   let order = Bdd.Builder.dfs_order na in
   (* align b's PIs by name to a's order *)
   let name_at = Array.map (Network.Graph.pi_name na) order in

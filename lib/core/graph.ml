@@ -8,6 +8,12 @@ module Ih = Lsutil.Inthash
    every store a plain write (no caml_modify barrier) and one growth
    check covers all three fanins of a node. *)
 type t = {
+  ctx : Lsutil.Ctx.t;
+  (* direct aliases into [ctx], so the hot paths pay one record load
+     instead of an accessor call per probe *)
+  tel : Lsutil.Telemetry.t;
+  bud : Lsutil.Budget.t;
+  flt : Lsutil.Fault.t;
   mutable fan : int array;
   mutable nn : int; (* number of nodes; 3 * nn ints of [fan] are live *)
   strash : Ih.t; (* packed (f0, f1, f2) -> id, no boxed keys *)
@@ -44,12 +50,12 @@ let ensure_fan g n =
   end
 
 (* Append a node with fanin slots [x; y; z]; returns its id.  Charges
-   one node to the ambient [Lsutil.Budget] (a no-op load-and-branch
-   when no budget is installed): the arena only ever grows here, so
-   this single site enforces the max-node cap for every construction
-   path. *)
+   one node to the owning context's [Lsutil.Budget] (a no-op
+   load-and-branch when no budget is installed): the arena only ever
+   grows here, so this single site enforces the max-node cap for every
+   construction path. *)
 let push_node g x y z =
-  Lsutil.Budget.note_nodes 1;
+  Lsutil.Budget.note_nodes g.bud 1;
   let id = g.nn in
   if 3 * (id + 1) > Array.length g.fan then ensure_fan g (id + 1);
   let b = 3 * id in
@@ -59,9 +65,14 @@ let push_node g x y z =
   g.nn <- id + 1;
   id
 
-let create () =
+let create ?ctx () =
+  let ctx = match ctx with Some c -> c | None -> Lsutil.Ctx.create () in
   let g =
     {
+      ctx;
+      tel = Lsutil.Ctx.stats ctx;
+      bud = Lsutil.Ctx.budget ctx;
+      flt = Lsutil.Ctx.fault ctx;
       fan = Array.make 48 0;
       nn = 0;
       strash = Ih.create ~capacity:4096 ();
@@ -86,6 +97,8 @@ let create () =
   in
   ignore (push_node g (-2) (-2) (-2));
   g
+
+let ctx g = g.ctx
 
 let reserve g n =
   ensure_fan g n;
@@ -158,17 +171,17 @@ let find_maj g a b c =
    (silent corruption, caught by the engine's miter), raise, or blow
    the ambient budget.  Out of line: the disarmed check in [maj] is a
    single load and branch. *)
-let fault_strash s =
-  match Lsutil.Fault.fire "strash" with
+let fault_strash g s =
+  match Lsutil.Fault.fire g.flt "strash" with
   | None -> s
   | Some Lsutil.Fault.Corrupt -> S.not_ s
   | Some Lsutil.Fault.Raise -> raise (Lsutil.Fault.Injected "strash")
-  | Some Lsutil.Fault.Exhaust -> Lsutil.Budget.exhaust ()
+  | Some Lsutil.Fault.Exhaust -> Lsutil.Budget.exhaust g.bud
 
 let maj_core g a b c =
   let folded = fold_m_int a b c in
   if folded >= 0 then begin
-    Lsutil.Telemetry.count "maj.fold";
+    Lsutil.Telemetry.count g.tel "maj.fold";
     S.unsafe_of_int folded
   end
   else begin
@@ -199,15 +212,15 @@ let maj_core g a b c =
     let fresh_id = g.nn in
     let id = Ih.find_or_add g.strash x y z fresh_id in
     if id = fresh_id then begin
-      Lsutil.Telemetry.count "strash.miss";
+      Lsutil.Telemetry.count g.tel "strash.miss";
       ignore (push_node g x y z)
     end
-    else Lsutil.Telemetry.count "strash.hit";
+    else Lsutil.Telemetry.count g.tel "strash.hit";
     S.make id inv
   end
 
 let maj g a b c =
-  if Lsutil.Fault.enabled () then fault_strash (maj_core g a b c)
+  if Lsutil.Fault.enabled g.flt then fault_strash g (maj_core g a b c)
   else maj_core g a b c
 
 let and_ g a b = maj g a b (const0 g)
@@ -403,7 +416,7 @@ let depth g =
    strash insert per node.  Visits fanins in stored order, exactly
    like {!cleanup}, so the output is bit-identical to [cleanup g]. *)
 let compact g =
-  let fresh = create () in
+  let fresh = create ~ctx:g.ctx () in
   let nn = num_nodes g in
   reserve fresh nn;
   let map = Array.make (max nn 1) (-1) in
@@ -459,7 +472,7 @@ let compact g =
   fresh
 
 let cleanup g =
-  let fresh = create () in
+  let fresh = create ~ctx:g.ctx () in
   let map = Array.make (num_nodes g) None in
   map.(0) <- Some (const0 fresh);
   List.iter (fun id -> map.(id) <- Some (add_pi fresh (pi_name g id))) (pis g);

@@ -19,7 +19,17 @@ type t
 
 module S := Network.Signal
 
-val create : unit -> t
+val create : ?ctx:Lsutil.Ctx.t -> unit -> t
+(** A fresh empty graph.  The graph carries its execution context:
+    telemetry counting, budget charging and strash-site fault
+    injection all run against [ctx]'s services.  Defaults to a fresh
+    quiet [Lsutil.Ctx.create ()] — no telemetry, no budget, no
+    faults — so plain library use pays only the disabled-path
+    load-and-branch per probe. *)
+
+val ctx : t -> Lsutil.Ctx.t
+(** The context the graph was created under.  Derived graphs
+    ({!cleanup}, {!compact}, [Transform] rebuilds) inherit it. *)
 
 val reserve : t -> int -> unit
 (** [reserve g n] pre-sizes the node arrays and structural-hash table

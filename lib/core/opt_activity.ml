@@ -1,7 +1,7 @@
 module G = Graph
 
 let optimize ~effort ~pi_prob g =
-  Lsutil.Telemetry.record_int "effort" effort;
+  Lsutil.Telemetry.record_int (Lsutil.Ctx.stats (G.ctx g)) "effort" effort;
   let act g = Activity.total ?pi_prob g in
   let cost g = (act g, G.size g) in
   (* size optimization is only a starting point: keep it only when it
@@ -12,7 +12,7 @@ let optimize ~effort ~pi_prob g =
   let best = ref (if cost sized < cost g0 then sized else g0) in
   let cur = ref !best in
   for _cycle = 1 to effort do
-    Lsutil.Budget.poll ();
+    Lsutil.Budget.poll (Lsutil.Ctx.budget (G.ctx g));
     cur := Transform.relevance !cur;
     cur := Transform.eliminate !cur;
     if cost !cur < cost !best then best := !cur else cur := !best;

@@ -10,7 +10,7 @@ let saturate pass g ~max_iter =
   let continue_ = ref true in
   let iter = ref 0 in
   while !continue_ && !iter < max_iter do
-    Lsutil.Budget.poll ();
+    Lsutil.Budget.poll (Lsutil.Ctx.budget (G.ctx g));
     incr iter;
     let next = pass !cur in
     if G.depth next < G.depth !cur then cur := next else continue_ := false
@@ -18,12 +18,12 @@ let saturate pass g ~max_iter =
   !cur
 
 let optimize ~effort ~size_recovery g =
-  Lsutil.Telemetry.record_int "effort" effort;
+  Lsutil.Telemetry.record_int (Lsutil.Ctx.stats (G.ctx g)) "effort" effort;
   let best = ref (G.cleanup g) in
   let original_depth = G.depth !best in
   let cur = ref !best in
   for _cycle = 1 to effort do
-    Lsutil.Budget.poll ();
+    Lsutil.Budget.poll (Lsutil.Ctx.budget (G.ctx g));
     (* derived-identity rewriting: transpose AOIG structures into
        native majority/parity forms before pushing up *)
     cur := Transform.rewrite_patterns !cur;

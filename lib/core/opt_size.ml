@@ -5,11 +5,11 @@ let cost g = (G.size g, G.depth g)
 let better a b = cost a < cost b
 
 let optimize ~effort g =
-  Lsutil.Telemetry.record_int "effort" effort;
+  Lsutil.Telemetry.record_int (Lsutil.Ctx.stats (G.ctx g)) "effort" effort;
   let best = ref (G.cleanup g) in
   let cur = ref !best in
   for _cycle = 1 to effort do
-    Lsutil.Budget.poll ();
+    Lsutil.Budget.poll (Lsutil.Ctx.budget (G.ctx g));
     (* collapse AOIG patterns into majority nodes, then eliminate *)
     cur := Transform.rewrite_patterns ~mode:`Size !cur;
     if better !cur !best then best := !cur;

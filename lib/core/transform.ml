@@ -2,6 +2,11 @@ module S = Network.Signal
 module G = Graph
 module Tel = Lsutil.Telemetry
 
+(* every pass derives its services from the graph's own context *)
+let tel g = Lsutil.Ctx.stats (G.ctx g)
+let bud g = Lsutil.Ctx.budget (G.ctx g)
+let flt g = Lsutil.Ctx.fault (G.ctx g)
+
 (* ----- shared helpers ----- *)
 
 (* Memoized level function over a (growing) fresh graph: a flat int
@@ -81,27 +86,13 @@ let common2 fa fb =
       Option.map (fun v -> (c1, c2, u, v)) !v
   | _ -> None
 
-(* Reusable old-id -> fresh-signal scratch for rebuilds.  Every pass
-   needs a [num_nodes]-sized map; allocating it afresh sixteen times
-   per optimization script is pure GC churn, so one arena array is
-   recycled across passes (packed signals with -1 as "unbuilt", no
-   option boxing).  [arena_busy] falls back to a private array if a
-   rebuild ever nests inside another. *)
-let arena = ref [||]
-let arena_busy = ref false
-
-let with_rebuild_map n k =
-  if !arena_busy then k (Array.make n (-1))
-  else begin
-    arena_busy := true;
-    Fun.protect
-      ~finally:(fun () -> arena_busy := false)
-      (fun () ->
-        if Array.length !arena < n then
-          arena := Array.make (max n (2 * Array.length !arena)) (-1)
-        else Array.fill !arena 0 n (-1);
-        k !arena)
-  end
+(* Rebuilds borrow their old-id -> fresh-signal scratch from the
+   graph's context ([Ctx.with_scratch]): every pass needs a
+   [num_nodes]-sized map, and allocating it afresh sixteen times per
+   optimization script is pure GC churn.  The ctx pool hands nested
+   rebuilds distinct buffers, so nesting is correct by construction
+   (the old global arena had a [arena_busy] flag that silently fell
+   back to a fresh unpooled array). *)
 
 (* Demand-driven rebuild skeleton.  [init fresh] may set up
    per-rebuild state and returns the node constructor, which receives
@@ -124,12 +115,14 @@ let with_rebuild_map n k =
 exception Need of int
 
 let rebuild_with g init =
-  let fresh = G.create () in
+  let ctx = G.ctx g in
+  let fresh = G.create ~ctx () in
   (* the rebuilt graph rarely exceeds the source; pre-sizing its node
      arrays and strash avoids growth rehashes on every pass *)
   G.reserve fresh (G.num_nodes g);
   let construct = init fresh in
-  with_rebuild_map (G.num_nodes g) @@ fun map ->
+  let budget = Lsutil.Ctx.budget ctx in
+  Lsutil.Ctx.with_scratch ctx (G.num_nodes g) @@ fun map ->
   map.(0) <- (G.const0 fresh : S.t :> int);
   List.iter
     (fun id -> map.(id) <- (G.add_pi fresh (G.pi_name g id) : S.t :> int))
@@ -158,7 +151,7 @@ let rebuild_with g init =
     if map.(root) < 0 then begin
       Lsutil.Istack.push stack root;
       while not (Lsutil.Istack.is_empty stack) do
-        Lsutil.Budget.poll ();
+        Lsutil.Budget.poll budget;
         let id = Lsutil.Istack.top stack in
         if map.(id) >= 0 then Lsutil.Istack.pop stack
         else
@@ -227,7 +220,7 @@ let eliminate g =
         in
         match candidate with
         | Some (c1, c2, u, v, z) ->
-            Tel.count "rewrites";
+            Tel.count (tel g) "rewrites";
             G.maj fresh c1 c2 (G.maj fresh u v z)
         | None -> G.maj fresh m.(0) m.(1) m.(2))
 
@@ -343,7 +336,7 @@ let push_up g =
         in
         match best with
         | Some (lvl, _, thunk) when lvl < copy_level ->
-            Tel.count "rewrites";
+            Tel.count (tel g) "rewrites";
             thunk ()
         | _ -> G.maj fresh m.(0) m.(1) m.(2)
         end)
@@ -433,7 +426,7 @@ let subst_cone g fresh ~value ~target ~redirect root =
   in
   Lsutil.Istack.push stack root;
   while not (Lsutil.Istack.is_empty stack) do
-    Lsutil.Budget.poll ();
+    Lsutil.Budget.poll (bud g);
     let nid = Lsutil.Istack.top stack in
     if Hashtbl.mem memo nid then Lsutil.Istack.pop stack
     else if not (G.is_maj g nid) then begin
@@ -470,7 +463,7 @@ let relevance_rebuild g plan =
             let xv = value x and yv = value y in
             (* counted only after the [value] demands above: the
                retry-driver may re-run this constructor *)
-            Tel.count "rewrites";
+            Tel.count (tel g) "rewrites";
             (* Rebuild the cone of z, replacing edges onto node(x):
                an edge equal to x becomes y', its complement becomes y. *)
             let redirect e =
@@ -588,7 +581,7 @@ let substitution ?(max_candidates = 8) ~on_critical g =
                 (G.maj fresh (S.not_ vv) k_vu' (S.not_ uv))
             in
             if level cand < level copy then begin
-              Tel.count "rewrites";
+              Tel.count (tel g) "rewrites";
               cand
             end
             else copy)
@@ -738,7 +731,7 @@ let rewrite_patterns ?(k = 3) ?(max_cuts = 8) ?(mode = `Depth) g =
           cuts.(id);
         match !best with
         | Some (_, s) ->
-            Tel.count "rewrites";
+            Tel.count (tel g) "rewrites";
             s
         | None -> copy)
 
@@ -887,7 +880,7 @@ let refactor ?(max_leaves = 10) g =
           | Some (cut, form) ->
               let leaves = Array.map (fun l -> value (S.make l false)) cut in
               (* counted after the [value] demands: retry-idempotent *)
-              Tel.count "rewrites";
+              Tel.count (tel g) "rewrites";
               build_factored fresh leaves form)
   in
   if G.size result <= G.size g then result else G.compact g
@@ -949,9 +942,15 @@ let reshape_assoc g =
         in
         match candidate with
         | Some build ->
-            Tel.count "rewrites";
+            Tel.count (tel g) "rewrites";
             build ()
         | None -> copy ())
+
+(* Shared immutable tables must be materialized before domains spawn:
+   concurrent first [Lazy.force] of the same thunk from two domains
+   raises [Lazy.Undefined] / races.  [Flow.Batch] calls this once from
+   the spawning domain. *)
+let prewarm () = ignore (Lazy.force pattern_table)
 
 (* ----- telemetry wrappers -----
 
@@ -962,27 +961,28 @@ let reshape_assoc g =
 (* Pass-level fault injection (chaos testing).  [Corrupt] complements
    the first output in place — a structurally clean but functionally
    wrong graph that only the engine's miter can catch. *)
-let fault_transform out =
-  match Lsutil.Fault.fire "transform" with
+let fault_transform g out =
+  match Lsutil.Fault.fire (flt g) "transform" with
   | None -> out
   | Some Lsutil.Fault.Corrupt ->
       if G.num_pos out > 0 then G.Unsafe.flip_po out 0;
       out
   | Some Lsutil.Fault.Raise -> raise (Lsutil.Fault.Injected "transform")
-  | Some Lsutil.Fault.Exhaust -> Lsutil.Budget.exhaust ()
+  | Some Lsutil.Fault.Exhaust -> Lsutil.Budget.exhaust (bud g)
 
 let traced name pass g =
-  Tel.span name (fun () ->
-      Lsutil.Budget.poll ();
-      if Tel.enabled () then begin
-        Tel.record_int "nodes_in" (G.size g);
-        Tel.record_int "depth_in" (G.depth g)
+  let t = tel g in
+  Tel.span t name (fun () ->
+      Lsutil.Budget.poll (bud g);
+      if Tel.enabled t then begin
+        Tel.record_int t "nodes_in" (G.size g);
+        Tel.record_int t "depth_in" (G.depth g)
       end;
       let out = pass g in
-      let out = if Lsutil.Fault.enabled () then fault_transform out else out in
-      if Tel.enabled () then begin
-        Tel.record_int "nodes_out" (G.size out);
-        Tel.record_int "depth_out" (G.depth out)
+      let out = if Lsutil.Fault.enabled (flt g) then fault_transform g out else out in
+      if Tel.enabled t then begin
+        Tel.record_int t "nodes_out" (G.size out);
+        Tel.record_int t "depth_out" (G.depth out)
       end;
       out)
 

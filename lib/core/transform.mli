@@ -75,3 +75,9 @@ val traced : string -> (mig -> mig) -> mig -> mig
     records nodes/depth in → out (the instrumentation every pass
     above already carries; exposed for the optimization loops and
     external passes). *)
+
+val prewarm : unit -> unit
+(** Force the lazily-built shared pattern table.  Call once from the
+    spawning domain before running transforms concurrently in several
+    domains ([Flow.Batch] does): a first [Lazy.force] racing across
+    domains is unsound in OCaml 5. *)

@@ -1,0 +1,151 @@
+(* Multi-domain batch driver: the reentrancy proof for the explicit
+   execution context.  Each circuit gets its own fresh ctx and runs a
+   full Engine pipeline; workers are plain domains pulling indices off
+   an atomic counter and writing into disjoint result slots, so the
+   merged output is in input order by construction and bit-identical
+   for any job count. *)
+
+module T = Lsutil.Telemetry
+module Ctx = Lsutil.Ctx
+module G = Mig.Graph
+
+type spec = {
+  goal : [ `Size | `Depth | `Activity ];
+  effort : int;
+  timeout_s : float option;
+  max_nodes : int option;
+  verify : bool option;
+  seed : int;
+}
+
+let default_spec =
+  {
+    goal = `Size;
+    effort = 2;
+    timeout_s = None;
+    max_nodes = None;
+    verify = None;
+    seed = 1;
+  }
+
+type item = { name : string; build : unit -> Network.Graph.t }
+
+type outcome = {
+  name : string;
+  size_in : int;
+  depth_in : int;
+  size_out : int;
+  depth_out : int;
+  report : Engine.report;
+  time_s : float;
+  telemetry : T.node option;
+}
+
+(* [pmap ~jobs f arr] with a shared atomic work index and one result
+   slot per item.  [Domain.join] provides the happens-before edge that
+   publishes every slot written by a worker; no other synchronisation
+   is needed because slots are disjoint.  [jobs] is taken literally
+   (clamped only to the item count), so tests can force genuine
+   multi-domain execution on any host; {!run} applies the hardware
+   cap. *)
+let pmap ~jobs f arr =
+  let n = Array.length arr in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then Array.mapi f arr
+  else begin
+    let next = Atomic.make 0 in
+    let out = Array.make n None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          out.(i) <- Some (f i arr.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let run_item ~spec ~ctx item =
+  let t0 = Unix.gettimeofday () in
+  let work () =
+    let net = Network.Graph.flatten_aoig (item.build ()) in
+    let m = Mig.Convert.of_network ~ctx net in
+    let size_in = G.size m and depth_in = G.depth m in
+    let passes = Engine.of_goal ~effort:spec.effort spec.goal in
+    let out, report =
+      Engine.run ?verify:spec.verify ?timeout_s:spec.timeout_s
+        ?max_nodes:spec.max_nodes
+        ~cost:(Engine.cost_of_goal spec.goal)
+        ~seed:spec.seed ~passes m
+    in
+    (size_in, depth_in, G.size out, G.depth out, report)
+  in
+  let (size_in, depth_in, size_out, depth_out, report), telemetry =
+    T.capture (Ctx.stats ctx) ("batch:" ^ item.name) work
+  in
+  {
+    name = item.name;
+    size_in;
+    depth_in;
+    size_out;
+    depth_out;
+    report;
+    time_s = Unix.gettimeofday () -. t0;
+    telemetry;
+  }
+
+let run ?(jobs = 1) ?(spec = default_spec) ?make_ctx items =
+  let jobs = min jobs (max 1 (Domain.recommended_domain_count ())) in
+  let make_ctx =
+    match make_ctx with Some f -> f | None -> fun _ _ -> Ctx.create ()
+  in
+  (* the pattern table is the library's only top-level [lazy]; force
+     it before spawning so no two domains race its first Lazy.force *)
+  Mig.Transform.prewarm ();
+  let arr = Array.of_list items in
+  let results =
+    pmap ~jobs (fun i item -> run_item ~spec ~ctx:(make_ctx i item) item) arr
+  in
+  Array.to_list results
+
+(* ----- reporting ----- *)
+
+module J = Lsutil.Json
+
+let outcome_to_json o =
+  J.Obj
+    ([
+       ("name", J.String o.name);
+       ("size_in", J.Int o.size_in);
+       ("depth_in", J.Int o.depth_in);
+       ("size_out", J.Int o.size_out);
+       ("depth_out", J.Int o.depth_out);
+       ("time_s", J.Float o.time_s);
+       ("verified", J.Bool o.report.Engine.verified);
+       ("degraded", J.Bool o.report.Engine.degraded);
+       ("rollbacks", J.Int o.report.Engine.rollbacks);
+       ("report", Engine.report_to_json o.report);
+     ]
+    @
+    match o.telemetry with
+    | Some node -> [ ("telemetry", T.to_json node) ]
+    | None -> [])
+
+let to_json ~jobs outcomes =
+  J.Obj
+    [
+      ("jobs", J.Int jobs);
+      ("circuits", J.List (List.map outcome_to_json outcomes));
+    ]
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "%-12s %6d -> %-6d depth %3d -> %-3d %8.3fs  %s%s"
+    o.name o.size_in o.size_out o.depth_in o.depth_out o.time_s
+    (if o.report.Engine.verified then "verified" else "UNVERIFIED")
+    (if o.report.Engine.degraded then " [degraded]" else "")

@@ -1,0 +1,66 @@
+(** Multi-domain parallel batch driver.
+
+    Runs an independent {!Engine} pipeline on each input circuit,
+    fanning the items over a pool of worker domains (capped at
+    [Domain.recommended_domain_count ()]).  Every {e item} gets its
+    own fresh execution context from [make_ctx], so nothing is shared
+    between concurrently running pipelines — the library holds no
+    process-global service state (DESIGN.md §13).
+
+    Determinism: each item's result depends only on its own ctx and
+    its own input, and results land in per-item slots merged in input
+    order.  A batch run is therefore bit-identical in its structural
+    fields (sizes, depths, outcomes, telemetry trees) for any [jobs]
+    value, including [1]; only wall-clock fields vary. *)
+
+type spec = {
+  goal : [ `Size | `Depth | `Activity ];
+  effort : int;
+  timeout_s : float option;
+  max_nodes : int option;
+  verify : bool option;  (** [None]: each item's ctx policy decides *)
+  seed : int;
+}
+
+val default_spec : spec
+(** [`Size], effort 2, no budget, ctx-resolved verification, seed 1. *)
+
+type item = { name : string; build : unit -> Network.Graph.t }
+(** [build] runs {e inside} the worker domain, so each worker
+    constructs its own private copy of the circuit; networks are never
+    shared across domains. *)
+
+type outcome = {
+  name : string;
+  size_in : int;
+  depth_in : int;
+  size_out : int;
+  depth_out : int;
+  report : Engine.report;
+  time_s : float;  (** wall-clock, the only non-deterministic field *)
+  telemetry : Lsutil.Telemetry.node option;
+      (** the item's captured span tree when its ctx had stats on *)
+}
+
+val run :
+  ?jobs:int ->
+  ?spec:spec ->
+  ?make_ctx:(int -> item -> Lsutil.Ctx.t) ->
+  item list ->
+  outcome list
+(** [run ~jobs items] processes all items on [jobs] worker domains
+    (clamped to the item count and the hardware parallelism; default
+    1) and returns outcomes in input order.  [make_ctx i item] builds
+    the private context for item [i] — default a quiet
+    [Lsutil.Ctx.create ()]; pass e.g.
+    [fun _ _ -> Lsutil.Ctx.default ()] to honour the environment.
+    The MIG pattern table is prewarmed before any domain spawns. *)
+
+val pmap : jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** The underlying pool: applies [f] to every element on [jobs]
+    domains, results in input order.  Exposed for the differential
+    tests. *)
+
+val outcome_to_json : outcome -> Lsutil.Json.t
+val to_json : jobs:int -> outcome list -> Lsutil.Json.t
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -50,17 +50,17 @@ let describe = function
   | Check_guard.Failed f -> Format.asprintf "%a" Check_guard.pp_failure f
   | e -> Printexc.to_string e
 
-let protect ~name f =
+let protect ~tel ~name f =
   match f () with
   | v -> Ok v
   | exception Lsutil.Budget.Exhausted r ->
-      T.count "engine.timed_out";
-      T.record ("engine." ^ name) (T.String (Lsutil.Budget.reason_name r));
+      T.count tel "engine.timed_out";
+      T.record tel ("engine." ^ name) (T.String (Lsutil.Budget.reason_name r));
       Error (Timed_out r)
   | exception e when not (fatal e) ->
-      T.count "engine.failed";
+      T.count tel "engine.failed";
       let msg = describe e in
-      T.record ("engine." ^ name) (T.String msg);
+      T.record tel ("engine." ^ name) (T.String msg);
       Error (Failed msg)
 
 (* A candidate is only checkpointed if it survives the checker: lint
@@ -70,9 +70,9 @@ let protect ~name f =
    compounding across passes.  Runs with the budget suspended (it must
    work after the deadline blew) and the fault plan disarmed (the
    verifier itself must not be faulted). *)
-let candidate_ok ~verify ~seed ~input cand =
-  Lsutil.Budget.suspended (fun () ->
-      Lsutil.Fault.suspended (fun () ->
+let candidate_ok ~bud ~flt ~verify ~seed ~input cand =
+  Lsutil.Budget.suspended bud (fun () ->
+      Lsutil.Fault.suspended flt (fun () ->
           match
             Check_report.is_clean (Mig.Check.lint ~subject:"engine" cand)
             && ((not verify) || Mig.Equiv.migs ~seed input cand)
@@ -82,10 +82,18 @@ let candidate_ok ~verify ~seed ~input cand =
 
 let run ?verify ?timeout_s ?max_nodes ?cost ?size_cap ?(seed = 1)
     ~passes g =
+  let ctx = G.ctx g in
+  let tel = Lsutil.Ctx.stats ctx in
+  let bud = Lsutil.Ctx.budget ctx in
+  let flt = Lsutil.Ctx.fault ctx in
+  let protect ~name f = protect ~tel ~name f in
+  let candidate_ok ~verify ~seed ~input cand =
+    candidate_ok ~bud ~flt ~verify ~seed ~input cand
+  in
   let verify =
     match verify with
     | Some v -> v
-    | None -> Check.Env.enabled () || Lsutil.Fault.enabled ()
+    | None -> Lsutil.Ctx.check ctx || Lsutil.Fault.enabled flt
   in
   let cost =
     match cost with
@@ -93,7 +101,7 @@ let run ?verify ?timeout_s ?max_nodes ?cost ?size_cap ?(seed = 1)
     | None -> fun g -> (float_of_int (G.size g), float_of_int (G.depth g))
   in
   let size_cap = match size_cap with Some c -> c | None -> max_int in
-  T.span "engine" (fun () ->
+  T.span tel "engine" (fun () ->
       (* the input itself is the zeroth checkpoint: whatever happens
          downstream, the caller gets back something at least as good.
          The checkpoint must be trustworthy, so when a fault plan is
@@ -102,15 +110,15 @@ let run ?verify ?timeout_s ?max_nodes ?cost ?size_cap ?(seed = 1)
       let input = g in
       let initial () =
         let pristine () =
-          Lsutil.Budget.suspended (fun () ->
-              Lsutil.Fault.suspended (fun () -> G.cleanup g))
+          Lsutil.Budget.suspended bud (fun () ->
+              Lsutil.Fault.suspended flt (fun () -> G.cleanup g))
         in
-        if not (Lsutil.Fault.enabled () || Lsutil.Budget.active ()) then
+        if not (Lsutil.Fault.enabled flt || Lsutil.Budget.active bud) then
           G.cleanup g
         else
           match protect ~name:"init" (fun () -> G.cleanup g) with
           | Ok b
-            when (not (Lsutil.Fault.enabled ()))
+            when (not (Lsutil.Fault.enabled flt))
                  || candidate_ok ~verify:true ~seed ~input b ->
               b
           | _ -> pristine ()
@@ -124,7 +132,7 @@ let run ?verify ?timeout_s ?max_nodes ?cost ?size_cap ?(seed = 1)
       let record name outcome time_s rolled_back =
         (match outcome_detail outcome with
         | Some d when outcome <> Completed ->
-            T.record ("outcome:" ^ name) (T.String d)
+            T.record tel ("outcome:" ^ name) (T.String d)
         | _ -> ());
         reports :=
           { pass = name; outcome; time_s; size = G.size !cur;
@@ -132,7 +140,7 @@ let run ?verify ?timeout_s ?max_nodes ?cost ?size_cap ?(seed = 1)
           :: !reports
       in
       let step p =
-        if Lsutil.Budget.expired () then record p.name Skipped 0.0 false
+        if Lsutil.Budget.expired bud then record p.name Skipped 0.0 false
         else begin
           let t0 = Unix.gettimeofday () in
           let res = protect ~name:p.name (fun () -> p.run !cur) in
@@ -169,7 +177,7 @@ let run ?verify ?timeout_s ?max_nodes ?cost ?size_cap ?(seed = 1)
           (* the engine's own Exhausted (raised between passes by a
              poll inside [cost] etc.) still lands here *)
           match
-            Lsutil.Budget.with_budget ?deadline_s:timeout_s ?max_nodes body
+            Lsutil.Budget.with_budget bud ?deadline_s:timeout_s ?max_nodes body
           with
           | () -> ()
           | exception Lsutil.Budget.Exhausted _ -> ());
@@ -184,8 +192,8 @@ let run ?verify ?timeout_s ?max_nodes ?cost ?size_cap ?(seed = 1)
              faults out of the picture *)
           incr rollbacks;
           let fallback =
-            Lsutil.Budget.suspended (fun () ->
-                Lsutil.Fault.suspended (fun () -> G.cleanup input))
+            Lsutil.Budget.suspended bud (fun () ->
+                Lsutil.Fault.suspended flt (fun () -> G.cleanup input))
           in
           (fallback, candidate_ok ~verify:true ~seed ~input fallback)
         end
@@ -195,10 +203,10 @@ let run ?verify ?timeout_s ?max_nodes ?cost ?size_cap ?(seed = 1)
         List.exists (fun r -> r.outcome <> Completed) passes
         || not verified
       in
-      if T.enabled () then begin
-        T.record_int "engine.rollbacks" !rollbacks;
-        T.record_int "engine.completed" !finished;
-        T.record "engine.degraded" (T.Bool degraded)
+      if T.enabled tel then begin
+        T.record_int tel "engine.rollbacks" !rollbacks;
+        T.record_int tel "engine.completed" !finished;
+        T.record tel "engine.degraded" (T.Bool degraded)
       end;
       (out, { passes; rollbacks = !rollbacks; degraded; verified }))
 
@@ -207,11 +215,12 @@ let run ?verify ?timeout_s ?max_nodes ?cost ?size_cap ?(seed = 1)
    transform is individually isolated and checkpointed. *)
 
 let saturate_depth pass ~max_iter g =
+  let bud = Lsutil.Ctx.budget (G.ctx g) in
   let cur = ref g in
   let continue_ = ref true in
   let iter = ref 0 in
   while !continue_ && !iter < max_iter do
-    Lsutil.Budget.poll ();
+    Lsutil.Budget.poll bud;
     incr iter;
     let next = pass !cur in
     if G.depth next < G.depth !cur then cur := next else continue_ := false

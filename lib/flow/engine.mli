@@ -57,11 +57,15 @@ val run :
   Mig.Graph.t ->
   Mig.Graph.t * report
 (** [run ~passes g] pushes [g] through [passes] under a
-    [Budget.with_budget ?deadline_s:timeout_s ?max_nodes] budget.
+    [Budget.with_budget ?deadline_s:timeout_s ?max_nodes] scope of the
+    graph's context budget ([Lsutil.Ctx.budget (Mig.Graph.ctx g)]) —
+    the engine owns no global state and is reentrant across domains as
+    long as each domain works on graphs of its own context.
 
     [verify] adds the simulation miter against the input to every
-    checkpoint decision; it defaults to [MIG_CHECK] ({!Check.Env}) or
-    whenever a fault plan is armed.  [cost] ranks checkpoints
+    checkpoint decision; it defaults to the graph's context check
+    policy ([Lsutil.Ctx.check]) or whenever the context's fault plan
+    is armed.  [cost] ranks checkpoints
     (lexicographic on the float pair; default [(size, depth)]).
     Candidates larger than [size_cap] are never checkpointed (default:
     unlimited).  [seed] drives the miter simulation (default 1).
@@ -70,11 +74,13 @@ val run :
     final checkpoint fails (possible only under injected corruption),
     the engine falls back to [cleanup] of the input. *)
 
-val protect : name:string -> (unit -> 'a) -> ('a, outcome) result
+val protect :
+  tel:Lsutil.Telemetry.t -> name:string -> (unit -> 'a) -> ('a, outcome) result
 (** The engine's exception isolation, exposed for callers that wrap
     non-MIG work (e.g. the technology mapper in the chaos harness):
     [Error] on budget exhaustion and non-fatal exceptions,
-    [Out_of_memory]/[Sys.Break] propagate. *)
+    [Out_of_memory]/[Sys.Break] propagate.  Outcome telemetry lands in
+    [tel]. *)
 
 val of_goal :
   ?effort:int -> [ `Size | `Depth | `Activity ] -> pass list

@@ -1,5 +1,7 @@
 module T = Lsutil.Telemetry
+module Ctx = Lsutil.Ctx
 module Engine = Engine
+module Batch = Batch
 
 type opt_result = {
   size : int;
@@ -15,11 +17,13 @@ let timed = T.time
 
 (* All flows receive the same flattened AND/OR/INV input, as in the
    paper's methodology (§V.A.1). *)
-let flatten net = T.span "flow:flatten" (fun () -> Network.Graph.flatten_aoig net)
+let flatten ctx net =
+  T.span (Ctx.stats ctx) "flow:flatten" (fun () ->
+      Network.Graph.flatten_aoig net)
 
 (* Run [pass] with the transform guard around — not inside — the
    timed region: the reported [time] is the transform alone, and the
-   lint + simulation-miter overhead of [MIG_CHECK=1] lands in
+   lint + simulation-miter overhead of a checking context lands in
    [guard_time] (and in the [guard:*] telemetry spans) instead of
    corrupting the Table-I runtime column. *)
 let guarded_timed ~enabled ~verify_pre ~verify_post pass g =
@@ -34,13 +38,16 @@ let guarded_timed ~enabled ~verify_pre ~verify_post pass g =
     (out, t, t_pre +. t_post)
   end
 
-let mig_opt ?check ?(effort = 3) net =
-  T.span "flow:mig_opt" (fun () ->
-      let net = flatten net in
-      let m = T.span "flow:of_network" (fun () -> Mig.Convert.of_network net) in
+let mig_opt ?check ?(effort = 3) ctx net =
+  T.span (Ctx.stats ctx) "flow:mig_opt" (fun () ->
+      let net = flatten ctx net in
+      let m =
+        T.span (Ctx.stats ctx) "flow:of_network" (fun () ->
+            Mig.Convert.of_network ~ctx net)
+      in
       let opt, time, guard_time =
         guarded_timed
-          ~enabled:(Check.Env.resolve check)
+          ~enabled:(Check.Env.resolve ~default:(Ctx.check ctx) check)
           ~verify_pre:(Mig.Check.verify_pre ~name:"opt_depth")
           ~verify_post:(Mig.Check.verify_post ~name:"opt_depth")
           (Mig.Opt_depth.run ~check:false ~effort)
@@ -55,13 +62,16 @@ let mig_opt ?check ?(effort = 3) net =
           guard_time;
         } ))
 
-let aig_opt ?check ?(effort = 2) net =
-  T.span "flow:aig_opt" (fun () ->
-      let net = flatten net in
-      let a = T.span "flow:of_network" (fun () -> Aig.Convert.of_network net) in
+let aig_opt ?check ?(effort = 2) ctx net =
+  T.span (Ctx.stats ctx) "flow:aig_opt" (fun () ->
+      let net = flatten ctx net in
+      let a =
+        T.span (Ctx.stats ctx) "flow:of_network" (fun () ->
+            Aig.Convert.of_network ~ctx net)
+      in
       let opt, time, guard_time =
         guarded_timed
-          ~enabled:(Check.Env.resolve check)
+          ~enabled:(Check.Env.resolve ~default:(Ctx.check ctx) check)
           ~verify_pre:(Aig.Check.verify_pre ~name:"resyn")
           ~verify_post:(Aig.Check.verify_post ~name:"resyn")
           (Aig.Resyn.run ~check:false ~effort)
@@ -77,44 +87,45 @@ let aig_opt ?check ?(effort = 2) net =
           guard_time;
         } ))
 
-let bds_opt ?(node_limit = 1_500_000) ~seed net =
-  T.span "flow:bds_opt" (fun () ->
-      let net = flatten net in
+let bds_opt ?(node_limit = 1_500_000) ~seed ctx net =
+  let tel = Ctx.stats ctx in
+  T.span tel "flow:bds_opt" (fun () ->
+      let net = flatten ctx net in
       let result, time =
         timed (fun () ->
             (* [Decompose.run] already degrades blowups and budget
                exhaustion to [None]; injected faults out of the BDD
                builder get the same treatment here, so this flow never
                raises on its own behalf *)
-            match Bdd.Decompose.run ~node_limit ~seed net with
+            match Bdd.Decompose.run ~ctx ~node_limit ~seed net with
             | r -> r
             | exception Lsutil.Fault.Injected site ->
-                T.count "bdd.blowup";
-                T.record "outcome" (T.String "failed");
-                T.record "fault" (T.String site);
+                T.count tel "bdd.blowup";
+                T.record tel "outcome" (T.String "failed");
+                T.record tel "fault" (T.String site);
                 None
             | exception Lsutil.Budget.Exhausted reason ->
-                T.count "bdd.blowup";
-                T.record "outcome" (T.String "timed_out");
-                T.record "budget"
+                T.count tel "bdd.blowup";
+                T.record tel "outcome" (T.String "timed_out");
+                T.record tel "budget"
                   (T.String (Lsutil.Budget.reason_name reason));
                 None)
       in
       let result =
         match result with
-        | Some d when Lsutil.Fault.enabled () ->
+        | Some d when Lsutil.Fault.enabled (Ctx.fault ctx) ->
             (* a [Corrupt] fault in the BDD builder yields a valid but
                functionally wrong BDD; only a miter can tell, so
                self-verify whenever a fault plan is armed *)
             let ok =
-              Lsutil.Budget.suspended (fun () ->
-                  Lsutil.Fault.suspended (fun () ->
+              Lsutil.Budget.suspended (Ctx.budget ctx) (fun () ->
+                  Lsutil.Fault.suspended (Ctx.fault ctx) (fun () ->
                       Network.Simulate.equivalent ~seed net d))
             in
             if ok then Some d
             else begin
-              T.count "bdd.corrupt";
-              T.record "outcome" (T.String "failed");
+              T.count tel "bdd.corrupt";
+              T.record tel "outcome" (T.String "failed");
               None
             end
         | r -> r
@@ -134,14 +145,14 @@ let bds_opt ?(node_limit = 1_500_000) ~seed net =
 (* Synthesis runtimes are optimization + mapping; guard overhead is
    excluded the same way as in the optimization flows. *)
 
-let map_timed ?lib net =
-  T.span "flow:map" (fun () ->
-      timed (fun () -> Tech.Mapper.map_network ?lib net))
+let map_timed ?lib ctx net =
+  T.span (Ctx.stats ctx) "flow:map" (fun () ->
+      timed (fun () -> Tech.Mapper.map_network ~ctx ?lib net))
 
-let mig_synth ?check ?effort net =
-  T.span "flow:mig_synth" (fun () ->
-      let opt, r = mig_opt ?check ?effort net in
-      let mapped, t_map = map_timed (Mig.Convert.to_network opt) in
+let mig_synth ?check ?effort ctx net =
+  T.span (Ctx.stats ctx) "flow:mig_synth" (fun () ->
+      let opt, r = mig_opt ?check ?effort ctx net in
+      let mapped, t_map = map_timed ctx (Mig.Convert.to_network opt) in
       {
         area = mapped.Tech.Mapper.area;
         delay = mapped.Tech.Mapper.delay;
@@ -149,10 +160,10 @@ let mig_synth ?check ?effort net =
         time = r.time +. t_map;
       })
 
-let aig_synth ?check ?effort net =
-  T.span "flow:aig_synth" (fun () ->
-      let opt, r = aig_opt ?check ?effort net in
-      let mapped, t_map = map_timed (Aig.Convert.to_network opt) in
+let aig_synth ?check ?effort ctx net =
+  T.span (Ctx.stats ctx) "flow:aig_synth" (fun () ->
+      let opt, r = aig_opt ?check ?effort ctx net in
+      let mapped, t_map = map_timed ctx (Aig.Convert.to_network opt) in
       {
         area = mapped.Tech.Mapper.area;
         delay = mapped.Tech.Mapper.delay;
@@ -160,19 +171,19 @@ let aig_synth ?check ?effort net =
         time = r.time +. t_map;
       })
 
-let cst_synth ?check ?(effort = 2) net =
-  T.span "flow:cst_synth" (fun () ->
-      let a = Aig.Convert.of_network (flatten net) in
+let cst_synth ?check ?(effort = 2) ctx net =
+  T.span (Ctx.stats ctx) "flow:cst_synth" (fun () ->
+      let a = Aig.Convert.of_network ~ctx (flatten ctx net) in
       let opt, t_opt, _guard =
         guarded_timed
-          ~enabled:(Check.Env.resolve check)
+          ~enabled:(Check.Env.resolve ~default:(Ctx.check ctx) check)
           ~verify_pre:(Aig.Check.verify_pre ~name:"resyn:size_only")
           ~verify_post:(Aig.Check.verify_post ~name:"resyn:size_only")
           (fun a -> Aig.Balance.run (Aig.Resyn.size_only ~check:false ~effort a))
           a
       in
       let mapped, t_map =
-        map_timed ~lib:Tech.Cells.no_majority (Aig.Convert.to_network opt)
+        map_timed ~lib:Tech.Cells.no_majority ctx (Aig.Convert.to_network opt)
       in
       {
         area = mapped.Tech.Mapper.area;

@@ -3,11 +3,21 @@
     Logic-optimization flows (Table I top) return the optimized
     object's native metrics; synthesis flows (Table I bottom) map the
     optimized logic onto the standard-cell library and return the
-    estimated {delay, area, power}. *)
+    estimated {delay, area, power}.
+
+    Every flow takes an explicit execution context ({!Lsutil.Ctx.t}):
+    telemetry, budget, fault plan and check policy all come from it,
+    never from process globals, so independent flows may run
+    concurrently — one ctx per domain (see {!Batch}). *)
 
 module Engine : module type of Engine
 (** The fault-tolerant pass engine ({!Engine.run}): budgets,
     checkpoint/rollback, structured per-pass outcomes. *)
+
+module Batch : module type of Batch
+(** Multi-domain parallel batch driver: independent {!Engine}
+    pipelines over N circuits, one worker domain and one ctx each,
+    merged deterministically by input order. *)
 
 type opt_result = {
   size : int;
@@ -16,7 +26,7 @@ type opt_result = {
   time : float;
       (** Transform wall-clock in seconds — the guard (when enabled)
           runs and is timed outside this, so Table-I runtimes are
-          comparable whether or not [MIG_CHECK=1] is set. *)
+          comparable whether or not the ctx checks. *)
   guard_time : float;
       (** Seconds spent in [verify_pre]/[verify_post] around the
           transform; [0.] when the guard is disabled. *)
@@ -32,20 +42,29 @@ type syn_result = {
 (** {1 Logic optimization (Table I top)} *)
 
 val mig_opt :
-  ?check:bool -> ?effort:int -> Network.Graph.t -> Mig.Graph.t * opt_result
+  ?check:bool ->
+  ?effort:int ->
+  Lsutil.Ctx.t ->
+  Network.Graph.t ->
+  Mig.Graph.t * opt_result
 (** MIGhty: depth optimization interlaced with size and activity
     recovery (the flow of §V.A.1).  On every flow, [check] runs the
     underlying optimization under its transform guard
     ([Mig.Check.guarded] / [Aig.Check.guarded]); it defaults to the
-    [MIG_CHECK] environment variable. *)
+    context's check policy ([Lsutil.Ctx.check]). *)
 
 val aig_opt :
-  ?check:bool -> ?effort:int -> Network.Graph.t -> Aig.Graph.t * opt_result
+  ?check:bool ->
+  ?effort:int ->
+  Lsutil.Ctx.t ->
+  Network.Graph.t ->
+  Aig.Graph.t * opt_result
 (** ABC stand-in: the resyn2-style script. *)
 
 val bds_opt :
   ?node_limit:int ->
   seed:int ->
+  Lsutil.Ctx.t ->
   Network.Graph.t ->
   (Network.Graph.t * opt_result) option
 (** BDS stand-in: BDD construction with order search, then
@@ -54,12 +73,15 @@ val bds_opt :
 
 (** {1 Synthesis (Table I bottom)} *)
 
-val mig_synth : ?check:bool -> ?effort:int -> Network.Graph.t -> syn_result
+val mig_synth :
+  ?check:bool -> ?effort:int -> Lsutil.Ctx.t -> Network.Graph.t -> syn_result
 (** MIG optimization + technology mapping on the full library. *)
 
-val aig_synth : ?check:bool -> ?effort:int -> Network.Graph.t -> syn_result
+val aig_synth :
+  ?check:bool -> ?effort:int -> Lsutil.Ctx.t -> Network.Graph.t -> syn_result
 (** AIG optimization + the same mapper and library. *)
 
-val cst_synth : ?check:bool -> ?effort:int -> Network.Graph.t -> syn_result
+val cst_synth :
+  ?check:bool -> ?effort:int -> Lsutil.Ctx.t -> Network.Graph.t -> syn_result
 (** Commercial-synthesis-tool proxy: area-oriented AIG script and a
     library without MAJ-3/MIN-3 cells (see DESIGN.md §2). *)

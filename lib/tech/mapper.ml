@@ -73,7 +73,9 @@ type choice =
   | Inverter  (* INV from the opposite phase *)
   | Match of Netcut.t * entry
 
-let map_network_internal ?(lib = Cells.full) ?pi_prob net =
+let map_network_internal ?ctx ?(lib = Cells.full) ?pi_prob net =
+  let ctx = match ctx with Some c -> c | None -> Lsutil.Ctx.create () in
+  let bud = Lsutil.Ctx.budget ctx and flt = Lsutil.Ctx.fault ctx in
   (* decompose the subject graph into 2-input primitives: cut matching
      can then cover majority/parity structures with MAJ-3/XOR-2 cells
      when the library has them, and with NAND/NOR logic when not *)
@@ -99,13 +101,13 @@ let map_network_internal ?(lib = Cells.full) ?pi_prob net =
     end
   in
   G.iter_nodes net (fun id nd ->
-      Lsutil.Budget.poll ();
+      Lsutil.Budget.poll bud;
       (* mapper fault site: matching has no meaningful silent
          corruption, so [Corrupt] degrades to a raise *)
-      (if Lsutil.Fault.enabled () then
-         match Lsutil.Fault.fire "mapper" with
+      (if Lsutil.Fault.enabled flt then
+         match Lsutil.Fault.fire flt "mapper" with
          | None -> ()
-         | Some Lsutil.Fault.Exhaust -> Lsutil.Budget.exhaust ()
+         | Some Lsutil.Fault.Exhaust -> Lsutil.Budget.exhaust bud
          | Some _ -> raise (Lsutil.Fault.Injected "mapper"));
       match nd with
       | G.Const0 | G.Pi _ ->
@@ -249,11 +251,11 @@ let pp_result fmt r =
   Format.fprintf fmt "area = %.2f um2, delay = %.3f ns, power = %.2f uW"
     r.area r.delay r.power
 
-let map_network ?lib ?pi_prob net =
-  let result, _, _ = map_network_internal ?lib ?pi_prob net in
+let map_network ?ctx ?lib ?pi_prob net =
+  let result, _, _ = map_network_internal ?ctx ?lib ?pi_prob net in
   result
 
-let map_and_verify ?lib ?pi_prob ~seed net =
-  let result, cleaned, chosen = map_network_internal ?lib ?pi_prob net in
+let map_and_verify ?ctx ?lib ?pi_prob ~seed net =
+  let result, cleaned, chosen = map_network_internal ?ctx ?lib ?pi_prob net in
   let mapped = cover_to_network cleaned chosen in
   (result, Network.Simulate.equivalent ~seed cleaned mapped)

@@ -19,12 +19,14 @@ type result = {
 }
 
 val map_network :
+  ?ctx:Lsutil.Ctx.t ->
   ?lib:Cells.library ->
   ?pi_prob:(string -> float) ->
   Network.Graph.t ->
   result
 
 val map_and_verify :
+  ?ctx:Lsutil.Ctx.t ->
   ?lib:Cells.library ->
   ?pi_prob:(string -> float) ->
   seed:int ->

@@ -12,13 +12,30 @@ type state = {
   mutable blown : reason option;
 }
 
-(* The single mutable root: [None] when no budget is installed, so the
-   disabled-path cost of [poll]/[note_nodes] is one load and branch. *)
-let current : state option ref = ref None
+(* The handle owned by a [Ctx]: [None] when no budget is installed, so
+   the disabled-path cost of [poll]/[note_nodes] is one extra load and
+   a branch.  There is no process-global budget — two contexts never
+   share a handle. *)
+type t = { mutable current : state option }
 
 let poll_interval = 256
 
-let active () = !current <> None
+let make_state ?deadline_s ?max_nodes () =
+  let deadline =
+    match deadline_s with
+    | Some d -> Unix.gettimeofday () +. d
+    | None -> infinity
+  in
+  let cap = match max_nodes with Some n -> n | None -> max_int in
+  { deadline; max_nodes = cap; nodes = 0; countdown = poll_interval;
+    blown = None }
+
+let create ?deadline_s ?max_nodes () =
+  match (deadline_s, max_nodes) with
+  | None, None -> { current = None }
+  | _ -> { current = Some (make_state ?deadline_s ?max_nodes ()) }
+
+let active t = t.current <> None
 
 let blow st r =
   st.blown <- Some r;
@@ -28,15 +45,15 @@ let clock_check st =
   st.countdown <- poll_interval;
   if Unix.gettimeofday () > st.deadline then blow st Deadline
 
-let poll () =
-  match !current with
+let poll t =
+  match t.current with
   | None -> ()
   | Some st ->
       st.countdown <- st.countdown - 1;
       if st.countdown <= 0 then clock_check st
 
-let note_nodes n =
-  match !current with
+let note_nodes t n =
+  match t.current with
   | None -> ()
   | Some st ->
       st.nodes <- st.nodes + n;
@@ -44,66 +61,57 @@ let note_nodes n =
       st.countdown <- st.countdown - 1;
       if st.countdown <= 0 then clock_check st
 
-let check () =
-  match !current with
+let check t =
+  match t.current with
   | None -> ()
   | Some st ->
       (match st.blown with Some r -> raise (Exhausted r) | None -> ());
       if st.nodes > st.max_nodes then blow st Node_cap;
       if Unix.gettimeofday () > st.deadline then blow st Deadline
 
-let expired () =
-  match !current with
+let expired t =
+  match t.current with
   | None -> false
   | Some st ->
       st.blown <> None || st.nodes > st.max_nodes
       || Unix.gettimeofday () > st.deadline
 
-let remaining_nodes () =
-  match !current with
+let remaining_nodes t =
+  match t.current with
   | None -> None
   | Some st ->
       if st.max_nodes = max_int then None
       else Some (max 0 (st.max_nodes - st.nodes))
 
-let exhaust () =
-  (match !current with
+let exhaust t =
+  (match t.current with
   | None -> ()
   | Some st -> st.blown <- Some Deadline);
   raise (Exhausted Deadline)
 
-let suspended f =
-  let saved = !current in
-  current := None;
-  Fun.protect ~finally:(fun () -> current := saved) f
+let suspended t f =
+  let saved = t.current in
+  t.current <- None;
+  Fun.protect ~finally:(fun () -> t.current <- saved) f
 
-let with_budget ?deadline_s ?max_nodes f =
-  let parent = !current in
-  let deadline =
-    match deadline_s with
-    | Some d -> Unix.gettimeofday () +. d
-    | None -> infinity
-  in
-  let deadline =
-    match parent with
-    | Some p -> Float.min deadline p.deadline
-    | None -> deadline
-  in
-  let cap = match max_nodes with Some n -> n | None -> max_int in
-  let cap =
-    match parent with
-    | Some p when p.max_nodes <> max_int ->
-        min cap (max 0 (p.max_nodes - p.nodes))
-    | _ -> cap
-  in
+let with_budget t ?deadline_s ?max_nodes f =
+  let parent = t.current in
+  let st = make_state ?deadline_s ?max_nodes () in
   let st =
-    { deadline; max_nodes = cap; nodes = 0; countdown = poll_interval;
-      blown = None }
+    match parent with
+    | None -> st
+    | Some p ->
+        let cap =
+          if p.max_nodes = max_int then st.max_nodes
+          else min st.max_nodes (max 0 (p.max_nodes - p.nodes))
+        in
+        { st with deadline = Float.min st.deadline p.deadline;
+          max_nodes = cap }
   in
-  current := Some st;
+  t.current <- Some st;
   Fun.protect
     ~finally:(fun () ->
-      current := parent;
+      t.current <- parent;
       (* charge the inner extent's allocations to the outer budget *)
       match parent with
       | Some p -> p.nodes <- p.nodes + st.nodes

@@ -1,78 +1,73 @@
 (** Cooperative resource budgets: wall-clock deadlines and node-arena
     caps for long-running passes.
 
-    A budget is installed with {!with_budget} and enforced
-    cooperatively: hot loops call {!poll} (cheap, amortized clock
-    check) and allocation sites call {!note_nodes}.  When the deadline
-    passes or the node cap is exceeded, the next check raises
-    {!Exhausted}; the pass unwinds and the caller (typically
-    [Flow.Engine]) falls back to its last checkpoint.
+    A {!t} is an explicit handle owned by an execution context
+    ({!Ctx}); there is no process-global budget, so independent
+    contexts meter concurrently without interference.  A handle must
+    not be shared across domains (DESIGN.md §13).
 
-    When no budget is installed every entry point is a single
-    load-and-branch, so instrumented hot paths pay (close to) nothing.
+    A budget is installed with {!with_budget} (or at handle creation)
+    and enforced cooperatively: hot loops call {!poll} (cheap,
+    amortized clock check) and allocation sites call {!note_nodes}.
+    When the deadline passes or the node cap is exceeded, the next
+    check raises {!Exhausted}; the pass unwinds and the caller
+    (typically [Flow.Engine]) falls back to its last checkpoint.
 
-    Budgets nest: an inner {!with_budget} never extends the ambient
-    deadline (the effective deadline is the minimum) and its node cap
-    is clamped to the ambient remaining allowance.  Nodes noted inside
-    the inner extent are charged to the outer budget when the inner
-    one exits. *)
+    Budgets nest: an inner {!with_budget} never extends the outer one
+    (its deadline is clamped to the minimum, its node cap to the
+    parent's remainder) and on exit the inner extent's allocations are
+    charged outward.  With no budget installed every probe costs one
+    extra load and a branch, so probes stay in hot paths
+    permanently. *)
 
-type reason =
-  | Deadline  (** the wall-clock deadline passed *)
-  | Node_cap  (** more nodes were allocated than the cap allows *)
+type reason = Deadline | Node_cap
 
 exception Exhausted of reason
 
 val reason_name : reason -> string
-(** ["deadline"] / ["node_cap"]. *)
+
+type t
+(** A budget handle: either idle or carrying the installed budget. *)
+
+val create : ?deadline_s:float -> ?max_nodes:int -> unit -> t
+(** A fresh handle.  With neither limit it is idle (every probe is a
+    near-no-op) until {!with_budget} installs one; with a limit, a
+    root budget is installed immediately and lasts the handle's
+    lifetime. *)
 
 val with_budget :
-  ?deadline_s:float -> ?max_nodes:int -> (unit -> 'a) -> 'a
-(** [with_budget ?deadline_s ?max_nodes f] runs [f] under a budget of
-    [deadline_s] seconds of wall-clock time and [max_nodes] noted node
-    allocations.  Omitted limits are unconstrained (but an ambient
-    budget, if any, still applies).  The previous budget is restored
-    on exit, normally or exceptionally. *)
+  t -> ?deadline_s:float -> ?max_nodes:int -> (unit -> 'a) -> 'a
+(** [with_budget t ?deadline_s ?max_nodes f] runs [f] under a budget.
+    Omitted limits are unlimited (modulo the enclosing budget's).
+    Nested calls clamp to the enclosing budget and charge their node
+    allocations outward on exit (even on exceptions). *)
 
-val active : unit -> bool
-(** [true] while some budget is installed. *)
+val poll : t -> unit
+(** Cheap cooperative check for hot loops; reads the clock once every
+    256 calls.  Raises {!Exhausted} when the budget is blown. *)
 
-val poll : unit -> unit
-(** Deadline poll point.  Amortizes the clock read over
-    {!poll_interval} calls; raises {!Exhausted} when the installed
-    deadline has passed.  No-op without a budget. *)
+val note_nodes : t -> int -> unit
+(** Charge [n] node allocations (called at every arena allocation
+    site: MIG [push_node], AIG [and_], BDD [mk]).  Raises
+    {!Exhausted} on cap overflow; also performs a {!poll} step. *)
 
-val note_nodes : int -> unit
-(** [note_nodes n] charges [n] node allocations to the installed
-    budget and raises {!Exhausted} when the cap is exceeded.  Also
-    counts toward the amortized deadline poll, so allocation-heavy
-    loops are deadline-responsive without separate {!poll} calls.
-    No-op without a budget. *)
+val check : t -> unit
+(** Unamortized check: reads the clock unconditionally. *)
 
-val check : unit -> unit
-(** Unamortized check of both limits right now.  Raises {!Exhausted}
-    if either is blown.  Use at coarse boundaries (pass entry). *)
+val active : t -> bool
+(** A budget is currently installed. *)
 
-val expired : unit -> bool
-(** [true] when the installed budget is already blown (a previous
-    check raised, the deadline has passed, or the cap is exceeded).
-    Never raises; [false] without a budget. *)
+val expired : t -> bool
+(** The installed budget is blown (without raising); [false] when
+    idle. *)
 
-val remaining_nodes : unit -> int option
-(** Remaining node allowance of the installed budget, when it has a
-    node cap. *)
+val remaining_nodes : t -> int option
+(** Remaining node allowance; [None] when uncapped or idle. *)
 
-val suspended : (unit -> 'a) -> 'a
-(** [suspended f] runs [f] with no budget installed (the ambient one,
-    blown or not, is restored afterwards).  Allocations inside are
-    charged to nobody.  Used by the engine for checkpoint
-    verification, which must run even after the budget is blown. *)
+val exhaust : t -> 'a
+(** Force the installed budget blown and raise {!Exhausted Deadline}
+    (used by fault injection). *)
 
-val exhaust : unit -> 'a
-(** Force-blow the installed budget (marking it expired, so
-    {!expired} is [true] afterwards) and raise [Exhausted Deadline].
-    With no budget installed it still raises.  Used by fault
-    injection. *)
-
-val poll_interval : int
-(** Number of {!poll}/{!note_nodes} calls between clock reads. *)
+val suspended : t -> (unit -> 'a) -> 'a
+(** Run [f] with the budget uninstalled (verifiers must work after
+    the deadline); restored on exit, even on exceptions. *)

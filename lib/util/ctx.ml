@@ -1,0 +1,75 @@
+(* The execution context: one record bundling every cross-cutting
+   service that used to be a process-global singleton.  A ctx is
+   single-owner state — create one per independent line of work (one
+   per domain in a batch run) and never share it across domains. *)
+
+type scratch = {
+  mutable pool : int array list;  (** free buffers, most recent first *)
+  mutable allocs : int;  (** fresh arrays ever made (regression hook) *)
+}
+
+type t = {
+  stats : Telemetry.t;
+  budget : Budget.t;
+  fault : Fault.t;
+  mutable check : bool;
+  rng : Rng.t;
+  scratch : scratch;
+}
+
+let create ?(stats = false) ?(check = false) ?budget ?fault ?(seed = 1) () =
+  let budget =
+    match budget with
+    | None -> Budget.create ()
+    | Some (deadline_s, max_nodes) -> Budget.create ?deadline_s ?max_nodes ()
+  in
+  {
+    stats = Telemetry.create ~enabled:stats ();
+    budget;
+    fault = Fault.create ?spec:fault ();
+    check;
+    rng = Rng.create seed;
+    scratch = { pool = []; allocs = 0 };
+  }
+
+let of_env (e : Env.t) =
+  create ~stats:e.stats ~check:e.check ?fault:e.fault ~seed:e.seed ()
+
+let default () = of_env (Env.load ())
+
+let stats t = t.stats
+let budget t = t.budget
+let fault t = t.fault
+let check t = t.check
+let set_check t b = t.check <- b
+let rng t = t.rng
+
+(* ----- scratch arenas ----- *)
+
+(* [with_scratch] hands out a [-1]-filled int buffer of at least [n]
+   slots and returns it to the pool afterwards.  Nested uses (e.g. a
+   rebuild triggered from inside another rebuild's node constructor)
+   simply pop the next buffer — correct by construction, where the old
+   global [arena_busy] flag silently fell back to a fresh unpooled
+   allocation. *)
+let with_scratch t n k =
+  let sc = t.scratch in
+  let buf =
+    match sc.pool with
+    | b :: rest when Array.length b >= n ->
+        sc.pool <- rest;
+        Array.fill b 0 n (-1);
+        b
+    | b :: rest ->
+        (* too small: replace it, keeping the pool from accumulating
+           dead undersized buffers *)
+        sc.pool <- rest;
+        sc.allocs <- sc.allocs + 1;
+        Array.make (max n (2 * Array.length b)) (-1)
+    | [] ->
+        sc.allocs <- sc.allocs + 1;
+        Array.make (max n 1024) (-1)
+  in
+  Fun.protect ~finally:(fun () -> sc.pool <- buf :: sc.pool) (fun () -> k buf)
+
+let scratch_allocs t = t.scratch.allocs

@@ -1,0 +1,42 @@
+type t = {
+  stats : bool;
+  check : bool;
+  fault : Fault.spec option;
+  seed : int;
+}
+
+let defaults = { stats = false; check = false; fault = None; seed = 1 }
+
+let flag s =
+  match String.lowercase_ascii (String.trim s) with
+  | "1" | "true" | "on" | "yes" -> true
+  | _ -> false
+
+let flag_var name =
+  match Sys.getenv_opt name with None -> false | Some v -> flag v
+
+let base () =
+  let seed =
+    match Sys.getenv_opt "MIG_SEED" with
+    | None -> defaults.seed
+    | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some s -> s
+        | None -> defaults.seed)
+  in
+  {
+    stats = flag_var "MIG_STATS";
+    check = flag_var "MIG_CHECK";
+    fault = None;
+    seed;
+  }
+
+let load_result () =
+  let t = base () in
+  match Sys.getenv_opt "MIG_FAULT" with
+  | None | Some "" -> Ok t
+  | Some s -> Result.map (fun spec -> { t with fault = Some spec }) (Fault.parse s)
+
+(* a malformed MIG_FAULT never arms a plan silently; [mighty] surfaces
+   the parse error via [load_result] instead *)
+let load () = match load_result () with Ok t -> t | Error _ -> base ()

@@ -1,0 +1,34 @@
+(** The single place where environment knobs are read.
+
+    Every [MIG_*] variable is parsed here, once, into a plain record
+    that [Ctx.default] consumes; no other module in the code base
+    calls [Sys.getenv_opt].  The recognized variables (see the README
+    table):
+
+    - [MIG_STATS] — telemetry sink on ([1]/[true]/[on]/[yes])
+    - [MIG_CHECK] — transform guards on (same booleans)
+    - [MIG_FAULT] — fault-plan spec string ({!Fault.parse} grammar)
+    - [MIG_SEED]  — default RNG seed (int; default 1) *)
+
+type t = {
+  stats : bool;
+  check : bool;
+  fault : Fault.spec option;
+  seed : int;
+}
+
+val defaults : t
+(** Everything off: [{stats = false; check = false; fault = None;
+    seed = 1}] — what {!load} returns in a clean environment. *)
+
+val load : unit -> t
+(** Parse the environment.  A malformed [MIG_FAULT] is dropped (no
+    plan is armed silently); use {!load_result} to surface it. *)
+
+val load_result : unit -> (t, string) result
+(** Like {!load}, but a malformed [MIG_FAULT] is an [Error] carrying
+    the parse diagnostic. *)
+
+val flag : string -> bool
+(** [flag v] is the boolean reading of an env value: [true] iff [v]
+    is [1], [true], [on] or [yes] (case-insensitive, trimmed). *)

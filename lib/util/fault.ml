@@ -81,39 +81,44 @@ let parse str =
   else
     List.fold_left pair (Ok default_spec) (String.split_on_char ':' str)
 
-type state = {
+type armed = {
   spec : spec;
   rng : Rng.t;
   mutable visits : int;
   mutable fired : int;
 }
 
-(* [None] when disarmed: each injection point is one load and branch. *)
-let state : state option ref = ref None
+(* The handle owned by a [Ctx]: [None] when disarmed, so each
+   injection point is one extra load and a branch.  There is no
+   process-global plan — two contexts never share a handle. *)
+type t = { mutable armed : armed option }
 
-let arm spec =
-  state := Some { spec; rng = Rng.create spec.seed; visits = 0; fired = 0 }
+let create ?spec () =
+  let t = { armed = None } in
+  (match spec with
+  | None -> ()
+  | Some spec ->
+      t.armed <- Some { spec; rng = Rng.create spec.seed; visits = 0; fired = 0 });
+  t
 
-let arm_string s = Result.map arm (parse s)
-let disarm () = state := None
+let arm t spec =
+  t.armed <- Some { spec; rng = Rng.create spec.seed; visits = 0; fired = 0 }
 
-let of_env () =
-  match Sys.getenv_opt "MIG_FAULT" with
-  | None | Some "" -> Ok ()
-  | Some s -> arm_string s
+let arm_string t s = Result.map (arm t) (parse s)
+let disarm t = t.armed <- None
 
-let suspended f =
-  let saved = !state in
-  state := None;
-  Fun.protect ~finally:(fun () -> state := saved) f
+let suspended t f =
+  let saved = t.armed in
+  t.armed <- None;
+  Fun.protect ~finally:(fun () -> t.armed <- saved) f
 
-let enabled () = !state <> None
-let injected () = match !state with None -> 0 | Some st -> st.fired
+let enabled t = t.armed <> None
+let injected t = match t.armed with None -> 0 | Some st -> st.fired
 
 let any_kinds = [| Raise; Exhaust; Corrupt |]
 
-let fire site =
-  match !state with
+let fire t site =
+  match t.armed with
   | None -> None
   | Some st ->
       let sp = st.spec in

@@ -1,11 +1,16 @@
 (** Deterministic fault injection for robustness testing.
 
-    A fault plan is armed from a compact spec string (CLI [--fault] or
-    the [MIG_FAULT] environment variable) and drives seeded,
-    reproducible failures at named injection sites inside the hot
-    layers (MIG transforms, strash, BDD builder, tech mapper).  The
-    facility is off by default and each disarmed injection point costs
-    one load and branch.
+    A fault plan lives in an explicit handle ({!t}) owned by an
+    execution context ({!Ctx}); there is no process-global plan, so
+    independent contexts inject concurrently without interference.  A
+    handle must not be shared across domains (DESIGN.md §13).
+
+    The plan is armed from a compact spec string (CLI [--fault] or the
+    [MIG_FAULT] environment variable, parsed by [Lsutil.Env]) and
+    drives seeded, reproducible failures at named injection sites
+    inside the hot layers (MIG transforms, strash, BDD builder, tech
+    mapper).  The facility is off by default and each disarmed
+    injection point costs one extra load and a branch.
 
     {2 Spec grammar}
 
@@ -28,7 +33,7 @@
 
 type kind =
   | Raise  (** raise {!Injected} out of the site *)
-  | Exhaust  (** force-blow the ambient budget ([Budget.exhaust]) *)
+  | Exhaust  (** force-blow the context's budget ([Budget.exhaust]) *)
   | Corrupt  (** return a silently wrong result (site-specific) *)
 
 exception Injected of string
@@ -39,32 +44,34 @@ type spec
 val parse : string -> (spec, string) result
 val to_string : spec -> string
 
-val arm : spec -> unit
+type t
+(** A fault handle: disarmed, or carrying the armed plan. *)
+
+val create : ?spec:spec -> unit -> t
+(** A fresh handle; armed immediately when [spec] is given. *)
+
+val arm : t -> spec -> unit
 (** Install a plan: resets the visit/fired counters and seeds the Rng
     from the spec, so equal specs give bit-identical fault streams. *)
 
-val arm_string : string -> (unit, string) result
-val disarm : unit -> unit
+val arm_string : t -> string -> (unit, string) result
+val disarm : t -> unit
 
-val of_env : unit -> (unit, string) result
-(** Arm from [MIG_FAULT] when set and non-empty; [Ok ()] (and no
-    change) when unset. *)
+val enabled : t -> bool
 
-val enabled : unit -> bool
-
-val suspended : (unit -> 'a) -> 'a
-(** [suspended f] runs [f] with the fault plan temporarily disarmed
+val suspended : t -> (unit -> 'a) -> 'a
+(** [suspended t f] runs [f] with the fault plan temporarily disarmed
     (restored afterwards, normally or exceptionally) — the plan's
     counters and Rng position are untouched.  Used by the engine so
     checkpoint verification cannot itself be faulted. *)
 
-val fire : string -> kind option
-(** [fire site] is called at each injection point.  Returns [Some k]
+val fire : t -> string -> kind option
+(** [fire t site] is called at each injection point.  Returns [Some k]
     when a fault of kind [k] fires at this visit, [None] otherwise
     (always [None] when disarmed).  Sites without a meaningful
     corruption should map [Corrupt] to [Raise] themselves. *)
 
-val injected : unit -> int
+val injected : t -> int
 (** Faults fired since the last {!arm}. *)
 
 val sites : string list

@@ -8,25 +8,6 @@ type node = {
   children : node list;
 }
 
-let env_enabled =
-  match Sys.getenv_opt "MIG_STATS" with
-  | None -> false
-  | Some v -> (
-      match String.lowercase_ascii (String.trim v) with
-      | "1" | "true" | "on" | "yes" -> true
-      | _ -> false)
-
-let on = ref env_enabled
-let enabled () = !on
-let set_enabled b = on := b
-
-let now = Unix.gettimeofday
-
-let time f =
-  let t0 = now () in
-  let x = f () in
-  (x, now () -. t0)
-
 (* ----- live spans ----- *)
 
 (* Counters are [int ref]s so the hot path ([count] on an existing
@@ -40,13 +21,26 @@ type live = {
   mutable l_children : node list; (* reversed *)
 }
 
-(* The innermost open span is the head.  Recording only happens
-   between [capture] and its return, so with stats on but no capture
-   in progress the stack stays empty and [span]/[count]/[record] are
-   still no-ops. *)
-let stack : live list ref = ref []
+(* A sink is an explicit value: there is no process-global recorder.
+   Every context owns its own sink, so two domains recording
+   concurrently never touch the same stack.  The innermost open span
+   is the head of [stack].  Recording only happens between [capture]
+   and its return, so with the sink on but no capture in progress the
+   stack stays empty and [span]/[count]/[record] are still no-ops. *)
+type t = { mutable on : bool; mutable stack : live list }
 
-let open_span name =
+let create ?(enabled = false) () = { on = enabled; stack = [] }
+let enabled t = t.on
+let set_enabled t b = t.on <- b
+
+let now = Unix.gettimeofday
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)
+
+let open_span t name =
   let l =
     {
       l_name = name;
@@ -56,12 +50,12 @@ let open_span name =
       l_children = [];
     }
   in
-  stack := l :: !stack;
+  t.stack <- l :: t.stack;
   l
 
-let close_span l =
-  (match !stack with
-  | x :: rest when x == l -> stack := rest
+let close_span t l =
+  (match t.stack with
+  | x :: rest when x == l -> t.stack <- rest
   | _ ->
       (* a child span leaked past its parent (exception paths); drop
          everything down to and including [l] *)
@@ -69,7 +63,7 @@ let close_span l =
         | [] -> []
         | x :: rest -> if x == l then rest else pop rest
       in
-      stack := pop !stack);
+      t.stack <- pop t.stack);
   let sorted_assoc l = List.sort (fun (a, _) (b, _) -> compare a b) l in
   {
     name = l.l_name;
@@ -80,53 +74,53 @@ let close_span l =
     children = List.rev l.l_children;
   }
 
-let attach n =
-  match !stack with
+let attach t n =
+  match t.stack with
   | parent :: _ -> parent.l_children <- n :: parent.l_children
   | [] -> ()
 
-let span name f =
-  if (not !on) || !stack = [] then f ()
+let span t name f =
+  if (not t.on) || t.stack = [] then f ()
   else begin
-    let l = open_span name in
+    let l = open_span t name in
     match f () with
     | x ->
-        attach (close_span l);
+        attach t (close_span t l);
         x
     | exception e ->
-        attach (close_span l);
+        attach t (close_span t l);
         raise e
   end
 
-let count ?(n = 1) name =
-  if !on then
-    match !stack with
+let count t ?(n = 1) name =
+  if t.on then
+    match t.stack with
     | [] -> ()
     | l :: _ -> (
         match Hashtbl.find_opt l.l_counters name with
         | Some r -> r := !r + n
         | None -> Hashtbl.add l.l_counters name (ref n))
 
-let record name v =
-  if !on then
-    match !stack with
+let record t name v =
+  if t.on then
+    match t.stack with
     | [] -> ()
     | l :: _ -> l.l_meta <- (name, v) :: List.remove_assoc name l.l_meta
 
-let record_int name i = record name (Int i)
-let record_float name f = record name (Float f)
+let record_int t name i = record t name (Int i)
+let record_float t name f = record t name (Float f)
 
-let capture name f =
-  if not !on then (f (), None)
+let capture t name f =
+  if not t.on then (f (), None)
   else begin
-    let l = open_span name in
+    let l = open_span t name in
     match f () with
     | x ->
-        let n = close_span l in
-        attach n;
+        let n = close_span t l in
+        attach t n;
         (x, Some n)
     | exception e ->
-        attach (close_span l);
+        attach t (close_span t l);
         raise e
   end
 

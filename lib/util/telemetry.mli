@@ -1,64 +1,66 @@
-(** Pass-level telemetry: hierarchical wall-clock spans and counters.
+(** Hierarchical pass-level telemetry: spans, counters and metadata.
 
-    Every optimization pass wraps its work in {!span}; inside a span,
-    {!count} accumulates event counters (rewrites applied, strash
-    hits, …) and {!record} attaches metadata (nodes/depth in → out).
-    Disabled by default: every entry point is a single load-and-branch
-    no-op unless [MIG_STATS] is set in the environment ([1], [true],
-    [on], [yes]) or {!set_enabled} was called — so instrumented hot
-    paths cost nothing measurable in ordinary runs.
+    A {!t} is an explicit {e sink} owned by an execution context
+    ({!Ctx}); there is no process-global recorder, so independent
+    contexts (e.g. one per domain in a parallel batch run) record
+    concurrently without interference.  A sink must not be shared
+    across domains — see DESIGN.md §13 for the ownership contract.
 
-    Spans form a tree per {!capture} root; the completed tree is a
-    pure {!node} value that can be pretty-printed ({!pp}) or emitted
-    as JSON ({!to_json}, the [BENCH_*.json] span schema). *)
+    Recording is double-gated: the sink must be {!enabled} {e and} a
+    {!capture} must be in progress.  Outside those conditions every
+    probe ({!span}, {!count}, {!record}) is a no-op costing one or two
+    loads and a branch, so probes can stay in hot paths permanently. *)
 
 type value = Int of int | Float of float | Bool of bool | String of string
 
 type node = {
   name : string;
-  elapsed : float;  (** seconds *)
+  elapsed : float;  (** wall-clock seconds *)
   meta : (string * value) list;  (** sorted by key *)
   counters : (string * int) list;  (** sorted by key *)
-  children : node list;  (** in execution order *)
+  children : node list;  (** in creation order *)
 }
+(** A completed span: the immutable tree handed out by {!capture}. *)
 
-val enabled : unit -> bool
-(** Current recording state (initially from [MIG_STATS]). *)
+type t
+(** A telemetry sink: enabled flag plus the stack of live spans. *)
 
-val set_enabled : bool -> unit
+val create : ?enabled:bool -> unit -> t
+(** A fresh sink, disabled unless [~enabled:true]. *)
 
-(** {1 Recording} *)
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
 
-val span : string -> (unit -> 'a) -> 'a
-(** [span name f] runs [f] inside a child span of the current one.
-    When recording is off, or no {!capture} is active, this is
-    exactly [f ()].  Exceptions propagate; the span is closed with
-    the time accumulated so far. *)
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed
+    wall-clock seconds.  Pure convenience; no sink involved. *)
 
-val count : ?n:int -> string -> unit
-(** Add [n] (default 1) to a counter of the innermost open span. *)
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f] inside a child span of the innermost
+    open span.  Just [f ()] when the sink is disabled or no
+    {!capture} is in progress.  Exception-safe: the span is closed
+    and attached even when [f] raises. *)
 
-val record : string -> value -> unit
-(** Set a metadata field on the innermost open span (last write
-    wins). *)
+val count : t -> ?n:int -> string -> unit
+(** Increment a counter ([n] defaults to 1) on the innermost open
+    span. *)
 
-val record_int : string -> int -> unit
-val record_float : string -> float -> unit
+val record : t -> string -> value -> unit
+(** Set a metadata key on the innermost open span (last write wins). *)
 
-val capture : string -> (unit -> 'a) -> 'a * node option
-(** [capture name f] runs [f] under a fresh root span and returns its
-    completed tree — [None] when recording is off.  Captures nest: an
-    inner capture's tree is also attached to the enclosing span. *)
+val record_int : t -> string -> int -> unit
+val record_float : t -> string -> float -> unit
+
+val capture : t -> string -> (unit -> 'a) -> 'a * node option
+(** [capture t name f] opens a root span, runs [f], and returns the
+    completed tree.  [None] when the sink is disabled.  Captures
+    nest: an inner capture's tree is also attached to the outer
+    capture as a child. *)
 
 (** {1 Reporting} *)
 
 val pp : Format.formatter -> node -> unit
-(** Human-readable indented tree: time, meta, counters per span. *)
+(** Indented human-readable tree. *)
 
 val to_json : node -> Json.t
-(** [{"name", "elapsed_s", "meta", "counters", "children"}]. *)
-
-(** {1 Clock} *)
-
-val time : (unit -> 'a) -> 'a * float
-(** Wall-clock a thunk (always on; independent of {!enabled}). *)
+(** The span-tree JSON used by [bench --json] (see DESIGN.md §10). *)

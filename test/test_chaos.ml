@@ -17,9 +17,9 @@ module E = Flow.Engine
 module F = Lsutil.Fault
 module J = Lsutil.Json
 
-let mig_of name =
+let mig_of ~ctx name =
   let net = (Benchmarks.Suite.find name).Benchmarks.Suite.build () in
-  Mig.Convert.of_network (Network.Graph.flatten_aoig net)
+  Mig.Convert.of_network ~ctx (Network.Graph.flatten_aoig net)
 
 let scenarios = ref 0
 let log_entries : J.t list ref = ref []
@@ -35,19 +35,21 @@ let log_entry ~group ~name ~spec fields =
       @ fields)
     :: !log_entries
 
-let armed spec f =
-  (match F.arm_string spec with
+let armed ctx spec f =
+  let flt = Lsutil.Ctx.fault ctx in
+  (match F.arm_string flt spec with
   | Ok () -> ()
   | Error e -> Alcotest.failf "bad fault spec %S: %s" spec e);
-  Fun.protect ~finally:F.disarm f
+  Fun.protect ~finally:(fun () -> F.disarm flt) f
 
 (* ----- engine sweep ----- *)
 
 let engine_scenario ~bench ~goal ~spec =
   incr scenarios;
-  let m = mig_of bench in
+  let ctx = Lsutil.Ctx.create () in
+  let m = mig_of ~ctx bench in
   let out, rep =
-    armed spec (fun () ->
+    armed ctx spec (fun () ->
         try
           E.run ~verify:true ~seed:0xc0de ~size_cap:(M.size m)
             ~cost:(E.cost_of_goal goal)
@@ -100,10 +102,11 @@ let test_engine_sweep () =
 
 let bdd_scenario ~bench ~spec =
   incr scenarios;
+  let ctx = Lsutil.Ctx.create () in
   let net = (Benchmarks.Suite.find bench).Benchmarks.Suite.build () in
   let res =
-    armed spec (fun () ->
-        try Flow.bds_opt ~node_limit:2000 ~seed:11 net
+    armed ctx spec (fun () ->
+        try Flow.bds_opt ~node_limit:2000 ~seed:11 ctx net
         with e ->
           Alcotest.failf "%s %s: bds_opt raised %s" bench spec
             (Printexc.to_string e))
@@ -137,9 +140,13 @@ let mapper_scenario ~spec =
     Network.Graph.flatten_aoig
       ((Benchmarks.Suite.find "count").Benchmarks.Suite.build ())
   in
+  let ctx = Lsutil.Ctx.create () in
   let res =
-    armed spec (fun () ->
-        E.protect ~name:"mapper" (fun () -> Tech.Mapper.map_network net))
+    armed ctx spec (fun () ->
+        E.protect
+          ~tel:(Lsutil.Ctx.stats ctx)
+          ~name:"mapper"
+          (fun () -> Tech.Mapper.map_network ~ctx net))
   in
   let outcome =
     match res with

@@ -24,8 +24,8 @@ let check_clean name r =
     (Check.Report.is_clean r)
 
 (* a well-formed full adder, the clean baseline *)
-let full_adder () =
-  let g = M.create () in
+let full_adder ?ctx () =
+  let g = M.create ?ctx () in
   let a = M.add_pi g "a" and b = M.add_pi g "b" and c = M.add_pi g "cin" in
   M.add_po g "sum" (M.xor3 g a b c);
   M.add_po g "cout" (M.maj g a b c);
@@ -245,19 +245,24 @@ let test_guard_catches_malformed_output () =
         (Check.Guard.stage_name f.stage)
 
 let test_guard_env_toggle () =
-  Unix.putenv "MIG_CHECK" "0";
-  Alcotest.(check bool) "MIG_CHECK=0" false (Check.Env.enabled ());
-  Unix.putenv "MIG_CHECK" "yes";
-  Alcotest.(check bool) "MIG_CHECK=yes" true (Check.Env.enabled ());
+  (* the env booleans are parsed once, by Lsutil.Env *)
+  Alcotest.(check bool) "flag 0" false (Lsutil.Env.flag "0");
+  Alcotest.(check bool) "flag yes" true (Lsutil.Env.flag "yes");
+  Alcotest.(check bool) "flag 1" true (Lsutil.Env.flag "1");
   Unix.putenv "MIG_CHECK" "1";
-  Alcotest.(check bool) "MIG_CHECK=1" true (Check.Env.enabled ());
-  (* with the variable set, a bare guarded call (no ?enabled) arms *)
-  let g = full_adder () in
-  (match Mig.Check.guarded ~name:"flip" (rebuild ~flip_po:true) g with
-  | _ -> Alcotest.fail "guard did not arm from MIG_CHECK=1"
-  | exception Check.Guard.Failed _ -> ());
+  Alcotest.(check bool) "MIG_CHECK=1 reaches Ctx.default" true
+    (Lsutil.Ctx.check (Lsutil.Ctx.default ()));
   Unix.putenv "MIG_CHECK" "0";
-  (* disabled: the same broken pass runs bare *)
+  Alcotest.(check bool) "MIG_CHECK=0 reaches Ctx.default" false
+    (Lsutil.Ctx.check (Lsutil.Ctx.default ()));
+  (* under a checking ctx, a bare guarded call (no ?enabled) arms *)
+  let checking = Lsutil.Ctx.create ~check:true () in
+  let g = full_adder ~ctx:checking () in
+  (match Mig.Check.guarded ~name:"flip" (rebuild ~flip_po:true) g with
+  | _ -> Alcotest.fail "guard did not arm from the ctx policy"
+  | exception Check.Guard.Failed _ -> ());
+  (* quiet ctx: the same broken pass runs bare *)
+  let g = full_adder () in
   let out = Mig.Check.guarded ~name:"flip" (rebuild ~flip_po:true) g in
   Alcotest.(check int) "bare run returns the broken output" (M.num_pos g)
     (M.num_pos out)
@@ -368,7 +373,6 @@ let test_rule_registry () =
     ]
 
 let () =
-  Unix.putenv "MIG_CHECK" "0";
   Alcotest.run "check"
     [
       ( "mig-rules",

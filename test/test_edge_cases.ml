@@ -2,6 +2,9 @@
    crash tools in the field. *)
 
 module N = Network.Graph
+
+(* quiet shared context for the flow calls in this file *)
+let ctx = Lsutil.Ctx.create ()
 module S = Network.Signal
 
 let test_constant_po () =
@@ -10,11 +13,11 @@ let test_constant_po () =
   N.add_po net "zero" (N.const0 net);
   N.add_po net "one" (N.const1 net);
   (* every flow must survive *)
-  let m, r = Flow.mig_opt net in
+  let m, r = Flow.mig_opt ctx net in
   Alcotest.(check int) "mig empty" 0 r.Flow.size;
   Alcotest.(check bool) "mig equivalent" true
     (Mig.Equiv.to_network_equiv ~seed:1 m (N.flatten_aoig net));
-  let _, ar = Flow.aig_opt net in
+  let _, ar = Flow.aig_opt ctx net in
   Alcotest.(check int) "aig empty" 0 ar.Flow.size;
   let mapped = Tech.Mapper.map_network net in
   (* a constant-1 output costs at most a tie-high inverter *)
@@ -26,7 +29,7 @@ let test_wire_po () =
   let a = N.add_pi net "a" in
   N.add_po net "y" a;
   N.add_po net "yn" (S.not_ a);
-  let m, _ = Flow.mig_opt net in
+  let m, _ = Flow.mig_opt ctx net in
   Alcotest.(check int) "wire mig" 0 (Mig.Graph.size m);
   let mapped, ok = Tech.Mapper.map_and_verify ~seed:2 net in
   Alcotest.(check bool) "wire cover ok" true ok;
@@ -61,7 +64,7 @@ let test_duplicate_po_signal () =
   N.add_po net "y1" x;
   N.add_po net "y2" x;
   N.add_po net "y3" (S.not_ x);
-  let m, _ = Flow.mig_opt net in
+  let m, _ = Flow.mig_opt ctx net in
   Alcotest.(check int) "single shared node" 1 (Mig.Graph.size m);
   Alcotest.(check bool) "fanout to POs preserved" true
     (Mig.Equiv.to_network_equiv ~seed:5 m (N.flatten_aoig net))

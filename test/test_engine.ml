@@ -7,17 +7,18 @@ module E = Flow.Engine
 module B = Lsutil.Budget
 module F = Lsutil.Fault
 
-let mig_of name =
+let mig_of ?ctx name =
   let net = (Benchmarks.Suite.find name).Benchmarks.Suite.build () in
-  Mig.Convert.of_network (Network.Graph.flatten_aoig net)
+  Mig.Convert.of_network ?ctx (Network.Graph.flatten_aoig net)
 
 (* ----- Budget primitives ----- *)
 
 let test_budget_deadline () =
+  let b = B.create () in
   match
-    B.with_budget ~deadline_s:0.02 (fun () ->
+    B.with_budget b ~deadline_s:0.02 (fun () ->
         while true do
-          B.poll ()
+          B.poll b
         done)
   with
   | () -> Alcotest.fail "unreachable"
@@ -25,10 +26,11 @@ let test_budget_deadline () =
   | exception B.Exhausted B.Node_cap -> Alcotest.fail "wrong reason"
 
 let test_budget_node_cap () =
+  let b = B.create () in
   match
-    B.with_budget ~max_nodes:1_000 (fun () ->
+    B.with_budget b ~max_nodes:1_000 (fun () ->
         for _ = 1 to 100_000 do
-          B.note_nodes 1
+          B.note_nodes b 1
         done)
   with
   | () -> Alcotest.fail "unreachable"
@@ -38,12 +40,13 @@ let test_budget_node_cap () =
 let test_budget_nesting () =
   (* an inner budget cannot extend the ambient allowance: its cap is
      clamped to what the outer budget has left *)
+  let b = B.create () in
   match
-    B.with_budget ~max_nodes:100 (fun () ->
-        B.note_nodes 50;
-        B.with_budget ~max_nodes:1_000_000 (fun () ->
+    B.with_budget b ~max_nodes:100 (fun () ->
+        B.note_nodes b 50;
+        B.with_budget b ~max_nodes:1_000_000 (fun () ->
             for _ = 1 to 10_000 do
-              B.note_nodes 1
+              B.note_nodes b 1
             done))
   with
   | () -> Alcotest.fail "inner budget escaped the outer cap"
@@ -51,23 +54,25 @@ let test_budget_nesting () =
   | exception B.Exhausted B.Deadline -> Alcotest.fail "wrong reason"
 
 let test_budget_suspended () =
-  B.with_budget ~max_nodes:10 (fun () ->
-      B.suspended (fun () ->
+  let b = B.create () in
+  B.with_budget b ~max_nodes:10 (fun () ->
+      B.suspended b (fun () ->
           for _ = 1 to 1_000 do
-            B.note_nodes 1
+            B.note_nodes b 1
           done);
-      Alcotest.(check bool) "not expired" false (B.expired ()))
+      Alcotest.(check bool) "not expired" false (B.expired b))
 
 let test_disabled_hooks_cheap () =
   (* the whole robustness layer must be (close to) free when disarmed:
      10M poll+fire pairs are single load-and-branch each, so even a
      noisy CI box finishes far under the bound *)
-  Alcotest.(check bool) "no ambient budget" false (B.active ());
-  Alcotest.(check bool) "no fault plan" false (F.enabled ());
+  let b = B.create () and f = F.create () in
+  Alcotest.(check bool) "no ambient budget" false (B.active b);
+  Alcotest.(check bool) "no fault plan" false (F.enabled f);
   let t0 = Unix.gettimeofday () in
   for _ = 1 to 10_000_000 do
-    B.poll ();
-    ignore (F.fire "transform")
+    B.poll b;
+    ignore (F.fire f "transform")
   done;
   let dt = Unix.gettimeofday () -. t0 in
   Alcotest.(check bool) "disarmed hooks cheap" true (dt < 0.5)
@@ -83,7 +88,7 @@ let test_checkpoint_best_so_far () =
           let g' = Tr.eliminate g in
           shrunk := M.size g';
           g');
-      E.pass "bomb" (fun _ -> B.exhaust ());
+      E.pass "bomb" (fun g -> B.exhaust (Lsutil.Ctx.budget (M.ctx g)));
       E.pass "tail" Tr.eliminate;
     ]
   in
@@ -134,18 +139,19 @@ let fingerprint (g, (rep : E.report)) =
       rep.E.passes )
 
 let run_faulted spec m =
-  (match F.arm_string spec with
+  let f = Lsutil.Ctx.fault (M.ctx m) in
+  (match F.arm_string f spec with
   | Ok () -> ()
   | Error e -> Alcotest.failf "bad spec %S: %s" spec e);
-  Fun.protect ~finally:F.disarm (fun () ->
-      E.run ~verify:true ~seed:7 ~passes:(E.of_goal ~effort:1 `Size) m)
+  Fun.protect
+    ~finally:(fun () -> F.disarm f)
+    (fun () -> E.run ~verify:true ~seed:7 ~passes:(E.of_goal ~effort:1 `Size) m)
 
 let test_same_seed_deterministic () =
-  let m = mig_of "cla" in
   let spec = "seed=11:rate=0.01:kind=any:sites=transform,strash:max=6" in
-  let a = fingerprint (run_faulted spec m) in
-  let b = fingerprint (run_faulted spec m) in
-  Alcotest.(check bool) "same fingerprint" true (a = b)
+  (* a fresh ctx per run: equal specs must give equal runs *)
+  let once () = fingerprint (run_faulted spec (mig_of "cla")) in
+  Alcotest.(check bool) "same fingerprint" true (once () = once ())
 
 (* ----- unified budget in the BDD layer ----- *)
 
@@ -153,7 +159,7 @@ let test_bds_graceful_none () =
   (* C6288 is the canonical BDD blow-up; a tiny node limit must come
      back as None, never an exception *)
   let net = (Benchmarks.Suite.find "C6288").Benchmarks.Suite.build () in
-  match Flow.bds_opt ~node_limit:500 ~seed:3 net with
+  match Flow.bds_opt ~node_limit:500 ~seed:3 (Lsutil.Ctx.create ()) net with
   | None -> ()
   | Some _ -> Alcotest.fail "expected blow-up to return None"
 

@@ -1,11 +1,14 @@
 module N = Network.Graph
 
+(* quiet shared context for the flow calls in this file *)
+let ctx = Lsutil.Ctx.create ()
+
 let flat name = N.flatten_aoig ((Benchmarks.Suite.find name).Benchmarks.Suite.build ())
 
 let test_mig_flow () =
   let e = Benchmarks.Suite.find "my_adder" in
   let net = e.Benchmarks.Suite.build () in
-  let g, r = Flow.mig_opt net in
+  let g, r = Flow.mig_opt ctx net in
   Alcotest.(check int) "reported size matches" (Mig.Graph.size g) r.Flow.size;
   Alcotest.(check int) "reported depth matches" (Mig.Graph.depth g) r.Flow.depth;
   Alcotest.(check bool) "time recorded" true (r.Flow.time >= 0.0);
@@ -14,7 +17,7 @@ let test_mig_flow () =
 
 let test_aig_flow () =
   let net = (Benchmarks.Suite.find "count").Benchmarks.Suite.build () in
-  let g, r = Flow.aig_opt net in
+  let g, r = Flow.aig_opt ctx net in
   Alcotest.(check int) "size" (Aig.Graph.size g) r.Flow.size;
   Alcotest.(check bool) "equivalent" true
     (Network.Simulate.equivalent ~seed:2 (Aig.Convert.to_network g)
@@ -22,7 +25,7 @@ let test_aig_flow () =
 
 let test_bds_flow () =
   let net = (Benchmarks.Suite.find "b9").Benchmarks.Suite.build () in
-  match Flow.bds_opt ~seed:3 net with
+  match Flow.bds_opt ~seed:3 ctx net with
   | Some (d, r) ->
       Alcotest.(check int) "size" (N.size d) r.Flow.size;
       Alcotest.(check bool) "equivalent" true
@@ -34,15 +37,15 @@ let test_bds_na () =
      produce the paper's N.A. outcome *)
   let net = (Benchmarks.Suite.find "C6288").Benchmarks.Suite.build () in
   Alcotest.(check bool) "N.A. on multiplier" true
-    (Flow.bds_opt ~node_limit:10_000 ~seed:5 net = None)
+    (Flow.bds_opt ~node_limit:10_000 ~seed:5 ctx net = None)
 
 let test_guard_time_split () =
   (* The transform guard (MIG_CHECK=1) must not leak into the
      reported pass time: [time] is the bare transform either way,
      guard overhead lands in [guard_time]. *)
   let net = (Benchmarks.Suite.find "count").Benchmarks.Suite.build () in
-  let _, unguarded = Flow.mig_opt ~check:false net in
-  let g, guarded = Flow.mig_opt ~check:true net in
+  let _, unguarded = Flow.mig_opt ~check:false ctx net in
+  let g, guarded = Flow.mig_opt ~check:true ctx net in
   Alcotest.(check bool) "guard ran" true (guarded.Flow.guard_time > 0.0);
   Alcotest.(check (float 0.0)) "no guard, no guard_time" 0.0
     unguarded.Flow.guard_time;
@@ -58,9 +61,9 @@ let test_guard_time_split () =
 
 let test_synth_flows () =
   let net = (Benchmarks.Suite.find "my_adder").Benchmarks.Suite.build () in
-  let mig = Flow.mig_synth net in
-  let aig = Flow.aig_synth net in
-  let cst = Flow.cst_synth net in
+  let mig = Flow.mig_synth ctx net in
+  let aig = Flow.aig_synth ctx net in
+  let cst = Flow.cst_synth ctx net in
   List.iter
     (fun (name, (r : Flow.syn_result)) ->
       Alcotest.(check bool) (name ^ " sane") true

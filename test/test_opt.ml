@@ -1,4 +1,7 @@
 module M = Mig.Graph
+
+(* quiet shared context for the flow calls in this file *)
+let ctx = Lsutil.Ctx.create ()
 module N = Network.Graph
 
 let vars = [ "a"; "b"; "c"; "d"; "e"; "f" ]
@@ -54,8 +57,8 @@ let test_mig_beats_aig_depth_on_datapath () =
   List.iter
     (fun name ->
       let net = (Benchmarks.Suite.find name).Benchmarks.Suite.build () in
-      let _, mig = Flow.mig_opt net in
-      let _, aig = Flow.aig_opt net in
+      let _, mig = Flow.mig_opt ctx net in
+      let _, aig = Flow.aig_opt ctx net in
       Alcotest.(check bool)
         (Printf.sprintf "MIG depth < AIG depth on %s" name)
         true

@@ -1,4 +1,7 @@
 module N = Network.Graph
+
+(* quiet shared context for the flow calls in this file *)
+let ctx = Lsutil.Ctx.create ()
 module C = Tech.Cells
 
 let test_cell_functions () =
@@ -80,8 +83,8 @@ let test_mapper_no_majority_lib () =
 
 let test_mapped_mig_flow_beats_aig_on_adder () =
   let net = (Benchmarks.Suite.find "my_adder").Benchmarks.Suite.build () in
-  let mig = Flow.mig_synth net in
-  let aig = Flow.aig_synth net in
+  let mig = Flow.mig_synth ctx net in
+  let aig = Flow.aig_synth ctx net in
   Alcotest.(check bool) "MIG flow faster" true (mig.Flow.delay < aig.Flow.delay)
 
 let test_pi_prob_affects_power () =

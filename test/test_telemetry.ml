@@ -4,10 +4,10 @@ module T = Lsutil.Telemetry
 module J = Lsutil.Json
 module M = Mig.Graph
 
+(* each test works against its own private sink *)
 let with_stats on f =
-  let was = T.enabled () in
-  T.set_enabled on;
-  Fun.protect ~finally:(fun () -> T.set_enabled was) f
+  let t = T.create ~enabled:on () in
+  f t
 
 let meta_int node key =
   match List.assoc_opt key node.T.meta with
@@ -20,37 +20,37 @@ let counter node key =
 (* ----- enable/disable behaviour ----- *)
 
 let test_disabled () =
-  with_stats false (fun () ->
+  with_stats false (fun t ->
       let x, tree =
-        T.capture "root" (fun () ->
-            T.span "child" (fun () ->
-                T.count "events";
-                T.record_int "n" 3;
+        T.capture t "root" (fun () ->
+            T.span t "child" (fun () ->
+                T.count t "events";
+                T.record_int t "n" 3;
                 41 + 1))
       in
       Alcotest.(check int) "value passes through" 42 x;
       Alcotest.(check bool) "no tree when disabled" true (tree = None))
 
 let test_span_without_capture () =
-  with_stats true (fun () ->
+  with_stats true (fun t ->
       (* No capture root: span must degrade to a plain call. *)
-      let x = T.span "orphan" (fun () -> T.count "ignored"; 7) in
+      let x = T.span t "orphan" (fun () -> T.count t "ignored"; 7) in
       Alcotest.(check int) "orphan span runs thunk" 7 x)
 
 (* ----- tree shape ----- *)
 
 let test_nesting () =
-  with_stats true (fun () ->
+  with_stats true (fun t ->
       let x, tree =
-        T.capture "root" (fun () ->
-            T.record_int "width" 8;
+        T.capture t "root" (fun () ->
+            T.record_int t "width" 8;
             let a =
-              T.span "a" (fun () ->
-                  T.count "hits";
-                  T.count ~n:2 "hits";
-                  T.span "a.inner" (fun () -> 1))
+              T.span t "a" (fun () ->
+                  T.count t "hits";
+                  T.count t ~n:2 "hits";
+                  T.span t "a.inner" (fun () -> 1))
             in
-            let b = T.span "b" (fun () -> T.count "misses"; 2) in
+            let b = T.span t "b" (fun () -> T.count t "misses"; 2) in
             a + b)
       in
       Alcotest.(check int) "result" 3 x;
@@ -74,15 +74,17 @@ let test_nesting () =
             && List.for_all (fun c -> c.T.elapsed >= 0.0) root.T.children))
 
 let test_exception_closes_spans () =
-  with_stats true (fun () ->
+  with_stats true (fun t ->
       (match
-         T.capture "root" (fun () ->
-             T.span "boom" (fun () -> failwith "expected"))
+         T.capture t "root" (fun () ->
+             T.span t "boom" (fun () -> failwith "expected"))
        with
       | (_ : unit * T.node option) -> Alcotest.fail "exception swallowed"
       | exception Failure _ -> ());
       (* The stack must be clean again: a fresh capture still works. *)
-      let x, tree = T.capture "after" (fun () -> T.span "ok" (fun () -> 5)) in
+      let x, tree =
+        T.capture t "after" (fun () -> T.span t "ok" (fun () -> 5))
+      in
       Alcotest.(check int) "recovered" 5 x;
       match tree with
       | Some n ->
@@ -95,8 +97,8 @@ let test_exception_closes_spans () =
 
 let vars = [ "a"; "b"; "c"; "d" ]
 
-let mig_of_terms terms =
-  Mig.Convert.of_network (Helpers.network_of_terms ~vars terms)
+let mig_of_terms ~ctx terms =
+  Mig.Convert.of_network ~ctx (Helpers.network_of_terms ~vars terms)
 
 let find_span tree name =
   let rec go n acc =
@@ -109,12 +111,13 @@ let test_traced_sizes =
   Helpers.qtest ~count:60 "traced pass records reachable size in/out"
     QCheck2.Gen.(list_size (int_range 1 3) (Helpers.gen_term ~vars ~depth:3))
     (fun terms ->
-      let m = mig_of_terms terms in
-      with_stats true (fun () ->
-          let out, tree =
-            T.capture "root" (fun () -> Mig.Transform.eliminate m)
-          in
-          match tree with
+      (* the transform records into its graph's ctx sink, so the
+         capture must run against that same sink *)
+      let ctx = Lsutil.Ctx.create ~stats:true () in
+      let m = mig_of_terms ~ctx terms in
+      let t = Lsutil.Ctx.stats ctx in
+      let out, tree = T.capture t "root" (fun () -> Mig.Transform.eliminate m) in
+      (match tree with
           | None -> QCheck2.Test.fail_report "no tree captured"
           | Some root -> (
               match find_span root "transform:eliminate" with
@@ -130,13 +133,13 @@ let test_traced_sizes =
 (* ----- JSON ----- *)
 
 let test_json_roundtrip () =
-  with_stats true (fun () ->
+  with_stats true (fun t ->
       let (), tree =
-        T.capture "r" (fun () ->
-            T.span "s" (fun () ->
-                T.count "k";
-                T.record "label" (T.String "x\"y\n");
-                T.record_float "ratio" 0.5))
+        T.capture t "r" (fun () ->
+            T.span t "s" (fun () ->
+                T.count t "k";
+                T.record t "label" (T.String "x\"y\n");
+                T.record_float t "ratio" 0.5))
       in
       let node = Option.get tree in
       let s = J.to_string (T.to_json node) in

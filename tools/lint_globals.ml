@@ -1,0 +1,46 @@
+(* Source-level gate against reintroducing process-global service
+   state.  The execution-context refactor deleted every top-level
+   [ref]/[Hashtbl.create] singleton from the util services; this lint
+   fails the @check alias if one creeps back into telemetry, budget or
+   fault.  (Per-call handles created inside functions are fine — only
+   column-0 bindings are module state.) *)
+
+let offenders = ref 0
+
+(* a top-level binding whose right-hand side starts with [ref] or
+   [Hashtbl.create]: `let name = ref ...`, `let name : t = ref ...` *)
+let bad_binding =
+  Str.regexp
+    {|^let +[a-z_][a-zA-Z0-9_']*\( *:[^=]*\)? *= *\(ref \|ref$\|Hashtbl\.create\)|}
+
+let scan path =
+  let ic = open_in path in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if Str.string_match bad_binding line 0 then begin
+         incr offenders;
+         Printf.eprintf
+           "%s:%d: top-level mutable singleton: %s\n  (services must live in \
+            Lsutil.Ctx, not module state)\n"
+           path !lineno (String.trim line)
+       end
+     done
+   with End_of_file -> ());
+  close_in ic
+
+let () =
+  let files =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as files) -> files
+    | _ ->
+        prerr_endline "usage: lint_globals FILE.ml ...";
+        exit 2
+  in
+  List.iter scan files;
+  if !offenders > 0 then begin
+    Printf.eprintf "lint_globals: %d offender(s)\n" !offenders;
+    exit 1
+  end

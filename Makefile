@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-full examples clean
+.PHONY: all build test check lint bench bench-full examples clean
 
 all: build
 
@@ -28,3 +28,8 @@ examples:
 
 clean:
 	dune clean
+
+# AST source lint (rules SRC001..SRC006) over every OCaml source dir;
+# also runs as part of `dune build @check`
+lint:
+	dune exec tools/lint_src.exe -- lib bin bench tools test

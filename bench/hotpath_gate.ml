@@ -37,8 +37,9 @@ let number = function
   | J.Float f -> f
   | _ -> nan
 
-(* the hotpath/maj_construction record's [field] *)
-let metric path field =
+(* the hotpath record [name]'s [field], or [None] when the record is
+   absent (pre-sanitizer baselines lack the "san" record) *)
+let metric_opt path name field =
   match J.of_string (read_file path) with
   | Error e -> fail "%s: parse error: %s" path e
   | Ok doc -> (
@@ -47,22 +48,40 @@ let metric path field =
         | Some (J.List l) -> l
         | _ -> fail "%s: \"records\" is not a list" path
       in
-      let is_maj_construction r =
+      let is_wanted r =
         J.member "section" r = Some (J.String "hotpath")
-        && J.member "name" r = Some (J.String "maj_construction")
+        && J.member "name" r = Some (J.String name)
       in
-      match List.find_opt is_maj_construction records with
-      | None -> fail "%s: no hotpath/maj_construction record" path
+      match List.find_opt is_wanted records with
+      | None -> None
       | Some r -> (
           match J.member field r with
           | Some v ->
               let f = number v in
               if Float.is_nan f || f <= 0.0 then
-                fail "%s: %s is not a positive number" path field;
-              f
-          | None -> fail "%s: maj_construction record lacks %s" path field))
+                fail "%s: hotpath/%s %s is not a positive number" path name
+                  field;
+              Some f
+          | None -> fail "%s: hotpath/%s record lacks %s" path name field))
+
+let metric path name field =
+  match metric_opt path name field with
+  | Some f -> f
+  | None -> fail "%s: no hotpath/%s record" path name
 
 let tolerance = 0.25
+
+let gate ~what ~base ~fresh =
+  let ratio = fresh /. base in
+  Printf.printf "hotpath_gate: %s %.4e calls/op vs baseline %.4e (%.0f%%)\n"
+    what fresh base (100.0 *. ratio);
+  if ratio < 1.0 -. tolerance then begin
+    Printf.eprintf
+      "hotpath_gate: FAIL - %s normalized throughput dropped more than \
+       %.0f%%\n"
+      what (100.0 *. tolerance);
+    exit 1
+  end
 
 let () =
   let baseline_path, fresh_path =
@@ -70,16 +89,17 @@ let () =
     | [| _; b; f |] -> (b, f)
     | _ -> fail "usage: hotpath_gate BASELINE.json FRESH.json"
   in
-  let base = metric baseline_path "calls_per_op" in
-  let fresh = metric fresh_path "calls_per_op" in
-  let ratio = fresh /. base in
-  Printf.printf
-    "hotpath_gate: maj construction %.4e calls/op vs baseline %.4e (%.0f%%)\n"
-    fresh base (100.0 *. ratio);
-  if ratio < 1.0 -. tolerance then begin
-    Printf.eprintf
-      "hotpath_gate: FAIL - normalized throughput dropped more than %.0f%%\n"
-      (100.0 *. tolerance);
-    exit 1
-  end
-  else print_endline "hotpath_gate: OK"
+  let base = metric baseline_path "maj_construction" "calls_per_op" in
+  let fresh = metric fresh_path "maj_construction" "calls_per_op" in
+  gate ~what:"maj construction" ~base ~fresh;
+  (* sanitizer-off construction must stay as cheap as plain
+     construction: gate it against the baseline's san record when one
+     exists, else against the maj_construction baseline itself *)
+  let san_base =
+    match metric_opt baseline_path "san" "off_calls_per_op" with
+    | Some f -> f
+    | None -> base
+  in
+  let san_fresh = metric fresh_path "san" "off_calls_per_op" in
+  gate ~what:"san-off construction" ~base:san_base ~fresh:san_fresh;
+  print_endline "hotpath_gate: OK"

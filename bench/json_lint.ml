@@ -99,6 +99,14 @@ let check_hotpath i r name =
       List.iter
         (fun f -> num i r f "hotpath")
         [ "time_s"; "probes_per_sec"; "probes_per_op" ]
+  | "san" ->
+      int_field i r "calls";
+      List.iter
+        (fun f -> num i r f "hotpath")
+        [
+          "off_calls_per_sec"; "off_calls_per_op"; "on_calls_per_sec";
+          "on_calls_per_op"; "on_over_off"; "rebuild_off_s"; "rebuild_on_s";
+        ]
   | "summary" ->
       List.iter
         (fun f -> num i r f "hotpath")

@@ -826,6 +826,53 @@ let print_hotpath () =
          ("probes_per_sec", J.Float probes_per_sec);
          ("probes_per_op", J.Float (probes_per_sec /. cal));
        ]);
+  (* sanitizer cost: the identical construction stream under a ctx
+     with the sanitizer off (one load-and-branch on an immediate tag)
+     and on, plus a cleanup rebuild both ways.  The off figures are
+     gated against the maj_construction baseline by hotpath_gate: the
+     disabled sanitizer must stay within the normal tolerance. *)
+  let san_build san =
+    best_of 3 (fun () ->
+        let ctx = Lsutil.Ctx.create ~san () in
+        let g = MG.create ~ctx () in
+        MG.reserve g hotpath_maj_calls;
+        let pool = Array.copy (hotpath_setup g) in
+        hotpath_drive g pool plan)
+  in
+  let (), t_off = san_build false in
+  let (), t_on = san_build true in
+  let off_cps = float_of_int hotpath_maj_calls /. t_off in
+  let on_cps = float_of_int hotpath_maj_calls /. t_on in
+  let san_rebuild san =
+    let ctx = Lsutil.Ctx.create ~san () in
+    let e = Benchmarks.Suite.find "cla" in
+    let m =
+      Mig.Convert.of_network ~ctx (N.flatten_aoig (e.Benchmarks.Suite.build ()))
+    in
+    let _, t = best_of 3 (fun () -> MG.cleanup m) in
+    t
+  in
+  let rb_off = san_rebuild false in
+  let rb_on = san_rebuild true in
+  Printf.printf
+    "  %-28s %12.3e calls/s off, %12.3e calls/s on (x%.2f); cleanup %.4fs \
+     off, %.4fs on\n\
+     %!"
+    "sanitizer" off_cps on_cps (t_on /. t_off) rb_off rb_on;
+  emit
+    (J.Obj
+       [
+         ("section", J.String "hotpath");
+         ("name", J.String "san");
+         ("calls", J.Int hotpath_maj_calls);
+         ("off_calls_per_sec", J.Float off_cps);
+         ("off_calls_per_op", J.Float (off_cps /. cal));
+         ("on_calls_per_sec", J.Float on_cps);
+         ("on_calls_per_op", J.Float (on_cps /. cal));
+         ("on_over_off", J.Float (t_on /. t_off));
+         ("rebuild_off_s", J.Float rb_off);
+         ("rebuild_on_s", J.Float rb_on);
+       ]);
   (* per-pass rebuild cost on a real Table-I circuit *)
   List.iter
     (fun bname ->

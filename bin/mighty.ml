@@ -77,7 +77,7 @@ let ctx_of_cli ?(stats = false) ?(check = false) ?fault () =
   Lsutil.Ctx.create
     ~stats:(stats || e.Lsutil.Env.stats)
     ~check:(check || e.Lsutil.Env.check)
-    ?fault ~seed:e.Lsutil.Env.seed ()
+    ?fault ~seed:e.Lsutil.Env.seed ~san:e.Lsutil.Env.san ()
 
 let parse_fault_arg = function
   | None -> None
@@ -148,7 +148,8 @@ let opt_run input output effort goal stats timeout max_nodes fault json =
   let ctx =
     Lsutil.Ctx.create
       ~stats:(stats || env.Lsutil.Env.stats)
-      ~check:env.Lsutil.Env.check ~seed:env.Lsutil.Env.seed ()
+      ~check:env.Lsutil.Env.check ~seed:env.Lsutil.Env.seed
+      ~san:env.Lsutil.Env.san ()
   in
   let flt = Lsutil.Ctx.fault ctx in
   let net = read_input input in
@@ -348,7 +349,7 @@ let batch_run names jobs goal effort timeout max_nodes fault stats check json
     Lsutil.Ctx.create
       ~stats:(stats || env.Lsutil.Env.stats)
       ~check:(check || env.Lsutil.Env.check)
-      ?fault:plan ~seed:env.Lsutil.Env.seed ()
+      ?fault:plan ~seed:env.Lsutil.Env.seed ~san:env.Lsutil.Env.san ()
   in
   let t0 = Unix.gettimeofday () in
   let outcomes = Flow.Batch.run ~jobs ~spec ~make_ctx items in
@@ -460,7 +461,16 @@ let check_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"INPUT" ~doc:"Input circuit (.blif or .v, flattened).")
   in
-  let run list_rules guard input =
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write the findings as a mighty-check/1 JSON document to \
+             $(docv), or stdout for $(b,-).")
+  in
+  let run list_rules guard json input =
     if list_rules then begin
       Format.printf "%a@." Check.Rules.pp_catalog ();
       exit 0
@@ -485,9 +495,25 @@ let check_cmd =
             Network.Check.lint ~subject:"network" net;
             Mig.Check.lint ~subject:"mig" m;
             Aig.Check.lint ~subject:"aig" a;
+            (* runtime-sanitizer findings (empty unless MIG_SAN=1 saw a
+               violation while building the graphs above) *)
+            Check.San.report (Lsutil.Ctx.san ctx);
           ]
         in
-        List.iter (fun r -> Format.printf "%a@." Check.Report.pp r) reports;
+        (match json with
+        | Some "-" ->
+            Format.printf "%a@." Lsutil.Json.pp
+              (Check.Report.reports_to_json reports)
+        | Some out ->
+            let oc = open_out out in
+            output_string oc
+              (Lsutil.Json.to_string (Check.Report.reports_to_json reports));
+            output_char oc '\n';
+            close_out oc
+        | None ->
+            List.iter
+              (fun r -> Format.printf "%a@." Check.Report.pp r)
+              reports);
         (if guard then
            match
              Mig.Check.guarded ~enabled:true ~name:"opt_depth"
@@ -504,11 +530,12 @@ let check_cmd =
             0 reports
         in
         if nerr > 0 then begin
-          Format.printf "%d error(s)@." nerr;
+          if json = None then Format.printf "%d error(s)@." nerr;
           exit 1
         end
   in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ list_rules $ guard $ input)
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ list_rules $ guard $ json $ input)
 
 let equiv_cmd =
   let doc = "check two circuits for functional equivalence" in

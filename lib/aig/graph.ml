@@ -5,6 +5,7 @@ module Vec = Lsutil.Vec
 type t = {
   ctx : Lsutil.Ctx.t;
   bud : Lsutil.Budget.t; (* alias into [ctx] for the hot charge site *)
+  san : Lsutil.San.tag; (* shared with [f0]/[f1]; immediate when off *)
   f0 : int Vec.t;
   f1 : int Vec.t;
   strash : (int * int, int) Hashtbl.t;
@@ -15,12 +16,14 @@ type t = {
 
 let create ?ctx () =
   let ctx = match ctx with Some c -> c | None -> Lsutil.Ctx.create () in
+  let san = Lsutil.San.register (Lsutil.Ctx.san ctx) ~name:"aig.graph" in
   let g =
     {
       ctx;
       bud = Lsutil.Ctx.budget ctx;
-      f0 = Vec.create ();
-      f1 = Vec.create ();
+      san;
+      f0 = Vec.create ~san ();
+      f1 = Vec.create ~san ();
       strash = Hashtbl.create 4096;
       names = Hashtbl.create 64;
       pi_ids = [];
@@ -53,6 +56,8 @@ let key a b =
   if a <= b then (a, b) else (b, a)
 
 let find_and g a b =
+  (* the strash is a Hashtbl, not a sanitized Vec: check it here *)
+  Lsutil.San.read_access g.san;
   if is_c0 a || is_c0 b then Some (const0 g)
   else if is_c1 a then Some b
   else if is_c1 b then Some a
@@ -148,6 +153,7 @@ let depth g =
   List.fold_left (fun acc (_, s) -> max acc lv.(S.node s)) 0 (pos g)
 
 let cleanup g =
+  Lsutil.San.read_access g.san;
   let fresh = create ~ctx:g.ctx () in
   let map = Array.make (num_nodes g) None in
   map.(0) <- Some (const0 fresh);
@@ -171,6 +177,8 @@ let cleanup g =
       build (S.node s);
       add_po fresh name (lookup s))
     (pos g);
+  (* ids of [g] do not name nodes of [fresh]: a renumbering event *)
+  Lsutil.San.bump ~reason:"Aig.Graph.cleanup" g.san;
   fresh
 
 let pp_stats fmt g =
@@ -181,6 +189,7 @@ let pp_stats fmt g =
 
 let strash_count g = Hashtbl.length g.strash
 let raw_fanins g i = (Vec.get g.f0 i, Vec.get g.f1 i)
+let san_tag g = g.san
 
 module Unsafe = struct
   let push_node g a b =
@@ -194,5 +203,6 @@ module Unsafe = struct
     id
 
   let strash_add g (a, b) id =
+    Lsutil.San.write_access g.san;
     Hashtbl.add g.strash ((a : S.t :> int), (b : S.t :> int)) id
 end

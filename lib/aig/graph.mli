@@ -76,6 +76,9 @@ val strash_count : t -> int
 (** Number of strash entries; equal to {!size} on a well-formed
     graph. *)
 
+val san_tag : t -> Lsutil.San.tag
+(** The graph's sanitizer tag; see {!Mig.Graph.san_tag}. *)
+
 val raw_fanins : t -> int -> int * int
 (** Raw fanin slots: signal integers for AND nodes, [-1] markers for
     PIs, [-2] for the constant node. *)

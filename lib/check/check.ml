@@ -6,3 +6,4 @@ module Report = Check_report
 module Rules = Check_rules
 module Env = Check_env
 module Guard = Check_guard
+module San = Check_san

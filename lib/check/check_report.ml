@@ -49,3 +49,38 @@ let pp fmt r =
       Format.fprintf fmt "@]"
 
 let to_string r = Format.asprintf "%a" pp r
+
+(* ----- mighty-check/1 ----- *)
+
+module J = Lsutil.Json
+
+let finding_to_json f =
+  J.Obj
+    ([
+       ("rule", J.String f.rule);
+       ( "severity",
+         J.String
+           (match f.severity with Error -> "error" | Warning -> "warning") );
+     ]
+    @ (match f.node with Some id -> [ ("node", J.Int id) ] | None -> [])
+    @ [ ("message", J.String f.detail) ])
+
+let to_json r =
+  let fs = findings r in
+  J.Obj
+    [
+      ("subject", J.String r.subj);
+      ("clean", J.Bool (is_clean r));
+      ("count", J.Int (List.length fs));
+      ("findings", J.List (List.map finding_to_json fs));
+    ]
+
+let reports_to_json reports =
+  J.Obj
+    [
+      ("schema", J.String "mighty-check/1");
+      ("tool", J.String "mighty check");
+      ( "clean",
+        J.Bool (List.for_all is_clean reports) );
+      ("reports", J.List (List.map to_json reports));
+    ]

@@ -46,3 +46,11 @@ val merge : t list -> subject:string -> t
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val to_json : t -> Lsutil.Json.t
+(** One report as a JSON object: subject, clean flag, findings with
+    their stable rule codes. *)
+
+val reports_to_json : t list -> Lsutil.Json.t
+(** The [mighty-check/1] document: a schema header plus one entry per
+    report, so CI can diff rule findings across runs. *)

@@ -37,6 +37,27 @@ let all =
     ("NET005", "PI/PO integrity: node 0 is the constant, PI names are \
                 unique and present, PO names are unique");
     ("NET006", "dead-node accounting: gates unreachable from the POs");
+    (* SAN rules — the Lsutil.San domain-ownership/lifetime sanitizer
+       (MIG_SAN=1, DESIGN.md §14) *)
+    ("SAN001", "cross-domain read of an owned structure (publish or \
+                transfer before handing a graph to another domain)");
+    ("SAN002", "cross-domain or published-structure mutation (only the \
+                owning domain may write; published means read-only)");
+    ("SAN003", "stale-generation access: node ids minted before a \
+                compact/cleanup renumbering were validated after it");
+    ("SAN004", "illegal ownership handoff: publish by a non-owner, or \
+                transfer of a structure owned by another domain");
+    ("SAN005", "double lease of a scratch buffer (caught at lease time)");
+    ("SAN006", "leaked lease: a scratch buffer still out at San.drain");
+    (* SRC rules — the AST source linter (tools/lint_src.exe); scopes
+       and exemptions live in Lint_rules.applies *)
+    ("SRC001", "top-level mutable singleton: structure-level binding to \
+                ref/Hashtbl.create/Atomic.make in lib/");
+    ("SRC002", "Domain.spawn outside Flow.Batch");
+    ("SRC003", "raw wall-clock read outside Budget/Telemetry in lib/");
+    ("SRC004", "Obj.magic anywhere");
+    ("SRC005", "catch-all `with _ ->` exception handler in lib/");
+    ("SRC006", "Sys.getenv outside Lsutil.Env in lib/");
   ]
 
 let describe code = List.assoc_opt code all

@@ -1,0 +1,13 @@
+(* Bridge from the runtime sanitizer to the structured report
+   vocabulary: San findings carry the same stable codes as the rest of
+   the checker (SAN001..SAN006 live in Check_rules.all), so `mighty
+   check --json` and CI diffing see one finding stream regardless of
+   whether a rule fired statically or at runtime. *)
+
+let report ?(subject = "san") san =
+  let r = Check_report.create ~subject in
+  List.iter
+    (fun (f : Lsutil.San.finding) ->
+      Check_report.error r ~rule:f.code "%s: %s" f.subject f.detail)
+    (Lsutil.San.findings san);
+  r

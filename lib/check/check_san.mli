@@ -1,0 +1,11 @@
+(** Runtime-sanitizer findings as a structured report.
+
+    [Lsutil.San] cannot depend on this library, so the translation
+    into {!Check_report} lives here: each recorded sanitizer finding
+    becomes an [Error]-severity report finding under its stable
+    SAN00x code (registered in {!Check_rules.all}). *)
+
+val report : ?subject:string -> Lsutil.San.t -> Check_report.t
+(** [report san] — everything the handle has recorded, as one report
+    (clean when the run was sanitizer-silent).  [subject] defaults to
+    ["san"]. *)

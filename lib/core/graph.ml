@@ -14,6 +14,10 @@ type t = {
   tel : Lsutil.Telemetry.t;
   bud : Lsutil.Budget.t;
   flt : Lsutil.Fault.t;
+  san : Lsutil.San.tag;
+  (* the graph's sanitizer identity: an immediate no-op unless the
+     ctx was created under MIG_SAN=1.  Shared with the strash and the
+     PI/PO vectors, so every access path asserts the same owner. *)
   mutable fan : int array;
   mutable nn : int; (* number of nodes; 3 * nn ints of [fan] are live *)
   strash : Ih.t; (* packed (f0, f1, f2) -> id, no boxed keys *)
@@ -55,6 +59,7 @@ let ensure_fan g n =
    grows here, so this single site enforces the max-node cap for every
    construction path. *)
 let push_node g x y z =
+  Lsutil.San.write_access g.san;
   Lsutil.Budget.note_nodes g.bud 1;
   let id = g.nn in
   if 3 * (id + 1) > Array.length g.fan then ensure_fan g (id + 1);
@@ -67,19 +72,21 @@ let push_node g x y z =
 
 let create ?ctx () =
   let ctx = match ctx with Some c -> c | None -> Lsutil.Ctx.create () in
+  let san = Lsutil.San.register (Lsutil.Ctx.san ctx) ~name:"mig.graph" in
   let g =
     {
       ctx;
       tel = Lsutil.Ctx.stats ctx;
       bud = Lsutil.Ctx.budget ctx;
       flt = Lsutil.Ctx.fault ctx;
+      san;
       fan = Array.make 48 0;
       nn = 0;
-      strash = Ih.create ~capacity:4096 ();
+      strash = Ih.create ~capacity:4096 ~san ();
       names = Hashtbl.create 64;
-      pis_v = Vec.create ();
-      po_names = Vec.create ();
-      po_sigs = Vec.create ();
+      pis_v = Vec.create ~san ();
+      po_names = Vec.create ~san ();
+      po_sigs = Vec.create ~san ();
       reach = None;
       size_nn = -1;
       size_np = -1;
@@ -254,6 +261,7 @@ let xor_n g = function [] -> const0 g | xs -> tree xor_ g xs
 let num_nodes g = g.nn
 
 let check_id g i =
+  Lsutil.San.read_access g.san;
   if i < 0 || i >= g.nn then invalid_arg "Mig.Graph: node id out of bounds"
 
 let is_pi g i =
@@ -416,6 +424,7 @@ let depth g =
    strash insert per node.  Visits fanins in stored order, exactly
    like {!cleanup}, so the output is bit-identical to [cleanup g]. *)
 let compact g =
+  Lsutil.San.read_access g.san;
   let fresh = create ~ctx:g.ctx () in
   let nn = num_nodes g in
   reserve fresh nn;
@@ -469,9 +478,13 @@ let compact g =
   iter_pos g (fun name s ->
       build (S.node s);
       add_po fresh name (S.make map.(S.node s) (S.is_complement s)));
+  (* node ids of [g] do not name nodes of the renumbered result:
+     generation snapshots taken before this rebuild go stale *)
+  Lsutil.San.bump ~reason:"Mig.Graph.compact" g.san;
   fresh
 
 let cleanup g =
+  Lsutil.San.read_access g.san;
   let fresh = create ~ctx:g.ctx () in
   let map = Array.make (num_nodes g) None in
   map.(0) <- Some (const0 fresh);
@@ -508,6 +521,7 @@ let cleanup g =
   iter_pos g (fun name s ->
       build (S.node s);
       add_po fresh name (lookup s));
+  Lsutil.San.bump ~reason:"Mig.Graph.cleanup" g.san;
   fresh
 
 let pp_stats fmt g =
@@ -516,6 +530,7 @@ let pp_stats fmt g =
 
 (* ----- checker support ----- *)
 
+let san_tag g = g.san
 let strash_count g = Ih.length g.strash
 
 let raw_fanins g i =

@@ -161,6 +161,12 @@ val strash_count : t -> int
 (** Number of entries in the structural-hashing table.  Equal to
     {!num_allocated_majs} on a well-formed graph. *)
 
+val san_tag : t -> Lsutil.San.tag
+(** The graph's sanitizer tag.  Snapshot/validate it to guard node
+    ids across {!compact}/{!cleanup} renumbering, or publish/transfer
+    it for cross-domain handoff; an immediate no-op when the
+    sanitizer is off. *)
+
 val raw_fanins : t -> int -> int * int * int
 (** The three raw fanin slots of a node: signal integers for majority
     nodes, [-1] markers for PIs, [-2] for the constant node. *)

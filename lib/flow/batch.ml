@@ -72,7 +72,6 @@ let pmap ~jobs f arr =
   end
 
 let run_item ~spec ~ctx item =
-  let t0 = Unix.gettimeofday () in
   let work () =
     let net = Network.Graph.flatten_aoig (item.build ()) in
     let m = Mig.Convert.of_network ~ctx net in
@@ -86,9 +85,12 @@ let run_item ~spec ~ctx item =
     in
     (size_in, depth_in, G.size out, G.depth out, report)
   in
-  let (size_in, depth_in, size_out, depth_out, report), telemetry =
-    T.capture (Ctx.stats ctx) ("batch:" ^ item.name) work
+  let ((size_in, depth_in, size_out, depth_out, report), telemetry), time_s =
+    T.time (fun () -> T.capture (Ctx.stats ctx) ("batch:" ^ item.name) work)
   in
+  (* every scratch lease taken under this ctx must be back by now;
+     leaks are SAN006 findings attributed to this item *)
+  Lsutil.San.drain (Ctx.san ctx);
   {
     name = item.name;
     size_in;
@@ -96,7 +98,7 @@ let run_item ~spec ~ctx item =
     size_out;
     depth_out;
     report;
-    time_s = Unix.gettimeofday () -. t0;
+    time_s;
     telemetry;
   }
 

@@ -142,9 +142,9 @@ let run ?verify ?timeout_s ?max_nodes ?cost ?size_cap ?(seed = 1)
       let step p =
         if Lsutil.Budget.expired bud then record p.name Skipped 0.0 false
         else begin
-          let t0 = Unix.gettimeofday () in
-          let res = protect ~name:p.name (fun () -> p.run !cur) in
-          let dt = Unix.gettimeofday () -. t0 in
+          let res, dt =
+            T.time (fun () -> protect ~name:p.name (fun () -> p.run !cur))
+          in
           match res with
           | Ok cand
             when G.size cand <= size_cap

@@ -1,10 +1,19 @@
 (* The execution context: one record bundling every cross-cutting
    service that used to be a process-global singleton.  A ctx is
    single-owner state — create one per independent line of work (one
-   per domain in a batch run) and never share it across domains. *)
+   per domain in a batch run) and never share it across domains.
+   Under MIG_SAN=1 that contract is *checked*: the ctx's [San] handle
+   tags every arena-backed structure created under it, and cross-
+   domain access without an explicit handoff is a structured
+   finding. *)
 
+(* Each pooled buffer carries its sanitizer tag so a double lease or
+   a leaked lease is caught ([San.lease]/[San.release]); with the
+   sanitizer off the tag is the immediate no-op and the pair costs
+   one extra word per *pooled buffer*, not per use. *)
 type scratch = {
-  mutable pool : int array list;  (** free buffers, most recent first *)
+  mutable pool : (int array * San.tag) list;
+      (** free buffers, most recent first *)
   mutable allocs : int;  (** fresh arrays ever made (regression hook) *)
 }
 
@@ -12,12 +21,14 @@ type t = {
   stats : Telemetry.t;
   budget : Budget.t;
   fault : Fault.t;
+  san : San.t;
   mutable check : bool;
   rng : Rng.t;
   scratch : scratch;
 }
 
-let create ?(stats = false) ?(check = false) ?budget ?fault ?(seed = 1) () =
+let create ?(stats = false) ?(check = false) ?budget ?fault ?(seed = 1)
+    ?(san = false) ?(san_mode = San.Raise) () =
   let budget =
     match budget with
     | None -> Budget.create ()
@@ -27,19 +38,22 @@ let create ?(stats = false) ?(check = false) ?budget ?fault ?(seed = 1) () =
     stats = Telemetry.create ~enabled:stats ();
     budget;
     fault = Fault.create ?spec:fault ();
+    san = San.create ~mode:san_mode ~enabled:san ();
     check;
     rng = Rng.create seed;
     scratch = { pool = []; allocs = 0 };
   }
 
 let of_env (e : Env.t) =
-  create ~stats:e.stats ~check:e.check ?fault:e.fault ~seed:e.seed ()
+  create ~stats:e.stats ~check:e.check ?fault:e.fault ~seed:e.seed ~san:e.san
+    ()
 
 let default () = of_env (Env.load ())
 
 let stats t = t.stats
 let budget t = t.budget
 let fault t = t.fault
+let san t = t.san
 let check t = t.check
 let set_check t b = t.check <- b
 let rng t = t.rng
@@ -51,25 +65,33 @@ let rng t = t.rng
    rebuild triggered from inside another rebuild's node constructor)
    simply pop the next buffer — correct by construction, where the old
    global [arena_busy] flag silently fell back to a fresh unpooled
-   allocation. *)
+   allocation.  Under the sanitizer each buffer is leased at checkout:
+   a buffer that is somehow handed out twice (SAN005) or never
+   returned (SAN006 at [San.drain]) is a structured finding. *)
 let with_scratch t n k =
   let sc = t.scratch in
-  let buf =
+  let buf, tag =
     match sc.pool with
-    | b :: rest when Array.length b >= n ->
+    | (b, tag) :: rest when Array.length b >= n ->
         sc.pool <- rest;
         Array.fill b 0 n (-1);
-        b
-    | b :: rest ->
+        (b, tag)
+    | (b, tag) :: rest ->
         (* too small: replace it, keeping the pool from accumulating
            dead undersized buffers *)
         sc.pool <- rest;
         sc.allocs <- sc.allocs + 1;
-        Array.make (max n (2 * Array.length b)) (-1)
+        (Array.make (max n (2 * Array.length b)) (-1), tag)
     | [] ->
         sc.allocs <- sc.allocs + 1;
-        Array.make (max n 1024) (-1)
+        ( Array.make (max n 1024) (-1),
+          San.register t.san ~name:"ctx.scratch" )
   in
-  Fun.protect ~finally:(fun () -> sc.pool <- buf :: sc.pool) (fun () -> k buf)
+  San.lease tag;
+  Fun.protect
+    ~finally:(fun () ->
+      San.release tag;
+      sc.pool <- (buf, tag) :: sc.pool)
+    (fun () -> k buf)
 
 let scratch_allocs t = t.scratch.allocs

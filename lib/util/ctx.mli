@@ -17,7 +17,11 @@
     running domains is a data race.  Create one ctx per worker;
     immutable results (graphs are safe to {e read} once their owning
     worker has joined, telemetry {!Telemetry.node} trees, reports) can
-    cross domains freely. *)
+    cross domains freely.  Under [MIG_SAN=1] (or [~san:true]) the
+    contract is enforced: every arena-backed structure created under
+    the ctx registers with its {!San} handle, and a cross-domain
+    access without {!San.publish}/{!San.transfer} is a structured
+    [SAN00x] finding. *)
 
 type t
 
@@ -27,13 +31,17 @@ val create :
   ?budget:float option * int option ->
   ?fault:Fault.spec ->
   ?seed:int ->
+  ?san:bool ->
+  ?san_mode:San.mode ->
   unit ->
   t
 (** [create ()] is a quiet context: telemetry off, no budget, no
-    fault plan, checks off, seed 1.  [~stats] enables the telemetry
-    sink; [~check] makes guarded passes verify by default; [~budget:
-    (deadline_s, max_nodes)] installs a root budget for the ctx's
-    lifetime; [~fault] arms a fault plan. *)
+    fault plan, checks off, sanitizer off, seed 1.  [~stats] enables
+    the telemetry sink; [~check] makes guarded passes verify by
+    default; [~budget: (deadline_s, max_nodes)] installs a root budget
+    for the ctx's lifetime; [~fault] arms a fault plan; [~san:true]
+    arms the domain-ownership sanitizer ([~san_mode] defaults to
+    {!San.Raise}). *)
 
 val default : unit -> t
 (** A fresh context configured from the environment ({!Env.load}):
@@ -46,6 +54,11 @@ val of_env : Env.t -> t
 val stats : t -> Telemetry.t
 val budget : t -> Budget.t
 val fault : t -> Fault.t
+
+val san : t -> San.t
+(** The ctx's sanitizer handle.  Structures created under the ctx
+    register here; [San.findings (Ctx.san ctx)] after a run is the
+    cleanliness assertion the differential tests use. *)
 
 val check : t -> bool
 (** The default for the [?check] flag of guarded passes. *)

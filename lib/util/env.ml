@@ -1,11 +1,12 @@
 type t = {
   stats : bool;
   check : bool;
+  san : bool;
   fault : Fault.spec option;
   seed : int;
 }
 
-let defaults = { stats = false; check = false; fault = None; seed = 1 }
+let defaults = { stats = false; check = false; san = false; fault = None; seed = 1 }
 
 let flag s =
   match String.lowercase_ascii (String.trim s) with
@@ -27,6 +28,7 @@ let base () =
   {
     stats = flag_var "MIG_STATS";
     check = flag_var "MIG_CHECK";
+    san = flag_var "MIG_SAN";
     fault = None;
     seed;
   }

@@ -7,19 +7,23 @@
 
     - [MIG_STATS] — telemetry sink on ([1]/[true]/[on]/[yes])
     - [MIG_CHECK] — transform guards on (same booleans)
+    - [MIG_SAN]   — domain-ownership sanitizer on (same booleans;
+      see {!San})
     - [MIG_FAULT] — fault-plan spec string ({!Fault.parse} grammar)
     - [MIG_SEED]  — default RNG seed (int; default 1) *)
 
 type t = {
   stats : bool;
   check : bool;
+  san : bool;
   fault : Fault.spec option;
   seed : int;
 }
 
 val defaults : t
-(** Everything off: [{stats = false; check = false; fault = None;
-    seed = 1}] — what {!load} returns in a clean environment. *)
+(** Everything off: [{stats = false; check = false; san = false;
+    fault = None; seed = 1}] — what {!load} returns in a clean
+    environment. *)
 
 val load : unit -> t
 (** Parse the environment.  A malformed [MIG_FAULT] is dropped (no

@@ -16,6 +16,7 @@ type t = {
   mutable data : int array; (* 4 * capacity; capacity is a power of 2 *)
   mutable mask : int; (* capacity - 1 *)
   mutable count : int;
+  san : San.tag; (* immediate no-op when the sanitizer is off *)
 }
 
 (* Multiplicative mixing of the three key ints; the final shift folds
@@ -35,9 +36,9 @@ let make_data cap =
 
 let rec pow2 n c = if c >= n then c else pow2 n (2 * c)
 
-let create ?(capacity = 16) () =
+let create ?(capacity = 16) ?(san = San.off) () =
   let cap = pow2 (max capacity 16) 16 in
-  { data = make_data cap; mask = cap - 1; count = 0 }
+  { data = make_data cap; mask = cap - 1; count = 0; san }
 
 let length t = t.count
 
@@ -71,6 +72,7 @@ let reserve t n =
   if needed > t.mask + 1 then grow t needed
 
 let add t k0 k1 k2 v =
+  San.write_access t.san;
   if k0 < 0 || k1 < 0 || k2 < 0 || v < 0 then
     invalid_arg "Inthash.add: negative key or value";
   if 2 * (t.count + 1) > t.mask + 1 then grow t (2 * (t.mask + 1));
@@ -82,6 +84,7 @@ let add t k0 k1 k2 v =
    on and returns [v].  Growth is checked up front so the probe's
    endpoint stays valid. *)
 let find_or_add t k0 k1 k2 v =
+  San.write_access t.san;
   if k0 < 0 || k1 < 0 || k2 < 0 || v < 0 then
     invalid_arg "Inthash.find_or_add: negative key or value";
   if 2 * (t.count + 1) > t.mask + 1 then grow t (2 * (t.mask + 1));
@@ -109,6 +112,7 @@ let find_or_add t k0 k1 k2 v =
   !r
 
 let find t k0 k1 k2 =
+  San.read_access t.san;
   let data = t.data and mask = t.mask in
   let i = ref (hash k0 k1 k2 land mask) in
   let r = ref (-1) in
@@ -131,7 +135,10 @@ let find t k0 k1 k2 =
 
 let mem t k0 k1 k2 = find t k0 k1 k2 >= 0
 
+(* dropping every binding invalidates outstanding ids: a renumbering
+   event for the sanitizer's generation counter *)
 let clear t =
+  San.bump ~reason:"Inthash.clear" t.san;
   let cap = t.mask + 1 in
   for i = 0 to cap - 1 do
     t.data.((4 * i) + 3) <- -1

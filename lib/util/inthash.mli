@@ -5,11 +5,15 @@
     for structural hashing, where the key is a node's three packed
     fanin signals and the value its id.
 
-    Keys and values must be non-negative; there is no deletion. *)
+    Keys and values must be non-negative; there is no deletion.
+
+    An optional {!San.tag} makes probes and insertions assert domain
+    ownership under the sanitizer ([MIG_SAN=1]); without one the
+    check is one branch on an immediate. *)
 
 type t
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?san:San.tag -> unit -> t
 (** [capacity] is rounded up to a power of two (min 16). *)
 
 val length : t -> int
@@ -35,7 +39,9 @@ val reserve : t -> int -> unit
 (** [reserve t n] pre-sizes so [n] entries fit without rehashing. *)
 
 val clear : t -> unit
-(** Drop every entry, keeping the allocated capacity. *)
+(** Drop every entry, keeping the allocated capacity.  Counts as a
+    renumbering event for the sanitizer (bumps the tag's
+    generation). *)
 
 val iter : (int -> int -> int -> int -> unit) -> t -> unit
 (** [iter f t] applies [f k0 k1 k2 v] to every entry, in slot order. *)

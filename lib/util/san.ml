@@ -1,0 +1,197 @@
+(* Shadow-state concurrency/lifetime sanitizer for the arena-backed
+   structures (DESIGN.md §14).
+
+   Every sanitized structure registers a [tag] with the handle owned
+   by its execution context.  A tag is [Off] (an immediate, so the
+   disarmed check in every accessor is one load and one branch — the
+   same discipline as [Budget.poll]) or a [cell] carrying the owning
+   domain, a generation counter and a lease bit.  Accessors assert
+   same-domain access unless ownership was explicitly handed off via
+   {!publish}/{!transfer}; renumbering rebuilds bump the generation so
+   node-id snapshots can be validated; scratch buffers are leased and
+   a double lease or a leaked lease is a structured finding.
+
+   Findings carry the stable codes SAN001–SAN006 and are always
+   recorded in the handle (so a multi-domain run can assert
+   cleanliness after joining); in [Raise] mode the violating access
+   additionally raises {!Violation} at the call site. *)
+
+type finding = {
+  code : string;  (* stable rule code, SAN001..SAN006 *)
+  subject : string;  (* the registered structure name *)
+  detail : string;
+}
+
+exception Violation of finding
+
+type mode = Raise | Collect
+
+type t = {
+  on : bool;
+  mode : mode;
+  mu : Mutex.t;  (* findings are recorded from the violating domain *)
+  mutable rev_findings : finding list;
+  mutable outstanding : cell list;  (* currently leased cells *)
+}
+
+and cell = {
+  san : t;
+  name : string;
+  mutable owner : int;  (* domain id; -1 = published (shared read-only) *)
+  mutable gen : int;
+  mutable leased : bool;
+}
+
+(* [Off] is an immediate constructor: a disarmed tag costs nothing to
+   carry and one compare to test. *)
+type tag = Off | On of cell
+
+let off = Off
+
+let create ?(mode = Raise) ~enabled () =
+  { on = enabled; mode; mu = Mutex.create (); rev_findings = [];
+    outstanding = [] }
+
+let enabled t = t.on
+let findings t = List.rev t.rev_findings
+let is_clean t = t.rev_findings = []
+
+let self () = (Domain.self () :> int)
+
+let violate c code fmt =
+  Printf.ksprintf
+    (fun detail ->
+      let f = { code; subject = c.name; detail } in
+      Mutex.protect c.san.mu (fun () ->
+          c.san.rev_findings <- f :: c.san.rev_findings);
+      match c.san.mode with Raise -> raise (Violation f) | Collect -> ())
+    fmt
+
+let register t ~name =
+  if not t.on then Off
+  else On { san = t; name; owner = self (); gen = 0; leased = false }
+
+(* ----- access checks ----- *)
+
+let read_access = function
+  | Off -> ()
+  | On c ->
+      let d = self () in
+      (* published (owner = -1) structures may be read from any
+         domain: joined results are immutable by contract *)
+      if c.owner <> d && c.owner <> -1 then
+        violate c "SAN001"
+          "read from domain %d but owned by domain %d (transfer or publish \
+           first)"
+          d c.owner
+
+let write_access = function
+  | Off -> ()
+  | On c ->
+      let d = self () in
+      if c.owner = -1 then
+        violate c "SAN002"
+          "mutated from domain %d while published read-only (transfer to \
+           reclaim ownership)"
+          d
+      else if c.owner <> d then
+        violate c "SAN002" "mutated from domain %d but owned by domain %d" d
+          c.owner
+
+(* ----- generations (compact/cleanup renumbering) ----- *)
+
+let snapshot = function Off -> 0 | On c -> c.gen
+
+let bump ?(reason = "rebuild") tag =
+  match tag with
+  | Off -> ()
+  | On c ->
+      write_access tag;
+      ignore reason;
+      c.gen <- c.gen + 1
+
+let validate tag ~snapshot:s =
+  match tag with
+  | Off -> ()
+  | On c ->
+      if c.gen <> s then
+        violate c "SAN003"
+          "stale access: node ids predate generation %d (snapshot %d was \
+           invalidated by compact/cleanup renumbering)"
+          c.gen s
+
+(* ----- ownership handoff ----- *)
+
+let publish = function
+  | Off -> ()
+  | On c ->
+      let d = self () in
+      if c.owner <> d && c.owner <> -1 then
+        violate c "SAN004"
+          "publish from domain %d but owned by domain %d (only the owner may \
+           publish)"
+          d c.owner
+      else c.owner <- -1
+
+let transfer = function
+  | Off -> ()
+  | On c ->
+      let d = self () in
+      if c.owner <> d && c.owner <> -1 then
+        violate c "SAN004"
+          "transfer to domain %d but still owned by domain %d (owner must \
+           publish first)"
+          d c.owner
+      else c.owner <- d
+
+let owner = function Off -> None | On c -> if c.owner = -1 then None else Some c.owner
+
+(* ----- scratch-buffer leases ----- *)
+
+let lease = function
+  | Off -> ()
+  | On c ->
+      write_access (On c);
+      if c.leased then
+        violate c "SAN005" "double lease: buffer already leased out"
+      else begin
+        c.leased <- true;
+        Mutex.protect c.san.mu (fun () ->
+            c.san.outstanding <- c :: c.san.outstanding)
+      end
+
+let release = function
+  | Off -> ()
+  | On c ->
+      c.leased <- false;
+      Mutex.protect c.san.mu (fun () ->
+          c.san.outstanding <- List.filter (fun x -> x != c) c.san.outstanding)
+
+(* [drain t] closes an extent of work: every lease still outstanding
+   is a leak.  Leaks are recorded for all outstanding cells before the
+   first raise so the report is complete. *)
+let drain t =
+  if t.on then begin
+    let leaked =
+      Mutex.protect t.mu (fun () ->
+          let l = t.outstanding in
+          t.outstanding <- [];
+          l)
+    in
+    let fs =
+      List.rev_map
+        (fun c ->
+          c.leased <- false;
+          { code = "SAN006"; subject = c.name;
+            detail = "leaked lease: buffer never released to its pool" })
+        leaked
+    in
+    Mutex.protect t.mu (fun () ->
+        t.rev_findings <- List.rev_append (List.rev fs) t.rev_findings);
+    match (fs, t.mode) with
+    | f :: _, Raise -> raise (Violation f)
+    | _ -> ()
+  end
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s [%s]: %s" f.code f.subject f.detail

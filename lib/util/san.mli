@@ -1,0 +1,106 @@
+(** Shadow-state concurrency/lifetime sanitizer (DESIGN.md §14).
+
+    Arena-backed structures ({!Vec}, {!Inthash}, [Mig.Graph],
+    [Aig.Graph], the {!Ctx.with_scratch} buffers) register a {!tag}
+    with the handle carried by their execution context.  Under
+    [MIG_SAN=1] every mutating and reading accessor asserts
+    same-domain access unless ownership was explicitly handed off
+    ({!publish}/{!transfer}); {!bump} marks renumbering rebuilds so a
+    {!snapshot} of node ids can be {!validate}d; scratch buffers are
+    {!lease}d and double or leaked leases are findings.
+
+    Stable finding codes:
+    - [SAN001] — cross-domain read of an owned structure
+    - [SAN002] — cross-domain (or published) mutation
+    - [SAN003] — stale-generation access after compact/cleanup
+    - [SAN004] — illegal ownership handoff
+    - [SAN005] — double lease of a scratch buffer
+    - [SAN006] — leaked lease at {!drain}
+
+    When the sanitizer is off every check is one load and one branch
+    on an immediate tag — the [Budget.poll] discipline, gated by the
+    hotpath bench ([bench/main.exe hotpath], record [san]). *)
+
+type finding = {
+  code : string;  (** stable rule code, [SAN001]..[SAN006] *)
+  subject : string;  (** the registered structure name *)
+  detail : string;
+}
+
+exception Violation of finding
+
+type mode =
+  | Raise  (** record the finding, then raise {!Violation} at the site *)
+  | Collect  (** record only — negative tests and post-mortem sweeps *)
+
+type t
+(** A sanitizer handle; one per execution context.  Findings are
+    recorded under a mutex so they can arrive from the violating
+    domain. *)
+
+type tag
+(** The shadow state of one registered structure.  A disabled handle
+    hands out an immediate no-op tag. *)
+
+val off : tag
+(** The untracked tag: every check on it is a no-op.  The default for
+    structures created outside any context ({!Vec.create},
+    {!Inthash.create} with no [?san]). *)
+
+val create : ?mode:mode -> enabled:bool -> unit -> t
+(** [create ~enabled ()] — a disabled handle makes {!register} return
+    the no-op tag, so downstream checks cost one branch. Default mode
+    is [Raise]. *)
+
+val enabled : t -> bool
+
+val register : t -> name:string -> tag
+(** Register a structure; the calling domain becomes its owner. *)
+
+val read_access : tag -> unit
+(** Assert the calling domain may read: it owns the structure, or the
+    structure is published.  [SAN001] otherwise. *)
+
+val write_access : tag -> unit
+(** Assert the calling domain owns the structure ([SAN002] otherwise,
+    including mutation of a published structure). *)
+
+val snapshot : tag -> int
+(** The current generation (0 for a no-op tag). *)
+
+val bump : ?reason:string -> tag -> unit
+(** Owner-only: advance the generation.  [Graph.compact]/[cleanup]
+    call this on the source graph so node ids minted before the
+    rebuild can be caught by {!validate}. *)
+
+val validate : tag -> snapshot:int -> unit
+(** [SAN003] iff the generation moved since [snapshot] was taken. *)
+
+val publish : tag -> unit
+(** Owner-only ([SAN004] otherwise): release the structure for shared
+    read-only use — any domain may then read or {!transfer}. *)
+
+val transfer : tag -> unit
+(** Claim ownership for the calling domain.  Legal on a published (or
+    already-owned) structure; claiming a structure owned by another
+    domain is [SAN004]. *)
+
+val owner : tag -> int option
+(** Owning domain id; [None] when published or untracked. *)
+
+val lease : tag -> unit
+(** Owner-only checkout of a scratch buffer; leasing a buffer that is
+    already out is [SAN005], caught at lease time. *)
+
+val release : tag -> unit
+
+val drain : t -> unit
+(** Close an extent of work: every outstanding lease is recorded as a
+    [SAN006] leak (all of them, before any raise). *)
+
+val findings : t -> finding list
+(** Everything recorded so far, in order. *)
+
+val is_clean : t -> bool
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -5,9 +5,15 @@
    always the right one.  No [Obj.magic] — a dummy forged from [0]
    breaks the flat float-array representation and lets immediates
    masquerade as pointers. *)
-type 'a t = { mutable data : 'a array; mutable len : int; mutable cap : int }
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  mutable cap : int;
+  san : San.tag;  (* immediate no-op when the sanitizer is off *)
+}
 
-let create ?(capacity = 16) () = { data = [||]; len = 0; cap = max capacity 1 }
+let create ?(capacity = 16) ?(san = San.off) () =
+  { data = [||]; len = 0; cap = max capacity 1; san }
 
 let length v = v.len
 
@@ -15,10 +21,12 @@ let check v i =
   if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
 
 let get v i =
+  San.read_access v.san;
   check v i;
   v.data.(i)
 
 let set v i x =
+  San.write_access v.san;
   check v i;
   v.data.(i) <- x
 
@@ -30,6 +38,7 @@ let realloc v cap x =
   v.data <- data
 
 let push v x =
+  San.write_access v.san;
   if v.len = Array.length v.data then
     realloc v (if v.len = 0 then v.cap else 2 * v.len) x;
   v.data.(v.len) <- x;
@@ -37,25 +46,37 @@ let push v x =
   v.len - 1
 
 let iter f v =
+  San.read_access v.san;
   for i = 0 to v.len - 1 do
     f v.data.(i)
   done
 
 let iteri f v =
+  San.read_access v.san;
   for i = 0 to v.len - 1 do
     f i v.data.(i)
   done
 
 let fold_left f acc v =
+  San.read_access v.san;
   let acc = ref acc in
   for i = 0 to v.len - 1 do
     acc := f !acc v.data.(i)
   done;
   !acc
 
-let to_array v = Array.sub v.data 0 v.len
-let of_array a = { data = Array.copy a; len = Array.length a; cap = max (Array.length a) 1 }
-let clear v = v.len <- 0
+let to_array v =
+  San.read_access v.san;
+  Array.sub v.data 0 v.len
+
+let of_array ?(san = San.off) a =
+  { data = Array.copy a; len = Array.length a; cap = max (Array.length a) 1; san }
+
+(* dropping every index invalidates outstanding ones: a renumbering
+   event for the sanitizer's generation counter *)
+let clear v =
+  San.bump ~reason:"Vec.clear" v.san;
+  v.len <- 0
 
 let reserve v n =
   if n > Array.length v.data then

@@ -1,8 +1,12 @@
-(** Growable arrays (OCaml 5.1 lacks [Dynarray]). *)
+(** Growable arrays (OCaml 5.1 lacks [Dynarray]).
+
+    An optional {!San.tag} makes every accessor assert domain
+    ownership under the sanitizer ([MIG_SAN=1]); without one (or with
+    the sanitizer off) the check is one branch on an immediate. *)
 
 type 'a t
 
-val create : ?capacity:int -> unit -> 'a t
+val create : ?capacity:int -> ?san:San.tag -> unit -> 'a t
 val length : 'a t -> int
 val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
@@ -13,9 +17,11 @@ val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
 val to_array : 'a t -> 'a array
-val of_array : 'a array -> 'a t
+val of_array : ?san:San.tag -> 'a array -> 'a t
 val clear : 'a t -> unit
-(** Forget every element; capacity is retained. *)
+(** Forget every element; capacity is retained.  Counts as a
+    renumbering event for the sanitizer (bumps the tag's
+    generation). *)
 
 val reserve : 'a t -> int -> unit
 (** [reserve v n] ensures pushes up to length [n] will not

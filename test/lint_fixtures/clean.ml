@@ -1,0 +1,13 @@
+(* no findings expected: the ref and table live inside a function, so
+   they are per-call state, not module state; the `with` names its
+   exception; the clock read and getenv appear only in this comment:
+   Unix.gettimeofday, Sys.getenv *)
+let fresh_counter () =
+  let c = ref 0 in
+  let t = Hashtbl.create 4 in
+  fun k ->
+    incr c;
+    Hashtbl.replace t k !c;
+    !c
+
+let safe f = try f () with Not_found -> 0

@@ -1,0 +1,5 @@
+(* regression: the old regex linter required a space after `=`, so
+   this binding slipped through; the AST rule sees the application *)
+let counter=ref 0
+
+let bump () = incr counter

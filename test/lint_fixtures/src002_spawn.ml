@@ -1,0 +1,3 @@
+let run work =
+  let d = Domain.spawn work in
+  Domain.join d

@@ -1,0 +1,5 @@
+let elapsed f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  (* the matching read is via Telemetry.time, so only t0 counts *)
+  t0

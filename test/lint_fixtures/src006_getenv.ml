@@ -1,0 +1,1 @@
+let home () = match Sys.getenv_opt "HOME" with Some h -> h | None -> "/"

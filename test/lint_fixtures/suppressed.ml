@@ -1,0 +1,3 @@
+[@@@san.allow "SRC004"]
+
+let coerce (x : int) : string = Obj.magic x

@@ -17,6 +17,11 @@ module E = Flow.Engine
 module F = Lsutil.Fault
 module J = Lsutil.Json
 
+(* MIG_SAN=1 (the CI chaos job sets it) runs every scenario under the
+   ownership sanitizer: a violation raises San.Violation, which the
+   no-uncaught-exception invariant then reports as a failure *)
+let san = (Lsutil.Env.load ()).Lsutil.Env.san
+
 let mig_of ~ctx name =
   let net = (Benchmarks.Suite.find name).Benchmarks.Suite.build () in
   Mig.Convert.of_network ~ctx (Network.Graph.flatten_aoig net)
@@ -46,7 +51,7 @@ let armed ctx spec f =
 
 let engine_scenario ~bench ~goal ~spec =
   incr scenarios;
-  let ctx = Lsutil.Ctx.create () in
+  let ctx = Lsutil.Ctx.create ~san () in
   let m = mig_of ~ctx bench in
   let out, rep =
     armed ctx spec (fun () ->
@@ -102,7 +107,7 @@ let test_engine_sweep () =
 
 let bdd_scenario ~bench ~spec =
   incr scenarios;
-  let ctx = Lsutil.Ctx.create () in
+  let ctx = Lsutil.Ctx.create ~san () in
   let net = (Benchmarks.Suite.find bench).Benchmarks.Suite.build () in
   let res =
     armed ctx spec (fun () ->
@@ -140,7 +145,7 @@ let mapper_scenario ~spec =
     Network.Graph.flatten_aoig
       ((Benchmarks.Suite.find "count").Benchmarks.Suite.build ())
   in
-  let ctx = Lsutil.Ctx.create () in
+  let ctx = Lsutil.Ctx.create ~san () in
   let res =
     armed ctx spec (fun () ->
         E.protect

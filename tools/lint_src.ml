@@ -1,0 +1,82 @@
+(* CLI driver for Lint_rules: lint_src [--json] [--list-rules] PATH...
+
+   A PATH that is a directory is walked recursively for [.ml] files,
+   skipping [_build], [.git] and [lint_fixtures] (the fixtures are
+   deliberate offenders for the test-suite; they are only linted when
+   named explicitly).  Exit 0 when clean, 1 on findings, 2 on usage
+   or parse errors. *)
+
+let usage = "usage: lint_src [--json] [--list-rules] PATH..."
+
+let list_rules () =
+  List.iter
+    (fun r ->
+      Printf.printf "%s  %-32s %s\n" r.Lint_rules.code r.Lint_rules.title
+        r.Lint_rules.descr)
+    Lint_rules.catalog
+
+let skip_dir name =
+  name = "_build" || name = ".git" || name = "lint_fixtures"
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if skip_dir entry then acc else walk (Filename.concat path entry) acc)
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort compare entries;
+       entries)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let json = ref false and list_ = ref false and paths = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--json" -> json := true
+        | "--list-rules" -> list_ := true
+        | "--help" | "-h" ->
+            print_endline usage;
+            exit 0
+        | _ when String.length arg > 0 && arg.[0] = '-' ->
+            prerr_endline ("lint_src: unknown option " ^ arg);
+            prerr_endline usage;
+            exit 2
+        | p -> paths := p :: !paths)
+    Sys.argv;
+  if !list_ then begin
+    list_rules ();
+    exit 0
+  end;
+  if !paths = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let files = List.concat_map (fun p -> List.rev (walk p [])) (List.rev !paths) in
+  let errors = ref 0 in
+  let findings =
+    List.concat_map
+      (fun f ->
+        match Lint_rules.lint_file f with
+        | Ok fs -> fs
+        | Error msg ->
+            incr errors;
+            prerr_endline ("lint_src: " ^ msg);
+            [])
+      files
+  in
+  if !json then
+    print_endline (Lsutil.Json.to_string (Lint_rules.to_json findings))
+  else begin
+    List.iter
+      (fun f -> Format.printf "%a@." Lint_rules.pp_finding f)
+      findings;
+    if findings <> [] then
+      Format.printf "lint_src: %d finding(s) in %d file(s)@."
+        (List.length findings) (List.length files)
+  end;
+  if !errors > 0 then exit 2;
+  if findings <> [] then exit 1

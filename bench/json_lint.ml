@@ -162,6 +162,30 @@ let check_engine i r =
   metrics_obj i r "result" ~ints:[ "size"; "depth" ] ~floats:[];
   check_report i (get i r "report")
 
+(* memo records carry the cold-vs-warm cache rollup plus the
+   edit-one-output incremental sub-record *)
+let check_memo i r =
+  List.iter
+    (fun f -> num i r f "memo")
+    [ "time_cold_s"; "time_warm_s"; "speedup" ];
+  bool_field i r "identical";
+  List.iter (int_field i r) [ "rw_entries"; "cone_entries" ];
+  List.iter
+    (fun key ->
+      metrics_obj i r key
+        ~ints:[ "rw_hits"; "rw_misses"; "reused_pos"; "reopt_pos" ]
+        ~floats:[])
+    [ "cold"; "warm" ];
+  let inc = get i r "incremental" in
+  (match J.member "name" inc with
+  | Some (J.String _) -> ()
+  | _ -> fail "record %d: memo incremental without a name" i);
+  List.iter
+    (fun f -> num i inc f "memo.incremental")
+    [ "time_full_s"; "time_incr_s"; "fraction" ];
+  List.iter (int_field i inc) [ "reused_pos"; "reopt_pos" ];
+  bool_field i inc "identical"
+
 (* batch records carry the parallel-vs-sequential rollup plus one
    embedded outcome (with a full engine report) per circuit *)
 let check_batch i r =
@@ -218,6 +242,7 @@ let check_record i r =
   | "hotpath" -> check_hotpath i r name
   | "engine" -> check_engine i r
   | "batch" -> check_batch i r
+  | "memo" -> check_memo i r
   | s -> fail "record %d: unknown section %S" i s);
   sec
 

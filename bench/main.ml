@@ -1081,6 +1081,153 @@ let print_batch () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Memo: the persistent optimization cache (Lsutil.Memo / Mig.Rwcache *)
+(* / Flow.Cutoff).  Cold-vs-warm wall clock over the Table-I suite    *)
+(* with bit-identical QoR, plus the dune-style incremental record:    *)
+(* complement one output of a previously-seen circuit and re-optimize *)
+(* — only that cone goes back through the engine.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* [complement_po k net]: a structurally identical copy of [net] with
+   output [k]'s signal complemented — the smallest possible edit,
+   leaving every other output cone untouched. *)
+let complement_po k net =
+  let module S = Network.Signal in
+  let fresh = N.create () in
+  let map = Hashtbl.create (N.num_nodes net) in
+  Hashtbl.add map 0 (N.const0 fresh);
+  let value s =
+    S.xor_complement (Hashtbl.find map (S.node s)) (S.is_complement s)
+  in
+  N.iter_nodes net (fun id node ->
+      match node with
+      | N.Const0 -> ()
+      | N.Pi name -> Hashtbl.add map id (N.add_pi fresh name)
+      | N.Gate (fn, fs) ->
+          let f = Array.map value fs in
+          let s =
+            match fn with
+            | N.And -> N.and_ fresh f.(0) f.(1)
+            | N.Or -> N.or_ fresh f.(0) f.(1)
+            | N.Xor -> N.xor_ fresh f.(0) f.(1)
+            | N.Maj -> N.maj fresh f.(0) f.(1) f.(2)
+            | N.Mux -> N.mux fresh f.(0) f.(1) f.(2)
+          in
+          Hashtbl.add map id s);
+  List.iteri
+    (fun i (name, s) ->
+      let s = value s in
+      N.add_po fresh name (if i = k then S.not_ s else s))
+    (N.pos net);
+  fresh
+
+let print_memo () =
+  section "Memo - persistent NPN rewrite cache + early cutoff";
+  let items =
+    List.map
+      (fun e ->
+        {
+          Flow.Batch.name = e.Benchmarks.Suite.name;
+          build = e.Benchmarks.Suite.build;
+        })
+      Benchmarks.Suite.all
+  in
+  (* the size script runs [refactor] inside every cycle, so both cache
+     layers (NPN rewrite entries and PO-cone cutoff) are exercised *)
+  let spec = { Flow.Batch.default_spec with goal = `Size; effort = 2 } in
+  let make_ctx _ _ = Lsutil.Ctx.create () in
+  let cache = Flow.Cache.in_memory () in
+  let timed cache items =
+    let t0 = Unix.gettimeofday () in
+    let out = Flow.Batch.run ~jobs:1 ~spec ~make_ctx ~cache items in
+    (out, Unix.gettimeofday () -. t0)
+  in
+  let cold, t_cold = timed cache items in
+  let warm, t_warm = timed cache items in
+  let qor (o : Flow.Batch.outcome) =
+    (o.Flow.Batch.name, o.Flow.Batch.size_out, o.Flow.Batch.depth_out)
+  in
+  let identical = List.equal (fun a b -> qor a = qor b) cold warm in
+  let use outs =
+    List.fold_left
+      (fun (h, m, r, o) (out : Flow.Batch.outcome) ->
+        match out.Flow.Batch.cache with
+        | Some u ->
+            ( h + u.Flow.Batch.rw_hits,
+              m + u.Flow.Batch.rw_misses,
+              r + u.Flow.Batch.reused_pos,
+              o + u.Flow.Batch.reopt_pos )
+        | None -> (h, m, r, o))
+      (0, 0, 0, 0) outs
+  in
+  let use_json (h, m, r, o) =
+    J.Obj
+      [
+        ("rw_hits", J.Int h);
+        ("rw_misses", J.Int m);
+        ("reused_pos", J.Int r);
+        ("reopt_pos", J.Int o);
+      ]
+  in
+  let cold_use = use cold and warm_use = use warm in
+  let rw_entries, cone_entries = Flow.Cache.sizes cache in
+  let speedup = if t_warm > 0.0 then t_cold /. t_warm else 1.0 in
+  Printf.printf
+    "  cold %.3fs, warm %.3fs (%.1fx), QoR %s; store: %d rewrites, %d cones\n"
+    t_cold t_warm speedup
+    (if identical then "bit-identical" else "DIVERGED")
+    rw_entries cone_entries;
+  (* the incremental record: the smallest edit to a seen circuit — one
+     complemented output — re-optimized against the warm store, vs the
+     same edited circuit from a cold store *)
+  let edited_entry = Benchmarks.Suite.find "cla" in
+  let edited =
+    [
+      {
+        Flow.Batch.name = "cla~po0";
+        build = (fun () -> complement_po 0 (edited_entry.Benchmarks.Suite.build ()));
+      };
+    ]
+  in
+  let incr, _ = timed cache edited in
+  let full, _ = timed (Flow.Cache.in_memory ()) edited in
+  let time_of outs = List.fold_left (fun a (o : Flow.Batch.outcome) -> a +. o.Flow.Batch.time_s) 0.0 outs in
+  let t_incr = time_of incr and t_full = time_of full in
+  let fraction = if t_full > 0.0 then t_incr /. t_full else 1.0 in
+  let incr_identical = List.equal (fun a b -> qor a = qor b) incr full in
+  let _, _, incr_reused, incr_reopt = use incr in
+  Printf.printf
+    "  edit-one-output (cla~po0): %.4fs incremental vs %.4fs full (%.0f%%), \
+     %d cones reused / %d re-optimized, QoR %s\n"
+    t_incr t_full (100.0 *. fraction) incr_reused incr_reopt
+    (if incr_identical then "bit-identical" else "DIVERGED");
+  emit
+    (J.Obj
+       [
+         ("section", J.String "memo");
+         ("name", J.String "table1");
+         ("time_cold_s", J.Float t_cold);
+         ("time_warm_s", J.Float t_warm);
+         ("speedup", J.Float speedup);
+         ("identical", J.Bool identical);
+         ("cold", use_json cold_use);
+         ("warm", use_json warm_use);
+         ("rw_entries", J.Int rw_entries);
+         ("cone_entries", J.Int cone_entries);
+         ( "incremental",
+           J.Obj
+             [
+               ("name", J.String "cla~po0");
+               ("time_full_s", J.Float t_full);
+               ("time_incr_s", J.Float t_incr);
+               ("fraction", J.Float fraction);
+               ("reused_pos", J.Int incr_reused);
+               ("reopt_pos", J.Int incr_reopt);
+               ("identical", J.Bool incr_identical);
+             ] );
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [
@@ -1097,6 +1244,7 @@ let all_sections =
     ("hotpath", print_hotpath);
     ("engine", print_engine);
     ("batch", print_batch);
+    ("memo", print_memo);
   ]
 
 let write_json path =

@@ -61,6 +61,42 @@ let stats_arg =
            and out, rewrites, strash hits).  Equivalent to setting \
            $(b,MIG_STATS=1).")
 
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"PATH"
+        ~doc:
+          "Persistent optimization cache (NPN rewrite entries and PO-cone \
+           fingerprints), loaded before and saved after the run.  Defaults \
+           to $(b,MIG_CACHE); omit both for a cold, cache-less run.")
+
+(* A corrupt store file must not kill the run: the cache is an
+   accelerator, so warn and start cold at the same path (the save at
+   exit replaces the bad file). *)
+let cache_of_cli flag env =
+  match (match flag with Some _ as p -> p | None -> env.Lsutil.Env.cache) with
+  | None -> None
+  | Some path -> (
+      match Flow.Cache.load path with
+      | Ok c -> Some c
+      | Error msg ->
+          Printf.eprintf "mighty: cache %s: %s (starting cold)\n%!" path msg;
+          Some (Flow.Cache.empty_at path))
+
+let save_cache = function
+  | None -> ()
+  | Some c -> (
+      match Flow.Cache.save c with
+      | Ok () ->
+          Option.iter
+            (fun p ->
+              let rw, cones = Flow.Cache.sizes c in
+              Format.printf "cache: wrote %s (%d rewrites, %d cones)@." p rw
+                cones)
+            (Flow.Cache.path c)
+      | Error msg -> prerr_endline ("mighty: cache save: " ^ msg))
+
 (* One context per invocation, built from the environment exactly once
    and adjusted by CLI flags; a malformed [MIG_FAULT] is a usage error
    here, not something to drop silently. *)
@@ -133,7 +169,8 @@ let optimize_cmd =
    by pass.  Exit codes: 0 clean, 2 usage/input error, 3 degraded
    (some pass timed out, failed or was skipped — the output is still a
    valid best-so-far circuit). *)
-let opt_run input output effort goal stats timeout max_nodes fault json =
+let opt_run input output effort goal stats timeout max_nodes fault json cache
+    =
   (* the fault plan targets the optimization run: reject a bad spec up
      front, but arm it only around [Engine.run] so the reader/converter
      and the output writer stay outside the blast radius *)
@@ -152,6 +189,7 @@ let opt_run input output effort goal stats timeout max_nodes fault json =
       ~san:env.Lsutil.Env.san ()
   in
   let flt = Lsutil.Ctx.fault ctx in
+  let store = cache_of_cli cache env in
   let net = read_input input in
   Format.printf "read %s: %a@." input Network.Graph.pp_stats net;
   let m = Mig.Convert.of_network ~ctx (Network.Graph.flatten_aoig net) in
@@ -162,15 +200,53 @@ let opt_run input output effort goal stats timeout max_nodes fault json =
     Fun.protect
       ~finally:(fun () -> Lsutil.Fault.disarm flt)
       (fun () ->
-        Flow.Engine.run ?timeout_s:timeout ?max_nodes
-          ~cost:(Flow.Engine.cost_of_goal goal)
-          ~seed:0xda14
-          ~passes:(Flow.Engine.of_goal ~effort goal)
-          m)
+        match store with
+        | None ->
+            Flow.Engine.run ?timeout_s:timeout ?max_nodes
+              ~cost:(Flow.Engine.cost_of_goal goal)
+              ~seed:0xda14
+              ~passes:(Flow.Engine.of_goal ~effort goal)
+              m
+        | Some c ->
+            (* cache-accelerated: the rewrite handle feeds the engine's
+               refactoring passes, and the cone store lets unchanged
+               outputs skip optimization entirely (dune-style cutoff) *)
+            let rwh = Mig.Rwcache.fork (Flow.Cache.rw c) in
+            let salt =
+              Flow.Batch.salt_of_spec
+                {
+                  Flow.Batch.goal;
+                  effort;
+                  timeout_s = timeout;
+                  max_nodes;
+                  verify = None;
+                  seed = 0xda14;
+                }
+            in
+            let passes = Flow.Engine.of_goal ~effort ~cache:rwh goal in
+            let optimize g =
+              Flow.Engine.run ?timeout_s:timeout ?max_nodes
+                ~cost:(Flow.Engine.cost_of_goal goal)
+                ~seed:0xda14 ~passes g
+            in
+            let r =
+              Flow.Cutoff.run ~salt ~store:(Flow.Cache.cones c) ~optimize
+                ~seed:0xda14 m
+            in
+            Flow.Cache.absorb_rw c [ Mig.Rwcache.delta rwh ];
+            Flow.Cache.absorb_cones c [ r.Flow.Cutoff.delta ];
+            Format.printf
+              "cache: rewrites %d hit / %d miss, cones %d reused / %d \
+               re-optimized%s@."
+              (Mig.Rwcache.hits rwh) (Mig.Rwcache.misses rwh)
+              r.Flow.Cutoff.reused r.Flow.Cutoff.reoptimized
+              (if r.Flow.Cutoff.fallback then " [fallback]" else "");
+            (r.Flow.Cutoff.graph, r.Flow.Cutoff.report))
   in
   report opt "optimized";
   Format.printf "time: %.2fs@." (Unix.gettimeofday () -. t0);
   Format.printf "%a@." Flow.Engine.pp_report rep;
+  save_cache store;
   (match json with
   | Some "-" ->
       Format.printf "%a@." Lsutil.Json.pp (Flow.Engine.report_to_json rep)
@@ -237,7 +313,7 @@ let opt_cmd =
     (Cmd.info "opt" ~doc)
     Term.(
       const opt_run $ input_arg $ output_arg $ effort_arg $ goal_arg
-      $ stats_arg $ timeout $ max_nodes $ fault $ json)
+      $ stats_arg $ timeout $ max_nodes $ fault $ json $ cache_arg)
 
 let map_cmd =
   let doc = "optimize and map onto the 22nm-style cell library" in
@@ -307,7 +383,7 @@ let bench_cmd =
    circuit, results merged in input order.  Exit codes as [opt]: 0
    clean, 3 if any circuit degraded. *)
 let batch_run names jobs goal effort timeout max_nodes fault stats check json
-    =
+    cache =
   let env = env_or_die () in
   let plan =
     match parse_fault_arg fault with
@@ -351,12 +427,32 @@ let batch_run names jobs goal effort timeout max_nodes fault stats check json
       ~check:(check || env.Lsutil.Env.check)
       ?fault:plan ~seed:env.Lsutil.Env.seed ~san:env.Lsutil.Env.san ()
   in
+  let store = cache_of_cli cache env in
   let t0 = Unix.gettimeofday () in
-  let outcomes = Flow.Batch.run ~jobs ~spec ~make_ctx items in
+  let outcomes = Flow.Batch.run ~jobs ~spec ~make_ctx ?cache:store items in
   let dt = Unix.gettimeofday () -. t0 in
   List.iter (Format.printf "%a@." Flow.Batch.pp_outcome) outcomes;
   Format.printf "batch: %d circuit(s), %d job(s), %.3fs@."
     (List.length outcomes) jobs dt;
+  (match store with
+  | Some _ ->
+      let h, m, reused, reopt =
+        List.fold_left
+          (fun (h, m, r, o) out ->
+            match out.Flow.Batch.cache with
+            | Some u ->
+                ( h + u.Flow.Batch.rw_hits,
+                  m + u.Flow.Batch.rw_misses,
+                  r + u.Flow.Batch.reused_pos,
+                  o + u.Flow.Batch.reopt_pos )
+            | None -> (h, m, r, o))
+          (0, 0, 0, 0) outcomes
+      in
+      Format.printf
+        "cache: rewrites %d hit / %d miss, cones %d reused / %d re-optimized@."
+        h m reused reopt
+  | None -> ());
+  save_cache store;
   (match json with
   | Some "-" ->
       Format.printf "%a@." Lsutil.Json.pp (Flow.Batch.to_json ~jobs outcomes)
@@ -436,7 +532,7 @@ let batch_cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       const batch_run $ names_arg $ jobs $ goal_arg $ effort_arg $ timeout
-      $ max_nodes $ fault $ stats_arg $ check $ json)
+      $ max_nodes $ fault $ stats_arg $ check $ json $ cache_arg)
 
 let check_cmd =
   let doc =

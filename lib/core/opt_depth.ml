@@ -17,7 +17,7 @@ let saturate pass g ~max_iter =
   done;
   !cur
 
-let optimize ~effort ~size_recovery g =
+let optimize ~effort ~size_recovery ?cache g =
   Lsutil.Telemetry.record_int (Lsutil.Ctx.stats (G.ctx g)) "effort" effort;
   let best = ref (G.cleanup g) in
   let original_depth = G.depth !best in
@@ -53,7 +53,7 @@ let optimize ~effort ~size_recovery g =
     in
     cur := keep_depth (Transform.rewrite_patterns ~mode:`Size) !best;
     cur := keep_depth Transform.eliminate !cur;
-    let refactored = Transform.eliminate (Transform.refactor !cur) in
+    let refactored = Transform.eliminate (Transform.refactor ?cache !cur) in
     if
       G.depth refactored <= G.depth !cur
       || (G.depth refactored <= G.depth !cur + 1
@@ -66,7 +66,7 @@ let optimize ~effort ~size_recovery g =
     (* then keep compressing as long as depth holds *)
     for _i = 1 to 3 do
       cur := keep_depth (Transform.rewrite_patterns ~mode:`Size) !cur;
-      cur := keep_depth Transform.refactor !cur;
+      cur := keep_depth (Transform.refactor ?cache) !cur;
       cur := keep_depth Transform.eliminate !cur
     done;
     if
@@ -77,7 +77,7 @@ let optimize ~effort ~size_recovery g =
   end;
   !best
 
-let run ?check ?(effort = 4) ?(size_recovery = true) g =
+let run ?check ?(effort = 4) ?(size_recovery = true) ?cache g =
   Check.guarded ?enabled:check ~name:"opt_depth"
-    (Transform.traced "opt_depth" (optimize ~effort ~size_recovery))
+    (Transform.traced "opt_depth" (optimize ~effort ~size_recovery ?cache))
     g

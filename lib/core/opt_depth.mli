@@ -7,7 +7,14 @@
     {!Opt_size} elimination pass per cycle.  The best graph seen
     (smallest depth, size as tie-break) is returned. *)
 
-val run : ?check:bool -> ?effort:int -> ?size_recovery:bool -> Graph.t -> Graph.t
+val run :
+  ?check:bool ->
+  ?effort:int ->
+  ?size_recovery:bool ->
+  ?cache:Rwcache.t ->
+  Graph.t ->
+  Graph.t
 (** [run ?effort g] (default effort 4, size recovery on).  [check]
     runs the pass under {!Check.guarded}; defaults to the [MIG_CHECK]
-    environment variable. *)
+    environment variable.  [cache] is handed to the size-recovery
+    refactoring steps (see {!Transform.refactor}). *)

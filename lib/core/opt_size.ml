@@ -4,7 +4,7 @@ let cost g = (G.size g, G.depth g)
 
 let better a b = cost a < cost b
 
-let optimize ~effort g =
+let optimize ~effort ?cache g =
   Lsutil.Telemetry.record_int (Lsutil.Ctx.stats (G.ctx g)) "effort" effort;
   let best = ref (G.cleanup g) in
   let cur = ref !best in
@@ -25,7 +25,7 @@ let optimize ~effort g =
     cur := Transform.eliminate !cur;
     if better !cur !best then best := !cur;
     (* Boolean size recovery *)
-    cur := Transform.refactor !cur;
+    cur := Transform.refactor ?cache !cur;
     cur := Transform.eliminate !cur;
     if better !cur !best then best := !cur
     else
@@ -34,7 +34,7 @@ let optimize ~effort g =
   done;
   !best
 
-let run ?check ?(effort = 2) g =
+let run ?check ?(effort = 2) ?cache g =
   Check.guarded ?enabled:check ~name:"opt_size"
-    (Transform.traced "opt_size" (optimize ~effort))
+    (Transform.traced "opt_size" (optimize ~effort ?cache))
     g

@@ -6,7 +6,8 @@
     best graph seen (fewest nodes, depth as tie-break) is returned, so
     the result is never worse than the input. *)
 
-val run : ?check:bool -> ?effort:int -> Graph.t -> Graph.t
+val run : ?check:bool -> ?effort:int -> ?cache:Rwcache.t -> Graph.t -> Graph.t
 (** [run ?effort g] (default effort 2).  [check] runs the pass under
     {!Check.guarded} (pre/post lint + simulation miter); it defaults
-    to the [MIG_CHECK] environment variable. *)
+    to the [MIG_CHECK] environment variable.  [cache] is handed to the
+    Boolean-refactoring step (see {!Transform.refactor}). *)

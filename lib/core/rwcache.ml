@@ -1,0 +1,186 @@
+(* Cross-run rewrite cache: cut function -> factored replacement,
+   keyed by the full NPN-canonical truth table of the cut's
+   support-shrunk function (DESIGN.md §15).
+
+   Layering follows Lsutil.Memo's read-mostly model: an immutable
+   [base] snapshot shared by every domain in a batch, plus a private
+   delta per handle merged deterministically afterwards.  The stored
+   value is the factored form of the *canonical* table; each lookup
+   localizes it back through the NPN transform (variable map + input
+   phases + output complement), so one entry serves the whole NPN
+   class. *)
+
+module Tt = Truthtable
+module F = Sop.Factor
+module J = Lsutil.Json
+
+type base = F.form Lsutil.Memo.base
+
+type t = {
+  memo : F.form Lsutil.Memo.t;
+  (* semiclass-representative -> canonical table + transform: the
+     Gray-code semiclass is cheap, the n!-orbit canonizer is not, and
+     every member of a negation class shares its canonical image. *)
+  canon_memo : (string, Tt.t * Tt.npn) Hashtbl.t;
+  mutable rejected : int;
+}
+
+let section = "npn"
+let key_of tt = Printf.sprintf "%d:%s" (Tt.nvars tt) (Tt.to_hex tt)
+
+let empty_base () : base = Lsutil.Memo.empty_base ()
+let fork base = { memo = Lsutil.Memo.fork base; canon_memo = Hashtbl.create 64; rejected = 0 }
+let delta t = Lsutil.Memo.delta t.memo
+let merge = Lsutil.Memo.merge
+let base_size = Lsutil.Memo.base_size
+let hits t = Lsutil.Memo.hits t.memo
+let misses t = Lsutil.Memo.misses t.memo
+let rejected t = t.rejected
+let delta_size t = Lsutil.Memo.delta_size t.memo
+
+(* ----- forms as truth tables (validation) ----- *)
+
+let form_tt ~nvars form =
+  let rec go = function
+    | F.Const b -> if b then Tt.const1 nvars else Tt.const0 nvars
+    | F.Lit (i, pos) ->
+        let v = Tt.var nvars i in
+        if pos then v else Tt.not_ v
+    | F.And fs -> List.fold_left (fun acc f -> Tt.and_ acc (go f)) (Tt.const1 nvars) fs
+    | F.Or fs -> List.fold_left (fun acc f -> Tt.or_ acc (go f)) (Tt.const0 nvars) fs
+  in
+  go form
+
+(* De Morgan negation: preserves the literal count, hence the MIG
+   construction cost of the form. *)
+let rec neg_form = function
+  | F.Const b -> F.Const (not b)
+  | F.Lit (i, pos) -> F.Lit (i, not pos)
+  | F.And fs -> F.Or (List.map neg_form fs)
+  | F.Or fs -> F.And (List.map neg_form fs)
+
+(* ----- lookup ----- *)
+
+(* tr1 : s -> rep (identity permutation), tr2 : rep -> canon.
+   canon = (o1 xor o2)(permute (flips s (m1 lxor m2)) p2). *)
+let compose_npn (tr1 : Tt.npn) (tr2 : Tt.npn) : Tt.npn =
+  {
+    perm = tr2.perm;
+    phase = tr1.phase lxor tr2.phase;
+    out_neg = tr1.out_neg <> tr2.out_neg;
+    exact = tr2.exact;
+  }
+
+let canon_of t rep =
+  let k = key_of rep in
+  match Hashtbl.find_opt t.canon_memo k with
+  | Some r -> r
+  | None ->
+      let r = Tt.npn_canon rep in
+      Hashtbl.add t.canon_memo k r;
+      r
+
+(* Localize a form over canonical variables back to the original
+   table's variable indices: canonical variable [perm.(j)] is support
+   variable [j], i.e. original variable [vars.(j)], negated when phase
+   bit [j] is set; the output is complemented last. *)
+let localize ~vars (tr : Tt.npn) cform =
+  let k = Array.length vars in
+  let leaf_var = Array.make k 0 and leaf_neg = Array.make k false in
+  for j = 0 to k - 1 do
+    leaf_var.(tr.perm.(j)) <- vars.(j);
+    leaf_neg.(tr.perm.(j)) <- tr.phase land (1 lsl j) <> 0
+  done;
+  let rec go = function
+    | F.Const b -> F.Const b
+    | F.Lit (y, pos) -> F.Lit (leaf_var.(y), if leaf_neg.(y) then not pos else pos)
+    | F.And fs -> F.And (List.map go fs)
+    | F.Or fs -> F.Or (List.map go fs)
+  in
+  let form = go cform in
+  if tr.out_neg then neg_form form else form
+
+let lookup ?(check = false) t ~compute tt =
+  let s, vars = Tt.shrink tt in
+  if Array.length vars = 0 then (F.Const (Tt.get_bit tt 0), false)
+  else begin
+    let rep, tr1 = Tt.npn_semiclass_t s in
+    let canon, tr2 = canon_of t rep in
+    let tr = compose_npn tr1 tr2 in
+    let key = key_of canon in
+    let cform, hit =
+      match Lsutil.Memo.find t.memo key with
+      | Some f -> (f, true)
+      | None ->
+          let f = compute canon in
+          Lsutil.Memo.add t.memo key f;
+          (f, false)
+    in
+    let form = localize ~vars tr cform in
+    if check && hit && not (Tt.equal (form_tt ~nvars:(Tt.nvars tt) form) tt) then begin
+      (* a poisoned entry must never reach the graph: fall back to a
+         fresh ISOP + factoring run on the original table *)
+      t.rejected <- t.rejected + 1;
+      (compute tt, false)
+    end
+    else (form, hit)
+  end
+
+(* ----- JSON (de)serialization -----
+
+   A form is encoded compactly: Bool for constants, a signed 1-based
+   Int for literals (negative = complemented), and a tagged list
+   ["&", ...] / ["|", ...] for gates.  The section is a list of
+   [key, form] pairs sorted by key. *)
+
+let rec form_to_json = function
+  | F.Const b -> J.Bool b
+  | F.Lit (i, pos) -> J.Int (if pos then i + 1 else -(i + 1))
+  | F.And fs -> J.List (J.String "&" :: List.map form_to_json fs)
+  | F.Or fs -> J.List (J.String "|" :: List.map form_to_json fs)
+
+let rec form_of_json = function
+  | J.Bool b -> Some (F.Const b)
+  | J.Int i when i <> 0 -> Some (F.Lit (abs i - 1, i > 0))
+  | J.List (J.String (("&" | "|") as tag) :: rest) ->
+      let kids = List.filter_map form_of_json rest in
+      if List.length kids <> List.length rest then None
+      else Some (if tag = "&" then F.And kids else F.Or kids)
+  | _ -> None
+
+let parse_key k =
+  match String.index_opt k ':' with
+  | None -> None
+  | Some i -> (
+      let n = String.sub k 0 i and hex = String.sub k (i + 1) (String.length k - i - 1) in
+      match int_of_string_opt n with
+      | Some nv when nv >= 0 && nv <= 16 -> (
+          match Tt.of_hex nv hex with
+          | tt -> Some (nv, tt)
+          | exception Invalid_argument _ -> None)
+      | _ -> None)
+
+(* An entry is kept only when its form provably evaluates back to the
+   table its key names — the store is self-validating, so a stale or
+   hand-edited file degrades to a (partial) cold cache instead of
+   poisoning results. *)
+let entry_of_json = function
+  | J.List [ J.String key; fj ] -> (
+      match (parse_key key, form_of_json fj) with
+      | Some (nv, tt), Some form -> (
+          match Tt.equal (form_tt ~nvars:nv form) tt with
+          | true -> Some (key, form)
+          | false -> None
+          | exception Invalid_argument _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let base_to_json (b : base) =
+  J.List
+    (List.map
+       (fun (k, f) -> J.List [ J.String k; form_to_json f ])
+       (Lsutil.Memo.base_to_list b))
+
+let base_of_json = function
+  | J.List entries -> Lsutil.Memo.base_of_list (List.filter_map entry_of_json entries)
+  | _ -> Lsutil.Memo.empty_base ()

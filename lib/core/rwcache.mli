@@ -1,0 +1,72 @@
+(** Cross-run rewrite cache: cut function → factored replacement.
+
+    Entries are keyed by the full NPN-canonical truth table of the
+    cut's support-shrunk function ({!Truthtable.npn_canon}), so one
+    stored form serves every cut in the same NPN class; each {!lookup}
+    localizes the canonical form back through the class transform
+    (variable map, input phases, output complement).
+
+    Sharing follows {!Lsutil.Memo}: an immutable {!base} snapshot that
+    all [Flow.Batch] domains read concurrently, and a private handle
+    ({!fork}) per optimization run whose {!delta} is merged back
+    deterministically.  The on-disk representation is one section
+    (named {!section}) of the [Lsutil.Memo] store envelope; entries
+    are self-validating on load — a form that does not evaluate back
+    to its key's table is dropped. *)
+
+type base
+(** Immutable snapshot, safe to share across domains. *)
+
+type t
+(** Private handle: snapshot + delta + counters.  One per run. *)
+
+val empty_base : unit -> base
+val fork : base -> t
+
+val lookup :
+  ?check:bool ->
+  t ->
+  compute:(Truthtable.t -> Sop.Factor.form) ->
+  Truthtable.t ->
+  Sop.Factor.form * bool
+(** [lookup t ~compute tt] returns a factored form *over [tt]'s
+    variable indices* equivalent to [tt], and whether it was served
+    from the cache.  On miss, [compute] is called on the canonical
+    table and the result is recorded in the handle's delta.  With
+    [~check:true] a hit is re-evaluated as a truth table first; a
+    mismatching (poisoned) entry is rejected and recomputed from [tt]
+    directly. *)
+
+val delta : t -> (string * Sop.Factor.form) list
+(** New entries recorded through this handle, sorted by key. *)
+
+val merge : base -> (string * Sop.Factor.form) list list -> base
+(** Fold deltas into a fresh snapshot (first writer wins, list order —
+    see {!Lsutil.Memo.merge}). *)
+
+val base_size : base -> int
+val delta_size : t -> int
+val hits : t -> int
+val misses : t -> int
+
+val rejected : t -> int
+(** Poisoned hits rejected by [~check:true] lookups. *)
+
+(** {1 Persistence} *)
+
+val section : string
+(** Section name (["npn"]) inside the [mighty-cache/1] envelope. *)
+
+val base_to_json : base -> Lsutil.Json.t
+val base_of_json : Lsutil.Json.t -> base
+(** Tolerant: entries that fail to parse or to evaluate back to their
+    key's table are silently dropped. *)
+
+(** {1 Forms as functions} *)
+
+val form_tt : nvars:int -> Sop.Factor.form -> Truthtable.t
+(** Evaluate a form over [nvars] variables.  Raises [Invalid_argument]
+    if the form mentions a variable outside [0..nvars-1]. *)
+
+val key_of : Truthtable.t -> string
+(** ["<nvars>:<hex>"] — the store key of a (canonical) table. *)

@@ -837,19 +837,31 @@ let build_factored fresh leaves form =
   in
   go form
 
-let refactor ?(max_leaves = 10) g =
+let refactor ?(max_leaves = 10) ?cache g =
   let fanout = G.fanout_counts g in
   let plan = Hashtbl.create 64 in
   (* ISOP + factoring + costing is a pure function of the cut's truth
      table, and cones repeat heavily across a big netlist — memoize on
      the table (forms refer to leaf indices, so a cached form is valid
-     for any cut of the same function). *)
+     for any cut of the same function).  This exact-table memo is the
+     first filter; behind it, an armed [Rwcache] handle answers by NPN
+     class and persists across runs.  With no cache the pass computes
+     exactly what it always did. *)
   let form_memo = Hashtbl.create 1024 in
+  let compute tt = Sop.Factor.factor (Sop.Isop.compute tt) in
+  let check = Lsutil.Ctx.check (G.ctx g) in
   let form_of tt =
     match Hashtbl.find_opt form_memo tt with
     | Some fc -> fc
     | None ->
-        let form = Sop.Factor.factor (Sop.Isop.compute tt) in
+        let form =
+          match cache with
+          | None -> compute tt
+          | Some c ->
+              let form, hit = Rwcache.lookup ~check c ~compute tt in
+              Tel.count (tel g) (if hit then "rwcache_hits" else "rwcache_misses");
+              form
+        in
         let fc = (form, Aig.Rewrite.form_cost form) in
         Hashtbl.add form_memo tt fc;
         fc
@@ -996,5 +1008,6 @@ let substitution ?max_candidates ~on_critical g =
 let rewrite_patterns ?k ?max_cuts ?mode g =
   traced "transform:rewrite_patterns" (rewrite_patterns ?k ?max_cuts ?mode) g
 
-let refactor ?max_leaves g = traced "transform:refactor" (refactor ?max_leaves) g
+let refactor ?max_leaves ?cache g =
+  traced "transform:refactor" (refactor ?max_leaves ?cache) g
 let reshape_assoc g = traced "transform:reshape_assoc" reshape_assoc g

@@ -54,14 +54,22 @@ val rewrite_patterns :
     costing more than one node beyond the logic it frees; in [`Size]
     mode it must strictly free nodes. *)
 
-val refactor : ?max_leaves:int -> mig -> mig
+val refactor : ?max_leaves:int -> ?cache:Rwcache.t -> mig -> mig
 (** Boolean resynthesis: collapse a reconvergence-driven cone (up to
     [max_leaves] leaves, default 10) to a truth table, re-factor it
     through ISOP + algebraic division, and rebuild it with AND/OR
     majority nodes when that frees more nodes than it costs.  This is
     the "interlacing with other optimization methods" the paper's
     SIV.A anticipates for size recovery; never returns a larger
-    graph. *)
+    graph.
+
+    With [?cache], the ISOP + factoring step consults the NPN-keyed
+    {!Rwcache} handle first (and records misses into its delta);
+    cached forms are localized through the class transform, so results
+    are identical whether an entry was computed this run or served
+    from a warm store.  When the graph's context has checking on,
+    cache hits are re-validated against the cut function before
+    use. *)
 
 val reshape_assoc : mig -> mig
 (** Sharing-driven reshaping with Ω.A and Ψ.C (the §IV.A rationale of

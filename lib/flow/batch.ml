@@ -30,6 +30,13 @@ let default_spec =
 
 type item = { name : string; build : unit -> Network.Graph.t }
 
+type cache_use = {
+  rw_hits : int;
+  rw_misses : int;
+  reused_pos : int;
+  reopt_pos : int;
+}
+
 type outcome = {
   name : string;
   size_in : int;
@@ -39,6 +46,7 @@ type outcome = {
   report : Engine.report;
   time_s : float;
   telemetry : T.node option;
+  cache : cache_use option;
 }
 
 (* [pmap ~jobs f arr] with a shared atomic work index and one result
@@ -71,38 +79,83 @@ let pmap ~jobs f arr =
     Array.map (function Some v -> v | None -> assert false) out
   end
 
-let run_item ~spec ~ctx item =
+(* Everything that changes the optimizer's answer must land in the
+   cone-fingerprint salt, or a store written under one recipe would be
+   replayed under another. *)
+let salt_of_spec spec =
+  Printf.sprintf "%s:e%d:s%d:t%s:n%s:v%s"
+    (match spec.goal with `Size -> "size" | `Depth -> "depth" | `Activity -> "act")
+    spec.effort spec.seed
+    (match spec.timeout_s with None -> "-" | Some t -> Printf.sprintf "%g" t)
+    (match spec.max_nodes with None -> "-" | Some n -> string_of_int n)
+    (match spec.verify with None -> "-" | Some b -> string_of_bool b)
+
+let run_item ~spec ~ctx ~shared item =
+  let deltas = ref ([], []) in
   let work () =
     let net = Network.Graph.flatten_aoig (item.build ()) in
     let m = Mig.Convert.of_network ~ctx net in
     let size_in = G.size m and depth_in = G.depth m in
-    let passes = Engine.of_goal ~effort:spec.effort spec.goal in
-    let out, report =
-      Engine.run ?verify:spec.verify ?timeout_s:spec.timeout_s
-        ?max_nodes:spec.max_nodes
-        ~cost:(Engine.cost_of_goal spec.goal)
-        ~seed:spec.seed ~passes m
-    in
-    (size_in, depth_in, G.size out, G.depth out, report)
+    match shared with
+    | None ->
+        let passes = Engine.of_goal ~effort:spec.effort spec.goal in
+        let out, report =
+          Engine.run ?verify:spec.verify ?timeout_s:spec.timeout_s
+            ?max_nodes:spec.max_nodes
+            ~cost:(Engine.cost_of_goal spec.goal)
+            ~seed:spec.seed ~passes m
+        in
+        (size_in, depth_in, G.size out, G.depth out, report, None)
+    | Some (rw_base, cone_store, salt) ->
+        (* the shared snapshots are immutable; this domain records its
+           discoveries into private handles/deltas, merged by the
+           coordinator in input order after every join *)
+        let rwh = Mig.Rwcache.fork rw_base in
+        let passes = Engine.of_goal ~effort:spec.effort ~cache:rwh spec.goal in
+        let optimize g =
+          Engine.run ?verify:spec.verify ?timeout_s:spec.timeout_s
+            ?max_nodes:spec.max_nodes
+            ~cost:(Engine.cost_of_goal spec.goal)
+            ~seed:spec.seed ~passes g
+        in
+        let r = Cutoff.run ~salt ~store:cone_store ~optimize ~seed:spec.seed m in
+        deltas := (Mig.Rwcache.delta rwh, r.Cutoff.delta);
+        let use =
+          {
+            rw_hits = Mig.Rwcache.hits rwh;
+            rw_misses = Mig.Rwcache.misses rwh;
+            reused_pos = r.Cutoff.reused;
+            reopt_pos = r.Cutoff.reoptimized;
+          }
+        in
+        ( size_in,
+          depth_in,
+          G.size r.Cutoff.graph,
+          G.depth r.Cutoff.graph,
+          r.Cutoff.report,
+          Some use )
   in
-  let ((size_in, depth_in, size_out, depth_out, report), telemetry), time_s =
+  let ((size_in, depth_in, size_out, depth_out, report, cache), telemetry), time_s
+      =
     T.time (fun () -> T.capture (Ctx.stats ctx) ("batch:" ^ item.name) work)
   in
   (* every scratch lease taken under this ctx must be back by now;
      leaks are SAN006 findings attributed to this item *)
   Lsutil.San.drain (Ctx.san ctx);
-  {
-    name = item.name;
-    size_in;
-    depth_in;
-    size_out;
-    depth_out;
-    report;
-    time_s;
-    telemetry;
-  }
+  ( {
+      name = item.name;
+      size_in;
+      depth_in;
+      size_out;
+      depth_out;
+      report;
+      time_s;
+      telemetry;
+      cache;
+    },
+    !deltas )
 
-let run ?(jobs = 1) ?(spec = default_spec) ?make_ctx items =
+let run ?(jobs = 1) ?(spec = default_spec) ?make_ctx ?cache items =
   let jobs = min jobs (max 1 (Domain.recommended_domain_count ())) in
   let make_ctx =
     match make_ctx with Some f -> f | None -> fun _ _ -> Ctx.create ()
@@ -110,15 +163,36 @@ let run ?(jobs = 1) ?(spec = default_spec) ?make_ctx items =
   (* the pattern table is the library's only top-level [lazy]; force
      it before spawning so no two domains race its first Lazy.force *)
   Mig.Transform.prewarm ();
+  let shared =
+    Option.map (fun c -> (Cache.rw c, Cache.cones c, salt_of_spec spec)) cache
+  in
   let arr = Array.of_list items in
   let results =
-    pmap ~jobs (fun i item -> run_item ~spec ~ctx:(make_ctx i item) item) arr
+    pmap ~jobs (fun i item -> run_item ~spec ~ctx:(make_ctx i item) ~shared item) arr
   in
-  Array.to_list results
+  (* deltas are merged in input order — first writer wins — so the
+     absorbed cache is bit-identical for any [jobs] value *)
+  (match cache with
+  | Some c ->
+      Cache.absorb_rw c (Array.to_list (Array.map (fun (_, (rw, _)) -> rw) results));
+      Cache.absorb_cones
+        c
+        (Array.to_list (Array.map (fun (_, (_, cones)) -> cones) results))
+  | None -> ());
+  Array.to_list (Array.map fst results)
 
 (* ----- reporting ----- *)
 
 module J = Lsutil.Json
+
+let cache_use_to_json u =
+  J.Obj
+    [
+      ("rw_hits", J.Int u.rw_hits);
+      ("rw_misses", J.Int u.rw_misses);
+      ("reused_pos", J.Int u.reused_pos);
+      ("reopt_pos", J.Int u.reopt_pos);
+    ]
 
 let outcome_to_json o =
   J.Obj
@@ -134,6 +208,9 @@ let outcome_to_json o =
        ("rollbacks", J.Int o.report.Engine.rollbacks);
        ("report", Engine.report_to_json o.report);
      ]
+    @ (match o.cache with
+      | Some u -> [ ("cache", cache_use_to_json u) ]
+      | None -> [])
     @
     match o.telemetry with
     | Some node -> [ ("telemetry", T.to_json node) ]

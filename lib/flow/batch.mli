@@ -25,10 +25,23 @@ type spec = {
 val default_spec : spec
 (** [`Size], effort 2, no budget, ctx-resolved verification, seed 1. *)
 
+val salt_of_spec : spec -> string
+(** The {!Cutoff} fingerprint salt for this recipe.  Everything that
+    changes the optimizer's answer (goal, effort, seed, budgets,
+    verification policy) is encoded, so stores written under one
+    recipe are never replayed under another. *)
+
 type item = { name : string; build : unit -> Network.Graph.t }
 (** [build] runs {e inside} the worker domain, so each worker
     constructs its own private copy of the circuit; networks are never
     shared across domains. *)
+
+type cache_use = {
+  rw_hits : int;  (** rewrite-cache lookups answered from the store *)
+  rw_misses : int;
+  reused_pos : int;  (** POs stitched back from the cone store *)
+  reopt_pos : int;  (** POs pushed through the engine *)
+}
 
 type outcome = {
   name : string;
@@ -40,12 +53,14 @@ type outcome = {
   time_s : float;  (** wall-clock, the only non-deterministic field *)
   telemetry : Lsutil.Telemetry.node option;
       (** the item's captured span tree when its ctx had stats on *)
+  cache : cache_use option;  (** [Some] iff the batch ran with a cache *)
 }
 
 val run :
   ?jobs:int ->
   ?spec:spec ->
   ?make_ctx:(int -> item -> Lsutil.Ctx.t) ->
+  ?cache:Cache.t ->
   item list ->
   outcome list
 (** [run ~jobs items] processes all items on [jobs] worker domains
@@ -54,7 +69,14 @@ val run :
     the private context for item [i] — default a quiet
     [Lsutil.Ctx.create ()]; pass e.g.
     [fun _ _ -> Lsutil.Ctx.default ()] to honour the environment.
-    The MIG pattern table is prewarmed before any domain spawns. *)
+    The MIG pattern table is prewarmed before any domain spawns.
+
+    With [?cache], every worker reads the cache's immutable snapshots
+    (rewrite entries consulted by the refactoring passes, PO-cone
+    fingerprints driving {!Cutoff} early cutoff) and records private
+    deltas; the coordinator merges them back in input order after all
+    domains join, so the absorbed cache — like the outcomes — is
+    bit-identical for any [jobs] value. *)
 
 val pmap : jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 (** The underlying pool: applies [f] to every element on [jobs]

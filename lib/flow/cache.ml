@@ -1,0 +1,53 @@
+(* The persistent-cache bundle: both sections of the [mighty-cache/1]
+   store (the NPN rewrite entries of [Mig.Rwcache] and the PO-cone
+   fingerprints of [Cutoff]) behind one load/absorb/save lifecycle.
+
+   The bases inside are immutable snapshots; [absorb_*] swaps in a
+   freshly merged snapshot and must only be called from the
+   coordinating domain, between parallel regions (which is how
+   [Batch.run] uses it). *)
+
+type t = {
+  path : string option;
+  mutable rw : Mig.Rwcache.base;
+  mutable cones : Cutoff.store;
+}
+
+let in_memory () =
+  { path = None; rw = Mig.Rwcache.empty_base (); cones = Cutoff.empty_store () }
+
+let of_sections path sections =
+  let rw =
+    match List.assoc_opt Mig.Rwcache.section sections with
+    | Some j -> Mig.Rwcache.base_of_json j
+    | None -> Mig.Rwcache.empty_base ()
+  in
+  let cones =
+    match List.assoc_opt Cutoff.section sections with
+    | Some j -> Cutoff.store_of_json j
+    | None -> Cutoff.empty_store ()
+  in
+  { path; rw; cones }
+
+let empty_at path = of_sections (Some path) []
+let load path = Result.map (of_sections (Some path)) (Lsutil.Memo.load_file path)
+
+let rw t = t.rw
+let cones t = t.cones
+let path t = t.path
+let absorb_rw t deltas = if deltas <> [] then t.rw <- Mig.Rwcache.merge t.rw deltas
+
+let absorb_cones t deltas =
+  if deltas <> [] then t.cones <- Lsutil.Memo.merge t.cones deltas
+
+let save t =
+  match t.path with
+  | None -> Ok ()
+  | Some p ->
+      Lsutil.Memo.save_file p
+        [
+          (Mig.Rwcache.section, Mig.Rwcache.base_to_json t.rw);
+          (Cutoff.section, Cutoff.store_to_json t.cones);
+        ]
+
+let sizes t = (Mig.Rwcache.base_size t.rw, Cutoff.store_size t.cones)

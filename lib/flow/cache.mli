@@ -1,0 +1,41 @@
+(** The persistent optimization cache, as one load/absorb/save bundle.
+
+    Wraps the two sections of the versioned [mighty-cache/1] store —
+    the NPN-keyed rewrite entries of {!Mig.Rwcache} and the PO-cone
+    fingerprint store of {!Cutoff} — around the [Lsutil.Memo] on-disk
+    envelope.  The path usually comes from [MIG_CACHE]
+    ([Lsutil.Env.t.cache]) or a [--cache] CLI flag.
+
+    The snapshots inside are immutable; [absorb_*] replaces them with
+    freshly merged ones and must only be called from the coordinating
+    domain between parallel regions. *)
+
+type t
+
+val in_memory : unit -> t
+(** An empty cache with no backing file; {!save} is a no-op. *)
+
+val empty_at : string -> t
+(** An empty (cold) cache bound to [path]; {!save} writes there.
+    Useful to recover from an unreadable store file. *)
+
+val load : string -> (t, string) result
+(** Load a store file.  A missing file or a stale schema stamp loads
+    as an empty (cold) cache bound to [path]; unreadable JSON is an
+    [Error]. *)
+
+val save : t -> (unit, string) result
+(** Write both sections back atomically (no-op without a path). *)
+
+val rw : t -> Mig.Rwcache.base
+val cones : t -> Cutoff.store
+val path : t -> string option
+
+val absorb_rw : t -> (string * Sop.Factor.form) list list -> unit
+(** Merge rewrite-cache deltas, in list order (first writer wins). *)
+
+val absorb_cones : t -> (string * Lsutil.Json.t) list list -> unit
+(** Merge cone-store deltas, in list order (first writer wins). *)
+
+val sizes : t -> int * int
+(** [(rewrite entries, cone entries)]. *)

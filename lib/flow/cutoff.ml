@@ -1,0 +1,352 @@
+(* Dune-style early cutoff for re-optimization (DESIGN.md §15).
+
+   Each primary output's input cone is fingerprinted structurally
+   (node shapes, complement bits, PI names, plus a salt encoding the
+   optimization recipe).  A persistent store maps fingerprints to the
+   serialized *optimized* cone from a previous run; on a re-run over
+   an edited circuit, outputs whose fingerprints still match are
+   stitched back from the store and only the changed outputs go
+   through the engine, in a restricted sub-graph.  Structural hashing
+   in the rebuilt graph re-deduplicates logic shared between reused
+   and re-optimized cones.
+
+   The store is one section of the [mighty-cache/1] envelope and
+   follows the [Lsutil.Memo] read-mostly model: batch domains share an
+   immutable snapshot and return private deltas. *)
+
+module G = Mig.Graph
+module S = Network.Signal
+module J = Lsutil.Json
+module Memo = Lsutil.Memo
+
+type store = J.t Memo.base
+
+let section = "cones"
+let empty_store () : store = Memo.empty_base ()
+
+let store_of_json = function
+  | J.List entries ->
+      Memo.base_of_list
+        (List.filter_map
+           (function
+             | J.List [ J.String fp; (J.Obj _ as cone) ] -> Some (fp, cone)
+             | _ -> None)
+           entries)
+  | _ -> Memo.empty_base ()
+
+let store_to_json (s : store) =
+  J.List (List.map (fun (fp, cone) -> J.List [ J.String fp; cone ]) (Memo.base_to_list s))
+
+let store_size = Memo.base_size
+
+(* ----- structural traversal ----- *)
+
+(* Iterative post-order over a cone: every reachable node visited
+   exactly once, fanins before fanouts.  Deterministic (fanin order),
+   and heap-allocated so deep cones cannot blow the call stack. *)
+let postorder g root_node visit =
+  let seen = Hashtbl.create 256 in
+  let stack = ref [ (root_node, false) ] in
+  let continue_ = ref true in
+  while !continue_ do
+    match !stack with
+    | [] -> continue_ := false
+    | (id, processed) :: rest ->
+        stack := rest;
+        if processed then visit id
+        else if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          stack := (id, true) :: !stack;
+          if G.is_maj g id then begin
+            let fs = G.fanins g id in
+            for i = Array.length fs - 1 downto 0 do
+              let c = S.node fs.(i) in
+              if not (Hashtbl.mem seen c) then stack := (c, false) :: !stack
+            done
+          end
+        end
+  done
+
+(* ----- fingerprints ----- *)
+
+(* splitmix64 finalizer; two independently-seeded lanes give a 128-bit
+   fingerprint, printed as 32 hex digits.  Deterministic across runs
+   and platforms (pure Int64 arithmetic, no addresses, no hashing of
+   OCaml values). *)
+let splitmix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let mix h x = splitmix (Int64.add h (Int64.mul 0x9E3779B97F4A7C15L x))
+
+let fingerprint ~salt g root =
+  let h1 = ref 0x6a09e667f3bcc908L and h2 = ref 0xbb67ae8584caa73bL in
+  let feed x =
+    h1 := mix !h1 x;
+    h2 := mix !h2 (Int64.lognot x)
+  in
+  let feed_int i = feed (Int64.of_int i) in
+  let feed_str s =
+    feed_int (String.length s);
+    String.iter (fun c -> feed_int (Char.code c)) s
+  in
+  let idx = Hashtbl.create 256 in
+  postorder g (S.node root) (fun id ->
+      Hashtbl.add idx id (Hashtbl.length idx);
+      if G.is_maj g id then begin
+        feed_int 3;
+        Array.iter
+          (fun f ->
+            feed_int ((2 * Hashtbl.find idx (S.node f)) + Bool.to_int (S.is_complement f)))
+          (G.fanins g id)
+      end
+      else if G.is_pi g id then begin
+        feed_int 2;
+        feed_str (G.pi_name g id)
+      end
+      else feed_int 1);
+  feed_int (Bool.to_int (S.is_complement root));
+  feed_str salt;
+  Printf.sprintf "%016Lx%016Lx" !h1 !h2
+
+(* ----- cone (de)serialization -----
+
+   Portable reference encoding: slot 0 is the constant-false node,
+   slots 1..np the cone's PIs (by name, listed in traversal order),
+   then one slot per majority node in post-order.  A signal is
+   [2*slot + complement]. *)
+
+let sig_ref slot f =
+  J.Int ((2 * Hashtbl.find slot (S.node f)) + Bool.to_int (S.is_complement f))
+
+let serialize g root =
+  let pis = ref [] and ms = ref [] in
+  let slot = Hashtbl.create 256 in
+  postorder g (S.node root) (fun id ->
+      if G.is_maj g id then ms := id :: !ms
+      else if G.is_pi g id then pis := id :: !pis
+      else Hashtbl.replace slot id 0);
+  let pis = List.rev !pis and ms = List.rev !ms in
+  List.iteri (fun i id -> Hashtbl.replace slot id (i + 1)) pis;
+  let np = List.length pis in
+  List.iteri (fun i id -> Hashtbl.replace slot id (np + 1 + i)) ms;
+  J.Obj
+    [
+      ("pis", J.List (List.map (fun id -> J.String (G.pi_name g id)) pis));
+      ( "nodes",
+        J.List
+          (List.map
+             (fun id ->
+               J.List (Array.to_list (Array.map (sig_ref slot) (G.fanins g id))))
+             ms) );
+      ("out", sig_ref slot root);
+    ]
+
+(* Rebuild a serialized cone inside [tg]; [pi_sig] resolves PI names
+   to [tg] signals.  Any malformed reference (unknown PI, slot not yet
+   defined, bad shape) yields [None] — the entry is then treated as a
+   miss, never trusted. *)
+let deserialize tg ~pi_sig json =
+  match (J.member "pis" json, J.member "nodes" json, J.member "out" json) with
+  | Some (J.List pis), Some (J.List nodes), Some (J.Int out) ->
+      let np = List.length pis and nn = List.length nodes in
+      let refs = Array.make (1 + np + nn) (G.const0 tg) in
+      let ok = ref true in
+      List.iteri
+        (fun i p ->
+          match p with
+          | J.String name -> (
+              match pi_sig name with
+              | Some s -> refs.(i + 1) <- s
+              | None -> ok := false)
+          | _ -> ok := false)
+        pis;
+      let decode ~filled r =
+        if r < 0 || r / 2 > filled then begin
+          ok := false;
+          G.const0 tg
+        end
+        else S.xor_complement refs.(r / 2) (r land 1 = 1)
+      in
+      List.iteri
+        (fun i n ->
+          match n with
+          | J.List [ J.Int a; J.Int b; J.Int c ] ->
+              let filled = np + i in
+              let da = decode ~filled a
+              and db = decode ~filled b
+              and dc = decode ~filled c in
+              if !ok then refs.(1 + np + i) <- G.maj tg da db dc
+          | _ -> ok := false)
+        nodes;
+      let result = decode ~filled:(np + nn) out in
+      if !ok then Some result else None
+  | _ -> None
+
+(* Structural copy of one cone from [src] into [dst], mapping PIs by
+   name. *)
+let copy_cone src dst ~pi_sig root =
+  let map = Hashtbl.create 256 in
+  let ok = ref true in
+  postorder src (S.node root) (fun id ->
+      if G.is_maj src id then begin
+        let fs = G.fanins src id in
+        let v i =
+          S.xor_complement (Hashtbl.find map (S.node fs.(i))) (S.is_complement fs.(i))
+        in
+        Hashtbl.replace map id (G.maj dst (v 0) (v 1) (v 2))
+      end
+      else if G.is_pi src id then
+        match pi_sig (G.pi_name src id) with
+        | Some s -> Hashtbl.replace map id s
+        | None ->
+            ok := false;
+            Hashtbl.replace map id (G.const0 dst)
+      else Hashtbl.replace map id (G.const0 dst));
+  if !ok then
+    Some (S.xor_complement (Hashtbl.find map (S.node root)) (S.is_complement root))
+  else None
+
+(* ----- the incremental driver ----- *)
+
+type result = {
+  graph : G.t;
+  report : Engine.report;
+  reused : int;  (** POs stitched from the store *)
+  reoptimized : int;  (** POs pushed through the engine *)
+  fallback : bool;  (** store answers rejected; full run used instead *)
+  hits : int;
+  misses : int;
+  delta : (string * J.t) list;  (** new fingerprint → cone entries *)
+}
+
+let fresh_like g =
+  let tg = G.create ~ctx:(G.ctx g) () in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun id -> Hashtbl.replace tbl (G.pi_name g id) (G.add_pi tg (G.pi_name g id)))
+    (G.pis g);
+  (tg, fun name -> Hashtbl.find_opt tbl name)
+
+(* Optimize only the named POs of [g], as a restricted sub-graph over
+   the full PI list. *)
+let restrict g pos_subset =
+  let rg, pi_sig = fresh_like g in
+  let ok = ref true in
+  List.iter
+    (fun (name, s) ->
+      match copy_cone g rg ~pi_sig s with
+      | Some s' -> G.add_po rg name s'
+      | None -> ok := false)
+    pos_subset;
+  if !ok then Some rg else None
+
+let clean_report verified =
+  { Engine.passes = []; rollbacks = 0; degraded = false; verified }
+
+let run ~salt ~store ~optimize ?(seed = 1) g =
+  let check = Lsutil.Ctx.check (G.ctx g) in
+  let handle = Memo.fork store in
+  let pos = G.pos g in
+  let tagged =
+    List.map
+      (fun (name, s) ->
+        let fp = fingerprint ~salt g s in
+        (name, s, fp, Memo.find handle fp))
+      pos
+  in
+  let changed = List.filter_map (function (n, s, _, None) -> Some (n, s) | _ -> None) tagged in
+  let reused = List.length tagged - List.length changed in
+  let record_cones out names =
+    let outs = G.pos out in
+    List.iter
+      (fun (name, _, fp, _) ->
+        if List.mem name names then
+          match List.assoc_opt name outs with
+          | Some s -> Memo.add handle fp (serialize out s)
+          | None -> ())
+      tagged
+  in
+  let full_run () =
+    let out, report = optimize g in
+    record_cones out (List.map fst pos);
+    (out, report)
+  in
+  let finish ~fallback (out, report) ~reused ~reoptimized =
+    {
+      graph = out;
+      report;
+      reused;
+      reoptimized;
+      fallback;
+      hits = Memo.hits handle;
+      misses = Memo.misses handle;
+      delta = Memo.delta handle;
+    }
+  in
+  if reused = 0 then
+    (* nothing to stitch: a plain (cold or fully-edited) run *)
+    finish ~fallback:false (full_run ()) ~reused:0 ~reoptimized:(List.length pos)
+  else begin
+    let sub =
+      if changed = [] then Some None
+      else
+        match restrict g changed with
+        | None -> None
+        | Some rg ->
+            let rout, rreport = optimize rg in
+            Some (Some (rout, rreport))
+    in
+    let stitched =
+      match sub with
+      | None -> None
+      | Some sub_run -> (
+          let sg, pi_sig = fresh_like g in
+          let rout_pos =
+            match sub_run with Some (rout, _) -> G.pos rout | None -> []
+          in
+          let ok = ref true in
+          List.iter
+            (fun (name, _, _, cached) ->
+              let s' =
+                match cached with
+                | Some cone -> deserialize sg ~pi_sig cone
+                | None -> (
+                    match List.assoc_opt name rout_pos with
+                    | Some rs -> (
+                        match sub_run with
+                        | Some (rout, _) -> copy_cone rout sg ~pi_sig rs
+                        | None -> None)
+                    | None -> None)
+              in
+              match s' with
+              | Some s' -> G.add_po sg name s'
+              | None -> ok := false)
+            tagged;
+          if not !ok then None
+          else if
+            check
+            && not
+                 (Lsutil.Budget.suspended
+                    (Lsutil.Ctx.budget (G.ctx g))
+                    (fun () -> Mig.Equiv.migs ~seed g sg))
+          then None
+          else Some sg)
+    in
+    match stitched with
+    | Some sg ->
+        record_cones sg (List.map fst changed);
+        let report =
+          match sub with
+          | Some (Some (_, r)) -> r
+          | _ ->
+              clean_report
+                (Check_report.is_clean (Mig.Check.lint ~subject:"cutoff" sg))
+        in
+        finish ~fallback:false (sg, report) ~reused ~reoptimized:(List.length changed)
+    | None ->
+        (* a stored cone failed to rebuild or to verify: never trust
+           the store over the input — run the whole circuit *)
+        finish ~fallback:true (full_run ()) ~reused:0 ~reoptimized:(List.length pos)
+  end

@@ -227,7 +227,7 @@ let saturate_depth pass ~max_iter g =
   done;
   !cur
 
-let of_goal ?(effort = 2) goal =
+let of_goal ?(effort = 2) ?cache goal =
   let module Tr = Mig.Transform in
   let cycle i =
     let n name f = pass (Printf.sprintf "%s#%d" name i) f in
@@ -240,7 +240,7 @@ let of_goal ?(effort = 2) goal =
           n "relevance" Tr.relevance;
           n "substitution" (Tr.substitution ~on_critical:false);
           n "eliminate'" Tr.eliminate;
-          n "refactor" Tr.refactor;
+          n "refactor" (Tr.refactor ?cache);
           n "eliminate''" Tr.eliminate;
         ]
     | `Depth ->
@@ -266,7 +266,7 @@ let of_goal ?(effort = 2) goal =
         [
           pass "recover:rewrite" (Tr.rewrite_patterns ~mode:`Size);
           pass "recover:eliminate" Tr.eliminate;
-          pass "recover:refactor" Tr.refactor;
+          pass "recover:refactor" (Tr.refactor ?cache);
         ]
     | `Size | `Activity -> []
   in

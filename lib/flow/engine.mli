@@ -83,11 +83,15 @@ val protect :
     [tel]. *)
 
 val of_goal :
-  ?effort:int -> [ `Size | `Depth | `Activity ] -> pass list
+  ?effort:int ->
+  ?cache:Mig.Rwcache.t ->
+  [ `Size | `Depth | `Activity ] ->
+  pass list
 (** The optimization scripts of [Mig.Opt_size] / [Opt_depth] /
     [Opt_activity] unrolled into individually-checkpointed engine
     passes, [effort] (default 2) cycles plus the goal's recovery
-    phase. *)
+    phase.  [cache] is handed to every refactoring pass (see
+    {!Mig.Transform.refactor}). *)
 
 val cost_of_goal :
   [ `Size | `Depth | `Activity ] -> Mig.Graph.t -> float * float

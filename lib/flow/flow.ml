@@ -2,6 +2,8 @@ module T = Lsutil.Telemetry
 module Ctx = Lsutil.Ctx
 module Engine = Engine
 module Batch = Batch
+module Cutoff = Cutoff
+module Cache = Cache
 
 type opt_result = {
   size : int;
@@ -38,7 +40,7 @@ let guarded_timed ~enabled ~verify_pre ~verify_post pass g =
     (out, t, t_pre +. t_post)
   end
 
-let mig_opt ?check ?(effort = 3) ctx net =
+let mig_opt ?check ?(effort = 3) ?cache ctx net =
   T.span (Ctx.stats ctx) "flow:mig_opt" (fun () ->
       let net = flatten ctx net in
       let m =
@@ -50,7 +52,7 @@ let mig_opt ?check ?(effort = 3) ctx net =
           ~enabled:(Check.Env.resolve ~default:(Ctx.check ctx) check)
           ~verify_pre:(Mig.Check.verify_pre ~name:"opt_depth")
           ~verify_post:(Mig.Check.verify_post ~name:"opt_depth")
-          (Mig.Opt_depth.run ~check:false ~effort)
+          (Mig.Opt_depth.run ~check:false ~effort ?cache)
           m
       in
       ( opt,

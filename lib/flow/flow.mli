@@ -19,6 +19,14 @@ module Batch : module type of Batch
     pipelines over N circuits, one worker domain and one ctx each,
     merged deterministically by input order. *)
 
+module Cutoff : module type of Cutoff
+(** Early cutoff for incremental re-optimization: PO-cone
+    fingerprints, stored optimized cones, restricted re-runs. *)
+
+module Cache : module type of Cache
+(** The persistent [mighty-cache/1] store bundle (rewrite entries +
+    cone fingerprints): load, absorb deltas, save. *)
+
 type opt_result = {
   size : int;
   depth : int;
@@ -44,6 +52,7 @@ type syn_result = {
 val mig_opt :
   ?check:bool ->
   ?effort:int ->
+  ?cache:Mig.Rwcache.t ->
   Lsutil.Ctx.t ->
   Network.Graph.t ->
   Mig.Graph.t * opt_result
@@ -51,7 +60,9 @@ val mig_opt :
     recovery (the flow of §V.A.1).  On every flow, [check] runs the
     underlying optimization under its transform guard
     ([Mig.Check.guarded] / [Aig.Check.guarded]); it defaults to the
-    context's check policy ([Lsutil.Ctx.check]). *)
+    context's check policy ([Lsutil.Ctx.check]).  [cache] is an armed
+    rewrite-cache handle for the refactoring steps (see
+    {!Mig.Transform.refactor}). *)
 
 val aig_opt :
   ?check:bool ->

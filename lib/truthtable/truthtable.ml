@@ -186,20 +186,134 @@ let permute t perm =
 
 let flip_var t i =
   if i < 0 || i >= t.nvars then invalid_arg "Truthtable.flip_var";
-  of_bits t.nvars (fun m -> get_bit t (m lxor (1 lsl i)))
+  if i < 6 then begin
+    let mask = var_masks.(i) and shift = 1 lsl i in
+    let words =
+      Array.map
+        (fun w ->
+          Int64.logor
+            (Int64.shift_right_logical (Int64.logand w mask) shift)
+            (Int64.shift_left (Int64.logand w (Int64.lognot mask)) shift))
+        t.words
+    in
+    normalize { t with words }
+  end
+  else begin
+    let period = 1 lsl (i - 6) in
+    { t with words = Array.mapi (fun w _ -> t.words.(w lxor period)) t.words }
+  end
+
+(* [to_hex] prints the most significant minterm first, so hex-string
+   lexicographic order over equal-arity tables coincides with unsigned
+   numeric order of the words, scanned from the last word down. *)
+let word_lt a b =
+  let rec go i =
+    if i < 0 then false
+    else
+      let c = Int64.unsigned_compare a.words.(i) b.words.(i) in
+      if c <> 0 then c < 0 else go (i - 1)
+  in
+  go (Array.length a.words - 1)
+
+let ntz k =
+  let rec go k i = if k land 1 = 1 then i else go (k lsr 1) (i + 1) in
+  go k 0
+
+type npn = { perm : int array; phase : int; out_neg : bool; exact : bool }
+
+let npn_apply t tr =
+  let flipped = ref t in
+  for i = 0 to t.nvars - 1 do
+    if tr.phase land (1 lsl i) <> 0 then flipped := flip_var !flipped i
+  done;
+  let p = permute !flipped tr.perm in
+  if tr.out_neg then not_ p else p
+
+(* Smallest table reachable from [t] by input/output negations, as a
+   Gray-code walk: each step re-flips exactly one variable of the
+   running table, so the whole scan costs O(2^n) single-flip passes
+   instead of rebuilding every candidate from scratch. *)
+let min_under_negations t =
+  let bt = ref t and bm = ref 0 and bo = ref false in
+  let consider c mask out =
+    if word_lt c !bt then begin
+      bt := c;
+      bm := mask;
+      bo := out
+    end
+  in
+  consider (not_ t) 0 true;
+  let cur = ref t and gray = ref 0 in
+  for k = 1 to (1 lsl t.nvars) - 1 do
+    let i = ntz k in
+    cur := flip_var !cur i;
+    gray := !gray lxor (1 lsl i);
+    consider !cur !gray false;
+    consider (not_ !cur) !gray true
+  done;
+  (!bt, !bm, !bo)
+
+let identity_perm n = Array.init n (fun i -> i)
+
+let npn_semiclass_t t =
+  let rep, mask, out = min_under_negations t in
+  (rep, { perm = identity_perm t.nvars; phase = mask; out_neg = out; exact = t.nvars <= 1 })
 
 let npn_semiclass t =
-  (* cheapest representative under input negation and output negation
-     with identity permutation (a light canonization used for table
-     keying; full NPN would also permute) *)
-  let best = ref (to_hex t) in
-  let consider c = if c < !best then best := c in
-  for mask = 0 to (1 lsl t.nvars) - 1 do
-    let flipped = ref t in
-    for i = 0 to t.nvars - 1 do
-      if mask land (1 lsl i) <> 0 then flipped := flip_var !flipped i
-    done;
-    consider (to_hex !flipped);
-    consider (to_hex (not_ !flipped))
-  done;
-  !best
+  let rep, _ = npn_semiclass_t t in
+  to_hex rep
+
+(* All permutations of [0..n-1], generated in a deterministic order so
+   canonical transforms are stable across runs. *)
+let permutations n =
+  let rec insert x = function
+    | [] -> [ [ x ] ]
+    | y :: ys as l -> (x :: l) :: List.map (fun r -> y :: r) (insert x ys)
+  in
+  let rec go i = if i >= n then [ [] ] else List.concat_map (insert i) (go (i + 1)) in
+  List.map Array.of_list (go 0)
+
+let npn_exact_max = 6
+
+let npn_canon t =
+  let n = t.nvars in
+  if n > npn_exact_max then
+    (* Exhaustive NPN needs n! * 2^(n+1) candidates; past 6 inputs fall
+       back to the negation-only semiclass (identity permutation). *)
+    npn_semiclass_t t
+  else begin
+    let best = ref None in
+    List.iter
+      (fun p ->
+        let tp = permute t p in
+        let rep, mask, out = min_under_negations tp in
+        match !best with
+        | Some (bt, _) when not (word_lt rep bt) -> ()
+        | _ ->
+            (* [mask] negates permuted variables; permuted variable
+               [p.(j)] is original variable [j]. *)
+            let phase = ref 0 in
+            for j = 0 to n - 1 do
+              if mask land (1 lsl p.(j)) <> 0 then phase := !phase lor (1 lsl j)
+            done;
+            best := Some (rep, { perm = p; phase = !phase; out_neg = out; exact = true }))
+      (permutations n);
+    match !best with
+    | Some r -> r
+    | None -> assert false
+  end
+
+let npn_key t = to_hex (fst (npn_canon t))
+
+let shrink t =
+  let vars = Array.of_list (support t) in
+  let k = Array.length vars in
+  let s =
+    of_bits k (fun m ->
+        let src = ref 0 in
+        for i = 0 to k - 1 do
+          if (m lsr i) land 1 = 1 then src := !src lor (1 lsl vars.(i))
+        done;
+        get_bit t !src)
+  in
+  (s, vars)

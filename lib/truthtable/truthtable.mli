@@ -82,11 +82,53 @@ val permute : t -> int array -> t
     variable [p.(j)].  [p] must be a permutation of [0..n-1]. *)
 
 val flip_var : t -> int -> t
-(** [flip_var t i] composes with the negation of input [i]. *)
+(** [flip_var t i] composes with the negation of input [i].
+    Implemented with word-level shifts/swaps, not a bit-by-bit
+    rebuild. *)
+
+(** {1 NPN canonization} *)
+
+type npn = {
+  perm : int array;  (** old variable [j] becomes variable [perm.(j)] *)
+  phase : int;  (** bit [j] set = input [j] negated before permuting *)
+  out_neg : bool;  (** output complemented last *)
+  exact : bool;  (** [true] when the full NPN orbit was searched *)
+}
+(** A transform taking a table to its canonical representative:
+    [canon = (out_neg ? not_ : id) (permute (flips t phase) perm)].
+    Equivalently, for leaves [L] of the original function, building the
+    canonical function over leaves [Y] with
+    [Y.(perm.(j)) = (phase bit j ? not L.(j) : L.(j))] and negating the
+    result when [out_neg] reproduces [t] applied to [L]. *)
+
+val npn_apply : t -> npn -> t
+(** Apply a transform (flip inputs, permute, complement output). *)
+
+val npn_canon : t -> t * npn
+(** Canonical representative of the table's NPN class: the
+    hex-lexicographically smallest table reachable by input negations,
+    input permutations and output negation.  Exact (full orbit) for up
+    to 6 variables; beyond that it falls back to the negation-only
+    semiclass ([exact = false] in the transform). *)
+
+val npn_key : t -> string
+(** [to_hex (fst (npn_canon t))] — the cache key. *)
 
 val npn_semiclass : t -> string
 (** Canonical hex key under input and output negations (identity
-    permutation) — a lightweight NPN-style class identifier. *)
+    permutation) — a lightweight NPN-style class identifier, computed
+    with a Gray-code single-flip walk.  Useful as a fast pre-filter in
+    front of {!npn_canon}. *)
+
+val npn_semiclass_t : t -> t * npn
+(** Like {!npn_semiclass} but returns the representative table and the
+    transform reaching it (identity permutation). *)
+
+val shrink : t -> t * int array
+(** [shrink t] is [(s, vars)] where [s] ranges over exactly the true
+    support of [t]: [vars] lists the original variable indices,
+    ascending, and [s]'s variable [i] plays the role of [t]'s variable
+    [vars.(i)]. *)
 
 (** {1 Printing} *)
 

@@ -4,9 +4,11 @@ type t = {
   san : bool;
   fault : Fault.spec option;
   seed : int;
+  cache : string option;
 }
 
-let defaults = { stats = false; check = false; san = false; fault = None; seed = 1 }
+let defaults =
+  { stats = false; check = false; san = false; fault = None; seed = 1; cache = None }
 
 let flag s =
   match String.lowercase_ascii (String.trim s) with
@@ -25,12 +27,18 @@ let base () =
         | Some s -> s
         | None -> defaults.seed)
   in
+  let cache =
+    match Sys.getenv_opt "MIG_CACHE" with
+    | None -> None
+    | Some v -> ( match String.trim v with "" -> None | p -> Some p)
+  in
   {
     stats = flag_var "MIG_STATS";
     check = flag_var "MIG_CHECK";
     san = flag_var "MIG_SAN";
     fault = None;
     seed;
+    cache;
   }
 
 let load_result () =

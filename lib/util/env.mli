@@ -10,7 +10,9 @@
     - [MIG_SAN]   — domain-ownership sanitizer on (same booleans;
       see {!San})
     - [MIG_FAULT] — fault-plan spec string ({!Fault.parse} grammar)
-    - [MIG_SEED]  — default RNG seed (int; default 1) *)
+    - [MIG_SEED]  — default RNG seed (int; default 1)
+    - [MIG_CACHE] — path of the persistent rewrite-cache store read
+      and written by the optimization flows (empty/unset = no cache) *)
 
 type t = {
   stats : bool;
@@ -18,12 +20,13 @@ type t = {
   san : bool;
   fault : Fault.spec option;
   seed : int;
+  cache : string option;
 }
 
 val defaults : t
 (** Everything off: [{stats = false; check = false; san = false;
-    fault = None; seed = 1}] — what {!load} returns in a clean
-    environment. *)
+    fault = None; seed = 1; cache = None}] — what {!load} returns in a
+    clean environment. *)
 
 val load : unit -> t
 (** Parse the environment.  A malformed [MIG_FAULT] is dropped (no

@@ -117,11 +117,25 @@ let of_string s =
       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
     end
   in
+  (* Strict 4-hex-digit decoder.  [int_of_string "0x…"] must not be
+     used here: OCaml's integer literal syntax accepts underscores and
+     sign characters, so it would silently admit garbage like
+     [\u12_3]. *)
   let hex4 () =
     if !pos + 4 > n then err "truncated \\u escape";
-    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    let nibble c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> err "bad \\u escape: expected 4 hex digits"
+    in
+    let v = ref 0 in
+    for k = 0 to 3 do
+      v := (!v lsl 4) lor nibble s.[!pos + k]
+    done;
     pos := !pos + 4;
-    v
+    !v
   in
   let parse_string () =
     expect '"';
@@ -146,20 +160,32 @@ let of_string s =
                | 'f' -> Buffer.add_char buf '\012'; advance ()
                | 'u' ->
                    advance ();
-                   let c1 = match hex4 () with
-                     | exception _ -> err "bad \\u escape"
-                     | v -> v
-                   in
+                   let c1 = hex4 () in
+                   (* Surrogate halves are not scalar values: a high
+                      surrogate must be immediately followed by a low
+                      surrogate escape, and a low surrogate must never
+                      appear on its own, or [add_utf8] would emit
+                      invalid (CESU-style) byte sequences. *)
                    let code =
-                     if c1 >= 0xd800 && c1 <= 0xdbff
-                        && !pos + 1 < n && s.[!pos] = '\\'
-                        && s.[!pos + 1] = 'u'
-                     then begin
+                     if c1 >= 0xdc00 && c1 <= 0xdfff then
+                       err
+                         (Printf.sprintf "lone low surrogate \\u%04x" c1)
+                     else if c1 >= 0xd800 && c1 <= 0xdbff then begin
+                       if not (!pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+                       then
+                         err
+                           (Printf.sprintf
+                              "unpaired high surrogate \\u%04x: expected \
+                               a \\u low-surrogate escape"
+                              c1);
                        pos := !pos + 2;
-                       let c2 = match hex4 () with
-                         | exception _ -> err "bad \\u escape"
-                         | v -> v
-                       in
+                       let c2 = hex4 () in
+                       if not (c2 >= 0xdc00 && c2 <= 0xdfff) then
+                         err
+                           (Printf.sprintf
+                              "unpaired high surrogate \\u%04x: \\u%04x \
+                               is not a low surrogate"
+                              c1 c2);
                        0x10000 + ((c1 - 0xd800) lsl 10) + (c2 - 0xdc00)
                      end
                      else c1

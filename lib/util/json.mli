@@ -4,8 +4,9 @@
     records ([BENCH_*.json]) and for the tooling to validate them.
     Printing escapes strings per RFC 8259; non-finite floats are
     emitted as [null].  The parser accepts the full JSON grammar,
-    including [\uXXXX] escapes (decoded to UTF-8; surrogate pairs
-    supported). *)
+    including [\uXXXX] escapes (exactly four hex digits, decoded to
+    UTF-8; surrogate pairs supported, and lone or unpaired surrogate
+    halves rejected with a positioned parse error). *)
 
 type t =
   | Null

@@ -1,0 +1,115 @@
+(* Generic string-keyed memo store with a read-mostly sharing model:
+   an immutable [base] snapshot that any number of domains may consult
+   concurrently, plus a private [delta] per handle that collects new
+   entries.  Deltas are extracted (sorted) and folded back into a new
+   base between parallel regions, so no table is ever mutated while
+   another domain can see it.  DESIGN.md §15. *)
+
+type 'v base = { entries : (string, 'v) Hashtbl.t }
+
+type 'v t = {
+  base : 'v base;
+  delta : (string, 'v) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let empty_base () = { entries = Hashtbl.create 64 }
+
+let base_of_list kvs =
+  let entries = Hashtbl.create (max 64 (List.length kvs)) in
+  List.iter
+    (fun (k, v) -> if not (Hashtbl.mem entries k) then Hashtbl.add entries k v)
+    kvs;
+  { entries }
+
+let base_size b = Hashtbl.length b.entries
+
+let base_to_list b =
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) b.entries [] in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+let fork base = { base; delta = Hashtbl.create 16; hits = 0; misses = 0 }
+
+let find t k =
+  match Hashtbl.find_opt t.delta k with
+  | Some _ as r ->
+      t.hits <- t.hits + 1;
+      r
+  | None -> (
+      match Hashtbl.find_opt t.base.entries k with
+      | Some _ as r ->
+          t.hits <- t.hits + 1;
+          r
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let add t k v =
+  if not (Hashtbl.mem t.base.entries k || Hashtbl.mem t.delta k) then
+    Hashtbl.add t.delta k v
+
+let delta t =
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.delta [] in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+let delta_size t = Hashtbl.length t.delta
+let hits t = t.hits
+let misses t = t.misses
+
+(* First writer wins, and [deltas] are applied in list order, so a
+   deterministic caller ordering (batch input order) yields a
+   deterministic merged base regardless of domain scheduling. *)
+let merge base deltas =
+  let entries = Hashtbl.copy base.entries in
+  List.iter
+    (List.iter (fun (k, v) ->
+         if not (Hashtbl.mem entries k) then Hashtbl.add entries k v))
+    deltas;
+  { entries }
+
+(* ----- versioned on-disk envelope ----- *)
+
+(* One JSON file holds every cache section (NPN rewrite entries, PO
+   cone fingerprints, ...) under a single schema stamp:
+     {"schema": "mighty-cache/1", "sections": {"npn": ..., "cones": ...}}
+   A missing file or a file with a different stamp reads as cold — a
+   version bump is the invalidation mechanism. *)
+
+let schema = "mighty-cache/1"
+
+let load_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> Ok []
+  | ic ->
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (match Json.of_string contents with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok doc -> (
+          match Json.member "schema" doc with
+          | Some (Json.String s) when s = schema -> (
+              match Json.member "sections" doc with
+              | Some (Json.Obj fields) -> Ok fields
+              | _ -> Error (Printf.sprintf "%s: missing \"sections\" object" path))
+          | _ ->
+              (* stale or foreign stamp: treat as a cold store *)
+              Ok []))
+
+let save_file path sections =
+  let doc =
+    Json.Obj [ ("schema", Json.String schema); ("sections", Json.Obj sections) ]
+  in
+  let tmp = path ^ ".tmp" in
+  match open_out_bin tmp with
+  | exception Sys_error e -> Error e
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Json.to_string doc));
+      (match Sys.rename tmp path with
+      | () -> Ok ()
+      | exception Sys_error e -> Error e)

@@ -1,0 +1,74 @@
+(** String-keyed memo store with read-mostly cross-domain sharing.
+
+    The store is split in two layers:
+
+    - an immutable ['v base] snapshot, safe for any number of domains
+      to read concurrently (it is never mutated after construction);
+    - a per-handle private delta (created by {!fork}) that collects
+      entries added during one optimization run.
+
+    Between parallel regions the deltas are extracted with {!delta}
+    (sorted by key) and folded into a fresh base with {!merge} in a
+    deterministic order — first writer wins — so the merged snapshot
+    does not depend on domain scheduling.  This is the sharing model
+    required by the [Flow.Batch] sanitizer: no table is mutated while
+    another domain can observe it.
+
+    The module also owns the versioned on-disk envelope shared by all
+    cache sections ({!load_file}/{!save_file}, schema
+    ["mighty-cache/1"]). *)
+
+type 'v base
+(** Immutable snapshot; safe to share across domains. *)
+
+type 'v t
+(** A handle: a base plus a private delta and hit/miss counters.
+    Not safe to share across domains — fork one per worker. *)
+
+val empty_base : unit -> 'v base
+
+val base_of_list : (string * 'v) list -> 'v base
+(** Build a snapshot; on duplicate keys the first entry wins. *)
+
+val base_size : 'v base -> int
+
+val base_to_list : 'v base -> (string * 'v) list
+(** All entries, sorted by key. *)
+
+val fork : 'v base -> 'v t
+(** New handle over [base] with an empty delta and zeroed counters. *)
+
+val find : 'v t -> string -> 'v option
+(** Delta first, then base; bumps the hit/miss counters. *)
+
+val add : 'v t -> string -> 'v -> unit
+(** Record a new entry in the private delta (no-op if the key is
+    already present in either layer). *)
+
+val delta : 'v t -> (string * 'v) list
+(** Entries added through this handle, sorted by key. *)
+
+val delta_size : 'v t -> int
+
+val hits : 'v t -> int
+val misses : 'v t -> int
+
+val merge : 'v base -> (string * 'v) list list -> 'v base
+(** [merge base deltas] is a fresh snapshot containing [base] plus the
+    deltas applied in list order, first writer wins.  [base] itself is
+    not mutated. *)
+
+(** {1 Versioned on-disk envelope} *)
+
+val schema : string
+(** The current store stamp, ["mighty-cache/1"].  Bumping it
+    invalidates every existing store file. *)
+
+val load_file : string -> ((string * Json.t) list, string) result
+(** Read a store file and return its named sections.  A missing file,
+    or one carrying a different schema stamp, reads as [Ok []] (a cold
+    store); only unreadable JSON is an [Error]. *)
+
+val save_file : string -> (string * Json.t) list -> (unit, string) result
+(** Write the sections under the current stamp, atomically (write to
+    [path ^ ".tmp"], then rename). *)

@@ -119,6 +119,68 @@ let prop_of_bits =
       let g = T.of_bits 7 (fun m -> T.get_bit f m) in
       T.equal f g)
 
+(* apply an explicit NPN perturbation: negate inputs by [phase], then
+   [permute], then maybe complement the output — the same order the
+   [npn] transform record documents *)
+let perturb n f perm phase out_neg =
+  let g = ref f in
+  for j = 0 to n - 1 do
+    if phase land (1 lsl j) <> 0 then g := T.flip_var !g j
+  done;
+  let g = T.permute !g perm in
+  if out_neg then T.not_ g else g
+
+let prop_npn_key_invariant =
+  Helpers.qtest "qcheck: npn_key invariant over the NPN orbit"
+    QCheck2.Gen.(
+      quad (Helpers.gen_tt 4) (shuffle_l [ 0; 1; 2; 3 ]) (int_bound 15) bool)
+    (fun (f, perml, phase, neg) ->
+      let g = perturb 4 f (Array.of_list perml) phase neg in
+      String.equal (T.npn_key f) (T.npn_key g))
+
+let prop_npn_apply =
+  Helpers.qtest "qcheck: npn_canon transform reproduces its representative"
+    (Helpers.gen_tt 5)
+    (fun f ->
+      let rep, tr = T.npn_canon f in
+      tr.T.exact && T.equal rep (T.npn_apply f tr))
+
+let prop_semiclass_bruteforce =
+  (* the Gray-code walk must agree with the 2^(n+1)-candidate brute
+     force; hex strings compare numerically because [to_hex] is
+     fixed-width, most-significant first *)
+  Helpers.qtest "qcheck: Gray-walk semiclass matches brute force"
+    (Helpers.gen_tt 4)
+    (fun f ->
+      let best = ref None in
+      for mask = 0 to 15 do
+        let g = ref f in
+        for j = 0 to 3 do
+          if mask land (1 lsl j) <> 0 then g := T.flip_var !g j
+        done;
+        List.iter
+          (fun h ->
+            let s = T.to_hex h in
+            match !best with Some b when b <= s -> () | _ -> best := Some s)
+          [ !g; T.not_ !g ]
+      done;
+      String.equal (T.npn_semiclass f) (Option.get !best))
+
+let prop_semiclass_transform =
+  Helpers.qtest "qcheck: npn_semiclass_t transform reproduces its rep"
+    (Helpers.gen_tt 6)
+    (fun f ->
+      let rep, tr = T.npn_semiclass_t f in
+      T.equal rep (T.npn_apply f tr)
+      && Array.for_all2 ( = ) tr.T.perm (Array.init 6 (fun i -> i)))
+
+let prop_flip_var_ref =
+  Helpers.qtest "qcheck: flip_var matches the bit-level reference"
+    QCheck2.Gen.(pair (Helpers.gen_tt 7) (int_bound 6))
+    (fun (f, i) ->
+      T.equal (T.flip_var f i)
+        (T.of_bits 7 (fun m -> T.get_bit f (m lxor (1 lsl i)))))
+
 let var_cases =
   let module T = Truthtable in
   let run name f = Alcotest.test_case name `Quick f in
@@ -147,6 +209,28 @@ let var_cases =
         let b = T.nor_ (T.var 2 0) (T.var 2 1) in
         Alcotest.(check string) "AND ~ NOR under negations"
           (T.npn_semiclass a) (T.npn_semiclass b));
+    run "npn_key classes" (fun () ->
+        let a = T.var 2 0 and b = T.var 2 1 in
+        let key f = T.npn_key f in
+        (* AND, OR, NAND and NOR are all one NPN class *)
+        Alcotest.(check string) "AND ~ OR" (key (T.and_ a b)) (key (T.or_ a b));
+        Alcotest.(check string) "AND ~ NAND"
+          (key (T.and_ a b)) (key (T.nand_ a b));
+        Alcotest.(check string) "AND ~ NOR" (key (T.and_ a b)) (key (T.nor_ a b));
+        (* XOR needs three minterms flipped: a different class *)
+        Alcotest.(check bool) "AND <> XOR" false
+          (String.equal (key (T.and_ a b)) (key (T.xor_ a b)));
+        (* permutation-only variants: semiclass alone cannot merge
+           these, full canonization must *)
+        let f = T.and_ (T.var 3 0) (T.or_ (T.var 3 1) (T.var 3 2)) in
+        let g = T.and_ (T.var 3 2) (T.or_ (T.var 3 0) (T.var 3 1)) in
+        Alcotest.(check string) "permuted cone, same key" (key f) (key g));
+    run "shrink" (fun () ->
+        (* a 5-var table that only depends on vars 1 and 3 *)
+        let f = T.and_ (T.var 5 1) (T.var 5 3) in
+        let s, vars = T.shrink f in
+        Alcotest.(check (list int)) "support map" [ 1; 3 ] (Array.to_list vars);
+        Alcotest.check tt "shrunk function" (T.and_ (T.var 2 0) (T.var 2 1)) s);
   ]
 
 let () =
@@ -172,6 +256,11 @@ let () =
           prop_xor_assoc;
           prop_count_ones;
           prop_of_bits;
+          prop_npn_key_invariant;
+          prop_npn_apply;
+          prop_semiclass_bruteforce;
+          prop_semiclass_transform;
+          prop_flip_var_ref;
         ] );
       ("variable manipulation", var_cases);
     ]

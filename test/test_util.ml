@@ -200,6 +200,165 @@ let test_rng_split () =
   done;
   Alcotest.(check bool) "split independent" true !differs
 
+(* ----- JSON \u escapes: strict hex, surrogate pairing ----- *)
+
+module J = Lsutil.Json
+
+let parse_jstring body = J.of_string (Printf.sprintf "\"%s\"" body)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* minimal UTF-8 validator: well-formed sequences, shortest form,
+   scalar values only (no surrogate code points) *)
+let utf8_valid s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then true
+    else
+      let c = Char.code s.[i] in
+      if c < 0x80 then go (i + 1)
+      else if c land 0xe0 = 0xc0 then cont i 1 (c land 0x1f) 0x80
+      else if c land 0xf0 = 0xe0 then cont i 2 (c land 0x0f) 0x800
+      else if c land 0xf8 = 0xf0 then cont i 3 (c land 0x07) 0x10000
+      else false
+  and cont i k first lo =
+    if i + k >= n then false
+    else
+      let rec take j acc =
+        if j > i + k then Some acc
+        else
+          let c = Char.code s.[j] in
+          if c land 0xc0 = 0x80 then take (j + 1) ((acc lsl 6) lor (c land 0x3f))
+          else None
+      in
+      match take (i + 1) first with
+      | None -> false
+      | Some cp ->
+          cp >= lo && cp <= 0x10FFFF
+          && not (cp >= 0xD800 && cp <= 0xDFFF)
+          && go (i + k + 1)
+  in
+  go 0
+
+let test_json_unicode_ok () =
+  let ok body expect =
+    match parse_jstring body with
+    | Ok (J.String v) -> Alcotest.(check string) body expect v
+    | Ok _ -> Alcotest.fail (body ^ ": parsed to a non-string")
+    | Error e -> Alcotest.fail (body ^ ": " ^ e)
+  in
+  ok {|\u0041|} "A";
+  ok {|\u007A|} "z";
+  ok {|\u00e9|} "\xc3\xa9";
+  ok {|\u20AC|} "\xe2\x82\xac";
+  ok {|\uFFFD|} "\xef\xbf\xbd";
+  (* surrogate pair U+1F600 *)
+  ok {|\ud83d\ude00|} "\xf0\x9f\x98\x80";
+  ok {|\uD83D\uDE00x|} "\xf0\x9f\x98\x80x";
+  (* mixed-case hex, embedded in surrounding text *)
+  ok {|a\u00E9b|} "a\xc3\xa9b"
+
+let test_json_unicode_bad () =
+  let bad body =
+    match parse_jstring body with
+    | Ok _ -> Alcotest.fail (body ^ ": accepted")
+    | Error e ->
+        (* errors must stay positioned (regression: a catch-all around
+           the decoder used to replace them with an unpositioned one) *)
+        Alcotest.(check bool)
+          (body ^ ": positioned error") true (contains e "offset")
+  in
+  (* strict four-hex-digit decoding: [int_of_string "0x..."] lookalikes
+     must all be rejected *)
+  bad {|\u12_3|};
+  bad {|\u_123|};
+  bad {|\u123|};
+  bad {|\u12|};
+  bad {|\u|};
+  bad {|\u123g|};
+  bad {|\uxyzw|};
+  bad {|\u 123|};
+  bad {|\u-123|};
+  bad {|\u+123|};
+  bad {|\u0x12|};
+  (* lone / unpaired surrogate halves *)
+  bad {|\uD800|};
+  bad {|\uDBFF|};
+  bad {|\uDC00|};
+  bad {|\uDFFF|};
+  bad {|\uD800A|};
+  bad {|\uD800\n|};
+  bad {|\uD800\uD800|};
+  bad {|x\uDE00y|}
+
+(* fuzz: escape soup never crashes the parser, and anything it accepts
+   is valid UTF-8 *)
+let prop_json_escape_soup =
+  let fragment =
+    QCheck2.Gen.oneofl
+      [
+        {|\u|}; {|\ud8|}; {|\ud83d|}; {|\ude00|}; {|\uD800|}; {|\uDC01|};
+        {|A|}; "0"; "1"; "9"; "a"; "f"; "g"; "A"; "F"; "_"; "-"; "+";
+        "x"; " "; {|\\|}; {|\n|}; "e9"; "20AC"; "d800"; "dc00"; "ffff";
+      ]
+  in
+  Helpers.qtest ~count:500 "qcheck: \\u escape soup is total and UTF-8-clean"
+    QCheck2.Gen.(map (String.concat "") (list_size (int_bound 8) fragment))
+    (fun soup ->
+      match parse_jstring soup with
+      | Ok (J.String v) -> utf8_valid v
+      | Ok _ -> false
+      | Error _ -> true)
+
+(* roundtrip: every scalar value encoded as \uXXXX (or a surrogate
+   pair above the BMP) decodes to its shortest-form UTF-8 bytes *)
+let utf8_encode cp =
+  let b = Buffer.create 4 in
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xf0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+  end;
+  Buffer.contents b
+
+let prop_json_scalar_roundtrip =
+  let gen_scalar =
+    QCheck2.Gen.(
+      oneof
+        [
+          int_range 1 0xD7FF;
+          int_range 0xE000 0xFFFF;
+          int_range 0x10000 0x10FFFF;
+        ])
+  in
+  Helpers.qtest ~count:300 "qcheck: \\u scalar-value roundtrip" gen_scalar
+    (fun cp ->
+      let body =
+        if cp < 0x10000 then Printf.sprintf {|\u%04x|} cp
+        else
+          let u = cp - 0x10000 in
+          Printf.sprintf {|\u%04x\u%04x|}
+            (0xD800 lor (u lsr 10))
+            (0xDC00 lor (u land 0x3FF))
+      in
+      match parse_jstring body with
+      | Ok (J.String v) -> String.equal v (utf8_encode cp)
+      | _ -> false)
+
 let () =
   Alcotest.run "lsutil"
     [
@@ -226,5 +385,12 @@ let () =
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "uniformity" `Quick test_rng_float_uniform;
           Alcotest.test_case "split" `Quick test_rng_split;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "\\u escapes decode" `Quick test_json_unicode_ok;
+          Alcotest.test_case "\\u escapes reject" `Quick test_json_unicode_bad;
+          prop_json_escape_soup;
+          prop_json_scalar_roundtrip;
         ] );
     ]

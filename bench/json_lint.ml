@@ -211,6 +211,46 @@ let check_batch i r =
         cs
   | _ -> fail "record %d: batch circuits is not a list" i
 
+(* parmig records carry the seq-vs-par rollup for one stress graph
+   plus two embedded Flow.Par outcomes with per-region entries *)
+let check_parmig i r =
+  List.iter (int_field i r)
+    [ "nodes_requested"; "jobs"; "jobs_effective"; "recommended_domains" ];
+  List.iter
+    (fun f -> num i r f "parmig")
+    [ "time_seq_s"; "time_par_s"; "speedup" ];
+  bool_field i r "identical";
+  bool_field i r "equivalent";
+  List.iter
+    (fun leg ->
+      let o = get i r leg in
+      List.iter (int_field i o)
+        [
+          "jobs";
+          "live_majs";
+          "region_target";
+          "size_in";
+          "depth_in";
+          "size_out";
+          "depth_out";
+        ];
+      bool_field i o "equivalent";
+      match J.member "regions" o with
+      | Some (J.List rs) ->
+          List.iter
+            (fun reg ->
+              List.iter (int_field i reg)
+                [ "index"; "nodes_in"; "nodes_out"; "san_findings" ];
+              bool_field i reg "verified";
+              bool_field i reg "fell_back";
+              num i reg "time_s" "parmig.regions";
+              match J.member "telemetry" reg with
+              | None | Some J.Null -> ()
+              | Some t -> span_tree i "parmig.telemetry" t)
+            rs
+      | _ -> fail "record %d: parmig %s.regions is not a list" i leg)
+    [ "seq"; "par" ]
+
 let check_record i r =
   let sec = str i r "section" in
   let name = str i r "name" in
@@ -242,6 +282,7 @@ let check_record i r =
   | "hotpath" -> check_hotpath i r name
   | "engine" -> check_engine i r
   | "batch" -> check_batch i r
+  | "parmig" -> check_parmig i r
   | "memo" -> check_memo i r
   | s -> fail "record %d: unknown section %S" i s);
   sec

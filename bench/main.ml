@@ -10,7 +10,8 @@
 
    Environment:
      MIG_BENCH_FULL=1   run the compression benchmark at paper scale
-                        (~0.3 M nodes) instead of the scaled default. *)
+                        (~0.3 M nodes) and the parmig stress graph at
+                        2 M nodes instead of the scaled defaults. *)
 
 module N = Network.Graph
 module J = Lsutil.Json
@@ -1081,6 +1082,108 @@ let print_batch () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Parmig: region-parallel rewriting inside one graph (Flow.Par).  A  *)
+(* multi-million-node stress MIG (built straight into the MIG, no     *)
+(* network conversion) is optimized once at jobs=1 and once on a      *)
+(* worker pool; the committed graphs must agree bit for bit and the   *)
+(* wall-clock ratio is the recorded single-graph speedup.             *)
+(* ------------------------------------------------------------------ *)
+
+(* Order-sensitive structural fingerprint: every live majority node's
+   raw fanin signals plus the PI/PO lists, folded into one word — two
+   graphs with equal fingerprints, sizes and depths are treated as
+   bit-identical for the [identical] verdict. *)
+let mig_fingerprint g =
+  let h = ref 0x9e37 in
+  let mixf v = h := ((!h * 1000003) lxor v) land max_int in
+  Mig.Graph.iter_live_majs g (fun id fis ->
+      mixf id;
+      Array.iter (fun s -> mixf (s : Network.Signal.t :> int)) fis);
+  List.iter mixf (Mig.Graph.pis g);
+  Mig.Graph.iter_pos g (fun n s ->
+      mixf (Hashtbl.hash n);
+      mixf (s : Network.Signal.t :> int));
+  !h
+
+let print_parmig () =
+  section "Parmig - region-parallel rewriting in one graph (Flow.Par)";
+  let full = Sys.getenv_opt "MIG_BENCH_FULL" = Some "1" in
+  let nodes = if full then 2_000_000 else 300_000 in
+  (* per-region optimizer cost grows superlinearly with region size
+     (65536-node regions cost ~8x more wall clock than 8192-node ones
+     for the same total graph), so a smaller target is both faster
+     and more parallel at equal QoR *)
+  let spec =
+    { Flow.Par.default_spec with goal = `Size; effort = 1; target = 8192 }
+  in
+  let hw = Domain.recommended_domain_count () in
+  (* [Par.run] takes the job count literally (that is what the
+     differential tests rely on), so the hardware cap is applied here;
+     [jobs_effective] additionally reflects the region-count clamp *)
+  let jobs_par = max 2 (min 8 hw) in
+  let run jobs =
+    (* fresh ctx (honouring MIG_CHECK / MIG_SAN) and a fresh
+       deterministic build per leg, so telemetry and sanitizer
+       ownership never leak from one leg into the other *)
+    let ctx = Lsutil.Ctx.default () in
+    let g = Benchmarks.Compress.stress ~ctx ~nodes () in
+    let t0 = Unix.gettimeofday () in
+    let out, oc = Flow.Par.run ~jobs ~spec g in
+    let t = Unix.gettimeofday () -. t0 in
+    (mig_fingerprint out, out, oc, t)
+  in
+  Printf.printf "stress MIG: >=%d nodes requested%s\n%!" nodes
+    (if full then "" else " (set MIG_BENCH_FULL=1 for the 2M-node run)");
+  let fp_seq, out_seq, oc_seq, t_seq = run 1 in
+  let fp_par, out_par, oc_par, t_par = run jobs_par in
+  let identical =
+    fp_seq = fp_par
+    && Mig.Graph.size out_seq = Mig.Graph.size out_par
+    && Mig.Graph.depth out_seq = Mig.Graph.depth out_par
+  in
+  let num_regions = List.length oc_par.Flow.Par.regions in
+  let jobs_eff = min jobs_par num_regions in
+  let fell_back =
+    List.length
+      (List.filter
+         (fun (r : Flow.Par.region_outcome) -> r.Flow.Par.fell_back)
+         oc_par.Flow.Par.regions)
+  in
+  let speedup = if t_par > 0.0 then t_seq /. t_par else 1.0 in
+  Printf.printf
+    "  size %d -> %d, depth %d -> %d (%d regions of target %d, %d fell \
+     back)\n"
+    oc_par.Flow.Par.size_in oc_par.Flow.Par.size_out oc_par.Flow.Par.depth_in
+    oc_par.Flow.Par.depth_out num_regions oc_par.Flow.Par.region_target
+    fell_back;
+  Printf.printf
+    "  jobs %d requested, %d effective (%d recommended): %.3fs sequential, \
+     %.3fs parallel, speedup %.2fx, results %s%s\n"
+    jobs_par jobs_eff hw t_seq t_par speedup
+    (if identical then "bit-identical" else "DIVERGED")
+    (if oc_seq.Flow.Par.equivalent && oc_par.Flow.Par.equivalent then ""
+     else " [NOT EQUIVALENT]");
+  emit
+    (J.Obj
+       [
+         ("section", J.String "parmig");
+         ("name", J.String "stress");
+         ("nodes_requested", J.Int nodes);
+         ("jobs", J.Int jobs_par);
+         ("jobs_effective", J.Int jobs_eff);
+         ("recommended_domains", J.Int hw);
+         ("time_seq_s", J.Float t_seq);
+         ("time_par_s", J.Float t_par);
+         ("speedup", J.Float speedup);
+         ("identical", J.Bool identical);
+         ( "equivalent",
+           J.Bool (oc_seq.Flow.Par.equivalent && oc_par.Flow.Par.equivalent)
+         );
+         ("seq", Flow.Par.outcome_to_json oc_seq);
+         ("par", Flow.Par.outcome_to_json oc_par);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Memo: the persistent optimization cache (Lsutil.Memo / Mig.Rwcache *)
 (* / Flow.Cutoff).  Cold-vs-warm wall clock over the Table-I suite    *)
 (* with bit-identical QoR, plus the dune-style incremental record:    *)
@@ -1244,6 +1347,7 @@ let all_sections =
     ("hotpath", print_hotpath);
     ("engine", print_engine);
     ("batch", print_batch);
+    ("parmig", print_parmig);
     ("memo", print_memo);
   ]
 

@@ -170,7 +170,7 @@ let optimize_cmd =
    (some pass timed out, failed or was skipped — the output is still a
    valid best-so-far circuit). *)
 let opt_run input output effort goal stats timeout max_nodes fault json cache
-    =
+    par_jobs =
   (* the fault plan targets the optimization run: reject a bad spec up
      front, but arm it only around [Engine.run] so the reader/converter
      and the output writer stay outside the blast radius *)
@@ -189,6 +189,29 @@ let opt_run input output effort goal stats timeout max_nodes fault json cache
       ~san:env.Lsutil.Env.san ()
   in
   let flt = Lsutil.Ctx.fault ctx in
+  (* region-parallel rewriting: --par-jobs beats MIG_PAR_JOBS; both are
+     capped by the hardware domain count (Flow.Par takes the value
+     literally so tests can oversubscribe deliberately) *)
+  let par_jobs =
+    match (par_jobs, env.Lsutil.Env.par_jobs) with
+    | Some n, _ | None, Some n ->
+        Some (min n (max 1 (Domain.recommended_domain_count ())))
+    | None, None -> None
+  in
+  let par_goal =
+    match (par_jobs, goal) with
+    | None, _ -> None
+    | Some j, (`Size | `Depth) -> Some (j, goal)
+    | Some _, `Activity ->
+        prerr_endline
+          "mighty: --par-jobs supports the size and depth goals only";
+        exit 2
+  in
+  (match (par_goal, cache) with
+  | Some _, Some _ ->
+      prerr_endline "mighty: --par-jobs and --cache are mutually exclusive";
+      exit 2
+  | _ -> ());
   let store = cache_of_cli cache env in
   let net = read_input input in
   Format.printf "read %s: %a@." input Network.Graph.pp_stats net;
@@ -202,11 +225,18 @@ let opt_run input output effort goal stats timeout max_nodes fault json cache
       (fun () ->
         match store with
         | None ->
+            let passes =
+              match par_goal with
+              | Some (jobs, (`Size | `Depth as pg)) ->
+                  Flow.Par.passes ~jobs
+                    ~spec:{ Flow.Par.default_spec with goal = pg; effort }
+                    ()
+              | Some (_, `Activity) -> assert false (* rejected above *)
+              | None -> Flow.Engine.of_goal ~effort goal
+            in
             Flow.Engine.run ?timeout_s:timeout ?max_nodes
               ~cost:(Flow.Engine.cost_of_goal goal)
-              ~seed:0xda14
-              ~passes:(Flow.Engine.of_goal ~effort goal)
-              m
+              ~seed:0xda14 ~passes m
         | Some c ->
             (* cache-accelerated: the rewrite handle feeds the engine's
                refactoring passes, and the cone store lets unchanged
@@ -309,11 +339,25 @@ let opt_cmd =
             "Write the engine report (per-pass outcomes, rollbacks, \
              verification) as JSON to $(docv), or to stdout for $(b,-).")
   in
+  let par_jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "par-jobs" ] ~docv:"N"
+          ~doc:
+            "Optimize fanout-closed regions of the graph on $(docv) worker \
+             domains (region-parallel rewriting; size/depth goals only, \
+             mutually exclusive with $(b,--cache)).  The result is \
+             bit-identical at any job count.  Defaults to the \
+             $(b,MIG_PAR_JOBS) environment variable; capped by the \
+             hardware domain count.")
+  in
   Cmd.v
     (Cmd.info "opt" ~doc)
     Term.(
       const opt_run $ input_arg $ output_arg $ effort_arg $ goal_arg
-      $ stats_arg $ timeout $ max_nodes $ fault $ json $ cache_arg)
+      $ stats_arg $ timeout $ max_nodes $ fault $ json $ cache_arg
+      $ par_jobs)
 
 let map_cmd =
   let doc = "optimize and map onto the 22nm-style cell library" in

@@ -83,3 +83,59 @@ let approx_nodes ~window =
   (* eq8 ~ 23 gates per pair; accumulator ~ 2*score_bits per pair *)
   let pairs = window * (window - 1) / 2 in
   pairs * (23 + (2 * clog2 (window + 1)))
+
+(* ----- million-node stress instance, built straight into a MIG -----
+
+   The network route above goes quadratic in [window] and then pays a
+   full flatten + convert before any MIG exists; for region-parallel
+   stress runs we want multi-million-node graphs in seconds, so this
+   builder emits majority nodes directly.  A 48-bit LCG (no [Random]
+   state) drives the op mix, so two builds of the same size are
+   identical node for node. *)
+
+module M = Mig.Graph
+
+let lcg_mul = 25214903917
+let lcg_inc = 11
+let lcg_mask = (1 lsl 48) - 1
+
+let mix st =
+  st := ((!st * lcg_mul) + lcg_inc) land lcg_mask;
+  !st lsr 16
+
+let stress_width = 256
+
+let stress ?ctx ?(shards = 1) ~nodes () =
+  let g = M.create ?ctx ~shards () in
+  M.reserve g nodes;
+  let width = stress_width in
+  let bus = Array.init width (fun i -> M.add_pi g (Printf.sprintf "x%d" i)) in
+  let st = ref 0x5eed in
+  let taps = ref [] in
+  let layer = ref 0 in
+  while M.num_nodes g < nodes do
+    incr layer;
+    let prev = Array.copy bus in
+    for i = 0 to width - 1 do
+      let a = prev.(i)
+      and b = prev.((i + 1) mod width)
+      and c = prev.((i + (!layer mod 7) + 2) mod width) in
+      bus.(i) <-
+        (match mix st mod 6 with
+        | 0 -> M.maj g a b c
+        | 1 -> M.xor_ g a b
+        | 2 -> M.mux g a b c
+        | 3 -> M.maj g a b (S.not_ c)
+        | 4 ->
+            (* redundant by absorption — a cone the Ω-axiom passes can
+               collapse, so the per-region optimizers have real work *)
+            M.and_ g a (M.or_ g a b)
+        | _ -> M.xor3 g a b c)
+    done;
+    (* periodic taps keep interior cones live once the tail layers
+       shadow them, so cleanup cannot shrink the graph under [nodes] *)
+    if !layer mod 8 = 0 then taps := bus.(mix st mod width) :: !taps
+  done;
+  Array.iteri (fun i s -> M.add_po g (Printf.sprintf "y%d" i) s) bus;
+  List.iteri (fun i s -> M.add_po g (Printf.sprintf "t%d" i) s) !taps;
+  g

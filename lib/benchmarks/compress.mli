@@ -13,3 +13,14 @@ val create : window:int -> Network.Graph.t
 
 val approx_nodes : window:int -> int
 (** Rough pre-optimization node-count estimate, to pick a window. *)
+
+val stress :
+  ?ctx:Lsutil.Ctx.t -> ?shards:int -> nodes:int -> unit -> Mig.Graph.t
+(** [stress ~nodes ()] builds a majority graph of at least [nodes]
+    nodes directly (no network flatten/convert step), deterministic
+    node for node for a given [nodes].  A 256-wide bus of PIs is
+    mixed layer by layer with an LCG-chosen blend of MAJ/XOR/MUX
+    cones, including deliberately redundant absorption patterns so
+    the Ω-axiom optimizers have genuine work in every region.
+    [shards] is forwarded to {!Mig.Graph.create} for the sharded
+    strash. *)

@@ -1,6 +1,6 @@
 module S = Network.Signal
 module Vec = Lsutil.Vec
-module Ih = Lsutil.Inthash
+module Ih = Lsutil.Shardhash
 
 (* Fanins live in one flat stride-3 [int array]: node [i]'s packed
    fanin signals are [fan.(3*i) .. 3*i+2].  A first slot of -1 marks a
@@ -20,7 +20,8 @@ type t = {
      PI/PO vectors, so every access path asserts the same owner. *)
   mutable fan : int array;
   mutable nn : int; (* number of nodes; 3 * nn ints of [fan] are live *)
-  strash : Ih.t; (* packed (f0, f1, f2) -> id, no boxed keys *)
+  strash : Ih.t; (* packed (f0, f1, f2) -> id, no boxed keys; sharded
+                    by hash prefix, 1 segment unless [create ~shards] *)
   names : (int, string) Hashtbl.t;
   pis_v : int Vec.t; (* PI ids, creation order *)
   po_names : string Vec.t; (* POs, creation order *)
@@ -70,7 +71,7 @@ let push_node g x y z =
   g.nn <- id + 1;
   id
 
-let create ?ctx () =
+let create ?ctx ?(shards = 1) () =
   let ctx = match ctx with Some c -> c | None -> Lsutil.Ctx.create () in
   let san = Lsutil.San.register (Lsutil.Ctx.san ctx) ~name:"mig.graph" in
   let g =
@@ -82,7 +83,7 @@ let create ?ctx () =
       san;
       fan = Array.make 48 0;
       nn = 0;
-      strash = Ih.create ~capacity:4096 ~san ();
+      strash = Ih.create ~capacity:4096 ~shards ~san ();
       names = Hashtbl.create 64;
       pis_v = Vec.create ~san ();
       po_names = Vec.create ~san ();
@@ -425,10 +426,14 @@ let depth g =
    like {!cleanup}, so the output is bit-identical to [cleanup g]. *)
 let compact g =
   Lsutil.San.read_access g.san;
-  let fresh = create ~ctx:g.ctx () in
+  let fresh = create ~ctx:g.ctx ~shards:(Ih.shards g.strash) () in
   let nn = num_nodes g in
   reserve fresh nn;
-  let map = Array.make (max nn 1) (-1) in
+  (* the renumbering map comes from the ctx scratch pool ([-1]-filled
+     up to [nn]): compact sits on the rebuild hot path, and for
+     million-node graphs a fresh array per call is a majority of its
+     allocation *)
+  Lsutil.Ctx.with_scratch g.ctx (max nn 1) @@ fun map ->
   map.(0) <- 0;
   List.iter (fun id -> map.(id) <- S.node (add_pi fresh (pi_name g id))) (pis g);
   let fan = g.fan in
@@ -485,7 +490,7 @@ let compact g =
 
 let cleanup g =
   Lsutil.San.read_access g.san;
-  let fresh = create ~ctx:g.ctx () in
+  let fresh = create ~ctx:g.ctx ~shards:(Ih.shards g.strash) () in
   let map = Array.make (num_nodes g) None in
   map.(0) <- Some (const0 fresh);
   List.iter (fun id -> map.(id) <- Some (add_pi fresh (pi_name g id))) (pis g);
@@ -532,6 +537,17 @@ let pp_stats fmt g =
 
 let san_tag g = g.san
 let strash_count g = Ih.length g.strash
+let strash_shards g = Ih.shards g.strash
+let strash_stats g = Ih.stats g.strash
+
+(* Dump the strash occupancy profile (load factor, probe-length
+   histogram) into the telemetry stream as counters, so any traced
+   pass can expose table health without a schema change. *)
+let note_strash_stats g =
+  if Lsutil.Telemetry.enabled g.tel then
+    List.iter
+      (fun (key, n) -> Lsutil.Telemetry.count g.tel ~n key)
+      (Lsutil.Inthash.stats_counters (Ih.stats g.strash))
 
 let raw_fanins g i =
   check_id g i;

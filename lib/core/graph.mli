@@ -19,13 +19,20 @@ type t
 
 module S := Network.Signal
 
-val create : ?ctx:Lsutil.Ctx.t -> unit -> t
+val create : ?ctx:Lsutil.Ctx.t -> ?shards:int -> unit -> t
 (** A fresh empty graph.  The graph carries its execution context:
     telemetry counting, budget charging and strash-site fault
     injection all run against [ctx]'s services.  Defaults to a fresh
     quiet [Lsutil.Ctx.create ()] — no telemetry, no budget, no
     faults — so plain library use pays only the disabled-path
-    load-and-branch per probe. *)
+    load-and-branch per probe.
+
+    [shards] (default 1, rounded up to a power of two) splits the
+    structural-hash table into that many independent segments keyed by
+    hash prefix ({!Lsutil.Shardhash}).  Lookup results are identical
+    at any shard count — a key's segment is a pure function of the
+    key — so sharding is purely a concurrency/locality knob.
+    {!compact} and [Transform] rebuilds preserve the shard count. *)
 
 val ctx : t -> Lsutil.Ctx.t
 (** The context the graph was created under.  Derived graphs
@@ -160,6 +167,19 @@ val normalize : S.t -> S.t -> S.t -> S.t * S.t * S.t * bool
 val strash_count : t -> int
 (** Number of entries in the structural-hashing table.  Equal to
     {!num_allocated_majs} on a well-formed graph. *)
+
+val strash_shards : t -> int
+(** Segment count of the structural-hash table (1 unless the graph was
+    built with [create ~shards]). *)
+
+val strash_stats : t -> Lsutil.Inthash.stats
+(** Aggregated occupancy of the strash (load factor, probe-length
+    histogram) across all segments.  O(capacity). *)
+
+val note_strash_stats : t -> unit
+(** Record {!strash_stats} as telemetry counters
+    ([strash.entries], [strash.load_pct], [strash.probe_<k>], ...) on
+    the innermost open span; a no-op when telemetry is disabled. *)
 
 val san_tag : t -> Lsutil.San.tag
 (** The graph's sanitizer tag.  Snapshot/validate it to guard node

@@ -1,0 +1,137 @@
+(* Fanout-closed region partitioning of the PO-reachable cone, for
+   region-parallel rewriting (Flow.Par).
+
+   Nodes are appended in topological order — every fanin id is
+   strictly smaller than its node id — so chunking the live majority
+   nodes by ascending id into node-count-targeted slices yields
+   regions whose fanins only ever point to the constant, a PI, or an
+   earlier region.  Region r can therefore be rebuilt as soon as
+   regions 0..r-1 are committed, and any schedule that commits in
+   region order reproduces the sequential result.
+
+   Boundary vocabulary:
+   - a region's [outputs] are its nodes referenced from outside it
+     (by a later region's fanin or by a PO);
+   - its [inputs] are the external nodes its fanins reference (the
+     constant, PIs, and earlier regions' outputs);
+   - the [frontier] is the union of all inputs and outputs — the only
+     nodes shared between regions.
+
+   The partition is fanout-closed by construction: a node that is not
+   an output has every fanout inside its own region, so rewriting a
+   region can restructure its interior freely as long as the functions
+   at its outputs are preserved. *)
+
+module G = Graph
+module S = Network.Signal
+
+type region = {
+  nodes : int array; (* live maj ids, ascending *)
+  inputs : int array; (* external fanin node ids, ascending *)
+  outputs : int array; (* region nodes referenced outside, ascending *)
+}
+
+type t = {
+  regions : region array;
+  frontier : int array; (* ascending; every inter-region node *)
+  live_majs : int; (* total live majority nodes covered *)
+}
+
+let num_regions t = Array.length t.regions
+
+(* Live = PO-reachable majority nodes, in ascending id order. *)
+let live_majs_of g =
+  let reach = G.reachable g in
+  let n = ref 0 in
+  Array.iteri (fun id r -> if r && G.is_maj g id then incr n) reach;
+  let live = Array.make !n 0 in
+  let j = ref 0 in
+  Array.iteri
+    (fun id r ->
+      if r && G.is_maj g id then begin
+        live.(!j) <- id;
+        incr j
+      end)
+    reach;
+  live
+
+let split ?(target = 65536) g =
+  if target < 1 then invalid_arg "Partition.split: target < 1";
+  Lsutil.San.read_access (G.san_tag g);
+  let live = live_majs_of g in
+  let nlive = Array.length live in
+  let nregions = (nlive + target - 1) / target in
+  let nn = G.num_nodes g in
+  Lsutil.Ctx.with_scratch (G.ctx g) nn @@ fun region_of ->
+  (* region_of.(id) = region index for live majs, -1 otherwise
+     (scratch comes back -1-filled) *)
+  Array.iteri (fun j id -> region_of.(id) <- j / target) live;
+  (* A node is an output of its region when some live maj in a LATER
+     region, or a PO, references it.  A single sweep over live fanins
+     and POs marks them; external const/PI references are region
+     inputs, not outputs. *)
+  let is_output = Array.make (max nn 1) false in
+  Array.iter
+    (fun id ->
+      let r = region_of.(id) in
+      let fs = G.fanins g id in
+      for k = 0 to 2 do
+        let fn = S.node fs.(k) in
+        if region_of.(fn) >= 0 && region_of.(fn) <> r then
+          is_output.(fn) <- true
+      done)
+    live;
+  G.iter_pos g (fun _ s ->
+      let fn = S.node s in
+      if region_of.(fn) >= 0 then is_output.(fn) <- true);
+  (* Per-region membership is a contiguous slice of [live]. *)
+  let regions =
+    Array.init nregions (fun r ->
+        let lo = r * target in
+        let hi = min nlive (lo + target) in
+        let nodes = Array.sub live lo (hi - lo) in
+        (* distinct external fanins, via a mark array slot reused per
+           region: mark with r, collect ascending afterwards *)
+        let inputs = ref [] and outputs = ref [] in
+        let seen = Hashtbl.create 64 in
+        Array.iter
+          (fun id ->
+            let fs = G.fanins g id in
+            for k = 0 to 2 do
+              let fn = S.node fs.(k) in
+              if region_of.(fn) <> r && not (Hashtbl.mem seen fn) then begin
+                Hashtbl.add seen fn ();
+                inputs := fn :: !inputs
+              end
+            done)
+          nodes;
+        Array.iter (fun id -> if is_output.(id) then outputs := id :: !outputs)
+          nodes;
+        let inputs = Array.of_list !inputs in
+        Array.sort compare inputs;
+        {
+          nodes;
+          inputs;
+          (* [nodes] is ascending, so the filtered list is descending *)
+          outputs = Array.of_list (List.rev !outputs);
+        })
+  in
+  (* frontier = every node named by some region boundary *)
+  let on_frontier = Array.make (max nn 1) false in
+  Array.iter
+    (fun r ->
+      Array.iter (fun id -> on_frontier.(id) <- true) r.inputs;
+      Array.iter (fun id -> on_frontier.(id) <- true) r.outputs)
+    regions;
+  let nf = ref 0 in
+  Array.iter (fun b -> if b then incr nf) on_frontier;
+  let frontier = Array.make !nf 0 in
+  let j = ref 0 in
+  Array.iteri
+    (fun id b ->
+      if b then begin
+        frontier.(!j) <- id;
+        incr j
+      end)
+    on_frontier;
+  { regions; frontier; live_majs = nlive }

@@ -1,0 +1,40 @@
+(** Fanout-closed region partitioning for region-parallel rewriting.
+
+    {!split} slices the PO-reachable majority nodes, in ascending id
+    order, into regions of at most [target] nodes.  Because fanin ids
+    are always smaller than their node id, every region's fanins point
+    only to the constant, PIs, or strictly earlier regions — regions
+    form a topological sequence, and committing rewritten regions in
+    index order reproduces the sequential result.
+
+    Invariants (property-tested in [test_par.ml]):
+    - {b cover}: region [nodes] arrays are pairwise disjoint and their
+      union is exactly the set of PO-reachable majority nodes;
+    - {b fanout-closed}: a region node not in its [outputs] has every
+      fanout (fanin reference or PO) inside its own region;
+    - {b frontier}: the only node ids shared between region boundaries
+      ([inputs]/[outputs]) are listed in [frontier]. *)
+
+type region = {
+  nodes : int array;  (** live majority ids, ascending *)
+  inputs : int array;
+      (** external nodes feeding the region (const, PIs, earlier
+          regions' outputs), ascending *)
+  outputs : int array;
+      (** region nodes referenced from outside (later regions or POs),
+          ascending *)
+}
+
+type t = {
+  regions : region array;  (** topological order *)
+  frontier : int array;  (** union of all boundary ids, ascending *)
+  live_majs : int;  (** total PO-reachable majority nodes *)
+}
+
+val num_regions : t -> int
+
+val split : ?target:int -> Graph.t -> t
+(** [split ~target g] partitions [g]'s reachable cone into regions of
+    at most [target] (default 65536) majority nodes.  Raises
+    [Invalid_argument] when [target < 1].  O(nodes); allocates the
+    region arrays plus one scratch pass. *)

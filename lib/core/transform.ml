@@ -116,7 +116,7 @@ exception Need of int
 
 let rebuild_with g init =
   let ctx = G.ctx g in
-  let fresh = G.create ~ctx () in
+  let fresh = G.create ~ctx ~shards:(G.strash_shards g) () in
   (* the rebuilt graph rarely exceeds the source; pre-sizing its node
      arrays and strash avoids growth rehashes on every pass *)
   G.reserve fresh (G.num_nodes g);

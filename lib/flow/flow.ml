@@ -2,6 +2,7 @@ module T = Lsutil.Telemetry
 module Ctx = Lsutil.Ctx
 module Engine = Engine
 module Batch = Batch
+module Par = Par
 module Cutoff = Cutoff
 module Cache = Cache
 

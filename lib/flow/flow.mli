@@ -19,6 +19,12 @@ module Batch : module type of Batch
     pipelines over N circuits, one worker domain and one ctx each,
     merged deterministically by input order. *)
 
+module Par : module type of Par
+(** Region-parallel rewriting inside one graph: sharded-strash
+    sub-MIGs per fanout-closed region ({!Mig.Partition}), one worker
+    domain and one ctx per region, committed deterministically in
+    region order — bit-identical at any job count. *)
+
 module Cutoff : module type of Cutoff
 (** Early cutoff for incremental re-optimization: PO-cone
     fingerprints, stored optimized cones, restricted re-runs. *)

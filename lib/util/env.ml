@@ -5,10 +5,19 @@ type t = {
   fault : Fault.spec option;
   seed : int;
   cache : string option;
+  par_jobs : int option;
 }
 
 let defaults =
-  { stats = false; check = false; san = false; fault = None; seed = 1; cache = None }
+  {
+    stats = false;
+    check = false;
+    san = false;
+    fault = None;
+    seed = 1;
+    cache = None;
+    par_jobs = None;
+  }
 
 let flag s =
   match String.lowercase_ascii (String.trim s) with
@@ -32,6 +41,14 @@ let base () =
     | None -> None
     | Some v -> ( match String.trim v with "" -> None | p -> Some p)
   in
+  let par_jobs =
+    match Sys.getenv_opt "MIG_PAR_JOBS" with
+    | None -> None
+    | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some n when n >= 1 -> Some n
+        | _ -> None)
+  in
   {
     stats = flag_var "MIG_STATS";
     check = flag_var "MIG_CHECK";
@@ -39,6 +56,7 @@ let base () =
     fault = None;
     seed;
     cache;
+    par_jobs;
   }
 
 let load_result () =

@@ -12,7 +12,10 @@
     - [MIG_FAULT] — fault-plan spec string ({!Fault.parse} grammar)
     - [MIG_SEED]  — default RNG seed (int; default 1)
     - [MIG_CACHE] — path of the persistent rewrite-cache store read
-      and written by the optimization flows (empty/unset = no cache) *)
+      and written by the optimization flows (empty/unset = no cache)
+    - [MIG_PAR_JOBS] — default worker-domain count for region-parallel
+      single-graph rewriting ([mighty opt --par-jobs]; int >= 1,
+      anything else = unset) *)
 
 type t = {
   stats : bool;
@@ -21,12 +24,13 @@ type t = {
   fault : Fault.spec option;
   seed : int;
   cache : string option;
+  par_jobs : int option;
 }
 
 val defaults : t
 (** Everything off: [{stats = false; check = false; san = false;
-    fault = None; seed = 1; cache = None}] — what {!load} returns in a
-    clean environment. *)
+    fault = None; seed = 1; cache = None; par_jobs = None}] — what
+    {!load} returns in a clean environment. *)
 
 val load : unit -> t
 (** Parse the environment.  A malformed [MIG_FAULT] is dropped (no

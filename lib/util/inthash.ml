@@ -67,8 +67,11 @@ let grow t cap =
   t.mask <- mask
 
 let reserve t n =
-  (* capacity so that [n] entries stay under the 1/2 load factor *)
-  let needed = pow2 (max 16 (2 * n)) 16 in
+  (* capacity so that the entries already present plus [n] more stay
+     under the 1/2 load factor, rounded up to a power of two — a
+     pre-sized table must absorb its [n] insertions without a growth
+     rehash even when it is not empty *)
+  let needed = pow2 (max 16 (2 * (t.count + n))) 16 in
   if needed > t.mask + 1 then grow t needed
 
 let add t k0 k1 k2 v =
@@ -151,3 +154,89 @@ let iter f t =
     if t.data.(b + 3) >= 0 then
       f t.data.(b) t.data.(b + 1) t.data.(b + 2) t.data.(b + 3)
   done
+
+(* ------------------------------------------------------------------ *)
+(* Occupancy statistics                                                *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  entries : int;
+  capacity : int;
+  load : float;
+  probe_hist : int array;
+  max_probe : int;
+}
+
+let probe_buckets = 9
+
+let empty_stats =
+  {
+    entries = 0;
+    capacity = 0;
+    load = 0.0;
+    probe_hist = Array.make probe_buckets 0;
+    max_probe = 0;
+  }
+
+(* Probe length of an occupied slot is its displacement from the home
+   slot its key hashes to; with linear probing that is exactly the
+   number of extra slot visits a successful [find] pays. *)
+let stats t =
+  San.read_access t.san;
+  let cap = t.mask + 1 in
+  let hist = Array.make probe_buckets 0 in
+  let max_probe = ref 0 in
+  for i = 0 to t.mask do
+    let b = 4 * i in
+    if t.data.(b + 3) >= 0 then begin
+      let home = hash t.data.(b) t.data.(b + 1) t.data.(b + 2) land t.mask in
+      let d = (i - home) land t.mask in
+      if d > !max_probe then max_probe := d;
+      let bucket = if d >= probe_buckets - 1 then probe_buckets - 1 else d in
+      hist.(bucket) <- hist.(bucket) + 1
+    end
+  done;
+  {
+    entries = t.count;
+    capacity = cap;
+    load = float_of_int t.count /. float_of_int cap;
+    probe_hist = hist;
+    max_probe = !max_probe;
+  }
+
+let merge_stats a b =
+  let hist = Array.make probe_buckets 0 in
+  for i = 0 to probe_buckets - 1 do
+    hist.(i) <- a.probe_hist.(i) + b.probe_hist.(i)
+  done;
+  let entries = a.entries + b.entries and capacity = a.capacity + b.capacity in
+  {
+    entries;
+    capacity;
+    load =
+      (if capacity = 0 then 0.0
+       else float_of_int entries /. float_of_int capacity);
+    probe_hist = hist;
+    max_probe = max a.max_probe b.max_probe;
+  }
+
+let stats_counters s =
+  let counters =
+    ref
+      [
+        ("strash.max_probe", s.max_probe);
+        ("strash.load_pct", int_of_float (s.load *. 100.0));
+        ("strash.capacity", s.capacity);
+        ("strash.entries", s.entries);
+      ]
+  in
+  for i = probe_buckets - 1 downto 0 do
+    if s.probe_hist.(i) > 0 then
+      let key =
+        if i = probe_buckets - 1 then
+          Printf.sprintf "strash.probe_ge%d" (probe_buckets - 1)
+        else Printf.sprintf "strash.probe_%d" i
+      in
+      counters := (key, s.probe_hist.(i)) :: !counters
+  done;
+  !counters

@@ -16,6 +16,11 @@ type t
 val create : ?capacity:int -> ?san:San.tag -> unit -> t
 (** [capacity] is rounded up to a power of two (min 16). *)
 
+val hash : int -> int -> int -> int
+(** The table's key-mixing function, exposed so {!Shardhash} selects
+    segments from the same bit stream (high bits) the slot probe uses
+    (low bits). *)
+
 val length : t -> int
 (** Number of entries (duplicate-key insertions each count). *)
 
@@ -36,7 +41,9 @@ val find_or_add : t -> int -> int -> int -> int -> int
     inputs. *)
 
 val reserve : t -> int -> unit
-(** [reserve t n] pre-sizes so [n] entries fit without rehashing. *)
+(** [reserve t n] pre-sizes so [n] {e additional} entries fit without
+    rehashing: capacity is rounded up to the next power of two that
+    keeps [length t + n] entries under the 1/2 load factor. *)
 
 val clear : t -> unit
 (** Drop every entry, keeping the allocated capacity.  Counts as a
@@ -45,3 +52,34 @@ val clear : t -> unit
 
 val iter : (int -> int -> int -> int -> unit) -> t -> unit
 (** [iter f t] applies [f k0 k1 k2 v] to every entry, in slot order. *)
+
+(** {1 Occupancy statistics}
+
+    Observability for the strash hot path: load factor and the
+    probe-length distribution (displacement of each occupied slot from
+    its home slot, i.e. the extra slot visits a successful [find]
+    pays).  [probe_hist.(i)] counts entries at probe length [i]; the
+    last bucket aggregates everything at length [>= probe_buckets-1]. *)
+
+type stats = {
+  entries : int;
+  capacity : int;
+  load : float;  (** [entries / capacity], in [0, 1/2] steady-state *)
+  probe_hist : int array;  (** length {!probe_buckets} *)
+  max_probe : int;
+}
+
+val probe_buckets : int
+
+val stats : t -> stats
+(** One full scan of the table; O(capacity). *)
+
+val empty_stats : stats
+
+val merge_stats : stats -> stats -> stats
+(** Pointwise sum (entries, capacity, histogram), recomputed load,
+    max of max-probes — for aggregating sharded segments. *)
+
+val stats_counters : stats -> (string * int) list
+(** Flatten to [("strash.entries", n); ...] pairs ready for
+    {!Telemetry.count}; zero histogram buckets are omitted. *)

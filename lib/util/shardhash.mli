@@ -1,0 +1,44 @@
+(** Sharded {!Inthash}: K independent segments keyed by hash prefix.
+
+    Keys whose hashes differ in the selecting prefix live in disjoint
+    flat arenas, so concurrent [find_or_add] on distinct segments
+    shares no mutable word — safe and contention-free as long as each
+    segment has at most one writer at a time.  [shards = 1] degrades
+    to a single {!Inthash} with identical layout and growth schedule
+    (the deterministic sequential fallback).
+
+    Lookup results are a pure function of the inserted bindings: a
+    key's segment depends only on the key, so changing the shard count
+    never changes what [find] or [find_or_add] returns — only where
+    the binding is stored. *)
+
+type t
+
+val create : ?capacity:int -> ?shards:int -> ?san:San.tag -> unit -> t
+(** [shards] is rounded up to a power of two (min 1); [capacity] is
+    the total expected entry count, split evenly across segments.
+    Raises [Invalid_argument] when [shards < 1]. *)
+
+val shards : t -> int
+(** The (power-of-two) segment count. *)
+
+val segment_index : t -> int -> int -> int -> int
+(** The segment a key triple selects, in [0, shards-1]. *)
+
+val segment : t -> int -> Inthash.t
+(** Direct access to one segment, for per-segment writers. *)
+
+val length : t -> int
+val find : t -> int -> int -> int -> int
+val mem : t -> int -> int -> int -> bool
+val add : t -> int -> int -> int -> int -> unit
+val find_or_add : t -> int -> int -> int -> int -> int
+
+val reserve : t -> int -> unit
+(** Pre-size every segment for its share of [n] additional entries. *)
+
+val clear : t -> unit
+val iter : (int -> int -> int -> int -> unit) -> t -> unit
+
+val stats : t -> Inthash.stats
+(** Aggregated occupancy over all segments. *)

@@ -1,0 +1,368 @@
+(* Intra-graph parallelism proofs:
+
+   - Inthash stats + reserve: a pre-sized table absorbs its insertions
+     with no growth rehash even when non-empty; occupancy stats are
+     consistent;
+   - Shardhash differential: any shard count answers exactly like the
+     unsharded reference table, and concurrent insertions on distinct
+     segments from worker domains are safe;
+   - Partition properties: regions cover the live cone, are pairwise
+     disjoint, fanout-closed outside their outputs, and their
+     boundaries lie on the frontier;
+   - Flow.Par jobs-differential: jobs in {1,2,4,8} produce
+     bit-identical graphs and normalized telemetry on random MIGs and
+     on Table I, with the sanitizer armed and clean;
+   - Graph.compact scratch reuse: steady-state compaction stops
+     allocating fresh scratch. *)
+
+module T = Lsutil.Telemetry
+module Ctx = Lsutil.Ctx
+module San = Lsutil.San
+module Ih = Lsutil.Inthash
+module Sh = Lsutil.Shardhash
+module M = Mig.Graph
+module P = Mig.Partition
+module S = Network.Signal
+module Par = Flow.Par
+
+(* ----- satellite: Inthash reserve + stats ----- *)
+
+let test_inthash_reserve () =
+  let t = Ih.create ~capacity:16 () in
+  (* make the table non-empty first: reserve must account for what is
+     already there, not just the increment *)
+  for i = 0 to 99 do
+    Ih.add t i (i + 1) (i + 2) i
+  done;
+  Ih.reserve t 1000;
+  let cap_before = (Ih.stats t).Ih.capacity in
+  for i = 100 to 1099 do
+    Ih.add t i (i + 1) (i + 2) i
+  done;
+  Alcotest.(check int)
+    "no growth rehash after reserve" cap_before (Ih.stats t).Ih.capacity;
+  Alcotest.(check bool)
+    "reserved capacity is a power of two" true
+    (cap_before land (cap_before - 1) = 0)
+
+let test_inthash_stats () =
+  let t = Ih.create () in
+  for i = 0 to 499 do
+    Ih.add t (i * 7) (i * 13) (i * 29) i
+  done;
+  let s = Ih.stats t in
+  Alcotest.(check int) "entries" 500 s.Ih.entries;
+  Alcotest.(check int)
+    "histogram covers every entry" 500
+    (Array.fold_left ( + ) 0 s.Ih.probe_hist);
+  Alcotest.(check bool) "steady-state load <= 1/2" true (s.Ih.load <= 0.5);
+  Alcotest.(check bool)
+    "counters exported" true
+    (List.mem_assoc "strash.entries" (Ih.stats_counters s))
+
+(* ----- Shardhash: differential vs the unsharded reference ----- *)
+
+let test_shard_differential =
+  Helpers.qtest ~count:40 "sharded table == reference at K in {1,2,4,8}"
+    QCheck2.Gen.(pair (int_bound 10_000) (int_bound 3))
+    (fun (base, kexp) ->
+      let shards = 1 lsl kexp in
+      let reference = Ih.create () in
+      let sharded = Sh.create ~shards () in
+      let rng = Lsutil.Rng.create base in
+      for i = 0 to 400 do
+        let k0 = Lsutil.Rng.int rng 64
+        and k1 = Lsutil.Rng.int rng 64
+        and k2 = Lsutil.Rng.int rng 64 in
+        match Lsutil.Rng.int rng 3 with
+        | 0 ->
+            let a = Ih.find_or_add reference k0 k1 k2 i
+            and b = Sh.find_or_add sharded k0 k1 k2 i in
+            if a <> b then QCheck2.Test.fail_report "find_or_add diverged"
+        | 1 ->
+            if Ih.find reference k0 k1 k2 <> Sh.find sharded k0 k1 k2 then
+              QCheck2.Test.fail_report "find diverged"
+        | _ ->
+            if Ih.mem reference k0 k1 k2 <> Sh.mem sharded k0 k1 k2 then
+              QCheck2.Test.fail_report "mem diverged"
+      done;
+      if Ih.length reference <> Sh.length sharded then
+        QCheck2.Test.fail_report "length diverged";
+      let s = Sh.stats sharded in
+      if s.Ih.entries <> Sh.length sharded then
+        QCheck2.Test.fail_report "aggregated stats lost entries";
+      true)
+
+(* Concurrent insertion on DISTINCT segments: one worker domain per
+   segment, each inserting only keys that hash into its segment.  The
+   arenas are disjoint, so the merged table must hold every binding. *)
+let test_shard_concurrent () =
+  let shards = 4 in
+  let sharded = Sh.create ~shards () in
+  let keys = Array.init 4000 (fun i -> (i * 7, i * 13, i * 29)) in
+  let for_segment s =
+    Array.to_list keys
+    |> List.filteri (fun i _ ->
+           let k0, k1, k2 = keys.(i) in
+           Sh.segment_index sharded k0 k1 k2 = s)
+  in
+  let per_seg = Array.init shards for_segment in
+  let workers =
+    Array.to_list
+      (Array.init shards (fun s ->
+           Domain.spawn (fun () ->
+               List.iteri
+                 (fun i (k0, k1, k2) ->
+                   ignore (Sh.find_or_add sharded k0 k1 k2 ((s * 100_000) + i)))
+                 per_seg.(s))))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int)
+    "every segment-disjoint insertion landed"
+    (Array.fold_left (fun n l -> n + List.length l) 0 per_seg)
+    (Sh.length sharded);
+  Array.iteri
+    (fun s l ->
+      List.iteri
+        (fun i (k0, k1, k2) ->
+          Alcotest.(check int)
+            (Printf.sprintf "seg %d key %d readable" s i)
+            ((s * 100_000) + i)
+            (Sh.find sharded k0 k1 k2))
+        l)
+    per_seg
+
+(* ----- Partition properties ----- *)
+
+let random_mig seed =
+  let net =
+    Helpers.random_network ~seed ~inputs:6 ~gates:(40 + (seed mod 60))
+      ~outputs:4
+  in
+  Mig.Convert.of_network net
+
+let test_partition_properties =
+  Helpers.qtest ~count:40 "regions cover, disjoint, fanout-closed"
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 1 12))
+    (fun (seed, target) ->
+      let g = random_mig seed in
+      let part = P.split ~target g in
+      (* cover + disjoint: concatenated region nodes = live majs,
+         each exactly once, ascending *)
+      let live = ref [] in
+      M.iter_live_majs g (fun id _ -> live := id :: !live);
+      let live = List.rev !live in
+      let covered =
+        List.concat_map
+          (fun r -> Array.to_list r.P.nodes)
+          (Array.to_list part.P.regions)
+      in
+      if covered <> live then
+        QCheck2.Test.fail_report "regions do not partition the live cone";
+      if part.P.live_majs <> List.length live then
+        QCheck2.Test.fail_report "live_majs miscounted";
+      (* region index per node *)
+      let nn = M.num_nodes g in
+      let region_of = Array.make nn (-1) in
+      Array.iteri
+        (fun ri r -> Array.iter (fun id -> region_of.(id) <- ri) r.P.nodes)
+        part.P.regions;
+      let on_frontier = Array.make nn false in
+      Array.iter (fun id -> on_frontier.(id) <- true) part.P.frontier;
+      (* fanout-closed: a non-output region node is only ever
+         referenced from its own region; outputs and inputs lie on
+         the frontier *)
+      let is_out = Array.make nn false in
+      Array.iter
+        (fun r -> Array.iter (fun id -> is_out.(id) <- true) r.P.outputs)
+        part.P.regions;
+      Array.iteri
+        (fun ri r ->
+          Array.iter
+            (fun id ->
+              if not (on_frontier.(id) || region_of.(id) >= 0) then
+                QCheck2.Test.fail_report "region input neither frontier nor maj")
+            r.P.inputs;
+          Array.iter
+            (fun id ->
+              if not on_frontier.(id) then
+                QCheck2.Test.fail_report "region output off the frontier")
+            r.P.outputs;
+          Array.iter
+            (fun id ->
+              let fs = M.fanins g id in
+              Array.iter
+                (fun s ->
+                  let fn = S.node s in
+                  if region_of.(fn) >= 0 && region_of.(fn) <> ri
+                     && not is_out.(fn)
+                  then
+                    QCheck2.Test.fail_report
+                      "cross-region reference to a non-output node")
+                fs)
+            r.P.nodes)
+        part.P.regions;
+      M.iter_pos g (fun _ s ->
+          let fn = S.node s in
+          if region_of.(fn) >= 0 then begin
+            let r = part.P.regions.(region_of.(fn)) in
+            if not (Array.exists (fun id -> id = fn) r.P.outputs) then
+              QCheck2.Test.fail_report "PO-referenced node not a region output"
+          end);
+      true)
+
+(* ----- Flow.Par: jobs-differential ----- *)
+
+type ntree =
+  | N of string * (string * T.value) list * (string * int) list * ntree list
+
+let rec normalize (n : T.node) =
+  N (n.T.name, n.T.meta, n.T.counters, List.map normalize n.T.children)
+
+let graph_fp g =
+  let majs = ref [] in
+  M.iter_live_majs g (fun id fis ->
+      majs :=
+        (id, Array.to_list (Array.map (fun s -> (s : S.t :> int)) fis))
+        :: !majs);
+  ( M.size g,
+    M.depth g,
+    List.rev !majs,
+    M.pis g,
+    List.map (fun (n, s) -> (n, (s : S.t :> int))) (M.pos g) )
+
+let region_fp (r : Par.region_outcome) =
+  ( r.Par.index,
+    r.Par.nodes_in,
+    r.Par.nodes_out,
+    r.Par.verified,
+    r.Par.fell_back,
+    r.Par.san_findings,
+    Option.map normalize r.Par.telemetry )
+
+let outcome_fp (o : Par.outcome) =
+  ( o.Par.live_majs,
+    List.map region_fp o.Par.regions,
+    o.Par.size_in,
+    o.Par.depth_in,
+    o.Par.size_out,
+    o.Par.depth_out,
+    o.Par.equivalent )
+
+(* One Par run under a fresh sanitizer-armed ctx; returns the bit-level
+   fingerprint (graph + normalized telemetry + outcome) and the parent
+   ctx cleanliness. *)
+let par_run ~jobs ~spec seed =
+  let ctx = Ctx.create ~stats:true ~check:true ~san:true () in
+  let net =
+    Helpers.random_network ~seed ~inputs:6 ~gates:(50 + (seed mod 50))
+      ~outputs:4
+  in
+  let m = Mig.Convert.of_network ~ctx net in
+  let (out, oc), tree =
+    T.capture (Ctx.stats ctx) "diff" (fun () -> Par.run ~jobs ~spec m)
+  in
+  San.drain (Ctx.san ctx);
+  ( graph_fp out,
+    outcome_fp oc,
+    Option.map normalize tree,
+    San.is_clean (Ctx.san ctx),
+    Mig.Equiv.migs ~seed:1 m out )
+
+let test_par_differential =
+  Helpers.qtest ~count:6 "Par jobs in {1,2,4,8} bit-identical, san-clean"
+    QCheck2.Gen.(int_bound 10_000)
+    (fun seed ->
+      Mig.Transform.prewarm ();
+      let spec = { Par.default_spec with Par.target = 12; effort = 1 } in
+      let base = par_run ~jobs:1 ~spec seed in
+      let fp (g, o, t, _, _) = (g, o, t) in
+      let (_, _, _, clean1, equiv1) = base in
+      if not clean1 then QCheck2.Test.fail_report "jobs=1 left SAN findings";
+      if not equiv1 then QCheck2.Test.fail_report "jobs=1 not equivalent";
+      List.iter
+        (fun jobs ->
+          let r = par_run ~jobs ~spec seed in
+          let (_, _, _, clean, equiv) = r in
+          if not clean then
+            QCheck2.Test.fail_reportf "jobs=%d left SAN findings" jobs;
+          if not equiv then
+            QCheck2.Test.fail_reportf "jobs=%d not equivalent" jobs;
+          if fp r <> fp base then
+            QCheck2.Test.fail_reportf
+              "jobs=%d diverged from the sequential run" jobs)
+        [ 2; 4; 8 ];
+      true)
+
+(* Table I: every circuit, sequential vs 4 domains, guards off for
+   speed (the qcheck suite above runs the guarded differential). *)
+let test_par_table1 () =
+  Mig.Transform.prewarm ();
+  let spec =
+    {
+      Par.default_spec with
+      Par.target = 96;
+      effort = 1;
+      verify = Some false;
+    }
+  in
+  List.iter
+    (fun (e : Benchmarks.Suite.entry) ->
+      let build jobs =
+        let ctx = Ctx.create () in
+        let m =
+          Mig.Convert.of_network ~ctx
+            (Network.Graph.flatten_aoig (e.Benchmarks.Suite.build ()))
+        in
+        let out, oc = Par.run ~jobs ~spec m in
+        (graph_fp out, outcome_fp oc, Mig.Equiv.migs ~seed:7 m out)
+      in
+      let g1, o1, eq1 = build 1 in
+      let g4, o4, eq4 = build 4 in
+      Alcotest.(check bool) (e.Benchmarks.Suite.name ^ " jobs=1 equivalent")
+        true eq1;
+      Alcotest.(check bool) (e.Benchmarks.Suite.name ^ " jobs=4 equivalent")
+        true eq4;
+      Alcotest.(check bool)
+        (e.Benchmarks.Suite.name ^ " jobs=4 == jobs=1")
+        true
+        ((g1, o1) = (g4, o4)))
+    Benchmarks.Suite.all
+
+(* ----- satellite: compact reuses ctx scratch ----- *)
+
+let test_compact_scratch () =
+  let ctx = Ctx.create () in
+  let net = Helpers.random_network ~seed:5 ~inputs:6 ~gates:80 ~outputs:4 in
+  let m = Mig.Convert.of_network ~ctx net in
+  ignore (M.compact m);
+  ignore (M.compact m);
+  let warm = Ctx.scratch_allocs ctx in
+  for _ = 1 to 5 do
+    ignore (M.compact m)
+  done;
+  Alcotest.(check int)
+    "steady-state compact allocates no fresh scratch" warm
+    (Ctx.scratch_allocs ctx)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "inthash",
+        [
+          Alcotest.test_case "reserve absorbs" `Quick test_inthash_reserve;
+          Alcotest.test_case "stats" `Quick test_inthash_stats;
+        ] );
+      ( "shardhash",
+        [
+          test_shard_differential;
+          Alcotest.test_case "concurrent segments" `Quick test_shard_concurrent;
+        ] );
+      ("partition", [ test_partition_properties ]);
+      ( "par",
+        [
+          test_par_differential;
+          Alcotest.test_case "table1" `Slow test_par_table1;
+        ] );
+      ("compact", [ Alcotest.test_case "scratch reuse" `Quick test_compact_scratch ]);
+    ]

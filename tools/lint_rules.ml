@@ -40,10 +40,12 @@ let catalog =
     };
     {
       code = "SRC002";
-      title = "Domain.spawn outside Flow.Batch";
+      title = "Domain.spawn outside Flow.Batch/Flow.Par";
       descr =
-        "domains are spawned only by the batch driver so ownership handoff \
-         stays auditable; exempt: lib/flow/batch.ml";
+        "domains are spawned only by the parallel drivers so ownership \
+         handoff stays auditable; exempt: lib/flow/batch.ml, \
+         lib/flow/par.ml, and test/test_par.ml (concurrent strash-segment \
+         hammering needs raw domains)";
     };
     {
       code = "SRC003";
@@ -106,7 +108,9 @@ let applies code p =
   let p = norm p in
   match code with
   | "SRC001" | "SRC005" -> in_lib p
-  | "SRC002" -> p <> "lib/flow/batch.ml"
+  | "SRC002" ->
+      p <> "lib/flow/batch.ml" && p <> "lib/flow/par.ml"
+      && p <> "test/test_par.ml"
   | "SRC003" ->
       in_lib p && p <> "lib/util/budget.ml" && p <> "lib/util/telemetry.ml"
   | "SRC004" -> true
@@ -125,8 +129,8 @@ let banned_idents =
     ("Obj.magic", "SRC004", "Obj.magic: unsound coercion");
     ( "Domain.spawn",
       "SRC002",
-      "Domain.spawn outside Flow.Batch: spawn workers via Flow.Batch so \
-       sanitizer ownership handoff stays auditable" );
+      "Domain.spawn outside Flow.Batch/Flow.Par: spawn workers via the \
+       parallel drivers so sanitizer ownership handoff stays auditable" );
     ( "Unix.gettimeofday",
       "SRC003",
       "raw wall-clock read: use Lsutil.Telemetry.time (or Budget deadlines)" );

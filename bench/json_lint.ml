@@ -251,6 +251,27 @@ let check_parmig i r =
       | _ -> fail "record %d: parmig %s.regions is not a list" i leg)
     [ "seq"; "par" ]
 
+(* serve records carry the daemon-under-load rollup: the fleet shape
+   plus pooled latency percentiles; a non-empty failures list means a
+   client saw a transport error or an invalid frame, which fails the
+   artifact outright (the chaos leg's whole point) *)
+let check_serve i r =
+  List.iter (int_field i r)
+    [
+      "clients"; "requests_per_client"; "workers"; "queue_capacity";
+      "served"; "rejected";
+    ];
+  let s = get i r "stats" in
+  List.iter (int_field i s) [ "sent"; "ok"; "degraded"; "server_errors" ];
+  List.iter
+    (fun f -> num i s f "serve.stats")
+    [ "p50_ms"; "p99_ms"; "mean_ms"; "max_ms"; "wall_s" ];
+  match J.member "failures" s with
+  | Some (J.List []) -> ()
+  | Some (J.List fs) ->
+      fail "record %d: serve leg reports %d client failures" i (List.length fs)
+  | _ -> fail "record %d: serve stats.failures is not a list" i
+
 let check_record i r =
   let sec = str i r "section" in
   let name = str i r "name" in
@@ -284,6 +305,7 @@ let check_record i r =
   | "batch" -> check_batch i r
   | "parmig" -> check_parmig i r
   | "memo" -> check_memo i r
+  | "serve" -> check_serve i r
   | s -> fail "record %d: unknown section %S" i s);
   sec
 

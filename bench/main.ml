@@ -1331,6 +1331,70 @@ let print_memo () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Serve: the optimization daemon (lib/serve) under concurrent load.  *)
+(* An in-process daemon on an ephemeral port takes one clean leg (8   *)
+(* clients) and one chaos leg (the same load with a raise fault armed *)
+(* on every second request); both must answer every request with a    *)
+(* validated frame — the chaos leg with degraded-but-verified results *)
+(* — and the pooled p50/p99 latencies are the recorded numbers.       *)
+(* ------------------------------------------------------------------ *)
+
+let print_serve () =
+  section "Serve - optimization daemon under concurrent load (lib/serve)";
+  let workers = max 2 (min 4 (Domain.recommended_domain_count () - 1)) in
+  let cfg =
+    {
+      (Serve.Server.default_config (`Tcp ("127.0.0.1", 0))) with
+      Serve.Server.workers;
+      queue_capacity = 64;
+    }
+  in
+  let t = Serve.Server.launch cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.drain t;
+      Serve.Server.join t)
+    (fun () ->
+      let addr = Serve.Server.bound_addr t in
+      let leg name opts =
+        let s = Serve.Load.run addr opts in
+        Printf.printf
+          "  %s: %d sent, %d ok (%d degraded, %d server errors, %d \
+           failures), p50 %.1f ms, p99 %.1f ms, wall %.2fs\n"
+          name s.Serve.Load.sent s.Serve.Load.ok s.Serve.Load.degraded
+          s.Serve.Load.server_errors
+          (List.length s.Serve.Load.failures)
+          s.Serve.Load.p50_ms s.Serve.Load.p99_ms s.Serve.Load.wall_s;
+        emit
+          (J.Obj
+             [
+               ("section", J.String "serve");
+               ("name", J.String name);
+               ("clients", J.Int opts.Serve.Load.clients);
+               ("requests_per_client", J.Int opts.Serve.Load.requests_per_client);
+               ("workers", J.Int workers);
+               ("queue_capacity", J.Int cfg.Serve.Server.queue_capacity);
+               ("served", J.Int (Serve.Server.served t));
+               ("rejected", J.Int (Serve.Server.rejected t));
+               ("stats", Serve.Load.stats_to_json s);
+             ])
+      in
+      leg "load"
+        {
+          Serve.Load.default_options with
+          Serve.Load.clients = 8;
+          requests_per_client = 4;
+        };
+      leg "chaos"
+        {
+          Serve.Load.default_options with
+          Serve.Load.clients = 8;
+          requests_per_client = 4;
+          fault_every = Some 2;
+          fault_spec = "seed=7:kind=raise:sites=transform";
+        })
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [
@@ -1349,6 +1413,7 @@ let all_sections =
     ("batch", print_batch);
     ("parmig", print_parmig);
     ("memo", print_memo);
+    ("serve", print_serve);
   ]
 
 let write_json path =

@@ -189,6 +189,19 @@ let opt_run input output effort goal stats timeout max_nodes fault json cache
       ~san:env.Lsutil.Env.san ()
   in
   let flt = Lsutil.Ctx.fault ctx in
+  (* SIGTERM/SIGINT turn into a sticky budget interrupt: the engine
+     finishes by degrading to its best verified checkpoint, the cache
+     delta is still saved, and the exit code says "interrupted" (4).
+     The handler only flips flags — async-signal-safe. *)
+  let interrupted = ref false in
+  let stop_handler =
+    Sys.Signal_handle
+      (fun _ ->
+        interrupted := true;
+        Lsutil.Budget.interrupt (Lsutil.Ctx.budget ctx))
+  in
+  Sys.set_signal Sys.sigterm stop_handler;
+  Sys.set_signal Sys.sigint stop_handler;
   (* region-parallel rewriting: --par-jobs beats MIG_PAR_JOBS; both are
      capped by the hardware domain count (Flow.Par takes the value
      literally so tests can oversubscribe deliberately) *)
@@ -277,13 +290,19 @@ let opt_run input output effort goal stats timeout max_nodes fault json cache
   Format.printf "time: %.2fs@." (Unix.gettimeofday () -. t0);
   Format.printf "%a@." Flow.Engine.pp_report rep;
   save_cache store;
+  (* a partial (interrupted) report is still a complete, schema-stable
+     JSON document — it just says so *)
+  let report_json () =
+    match Flow.Engine.report_to_json rep with
+    | Lsutil.Json.Obj fields when !interrupted ->
+        Lsutil.Json.Obj (("interrupted", Lsutil.Json.Bool true) :: fields)
+    | j -> j
+  in
   (match json with
-  | Some "-" ->
-      Format.printf "%a@." Lsutil.Json.pp (Flow.Engine.report_to_json rep)
+  | Some "-" -> Format.printf "%a@." Lsutil.Json.pp (report_json ())
   | Some path ->
       let oc = open_out path in
-      output_string oc
-        (Lsutil.Json.to_string (Flow.Engine.report_to_json rep));
+      output_string oc (Lsutil.Json.to_string (report_json ()));
       output_char oc '\n';
       close_out oc;
       Format.printf "wrote %s@." path
@@ -293,6 +312,10 @@ let opt_run input output effort goal stats timeout max_nodes fault json cache
       write_output path (Mig.Convert.to_network opt);
       Format.printf "wrote %s@." path
   | None -> ());
+  if !interrupted then begin
+    Format.printf "interrupted: returning best-so-far result@.";
+    exit 4
+  end;
   if rep.Flow.Engine.degraded then exit 3
 
 let opt_cmd =
@@ -472,12 +495,27 @@ let batch_run names jobs goal effort timeout max_nodes fault stats check json
       ?fault:plan ~seed:env.Lsutil.Env.seed ~san:env.Lsutil.Env.san ()
   in
   let store = cache_of_cli cache env in
+  (* SIGTERM/SIGINT stop workers from claiming new circuits;
+     in-flight ones finish, so every reported outcome is whole and
+     verified.  Cache deltas of completed items are saved, the JSON
+     report is emitted with an "interrupted" marker, exit code 4. *)
+  let stop = Atomic.make false in
+  let stop_handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  Sys.set_signal Sys.sigterm stop_handler;
+  Sys.set_signal Sys.sigint stop_handler;
   let t0 = Unix.gettimeofday () in
-  let outcomes = Flow.Batch.run ~jobs ~spec ~make_ctx ?cache:store items in
+  let outcomes =
+    Flow.Batch.run ~jobs ~spec ~make_ctx ?cache:store ~stop items
+  in
   let dt = Unix.gettimeofday () -. t0 in
+  let interrupted = Atomic.get stop in
   List.iter (Format.printf "%a@." Flow.Batch.pp_outcome) outcomes;
-  Format.printf "batch: %d circuit(s), %d job(s), %.3fs@."
-    (List.length outcomes) jobs dt;
+  Format.printf "batch: %d circuit(s), %d job(s), %.3fs%s@."
+    (List.length outcomes) jobs dt
+    (if interrupted then
+       Printf.sprintf "  [interrupted: %d of %d done]" (List.length outcomes)
+         (List.length items)
+     else "");
   (match store with
   | Some _ ->
       let h, m, reused, reopt =
@@ -499,14 +537,17 @@ let batch_run names jobs goal effort timeout max_nodes fault stats check json
   save_cache store;
   (match json with
   | Some "-" ->
-      Format.printf "%a@." Lsutil.Json.pp (Flow.Batch.to_json ~jobs outcomes)
+      Format.printf "%a@." Lsutil.Json.pp
+        (Flow.Batch.to_json ~interrupted ~jobs outcomes)
   | Some path ->
       let oc = open_out path in
-      output_string oc (Lsutil.Json.to_string (Flow.Batch.to_json ~jobs outcomes));
+      output_string oc
+        (Lsutil.Json.to_string (Flow.Batch.to_json ~interrupted ~jobs outcomes));
       output_char oc '\n';
       close_out oc;
       Format.printf "wrote %s@." path
   | None -> ());
+  if interrupted then exit 4;
   if List.exists (fun o -> o.Flow.Batch.report.Flow.Engine.degraded) outcomes
   then exit 3
 
@@ -693,6 +734,253 @@ let equiv_cmd =
   in
   Cmd.v (Cmd.info "equiv" ~doc) Term.(const run $ a_arg $ b_arg)
 
+(* ----- the optimization daemon and its clients ----- *)
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:
+          "TCP port (server: 0 picks an ephemeral port).  Defaults to \
+           $(b,MIG_SERVE_PORT).")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST"
+        ~doc:"Address to bind / connect to (default 127.0.0.1).")
+
+let unix_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "unix-socket" ] ~docv:"PATH"
+        ~doc:"Use a Unix-domain socket instead of TCP.")
+
+let resolve_addr env port host unix_socket =
+  match (unix_socket, port, env.Lsutil.Env.serve_port) with
+  | Some path, _, _ -> `Unix path
+  | None, Some p, _ | None, None, Some p -> `Tcp (host, p)
+  | None, None, None ->
+      prerr_endline "mighty: need --port, --unix-socket or MIG_SERVE_PORT";
+      exit 2
+
+let serve_run port host unix_socket queue workers timeout cache check =
+  let env = env_or_die () in
+  let addr = resolve_addr env port host unix_socket in
+  let store = cache_of_cli cache env in
+  let dc = Serve.Server.default_config ~env addr in
+  let cfg =
+    {
+      dc with
+      Serve.Server.queue_capacity =
+        (match queue with
+        | Some q -> q
+        | None -> dc.Serve.Server.queue_capacity);
+      workers =
+        (match workers with Some w -> w | None -> dc.Serve.Server.workers);
+      default_timeout_s =
+        (match timeout with
+        | Some _ as t -> t
+        | None -> dc.Serve.Server.default_timeout_s);
+      cache = store;
+      check = check || dc.Serve.Server.check;
+    }
+  in
+  (match addr with
+  | `Tcp (h, p) ->
+      Format.printf "serve: listening on %s:%d (%d workers, queue %d)@." h p
+        cfg.Serve.Server.workers cfg.Serve.Server.queue_capacity
+  | `Unix p ->
+      Format.printf "serve: listening on %s (%d workers, queue %d)@." p
+        cfg.Serve.Server.workers cfg.Serve.Server.queue_capacity);
+  (* blocks until SIGTERM/SIGINT completes the graceful drain:
+     accepting stops, in-flight requests finish, the cache delta is
+     flushed, and we fall through to a clean exit 0 *)
+  Serve.Server.run cfg;
+  Format.printf "serve: drained, exiting@."
+
+let serve_cmd =
+  let doc =
+    "run the long-lived optimization daemon (newline-delimited JSON over \
+     TCP or a Unix socket; graceful SIGTERM/SIGINT drain)"
+  in
+  let queue =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission-queue capacity; a full queue rejects new connections \
+             with a structured $(i,overloaded) error carrying \
+             retry_after_ms.  Defaults to $(b,MIG_SERVE_QUEUE) or 64.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: hardware parallelism minus one; 0 is \
+             a test hook that admits but never serves).")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SEC"
+          ~doc:
+            "Per-request deadline cap in seconds (default 30); requests \
+             asking for more are clamped, requests that hit it degrade to \
+             their best verified checkpoint.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Run every request under the transform guard (equivalent to \
+             $(b,MIG_CHECK=1)).")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve_run $ port_arg $ host_arg $ unix_socket_arg $ queue
+      $ workers $ timeout $ cache_arg $ check)
+
+let ping_run port host unix_socket =
+  let env = env_or_die () in
+  let addr = resolve_addr env port host unix_socket in
+  match Serve.Client.connect addr with
+  | Error e ->
+      prerr_endline ("mighty ping: " ^ e);
+      exit 1
+  | Ok conn -> (
+      let r = Serve.Client.ping conn in
+      Serve.Client.close conn;
+      match r with
+      | Ok body -> Format.printf "%a@." Lsutil.Json.pp body
+      | Error e ->
+          prerr_endline ("mighty ping: " ^ e);
+          exit 1)
+
+let ping_cmd =
+  let doc = "ping a running daemon and print its status record" in
+  Cmd.v (Cmd.info "ping" ~doc)
+    Term.(const ping_run $ port_arg $ host_arg $ unix_socket_arg)
+
+let serve_load_run port host unix_socket clients requests names goal effort
+    timeout fault_every fault json =
+  let open Serve.Load in
+  let env = env_or_die () in
+  let addr = resolve_addr env port host unix_socket in
+  let circuits =
+    match names with
+    | [] -> default_options.circuits
+    | ns ->
+        List.map
+          (fun n ->
+            if List.mem n Benchmarks.Suite.names then Serve.Protocol.Bench n
+            else begin
+              prerr_endline ("mighty serve-load: unknown circuit " ^ n);
+              exit 2
+            end)
+          ns
+  in
+  let opts =
+    {
+      clients;
+      requests_per_client = requests;
+      circuits;
+      goal;
+      effort;
+      timeout_s = timeout;
+      fault_every;
+      fault_spec =
+        (match fault with Some s -> s | None -> default_options.fault_spec);
+      seed = env.Lsutil.Env.seed;
+    }
+  in
+  let stats = run addr opts in
+  Format.printf
+    "serve-load: %d sent, %d ok (%d degraded), %d server errors, %d \
+     failures@."
+    stats.sent stats.ok stats.degraded stats.server_errors
+    (List.length stats.failures);
+  List.iter (Format.printf "  failure: %s@.") stats.failures;
+  Format.printf "latency: p50 %.1f ms, p99 %.1f ms, max %.1f ms (%.2fs wall)@."
+    stats.p50_ms stats.p99_ms stats.max_ms stats.wall_s;
+  (match json with
+  | Some "-" -> Format.printf "%a@." Lsutil.Json.pp (stats_to_json stats)
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Lsutil.Json.to_string (stats_to_json stats));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "wrote %s@." path
+  | None -> ());
+  (* transport/validation failures are CI-fatal; pure rejection storms
+     (ok = 0) are too, so a misconfigured run can't pass silently *)
+  if stats.failures <> [] || (stats.sent > 0 && stats.ok = 0) then exit 1
+
+let serve_load_cmd =
+  let doc =
+    "drive a running daemon with concurrent clients and report p50/p99 \
+     latency (the CI smoke/chaos load)"
+  in
+  let clients =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client domains.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 4
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NAME"
+          ~doc:"Suite circuits to request round-robin (default b9, count, \
+                cla).")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) (Some 20.)
+      & info [ "timeout" ] ~docv:"SEC" ~doc:"Per-request budget sent along.")
+  in
+  let fault_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-every" ] ~docv:"N"
+          ~doc:
+            "Chaos mode: every $(docv)-th request of each client carries \
+             the --fault spec, so faults fire in-flight while healthy \
+             requests keep streaming.")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"SPEC"
+          ~doc:"Fault spec for --fault-every requests.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Write the load statistics as JSON to $(docv) ($(b,-): stdout).")
+  in
+  Cmd.v (Cmd.info "serve-load" ~doc)
+    Term.(
+      const serve_load_run $ port_arg $ host_arg $ unix_socket_arg $ clients
+      $ requests $ names_arg $ goal_arg $ effort_arg $ timeout $ fault_every
+      $ fault $ json)
+
 let () =
   let doc = "MIG-based logic optimization (Amaru et al., DAC'14)" in
   let info = Cmd.info "mighty" ~version:"1.0.0" ~doc in
@@ -701,5 +989,5 @@ let () =
        (Cmd.group info
           [
             optimize_cmd; opt_cmd; batch_cmd; map_cmd; stats_cmd; bench_cmd;
-            check_cmd; equiv_cmd;
+            check_cmd; equiv_cmd; serve_cmd; ping_cmd; serve_load_cmd;
           ]))

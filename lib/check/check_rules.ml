@@ -58,6 +58,7 @@ let all =
     ("SRC004", "Obj.magic anywhere");
     ("SRC005", "catch-all `with _ ->` exception handler in lib/");
     ("SRC006", "Sys.getenv outside Lsutil.Env in lib/");
+    ("SRC007", "raw socket call outside lib/serve");
   ]
 
 let describe code = List.assoc_opt code all

@@ -56,28 +56,45 @@ type outcome = {
    (clamped only to the item count), so tests can force genuine
    multi-domain execution on any host; {!run} applies the hardware
    cap. *)
-let pmap ~jobs f arr =
+let pmap_opt ?stop ~jobs f arr =
+  let stopped () = match stop with Some s -> Atomic.get s | None -> false in
   let n = Array.length arr in
   let jobs = max 1 (min jobs n) in
-  if jobs <= 1 then Array.mapi f arr
+  let out = Array.make n None in
+  if jobs <= 1 then begin
+    let i = ref 0 in
+    while !i < n && not (stopped ()) do
+      out.(!i) <- Some (f !i arr.(!i));
+      incr i
+    done
+  end
   else begin
     let next = Atomic.make 0 in
-    let out = Array.make n None in
     let worker () =
+      (* the stop flag is checked between claims, never mid-item: an
+         interrupted batch still hands back only whole, verified
+         outcomes *)
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          out.(i) <- Some (f i arr.(i));
-          loop ()
+        if not (stopped ()) then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            out.(i) <- Some (f i arr.(i));
+            loop ()
+          end
         end
       in
       loop ()
     in
     let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
-    List.iter Domain.join spawned;
-    Array.map (function Some v -> v | None -> assert false) out
-  end
+    List.iter Domain.join spawned
+  end;
+  out
+
+let pmap ~jobs f arr =
+  Array.map
+    (function Some v -> v | None -> assert false)
+    (pmap_opt ~jobs f arr)
 
 (* Everything that changes the optimizer's answer must land in the
    cone-fingerprint salt, or a store written under one recipe would be
@@ -155,7 +172,7 @@ let run_item ~spec ~ctx ~shared item =
     },
     !deltas )
 
-let run ?(jobs = 1) ?(spec = default_spec) ?make_ctx ?cache items =
+let run ?(jobs = 1) ?(spec = default_spec) ?make_ctx ?cache ?stop items =
   let jobs = min jobs (max 1 (Domain.recommended_domain_count ())) in
   let make_ctx =
     match make_ctx with Some f -> f | None -> fun _ _ -> Ctx.create ()
@@ -167,19 +184,21 @@ let run ?(jobs = 1) ?(spec = default_spec) ?make_ctx ?cache items =
     Option.map (fun c -> (Cache.rw c, Cache.cones c, salt_of_spec spec)) cache
   in
   let arr = Array.of_list items in
-  let results =
-    pmap ~jobs (fun i item -> run_item ~spec ~ctx:(make_ctx i item) ~shared item) arr
+  let slots =
+    pmap_opt ?stop ~jobs
+      (fun i item -> run_item ~spec ~ctx:(make_ctx i item) ~shared item)
+      arr
   in
+  let results = List.filter_map Fun.id (Array.to_list slots) in
   (* deltas are merged in input order — first writer wins — so the
-     absorbed cache is bit-identical for any [jobs] value *)
+     absorbed cache is bit-identical for any [jobs] value; a stopped
+     run merges only the deltas of items that actually completed *)
   (match cache with
   | Some c ->
-      Cache.absorb_rw c (Array.to_list (Array.map (fun (_, (rw, _)) -> rw) results));
-      Cache.absorb_cones
-        c
-        (Array.to_list (Array.map (fun (_, (_, cones)) -> cones) results))
+      Cache.absorb_rw c (List.map (fun (_, (rw, _)) -> rw) results);
+      Cache.absorb_cones c (List.map (fun (_, (_, cones)) -> cones) results)
   | None -> ());
-  Array.to_list (Array.map fst results)
+  List.map fst results
 
 (* ----- reporting ----- *)
 
@@ -216,12 +235,11 @@ let outcome_to_json o =
     | Some node -> [ ("telemetry", T.to_json node) ]
     | None -> [])
 
-let to_json ~jobs outcomes =
+let to_json ?(interrupted = false) ~jobs outcomes =
   J.Obj
-    [
-      ("jobs", J.Int jobs);
-      ("circuits", J.List (List.map outcome_to_json outcomes));
-    ]
+    ([ ("jobs", J.Int jobs) ]
+    @ (if interrupted then [ ("interrupted", J.Bool true) ] else [])
+    @ [ ("circuits", J.List (List.map outcome_to_json outcomes)) ])
 
 let pp_outcome fmt o =
   Format.fprintf fmt "%-12s %6d -> %-6d depth %3d -> %-3d %8.3fs  %s%s"

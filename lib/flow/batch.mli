@@ -61,6 +61,7 @@ val run :
   ?spec:spec ->
   ?make_ctx:(int -> item -> Lsutil.Ctx.t) ->
   ?cache:Cache.t ->
+  ?stop:bool Atomic.t ->
   item list ->
   outcome list
 (** [run ~jobs items] processes all items on [jobs] worker domains
@@ -76,13 +77,27 @@ val run :
     fingerprints driving {!Cutoff} early cutoff) and records private
     deltas; the coordinator merges them back in input order after all
     domains join, so the absorbed cache — like the outcomes — is
-    bit-identical for any [jobs] value. *)
+    bit-identical for any [jobs] value.
+
+    With [?stop] (the CLI's SIGTERM/SIGINT flag), workers stop
+    claiming new items once the flag reads [true] — in-flight items
+    still finish, so the returned list holds only whole, verified
+    outcomes (a prefix-like subset in input order).  Only completed
+    items' cache deltas are merged. *)
 
 val pmap : jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 (** The underlying pool: applies [f] to every element on [jobs]
     domains, results in input order.  Exposed for the differential
     tests. *)
 
+val pmap_opt :
+  ?stop:bool Atomic.t -> jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b option array
+(** {!pmap} with an early-stop flag: slots of items never claimed
+    (because [stop] was set) are [None]. *)
+
 val outcome_to_json : outcome -> Lsutil.Json.t
-val to_json : jobs:int -> outcome list -> Lsutil.Json.t
+
+(** [~interrupted:true] (a stopped batch) adds an ["interrupted"]
+    marker to the report envelope. *)
+val to_json : ?interrupted:bool -> jobs:int -> outcome list -> Lsutil.Json.t
 val pp_outcome : Format.formatter -> outcome -> unit

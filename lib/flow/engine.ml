@@ -81,7 +81,7 @@ let candidate_ok ~bud ~flt ~verify ~seed ~input cand =
           | exception e when not (fatal e) -> false))
 
 let run ?verify ?timeout_s ?max_nodes ?cost ?size_cap ?(seed = 1)
-    ~passes g =
+    ?(trace = fun (_ : string) -> ()) ~passes g =
   let ctx = G.ctx g in
   let tel = Lsutil.Ctx.stats ctx in
   let bud = Lsutil.Ctx.budget ctx in
@@ -142,6 +142,10 @@ let run ?verify ?timeout_s ?max_nodes ?cost ?size_cap ?(seed = 1)
       let step p =
         if Lsutil.Budget.expired bud then record p.name Skipped 0.0 false
         else begin
+          (* the trace hook is observation only: a failure inside it
+             must not take the engine down with it *)
+          (match protect ~name:"trace" (fun () -> trace p.name) with
+          | Ok () | Error _ -> ());
           let res, dt =
             T.time (fun () -> protect ~name:p.name (fun () -> p.run !cur))
           in

@@ -53,6 +53,7 @@ val run :
   ?cost:(Mig.Graph.t -> float * float) ->
   ?size_cap:int ->
   ?seed:int ->
+  ?trace:(string -> unit) ->
   passes:pass list ->
   Mig.Graph.t ->
   Mig.Graph.t * report
@@ -69,6 +70,9 @@ val run :
     (lexicographic on the float pair; default [(size, depth)]).
     Candidates larger than [size_cap] are never checkpointed (default:
     unlimited).  [seed] drives the miter simulation (default 1).
+    [trace] is called with each pass name just before the pass runs
+    (the serve daemon's streaming telemetry); it is isolated like a
+    pass — an exception inside it cannot disturb the engine.
 
     The returned graph is re-verified unconditionally; if even the
     final checkpoint fails (possible only under injected corruption),

@@ -1,0 +1,195 @@
+(* Blocking single-connection client.  All reads funnel through one
+   Framing.t, so server responses are split exactly the way request
+   lines are on the other side; every frame is schema-validated before
+   the caller sees it. *)
+
+module P = Protocol
+module J = Lsutil.Json
+
+type t = {
+  fd : Unix.file_descr;
+  fr : Framing.t;
+  buf : Bytes.t;
+  mutable pending : string list;  (* complete lines not yet consumed *)
+}
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+let close t = close_noerr t.fd
+
+let send fd s =
+  let len = String.length s in
+  let rec go pos =
+    if pos >= len then true
+    else
+      match Unix.write_substring fd s pos (len - pos) with
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error (_, _, _) -> false
+  in
+  go 0
+
+let rec next_line t =
+  match t.pending with
+  | l :: rest ->
+      t.pending <- rest;
+      Ok l
+  | [] -> (
+      match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+      | 0 -> Error "connection closed by server"
+      | n ->
+          let rec collect acc = function
+            | [] -> Ok (List.rev acc)
+            | Framing.Line l :: rest -> collect (l :: acc) rest
+            | Framing.Oversized bytes :: _ ->
+                Error
+                  (Printf.sprintf "server sent an oversized frame (%d bytes)"
+                     bytes)
+          in
+          (match collect [] (Framing.feed t.fr t.buf 0 n) with
+          | Error _ as e -> e
+          | Ok lines ->
+              t.pending <- t.pending @ lines;
+              next_line t)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_line t
+      | exception Unix.Unix_error (e, _, _) ->
+          Error ("read: " ^ Unix.error_message e))
+
+let read_frame t =
+  match next_line t with
+  | Error _ as e -> e
+  | Ok line -> (
+      match J.of_string line with
+      | Error e -> Error ("malformed frame: " ^ e)
+      | Ok j -> (
+          match P.validate_frame j with
+          | Error e -> Error ("invalid frame: " ^ e)
+          | Ok () -> P.decode_frame j))
+
+(* {2 Connecting} *)
+
+let sockaddr_of = function
+  | `Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> failwith ("client: unknown host " ^ host))
+      in
+      Unix.ADDR_INET (addr, port)
+  | `Unix path -> Unix.ADDR_UNIX path
+
+(* The server answers an admission rejection immediately at accept
+   time and closes; an admitted connection stays silent.  A short
+   probe window right after connect distinguishes the two, so
+   overloaded/draining greetings become retry verdicts instead of
+   failures on the first request. *)
+let probe_greeting fd =
+  match Unix.select [ fd ] [] [] 0.02 with
+  | [], _, _ -> `Admitted
+  | _ :: _, _, _ -> (
+      let buf = Bytes.create 4096 in
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> `Rejected (`Retry "connection closed at accept")
+      | n -> (
+          let fr = Framing.create () in
+          let line =
+            List.find_map
+              (function Framing.Line l -> Some l | Framing.Oversized _ -> None)
+              (Framing.feed fr buf 0 n)
+          in
+          match Option.map J.of_string line with
+          | Some (Ok j) -> (
+              match P.decode_frame j with
+              | Ok (P.Error_frame { code = P.Overloaded; retry_after_ms; _ })
+                ->
+                  let floor_s =
+                    float_of_int (Option.value ~default:50 retry_after_ms)
+                    /. 1000.
+                  in
+                  `Rejected (`Retry_after (floor_s, "server overloaded"))
+              | Ok (P.Error_frame { code = P.Draining; _ }) ->
+                  `Rejected (`Retry "server draining")
+              | Ok _ | Error _ ->
+                  (* an unsolicited non-rejection frame: not ours to
+                     interpret here; treat the connection as broken *)
+                  `Rejected (`Fail "unexpected greeting from server"))
+          | Some (Error e) -> `Rejected (`Fail ("malformed greeting: " ^ e))
+          | None -> `Rejected (`Fail "oversized greeting from server"))
+      | exception Unix.Unix_error (_, _, _) ->
+          `Rejected (`Retry "connection reset at accept"))
+  | exception Unix.Unix_error (_, _, _) ->
+      `Rejected (`Retry "connection reset at accept")
+
+let try_connect addr timeout_s =
+  let domain =
+    match addr with `Tcp _ -> Unix.PF_INET | `Unix _ -> Unix.PF_UNIX
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (sockaddr_of addr) with
+  | () -> (
+      match probe_greeting fd with
+      | `Admitted ->
+          (try
+             Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+             Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
+           with Unix.Unix_error _ | Invalid_argument _ -> ());
+          Ok
+            {
+              fd;
+              fr = Framing.create ~max_line_bytes:(64 * 1024 * 1024) ();
+              buf = Bytes.create 65536;
+              pending = [];
+            }
+      | `Rejected verdict ->
+          close_noerr fd;
+          Error verdict)
+  | exception Unix.Unix_error (e, _, _) -> (
+      close_noerr fd;
+      match e with
+      | Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.ECONNRESET
+      | Unix.EINTR | Unix.ETIMEDOUT ->
+          Error (`Retry ("connect: " ^ Unix.error_message e))
+      | e -> Error (`Fail ("connect: " ^ Unix.error_message e)))
+
+let connect ?retry ?rng ?(timeout_s = 30.) addr =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let rng = match rng with Some r -> r | None -> Lsutil.Rng.create 1 in
+  match
+    Lsutil.Retry.run ?policy:retry ~rng (fun ~attempt:_ ->
+        try_connect addr timeout_s)
+  with
+  | Ok _ as ok -> ok
+  | Error e -> Error (Format.asprintf "%a" Lsutil.Retry.pp_error e)
+
+(* {2 Requests} *)
+
+let request ?(on_telemetry = fun (_ : P.frame) -> ()) t req =
+  let line = J.to_string (P.request_to_json req) ^ "\n" in
+  if not (send t.fd line) then Error "send: connection lost"
+  else
+    let rec read_terminal () =
+      match read_frame t with
+      | Error _ as e -> e
+      | Ok (P.Telemetry _ as f) ->
+          on_telemetry f;
+          read_terminal ()
+      | Ok terminal -> Ok terminal
+    in
+    read_terminal ()
+
+let ping t =
+  match request t P.Ping with
+  | Error _ as e -> e
+  | Ok (P.Pong body) -> Ok body
+  | Ok (P.Error_frame { code; message; _ }) ->
+      Error (P.error_code_name code ^ ": " ^ message)
+  | Ok (P.Result _ | P.Telemetry _) -> Error "unexpected frame type for ping"
+
+let optimize ?on_telemetry t r =
+  match request ?on_telemetry t (P.Optimize r) with
+  | Error _ as e -> e
+  | Ok (P.Result rf) -> Ok rf
+  | Ok (P.Error_frame { code; message; _ }) ->
+      Error (P.error_code_name code ^ ": " ^ message)
+  | Ok (P.Pong _ | P.Telemetry _) ->
+      Error "unexpected frame type for optimize"

@@ -1,0 +1,51 @@
+(** The bundled [mighty-serve/1] client.
+
+    A thin, blocking, single-connection client used by the [mighty]
+    CLI, the load harness and the tests.  Connection establishment
+    retries transient failures — refused/overloaded/draining — through
+    {!Lsutil.Retry} with bounded exponential backoff and deterministic
+    jitter; an [overloaded] rejection's [retry_after_ms] hint becomes
+    the backoff floor for the next attempt.
+
+    Every frame read off the wire is {!Protocol.validate_frame}d
+    before it is handed to the caller, so a misbehaving server is a
+    structured [Error], never a surprise. *)
+
+type t
+(** One open connection. *)
+
+val connect :
+  ?retry:Lsutil.Retry.policy ->
+  ?rng:Lsutil.Rng.t ->
+  ?timeout_s:float ->
+  Server.addr ->
+  (t, string) result
+(** Connect, retrying refusals and [overloaded]/[draining] greetings
+    under [retry] (default {!Lsutil.Retry.default_policy}).  [rng]
+    drives the backoff jitter (default: seeded from the policy
+    defaults, seed 1).  [timeout_s] is the per-socket read/write
+    timeout (default 30 s). *)
+
+val close : t -> unit
+
+val request :
+  ?on_telemetry:(Protocol.frame -> unit) ->
+  t ->
+  Protocol.req ->
+  (Protocol.frame, string) result
+(** Send one request and read frames until the terminal one —
+    a result, pong, or error frame — which is returned.  Telemetry
+    frames stream through [on_telemetry] (default: dropped).  [Error]
+    covers transport failures and frames that fail
+    {!Protocol.validate_frame}. *)
+
+val ping : t -> (Lsutil.Json.t, string) result
+(** {!request} with [Ping]; returns the pong body. *)
+
+val optimize :
+  ?on_telemetry:(Protocol.frame -> unit) ->
+  t ->
+  Protocol.request ->
+  (Protocol.result_frame, string) result
+(** {!request} with [Optimize]; unwraps the result frame.  A terminal
+    error frame becomes [Error "code: message"]. *)

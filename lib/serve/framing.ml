@@ -1,0 +1,54 @@
+(* Newline framing as a pure byte-stream state machine.  Two states:
+   accumulating (bytes go into [buf]) and discarding (an oversized
+   line; only the running length is kept).  Chunk boundaries carry no
+   meaning, which the qcheck chunking-independence property pins. *)
+
+type t = {
+  limit : int;
+  buf : Buffer.t;
+  mutable discarding : bool;
+  mutable discarded : int;  (* bytes of the oversized line seen so far *)
+}
+
+let create ?(max_line_bytes = 8 * 1024 * 1024) () =
+  { limit = max_line_bytes; buf = Buffer.create 256; discarding = false;
+    discarded = 0 }
+
+type event = Line of string | Oversized of int
+
+let close_line t =
+  let s = Buffer.contents t.buf in
+  Buffer.clear t.buf;
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let feed t buf pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Framing.feed";
+  let events = ref [] in
+  for i = pos to pos + len - 1 do
+    let c = Bytes.unsafe_get buf i in
+    if t.discarding then
+      if c = '\n' then begin
+        events := Oversized t.discarded :: !events;
+        t.discarding <- false;
+        t.discarded <- 0
+      end
+      else t.discarded <- t.discarded + 1
+    else if c = '\n' then events := Line (close_line t) :: !events
+    else if Buffer.length t.buf >= t.limit then begin
+      (* the line just crossed the limit: drop what we buffered and
+         swallow the rest of it *)
+      t.discarding <- true;
+      t.discarded <- Buffer.length t.buf + 1;
+      Buffer.clear t.buf
+    end
+    else Buffer.add_char t.buf c
+  done;
+  List.rev !events
+
+let feed_string t s = feed t (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let pending t = if t.discarding then t.discarded else Buffer.length t.buf
+
+let max_line_bytes t = t.limit

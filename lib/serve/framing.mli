@@ -1,0 +1,38 @@
+(** Incremental newline-delimited framing with an oversize guard.
+
+    A {!t} buffers raw bytes as they arrive from a socket and cuts
+    them into lines at ['\n'] (a trailing ['\r'] is stripped, so CRLF
+    peers work).  A line longer than [max_line_bytes] is {e not}
+    buffered: the decoder switches to discard mode, swallows bytes
+    until the next newline, and then emits a single {!event.Oversized}
+    — so a hostile or buggy peer cannot balloon server memory, and the
+    stream re-synchronizes on the very next line.
+
+    Pure state machine over bytes: no I/O, no exceptions, no
+    allocation proportional to anything but the accepted line — which
+    is what lets the fuzz suite drive it with arbitrary chunkings of
+    arbitrary byte soup and assert chunking-independence. *)
+
+type t
+
+val create : ?max_line_bytes:int -> unit -> t
+(** Default limit: 8 MiB. *)
+
+type event =
+  | Line of string  (** a complete line (newline stripped, within limit) *)
+  | Oversized of int
+      (** a line exceeded the limit and was discarded; carries the
+          total byte length of the discarded line *)
+
+val feed : t -> bytes -> int -> int -> event list
+(** [feed t buf pos len] consumes [len] bytes of [buf] at [pos] and
+    returns the completed events, in order.  The chunking is
+    irrelevant: any split of the same byte stream yields the same
+    event sequence. *)
+
+val feed_string : t -> string -> event list
+
+val pending : t -> int
+(** Bytes buffered (or being discarded) awaiting a newline. *)
+
+val max_line_bytes : t -> int

@@ -1,0 +1,174 @@
+(* Load/chaos generator.  Each client domain owns its connection, its
+   Rng and its latency array; the coordinator merges after joining —
+   the same share-nothing shape as Flow.Batch. *)
+
+module P = Protocol
+
+type options = {
+  clients : int;
+  requests_per_client : int;
+  circuits : P.circuit list;
+  goal : [ `Size | `Depth | `Activity ];
+  effort : int;
+  timeout_s : float option;
+  fault_every : int option;
+  fault_spec : string;
+  seed : int;
+}
+
+let default_options =
+  {
+    clients = 8;
+    requests_per_client = 4;
+    circuits = [ P.Bench "b9"; P.Bench "count"; P.Bench "cla" ];
+    goal = `Size;
+    effort = 1;
+    timeout_s = Some 20.;
+    fault_every = None;
+    fault_spec = "seed=7:kind=any:sites=transform,strash";
+    seed = 1;
+  }
+
+type stats = {
+  sent : int;
+  ok : int;
+  degraded : int;
+  server_errors : int;
+  failures : string list;
+  p50_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  max_ms : float;
+  wall_s : float;
+}
+
+type client_tally = {
+  mutable c_sent : int;
+  mutable c_ok : int;
+  mutable c_degraded : int;
+  mutable c_errors : int;
+  mutable c_failures : string list;
+  mutable c_lat_ms : float list;
+}
+
+let run_client addr opts idx =
+  let tally =
+    {
+      c_sent = 0;
+      c_ok = 0;
+      c_degraded = 0;
+      c_errors = 0;
+      c_failures = [];
+      c_lat_ms = [];
+    }
+  in
+  let rng = Lsutil.Rng.create (opts.seed + idx) in
+  (match Client.connect ~rng addr with
+  | Error e -> tally.c_failures <- [ Printf.sprintf "client %d: %s" idx e ]
+  | Ok conn ->
+      let ncirc = List.length opts.circuits in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          for k = 0 to opts.requests_per_client - 1 do
+            let circuit = List.nth opts.circuits ((idx + k) mod ncirc) in
+            let fault =
+              match opts.fault_every with
+              | Some n when n > 0 && (k + 1) mod n = 0 -> Some opts.fault_spec
+              | _ -> None
+            in
+            let req =
+              match
+                P.optimize
+                  ~id:(Printf.sprintf "c%d-r%d" idx k)
+                  ~goal:opts.goal ~effort:opts.effort ?timeout_s:opts.timeout_s
+                  ?fault circuit
+              with
+              | P.Optimize r -> r
+              | P.Ping -> assert false
+            in
+            tally.c_sent <- tally.c_sent + 1;
+            let outcome, time_s =
+              Lsutil.Telemetry.time (fun () -> Client.optimize conn req)
+            in
+            tally.c_lat_ms <- (time_s *. 1000.) :: tally.c_lat_ms;
+            match outcome with
+            | Ok rf ->
+                tally.c_ok <- tally.c_ok + 1;
+                if rf.P.degraded then tally.c_degraded <- tally.c_degraded + 1
+            | Error msg ->
+                (* a structured server-side error (the chaos leg's
+                   expected currency) is not a failure; only transport
+                   or schema trouble is *)
+                let structured =
+                  List.exists
+                    (fun code ->
+                      let prefix = P.error_code_name code ^ ":" in
+                      String.length msg >= String.length prefix
+                      && String.sub msg 0 (String.length prefix) = prefix)
+                    [
+                      P.Bad_request; P.Protocol; P.Oversized; P.Overloaded;
+                      P.Draining; P.Internal;
+                    ]
+                in
+                if structured then tally.c_errors <- tally.c_errors + 1
+                else
+                  tally.c_failures <-
+                    Printf.sprintf "client %d req %d: %s" idx k msg
+                    :: tally.c_failures
+          done));
+  tally
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let run addr opts =
+  if opts.circuits = [] then invalid_arg "Serve.Load: circuits";
+  if opts.clients < 1 then invalid_arg "Serve.Load: clients";
+  let tallies, wall_s =
+    Lsutil.Telemetry.time (fun () ->
+        let domains =
+          List.init opts.clients (fun i ->
+              Domain.spawn (fun () -> run_client addr opts i))
+        in
+        List.map Domain.join domains)
+  in
+  let lat =
+    Array.of_list (List.concat_map (fun t -> t.c_lat_ms) tallies)
+  in
+  Array.sort compare lat;
+  let sum name f = List.fold_left (fun a t -> a + f t) 0 name in
+  let mean_ms =
+    if Array.length lat = 0 then 0.
+    else Array.fold_left ( +. ) 0. lat /. float_of_int (Array.length lat)
+  in
+  {
+    sent = sum tallies (fun t -> t.c_sent);
+    ok = sum tallies (fun t -> t.c_ok);
+    degraded = sum tallies (fun t -> t.c_degraded);
+    server_errors = sum tallies (fun t -> t.c_errors);
+    failures = List.concat_map (fun t -> List.rev t.c_failures) tallies;
+    p50_ms = percentile lat 0.5;
+    p99_ms = percentile lat 0.99;
+    mean_ms;
+    max_ms = (if Array.length lat = 0 then 0. else lat.(Array.length lat - 1));
+    wall_s;
+  }
+
+let stats_to_json s =
+  let module J = Lsutil.Json in
+  J.Obj
+    [
+      ("sent", J.Int s.sent);
+      ("ok", J.Int s.ok);
+      ("degraded", J.Int s.degraded);
+      ("server_errors", J.Int s.server_errors);
+      ("failures", J.List (List.map (fun f -> J.String f) s.failures));
+      ("p50_ms", J.Float s.p50_ms);
+      ("p99_ms", J.Float s.p99_ms);
+      ("mean_ms", J.Float s.mean_ms);
+      ("max_ms", J.Float s.max_ms);
+      ("wall_s", J.Float s.wall_s);
+    ]

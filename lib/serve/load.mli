@@ -1,0 +1,47 @@
+(** Concurrent load (and chaos) harness for a running daemon.
+
+    Spawns [clients] domains, each holding one connection and pumping
+    [requests_per_client] optimize requests round-robin over
+    [circuits]; latencies are pooled and summarized as
+    p50/p99/mean/max.  With [fault_every = Some n], every n-th request
+    of each client carries [fault_spec] — the chaos leg: the daemon
+    must keep answering structured frames while faults fire in-flight.
+
+    Every frame each client receives is already schema-validated by
+    {!Client}; any transport or validation failure lands in
+    [failures], which CI asserts is empty. *)
+
+type options = {
+  clients : int;
+  requests_per_client : int;
+  circuits : Protocol.circuit list;  (** round-robin, must be non-empty *)
+  goal : [ `Size | `Depth | `Activity ];
+  effort : int;
+  timeout_s : float option;  (** per-request budget sent with each request *)
+  fault_every : int option;  (** chaos: arm [fault_spec] every n-th request *)
+  fault_spec : string;
+  seed : int;  (** client backoff jitter (client [i] uses [seed + i]) *)
+}
+
+val default_options : options
+(** 8 clients x 4 requests over [b9]/[count]/[cla], goal [`Size],
+    effort 1, 20 s budget, no chaos, seed 1. *)
+
+type stats = {
+  sent : int;
+  ok : int;  (** result frames received *)
+  degraded : int;  (** of which [degraded:true] *)
+  server_errors : int;  (** structured terminal error frames *)
+  failures : string list;  (** transport/validation failures: CI wants [] *)
+  p50_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  max_ms : float;
+  wall_s : float;
+}
+
+val run : Server.addr -> options -> stats
+
+val stats_to_json : stats -> Lsutil.Json.t
+(** The [serve] section records of [BENCH_serve.json]
+    ([bench/json_lint] checks this shape). *)

@@ -1,0 +1,369 @@
+(* The mighty-serve/1 wire protocol: total encode/decode over
+   Lsutil.Json trees.  Decoding never raises — every malformed shape
+   maps to a structured error — because the daemon feeds it raw
+   network bytes. *)
+
+module J = Lsutil.Json
+
+let schema = "mighty-serve/1"
+
+type circuit = Bench of string | Blif of string | Verilog of string
+
+type request = {
+  id : string option;
+  circuit : circuit;
+  goal : [ `Size | `Depth | `Activity ];
+  effort : int;
+  timeout_s : float option;
+  max_nodes : int option;
+  fault : string option;
+  emit : [ `None | `Blif ];
+  stats : bool;
+}
+
+type req = Optimize of request | Ping
+
+type error_code =
+  | Bad_request
+  | Protocol
+  | Oversized
+  | Overloaded
+  | Draining
+  | Internal
+
+let error_code_name = function
+  | Bad_request -> "bad_request"
+  | Protocol -> "protocol"
+  | Oversized -> "oversized"
+  | Overloaded -> "overloaded"
+  | Draining -> "draining"
+  | Internal -> "internal"
+
+let error_code_of_name = function
+  | "bad_request" -> Some Bad_request
+  | "protocol" -> Some Protocol
+  | "oversized" -> Some Oversized
+  | "overloaded" -> Some Overloaded
+  | "draining" -> Some Draining
+  | "internal" -> Some Internal
+  | _ -> None
+
+let goal_name = function
+  | `Size -> "size"
+  | `Depth -> "depth"
+  | `Activity -> "activity"
+
+let goal_of_name = function
+  | "size" -> Some `Size
+  | "depth" -> Some `Depth
+  | "activity" -> Some `Activity
+  | _ -> None
+
+(* ----- requests ----- *)
+
+let optimize ?id ?(goal = `Size) ?(effort = 2) ?timeout_s ?max_nodes ?fault
+    ?(emit = `None) ?(stats = false) circuit =
+  Optimize
+    { id; circuit; goal; effort; timeout_s; max_nodes; fault; emit; stats }
+
+let circuit_to_json = function
+  | Bench n -> J.Obj [ ("bench", J.String n) ]
+  | Blif s -> J.Obj [ ("blif", J.String s) ]
+  | Verilog s -> J.Obj [ ("verilog", J.String s) ]
+
+let request_to_json = function
+  | Ping -> J.Obj [ ("schema", J.String schema); ("type", J.String "ping") ]
+  | Optimize r ->
+      J.Obj
+        ([ ("schema", J.String schema); ("type", J.String "optimize") ]
+        @ (match r.id with Some i -> [ ("id", J.String i) ] | None -> [])
+        @ [
+            ("circuit", circuit_to_json r.circuit);
+            ("goal", J.String (goal_name r.goal));
+            ("effort", J.Int r.effort);
+          ]
+        @ (match r.timeout_s with
+          | Some t -> [ ("timeout_s", J.Float t) ]
+          | None -> [])
+        @ (match r.max_nodes with
+          | Some n -> [ ("max_nodes", J.Int n) ]
+          | None -> [])
+        @ (match r.fault with
+          | Some f -> [ ("fault", J.String f) ]
+          | None -> [])
+        @ (match r.emit with
+          | `Blif -> [ ("emit", J.String "blif") ]
+          | `None -> [])
+        @ if r.stats then [ ("stats", J.Bool true) ] else [])
+
+(* decoding helpers: every failure is a value, never an exception *)
+
+let field_str j key =
+  match J.member key j with Some (J.String s) -> Some s | _ -> None
+
+let decode_circuit j =
+  match J.member "circuit" j with
+  | None -> Error (Bad_request, "missing field \"circuit\"")
+  | Some c -> (
+      match (field_str c "bench", field_str c "blif", field_str c "verilog") with
+      | Some n, None, None -> Ok (Bench n)
+      | None, Some s, None -> Ok (Blif s)
+      | None, None, Some s -> Ok (Verilog s)
+      | None, None, None ->
+          Error
+            ( Bad_request,
+              "circuit must carry exactly one of \"bench\", \"blif\", \
+               \"verilog\" (string)" )
+      | _ -> Error (Bad_request, "circuit carries more than one source"))
+
+let ( let* ) = Result.bind
+
+let decode_optimize j =
+  let* circuit = decode_circuit j in
+  let* goal =
+    match J.member "goal" j with
+    | None -> Ok `Size
+    | Some (J.String g) -> (
+        match goal_of_name g with
+        | Some g -> Ok g
+        | None -> Error (Bad_request, "unknown goal " ^ g))
+    | Some _ -> Error (Bad_request, "goal is not a string")
+  in
+  let* effort =
+    match J.member "effort" j with
+    | None -> Ok 2
+    | Some (J.Int e) when e >= 1 && e <= 16 -> Ok e
+    | Some _ -> Error (Bad_request, "effort must be an int in 1..16")
+  in
+  let* timeout_s =
+    match J.member "timeout_s" j with
+    | None | Some J.Null -> Ok None
+    | Some (J.Int t) when t > 0 -> Ok (Some (float_of_int t))
+    | Some (J.Float t) when t > 0.0 && Float.is_finite t -> Ok (Some t)
+    | Some _ -> Error (Bad_request, "timeout_s must be a positive number")
+  in
+  let* max_nodes =
+    match J.member "max_nodes" j with
+    | None | Some J.Null -> Ok None
+    | Some (J.Int n) when n > 0 -> Ok (Some n)
+    | Some _ -> Error (Bad_request, "max_nodes must be a positive int")
+  in
+  let* fault =
+    match J.member "fault" j with
+    | None | Some J.Null -> Ok None
+    | Some (J.String f) -> Ok (Some f)
+    | Some _ -> Error (Bad_request, "fault must be a string")
+  in
+  let* emit =
+    match J.member "emit" j with
+    | None | Some J.Null -> Ok `None
+    | Some (J.String "blif") -> Ok `Blif
+    | Some (J.String e) -> Error (Bad_request, "unknown emit " ^ e)
+    | Some _ -> Error (Bad_request, "emit must be a string")
+  in
+  let* stats =
+    match J.member "stats" j with
+    | None -> Ok false
+    | Some (J.Bool b) -> Ok b
+    | Some _ -> Error (Bad_request, "stats must be a bool")
+  in
+  Ok
+    (Optimize
+       {
+         id = field_str j "id";
+         circuit;
+         goal;
+         effort;
+         timeout_s;
+         max_nodes;
+         fault;
+         emit;
+         stats;
+       })
+
+let decode_request j =
+  match j with
+  | J.Obj _ ->
+      let* () =
+        match J.member "schema" j with
+        | Some (J.String s) when s = schema -> Ok ()
+        | Some (J.String s) -> Error (Protocol, "unknown schema " ^ s)
+        | _ -> Error (Protocol, "missing \"schema\" field")
+      in
+      (match J.member "type" j with
+      | Some (J.String "ping") -> Ok Ping
+      | Some (J.String "optimize") | None -> decode_optimize j
+      | Some (J.String t) -> Error (Bad_request, "unknown request type " ^ t)
+      | Some _ -> Error (Protocol, "\"type\" is not a string"))
+  | _ -> Error (Protocol, "request is not a JSON object")
+
+let parse_request line =
+  match J.of_string line with
+  | Error e -> Error (Protocol, "invalid JSON: " ^ e)
+  | Ok j -> decode_request j
+
+(* ----- response frames ----- *)
+
+type result_frame = {
+  r_id : string option;
+  size_in : int;
+  depth_in : int;
+  size_out : int;
+  depth_out : int;
+  degraded : bool;
+  verified : bool;
+  rollbacks : int;
+  time_s : float;
+  blif : string option;
+  report : J.t;
+}
+
+let id_field = function Some i -> [ ("id", J.String i) ] | None -> []
+
+let head ty = [ ("schema", J.String schema); ("type", J.String ty) ]
+
+let result_to_json r =
+  J.Obj
+    (head "result" @ id_field r.r_id
+    @ [
+        ("size_in", J.Int r.size_in);
+        ("depth_in", J.Int r.depth_in);
+        ("size_out", J.Int r.size_out);
+        ("depth_out", J.Int r.depth_out);
+        ("degraded", J.Bool r.degraded);
+        ("verified", J.Bool r.verified);
+        ("rollbacks", J.Int r.rollbacks);
+        ("time_s", J.Float r.time_s);
+        ("report", r.report);
+      ]
+    @ match r.blif with Some b -> [ ("blif", J.String b) ] | None -> [])
+
+let telemetry_to_json ?id ~event extra =
+  J.Obj (head "telemetry" @ id_field id @ [ ("event", J.String event) ] @ extra)
+
+let error_to_json ?id ?retry_after_ms code message =
+  J.Obj
+    (head "error" @ id_field id
+    @ [
+        ("code", J.String (error_code_name code));
+        ("message", J.String message);
+      ]
+    @
+    match retry_after_ms with
+    | Some ms -> [ ("retry_after_ms", J.Int ms) ]
+    | None -> [])
+
+let pong_to_json ~queue_depth ~queue_capacity ~workers ~served ~active
+    ~draining =
+  J.Obj
+    (head "pong"
+    @ [
+        ("queue_depth", J.Int queue_depth);
+        ("queue_capacity", J.Int queue_capacity);
+        ("workers", J.Int workers);
+        ("served", J.Int served);
+        ("active", J.Int active);
+        ("draining", J.Bool draining);
+      ])
+
+(* ----- client-side decoding and the response linter ----- *)
+
+type frame =
+  | Telemetry of { f_id : string option; event : string; body : J.t }
+  | Result of result_frame
+  | Error_frame of {
+      e_id : string option;
+      code : error_code;
+      message : string;
+      retry_after_ms : int option;
+    }
+  | Pong of J.t
+
+let int_of j key =
+  match J.member key j with Some (J.Int i) -> Some i | _ -> None
+
+let bool_of j key =
+  match J.member key j with Some (J.Bool b) -> Some b | _ -> None
+
+let float_of j key = Option.bind (J.member key j) J.to_float
+
+let decode_frame j =
+  match j with
+  | J.Obj _ -> (
+      match (J.member "schema" j, J.member "type" j) with
+      | Some (J.String s), _ when s <> schema -> Error ("unknown schema " ^ s)
+      | None, _ -> Error "missing \"schema\" field"
+      | Some _, Some (J.String "telemetry") -> (
+          match field_str j "event" with
+          | Some event -> Ok (Telemetry { f_id = field_str j "id"; event; body = j })
+          | None -> Error "telemetry frame without \"event\"")
+      | Some _, Some (J.String "result") -> (
+          match
+            ( int_of j "size_in", int_of j "depth_in", int_of j "size_out",
+              int_of j "depth_out", bool_of j "degraded", bool_of j "verified",
+              int_of j "rollbacks", float_of j "time_s", J.member "report" j )
+          with
+          | Some size_in, Some depth_in, Some size_out, Some depth_out,
+            Some degraded, Some verified, Some rollbacks, Some time_s,
+            Some report ->
+              Ok
+                (Result
+                   {
+                     r_id = field_str j "id";
+                     size_in;
+                     depth_in;
+                     size_out;
+                     depth_out;
+                     degraded;
+                     verified;
+                     rollbacks;
+                     time_s;
+                     blif = field_str j "blif";
+                     report;
+                   })
+          | _ -> Error "result frame with missing or mistyped fields")
+      | Some _, Some (J.String "error") -> (
+          match (field_str j "code", field_str j "message") with
+          | Some c, Some message -> (
+              match error_code_of_name c with
+              | Some code ->
+                  Ok
+                    (Error_frame
+                       {
+                         e_id = field_str j "id";
+                         code;
+                         message;
+                         retry_after_ms = int_of j "retry_after_ms";
+                       })
+              | None -> Error ("unknown error code " ^ c))
+          | _ -> Error "error frame without code/message")
+      | Some _, Some (J.String "pong") -> Ok (Pong j)
+      | Some _, Some (J.String t) -> Error ("unknown frame type " ^ t)
+      | Some _, _ -> Error "missing \"type\" field"
+      )
+  | _ -> Error "frame is not a JSON object"
+
+(* The linter re-checks what decode_frame accepts plus the
+   per-type required fields the schema promises, so a frame that
+   decodes but silently dropped a promised field still fails. *)
+let validate_frame j =
+  match decode_frame j with
+  | Error e -> Error e
+  | Ok (Telemetry _) -> Ok ()
+  | Ok (Result r) ->
+      if r.size_in < 0 || r.size_out < 0 || r.depth_in < 0 || r.depth_out < 0
+      then Error "result frame with negative metrics"
+      else if r.time_s < 0.0 then Error "result frame with negative time_s"
+      else Ok ()
+  | Ok (Error_frame { code = Overloaded; retry_after_ms = None; _ }) ->
+      Error "overloaded error without retry_after_ms"
+  | Ok (Error_frame { retry_after_ms = Some ms; _ }) when ms < 0 ->
+      Error "negative retry_after_ms"
+  | Ok (Error_frame _) -> Ok ()
+  | Ok (Pong p) -> (
+      match
+        ( int_of p "queue_depth", int_of p "queue_capacity", int_of p "workers",
+          int_of p "served", int_of p "active", bool_of p "draining" )
+      with
+      | Some _, Some _, Some _, Some _, Some _, Some _ -> Ok ()
+      | _ -> Error "pong frame with missing or mistyped fields")

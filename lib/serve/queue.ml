@@ -1,0 +1,73 @@
+(* Bounded MPMC ring buffer under one mutex.  The queue is the only
+   structure the serve layer shares across domains, and it shares
+   nothing but the items themselves: a connection handed to a worker
+   is owned by that worker from the pop onward (DESIGN.md §17). *)
+
+type 'a t = {
+  slots : 'a option array;
+  mutable head : int;  (* next pop position *)
+  mutable size : int;
+  mutable is_closed : bool;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Serve.Queue.create";
+  {
+    slots = Array.make capacity None;
+    head = 0;
+    size = 0;
+    is_closed = false;
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let capacity t = Array.length t.slots
+
+let try_push t v =
+  with_lock t (fun () ->
+      if t.is_closed || t.size >= Array.length t.slots then false
+      else begin
+        let tail = (t.head + t.size) mod Array.length t.slots in
+        t.slots.(tail) <- Some v;
+        t.size <- t.size + 1;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop_locked t =
+  match t.slots.(t.head) with
+  | None -> assert false
+  | Some v ->
+      t.slots.(t.head) <- None;
+      t.head <- (t.head + 1) mod Array.length t.slots;
+      t.size <- t.size - 1;
+      v
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if t.size > 0 then Some (pop_locked t)
+        else if t.is_closed then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let try_pop t =
+  with_lock t (fun () -> if t.size > 0 then Some (pop_locked t) else None)
+
+let close t =
+  with_lock t (fun () ->
+      t.is_closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = with_lock t (fun () -> t.size)
+let closed t = with_lock t (fun () -> t.is_closed)

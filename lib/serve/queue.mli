@@ -1,0 +1,32 @@
+(** Bounded multi-producer/multi-consumer work queue (the admission
+    queue between the accept loop and the worker-domain pool).
+
+    Capacity is fixed at creation: {!try_push} never blocks and never
+    grows the queue — a full queue is the backpressure signal the
+    server turns into a structured [overloaded] rejection.  {!pop}
+    blocks (Mutex + Condition, domain-safe) until an item or until the
+    queue is {!close}d; items already admitted are still handed out
+    after close, so a graceful drain serves everything it accepted. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity >= 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the queue is full {e or} closed; never blocks. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an item is available ([Some]) or the queue is closed
+    {e and} empty ([None], the worker-exit signal). *)
+
+val try_pop : 'a t -> 'a option
+(** Non-blocking; [None] when currently empty. *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake every blocked {!pop}; idempotent.
+    Pending items remain poppable. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val closed : 'a t -> bool

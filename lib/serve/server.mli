@@ -1,0 +1,90 @@
+(** The long-lived optimization daemon ([mighty serve]).
+
+    Architecture (DESIGN.md §17): one accept loop feeding a {e bounded}
+    admission queue of accepted connections, drained by a pool of
+    worker domains.  Every request gets a {e fresh} [Lsutil.Ctx] — the
+    reentrancy contract proven by [Flow.Batch] — and runs the
+    fault-tolerant [Flow.Engine] under the request's own
+    deadline/node-cap budget, so a slow or faulted request degrades to
+    a verified best-so-far result ([degraded:true]) instead of a
+    dropped connection.
+
+    Robustness invariants the test-suite and the CI chaos leg pin:
+    - malformed bytes, truncated frames and oversized lines produce
+      structured protocol errors on the same connection, which stays
+      usable;
+    - a full queue is answered at accept time with a structured
+      [overloaded] rejection carrying a [retry_after_ms] hint
+      (admission control, never silent backpressure);
+    - a client disconnect mid-request is absorbed (SIGPIPE ignored,
+      writes fail cleanly, the worker moves on);
+    - a drain ({!drain}, or SIGTERM/SIGINT under {!run}) stops
+      accepting, answers everything already admitted, flushes the
+      cache delta, and {!join}/{!run} return — the daemon exits 0;
+    - no response ever carries an unverified graph: [blif] is emitted
+      only when the engine's unconditional re-verification passed. *)
+
+type addr = [ `Tcp of string * int | `Unix of string ]
+
+type config = {
+  addr : addr;
+  queue_capacity : int;  (** admission queue bound (>= 1) *)
+  workers : int;
+      (** worker domains; [0] is a test hook — connections are
+          admitted but never served until drain answers them *)
+  default_timeout_s : float option;
+      (** per-request deadline cap: requests without [timeout_s] get
+          this; requests with one are clamped to it *)
+  max_line_bytes : int;  (** request-line size limit *)
+  idle_timeout_s : float;  (** per-connection socket read/write timeout *)
+  cache : Flow.Cache.t option;
+      (** shared read-mostly rewrite cache; per-request forks, deltas
+          flushed (absorbed + saved) at drain *)
+  check : bool;  (** run every request under the transform guard *)
+  san : bool;  (** arm the domain-ownership sanitizer per request *)
+  seed : int;
+}
+
+val default_config : ?env:Lsutil.Env.t -> addr -> config
+(** Queue capacity 64 (or [MIG_SERVE_QUEUE]), workers
+    [Domain.recommended_domain_count () - 1] (min 1), 30 s request
+    cap, 8 MiB lines, 30 s idle timeout, check/san/seed from the
+    environment record. *)
+
+type t
+(** A running server handle. *)
+
+val launch : config -> t
+(** Bind, spawn the worker pool and the accept loop on background
+    domains, return immediately (the in-process form used by tests
+    and the bench load section).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val run : ?handle_signals:bool -> config -> unit
+(** Bind and serve on the {e calling} domain until drained: the
+    blocking form behind [mighty serve].  With [handle_signals]
+    (default [true]) SIGTERM and SIGINT trigger a graceful drain, and
+    SIGPIPE is ignored for the process.  Returns after the drain
+    completed and the cache delta was flushed. *)
+
+val bound_addr : t -> addr
+(** The actual address — resolves a requested TCP port [0] to the
+    ephemeral port the kernel picked. *)
+
+val drain : t -> unit
+(** Request a graceful drain: stop accepting, finish everything
+    admitted, then let {!join} return.  Idempotent, non-blocking,
+    safe from a signal handler. *)
+
+val draining : t -> bool
+
+val join : t -> unit
+(** Wait for the accept loop and every worker to finish (after
+    {!drain}), answer any still-queued connections with a [draining]
+    error, flush the cache delta, release the socket. *)
+
+val served : t -> int
+(** Requests answered with a terminal frame so far. *)
+
+val rejected : t -> int
+(** Connections refused by admission control so far. *)

@@ -15,8 +15,20 @@ type state = {
 (* The handle owned by a [Ctx]: [None] when no budget is installed, so
    the disabled-path cost of [poll]/[note_nodes] is one extra load and
    a branch.  There is no process-global budget — two contexts never
-   share a handle. *)
-type t = { mutable current : state option }
+   share a handle.
+
+   [interrupted] is the asynchronous kill switch ({!interrupt}, set
+   from a signal handler): once raised, every unmasked probe raises
+   [Exhausted Deadline] whether or not a budget is installed, so a
+   run with no [--timeout] still unwinds to the engine's checkpoint
+   machinery.  [masked] is the [suspended] scope flag: verification
+   and fallback cleanup must keep working after an interrupt, exactly
+   as they do after a deadline. *)
+type t = {
+  mutable current : state option;
+  mutable interrupted : bool;
+  mutable masked : bool;
+}
 
 let poll_interval = 256
 
@@ -31,11 +43,19 @@ let make_state ?deadline_s ?max_nodes () =
     blown = None }
 
 let create ?deadline_s ?max_nodes () =
-  match (deadline_s, max_nodes) with
-  | None, None -> { current = None }
-  | _ -> { current = Some (make_state ?deadline_s ?max_nodes ()) }
+  let current =
+    match (deadline_s, max_nodes) with
+    | None, None -> None
+    | _ -> Some (make_state ?deadline_s ?max_nodes ())
+  in
+  { current; interrupted = false; masked = false }
 
 let active t = t.current <> None
+
+let interrupt t = t.interrupted <- true
+let interrupted t = t.interrupted
+
+let tripped t = t.interrupted && not t.masked
 
 let blow st r =
   st.blown <- Some r;
@@ -46,6 +66,7 @@ let clock_check st =
   if Unix.gettimeofday () > st.deadline then blow st Deadline
 
 let poll t =
+  if tripped t then raise (Exhausted Deadline);
   match t.current with
   | None -> ()
   | Some st ->
@@ -53,6 +74,7 @@ let poll t =
       if st.countdown <= 0 then clock_check st
 
 let note_nodes t n =
+  if tripped t then raise (Exhausted Deadline);
   match t.current with
   | None -> ()
   | Some st ->
@@ -62,6 +84,7 @@ let note_nodes t n =
       if st.countdown <= 0 then clock_check st
 
 let check t =
+  if tripped t then raise (Exhausted Deadline);
   match t.current with
   | None -> ()
   | Some st ->
@@ -70,6 +93,8 @@ let check t =
       if Unix.gettimeofday () > st.deadline then blow st Deadline
 
 let expired t =
+  tripped t
+  ||
   match t.current with
   | None -> false
   | Some st ->
@@ -89,10 +114,19 @@ let exhaust t =
   | Some st -> st.blown <- Some Deadline);
   raise (Exhausted Deadline)
 
+(* masking (rather than clearing) [interrupted] keeps a signal that
+   lands *during* the suspended extent: the flag stays set, probes
+   ignore it until the extent exits, and the next unmasked poll
+   raises. *)
 let suspended t f =
-  let saved = t.current in
+  let saved = t.current and saved_mask = t.masked in
   t.current <- None;
-  Fun.protect ~finally:(fun () -> t.current <- saved) f
+  t.masked <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      t.current <- saved;
+      t.masked <- saved_mask)
+    f
 
 let with_budget t ?deadline_s ?max_nodes f =
   let parent = t.current in

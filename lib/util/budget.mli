@@ -68,6 +68,20 @@ val exhaust : t -> 'a
 (** Force the installed budget blown and raise {!Exhausted Deadline}
     (used by fault injection). *)
 
+val interrupt : t -> unit
+(** Asynchronously mark the handle exhausted: the next unmasked
+    {!poll}/{!note_nodes}/{!check} raises [Exhausted Deadline] whether
+    or not a budget is installed, so even an unbudgeted run unwinds to
+    its checkpoint machinery.  Does not raise and does not allocate —
+    safe to call from a signal handler ([mighty opt] maps SIGINT and
+    SIGTERM to this, degrading to the engine's best-so-far instead of
+    dying mid-pass).  {!suspended} extents mask the flag (it stays
+    set): verification and fallback cleanup still complete after an
+    interrupt.  The flag is sticky for the handle's lifetime. *)
+
+val interrupted : t -> bool
+(** {!interrupt} has been called on this handle. *)
+
 val suspended : t -> (unit -> 'a) -> 'a
 (** Run [f] with the budget uninstalled (verifiers must work after
     the deadline); restored on exit, even on exceptions. *)

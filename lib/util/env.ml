@@ -6,6 +6,8 @@ type t = {
   seed : int;
   cache : string option;
   par_jobs : int option;
+  serve_port : int option;
+  serve_queue : int option;
 }
 
 let defaults =
@@ -17,6 +19,8 @@ let defaults =
     seed = 1;
     cache = None;
     par_jobs = None;
+    serve_port = None;
+    serve_queue = None;
   }
 
 let flag s =
@@ -49,6 +53,14 @@ let base () =
         | Some n when n >= 1 -> Some n
         | _ -> None)
   in
+  let bounded_int name lo hi =
+    match Sys.getenv_opt name with
+    | None -> None
+    | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some n when n >= lo && n <= hi -> Some n
+        | _ -> None)
+  in
   {
     stats = flag_var "MIG_STATS";
     check = flag_var "MIG_CHECK";
@@ -57,6 +69,8 @@ let base () =
     seed;
     cache;
     par_jobs;
+    serve_port = bounded_int "MIG_SERVE_PORT" 0 65535;
+    serve_queue = bounded_int "MIG_SERVE_QUEUE" 1 1_000_000;
   }
 
 let load_result () =

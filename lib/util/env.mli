@@ -15,7 +15,11 @@
       and written by the optimization flows (empty/unset = no cache)
     - [MIG_PAR_JOBS] — default worker-domain count for region-parallel
       single-graph rewriting ([mighty opt --par-jobs]; int >= 1,
-      anything else = unset) *)
+      anything else = unset)
+    - [MIG_SERVE_PORT] — default TCP port for [mighty serve] and
+      [mighty ping] (0..65535; 0 = ephemeral)
+    - [MIG_SERVE_QUEUE] — default admission-queue capacity for
+      [mighty serve] (int >= 1, anything else = unset) *)
 
 type t = {
   stats : bool;
@@ -25,12 +29,15 @@ type t = {
   seed : int;
   cache : string option;
   par_jobs : int option;
+  serve_port : int option;
+  serve_queue : int option;
 }
 
 val defaults : t
 (** Everything off: [{stats = false; check = false; san = false;
-    fault = None; seed = 1; cache = None; par_jobs = None}] — what
-    {!load} returns in a clean environment. *)
+    fault = None; seed = 1; cache = None; par_jobs = None;
+    serve_port = None; serve_queue = None}] — what {!load} returns in
+    a clean environment. *)
 
 val load : unit -> t
 (** Parse the environment.  A malformed [MIG_FAULT] is dropped (no

@@ -1,0 +1,59 @@
+(* Bounded exponential backoff with deterministic Rng jitter.  No
+   clock reads here (SRC003): the schedule is a pure function of the
+   policy and the Rng stream, and sleeping is delegated to the
+   injectable [sleep] so tests run instantly and deterministically. *)
+
+type policy = {
+  max_attempts : int;
+  base_s : float;
+  cap_s : float;
+  multiplier : float;
+  jitter : float;
+}
+
+let default_policy =
+  { max_attempts = 5; base_s = 0.05; cap_s = 2.0; multiplier = 2.0;
+    jitter = 0.5 }
+
+type verdict =
+  [ `Retry of string | `Retry_after of float * string | `Fail of string ]
+
+type error = { attempts : int; permanent : bool; last : string }
+
+(* "equal jitter": the envelope min(cap, base * m^(k-1)) is shaved by
+   up to [jitter * u], never extended, so worst-case latency stays the
+   deterministic sum of envelopes. *)
+let delay_s policy ~rng ~attempt =
+  let k = max 1 attempt in
+  let envelope =
+    Float.min policy.cap_s
+      (policy.base_s *. (policy.multiplier ** float_of_int (k - 1)))
+  in
+  let u = Rng.float rng in
+  Float.max 0.0 (envelope *. (1.0 -. (policy.jitter *. u)))
+
+let run ?(policy = default_policy) ?(sleep = Unix.sleepf) ~rng f =
+  let rec go attempt =
+    match f ~attempt with
+    | Ok v -> Ok v
+    | Error (`Fail msg) -> Error { attempts = attempt; permanent = true; last = msg }
+    | Error ((`Retry msg | `Retry_after (_, msg)) as v) ->
+        if attempt >= policy.max_attempts then
+          Error { attempts = attempt; permanent = false; last = msg }
+        else begin
+          let d = delay_s policy ~rng ~attempt in
+          let d =
+            match v with
+            | `Retry_after (floor_s, _) -> Float.max d floor_s
+            | `Retry _ -> d
+          in
+          if d > 0.0 then sleep d;
+          go (attempt + 1)
+        end
+  in
+  go 1
+
+let pp_error fmt e =
+  Format.fprintf fmt "%s after %d attempt%s%s" e.last e.attempts
+    (if e.attempts = 1 then "" else "s")
+    (if e.permanent then " (permanent)" else "")

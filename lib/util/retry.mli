@@ -1,0 +1,59 @@
+(** Bounded exponential backoff with deterministic jitter.
+
+    The retry helper used by the serve client ([Serve.Client]) for
+    transient failures: connection refused while the daemon is still
+    binding, and structured [overloaded] rejections carrying a
+    [retry_after_ms] hint.  Delays are drawn from an explicit {!Rng},
+    so a test (or a reproduction from a seed) sees the exact same
+    backoff schedule; nothing here reads a clock — sleeping is
+    delegated to the [sleep] callback (default [Unix.sleepf]).
+
+    Schedule: attempt [k] (1-based) that fails retryably sleeps
+
+    {v delay(k) = min cap_s (base_s * multiplier^(k-1)) * (1 - jitter * u) v}
+
+    with [u] uniform in [0, 1) from the Rng — "equal jitter" backoff,
+    never exceeding the deterministic envelope.  A [`Retry_after s]
+    verdict raises the floor of that delay to [s] (the server's hint
+    wins when it is larger). *)
+
+type policy = {
+  max_attempts : int;  (** total tries, including the first (>= 1) *)
+  base_s : float;  (** first backoff delay *)
+  cap_s : float;  (** per-delay ceiling *)
+  multiplier : float;  (** exponential growth factor *)
+  jitter : float;  (** fraction of the delay randomized away, in [0, 1] *)
+}
+
+val default_policy : policy
+(** 5 attempts, 50 ms base, 2 s cap, x2 growth, 0.5 jitter. *)
+
+type verdict =
+  [ `Retry of string  (** transient: back off and try again *)
+  | `Retry_after of float * string
+    (** transient with a server-provided minimum delay (seconds) *)
+  | `Fail of string  (** permanent: stop immediately *) ]
+
+type error = {
+  attempts : int;  (** tries actually made *)
+  permanent : bool;  (** [true] when a [`Fail] verdict stopped the loop *)
+  last : string;  (** message of the last verdict *)
+}
+
+val delay_s : policy -> rng:Rng.t -> attempt:int -> float
+(** The jittered delay slept after failing [attempt] (1-based), drawn
+    deterministically from [rng]; exposed for the schedule tests. *)
+
+val run :
+  ?policy:policy ->
+  ?sleep:(float -> unit) ->
+  rng:Rng.t ->
+  (attempt:int -> ('a, verdict) result) ->
+  ('a, error) result
+(** [run ~rng f] calls [f ~attempt:1], [f ~attempt:2], ... until it
+    returns [Ok], a [`Fail] verdict, or [policy.max_attempts] tries
+    are spent; between retryable failures it sleeps the jittered
+    backoff delay via [sleep].  [f] is never called after a [`Fail]
+    or once the attempt budget is gone. *)
+
+val pp_error : Format.formatter -> error -> unit

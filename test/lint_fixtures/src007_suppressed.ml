@@ -1,0 +1,3 @@
+[@@@san.allow "SRC007"]
+
+let probe () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0

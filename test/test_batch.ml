@@ -158,6 +158,47 @@ let test_batch_run () =
         (o.B.telemetry <> None))
     seq
 
+(* ----- Batch.run ?stop: cooperative interruption ----- *)
+
+let test_batch_stop () =
+  let spec = { B.default_spec with B.effort = 1 } in
+  let make_ctx _ _ = Ctx.create () in
+  (* a pre-set flag stops before anything is claimed *)
+  let stop = Atomic.make true in
+  Alcotest.(check int)
+    "pre-set stop claims nothing" 0
+    (List.length (B.run ~jobs:1 ~spec ~make_ctx ~stop batch_items));
+  (* a flag flipped by the first item's build: the in-flight item
+     still finishes (whole, verified), nothing further is claimed *)
+  let stop = Atomic.make false in
+  let items =
+    List.mapi
+      (fun i it ->
+        {
+          it with
+          B.build =
+            (fun () ->
+              if i = 0 then Atomic.set stop true;
+              it.B.build ());
+        })
+      batch_items
+  in
+  let got = B.run ~jobs:1 ~spec ~make_ctx ~stop items in
+  Alcotest.(check (list string))
+    "only the in-flight item completes" [ "alpha" ]
+    (List.map (fun o -> o.B.name) got);
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        (o.B.name ^ " outcome is whole and verified") true
+        o.B.report.E.verified)
+    got;
+  (* the report records the interruption *)
+  let j = B.to_json ~interrupted:true ~jobs:1 got in
+  match Lsutil.Json.member "interrupted" j with
+  | Some (Lsutil.Json.Bool true) -> ()
+  | _ -> Alcotest.fail "to_json ~interrupted must carry the marker"
+
 let () =
   Alcotest.run "batch"
     [
@@ -168,5 +209,9 @@ let () =
             test_scratch_steady_state;
         ] );
       ("differential", [ test_domain_differential ]);
-      ("batch", [ Alcotest.test_case "run" `Quick test_batch_run ]);
+      ( "batch",
+        [
+          Alcotest.test_case "run" `Quick test_batch_run;
+          Alcotest.test_case "stop flag" `Quick test_batch_stop;
+        ] );
     ]

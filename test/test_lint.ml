@@ -35,7 +35,8 @@ let test_each_code () =
   expect_one "src003_clock.ml" "SRC003";
   expect_one "src004_magic.ml" "SRC004";
   expect_one "src005_catchall.ml" "SRC005";
-  expect_one "src006_getenv.ml" "SRC006"
+  expect_one "src006_getenv.ml" "SRC006";
+  expect_one "src007_socket.ml" "SRC007"
 
 let test_positions () =
   match lint "src004_magic.ml" with
@@ -55,7 +56,10 @@ let test_suppression () =
   (* same Obj.magic as src004_magic.ml, but under [@@@san.allow] *)
   Alcotest.(check (list string))
     "[@@@san.allow \"SRC004\"] silences the rule" []
-    (codes (lint "suppressed.ml"))
+    (codes (lint "suppressed.ml"));
+  Alcotest.(check (list string))
+    "[@@@san.allow \"SRC007\"] silences the socket rule" []
+    (codes (lint "src007_suppressed.ml"))
 
 (* ----- path scoping ----- *)
 
@@ -76,6 +80,19 @@ let test_scoping () =
   t "SRC003 silent outside lib/" false (L.applies "SRC003" "bench/main.ml");
   (* SRC004 is repo-wide *)
   t "SRC004 binds in bench/" true (L.applies "SRC004" "bench/main.ml");
+  (* the serve layer owns the network surface *)
+  t "SRC007 binds in lib/" true (L.applies "SRC007" "lib/util/vec.ml");
+  t "SRC007 binds in bin/" true (L.applies "SRC007" "bin/mighty.ml");
+  t "SRC007 exempts lib/serve/" false
+    (L.applies "SRC007" "lib/serve/server.ml");
+  t "SRC007 exempts test_serve" false
+    (L.applies "SRC007" "test/test_serve.ml");
+  t "SRC007 binds in other tests" true
+    (L.applies "SRC007" "test/test_par.ml");
+  t "SRC002 exempts the serve daemon" false
+    (L.applies "SRC002" "lib/serve/server.ml");
+  t "SRC002 exempts the load harness" false
+    (L.applies "SRC002" "lib/serve/load.ml");
   (* a ./ prefix or absolute path scopes like the relative one *)
   t "./ prefix normalized" true (L.applies "SRC001" "./lib/util/vec.ml");
   t "absolute path normalized" false
@@ -96,7 +113,7 @@ let test_catalog () =
   let lint_codes = List.map (fun r -> r.L.code) L.catalog in
   Alcotest.(check (list string))
     "stable codes, in order"
-    [ "SRC001"; "SRC002"; "SRC003"; "SRC004"; "SRC005"; "SRC006" ]
+    [ "SRC001"; "SRC002"; "SRC003"; "SRC004"; "SRC005"; "SRC006"; "SRC007" ]
     lint_codes;
   (* every SRC and SAN code is registered in the Check rule registry
      alongside the structural MIG/AIG/NET rules *)

@@ -1,0 +1,752 @@
+(* The serve layer (lib/serve/, DESIGN.md §17): framing
+   chunking-independence fuzz, protocol decode totality (byte soup,
+   truncated frames, unpaired surrogates), admission-queue semantics,
+   the Retry backoff schedule, Budget.interrupt, and in-process
+   integration against a live Server.launch — including the robustness
+   invariants the daemon promises (malformed input leaves the
+   connection usable, saturation is a structured rejection, drain
+   answers everything admitted and flushes the cache). *)
+
+module P = Serve.Protocol
+module F = Serve.Framing
+module Q = Serve.Queue
+module Server = Serve.Server
+module Client = Serve.Client
+module J = Lsutil.Json
+
+(* ----- framing: the newline state machine ----- *)
+
+let ev_str = function
+  | F.Line l -> Printf.sprintf "Line %S" l
+  | F.Oversized n -> Printf.sprintf "Oversized %d" n
+
+let check_events msg expect got =
+  Alcotest.(check (list string)) msg (List.map ev_str expect) (List.map ev_str got)
+
+let test_framing_lines () =
+  let fr = F.create () in
+  check_events "lines cut at \\n, CRLF stripped"
+    [ F.Line "a"; F.Line "b"; F.Line "" ]
+    (F.feed_string fr "a\nb\r\n\nc");
+  Alcotest.(check int) "tail buffered" 1 (F.pending fr);
+  check_events "tail completes on the next newline" [ F.Line "c" ]
+    (F.feed_string fr "\n")
+
+let test_framing_oversize () =
+  let fr = F.create ~max_line_bytes:8 () in
+  let long = String.make 20 'x' in
+  check_events "oversized line discarded, stream re-syncs"
+    [ F.Oversized 20; F.Line "ok" ]
+    (F.feed_string fr (long ^ "\nok\n"));
+  (* the discard survives chunk boundaries and reports the total *)
+  let fr = F.create ~max_line_bytes:8 () in
+  check_events "discard spans chunks (no events yet)" []
+    (F.feed_string fr (String.make 6 'y'));
+  check_events "still discarding" [] (F.feed_string fr (String.make 6 'y'));
+  check_events "oversize totals the whole discarded line"
+    [ F.Oversized 12; F.Line "z" ]
+    (F.feed_string fr "\nz\n");
+  Alcotest.(check int) "nothing buffered while discarding" 0 (F.pending fr)
+
+(* fuzz: any chunking of the same byte stream yields the same events *)
+let gen_soup =
+  QCheck2.Gen.(
+    map (String.concat "")
+      (list_size (int_bound 24)
+         (oneofl
+            [
+              "\n"; "\r\n"; "a"; "abc"; "{\"k\":1}"; String.make 13 'q';
+              "\x00\xff\x7f"; "\r";
+            ])))
+
+let fuzz_chunking =
+  Helpers.qtest ~count:300 "qcheck: framing is chunking-independent"
+    QCheck2.Gen.(pair gen_soup (int_range 1 7))
+    (fun (soup, k) ->
+      let whole = F.feed_string (F.create ~max_line_bytes:8 ()) soup in
+      let fr = F.create ~max_line_bytes:8 () in
+      let chunked = ref [] in
+      let b = Bytes.of_string soup in
+      let i = ref 0 in
+      while !i < Bytes.length b do
+        let len = min k (Bytes.length b - !i) in
+        chunked := List.rev_append (F.feed fr b !i len) !chunked;
+        i := !i + len
+      done;
+      List.map ev_str whole = List.map ev_str (List.rev !chunked))
+
+(* ----- protocol: decoding is total ----- *)
+
+let test_parse_request_errors () =
+  let err s = match P.parse_request s with Error (c, _) -> Some c | Ok _ -> None in
+  let chk msg want got =
+    Alcotest.(check (option string))
+      msg (Some want)
+      (Option.map P.error_code_name got)
+  in
+  chk "byte soup" "protocol" (err "\x01\x02 not json");
+  chk "non-object" "protocol" (err "[1,2,3]");
+  chk "missing schema" "protocol" (err "{\"type\":\"ping\"}");
+  chk "wrong schema" "protocol"
+    (err "{\"schema\":\"mighty-serve/9\",\"type\":\"ping\"}");
+  chk "unknown type" "bad_request"
+    (err "{\"schema\":\"mighty-serve/1\",\"type\":\"explode\"}");
+  chk "missing circuit" "bad_request" (err "{\"schema\":\"mighty-serve/1\"}");
+  chk "two circuit sources" "bad_request"
+    (err
+       "{\"schema\":\"mighty-serve/1\",\"circuit\":{\"bench\":\"b9\",\"blif\":\"x\"}}");
+  chk "bad effort" "bad_request"
+    (err
+       "{\"schema\":\"mighty-serve/1\",\"circuit\":{\"bench\":\"b9\"},\"effort\":99}");
+  chk "unpaired surrogate in a string" "protocol"
+    (err "{\"schema\":\"mighty-serve/1\",\"circuit\":{\"bench\":\"\\ud800\"}}")
+
+let test_parse_request_truncated () =
+  (* every proper prefix of a valid request is an Error, never a raise *)
+  let full =
+    J.to_string
+      (P.request_to_json
+         (P.optimize ~id:"t-1" ~goal:`Depth ~effort:3 ~timeout_s:1.5
+            ~max_nodes:5000 ~fault:"seed=1:kind=raise" ~emit:`Blif ~stats:true
+            (P.Bench "b9")))
+  in
+  (match P.parse_request full with
+  | Ok (P.Optimize r) ->
+      Alcotest.(check (option string)) "id round-trips" (Some "t-1") r.P.id
+  | Ok P.Ping -> Alcotest.fail "decoded as ping"
+  | Error (_, m) -> Alcotest.failf "full request rejected: %s" m);
+  for len = 0 to String.length full - 1 do
+    match P.parse_request (String.sub full 0 len) with
+    | Ok _ -> Alcotest.failf "prefix of length %d decoded as Ok" len
+    | Error _ -> ()
+  done
+
+let gen_request =
+  QCheck2.Gen.(
+    let circuit =
+      oneof
+        [
+          map (fun n -> P.Bench n) (oneofl [ "b9"; "count"; "cla"; "no such" ]);
+          map (fun s -> P.Blif s) (oneofl [ ""; ".model m\n.end\n" ]);
+          map (fun s -> P.Verilog s) (oneofl [ "module m; endmodule" ]);
+        ]
+    in
+    let opt g = oneof [ return None; map Option.some g ] in
+    map (fun (((id, c), (goal, effort)), ((timeout, nodes), (fault, stats))) ->
+        P.Optimize
+          {
+            P.id;
+            circuit = c;
+            goal;
+            effort;
+            timeout_s = timeout;
+            max_nodes = nodes;
+            fault;
+            emit = (if stats then `Blif else `None);
+            stats;
+          })
+      (pair
+         (pair
+            (pair (opt (oneofl [ "a"; "c1-r2"; "日本" ])) circuit)
+            (pair (oneofl [ `Size; `Depth; `Activity ]) (int_range 1 16)))
+         (pair
+            (pair (opt (oneofl [ 0.5; 30.0 ])) (opt (int_range 1 100000)))
+            (pair (opt (oneofl [ "seed=7:kind=any" ])) bool))))
+
+let fuzz_request_roundtrip =
+  Helpers.qtest ~count:300 "qcheck: request encode/decode round-trip"
+    gen_request (fun req ->
+      match P.parse_request (J.to_string (P.request_to_json req)) with
+      | Ok got -> got = req
+      | Error (_, m) -> QCheck2.Test.fail_reportf "rejected: %s" m)
+
+let fuzz_parse_total =
+  Helpers.qtest ~count:500 "qcheck: parse_request is total on byte soup"
+    QCheck2.Gen.(
+      map (String.concat "")
+        (list_size (int_bound 12)
+           (oneofl
+              [
+                "{"; "}"; "\""; "schema"; "mighty-serve/1"; ":"; ",";
+                "\\u"; "d800"; "\x00"; "\xc3"; "[ ]"; "1e999"; "true";
+              ])))
+    (fun s ->
+      match P.parse_request s with Ok _ -> true | Error _ -> true)
+
+let test_validate_frame () =
+  let ok msg j =
+    match P.validate_frame j with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s: %s" msg e
+  in
+  let bad msg j =
+    match P.validate_frame j with
+    | Ok () -> Alcotest.failf "%s: accepted" msg
+    | Error _ -> ()
+  in
+  ok "error frame" (P.error_to_json ~id:"x" P.Bad_request "nope");
+  ok "overloaded with hint"
+    (P.error_to_json ~retry_after_ms:120 P.Overloaded "queue full");
+  bad "overloaded without retry_after_ms"
+    (P.error_to_json P.Overloaded "queue full");
+  ok "pong"
+    (P.pong_to_json ~queue_depth:0 ~queue_capacity:64 ~workers:3 ~served:0
+       ~active:0 ~draining:false);
+  ok "telemetry" (P.telemetry_to_json ~event:"pass" [ ("pass", J.String "rw") ]);
+  bad "alien frame type"
+    (J.Obj [ ("schema", J.String P.schema); ("type", J.String "alien") ]);
+  bad "result missing fields"
+    (J.Obj [ ("schema", J.String P.schema); ("type", J.String "result") ])
+
+(* ----- the admission queue ----- *)
+
+let test_queue_basic () =
+  let q = Q.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Q.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Q.try_push q 2);
+  Alcotest.(check bool) "push 3 refused (full)" false (Q.try_push q 3);
+  Alcotest.(check int) "length" 2 (Q.length q);
+  Alcotest.(check (option int)) "FIFO" (Some 1) (Q.try_pop q);
+  Alcotest.(check bool) "room again" true (Q.try_push q 3);
+  Q.close q;
+  Alcotest.(check bool) "push after close refused" false (Q.try_push q 4);
+  Alcotest.(check (option int)) "pending item survives close" (Some 2) (Q.pop q);
+  Alcotest.(check (option int)) "second pending item" (Some 3) (Q.pop q);
+  Alcotest.(check (option int)) "closed and empty: exit signal" None (Q.pop q);
+  Alcotest.(check bool) "closed" true (Q.closed q)
+
+let test_queue_mpmc () =
+  (* two producers, two consumers, every item delivered exactly once *)
+  let q = Q.create ~capacity:4 in
+  let n = 500 in
+  let produce lo =
+    Domain.spawn (fun () ->
+        for i = lo to lo + n - 1 do
+          while not (Q.try_push q i) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let sum = Atomic.make 0 and count = Atomic.make 0 in
+  let consume () =
+    Domain.spawn (fun () ->
+        let rec go () =
+          match Q.pop q with
+          | Some v ->
+              ignore (Atomic.fetch_and_add sum v);
+              ignore (Atomic.fetch_and_add count 1);
+              go ()
+          | None -> ()
+        in
+        go ())
+  in
+  let c1 = consume () and c2 = consume () in
+  let p1 = produce 0 and p2 = produce n in
+  Domain.join p1;
+  Domain.join p2;
+  Q.close q;
+  Domain.join c1;
+  Domain.join c2;
+  Alcotest.(check int) "every item delivered once" (2 * n) (Atomic.get count);
+  let expect = (2 * n * (2 * n - 1)) / 2 in
+  Alcotest.(check int) "no item duplicated or lost" expect (Atomic.get sum)
+
+(* ----- Retry: deterministic backoff ----- *)
+
+let test_retry_schedule () =
+  let policy =
+    { Lsutil.Retry.max_attempts = 6; base_s = 0.05; cap_s = 2.0;
+      multiplier = 2.0; jitter = 0.5 }
+  in
+  let sched seed =
+    List.map
+      (fun k ->
+        Lsutil.Retry.delay_s policy ~rng:(Lsutil.Rng.create seed) ~attempt:k)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check (list (float 1e-9)))
+    "same seed, same schedule" (sched 42) (sched 42);
+  List.iteri
+    (fun i d ->
+      let k = i + 1 in
+      let envelope = min policy.cap_s (policy.base_s *. (2.0 ** float_of_int (k - 1))) in
+      if d > envelope +. 1e-9 then
+        Alcotest.failf "delay %g for attempt %d above envelope %g" d k envelope;
+      if d < envelope *. (1.0 -. policy.jitter) -. 1e-9 then
+        Alcotest.failf "delay %g for attempt %d below jitter floor" d k)
+    (sched 7);
+  (* jitter 0 is the exact deterministic envelope *)
+  let flat = { policy with jitter = 0.0 } in
+  Alcotest.(check (float 1e-9)) "jitter 0: exact envelope" 0.2
+    (Lsutil.Retry.delay_s flat ~rng:(Lsutil.Rng.create 1) ~attempt:3)
+
+let test_retry_run () =
+  let rng () = Lsutil.Rng.create 3 in
+  let sleeps = ref [] in
+  let sleep d = sleeps := d :: !sleeps in
+  (* succeeds on the third try *)
+  let r =
+    Lsutil.Retry.run ~sleep ~rng:(rng ()) (fun ~attempt ->
+        if attempt < 3 then Error (`Retry "transient") else Ok attempt)
+  in
+  (match r with
+  | Ok 3 -> ()
+  | Ok n -> Alcotest.failf "succeeded on attempt %d" n
+  | Error e -> Alcotest.failf "failed: %s" e.Lsutil.Retry.last);
+  Alcotest.(check int) "slept between the three tries" 2 (List.length !sleeps);
+  (* a `Fail verdict stops immediately and is marked permanent *)
+  let calls = ref 0 in
+  (match
+     Lsutil.Retry.run ~sleep ~rng:(rng ()) (fun ~attempt:_ ->
+         incr calls;
+         Error (`Fail "permanent"))
+   with
+  | Ok () -> Alcotest.fail "unexpected success"
+  | Error e ->
+      Alcotest.(check bool) "permanent" true e.Lsutil.Retry.permanent;
+      Alcotest.(check int) "one attempt" 1 e.Lsutil.Retry.attempts;
+      Alcotest.(check int) "one call" 1 !calls);
+  (* the server's retry_after hint floors the backoff delay *)
+  sleeps := [];
+  (match
+     Lsutil.Retry.run ~sleep ~rng:(rng ())
+       ~policy:
+         { Lsutil.Retry.max_attempts = 2; base_s = 0.001; cap_s = 1.0;
+           multiplier = 2.0; jitter = 0.0 }
+       (fun ~attempt ->
+         if attempt = 1 then Error (`Retry_after (0.5, "overloaded")) else Ok ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "failed: %s" e.Lsutil.Retry.last);
+  match !sleeps with
+  | [ d ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "hint floors the delay (slept %g)" d)
+        true (d >= 0.5)
+  | l -> Alcotest.failf "expected one sleep, got %d" (List.length l)
+
+(* ----- Budget.interrupt: the signal-to-degrade path ----- *)
+
+let test_budget_interrupt () =
+  let b = Lsutil.Budget.create () in
+  Lsutil.Budget.poll b;
+  (* idle: no-op *)
+  Lsutil.Budget.interrupt b;
+  Alcotest.(check bool) "interrupted" true (Lsutil.Budget.interrupted b);
+  (match Lsutil.Budget.poll b with
+  | () -> Alcotest.fail "poll after interrupt must raise"
+  | exception Lsutil.Budget.Exhausted Lsutil.Budget.Deadline -> ()
+  | exception Lsutil.Budget.Exhausted r ->
+      Alcotest.failf "wrong reason %s" (Lsutil.Budget.reason_name r));
+  (* verification runs masked: suspended extents do not trip *)
+  Lsutil.Budget.suspended b (fun () ->
+      Lsutil.Budget.poll b;
+      Lsutil.Budget.check b);
+  (* ...but the flag is sticky, so the next unmasked probe trips again *)
+  match Lsutil.Budget.check b with
+  | () -> Alcotest.fail "flag must stay sticky after a suspended extent"
+  | exception Lsutil.Budget.Exhausted _ -> ()
+
+(* ----- integration: a live in-process daemon ----- *)
+
+let with_server ?(queue = 8) ?(workers = 2) ?cache ?(max_line = 1 lsl 20) f =
+  let cfg =
+    {
+      (Server.default_config (`Tcp ("127.0.0.1", 0))) with
+      Server.queue_capacity = queue;
+      workers;
+      cache;
+      max_line_bytes = max_line;
+      default_timeout_s = Some 20.0;
+      idle_timeout_s = 20.0;
+    }
+  in
+  let t = Server.launch cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.drain t;
+      Server.join t)
+    (fun () -> f t (Server.bound_addr t))
+
+(* a raw connection speaking bytes, for the malformed-input tests the
+   well-behaved Client cannot produce *)
+type rawc = { fd : Unix.file_descr; fr : F.t; buf : Bytes.t; mutable pend : F.event list }
+
+let raw_connect addr =
+  let fd =
+    match addr with
+    | `Tcp (host, port) ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        fd
+    | `Unix path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+  in
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 20.0;
+  { fd; fr = F.create (); buf = Bytes.create 4096; pend = [] }
+
+let raw_send c s =
+  let rec go pos =
+    if pos < String.length s then
+      go (pos + Unix.write_substring c.fd s pos (String.length s - pos))
+  in
+  go 0
+
+let rec raw_line c =
+  match c.pend with
+  | F.Line l :: rest ->
+      c.pend <- rest;
+      l
+  | F.Oversized n :: _ -> Alcotest.failf "server sent an oversized line (%d)" n
+  | [] ->
+      let n = Unix.read c.fd c.buf 0 (Bytes.length c.buf) in
+      if n = 0 then Alcotest.fail "connection closed mid-frame"
+      else begin
+        c.pend <- F.feed c.fr c.buf 0 n;
+        raw_line c
+      end
+
+let raw_frame c =
+  let line = raw_line c in
+  match J.of_string line with
+  | Error e -> Alcotest.failf "unparseable frame %S: %s" line e
+  | Ok j -> (
+      (match P.validate_frame j with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "frame fails the response linter: %s" e);
+      match P.decode_frame j with
+      | Ok f -> f
+      | Error e -> Alcotest.failf "undecodable frame %S: %s" line e)
+
+let raw_close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let expect_error ~msg want = function
+  | P.Error_frame { code; _ } ->
+      Alcotest.(check string) msg
+        (P.error_code_name want) (P.error_code_name code)
+  | P.Result _ -> Alcotest.failf "%s: got a result frame" msg
+  | P.Pong _ -> Alcotest.failf "%s: got a pong" msg
+  | P.Telemetry _ -> Alcotest.failf "%s: got telemetry" msg
+
+let connect_exn addr =
+  match Client.connect addr with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" e
+
+let test_server_ping () =
+  with_server ~queue:8 ~workers:2 (fun t addr ->
+      let c = connect_exn addr in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          match Client.ping c with
+          | Error e -> Alcotest.failf "ping: %s" e
+          | Ok pong ->
+              Alcotest.(check (option int))
+                "pong reports the configured queue" (Some 8)
+                (Option.bind (J.member "queue_capacity" pong) J.to_int);
+              Alcotest.(check (option int))
+                "pong reports the worker pool" (Some 2)
+                (Option.bind (J.member "workers" pong) J.to_int));
+      (* the counter increments after the reply is written, so give the
+         worker a moment to settle *)
+      let rec settled n =
+        Server.served t >= 1 || (n > 0 && (Unix.sleepf 0.01; settled (n - 1)))
+      in
+      Alcotest.(check bool) "served counted" true (settled 200))
+
+let test_server_optimize () =
+  with_server (fun _t addr ->
+      let c = connect_exn addr in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          let passes = ref 0 in
+          let on_telemetry = function
+            | P.Telemetry { event = "pass"; _ } -> incr passes
+            | _ -> ()
+          in
+          match
+            Client.optimize ~on_telemetry c
+              {
+                P.id = Some "t-opt";
+                circuit = P.Bench "b9";
+                goal = `Size;
+                effort = 1;
+                timeout_s = Some 15.0;
+                max_nodes = None;
+                fault = None;
+                emit = `Blif;
+                stats = true;
+              }
+          with
+          | Error e -> Alcotest.failf "optimize: %s" e
+          | Ok r ->
+              Alcotest.(check (option string)) "id echoed" (Some "t-opt") r.P.r_id;
+              Alcotest.(check bool) "verified" true r.P.verified;
+              Alcotest.(check bool) "not degraded" false r.P.degraded;
+              Alcotest.(check bool) "did not grow" true
+                (r.P.size_out <= r.P.size_in);
+              Alcotest.(check bool) "per-pass telemetry streamed" true
+                (!passes > 0);
+              (* the emitted BLIF is real: it parses back with the
+                 benchmark's interface *)
+              (match r.P.blif with
+              | None -> Alcotest.fail "blif requested but absent"
+              | Some src ->
+                  let tmp = Filename.temp_file "mig_serve_blif" ".blif" in
+                  Fun.protect ~finally:(fun () -> Sys.remove tmp) (fun () ->
+                      let oc = open_out tmp in
+                      output_string oc src;
+                      close_out oc;
+                      let net = Logic_io.Blif.read_file tmp in
+                      let orig = (Benchmarks.Suite.find "b9").build () in
+                      Alcotest.(check int) "round-tripped PI count"
+                        (List.length (Network.Graph.pis orig))
+                        (List.length (Network.Graph.pis net));
+                      Alcotest.(check int) "round-tripped PO count"
+                        (List.length (Network.Graph.pos orig))
+                        (List.length (Network.Graph.pos net))))))
+
+let test_server_fault_degrades () =
+  with_server (fun _t addr ->
+      let c = connect_exn addr in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          match
+            Client.optimize c
+              {
+                P.id = None;
+                circuit = P.Bench "b9";
+                goal = `Size;
+                effort = 1;
+                timeout_s = Some 15.0;
+                max_nodes = None;
+                fault = Some "seed=7:kind=raise:sites=transform";
+                emit = `None;
+                stats = false;
+              }
+          with
+          | Error e -> Alcotest.failf "faulted optimize must still answer: %s" e
+          | Ok r ->
+              Alcotest.(check bool) "degraded to best-so-far" true r.P.degraded;
+              Alcotest.(check bool) "and still verified" true r.P.verified))
+
+let test_server_bad_fault_spec () =
+  with_server (fun _t addr ->
+      let c = raw_connect addr in
+      Fun.protect ~finally:(fun () -> raw_close c) (fun () ->
+          raw_send c
+            "{\"schema\":\"mighty-serve/1\",\"circuit\":{\"bench\":\"b9\"},\"fault\":\"kind=bogus\"}\n";
+          expect_error ~msg:"unparseable fault spec" P.Bad_request (raw_frame c)))
+
+let test_server_unknown_bench () =
+  with_server (fun _t addr ->
+      let c = raw_connect addr in
+      Fun.protect ~finally:(fun () -> raw_close c) (fun () ->
+          raw_send c
+            "{\"schema\":\"mighty-serve/1\",\"circuit\":{\"bench\":\"nonesuch\"}}\n";
+          match raw_frame c with
+          | P.Error_frame { code = P.Bad_request; message; _ } ->
+              let contains hay needle =
+                let nh = String.length hay and nn = String.length needle in
+                let rec go i =
+                  i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+                in
+                go 0
+              in
+              Alcotest.(check bool)
+                "rejection names the available benchmarks" true
+                (contains message "b9")
+          | f -> expect_error ~msg:"unknown benchmark" P.Bad_request f))
+
+let test_server_malformed_then_usable () =
+  with_server (fun _t addr ->
+      let c = raw_connect addr in
+      Fun.protect ~finally:(fun () -> raw_close c) (fun () ->
+          raw_send c "\x00\xffgarbage that is not json\n";
+          expect_error ~msg:"byte soup is a protocol error" P.Protocol
+            (raw_frame c);
+          (* same connection, still usable *)
+          raw_send c "{\"schema\":\"mighty-serve/1\",\"type\":\"ping\"}\n";
+          match raw_frame c with
+          | P.Pong _ -> ()
+          | f -> expect_error ~msg:"ping after garbage" P.Protocol f))
+
+let test_server_oversize_resync () =
+  with_server ~max_line:4096 (fun _t addr ->
+      let c = raw_connect addr in
+      Fun.protect ~finally:(fun () -> raw_close c) (fun () ->
+          raw_send c (String.make 10_000 'j' ^ "\n");
+          expect_error ~msg:"oversized line" P.Oversized (raw_frame c);
+          raw_send c "{\"schema\":\"mighty-serve/1\",\"type\":\"ping\"}\n";
+          match raw_frame c with
+          | P.Pong _ -> ()
+          | f -> expect_error ~msg:"ping after oversize" P.Oversized f))
+
+let test_server_disconnect_absorbed () =
+  with_server (fun t addr ->
+      let c = raw_connect addr in
+      raw_send c
+        "{\"schema\":\"mighty-serve/1\",\"circuit\":{\"bench\":\"count\"}}\n";
+      (* hang up before the answer; the worker must absorb the broken
+         pipe and the daemon must keep serving *)
+      raw_close c;
+      let c2 = connect_exn addr in
+      Fun.protect ~finally:(fun () -> Client.close c2) (fun () ->
+          match Client.ping c2 with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "daemon died after a disconnect: %s" e);
+      ignore (Server.served t))
+
+let test_server_saturation_and_drain () =
+  (* workers = 0 is the deterministic saturation hook: admitted
+     connections sit in the queue until drain answers them *)
+  with_server ~queue:1 ~workers:0 (fun t addr ->
+      let admitted = raw_connect addr in
+      (* give the accept loop time to queue it *)
+      Unix.sleepf 0.3;
+      let rejected = raw_connect addr in
+      (match raw_frame rejected with
+      | P.Error_frame { code = P.Overloaded; retry_after_ms = Some ms; _ } ->
+          Alcotest.(check bool) "retry hint is positive" true (ms > 0)
+      | P.Error_frame { code = P.Overloaded; retry_after_ms = None; _ } ->
+          Alcotest.fail "overloaded rejection without retry_after_ms"
+      | f -> expect_error ~msg:"admission control" P.Overloaded f);
+      raw_close rejected;
+      Alcotest.(check bool) "rejection counted" true (Server.rejected t >= 1);
+      (* the retrying client gives a structured failure, not a hang *)
+      (match
+         Client.connect
+           ~retry:
+             { Lsutil.Retry.max_attempts = 2; base_s = 0.01; cap_s = 0.05;
+               multiplier = 2.0; jitter = 0.0 }
+           ~rng:(Lsutil.Rng.create 9) addr
+       with
+      | Error _ -> ()
+      | Ok c ->
+          Client.close c;
+          Alcotest.fail "connect must fail against a saturated server");
+      (* drain answers the admitted-but-unserved connection *)
+      Server.drain t;
+      Server.join t;
+      expect_error ~msg:"drain answers queued connections" P.Draining
+        (raw_frame admitted);
+      raw_close admitted)
+
+let test_server_drain_flushes_cache () =
+  let path = Filename.temp_file "mig_serve_cache" ".json" in
+  Sys.remove path;
+  let cache = Flow.Cache.empty_at path in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      with_server ~cache (fun t addr ->
+          let c = connect_exn addr in
+          Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+              match
+                Client.optimize c
+                  {
+                    P.id = None;
+                    circuit = P.Bench "b9";
+                    goal = `Size;
+                    effort = 1;
+                    timeout_s = Some 15.0;
+                    max_nodes = None;
+                    fault = None;
+                    emit = `None;
+                    stats = false;
+                  }
+              with
+              | Ok r -> Alcotest.(check bool) "verified" true r.P.verified
+              | Error e -> Alcotest.failf "optimize: %s" e);
+          Server.drain t;
+          Server.join t;
+          (* all workers have joined, so the counter is settled *)
+          Alcotest.(check int) "one request served" 1 (Server.served t));
+      (* with_server's finally re-drains; both are idempotent *)
+      Alcotest.(check bool) "drain wrote the cache file" true
+        (Sys.file_exists path);
+      match Flow.Cache.load path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "flushed cache does not load: %s" e)
+
+let test_server_unix_socket () =
+  let path = Filename.temp_file "mig_serve" ".sock" in
+  Sys.remove path;
+  let cfg =
+    {
+      (Server.default_config (`Unix path)) with
+      Server.workers = 1;
+      default_timeout_s = Some 20.0;
+    }
+  in
+  let t = Server.launch cfg in
+  let served () =
+    let c = connect_exn (`Unix path) in
+    Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+        match Client.ping c with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "ping over unix socket: %s" e)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.drain t;
+      Server.join t)
+    (fun () -> served ());
+  Alcotest.(check bool) "socket path unlinked on join" false
+    (Sys.file_exists path)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "line cutting" `Quick test_framing_lines;
+          Alcotest.test_case "oversize discard + re-sync" `Quick
+            test_framing_oversize;
+          fuzz_chunking;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "structured decode errors" `Quick
+            test_parse_request_errors;
+          Alcotest.test_case "truncated frames" `Quick
+            test_parse_request_truncated;
+          Alcotest.test_case "response linter" `Quick test_validate_frame;
+          fuzz_request_roundtrip;
+          fuzz_parse_total;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "bounded FIFO + close" `Quick test_queue_basic;
+          Alcotest.test_case "mpmc across domains" `Quick test_queue_mpmc;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "deterministic schedule" `Quick test_retry_schedule;
+          Alcotest.test_case "run semantics" `Quick test_retry_run;
+        ] );
+      ( "budget",
+        [ Alcotest.test_case "interrupt" `Quick test_budget_interrupt ] );
+      ( "server",
+        [
+          Alcotest.test_case "ping" `Quick test_server_ping;
+          Alcotest.test_case "optimize + emit + telemetry" `Quick
+            test_server_optimize;
+          Alcotest.test_case "in-flight fault degrades" `Quick
+            test_server_fault_degrades;
+          Alcotest.test_case "bad fault spec" `Quick test_server_bad_fault_spec;
+          Alcotest.test_case "unknown benchmark" `Quick
+            test_server_unknown_bench;
+          Alcotest.test_case "malformed bytes, connection stays usable" `Quick
+            test_server_malformed_then_usable;
+          Alcotest.test_case "oversize line re-syncs" `Quick
+            test_server_oversize_resync;
+          Alcotest.test_case "client disconnect absorbed" `Quick
+            test_server_disconnect_absorbed;
+          Alcotest.test_case "saturation + graceful drain" `Quick
+            test_server_saturation_and_drain;
+          Alcotest.test_case "drain flushes the cache delta" `Quick
+            test_server_drain_flushes_cache;
+          Alcotest.test_case "unix socket transport" `Quick
+            test_server_unix_socket;
+        ] );
+    ]

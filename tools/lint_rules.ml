@@ -76,6 +76,16 @@ let catalog =
         "environment is read once at startup into Lsutil.Env.t and carried \
          in the ctx; applies under lib/, exempt: lib/util/env.ml";
     };
+    {
+      code = "SRC007";
+      title = "raw socket call outside lib/serve";
+      descr =
+        "Unix.socket/bind/listen/accept/connect/... belong to the serve \
+         layer, whose framing, admission control and fault isolation are \
+         the audited network surface (DESIGN.md \xc2\xa717); applies \
+         repo-wide, exempt: lib/serve/ and test/test_serve.ml (protocol \
+         fuzzing needs raw sockets)";
+    };
   ]
 
 (* ----- path scoping ----- *)
@@ -110,11 +120,15 @@ let applies code p =
   | "SRC001" | "SRC005" -> in_lib p
   | "SRC002" ->
       p <> "lib/flow/batch.ml" && p <> "lib/flow/par.ml"
-      && p <> "test/test_par.ml"
+      && p <> "lib/serve/server.ml" && p <> "lib/serve/load.ml"
+      && p <> "test/test_par.ml" && p <> "test/test_serve.ml"
   | "SRC003" ->
       in_lib p && p <> "lib/util/budget.ml" && p <> "lib/util/telemetry.ml"
   | "SRC004" -> true
   | "SRC006" -> in_lib p && p <> "lib/util/env.ml"
+  | "SRC007" ->
+      (String.length p < 10 || String.sub p 0 10 <> "lib/serve/")
+      && p <> "test/test_serve.ml"
   | _ -> false
 
 (* ----- the analysis ----- *)
@@ -147,6 +161,16 @@ let banned_idents =
       "SRC006",
       "environment read outside Lsutil.Env: add the variable to Env.base" );
   ]
+  @ List.map
+      (fun fn ->
+        ( "Unix." ^ fn,
+          "SRC007",
+          "raw socket call outside lib/serve: the serve layer owns the \
+           network surface (framing, admission control, fault isolation)" ))
+      [
+        "socket"; "socketpair"; "bind"; "listen"; "accept"; "connect";
+        "shutdown";
+      ]
 
 (* constructors of module-level mutable state for SRC001 *)
 let singleton_makers = [ "ref"; "Hashtbl.create"; "Atomic.make" ]

@@ -272,6 +272,31 @@ let check_serve i r =
       fail "record %d: serve leg reports %d client failures" i (List.length fs)
   | _ -> fail "record %d: serve stats.failures is not a list" i
 
+(* orchestrate records compare beam search against the fixed script:
+   both contenders' size/depth/product plus the who-won verdicts the
+   CI gate greps for; the trailing summary record carries the rollup *)
+let check_orchestrate i r name =
+  if name = "summary" then begin
+    List.iter (int_field i r) [ "wins"; "total"; "regressions" ];
+    bool_field i r "majority"
+  end
+  else begin
+    metrics_obj i r "fixed"
+      ~ints:[ "size"; "depth"; "product" ]
+      ~floats:[ "time_s" ];
+    metrics_obj i r "search"
+      ~ints:[ "size"; "depth"; "product"; "explored" ]
+      ~floats:[ "time_s" ];
+    (match J.member "verdict" (get i r "search") with
+    | Some (J.String ("completed" | "budget_exhausted" | "interrupted")) -> ()
+    | _ -> fail "record %d: orchestrate search verdict is invalid" i);
+    num i r "budget_s" "orchestrate";
+    int_field i r "beam";
+    bool_field i r "better";
+    bool_field i r "regressed";
+    bool_field i r "equivalent"
+  end
+
 let check_record i r =
   let sec = str i r "section" in
   let name = str i r "name" in
@@ -306,18 +331,60 @@ let check_record i r =
   | "parmig" -> check_parmig i r
   | "memo" -> check_memo i r
   | "serve" -> check_serve i r
+  | "orchestrate" -> check_orchestrate i r name
   | s -> fail "record %d: unknown section %S" i s);
   sec
+
+(* Trajectory files ([mighty opt --goal search --traj PATH], or the
+   bench orchestrate section under MIG_TRAJ) are NDJSON: one
+   self-describing "mighty-traj/1" object per line, each validated by
+   the schema's own checker ({!Flow.Traj.validate}) so the CLI, the
+   daemon and this gate can never drift apart. *)
+let lint_traj path content =
+  let lines =
+    String.split_on_char '\n' content
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  if lines = [] then fail "%s: no trajectory records" path;
+  List.iteri
+    (fun i line ->
+      match J.of_string line with
+      | Error e -> fail "%s:%d: parse error: %s" path (i + 1) e
+      | Ok doc -> (
+          match Flow.Traj.validate doc with
+          | Ok () -> ()
+          | Error e -> fail "%s:%d: %s" path (i + 1) e))
+    lines;
+  Printf.printf "json_lint: %s OK (%d trajectory records)\n" path
+    (List.length lines)
+
+(* the first non-blank line decides the flavour: a "mighty-traj/1"
+   object means an NDJSON trajectory file, anything else the whole-doc
+   "mighty-bench/1" report *)
+let is_traj content =
+  match
+    List.find_opt
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' content)
+  with
+  | None -> false
+  | Some line -> (
+      match J.of_string line with
+      | Ok doc -> J.member "schema" doc = Some (J.String "mighty-traj/1")
+      | Error _ -> false)
 
 let () =
   let path =
     match Sys.argv with
     | [| _; p |] -> p
-    | _ -> fail "usage: json_lint BENCH_file.json"
+    | _ -> fail "usage: json_lint BENCH_file.json|traj.jsonl"
   in
-  match J.of_string (read_file path) with
-  | Error e -> fail "%s: parse error: %s" path e
-  | Ok doc ->
+  let content = read_file path in
+  if is_traj content then lint_traj path content
+  else
+    match J.of_string content with
+    | Error e -> fail "%s: parse error: %s" path e
+    | Ok doc ->
       (match J.member "schema" doc with
       | Some (J.String "mighty-bench/1") -> ()
       | Some (J.String s) -> fail "%s: unknown schema %S" path s

@@ -1395,6 +1395,112 @@ let print_serve () =
         })
 
 (* ------------------------------------------------------------------ *)
+(* Orchestrate: beam search over the move vocabulary (Flow.           *)
+(* Orchestrate) against the fixed effort-2 size script on a Table-I   *)
+(* subset.  Both contenders are timed; the search runs under a wall   *)
+(* budget derived from the fixed script's own time (floored so CI     *)
+(* timing noise can't starve it), and the record carries the          *)
+(* size*depth products, who won, and whether search ever regressed.   *)
+(* With MIG_TRAJ=PATH every search appends its mighty-traj/1 record   *)
+(* there (the CI artifact).                                           *)
+(* ------------------------------------------------------------------ *)
+
+let print_orchestrate () =
+  section "Orchestrate - beam search vs fixed script (Flow.Orchestrate)";
+  let traj = Sys.getenv_opt "MIG_TRAJ" in
+  let circuits = [ "b9"; "count"; "cla"; "my_adder"; "misex3" ] in
+  let wins = ref 0 and regressions = ref 0 in
+  List.iter
+    (fun name ->
+      let build () =
+        Mig.Convert.of_network ~ctx
+          (N.flatten_aoig
+             ((Benchmarks.Suite.find name).Benchmarks.Suite.build ()))
+      in
+      let m = build () in
+      let fixed, t_fixed =
+        T.time (fun () ->
+            fst
+              (Flow.Engine.run
+                 ~cost:(Flow.Engine.cost_of_goal `Size)
+                 ~seed:0xda14
+                 ~passes:(Flow.Engine.of_goal ~effort:2 `Size)
+                 m))
+      in
+      let budget_s = Float.max 0.5 (2. *. t_fixed) in
+      let spec =
+        {
+          Flow.Orchestrate.default_spec with
+          Flow.Orchestrate.beam = 2;
+          rounds = 4;
+          seed = 0xda14;
+          timeout_s = Some budget_s;
+        }
+      in
+      (* a fresh copy: the search must not start from the fixed result *)
+      let (out, _rep, tr), t_search =
+        T.time (fun () ->
+            Flow.Orchestrate.run ?traj ~circuit:name ~spec (build ()))
+      in
+      let product g = Mig.Graph.size g * Mig.Graph.depth g in
+      let pf = product fixed and ps = product out in
+      let equivalent = Mig.Equiv.migs ~seed:0x517 m out in
+      let better = ps < pf and regressed = ps > pf in
+      if better then incr wins;
+      if regressed then incr regressions;
+      Printf.printf
+        "  %-9s fixed %dx%d = %d (%.2fs) | search %dx%d = %d (%.2fs, %s, %d \
+         moves) %s%s\n"
+        name (Mig.Graph.size fixed) (Mig.Graph.depth fixed) pf t_fixed
+        (Mig.Graph.size out) (Mig.Graph.depth out) ps t_search
+        tr.Flow.Traj.verdict tr.Flow.Traj.explored
+        (if better then "WIN" else if regressed then "REGRESSED" else "tie")
+        (if equivalent then "" else " NOT EQUIVALENT");
+      emit
+        (J.Obj
+           [
+             ("section", J.String "orchestrate");
+             ("name", J.String name);
+             ( "fixed",
+               J.Obj
+                 [
+                   ("size", J.Int (Mig.Graph.size fixed));
+                   ("depth", J.Int (Mig.Graph.depth fixed));
+                   ("product", J.Int pf);
+                   ("time_s", J.Float t_fixed);
+                 ] );
+             ( "search",
+               J.Obj
+                 [
+                   ("size", J.Int (Mig.Graph.size out));
+                   ("depth", J.Int (Mig.Graph.depth out));
+                   ("product", J.Int ps);
+                   ("time_s", J.Float t_search);
+                   ("verdict", J.String tr.Flow.Traj.verdict);
+                   ("explored", J.Int tr.Flow.Traj.explored);
+                 ] );
+             ("budget_s", J.Float budget_s);
+             ("beam", J.Int spec.Flow.Orchestrate.beam);
+             ("better", J.Bool better);
+             ("regressed", J.Bool regressed);
+             ("equivalent", J.Bool equivalent);
+           ]))
+    circuits;
+  let majority = 2 * !wins >= List.length circuits in
+  Printf.printf "  wins %d/%d (majority %b), regressions %d\n%!" !wins
+    (List.length circuits) majority !regressions;
+  emit
+    (J.Obj
+       [
+         ("section", J.String "orchestrate");
+         ("name", J.String "summary");
+         ("wins", J.Int !wins);
+         ("total", J.Int (List.length circuits));
+         ("majority", J.Bool majority);
+         ("regressions", J.Int !regressions);
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [
@@ -1414,6 +1520,7 @@ let all_sections =
     ("parmig", print_parmig);
     ("memo", print_memo);
     ("serve", print_serve);
+    ("orchestrate", print_orchestrate);
   ]
 
 let write_json path =

@@ -46,6 +46,25 @@ let goal_arg =
     & info [ "g"; "goal" ] ~docv:"GOAL"
         ~doc:"Optimization goal: $(b,size), $(b,depth) or $(b,activity).")
 
+(* The engine-backed subcommands additionally understand [search]:
+   orchestrated beam search over optimization moves instead of a fixed
+   script (Flow.Orchestrate). *)
+let opt_goal_arg =
+  let goals =
+    [
+      ("size", `Size); ("depth", `Depth); ("activity", `Activity);
+      ("search", `Search);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum goals) `Depth
+    & info [ "g"; "goal" ] ~docv:"GOAL"
+        ~doc:
+          "Optimization goal: $(b,size), $(b,depth), $(b,activity), or \
+           $(b,search) (beam search over optimization moves, scored by the \
+           size*depth product).")
+
 let verify_arg =
   Arg.(
     value & flag
@@ -170,7 +189,7 @@ let optimize_cmd =
    (some pass timed out, failed or was skipped — the output is still a
    valid best-so-far circuit). *)
 let opt_run input output effort goal stats timeout max_nodes fault json cache
-    par_jobs =
+    par_jobs beam traj =
   (* the fault plan targets the optimization run: reject a bad spec up
      front, but arm it only around [Engine.run] so the reader/converter
      and the output writer stay outside the blast radius *)
@@ -214,10 +233,13 @@ let opt_run input output effort goal stats timeout max_nodes fault json cache
   let par_goal =
     match (par_jobs, goal) with
     | None, _ -> None
-    | Some j, (`Size | `Depth) -> Some (j, goal)
+    | Some j, ((`Size | `Depth) as pg) -> Some (j, pg)
     | Some _, `Activity ->
         prerr_endline
           "mighty: --par-jobs supports the size and depth goals only";
+        exit 2
+    | Some _, `Search ->
+        prerr_endline "mighty: --par-jobs is not supported with --goal search";
         exit 2
   in
   (match (par_goal, cache) with
@@ -236,21 +258,53 @@ let opt_run input output effort goal stats timeout max_nodes fault json cache
     Fun.protect
       ~finally:(fun () -> Lsutil.Fault.disarm flt)
       (fun () ->
-        match store with
-        | None ->
-            let passes =
-              match par_goal with
-              | Some (jobs, (`Size | `Depth as pg)) ->
-                  Flow.Par.passes ~jobs
-                    ~spec:{ Flow.Par.default_spec with goal = pg; effort }
-                    ()
-              | Some (_, `Activity) -> assert false (* rejected above *)
-              | None -> Flow.Engine.of_goal ~effort goal
+        match goal with
+        | `Search ->
+            (* orchestrated beam search over the move vocabulary: the
+               spec's rounds scale with --effort, and --cache feeds its
+               rewrite store to the refactoring moves (no cone cutoff —
+               the move sequence isn't known up front) *)
+            let rwh =
+              Option.map (fun c -> Mig.Rwcache.fork (Flow.Cache.rw c)) store
             in
-            Flow.Engine.run ?timeout_s:timeout ?max_nodes
-              ~cost:(Flow.Engine.cost_of_goal goal)
-              ~seed:0xda14 ~passes m
-        | Some c ->
+            let spec =
+              {
+                Flow.Orchestrate.goal = `Size;
+                beam;
+                rounds = 2 * effort;
+                seed = 0xda14;
+                timeout_s = timeout;
+                max_nodes;
+              }
+            in
+            let out, rep, tr =
+              Flow.Orchestrate.run ?cache:rwh ?traj
+                ~circuit:(Filename.basename input) ~spec m
+            in
+            Format.printf "search: explored %d moves, verdict %s@."
+              tr.Flow.Traj.explored tr.Flow.Traj.verdict;
+            (match (store, rwh) with
+            | Some c, Some h ->
+                Flow.Cache.absorb_rw c [ Mig.Rwcache.delta h ];
+                Format.printf "cache: rewrites %d hit / %d miss@."
+                  (Mig.Rwcache.hits h) (Mig.Rwcache.misses h)
+            | _ -> ());
+            (out, rep)
+        | (`Size | `Depth | `Activity) as goal -> (
+            match store with
+            | None ->
+                let passes =
+                  match par_goal with
+                  | Some (jobs, pg) ->
+                      Flow.Par.passes ~jobs
+                        ~spec:{ Flow.Par.default_spec with goal = pg; effort }
+                        ()
+                  | None -> Flow.Engine.of_goal ~effort goal
+                in
+                Flow.Engine.run ?timeout_s:timeout ?max_nodes
+                  ~cost:(Flow.Engine.cost_of_goal goal)
+                  ~seed:0xda14 ~passes m
+            | Some c ->
             (* cache-accelerated: the rewrite handle feeds the engine's
                refactoring passes, and the cone store lets unchanged
                outputs skip optimization entirely (dune-style cutoff) *)
@@ -284,7 +338,7 @@ let opt_run input output effort goal stats timeout max_nodes fault json cache
               (Mig.Rwcache.hits rwh) (Mig.Rwcache.misses rwh)
               r.Flow.Cutoff.reused r.Flow.Cutoff.reoptimized
               (if r.Flow.Cutoff.fallback then " [fallback]" else "");
-            (r.Flow.Cutoff.graph, r.Flow.Cutoff.report))
+            (r.Flow.Cutoff.graph, r.Flow.Cutoff.report)))
   in
   report opt "optimized";
   Format.printf "time: %.2fs@." (Unix.gettimeofday () -. t0);
@@ -375,12 +429,30 @@ let opt_cmd =
              $(b,MIG_PAR_JOBS) environment variable; capped by the \
              hardware domain count.")
   in
+  let beam =
+    Arg.(
+      value & opt int 2
+      & info [ "beam" ] ~docv:"K"
+          ~doc:
+            "Beam width for $(b,--goal search): how many best-scoring \
+             candidates survive each search round ($(b,1) = greedy).")
+  in
+  let traj =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "traj" ] ~docv:"PATH"
+          ~doc:
+            "Append the search trajectory (one $(b,mighty-traj/1) JSON \
+             record per run, NDJSON) to $(docv).  Only meaningful with \
+             $(b,--goal search).")
+  in
   Cmd.v
     (Cmd.info "opt" ~doc)
     Term.(
-      const opt_run $ input_arg $ output_arg $ effort_arg $ goal_arg
+      const opt_run $ input_arg $ output_arg $ effort_arg $ opt_goal_arg
       $ stats_arg $ timeout $ max_nodes $ fault $ json $ cache_arg
-      $ par_jobs)
+      $ par_jobs $ beam $ traj)
 
 let map_cmd =
   let doc = "optimize and map onto the 22nm-style cell library" in
@@ -978,8 +1050,8 @@ let serve_load_cmd =
   Cmd.v (Cmd.info "serve-load" ~doc)
     Term.(
       const serve_load_run $ port_arg $ host_arg $ unix_socket_arg $ clients
-      $ requests $ names_arg $ goal_arg $ effort_arg $ timeout $ fault_every
-      $ fault $ json)
+      $ requests $ names_arg $ opt_goal_arg $ effort_arg $ timeout
+      $ fault_every $ fault $ json)
 
 let () =
   let doc = "MIG-based logic optimization (Amaru et al., DAC'14)" in

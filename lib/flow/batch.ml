@@ -107,6 +107,20 @@ let salt_of_spec spec =
     (match spec.max_nodes with None -> "-" | Some n -> string_of_int n)
     (match spec.verify with None -> "-" | Some b -> string_of_bool b)
 
+(* The single construction point for "this spec's optimizer": the
+   engine pipeline (via the move vocabulary behind [Engine.of_goal])
+   and the matching checkpoint ranking, run under the spec's budget
+   and verification policy.  Both [run_item] branches and the CLI's
+   cache path build their optimizer here, so a recipe means the same
+   thing everywhere it is replayed. *)
+let optimizer_of_spec ?cache spec =
+  let passes = Engine.of_goal ~effort:spec.effort ?cache spec.goal in
+  fun g ->
+    Engine.run ?verify:spec.verify ?timeout_s:spec.timeout_s
+      ?max_nodes:spec.max_nodes
+      ~cost:(Engine.cost_of_goal spec.goal)
+      ~seed:spec.seed ~passes g
+
 let run_item ~spec ~ctx ~shared item =
   let deltas = ref ([], []) in
   let work () =
@@ -115,26 +129,14 @@ let run_item ~spec ~ctx ~shared item =
     let size_in = G.size m and depth_in = G.depth m in
     match shared with
     | None ->
-        let passes = Engine.of_goal ~effort:spec.effort spec.goal in
-        let out, report =
-          Engine.run ?verify:spec.verify ?timeout_s:spec.timeout_s
-            ?max_nodes:spec.max_nodes
-            ~cost:(Engine.cost_of_goal spec.goal)
-            ~seed:spec.seed ~passes m
-        in
+        let out, report = optimizer_of_spec spec m in
         (size_in, depth_in, G.size out, G.depth out, report, None)
     | Some (rw_base, cone_store, salt) ->
         (* the shared snapshots are immutable; this domain records its
            discoveries into private handles/deltas, merged by the
            coordinator in input order after every join *)
         let rwh = Mig.Rwcache.fork rw_base in
-        let passes = Engine.of_goal ~effort:spec.effort ~cache:rwh spec.goal in
-        let optimize g =
-          Engine.run ?verify:spec.verify ?timeout_s:spec.timeout_s
-            ?max_nodes:spec.max_nodes
-            ~cost:(Engine.cost_of_goal spec.goal)
-            ~seed:spec.seed ~passes g
-        in
+        let optimize = optimizer_of_spec ~cache:rwh spec in
         let r = Cutoff.run ~salt ~store:cone_store ~optimize ~seed:spec.seed m in
         deltas := (Mig.Rwcache.delta rwh, r.Cutoff.delta);
         let use =

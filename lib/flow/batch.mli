@@ -25,6 +25,14 @@ type spec = {
 val default_spec : spec
 (** [`Size], effort 2, no budget, ctx-resolved verification, seed 1. *)
 
+val optimizer_of_spec :
+  ?cache:Mig.Rwcache.t -> spec -> Mig.Graph.t -> Mig.Graph.t * Engine.report
+(** The spec's optimizer, built once: [Engine.of_goal] passes (the
+    move vocabulary, with [cache] handed to every refactoring pass)
+    plus the goal's checkpoint ranking, run under the spec's budget,
+    seed and verification policy.  The single construction point the
+    batch branches and the CLI share. *)
+
 val salt_of_spec : spec -> string
 (** The {!Cutoff} fingerprint salt for this recipe.  Everything that
     changes the optimizer's answer (goal, effort, seed, budgets,

@@ -214,73 +214,17 @@ let run ?verify ?timeout_s ?max_nodes ?cost ?size_cap ?(seed = 1)
       end;
       (out, { passes; rollbacks = !rollbacks; degraded; verified }))
 
-(* Goal-directed pipelines: the optimization scripts of [Opt_size],
-   [Opt_depth] and [Opt_activity] unrolled into engine passes, so each
-   transform is individually isolated and checkpointed. *)
+(* Goal-directed pipelines: the paper's scripts spelled in the
+   [Move] vocabulary — one engine pass per atom, so each transform is
+   individually isolated and checkpointed.  [Move.script_of_goal]
+   reproduces the historical pass names and order exactly, so these
+   pipelines are bit-identical to the hard-coded ones they replace. *)
 
-let saturate_depth pass ~max_iter g =
-  let bud = Lsutil.Ctx.budget (G.ctx g) in
-  let cur = ref g in
-  let continue_ = ref true in
-  let iter = ref 0 in
-  while !continue_ && !iter < max_iter do
-    Lsutil.Budget.poll bud;
-    incr iter;
-    let next = pass !cur in
-    if G.depth next < G.depth !cur then cur := next else continue_ := false
-  done;
-  !cur
+let of_goal ?effort ?cache goal =
+  List.map (fun (name, f) -> pass name f)
+    (Move.script_of_goal ?effort ?cache goal)
 
-let of_goal ?(effort = 2) ?cache goal =
-  let module Tr = Mig.Transform in
-  let cycle i =
-    let n name f = pass (Printf.sprintf "%s#%d" name i) f in
-    match goal with
-    | `Size ->
-        [
-          n "rewrite" (Tr.rewrite_patterns ~mode:`Size);
-          n "eliminate" Tr.eliminate;
-          n "reshape" Tr.reshape_assoc;
-          n "relevance" Tr.relevance;
-          n "substitution" (Tr.substitution ~on_critical:false);
-          n "eliminate'" Tr.eliminate;
-          n "refactor" (Tr.refactor ?cache);
-          n "eliminate''" Tr.eliminate;
-        ]
-    | `Depth ->
-        [
-          n "rewrite" Tr.rewrite_patterns;
-          n "push_up" (saturate_depth Tr.push_up ~max_iter:8);
-          n "relevance" Tr.relevance;
-          n "substitution" (Tr.substitution ~on_critical:true);
-          n "push_up'" (saturate_depth Tr.push_up ~max_iter:8);
-          n "eliminate" Tr.eliminate;
-        ]
-    | `Activity ->
-        [
-          n "relevance" Tr.relevance;
-          n "eliminate" Tr.eliminate;
-          n "substitution" (Tr.substitution ~on_critical:false);
-          n "eliminate'" Tr.eliminate;
-        ]
-  in
-  let recovery =
-    match goal with
-    | `Depth ->
-        [
-          pass "recover:rewrite" (Tr.rewrite_patterns ~mode:`Size);
-          pass "recover:eliminate" Tr.eliminate;
-          pass "recover:refactor" (Tr.refactor ?cache);
-        ]
-    | `Size | `Activity -> []
-  in
-  List.concat_map cycle (List.init effort (fun i -> i + 1)) @ recovery
-
-let cost_of_goal = function
-  | `Size -> fun g -> (float_of_int (G.size g), float_of_int (G.depth g))
-  | `Depth -> fun g -> (float_of_int (G.depth g), float_of_int (G.size g))
-  | `Activity ->
-      fun g -> (Mig.Activity.total g, float_of_int (G.size g))
+let cost_of_goal = Move.cost_of_goal
 
 (* ----- reporting ----- *)
 

@@ -95,7 +95,9 @@ val of_goal :
     [Opt_activity] unrolled into individually-checkpointed engine
     passes, [effort] (default 2) cycles plus the goal's recovery
     phase.  [cache] is handed to every refactoring pass (see
-    {!Mig.Transform.refactor}). *)
+    {!Mig.Transform.refactor}).  Since the move refactor this is
+    [Move.script_of_goal] wrapped into passes — same names, same
+    order, bit-identical behavior. *)
 
 val cost_of_goal :
   [ `Size | `Depth | `Activity ] -> Mig.Graph.t -> float * float

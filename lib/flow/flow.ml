@@ -1,6 +1,9 @@
 module T = Lsutil.Telemetry
 module Ctx = Lsutil.Ctx
 module Engine = Engine
+module Move = Move
+module Orchestrate = Orchestrate
+module Traj = Traj
 module Batch = Batch
 module Par = Par
 module Cutoff = Cutoff

@@ -14,6 +14,20 @@ module Engine : module type of Engine
 (** The fault-tolerant pass engine ({!Engine.run}): budgets,
     checkpoint/rollback, structured per-pass outcomes. *)
 
+module Move : module type of Move
+(** The optimization-move vocabulary: the atoms the fixed scripts are
+    spelled in, and the macro moves ({!Move.t}) the orchestrator
+    searches over. *)
+
+module Orchestrate : module type of Orchestrate
+(** Greedy/beam search over move sequences inside the {!Engine}
+    degradation machinery; deterministic for a fixed (seed, beam)
+    when no deadline is installed. *)
+
+module Traj : module type of Traj
+(** The [mighty-traj/1] QoR trajectory dataset appended by every
+    orchestrated search run. *)
+
 module Batch : module type of Batch
 (** Multi-domain parallel batch driver: independent {!Engine}
     pipelines over N circuits, one worker domain and one ctx each,

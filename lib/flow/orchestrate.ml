@@ -1,0 +1,299 @@
+module G = Mig.Graph
+module T = Lsutil.Telemetry
+
+type spec = {
+  goal : Move.goal;
+  beam : int;
+  rounds : int;
+  seed : int;
+  timeout_s : float option;
+  max_nodes : int option;
+}
+
+let default_spec =
+  { goal = `Size; beam = 2; rounds = 4; seed = 1; timeout_s = None;
+    max_nodes = None }
+
+(* A live search candidate: its graph, its score under the goal
+   metric, and the trajectory-step indices that produced it (newest
+   first). *)
+type cand = { g : G.t; score : float * float; path : int list }
+
+(* The search metric: size·depth product first (what orchestration is
+   graded on, and what "better than the fixed script" means), the
+   goal's own primary metric as the tie-break — activity search
+   additionally folds switching activity into the product. *)
+let score_of_goal : Move.goal -> G.t -> float * float = function
+  | `Size ->
+      fun g ->
+        let s = float_of_int (G.size g) and d = float_of_int (G.depth g) in
+        (s *. d, s)
+  | `Depth ->
+      fun g ->
+        let s = float_of_int (G.size g) and d = float_of_int (G.depth g) in
+        (s *. d, d)
+  | `Activity ->
+      fun g ->
+        let s = float_of_int (G.size g) and d = float_of_int (G.depth g) in
+        let a = Mig.Activity.total g in
+        (s *. d *. a, a)
+
+let take n l =
+  let rec go n = function
+    | x :: tl when n > 0 -> x :: go (n - 1) tl
+    | _ -> []
+  in
+  go n l
+
+let run ?verify ?cache ?traj ~circuit ~spec g =
+  let spec = { spec with beam = max 1 spec.beam; rounds = max 1 spec.rounds } in
+  let ctx = G.ctx g in
+  let tel = Lsutil.Ctx.stats ctx in
+  let bud = Lsutil.Ctx.budget ctx in
+  let flt = Lsutil.Ctx.fault ctx in
+  let cost = score_of_goal spec.goal in
+  let cm = Lsutil.Costmodel.create () in
+  let vocab = Move.vocabulary ~seed:spec.seed spec.goal in
+  (* every evaluated expansion becomes one trajectory step; the
+     winning path's [accepted] flags are patched in at the end *)
+  let steps = ref [] in
+  let nsteps = ref 0 in
+  let record_step s =
+    let i = !nsteps in
+    incr nsteps;
+    steps := (i, s) :: !steps;
+    i
+  in
+  let rejected = ref 0 in
+  let exhausted = ref false in
+  let cache_stats () =
+    match cache with
+    | None -> (0, 0)
+    | Some c -> (Mig.Rwcache.hits c, Mig.Rwcache.misses c)
+  in
+  let (out, report, size_in, depth_in, step_list, verdict), total_s =
+    T.time (fun () ->
+        T.span tel "orchestrate" (fun () ->
+            (* the zeroth checkpoint: a pass-less engine run cleans and
+               verifies the input exactly like a fixed-script run would *)
+            let g0, _ = Engine.run ?verify ~cost ~seed:spec.seed ~passes:[] g in
+            (* nothing larger than the input is ever checkpointed, so
+               even a deep uphill excursion degrades to "no larger" *)
+            let size_cap = G.size g0 in
+            let init = { g = g0; score = cost g0; path = [] } in
+            let seen = Hashtbl.create 64 in
+            let key_of c = (G.size c.g, G.depth c.g, c.score) in
+            Hashtbl.replace seen (key_of init) ();
+            let best = ref init in
+            let beam_set = ref [ init ] in
+            let eval parent (mv : Move.t) =
+              let nodes_in = G.size parent.g in
+              let ckey = Move.cost_key mv in
+              let skip =
+                (* wall-clock gating exists only under a deadline, so a
+                   deadline-free search stays a pure function of the
+                   input *)
+                match
+                  ( Lsutil.Budget.remaining_s bud,
+                    Lsutil.Costmodel.predict cm ckey ~nodes:nodes_in )
+                with
+                | Some rem, Some predicted -> predicted > rem
+                | _ -> false
+              in
+              if skip then begin
+                ignore
+                  (record_step
+                     {
+                       Traj.move = mv.Move.name; outcome = "skipped";
+                       accepted = false; size = nodes_in;
+                       depth = G.depth parent.g; time_s = 0.0;
+                       cache_hits = 0; cache_misses = 0;
+                     });
+                None
+              end
+              else
+                T.span tel ckey (fun () ->
+                    T.record_int tel "nodes_in" nodes_in;
+                    let h0, m0 = cache_stats () in
+                    let (g', rep), dt =
+                      T.time (fun () ->
+                          Engine.run ?verify ~cost ~size_cap ~seed:spec.seed
+                            ~passes:
+                              [
+                                Engine.pass mv.Move.name (fun gg ->
+                                    Move.apply ?cache mv gg);
+                              ]
+                            parent.g)
+                    in
+                    Lsutil.Costmodel.observe cm ckey ~nodes:nodes_in
+                      ~time_s:dt;
+                    let h1, m1 = cache_stats () in
+                    let outcome, ok =
+                      match rep.Engine.passes with
+                      | [ p ]
+                        when p.Engine.outcome = Engine.Completed
+                             && not p.Engine.rolled_back ->
+                          ("completed", true)
+                      | [ p ] -> (Engine.outcome_name p.Engine.outcome, false)
+                      | _ -> ("failed", false)
+                    in
+                    let i =
+                      record_step
+                        {
+                          Traj.move = mv.Move.name; outcome;
+                          accepted = false; size = G.size g';
+                          depth = G.depth g'; time_s = dt;
+                          cache_hits = h1 - h0; cache_misses = m1 - m0;
+                        }
+                    in
+                    if not (ok && rep.Engine.verified) then begin
+                      incr rejected;
+                      None
+                    end
+                    else
+                      let c =
+                        { g = g'; score = cost g'; path = i :: parent.path }
+                      in
+                      let k = key_of c in
+                      if Hashtbl.mem seen k then None
+                      else begin
+                        Hashtbl.replace seen k ();
+                        Some c
+                      end)
+            in
+            let round () =
+              let fresh =
+                List.concat_map
+                  (fun parent ->
+                    List.filter_map
+                      (fun mv ->
+                        if
+                          Lsutil.Budget.interrupted bud
+                          || Lsutil.Budget.expired bud
+                        then None
+                        else eval parent mv)
+                      vocab)
+                  !beam_set
+              in
+              let sorted =
+                List.stable_sort (fun a b -> compare a.score b.score) fresh
+              in
+              let next = take spec.beam sorted in
+              (match next with
+              | c :: _ when c.score < !best.score -> best := c
+              | _ -> ());
+              beam_set := next;
+              next <> []
+            in
+            let body () =
+              let continue_ = ref true in
+              let r = ref 0 in
+              while !continue_ && !r < spec.rounds do
+                incr r;
+                continue_ := round ()
+              done;
+              if Lsutil.Budget.interrupted bud || Lsutil.Budget.expired bud
+              then exhausted := true
+            in
+            (match (spec.timeout_s, spec.max_nodes) with
+            | None, None -> body ()
+            | _ -> (
+                match
+                  Lsutil.Budget.with_budget bud ?deadline_s:spec.timeout_s
+                    ?max_nodes:spec.max_nodes body
+                with
+                | () -> ()
+                | exception Lsutil.Budget.Exhausted _ -> exhausted := true));
+            (* unconditional final re-verification against the original
+               input, with the budget suspended and the fault plan
+               disarmed — same contract as [Engine.run] *)
+            let final_ok cand =
+              Lsutil.Budget.suspended bud (fun () ->
+                  Lsutil.Fault.suspended flt (fun () ->
+                      match
+                        Check_report.is_clean
+                          (Mig.Check.lint ~subject:"orchestrate" cand)
+                        && Mig.Equiv.migs ~seed:spec.seed g cand
+                      with
+                      | ok -> ok
+                      | exception (Out_of_memory as e) -> raise e
+                      | exception (Sys.Break as e) -> raise e
+                      | exception _ -> false))
+            in
+            let out = !best.g in
+            let verified = final_ok out in
+            let out, verified, fell_back =
+              if verified then (out, true, false)
+              else
+                let fb =
+                  Lsutil.Budget.suspended bud (fun () ->
+                      Lsutil.Fault.suspended flt (fun () -> G.cleanup g))
+                in
+                (fb, final_ok fb, true)
+            in
+            if fell_back then incr rejected;
+            let accepted = if fell_back then [] else List.rev !best.path in
+            let all_steps =
+              List.rev_map
+                (fun (i, s) ->
+                  (i, { s with Traj.accepted = List.mem i accepted }))
+                !steps
+            in
+            let step_list = List.map snd all_steps in
+            let pass_reports =
+              List.filter_map
+                (fun (i, s) ->
+                  if List.mem i accepted then
+                    Some
+                      {
+                        Engine.pass = s.Traj.move; outcome = Engine.Completed;
+                        time_s = s.Traj.time_s; size = s.Traj.size;
+                        depth = s.Traj.depth; rolled_back = false;
+                      }
+                  else None)
+                all_steps
+            in
+            let verdict =
+              if Lsutil.Budget.interrupted bud then "interrupted"
+              else if !exhausted then "budget_exhausted"
+              else "completed"
+            in
+            let report =
+              {
+                Engine.passes = pass_reports;
+                rollbacks = !rejected;
+                degraded = verdict <> "completed" || fell_back || not verified;
+                verified;
+              }
+            in
+            if T.enabled tel then begin
+              T.record_int tel "orchestrate.explored" !nsteps;
+              T.record_int tel "orchestrate.rejected" !rejected;
+              T.record tel "orchestrate.verdict" (T.String verdict)
+            end;
+            (out, report, G.size g0, G.depth g0, step_list, verdict)))
+  in
+  let traj_rec =
+    {
+      Traj.circuit;
+      goal = Move.goal_name spec.goal;
+      seed = spec.seed;
+      beam = spec.beam;
+      budget_s = spec.timeout_s;
+      size_in;
+      depth_in;
+      size_out = G.size out;
+      depth_out = G.depth out;
+      steps = step_list;
+      explored = List.length step_list;
+      verdict;
+      time_s = total_s;
+    }
+  in
+  (match traj with
+  | None -> ()
+  | Some path -> (
+      match Traj.append_file path traj_rec with
+      | Ok () -> ()
+      | Error e -> T.record tel "traj.error" (T.String e)));
+  (out, report, traj_rec)

@@ -1,0 +1,59 @@
+(** Searchable pass orchestration: greedy/beam search over
+    {!Move} sequences, inside the {!Engine} degradation machinery.
+
+    Instead of committing to one fixed script, the orchestrator grows
+    move sequences round by round: every surviving candidate is
+    expanded with every vocabulary move, each expansion running as a
+    single-pass {!Engine.run} (so it is checkpointed, size-capped at
+    the input size, verified, and rolled back on failure exactly like
+    a fixed-script pass), and the [beam] best-scoring distinct
+    candidates seed the next round.  Scoring is the size·depth
+    product (times switching activity for the [`Activity] goal),
+    tie-broken by the goal's own primary metric; the best candidate
+    ever seen — including the untouched input — is the result, so
+    search can only improve on doing nothing.
+
+    Degradation: the whole search runs under one
+    [Budget.with_budget] scope.  A blown deadline, node cap,
+    interrupt or injected fault ends expansion early and returns the
+    verified best-so-far; the returned graph is re-verified
+    unconditionally (budget suspended, faults disarmed) with a
+    cleanup-of-input fallback, mirroring {!Engine.run}.
+
+    Determinism: for a fixed [(seed, beam, rounds)] with no deadline
+    the search is a pure function of the input — moves are evaluated
+    in a fixed order, ties break by that order, and the wall-clock
+    cost model only gates moves when a deadline is installed.
+
+    Every run also yields a {!Traj.record} of all evaluated
+    expansions (the QoR trajectory dataset). *)
+
+type spec = {
+  goal : Move.goal;  (** scoring metric, and first move tried *)
+  beam : int;  (** beam width; 1 = greedy (clamped to >= 1) *)
+  rounds : int;  (** max move-sequence length (clamped to >= 1) *)
+  seed : int;  (** miter simulation + BDS variable-order search *)
+  timeout_s : float option;
+  max_nodes : int option;
+}
+
+val default_spec : spec
+(** [`Size], beam 2, 4 rounds, seed 1, no budget. *)
+
+val run :
+  ?verify:bool ->
+  ?cache:Mig.Rwcache.t ->
+  ?traj:string ->
+  circuit:string ->
+  spec:spec ->
+  Mig.Graph.t ->
+  Mig.Graph.t * Engine.report * Traj.record
+(** [run ~circuit ~spec g] searches and returns the best verified
+    graph, a synthetic {!Engine.report} whose passes are the winning
+    move sequence (rollbacks = rejected expansions, [degraded] when
+    the budget cut the search short or verification fell back), and
+    the trajectory record.  [verify] as in {!Engine.run}.  [cache] is
+    consulted by refactoring moves and its hit deltas land in the
+    trajectory steps.  [?traj] appends the record to that NDJSON file
+    (emission failures are recorded in telemetry, never raised).
+    [circuit] only labels the trajectory. *)

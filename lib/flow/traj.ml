@@ -1,0 +1,165 @@
+module J = Lsutil.Json
+
+type step = {
+  move : string;
+  outcome : string;
+  accepted : bool;
+  size : int;
+  depth : int;
+  time_s : float;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+type record = {
+  circuit : string;
+  goal : string;
+  seed : int;
+  beam : int;
+  budget_s : float option;
+  size_in : int;
+  depth_in : int;
+  size_out : int;
+  depth_out : int;
+  steps : step list;
+  explored : int;
+  verdict : string;
+  time_s : float;
+}
+
+let schema = "mighty-traj/1"
+let verdicts = [ "completed"; "budget_exhausted"; "interrupted" ]
+
+let step_to_json s =
+  J.Obj
+    [
+      ("move", J.String s.move);
+      ("outcome", J.String s.outcome);
+      ("accepted", J.Bool s.accepted);
+      ("size", J.Int s.size);
+      ("depth", J.Int s.depth);
+      ("time_s", J.Float s.time_s);
+      ("cache_hits", J.Int s.cache_hits);
+      ("cache_misses", J.Int s.cache_misses);
+    ]
+
+let to_json r =
+  J.Obj
+    [
+      ("schema", J.String schema);
+      ("circuit", J.String r.circuit);
+      ("goal", J.String r.goal);
+      ("seed", J.Int r.seed);
+      ("beam", J.Int r.beam);
+      ( "budget_s",
+        match r.budget_s with None -> J.Null | Some s -> J.Float s );
+      ("size_in", J.Int r.size_in);
+      ("depth_in", J.Int r.depth_in);
+      ("size_out", J.Int r.size_out);
+      ("depth_out", J.Int r.depth_out);
+      ("steps", J.List (List.map step_to_json r.steps));
+      ("explored", J.Int r.explored);
+      ("verdict", J.String r.verdict);
+      ("time_s", J.Float r.time_s);
+    ]
+
+(* ----- validation (shared with bench/json_lint) ----- *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match J.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let want_string name j =
+  match J.member name j with
+  | Some (J.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "field %S is not a string" name)
+
+let want_int name j =
+  match J.member name j with
+  | Some (J.Int _) -> Ok ()
+  | _ -> Error (Printf.sprintf "field %S is not an int" name)
+
+let want_num name j =
+  match J.member name j with
+  | Some (J.Int _ | J.Float _) -> Ok ()
+  | _ -> Error (Printf.sprintf "field %S is not a number" name)
+
+let want_bool name j =
+  match J.member name j with
+  | Some (J.Bool _) -> Ok ()
+  | _ -> Error (Printf.sprintf "field %S is not a bool" name)
+
+let iter_result f l =
+  List.fold_left (fun acc x -> let* () = acc in f x) (Ok ()) l
+
+let step_outcomes = [ "completed"; "timed_out"; "failed"; "skipped" ]
+
+let validate_step j =
+  let* _ = want_string "move" j in
+  let* o = want_string "outcome" j in
+  let* () =
+    if List.mem o step_outcomes then Ok ()
+    else Error (Printf.sprintf "step outcome %S unknown" o)
+  in
+  let* () = want_bool "accepted" j in
+  let* () = want_int "size" j in
+  let* () = want_int "depth" j in
+  let* () = want_num "time_s" j in
+  let* () = want_int "cache_hits" j in
+  want_int "cache_misses" j
+
+let validate j =
+  let* s = want_string "schema" j in
+  let* () =
+    if s = schema then Ok ()
+    else Error (Printf.sprintf "schema %S is not %S" s schema)
+  in
+  let* _ = want_string "circuit" j in
+  let* g = want_string "goal" j in
+  let* () =
+    if List.mem g [ "size"; "depth"; "activity" ] then Ok ()
+    else Error (Printf.sprintf "goal %S unknown" g)
+  in
+  let* () = want_int "seed" j in
+  let* () = want_int "beam" j in
+  let* () =
+    match J.member "budget_s" j with
+    | Some (J.Null | J.Int _ | J.Float _) -> Ok ()
+    | _ -> Error "field \"budget_s\" is not a number or null"
+  in
+  let* () = want_int "size_in" j in
+  let* () = want_int "depth_in" j in
+  let* () = want_int "size_out" j in
+  let* () = want_int "depth_out" j in
+  let* () = want_int "explored" j in
+  let* v = want_string "verdict" j in
+  let* () =
+    if List.mem v verdicts then Ok ()
+    else Error (Printf.sprintf "verdict %S unknown" v)
+  in
+  let* () = want_num "time_s" j in
+  let* steps = field "steps" j in
+  match steps with
+  | J.List l -> iter_result validate_step l
+  | _ -> Error "field \"steps\" is not a list"
+
+let append_file path r =
+  let line = J.to_string (to_json r) in
+  match
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  with
+  | exception Sys_error e -> Error e
+  | oc ->
+      let res =
+        match
+          output_string oc line;
+          output_char oc '\n'
+        with
+        | () -> Ok ()
+        | exception Sys_error e -> Error e
+      in
+      (match close_out oc with () -> () | exception Sys_error _ -> ());
+      res

@@ -1,0 +1,60 @@
+(** QoR trajectory dataset: schema-stable records of orchestrated
+    search runs ([mighty-traj/1], à la OpenABC-D).
+
+    Every {!Orchestrate} run yields one {!record}: the circuit, the
+    winning move sequence with per-move QoR deltas (size, depth,
+    wall-clock, rewrite-cache hits), the search shape (beam, seed,
+    budget), the final QoR and the budget verdict.  Records are
+    appended to a file as NDJSON — one JSON object per line, each
+    carrying its own ["schema"] field — so concurrent or repeated runs
+    accumulate a dataset a learned policy can later train on.
+    [bench/json_lint.exe] validates trajectory files the same way it
+    validates [mighty-bench/1] documents. *)
+
+type step = {
+  move : string;  (** macro-move name, e.g. ["cycle:size"] *)
+  outcome : string;  (** engine outcome: completed/timed_out/failed/skipped *)
+  accepted : bool;  (** the move is on the winning sequence *)
+  size : int;  (** QoR after the move settled (rolled back = unchanged) *)
+  depth : int;
+  time_s : float;
+  cache_hits : int;  (** rewrite-cache hits during this move; 0 uncached *)
+  cache_misses : int;
+}
+
+type record = {
+  circuit : string;
+  goal : string;  (** the search's scoring goal: size/depth/activity *)
+  seed : int;
+  beam : int;
+  budget_s : float option;
+  size_in : int;
+  depth_in : int;
+  size_out : int;
+  depth_out : int;
+  steps : step list;  (** every evaluated move, search order; the
+                          winning sequence is the [accepted] subset *)
+  explored : int;  (** candidates evaluated (= [List.length steps]) *)
+  verdict : string;  (** see {!verdicts} *)
+  time_s : float;  (** whole-search wall clock *)
+}
+
+val schema : string
+(** ["mighty-traj/1"]. *)
+
+val verdicts : string list
+(** [["completed"; "budget_exhausted"; "interrupted"]] — how the
+    search ended: ran its rounds to quiescence, was cut off by the
+    deadline/node cap, or was asynchronously interrupted. *)
+
+val to_json : record -> Lsutil.Json.t
+(** One self-describing object (["schema"] field included). *)
+
+val validate : Lsutil.Json.t -> (unit, string) result
+(** Structural check of one record object — the exact rules
+    [bench/json_lint.exe] applies per NDJSON line. *)
+
+val append_file : string -> record -> (unit, string) result
+(** Append one record as a single NDJSON line, creating the file if
+    needed.  Errors are returned, not raised (trajectory emission
+    must never take an optimization run down). *)

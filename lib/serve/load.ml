@@ -8,7 +8,7 @@ type options = {
   clients : int;
   requests_per_client : int;
   circuits : P.circuit list;
-  goal : [ `Size | `Depth | `Activity ];
+  goal : [ `Size | `Depth | `Activity | `Search ];
   effort : int;
   timeout_s : float option;
   fault_every : int option;

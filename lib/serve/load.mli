@@ -15,7 +15,7 @@ type options = {
   clients : int;
   requests_per_client : int;
   circuits : Protocol.circuit list;  (** round-robin, must be non-empty *)
-  goal : [ `Size | `Depth | `Activity ];
+  goal : [ `Size | `Depth | `Activity | `Search ];
   effort : int;
   timeout_s : float option;  (** per-request budget sent with each request *)
   fault_every : int option;  (** chaos: arm [fault_spec] every n-th request *)

@@ -12,8 +12,9 @@ type circuit = Bench of string | Blif of string | Verilog of string
 type request = {
   id : string option;
   circuit : circuit;
-  goal : [ `Size | `Depth | `Activity ];
+  goal : [ `Size | `Depth | `Activity | `Search ];
   effort : int;
+  beam : int;
   timeout_s : float option;
   max_nodes : int option;
   fault : string option;
@@ -52,19 +53,22 @@ let goal_name = function
   | `Size -> "size"
   | `Depth -> "depth"
   | `Activity -> "activity"
+  | `Search -> "search"
 
 let goal_of_name = function
   | "size" -> Some `Size
   | "depth" -> Some `Depth
   | "activity" -> Some `Activity
+  | "search" -> Some `Search
   | _ -> None
 
 (* ----- requests ----- *)
 
-let optimize ?id ?(goal = `Size) ?(effort = 2) ?timeout_s ?max_nodes ?fault
-    ?(emit = `None) ?(stats = false) circuit =
+let optimize ?id ?(goal = `Size) ?(effort = 2) ?(beam = 2) ?timeout_s
+    ?max_nodes ?fault ?(emit = `None) ?(stats = false) circuit =
   Optimize
-    { id; circuit; goal; effort; timeout_s; max_nodes; fault; emit; stats }
+    { id; circuit; goal; effort; beam; timeout_s; max_nodes; fault; emit;
+      stats }
 
 let circuit_to_json = function
   | Bench n -> J.Obj [ ("bench", J.String n) ]
@@ -82,6 +86,9 @@ let request_to_json = function
             ("goal", J.String (goal_name r.goal));
             ("effort", J.Int r.effort);
           ]
+        @ (match r.goal with
+          | `Search -> [ ("beam", J.Int r.beam) ]
+          | _ -> [])
         @ (match r.timeout_s with
           | Some t -> [ ("timeout_s", J.Float t) ]
           | None -> [])
@@ -135,6 +142,12 @@ let decode_optimize j =
     | Some (J.Int e) when e >= 1 && e <= 16 -> Ok e
     | Some _ -> Error (Bad_request, "effort must be an int in 1..16")
   in
+  let* beam =
+    match J.member "beam" j with
+    | None -> Ok 2
+    | Some (J.Int b) when b >= 1 && b <= 64 -> Ok b
+    | Some _ -> Error (Bad_request, "beam must be an int in 1..64")
+  in
   let* timeout_s =
     match J.member "timeout_s" j with
     | None | Some J.Null -> Ok None
@@ -174,6 +187,7 @@ let decode_optimize j =
          circuit;
          goal;
          effort;
+         beam;
          timeout_s;
          max_nodes;
          fault;

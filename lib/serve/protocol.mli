@@ -25,8 +25,11 @@ type circuit =
 type request = {
   id : string option;  (** echoed verbatim on every response frame *)
   circuit : circuit;
-  goal : [ `Size | `Depth | `Activity ];
+  goal : [ `Size | `Depth | `Activity | `Search ];
+      (** [`Search]: orchestrated beam search ({!Flow.Orchestrate})
+          instead of a fixed script *)
   effort : int;
+  beam : int;  (** beam width, [`Search] goal only (default 2) *)
   timeout_s : float option;  (** per-request deadline (server may clamp) *)
   max_nodes : int option;
   fault : string option;  (** {!Lsutil.Fault} spec armed for this request *)
@@ -51,8 +54,9 @@ val error_code_of_name : string -> error_code option
 
 val optimize :
   ?id:string ->
-  ?goal:[ `Size | `Depth | `Activity ] ->
+  ?goal:[ `Size | `Depth | `Activity | `Search ] ->
   ?effort:int ->
+  ?beam:int ->
   ?timeout_s:float ->
   ?max_nodes:int ->
   ?fault:string ->
@@ -61,7 +65,7 @@ val optimize :
   circuit ->
   req
 (** Request builder with the protocol defaults (goal [`Size], effort
-    2, no budget, no fault, [`None] emit, stats off). *)
+    2, beam 2, no budget, no fault, [`None] emit, stats off). *)
 
 val request_to_json : req -> Lsutil.Json.t
 val decode_request : Lsutil.Json.t -> (req, error_code * string) result

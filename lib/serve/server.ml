@@ -192,9 +192,6 @@ let process_optimize t fd (r : P.request) =
                             ("size_in", J.Int size_in);
                             ("depth_in", J.Int depth_in);
                           ]));
-                let passes =
-                  Flow.Engine.of_goal ~effort:r.effort ?cache:rwh r.goal
-                in
                 (match plan with
                 | Some sp -> Lsutil.Fault.arm flt sp
                 | None -> ());
@@ -202,9 +199,41 @@ let process_optimize t fd (r : P.request) =
                   Fun.protect
                     ~finally:(fun () -> Lsutil.Fault.disarm flt)
                     (fun () ->
-                      Flow.Engine.run ?timeout_s ?max_nodes:r.max_nodes ?trace
-                        ~cost:(Flow.Engine.cost_of_goal r.goal)
-                        ~seed:0xda14 ~passes m)
+                      match r.goal with
+                      | (`Size | `Depth | `Activity) as goal ->
+                          let passes =
+                            Flow.Engine.of_goal ~effort:r.effort ?cache:rwh
+                              goal
+                          in
+                          Flow.Engine.run ?timeout_s ?max_nodes:r.max_nodes
+                            ?trace
+                            ~cost:(Flow.Engine.cost_of_goal goal)
+                            ~seed:0xda14 ~passes m
+                      | `Search ->
+                          (* orchestrated beam search under the same
+                             clamped budget; the trajectory record is
+                             server-side only (spans carry it when the
+                             client asked for stats) *)
+                          let spec =
+                            {
+                              Flow.Orchestrate.goal = `Size;
+                              beam = r.beam;
+                              rounds = 2 * r.effort;
+                              seed = 0xda14;
+                              timeout_s;
+                              max_nodes = r.max_nodes;
+                            }
+                          in
+                          let circuit =
+                            match r.circuit with
+                            | P.Bench n -> n
+                            | P.Blif _ -> "blif"
+                            | P.Verilog _ -> "verilog"
+                          in
+                          let out, report, _traj =
+                            Flow.Orchestrate.run ?cache:rwh ~circuit ~spec m
+                          in
+                          (out, report))
                 in
                 (size_in, depth_in, out, report)))
       in

@@ -101,6 +101,12 @@ let expired t =
       st.blown <> None || st.nodes > st.max_nodes
       || Unix.gettimeofday () > st.deadline
 
+let remaining_s t =
+  match t.current with
+  | Some st when st.deadline < infinity ->
+      Some (Float.max 0. (st.deadline -. Unix.gettimeofday ()))
+  | _ -> None
+
 let remaining_nodes t =
   match t.current with
   | None -> None

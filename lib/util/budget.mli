@@ -64,6 +64,14 @@ val expired : t -> bool
 val remaining_nodes : t -> int option
 (** Remaining node allowance; [None] when uncapped or idle. *)
 
+val remaining_s : t -> float option
+(** Wall-clock seconds left on the installed deadline, clamped at 0;
+    [None] when no deadline is installed (idle handle or node-cap-only
+    budget).  Reads the clock, so callers that need determinism must
+    only consult it when a deadline genuinely exists — search drivers
+    use it to skip moves predicted not to fit, and that gating is
+    inert in deadline-free (fully deterministic) runs. *)
+
 val exhaust : t -> 'a
 (** Force the installed budget blown and raise {!Exhausted Deadline}
     (used by fault injection). *)

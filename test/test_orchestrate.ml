@@ -1,0 +1,256 @@
+(* Flow.Orchestrate: the searchable pass layer.
+
+   - determinism: equal (seed, beam, rounds) with no deadline give a
+     bit-identical graph, the same accepted move sequence and the same
+     trajectory on random MIGs;
+   - chaos: with a fault plan armed, or under an absurdly small
+     budget, the search still returns a lint-clean, miter-equivalent,
+     no-larger graph (the Engine degradation contract);
+   - trajectory: every record round-trips through its own validator
+     and the NDJSON file format;
+   - Batch.optimizer_of_spec (the dedupe satellite) builds exactly the
+     optimizer the engine branches used to assemble by hand. *)
+
+module M = Mig.Graph
+module S = Network.Signal
+module O = Flow.Orchestrate
+module E = Flow.Engine
+module Tj = Flow.Traj
+module F = Lsutil.Fault
+
+let mig_of ?ctx name =
+  let net = (Benchmarks.Suite.find name).Benchmarks.Suite.build () in
+  Mig.Convert.of_network ?ctx (Network.Graph.flatten_aoig net)
+
+(* structural identity, node by node (same idiom as the Par tests) *)
+let graph_fp g =
+  let majs = ref [] in
+  M.iter_live_majs g (fun id fis ->
+      majs :=
+        (id, Array.to_list (Array.map (fun s -> (s : S.t :> int)) fis))
+        :: !majs);
+  ( M.size g,
+    M.depth g,
+    List.rev !majs,
+    M.pis g,
+    List.map (fun (n, s) -> (n, (s : S.t :> int))) (M.pos g) )
+
+let step_fp (s : Tj.step) =
+  (* everything but wall-clock *)
+  (s.Tj.move, s.Tj.outcome, s.Tj.accepted, s.Tj.size, s.Tj.depth)
+
+let search_run ~spec seed =
+  let ctx = Lsutil.Ctx.create () in
+  let net =
+    Helpers.random_network ~seed ~inputs:6 ~gates:(40 + (seed mod 40))
+      ~outputs:4
+  in
+  let m = Mig.Convert.of_network ~ctx net in
+  let out, rep, tr = O.run ~circuit:"rand" ~spec m in
+  ( graph_fp out,
+    List.map (fun (p : E.pass_report) -> p.E.pass) rep.E.passes,
+    List.map step_fp tr.Tj.steps,
+    tr.Tj.verdict,
+    Mig.Equiv.migs ~seed:1 m out,
+    rep.E.verified )
+
+let test_determinism =
+  Helpers.qtest ~count:5 "equal (seed, beam, rounds) -> identical search"
+    QCheck2.Gen.(int_bound 10_000)
+    (fun seed ->
+      Mig.Transform.prewarm ();
+      let spec = { O.default_spec with O.beam = 2; rounds = 2; seed = 5 } in
+      let a = search_run ~spec seed in
+      let b = search_run ~spec seed in
+      let _, _, _, _, equiv, verified = a in
+      if not equiv then QCheck2.Test.fail_report "search lost equivalence";
+      if not verified then QCheck2.Test.fail_report "search not verified";
+      if a <> b then
+        QCheck2.Test.fail_report "two equal-spec searches diverged";
+      true)
+
+(* ----- chaos: armed fault plan ----- *)
+
+let degradation_invariants ~label m out =
+  if not (Check_report.is_clean (Mig.Check.lint ~subject:label out)) then
+    Alcotest.failf "%s: output fails lint" label;
+  Alcotest.(check bool)
+    (label ^ ": equivalent to input")
+    true
+    (Mig.Equiv.migs ~seed:9 m out);
+  Alcotest.(check bool)
+    (label ^ ": no larger than input")
+    true
+    (M.size out <= M.size m)
+
+let test_chaos_fault () =
+  let ctx = Lsutil.Ctx.create () in
+  let m = mig_of ~ctx "count" in
+  let flt = Lsutil.Ctx.fault ctx in
+  (match F.arm_string flt "seed=11:rate=0.2:kind=any:sites=transform,strash" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "bad fault spec: %s" e);
+  let out, rep, tr =
+    Fun.protect
+      ~finally:(fun () -> F.disarm flt)
+      (fun () ->
+        O.run ~circuit:"count"
+          ~spec:{ O.default_spec with O.beam = 2; rounds = 2; seed = 3 }
+          m)
+  in
+  degradation_invariants ~label:"orchestrate-fault" m out;
+  Alcotest.(check bool) "verified" true rep.E.verified;
+  match Tj.validate (Tj.to_json tr) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "faulted trajectory invalid: %s" e
+
+let test_chaos_exhausted_budget () =
+  let m = mig_of "count" in
+  let out, rep, tr =
+    O.run ~circuit:"count"
+      ~spec:
+        {
+          O.default_spec with
+          O.beam = 2;
+          rounds = 4;
+          seed = 3;
+          timeout_s = Some 0.005;
+        }
+      m
+  in
+  degradation_invariants ~label:"orchestrate-budget" m out;
+  Alcotest.(check bool) "verified" true rep.E.verified;
+  Alcotest.(check bool)
+    "verdict is a schema verdict" true
+    (List.mem tr.Tj.verdict Tj.verdicts)
+
+(* ----- trajectory schema ----- *)
+
+let test_traj_roundtrip () =
+  let m = mig_of "b9" in
+  let _, _, tr =
+    O.run ~circuit:"b9"
+      ~spec:{ O.default_spec with O.beam = 1; rounds = 2; seed = 1 }
+      m
+  in
+  (match Tj.validate (Tj.to_json tr) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "record rejected by its own schema: %s" e);
+  Alcotest.(check string) "verdict" "completed" tr.Tj.verdict;
+  Alcotest.(check int) "explored counts the steps"
+    (List.length tr.Tj.steps) tr.Tj.explored;
+  (* the NDJSON file: append twice, re-read, both lines validate *)
+  let tmp = Filename.temp_file "mig_traj" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      (match Tj.append_file tmp tr with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "append: %s" e);
+      (match Tj.append_file tmp tr with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "append: %s" e);
+      let ic = open_in tmp in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check int) "two records" 2 (List.length !lines);
+      List.iter
+        (fun line ->
+          match Lsutil.Json.of_string line with
+          | Error e -> Alcotest.failf "unparseable line: %s" e
+          | Ok j -> (
+              match Tj.validate j with
+              | Ok () -> ()
+              | Error e -> Alcotest.failf "invalid line: %s" e))
+        !lines)
+
+let test_traj_rejects_garbage () =
+  let reject label j =
+    match Tj.validate j with
+    | Ok () -> Alcotest.failf "%s: accepted" label
+    | Error _ -> ()
+  in
+  reject "not an object" (Lsutil.Json.Int 3);
+  reject "wrong schema"
+    (Lsutil.Json.Obj [ ("schema", Lsutil.Json.String "mighty-bench/1") ]);
+  let m = mig_of "b9" in
+  let _, _, tr =
+    O.run ~circuit:"b9"
+      ~spec:{ O.default_spec with O.beam = 1; rounds = 1 }
+      m
+  in
+  match Tj.to_json { tr with Tj.verdict = "exploded" } with
+  | j -> reject "unknown verdict" j
+
+(* ----- search finds at least the fixed script's QoR ----- *)
+
+let test_search_no_worse_than_fixed () =
+  let name = "my_adder" in
+  let fixed, _ =
+    E.run
+      ~cost:(E.cost_of_goal `Size)
+      ~seed:7
+      ~passes:(E.of_goal ~effort:2 `Size)
+      (mig_of name)
+  in
+  let out, _, _ =
+    O.run ~circuit:name
+      ~spec:{ O.default_spec with O.beam = 2; rounds = 4; seed = 7 }
+      (mig_of name)
+  in
+  Alcotest.(check bool)
+    "size*depth product no worse than the fixed script" true
+    (M.size out * M.depth out <= M.size fixed * M.depth fixed)
+
+(* ----- satellite: Batch.optimizer_of_spec = the hand-rolled engine ----- *)
+
+let test_batch_optimizer_of_spec () =
+  let spec = { Flow.Batch.default_spec with Flow.Batch.goal = `Size; effort = 1 } in
+  let o1, r1 = Flow.Batch.optimizer_of_spec spec (mig_of "count") in
+  let o2, r2 =
+    E.run
+      ~cost:(E.cost_of_goal `Size)
+      ~seed:spec.Flow.Batch.seed
+      ~passes:(E.of_goal ~effort:1 `Size)
+      (mig_of "count")
+  in
+  Alcotest.(check bool) "bit-identical graphs" true (graph_fp o1 = graph_fp o2);
+  let names r = List.map (fun (p : E.pass_report) -> p.E.pass) r.E.passes in
+  Alcotest.(check (list string)) "same pass names" (names r2) (names r1);
+  Alcotest.(check bool) "same rollup" true
+    ( (r1.E.rollbacks, r1.E.degraded, r1.E.verified)
+    = (r2.E.rollbacks, r2.E.degraded, r2.E.verified) )
+
+let () =
+  Alcotest.run "orchestrate"
+    [
+      ("determinism", [ test_determinism ]);
+      ( "chaos",
+        [
+          Alcotest.test_case "armed faults degrade cleanly" `Quick
+            test_chaos_fault;
+          Alcotest.test_case "exhausted budget degrades cleanly" `Quick
+            test_chaos_exhausted_budget;
+        ] );
+      ( "trajectory",
+        [
+          Alcotest.test_case "record round-trips its schema" `Quick
+            test_traj_roundtrip;
+          Alcotest.test_case "validator rejects garbage" `Quick
+            test_traj_rejects_garbage;
+        ] );
+      ( "qor",
+        [
+          Alcotest.test_case "no worse than the fixed script" `Quick
+            test_search_no_worse_than_fixed;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "optimizer_of_spec = hand-rolled engine" `Quick
+            test_batch_optimizer_of_spec;
+        ] );
+    ]

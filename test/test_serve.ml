@@ -139,6 +139,7 @@ let gen_request =
             circuit = c;
             goal;
             effort;
+            beam = 2;
             timeout_s = timeout;
             max_nodes = nodes;
             fault;
@@ -148,7 +149,7 @@ let gen_request =
       (pair
          (pair
             (pair (opt (oneofl [ "a"; "c1-r2"; "日本" ])) circuit)
-            (pair (oneofl [ `Size; `Depth; `Activity ]) (int_range 1 16)))
+            (pair (oneofl [ `Size; `Depth; `Activity; `Search ]) (int_range 1 16)))
          (pair
             (pair (opt (oneofl [ 0.5; 30.0 ])) (opt (int_range 1 100000)))
             (pair (opt (oneofl [ "seed=7:kind=any" ])) bool))))
@@ -471,6 +472,7 @@ let test_server_optimize () =
                 circuit = P.Bench "b9";
                 goal = `Size;
                 effort = 1;
+                beam = 2;
                 timeout_s = Some 15.0;
                 max_nodes = None;
                 fault = None;
@@ -506,6 +508,35 @@ let test_server_optimize () =
                         (List.length (Network.Graph.pos orig))
                         (List.length (Network.Graph.pos net))))))
 
+(* the "search" goal routes through Flow.Orchestrate: same response
+   shape, verified, and never larger than the input *)
+let test_server_search_goal () =
+  with_server (fun _t addr ->
+      let c = connect_exn addr in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          match
+            Client.optimize c
+              {
+                P.id = Some "t-search";
+                circuit = P.Bench "b9";
+                goal = `Search;
+                effort = 1;
+                beam = 2;
+                timeout_s = Some 15.0;
+                max_nodes = None;
+                fault = None;
+                emit = `None;
+                stats = false;
+              }
+          with
+          | Error e -> Alcotest.failf "search optimize: %s" e
+          | Ok r ->
+              Alcotest.(check (option string)) "id echoed" (Some "t-search")
+                r.P.r_id;
+              Alcotest.(check bool) "verified" true r.P.verified;
+              Alcotest.(check bool) "did not grow" true
+                (r.P.size_out <= r.P.size_in)))
+
 let test_server_fault_degrades () =
   with_server (fun _t addr ->
       let c = connect_exn addr in
@@ -517,6 +548,7 @@ let test_server_fault_degrades () =
                 circuit = P.Bench "b9";
                 goal = `Size;
                 effort = 1;
+                beam = 2;
                 timeout_s = Some 15.0;
                 max_nodes = None;
                 fault = Some "seed=7:kind=raise:sites=transform";
@@ -648,6 +680,7 @@ let test_server_drain_flushes_cache () =
                     circuit = P.Bench "b9";
                     goal = `Size;
                     effort = 1;
+                    beam = 2;
                     timeout_s = Some 15.0;
                     max_nodes = None;
                     fault = None;
@@ -731,6 +764,8 @@ let () =
           Alcotest.test_case "ping" `Quick test_server_ping;
           Alcotest.test_case "optimize + emit + telemetry" `Quick
             test_server_optimize;
+          Alcotest.test_case "search goal routes to orchestrate" `Quick
+            test_server_search_goal;
           Alcotest.test_case "in-flight fault degrades" `Quick
             test_server_fault_degrades;
           Alcotest.test_case "bad fault spec" `Quick test_server_bad_fault_spec;
